@@ -1,0 +1,150 @@
+//! Criterion benchmarks, one group per paper artifact.
+//!
+//! * `generation`        — §6: RTLCheck's assertion + assumption generation
+//!                         phase ("takes just seconds per test" in the
+//!                         paper; microseconds here).
+//! * `figure13_runtime`  — runtime-to-verification for representative
+//!                         tests under both Table 1 configurations.
+//! * `cover_phase`       — the §4.1 covering-trace search.
+//! * `axiomatic_uhb`     — the Check-suite-side µhb enumeration the RTL
+//!                         results are differentially compared against.
+//! * `edge_encodings`    — strict (§4.3) vs naive (§3.3) edge encodings:
+//!                         the soundness fix costs verification time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtlcheck_core::{assert_gen, assume, AssertionOptions, Rtlcheck};
+use rtlcheck_litmus::suite;
+use rtlcheck_rtl::multi_vscale::{MemoryImpl, MultiVscale};
+use rtlcheck_uhb::solve;
+use rtlcheck_uspec::ground::{ground, DataMode};
+use rtlcheck_uspec::multi_vscale as mv_spec;
+use rtlcheck_verif::{check_cover, Problem, VerifyConfig};
+use std::hint::black_box;
+
+const REPRESENTATIVE: &[&str] = &["mp", "sb", "iriw", "wrc", "safe009", "rfi011"];
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generation");
+    let spec = mv_spec::spec();
+    for name in REPRESENTATIVE {
+        let test = suite::get(name).unwrap();
+        let mv = MultiVscale::build(&test, MemoryImpl::Fixed);
+        group.bench_with_input(BenchmarkId::new("assert+assume", name), &test, |b, test| {
+            b.iter(|| {
+                let a = assume::generate(&mv, test);
+                let g =
+                    assert_gen::generate(&spec, &mv, test, AssertionOptions::paper()).unwrap();
+                black_box((a.directives.len(), g.len()))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_figure13(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure13_runtime");
+    group.sample_size(10);
+    for config in [VerifyConfig::hybrid(), VerifyConfig::full_proof()] {
+        for name in REPRESENTATIVE {
+            let test = suite::get(name).unwrap();
+            let tool = Rtlcheck::new(MemoryImpl::Fixed);
+            group.bench_with_input(
+                BenchmarkId::new(&config.name, name),
+                &test,
+                |b, test| b.iter(|| black_box(tool.check_test(test, &config)).verified()),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_cover_phase(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cover_phase");
+    for name in REPRESENTATIVE {
+        let test = suite::get(name).unwrap();
+        let mv = MultiVscale::build(&test, MemoryImpl::Fixed);
+        let generated = assume::generate(&mv, &test);
+        let mut problem = Problem::new(&mv.design);
+        problem.init_pins = generated.init_pins.clone();
+        problem.assumptions = generated.directives.clone();
+        problem.cover = Some(generated.cover.clone());
+        let engine = VerifyConfig::quick().cover_engine();
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| black_box(check_cover(&problem, engine)).stats())
+        });
+    }
+    group.finish();
+}
+
+fn bench_axiomatic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("axiomatic_uhb");
+    let spec = mv_spec::spec();
+    for name in REPRESENTATIVE {
+        let test = suite::get(name).unwrap();
+        let grounded = ground(&spec, &test, DataMode::Outcome).unwrap();
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| black_box(solve::solve(&grounded)).is_forbidden())
+        });
+    }
+    group.finish();
+}
+
+fn bench_edge_encodings(c: &mut Criterion) {
+    let mut group = c.benchmark_group("edge_encodings");
+    group.sample_size(10);
+    let test = suite::get("mp").unwrap();
+    for (label, options) in [
+        ("strict", AssertionOptions::paper()),
+        ("naive", AssertionOptions::naive_edges()),
+    ] {
+        let tool = Rtlcheck::new(MemoryImpl::Fixed).with_options(options);
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| black_box(tool.check_test(&test, &VerifyConfig::quick())).num_proven())
+        });
+    }
+    group.finish();
+}
+
+fn bench_tso(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tso_extension");
+    group.sample_size(10);
+    let tool = Rtlcheck::tso();
+    for name in ["sb", "mp", "amd3"] {
+        let test = suite::get(name).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &test, |b, test| {
+            b.iter(|| black_box(tool.check_test(test, &VerifyConfig::quick())).num_proven())
+        });
+    }
+    let fenced = rtlcheck_litmus::fenced::get("sb+fences").unwrap();
+    group.bench_with_input(BenchmarkId::from_parameter("sb+fences"), &fenced, |b, test| {
+        b.iter(|| black_box(tool.check_test(test, &VerifyConfig::quick())).num_proven())
+    });
+    group.finish();
+}
+
+fn bench_five_stage(c: &mut Criterion) {
+    let mut group = c.benchmark_group("five_stage");
+    group.sample_size(10);
+    for name in ["mp", "sb", "wrc"] {
+        let test = suite::get(name).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &test, |b, test| {
+            b.iter(|| {
+                black_box(rtlcheck_core::five_stage::check_test(test, &VerifyConfig::quick()))
+                    .verified()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_generation,
+    bench_figure13,
+    bench_cover_phase,
+    bench_axiomatic,
+    bench_edge_encodings,
+    bench_tso,
+    bench_five_stage
+);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Regenerates §7.1 / Figure 12: the store-drop bug RTLCheck found in the
+//! V-scale memory implementation.
+//!
+//! Runs the mp litmus test against the *buggy* Multi-V-scale: the verifier
+//! reports a counterexample for a Read_Values property and a covering trace
+//! exhibiting the forbidden outcome; both are rendered as timing diagrams.
+//! The fixed design is then shown to verify.
+
+use rtlcheck_core::{CoverOutcome, Rtlcheck};
+use rtlcheck_rtl::multi_vscale::MemoryImpl;
+use rtlcheck_verif::VerifyConfig;
+
+const FIG12_SIGNALS: &[&str] = &[
+    "arbiter_grant",
+    "core0_PC_DX",
+    "core0_PC_WB",
+    "core0_store_data_WB",
+    "core1_PC_DX",
+    "core1_PC_WB",
+    "core1_load_data_WB",
+    "mem_wdata",
+    "mem_waddr",
+    "mem_wpending",
+    "mem_0",
+    "mem_1",
+];
+
+fn main() {
+    let mp = rtlcheck_litmus::suite::get("mp").unwrap();
+    let config = VerifyConfig::quick();
+
+    println!("=== mp on the BUGGY V-scale memory (§7.1) ===\n");
+    let tool = Rtlcheck::new(MemoryImpl::Buggy);
+    let mv = tool.build_design(&mp);
+    let report = tool.check_test(&mp, &config);
+    assert!(report.bug_found(), "the buggy memory must violate mp");
+
+    if let CoverOutcome::BugWitness(trace) = &report.cover {
+        println!(
+            "covering trace: the forbidden outcome (r1 = 1, r2 = 0) IS observable ({} cycles)\n",
+            trace.len()
+        );
+        println!("{}", trace.render(&mv.design, FIG12_SIGNALS));
+    }
+    if let Some((name, trace)) = report.first_counterexample() {
+        println!("counterexample for property `{name}` (Figure 12):\n");
+        println!("{}", trace.render(&mv.design, FIG12_SIGNALS));
+        println!("Diagnosis: two stores reach memory in successive cycles; the second");
+        println!("transaction pushes `mem_wdata` to memory *before* it has captured the");
+        println!("first store's data, so the store of x is dropped (mem_0 stays 0) and");
+        println!("the load of x later returns 0 while the load of y is bypassed as 1.\n");
+    }
+
+    println!("=== mp on the FIXED memory ===\n");
+    let report = Rtlcheck::new(MemoryImpl::Fixed).check_test(&mp, &config);
+    assert!(report.verified(), "the fixed memory must verify mp");
+    println!("{report}");
+}

@@ -1,0 +1,192 @@
+//! Shared harness for regenerating the RTLCheck paper's tables and figures.
+//!
+//! Each binary in `src/bin/` regenerates one artifact of the paper's
+//! evaluation (§7):
+//!
+//! | Binary          | Paper artifact                                          |
+//! |-----------------|---------------------------------------------------------|
+//! | `table1`        | Table 1 — engine configurations                         |
+//! | `figure12`      | §7.1/Fig. 12 — the V-scale store-drop bug               |
+//! | `figure13`      | Fig. 13 — runtime to verification, 56 tests × 2 configs |
+//! | `figure14`      | Fig. 14 — % fully-proven properties per test            |
+//! | `summary_stats` | §7.2 — aggregate statistics                             |
+//! | `ablations`     | §3.2–3.4 — naive-translation failure demonstrations     |
+//!
+//! The shared [`run_suite`] entry point runs the full flow for every litmus
+//! test in the suite under one configuration and collects the per-test
+//! numbers the figures plot.
+
+use std::time::Duration;
+
+use rtlcheck_core::{Rtlcheck, TestReport};
+use rtlcheck_litmus::suite;
+use rtlcheck_rtl::multi_vscale::MemoryImpl;
+use rtlcheck_verif::VerifyConfig;
+use serde::{Deserialize, Serialize};
+
+/// One row of the per-test results (one bar of Figures 13/14).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TestRow {
+    /// Litmus test name.
+    pub test: String,
+    /// Configuration name.
+    pub config: String,
+    /// Runtime to verification (Figure 13's y-axis).
+    pub runtime: Duration,
+    /// Properties completely proven.
+    pub proven: usize,
+    /// Total properties generated.
+    pub total: usize,
+    /// Whether the test verified through the unreachable-assumption fast
+    /// path.
+    pub by_assumptions: bool,
+    /// Bounds of the bounded-only proofs.
+    pub bounded_depths: Vec<u32>,
+    /// Whether any violation was found (must be false on the fixed design).
+    pub violated: bool,
+}
+
+impl TestRow {
+    /// Percentage of fully proven properties (Figure 14's y-axis).
+    pub fn proven_pct(&self) -> f64 {
+        if self.total == 0 {
+            100.0
+        } else {
+            100.0 * self.proven as f64 / self.total as f64
+        }
+    }
+
+    /// Builds a row from a driver report.
+    pub fn from_report(report: &TestReport) -> TestRow {
+        TestRow {
+            test: report.test.clone(),
+            config: report.config.clone(),
+            runtime: report.runtime_to_verification(),
+            proven: report.num_proven(),
+            total: report.properties.len(),
+            by_assumptions: report.verified_by_assumptions(),
+            bounded_depths: report.bounded_depths(),
+            violated: report.bug_found(),
+        }
+    }
+}
+
+/// Results of one configuration over the whole suite.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SuiteResults {
+    /// Configuration name.
+    pub config: String,
+    /// Per-test rows, in Figure 13 order.
+    pub rows: Vec<TestRow>,
+}
+
+impl SuiteResults {
+    /// Overall fraction of properties completely proven.
+    pub fn overall_proven_pct(&self) -> f64 {
+        let proven: usize = self.rows.iter().map(|r| r.proven).sum();
+        let total: usize = self.rows.iter().map(|r| r.total).sum();
+        100.0 * proven as f64 / total.max(1) as f64
+    }
+
+    /// Mean of the per-test proven percentages (the paper reports both).
+    pub fn mean_per_test_proven_pct(&self) -> f64 {
+        self.rows.iter().map(TestRow::proven_pct).sum::<f64>() / self.rows.len().max(1) as f64
+    }
+
+    /// Mean bound of bounded-only proofs, across the suite.
+    pub fn mean_bound(&self) -> Option<f64> {
+        let all: Vec<u32> =
+            self.rows.iter().flat_map(|r| r.bounded_depths.iter().copied()).collect();
+        if all.is_empty() {
+            None
+        } else {
+            Some(all.iter().map(|&d| f64::from(d)).sum::<f64>() / all.len() as f64)
+        }
+    }
+
+    /// Number of tests verified by the unreachable-assumption fast path.
+    pub fn num_by_assumptions(&self) -> usize {
+        self.rows.iter().filter(|r| r.by_assumptions).count()
+    }
+
+    /// Mean runtime-to-verification across the suite.
+    pub fn mean_runtime(&self) -> Duration {
+        let total: Duration = self.rows.iter().map(|r| r.runtime).sum();
+        total / self.rows.len().max(1) as u32
+    }
+
+    /// Total runtime across the suite (the paper's "total CPU time").
+    pub fn total_runtime(&self) -> Duration {
+        self.rows.iter().map(|r| r.runtime).sum()
+    }
+}
+
+/// Runs every suite test under `config` on the given memory implementation.
+pub fn run_suite(memory: MemoryImpl, config: &VerifyConfig) -> SuiteResults {
+    let tool = Rtlcheck::new(memory);
+    let rows = suite::all()
+        .iter()
+        .map(|t| TestRow::from_report(&tool.check_test(t, config)))
+        .collect();
+    SuiteResults { config: config.name.clone(), rows }
+}
+
+/// Renders an ASCII bar chart: one row per `(label, value)`, scaled to
+/// `width` columns, annotated with the formatted value.
+pub fn bar_chart(items: &[(String, f64)], width: usize, unit: &str) -> String {
+    let max = items.iter().map(|(_, v)| *v).fold(f64::EPSILON, f64::max);
+    let label_w = items.iter().map(|(l, _)| l.len()).max().unwrap_or(4);
+    let mut out = String::new();
+    for (label, value) in items {
+        let bar = "#".repeat(((value / max) * width as f64).round() as usize);
+        out.push_str(&format!("{label:label_w$} | {bar:width$} {value:.3}{unit}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(test: &str, proven: usize, total: usize, runtime_ms: u64) -> TestRow {
+        TestRow {
+            test: test.into(),
+            config: "T".into(),
+            runtime: Duration::from_millis(runtime_ms),
+            proven,
+            total,
+            by_assumptions: false,
+            bounded_depths: vec![],
+            violated: false,
+        }
+    }
+
+    #[test]
+    fn aggregates() {
+        let results = SuiteResults {
+            config: "T".into(),
+            rows: vec![row("a", 9, 10, 10), row("b", 5, 10, 30)],
+        };
+        assert!((results.overall_proven_pct() - 70.0).abs() < 1e-9);
+        assert!((results.mean_per_test_proven_pct() - 70.0).abs() < 1e-9);
+        assert_eq!(results.mean_runtime(), Duration::from_millis(20));
+        assert_eq!(results.total_runtime(), Duration::from_millis(40));
+        assert_eq!(results.mean_bound(), None);
+    }
+
+    #[test]
+    fn bar_chart_scales() {
+        let chart = bar_chart(&[("aa".into(), 1.0), ("b".into(), 2.0)], 10, "s");
+        assert!(chart.contains("aa | #####"), "{chart}");
+        assert!(chart.contains("b  | ##########"), "{chart}");
+    }
+
+    #[test]
+    fn rows_serialize_to_json() {
+        let r = row("mp", 24, 24, 5);
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(json.contains("\"test\":\"mp\""));
+        let back: TestRow = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.test, "mp");
+    }
+}

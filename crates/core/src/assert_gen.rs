@@ -1,0 +1,408 @@
+//! The outcome-aware Assertion Generator (paper §4.2–§4.4).
+//!
+//! Each grounded µspec axiom instance becomes one `assert property`
+//! directive. Three translation decisions — each motivated by a semantic
+//! mismatch described in §3 — are individually controllable through
+//! [`AssertionOptions`] so their necessity can be demonstrated (the
+//! repository's ablation tests and benches flip them one at a time):
+//!
+//! * **outcome-aware translation** (§3.2/§4.2, default *on*): axioms are
+//!   grounded symbolically, keeping every load-value branch, because an SVA
+//!   verifier explores partial executions of *all* outcomes of the test.
+//!   Turned off, axioms are first simplified under the litmus outcome (the
+//!   Check suite's omniscient evaluation) — which produces properties that
+//!   spuriously fail on correct designs.
+//! * **strict edge encoding** (§3.3/§4.3, default *on*): a µhb edge
+//!   `src → dst` becomes
+//!   `(~(src|dst))[*0:$] ##1 src ##1 (~(src|dst))[*0:$] ##1 dst`, with the
+//!   delay repetitions built from *value-agnostic* node maps. Turned off,
+//!   the standard `##[0:$] src ##[1:$] dst` unbounded ranges are used —
+//!   which let violating traces slip through (Figure 6).
+//! * **match-attempt filtering** (§3.4/§4.4, default *on*): every assertion
+//!   is guarded by `first |->`. Turned off, SVA's attempt-per-cycle
+//!   semantics make later attempts fail spuriously.
+
+use rtlcheck_litmus::LitmusTest;
+use rtlcheck_rtl::multi_vscale::MultiVscale;
+use rtlcheck_rtl::SignalId;
+use rtlcheck_sva::{Prop, Seq, SvaBool};
+use rtlcheck_uspec::ground::{
+    self, Conjunct, DataMode, GEdge, GNode, GroundedAxiom, LoadConstraint,
+};
+use rtlcheck_uspec::multi_vscale::WRITEBACK;
+use rtlcheck_uspec::{Spec, StageId};
+use rtlcheck_verif::{Directive, RtlAtom};
+
+use crate::mapping::{MultiVscaleMapping, NodeMapping};
+
+/// Translation switches (all `true` reproduces the paper's generator; each
+/// `false` reproduces one of §3's broken naive translations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AssertionOptions {
+    /// Ground axioms symbolically so assertions cover all test outcomes.
+    pub outcome_aware: bool,
+    /// Use the strict §4.3 edge encoding instead of unbounded ranges.
+    pub strict_edges: bool,
+    /// Guard assertions with `first |->`.
+    pub first_guard: bool,
+}
+
+impl Default for AssertionOptions {
+    fn default() -> Self {
+        AssertionOptions { outcome_aware: true, strict_edges: true, first_guard: true }
+    }
+}
+
+impl AssertionOptions {
+    /// The paper's generator.
+    pub fn paper() -> Self {
+        Self::default()
+    }
+
+    /// §3.2's naive translation: simplify under the litmus outcome first.
+    pub fn naive_outcome() -> Self {
+        AssertionOptions { outcome_aware: false, ..Self::default() }
+    }
+
+    /// §3.3's naive translation: standard unbounded delay ranges.
+    pub fn naive_edges() -> Self {
+        AssertionOptions { strict_edges: false, ..Self::default() }
+    }
+
+    /// §3.4's naive translation: no match-attempt filtering.
+    pub fn unguarded() -> Self {
+        AssertionOptions { first_guard: false, ..Self::default() }
+    }
+}
+
+/// One generated assertion with its provenance.
+#[derive(Debug, Clone)]
+pub struct GeneratedAssertion {
+    /// Originating axiom name.
+    pub axiom: String,
+    /// Variable binding (e.g. `"a1 = i1, a2 = i2"`).
+    pub instance: String,
+    /// The directive handed to the verifier.
+    pub directive: Directive,
+}
+
+/// Generates the per-test assertions for `test` on the Multi-V-scale
+/// design, one per grounded axiom instance.
+///
+/// # Errors
+///
+/// Propagates [`ground::GroundError`] from grounding (e.g. a µspec feature
+/// outside the synthesizable subset).
+pub fn generate(
+    spec: &Spec,
+    mv: &MultiVscale,
+    test: &LitmusTest,
+    options: AssertionOptions,
+) -> Result<Vec<GeneratedAssertion>, ground::GroundError> {
+    let mapping = MultiVscaleMapping::new(mv, test);
+    generate_with(spec, &mapping, mv.first, test, options)
+}
+
+/// Generates assertions against an arbitrary design through its
+/// [`NodeMapping`] — the generator itself is microarchitecture-agnostic
+/// (the paper's generality claim: "applies generally to an arbitrary
+/// Verilog design"). `first` is the design's first-post-reset signal used
+/// for match-attempt filtering (§4.4).
+///
+/// # Errors
+///
+/// Propagates [`ground::GroundError`] from grounding.
+pub fn generate_with(
+    spec: &Spec,
+    mapping: &dyn NodeMapping,
+    first: SignalId,
+    test: &LitmusTest,
+    options: AssertionOptions,
+) -> Result<Vec<GeneratedAssertion>, ground::GroundError> {
+    let mode = if options.outcome_aware { DataMode::Symbolic } else { DataMode::Outcome };
+    let grounded = ground::ground(spec, test, mode)?;
+    let first = SvaBool::atom(RtlAtom::is_true(first));
+    Ok(grounded
+        .iter()
+        .map(|g| {
+            let body = translate_formula(g, mapping, test, options);
+            let prop = if options.first_guard {
+                Prop::implies(first.clone(), body)
+            } else {
+                body
+            };
+            GeneratedAssertion {
+                axiom: g.axiom.clone(),
+                instance: g.instance.clone(),
+                directive: Directive::assert(format!("{}[{}]", g.axiom, g.instance), prop),
+            }
+        })
+        .collect())
+}
+
+/// Translates one grounded instance: DNF over the formula, one property
+/// disjunct per satisfiable conjunct.
+fn translate_formula(
+    g: &GroundedAxiom,
+    mapping: &dyn NodeMapping,
+    test: &LitmusTest,
+    options: AssertionOptions,
+) -> Prop<RtlAtom> {
+    let mut branches = Vec::new();
+    for conjunct in g.formula.to_dnf() {
+        let conjunct = if options.outcome_aware {
+            conjunct
+        } else {
+            // Naive translation: attach the outcome's load values as
+            // constraints after outcome-mode simplification (§3.2/§3.3's
+            // `Ld x=0 @WB` nodes).
+            attach_outcome_constraints(conjunct, test)
+        };
+        if conjunct.has_contradictory_constraints() {
+            continue; // unsatisfiable branch
+        }
+        branches.push(translate_conjunct(&conjunct, mapping, options));
+    }
+    if branches.is_empty() {
+        // The instance is unsatisfiable: no execution can satisfy the
+        // axiom, so the assertion must fail whenever an execution exists.
+        // Encode as a property that fails immediately.
+        return Prop::seq(Seq::boolean(SvaBool::Const(false)));
+    }
+    Prop::any(branches)
+}
+
+fn attach_outcome_constraints(mut conjunct: Conjunct, test: &LitmusTest) -> Conjunct {
+    let mentioned: Vec<GNode> = conjunct
+        .edges
+        .iter()
+        .flat_map(|e| [e.src, e.dst])
+        .chain(conjunct.nodes.iter().copied())
+        .collect();
+    for node in mentioned {
+        let instr = test.instr(node.instr);
+        if instr.is_load() && node.stage == StageId(WRITEBACK) {
+            if let Some(v) = test.expected_load_value(&instr) {
+                let c = LoadConstraint { load: node.instr, value: v };
+                if !conjunct.constraints.contains(&c) {
+                    conjunct.constraints.push(c);
+                }
+            }
+        }
+    }
+    conjunct
+}
+
+/// Translates one conjunct: the conjunction of its edge sequences, node
+/// existence sequences, never-node properties, and (for loads not otherwise
+/// mentioned) value-pinned WB existence sequences.
+fn translate_conjunct(
+    conjunct: &Conjunct,
+    mapping: &dyn NodeMapping,
+    options: AssertionOptions,
+) -> Prop<RtlAtom> {
+    let lc = |node: GNode| -> Option<rtlcheck_litmus::Val> {
+        conjunct
+            .constraints
+            .iter()
+            .find(|c| c.load == node.instr && node.stage == StageId(WRITEBACK))
+            .map(|c| c.value)
+    };
+    let mut parts: Vec<Prop<RtlAtom>> = Vec::new();
+    let mut covered_loads: Vec<rtlcheck_litmus::InstrUid> = Vec::new();
+    for &edge in &conjunct.edges {
+        parts.push(Prop::seq(edge_sequence(edge, mapping, &lc, options)));
+        for node in [edge.src, edge.dst] {
+            if lc(node).is_some() {
+                covered_loads.push(node.instr);
+            }
+        }
+    }
+    for &node in &conjunct.nodes {
+        parts.push(Prop::seq(node_sequence(node, mapping, lc(node))));
+        if lc(node).is_some() {
+            covered_loads.push(node.instr);
+        }
+    }
+    for &node in &conjunct.never_nodes {
+        parts.push(Prop::Never(mapping.map_node(node, None)));
+    }
+    // Load-value constraints whose load is mentioned by no edge or node
+    // still constrain the branch: encode as the existence of the load's WB
+    // with that value.
+    for c in &conjunct.constraints {
+        if !covered_loads.contains(&c.load) {
+            let wb = GNode { instr: c.load, stage: StageId(WRITEBACK) };
+            parts.push(Prop::seq(node_sequence(wb, mapping, Some(c.value))));
+            covered_loads.push(c.load);
+        }
+    }
+    if parts.is_empty() {
+        // A satisfiable conjunct with no atoms (e.g. `True` branches of an
+        // implication) holds trivially.
+        return Prop::seq(Seq::boolean(SvaBool::Const(true)));
+    }
+    Prop::all(parts)
+}
+
+/// §4.3's edge mapping:
+///
+/// ```text
+/// (~(map(src,None) || map(dst,None))) [*0:$]
+/// ##1 map(src, lc) ##1
+/// (~(map(src,None) || map(dst,None))) [*0:$]
+/// ##1 map(dst, lc)
+/// ```
+///
+/// With `strict_edges` off, the naive `##[0:$] src ##[1:$] dst` unbounded
+/// ranges are produced instead (the encoding §3.3 shows to be unsound).
+fn edge_sequence(
+    edge: GEdge,
+    mapping: &dyn NodeMapping,
+    lc: &dyn Fn(GNode) -> Option<rtlcheck_litmus::Val>,
+    options: AssertionOptions,
+) -> Seq<RtlAtom> {
+    let src = mapping.map_node(edge.src, lc(edge.src));
+    let dst = mapping.map_node(edge.dst, lc(edge.dst));
+    if options.strict_edges {
+        let quiet = || {
+            SvaBool::not(SvaBool::or(
+                mapping.map_node(edge.src, None),
+                mapping.map_node(edge.dst, None),
+            ))
+        };
+        Seq::chain(vec![
+            Seq::repeat(Seq::boolean(quiet()), 0, None),
+            Seq::boolean(src),
+            Seq::repeat(Seq::boolean(quiet()), 0, None),
+            Seq::boolean(dst),
+        ])
+    } else {
+        Seq::delay(0, None, Seq::then(Seq::boolean(src), Seq::delay(0, None, Seq::boolean(dst))))
+    }
+}
+
+/// §4.3's node-existence mapping:
+/// `(~map(node,None))[*0:$] ##1 map(node, lc)`.
+fn node_sequence(
+    node: GNode,
+    mapping: &dyn NodeMapping,
+    lc: Option<rtlcheck_litmus::Val>,
+) -> Seq<RtlAtom> {
+    let quiet = SvaBool::not(mapping.map_node(node, None));
+    Seq::then(
+        Seq::repeat(Seq::boolean(quiet), 0, None),
+        Seq::boolean(mapping.map_node(node, lc)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtlcheck_litmus::suite;
+    use rtlcheck_rtl::multi_vscale::MemoryImpl;
+    use rtlcheck_sva::emit::assert_directive;
+    use rtlcheck_uspec::multi_vscale as mv_spec;
+
+    fn generate_mp(options: AssertionOptions) -> (MultiVscale, Vec<GeneratedAssertion>) {
+        let test = suite::get("mp").unwrap();
+        let mv = MultiVscale::build(&test, MemoryImpl::Fixed);
+        let spec = mv_spec::spec();
+        let asserts = generate(&spec, &mv, &test, options).unwrap();
+        (mv, asserts)
+    }
+
+    #[test]
+    fn generates_assertions_for_every_axiom_family() {
+        let (_, asserts) = generate_mp(AssertionOptions::paper());
+        let axioms: std::collections::BTreeSet<&str> =
+            asserts.iter().map(|a| a.axiom.as_str()).collect();
+        for expected in
+            ["Instr_Path", "PO_Fetch", "DX_FIFO", "WB_FIFO", "DX_Total_Order", "Read_Values"]
+        {
+            assert!(axioms.contains(expected), "missing {expected}: {axioms:?}");
+        }
+    }
+
+    /// The generated Read_Values assertion for mp's load of x must mention
+    /// BOTH load values (0 and 1): the outcome-aware requirement of §4.2.
+    #[test]
+    fn read_values_assertion_is_outcome_aware() {
+        let (mv, asserts) = generate_mp(AssertionOptions::paper());
+        let a = asserts
+            .iter()
+            .find(|a| a.axiom == "Read_Values" && a.instance.contains("i = i4"))
+            .expect("Read_Values instance for the load of x");
+        let text = assert_directive(&a.directive.prop, &|at| at.render(&mv.design));
+        assert!(text.contains("core1_load_data_WB == 32'd0"), "{text}");
+        assert!(text.contains("core1_load_data_WB == 32'd1"), "{text}");
+    }
+
+    /// The naive outcome translation keeps only the outcome's branch.
+    #[test]
+    fn naive_outcome_translation_keeps_one_branch() {
+        let (mv, asserts) = generate_mp(AssertionOptions::naive_outcome());
+        let a = asserts
+            .iter()
+            .find(|a| a.axiom == "Read_Values" && a.instance.contains("i = i4"))
+            .expect("Read_Values instance for the load of x");
+        let text = assert_directive(&a.directive.prop, &|at| at.render(&mv.design));
+        assert!(text.contains("core1_load_data_WB == 32'd0"), "{text}");
+        assert!(
+            !text.contains("core1_load_data_WB == 32'd1"),
+            "naive translation must not cover the other outcome: {text}"
+        );
+    }
+
+    /// Figure 10's shape: strict delays built from value-agnostic node maps,
+    /// guarded by `first |->`.
+    #[test]
+    fn strict_edges_render_like_figure_10() {
+        let (mv, asserts) = generate_mp(AssertionOptions::paper());
+        let a = asserts
+            .iter()
+            .find(|a| a.axiom == "WB_FIFO")
+            .expect("a WB_FIFO assertion");
+        let text = assert_directive(&a.directive.prop, &|at| at.render(&mv.design));
+        assert!(text.contains("first == 1'd1 |->"), "{text}");
+        assert!(text.contains("[*0:$]"), "{text}");
+        assert!(text.contains("(~("), "{text}");
+    }
+
+    #[test]
+    fn naive_edges_use_unbounded_ranges() {
+        let (mv, asserts) = generate_mp(AssertionOptions::naive_edges());
+        let a = asserts.iter().find(|a| a.axiom == "WB_FIFO").unwrap();
+        let text = assert_directive(&a.directive.prop, &|at| at.render(&mv.design));
+        assert!(text.contains("(1) [*0:$]"), "naive delays are unconstrained: {text}");
+    }
+
+    #[test]
+    fn unguarded_assertions_lack_first() {
+        let (mv, asserts) = generate_mp(AssertionOptions::unguarded());
+        for a in &asserts {
+            let text = assert_directive(&a.directive.prop, &|at| at.render(&mv.design));
+            assert!(!text.contains("first == "), "{text}");
+        }
+    }
+
+    #[test]
+    fn generates_for_the_whole_suite() {
+        let spec = mv_spec::spec();
+        for test in suite::all() {
+            let mv = MultiVscale::build(&test, MemoryImpl::Fixed);
+            let asserts = generate(&spec, &mv, &test, AssertionOptions::paper())
+                .unwrap_or_else(|e| panic!("{}: {e}", test.name()));
+            assert!(!asserts.is_empty(), "{} generated no assertions", test.name());
+        }
+    }
+
+    #[test]
+    fn assertion_names_carry_provenance() {
+        let (_, asserts) = generate_mp(AssertionOptions::paper());
+        for a in &asserts {
+            assert!(a.directive.name.starts_with(&a.axiom), "{}", a.directive.name);
+            assert!(a.directive.name.contains(&a.instance), "{}", a.directive.name);
+        }
+    }
+}

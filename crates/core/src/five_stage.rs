@@ -1,0 +1,238 @@
+//! RTLCheck instantiated for the Multi-Five-Stage processor.
+//!
+//! This module is the second user of the microarchitecture-agnostic
+//! generators (the paper's "arbitrary Verilog design" claim): its own node
+//! mapping function (Figure 9's role, for a five-stage pipeline whose
+//! memory access and load data live in the **Memory** stage), its own
+//! program mapping / assumption generation, and a small driver mirroring
+//! [`crate::Rtlcheck::check_test`].
+
+use std::time::Instant;
+
+use rtlcheck_litmus::{CondClause, LitmusTest, Val};
+use rtlcheck_rtl::five_stage::FiveStage;
+use rtlcheck_rtl::isa;
+use rtlcheck_sva::{Prop, Seq, SvaBool};
+use rtlcheck_uspec::five_stage as fs_spec;
+use rtlcheck_uspec::ground::GNode;
+use rtlcheck_verif::{
+    check_cover, verify_property, CoverVerdict, Directive, Problem, RtlAtom, VerifyConfig,
+};
+
+use crate::assert_gen::{self, AssertionOptions};
+use crate::assume::GeneratedAssumptions;
+use crate::mapping::{NodeMapping, RtlBool};
+use crate::report::{CoverOutcome, PropertyReport, TestReport};
+
+/// The node mapping for Multi-Five-Stage.
+///
+/// Fetch through Execute are PC-equality events qualified by the
+/// whole-pipeline stall; the Memory stage additionally requires the grant
+/// (via `~stall`) and carries load-value constraints on `load_data_MEM`;
+/// Writeback is the retire cycle.
+#[derive(Debug, Clone, Copy)]
+pub struct FiveStageMapping<'a> {
+    /// Design handles.
+    pub fs: &'a FiveStage,
+    /// The litmus test providing placement context.
+    pub test: &'a LitmusTest,
+}
+
+impl NodeMapping for FiveStageMapping<'_> {
+    fn map_node(&self, node: GNode, constraint: Option<Val>) -> RtlBool {
+        let instr = self.test.instr(node.instr);
+        let pc = isa::pc_of(instr.core.0, instr.index);
+        let core = &self.fs.cores[instr.core.0];
+        let not_stalled = SvaBool::atom(RtlAtom::eq(core.stall, 0));
+        let at = |sig| SvaBool::and(SvaBool::atom(RtlAtom::eq(sig, pc)), not_stalled.clone());
+        match node.stage.0 {
+            fs_spec::FETCH => at(core.pc_if),
+            fs_spec::DECODE => at(core.pc_id),
+            fs_spec::EXECUTE => at(core.pc_ex),
+            fs_spec::MEMORY => {
+                let mut expr = at(core.pc_mem);
+                if let Some(v) = constraint {
+                    debug_assert!(instr.is_load(), "value constraints only apply to loads");
+                    expr = SvaBool::and(
+                        expr,
+                        SvaBool::atom(RtlAtom::eq(core.load_data_mem, u64::from(v.0))),
+                    );
+                }
+                expr
+            }
+            fs_spec::WRITEBACK => SvaBool::atom(RtlAtom::eq(core.pc_wb, pc)),
+            other => panic!("Multi-Five-Stage has no stage {other}"),
+        }
+    }
+}
+
+/// The Assumption Generator for Multi-Five-Stage (§4.1, retargeted):
+/// memory/instruction initialisation, load values at the Memory stage, and
+/// the final-value assumption over the halt flags.
+pub fn generate_assumptions(fs: &FiveStage, test: &LitmusTest) -> GeneratedAssumptions {
+    let mapping = FiveStageMapping { fs, test };
+    let mut directives = Vec::new();
+    let mut init_pins = Vec::new();
+    let first = SvaBool::atom(RtlAtom::is_true(fs.first));
+
+    for (loc_idx, &mem_sig) in fs.mem.iter().enumerate() {
+        let value = if loc_idx < test.num_locations() {
+            u64::from(test.initial_value(rtlcheck_litmus::Loc(loc_idx)).0)
+        } else {
+            0
+        };
+        directives.push(Directive::assume(
+            format!("init_mem_{loc_idx}"),
+            Prop::implies(
+                first.clone(),
+                Prop::seq(Seq::boolean(SvaBool::atom(RtlAtom::eq(mem_sig, value)))),
+            ),
+        ));
+        init_pins.push((mem_sig, value));
+    }
+    for (c, slots) in fs.imem.iter().enumerate() {
+        for (s, &imem_sig) in slots.iter().enumerate() {
+            let packed = fs.programs[c][s].packed();
+            directives.push(Directive::assume(
+                format!("init_imem_c{c}_s{s}"),
+                Prop::implies(
+                    first.clone(),
+                    Prop::seq(Seq::boolean(SvaBool::atom(RtlAtom::eq(imem_sig, packed)))),
+                ),
+            ));
+        }
+    }
+    for instr in test.instructions().filter(|i| i.is_load()) {
+        if let Some(v) = test.expected_load_value(&instr) {
+            let mem_node = GNode {
+                instr: instr.uid,
+                stage: rtlcheck_uspec::StageId(fs_spec::MEMORY),
+            };
+            let antecedent = mapping.map_node(mem_node, None);
+            let consequent = mapping.map_node(mem_node, Some(v));
+            directives.push(Directive::assume(
+                format!("value_{}", instr.uid),
+                Prop::implies(antecedent, Prop::seq(Seq::boolean(consequent))),
+            ));
+        }
+    }
+    let all_halted = SvaBool::all(
+        fs.cores.iter().map(|c| SvaBool::atom(RtlAtom::is_true(c.halted))).collect(),
+    );
+    let final_values = SvaBool::all(
+        test.condition()
+            .clauses()
+            .iter()
+            .filter_map(|clause| match *clause {
+                CondClause::MemEq { loc, val } => {
+                    Some(SvaBool::atom(RtlAtom::eq(fs.mem[loc.0], u64::from(val.0))))
+                }
+                CondClause::RegEq { .. } => None,
+            })
+            .collect(),
+    );
+    directives.push(Directive::assume(
+        "final_values",
+        Prop::implies(all_halted.clone(), Prop::seq(Seq::boolean(final_values.clone()))),
+    ));
+    let cover = SvaBool::and(all_halted, final_values);
+
+    GeneratedAssumptions { directives, init_pins, cover }
+}
+
+/// Runs the full RTLCheck flow on one litmus test against Multi-Five-Stage.
+///
+/// # Panics
+///
+/// Panics if the test does not fit the design.
+pub fn check_test(test: &LitmusTest, config: &VerifyConfig) -> TestReport {
+    let fs = FiveStage::build(test);
+    let spec = fs_spec::spec();
+    let mapping = FiveStageMapping { fs: &fs, test };
+    let assumptions = generate_assumptions(&fs, test);
+    let assertions = assert_gen::generate_with(
+        &spec,
+        &mapping,
+        fs.first,
+        test,
+        AssertionOptions::paper(),
+    )
+    .expect("Multi-Five-Stage µspec is synthesizable");
+
+    let mut problem = Problem::new(&fs.design);
+    problem.init_pins = assumptions.init_pins.clone();
+    problem.assumptions = assumptions.directives.clone();
+    problem.cover = Some(assumptions.cover.clone());
+
+    let start = Instant::now();
+    let cover_verdict = check_cover(&problem, config.cover_engine());
+    let cover_elapsed = start.elapsed();
+    let vacuous = cover_verdict.stats().vacuous();
+    let cover = match cover_verdict {
+        CoverVerdict::Unreachable(_) => CoverOutcome::VerifiedUnreachable,
+        CoverVerdict::Covered(trace, _) => CoverOutcome::BugWitness(Box::new(trace)),
+        CoverVerdict::Unknown(_) => CoverOutcome::Inconclusive,
+    };
+
+    let mut properties = Vec::with_capacity(assertions.len());
+    for a in &assertions {
+        let start = Instant::now();
+        let verdict = verify_property(&problem, &a.directive.prop, config);
+        properties.push(PropertyReport {
+            name: a.directive.name.clone(),
+            axiom: a.axiom.clone(),
+            verdict,
+            elapsed: start.elapsed(),
+        });
+    }
+
+    TestReport {
+        test: test.name().to_string(),
+        config: config.name.clone(),
+        cover,
+        cover_elapsed,
+        properties,
+        vacuous,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtlcheck_litmus::suite;
+    use rtlcheck_sva::emit::bool_to_sva;
+    use rtlcheck_uspec::StageId;
+
+    #[test]
+    fn memory_node_maps_with_load_constraint() {
+        let mp = suite::get("mp").unwrap();
+        let fs = FiveStage::build(&mp);
+        let m = FiveStageMapping { fs: &fs, test: &mp };
+        let node = GNode { instr: rtlcheck_litmus::InstrUid(3), stage: StageId(fs_spec::MEMORY) };
+        let text = bool_to_sva(&m.map_node(node, Some(Val(0))), &|a| a.render(&fs.design));
+        assert!(text.contains("core1_PC_MEM == 32'd68"), "{text}");
+        assert!(text.contains("core1_stall_MEM == 1'd0"), "{text}");
+        assert!(text.contains("core1_load_data_MEM == 32'd0"), "{text}");
+    }
+
+    #[test]
+    fn mp_verifies_end_to_end() {
+        let mp = suite::get("mp").unwrap();
+        let report = check_test(&mp, &VerifyConfig::quick());
+        assert!(report.verified(), "{report}");
+        assert!(report.verified_by_assumptions());
+        assert!(!report.vacuous);
+    }
+
+    #[test]
+    fn sb_verifies_end_to_end() {
+        let sb = suite::get("sb").unwrap();
+        let report = check_test(&sb, &VerifyConfig::quick());
+        assert!(report.verified(), "{report}");
+        assert_eq!(
+            report.properties.iter().filter(|p| p.verdict.is_falsified()).count(),
+            0,
+            "{report}"
+        );
+    }
+}

@@ -1,0 +1,236 @@
+//! Per-test verification reports.
+
+use std::fmt;
+use std::time::Duration;
+
+use rtlcheck_rtl::waveform::Trace;
+use rtlcheck_verif::PropertyVerdict;
+
+/// Outcome of the covering-trace phase (§4.1's assumption-only fast path).
+#[derive(Debug, Clone)]
+pub enum CoverOutcome {
+    /// The outcome's covering condition is unreachable: the test is
+    /// verified without checking assertions.
+    VerifiedUnreachable,
+    /// An admissible execution of the complete (forbidden) outcome exists:
+    /// the design violates the test.
+    BugWitness(Box<Trace>),
+    /// The cover budget ran out; assertion proofs decide the test.
+    Inconclusive,
+}
+
+/// The verification result of one generated property.
+#[derive(Debug, Clone)]
+pub struct PropertyReport {
+    /// Property name (`Axiom[instance]`).
+    pub name: String,
+    /// Originating axiom.
+    pub axiom: String,
+    /// The verifier's verdict.
+    pub verdict: PropertyVerdict,
+    /// Wall-clock time spent on this property.
+    pub elapsed: Duration,
+}
+
+/// The full report for one litmus test under one configuration.
+#[derive(Debug, Clone)]
+pub struct TestReport {
+    /// Litmus test name.
+    pub test: String,
+    /// Configuration name (e.g. `"Hybrid"`).
+    pub config: String,
+    /// Covering-trace phase outcome.
+    pub cover: CoverOutcome,
+    /// Time spent in the covering-trace phase.
+    pub cover_elapsed: Duration,
+    /// Per-property results (empty if assertions were skipped).
+    pub properties: Vec<PropertyReport>,
+    /// Whether the assumption set was contradictory (vacuous verification —
+    /// reported rather than silently "proving" everything).
+    pub vacuous: bool,
+}
+
+impl TestReport {
+    /// Whether the test verified: no bug witness and no falsified property.
+    pub fn verified(&self) -> bool {
+        !self.vacuous && !self.bug_found()
+    }
+
+    /// Whether a consistency violation was found (by covering trace or by
+    /// an assertion counterexample).
+    pub fn bug_found(&self) -> bool {
+        matches!(self.cover, CoverOutcome::BugWitness(_))
+            || self.properties.iter().any(|p| p.verdict.is_falsified())
+    }
+
+    /// Whether the test verified through the unreachable-assumption fast
+    /// path alone.
+    pub fn verified_by_assumptions(&self) -> bool {
+        matches!(self.cover, CoverOutcome::VerifiedUnreachable)
+    }
+
+    /// Number of properties with complete proofs.
+    pub fn num_proven(&self) -> usize {
+        self.properties.iter().filter(|p| p.verdict.is_proven()).count()
+    }
+
+    /// Fraction of properties completely proven (1.0 when there are none).
+    pub fn proven_fraction(&self) -> f64 {
+        if self.properties.is_empty() {
+            return 1.0;
+        }
+        self.num_proven() as f64 / self.properties.len() as f64
+    }
+
+    /// Cycle bounds of the bounded-only proofs.
+    pub fn bounded_depths(&self) -> Vec<u32> {
+        self.properties
+            .iter()
+            .filter_map(|p| match p.verdict {
+                PropertyVerdict::Bounded { depth, .. } => Some(depth),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Mean bound of bounded-only proofs, if any.
+    pub fn average_bound(&self) -> Option<f64> {
+        let depths = self.bounded_depths();
+        if depths.is_empty() {
+            None
+        } else {
+            Some(depths.iter().map(|&d| f64::from(d)).sum::<f64>() / depths.len() as f64)
+        }
+    }
+
+    /// Runtime-to-verification (paper Figure 13): for tests verified by
+    /// unreachable assumptions, the cover-phase time alone; otherwise cover
+    /// plus all property runtimes.
+    pub fn runtime_to_verification(&self) -> Duration {
+        if self.verified_by_assumptions() {
+            self.cover_elapsed
+        } else {
+            self.cover_elapsed + self.properties.iter().map(|p| p.elapsed).sum::<Duration>()
+        }
+    }
+
+    /// The first counterexample trace, if any property was falsified.
+    pub fn first_counterexample(&self) -> Option<(&str, &Trace)> {
+        self.properties.iter().find_map(|p| match &p.verdict {
+            PropertyVerdict::Falsified { trace, .. } => Some((p.name.as_str(), trace.as_ref())),
+            _ => None,
+        })
+    }
+}
+
+impl fmt::Display for TestReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "test {} [{}]", self.test, self.config)?;
+        match &self.cover {
+            CoverOutcome::VerifiedUnreachable => {
+                writeln!(f, "  cover: outcome unreachable — verified by assumptions alone")?
+            }
+            CoverOutcome::BugWitness(t) => {
+                writeln!(f, "  cover: OUTCOME OBSERVABLE in {} cycles — bug witness found", t.len())?
+            }
+            CoverOutcome::Inconclusive => writeln!(f, "  cover: inconclusive (budget)")?,
+        }
+        if self.vacuous {
+            writeln!(f, "  WARNING: contradictory assumptions — vacuous verification")?;
+        }
+        if !self.properties.is_empty() {
+            writeln!(
+                f,
+                "  properties: {}/{} proven ({:.0}%), {} bounded, {} falsified",
+                self.num_proven(),
+                self.properties.len(),
+                100.0 * self.proven_fraction(),
+                self.bounded_depths().len(),
+                self.properties.iter().filter(|p| p.verdict.is_falsified()).count(),
+            )?;
+        }
+        write!(
+            f,
+            "  verdict: {}",
+            if self.bug_found() {
+                "VIOLATION"
+            } else if self.verified() {
+                "verified"
+            } else {
+                "inconclusive"
+            }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtlcheck_verif::ExploreStats;
+
+    fn prop(name: &str, verdict: PropertyVerdict) -> PropertyReport {
+        PropertyReport {
+            name: name.into(),
+            axiom: name.split('[').next().unwrap_or(name).into(),
+            verdict,
+            elapsed: Duration::from_millis(10),
+        }
+    }
+
+    fn stats() -> ExploreStats {
+        ExploreStats { transitions: 1, ..ExploreStats::default() }
+    }
+
+    #[test]
+    fn fractions_and_bounds() {
+        let report = TestReport {
+            test: "t".into(),
+            config: "Quick".into(),
+            cover: CoverOutcome::Inconclusive,
+            cover_elapsed: Duration::from_millis(5),
+            properties: vec![
+                prop("A[1]", PropertyVerdict::Proven { stats: stats() }),
+                prop("B[1]", PropertyVerdict::Bounded { depth: 20, stats: stats() }),
+                prop("B[2]", PropertyVerdict::Bounded { depth: 40, stats: stats() }),
+                prop("C[1]", PropertyVerdict::Proven { stats: stats() }),
+            ],
+            vacuous: false,
+        };
+        assert!(report.verified());
+        assert_eq!(report.num_proven(), 2);
+        assert!((report.proven_fraction() - 0.5).abs() < 1e-9);
+        assert_eq!(report.average_bound(), Some(30.0));
+        assert_eq!(report.runtime_to_verification(), Duration::from_millis(45));
+        let text = report.to_string();
+        assert!(text.contains("2/4 proven"), "{text}");
+        assert!(text.contains("verified"), "{text}");
+    }
+
+    #[test]
+    fn assumption_fast_path_runtime() {
+        let report = TestReport {
+            test: "mp".into(),
+            config: "Hybrid".into(),
+            cover: CoverOutcome::VerifiedUnreachable,
+            cover_elapsed: Duration::from_millis(7),
+            properties: vec![prop("A[1]", PropertyVerdict::Proven { stats: stats() })],
+            vacuous: false,
+        };
+        assert!(report.verified_by_assumptions());
+        assert_eq!(report.runtime_to_verification(), Duration::from_millis(7));
+    }
+
+    #[test]
+    fn vacuous_reports_are_not_verified() {
+        let report = TestReport {
+            test: "t".into(),
+            config: "Quick".into(),
+            cover: CoverOutcome::VerifiedUnreachable,
+            cover_elapsed: Duration::ZERO,
+            properties: vec![],
+            vacuous: true,
+        };
+        assert!(!report.verified());
+        assert!(report.to_string().contains("vacuous"));
+    }
+}

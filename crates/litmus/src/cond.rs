@@ -1,0 +1,152 @@
+//! Outcome conditions for litmus tests.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{CoreId, Loc, Reg, Val};
+
+/// Whether the condition describes an outcome the model must *forbid* or one
+/// it must *permit*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CondKind {
+    /// The outcome must never be observable on a correct implementation.
+    Forbidden,
+    /// The outcome must be observable on at least one execution.
+    Permitted,
+}
+
+/// A single equality clause of an outcome condition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CondClause {
+    /// `core:reg = val` — the final value of a register (i.e. the value
+    /// returned by the unique load on `core` whose destination is `reg`).
+    RegEq {
+        /// Core owning the register.
+        core: CoreId,
+        /// Destination register of the load.
+        reg: Reg,
+        /// Required final value.
+        val: Val,
+    },
+    /// `loc = val` — the final value of a memory location once all threads
+    /// have completed.
+    MemEq {
+        /// The location constrained.
+        loc: Loc,
+        /// Required final value.
+        val: Val,
+    },
+}
+
+/// An outcome condition: a conjunction of equality clauses plus a
+/// forbidden/permitted marker.
+///
+/// Conditions are conjunctive, matching the `exists`/`forbidden` conditions
+/// used throughout the litmus-testing literature (and by the `diy` and
+/// `herd` tools).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Condition {
+    kind: CondKind,
+    clauses: Vec<CondClause>,
+}
+
+impl Condition {
+    /// Creates a condition from its kind and clauses.
+    pub fn new(kind: CondKind, clauses: Vec<CondClause>) -> Self {
+        Condition { kind, clauses }
+    }
+
+    /// Creates a forbidden-outcome condition.
+    pub fn forbid(clauses: Vec<CondClause>) -> Self {
+        Condition::new(CondKind::Forbidden, clauses)
+    }
+
+    /// Creates a permitted-outcome condition.
+    pub fn permit(clauses: Vec<CondClause>) -> Self {
+        Condition::new(CondKind::Permitted, clauses)
+    }
+
+    /// Whether the outcome is forbidden or permitted.
+    pub fn kind(&self) -> CondKind {
+        self.kind
+    }
+
+    /// The conjunction of equality clauses.
+    pub fn clauses(&self) -> &[CondClause] {
+        &self.clauses
+    }
+
+    /// Returns the required value of `(core, reg)` under this outcome, if the
+    /// condition constrains it.
+    pub fn reg_value(&self, core: CoreId, reg: Reg) -> Option<Val> {
+        self.clauses.iter().find_map(|c| match *c {
+            CondClause::RegEq { core: c, reg: r, val } if c == core && r == reg => Some(val),
+            _ => None,
+        })
+    }
+
+    /// Returns the required final value of `loc` under this outcome, if the
+    /// condition constrains it.
+    pub fn mem_value(&self, loc: Loc) -> Option<Val> {
+        self.clauses.iter().find_map(|c| match *c {
+            CondClause::MemEq { loc: l, val } if l == loc => Some(val),
+            _ => None,
+        })
+    }
+
+    /// Evaluates the conjunction against a concrete execution result.
+    ///
+    /// `reg_of` supplies the final value of each register named in the
+    /// condition; `mem_of` supplies the final value of each location. Both
+    /// should return the actual values observed in the execution.
+    pub fn eval(
+        &self,
+        mut reg_of: impl FnMut(CoreId, Reg) -> Val,
+        mut mem_of: impl FnMut(Loc) -> Val,
+    ) -> bool {
+        self.clauses.iter().all(|c| match *c {
+            CondClause::RegEq { core, reg, val } => reg_of(core, reg) == val,
+            CondClause::MemEq { loc, val } => mem_of(loc) == val,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Condition {
+        Condition::forbid(vec![
+            CondClause::RegEq { core: CoreId(1), reg: Reg(1), val: Val(1) },
+            CondClause::RegEq { core: CoreId(1), reg: Reg(2), val: Val(0) },
+            CondClause::MemEq { loc: Loc(0), val: Val(1) },
+        ])
+    }
+
+    #[test]
+    fn lookup_reg_and_mem() {
+        let c = sample();
+        assert_eq!(c.reg_value(CoreId(1), Reg(1)), Some(Val(1)));
+        assert_eq!(c.reg_value(CoreId(1), Reg(3)), None);
+        assert_eq!(c.reg_value(CoreId(0), Reg(1)), None);
+        assert_eq!(c.mem_value(Loc(0)), Some(Val(1)));
+        assert_eq!(c.mem_value(Loc(1)), None);
+    }
+
+    #[test]
+    fn eval_requires_all_clauses() {
+        let c = sample();
+        let all_match = c.eval(
+            |_, r| if r == Reg(1) { Val(1) } else { Val(0) },
+            |_| Val(1),
+        );
+        assert!(all_match);
+        let one_off = c.eval(|_, _| Val(1), |_| Val(1));
+        assert!(!one_off, "r2 = 1 violates the r2 = 0 clause");
+    }
+
+    #[test]
+    fn kind_accessors() {
+        assert_eq!(sample().kind(), CondKind::Forbidden);
+        assert_eq!(Condition::permit(vec![]).kind(), CondKind::Permitted);
+    }
+}

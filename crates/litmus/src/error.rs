@@ -1,0 +1,96 @@
+//! Error types for litmus test construction and parsing.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error raised while building or validating a [`crate::LitmusTest`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LitmusError {
+    /// A condition clause refers to a core that does not exist.
+    UnknownCore(usize),
+    /// A condition clause refers to a register never written by a load on
+    /// that core.
+    UnknownReg {
+        /// Core the clause refers to.
+        core: usize,
+        /// Register the clause refers to.
+        reg: u8,
+    },
+    /// Two loads on the same core write the same destination register, which
+    /// makes outcome conditions on that register ambiguous.
+    RegWrittenTwice {
+        /// Core on which the conflict occurs.
+        core: usize,
+        /// The doubly-written register.
+        reg: u8,
+    },
+    /// The test has no threads.
+    NoThreads,
+    /// A thread has no instructions.
+    EmptyThread(usize),
+    /// The same location name was declared twice in the initial state.
+    DuplicateLocation(String),
+}
+
+impl fmt::Display for LitmusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LitmusError::UnknownCore(c) => write!(f, "condition refers to unknown core {c}"),
+            LitmusError::UnknownReg { core, reg } => {
+                write!(f, "condition refers to register r{reg} never loaded on core {core}")
+            }
+            LitmusError::RegWrittenTwice { core, reg } => {
+                write!(f, "register r{reg} is written by two loads on core {core}")
+            }
+            LitmusError::NoThreads => write!(f, "litmus test has no threads"),
+            LitmusError::EmptyThread(c) => write!(f, "thread on core {c} has no instructions"),
+            LitmusError::DuplicateLocation(n) => {
+                write!(f, "location `{n}` declared twice in initial state")
+            }
+        }
+    }
+}
+
+impl Error for LitmusError {}
+
+/// An error raised while parsing the `.litmus` text format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseLitmusError {
+    /// 1-based line number at which the error was detected.
+    pub line: usize,
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl ParseLitmusError {
+    pub(crate) fn new(line: usize, message: impl Into<String>) -> Self {
+        ParseLitmusError { line, message: message.into() }
+    }
+}
+
+impl fmt::Display for ParseLitmusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseLitmusError {}
+
+impl From<LitmusError> for ParseLitmusError {
+    fn from(err: LitmusError) -> Self {
+        ParseLitmusError { line: 0, message: err.to_string() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_specific() {
+        let err = LitmusError::UnknownReg { core: 1, reg: 2 };
+        assert_eq!(err.to_string(), "condition refers to register r2 never loaded on core 1");
+        let perr = ParseLitmusError::new(3, "unexpected token `%`");
+        assert!(perr.to_string().contains("line 3"));
+    }
+}

@@ -1,0 +1,121 @@
+//! Fenced variants of the relaxation-exposing litmus tests.
+//!
+//! Under x86-TSO, an `mfence` between a store and a later load restores the
+//! ordering that store buffering relaxes. These tests are the fenced
+//! counterparts of the suite tests that are TSO-*observable* without
+//! fences; with the fences in place their outcomes are TSO-forbidden again
+//! (validated against [`crate::tso`] in this module's tests).
+
+use crate::test::LitmusTest;
+
+/// `(name, source)` for the fenced tests.
+pub const SOURCES: &[(&str, &str)] = &[
+    (
+        "sb+fences",
+        "test sb+fences\n{ x = 0; y = 0; }\n\
+         core 0 { st x, 1; fence; r1 = ld y; }\n\
+         core 1 { st y, 1; fence; r1 = ld x; }\n\
+         forbid ( 0:r1 = 0 /\\ 1:r1 = 0 )",
+    ),
+    (
+        "sb+fence-one-side",
+        // A single fence is NOT enough: the other core still reorders.
+        "test sb+fence-one-side\n{ x = 0; y = 0; }\n\
+         core 0 { st x, 1; fence; r1 = ld y; }\n\
+         core 1 { st y, 1; r1 = ld x; }\n\
+         forbid ( 0:r1 = 0 /\\ 1:r1 = 0 )",
+    ),
+    (
+        "amd3+fences",
+        "test amd3+fences\n{ x = 0; y = 0; }\n\
+         core 0 { st x, 1; fence; r1 = ld x; r2 = ld y; }\n\
+         core 1 { st y, 1; fence; r1 = ld y; r2 = ld x; }\n\
+         forbid ( 0:r1 = 1 /\\ 0:r2 = 0 /\\ 1:r1 = 1 /\\ 1:r2 = 0 )",
+    ),
+    (
+        "podwr001+fences",
+        "test podwr001+fences\n{ x = 0; y = 0; z = 0; }\n\
+         core 0 { st x, 1; fence; r1 = ld y; }\n\
+         core 1 { st y, 1; fence; r1 = ld z; }\n\
+         core 2 { st z, 1; fence; r1 = ld x; }\n\
+         forbid ( 0:r1 = 0 /\\ 1:r1 = 0 /\\ 2:r1 = 0 )",
+    ),
+];
+
+/// Names of the fenced tests.
+pub fn names() -> Vec<&'static str> {
+    SOURCES.iter().map(|(n, _)| *n).collect()
+}
+
+/// Parses and returns all fenced tests.
+///
+/// # Panics
+///
+/// Panics if a built-in test fails to parse (a bug; covered by tests).
+pub fn all() -> Vec<LitmusTest> {
+    SOURCES
+        .iter()
+        .map(|(name, src)| {
+            crate::parse(src).unwrap_or_else(|e| panic!("built-in test {name} is invalid: {e}"))
+        })
+        .collect()
+}
+
+/// Parses and returns the named fenced test, if it exists.
+pub fn get(name: &str) -> Option<LitmusTest> {
+    SOURCES.iter().find(|(n, _)| *n == name).map(|(n, src)| {
+        crate::parse(src).unwrap_or_else(|e| panic!("built-in test {n} is invalid: {e}"))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{sc, tso};
+
+    #[test]
+    fn all_fenced_tests_parse() {
+        assert_eq!(all().len(), SOURCES.len());
+    }
+
+    #[test]
+    fn fences_are_sc_noops() {
+        // Fences change nothing under SC: all fenced outcomes stay
+        // SC-forbidden, like their unfenced counterparts.
+        for t in all() {
+            assert!(!sc::observable(&t), "{}", t.name());
+        }
+    }
+
+    /// The headline fence result: full fencing restores the ordering —
+    /// the outcomes become TSO-forbidden — while a one-sided fence does
+    /// not (the classic x86 pitfall).
+    #[test]
+    fn full_fencing_forbids_under_tso_but_one_sided_does_not() {
+        for name in ["sb+fences", "amd3+fences", "podwr001+fences"] {
+            let t = get(name).unwrap();
+            assert!(!tso::observable(&t), "{name} must be TSO-forbidden");
+        }
+        let one_sided = get("sb+fence-one-side").unwrap();
+        assert!(
+            tso::observable(&one_sided),
+            "a single fence cannot forbid sb: the unfenced core still reorders"
+        );
+    }
+
+    #[test]
+    fn unfenced_counterparts_remain_observable() {
+        for name in ["sb", "amd3", "podwr001"] {
+            let t = crate::suite::get(name).unwrap();
+            assert!(tso::observable(&t), "{name} without fences is TSO-observable");
+        }
+    }
+
+    #[test]
+    fn fence_roundtrips_through_display_and_parse() {
+        for t in all() {
+            let reparsed = crate::parse(&t.to_string()).unwrap();
+            assert_eq!(t, reparsed);
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Textual rendering of litmus tests (inverse of [`crate::parse`]).
+
+use std::fmt;
+
+use crate::cond::{CondClause, CondKind};
+use crate::test::{LitmusTest, Op};
+
+impl fmt::Display for LitmusTest {
+    /// Renders the test in the same format accepted by [`crate::parse`], so
+    /// `parse(&test.to_string())` round-trips.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "test {}", self.name())?;
+        write!(f, "{{ ")?;
+        for (i, loc) in self.locations().iter().enumerate() {
+            write!(f, "{loc} = {}; ", self.initial_value(crate::Loc(i)))?;
+        }
+        writeln!(f, "}}")?;
+        for (c, thread) in self.threads().iter().enumerate() {
+            write!(f, "core {c} {{ ")?;
+            for op in thread {
+                match *op {
+                    Op::Store { loc, val } => {
+                        write!(f, "st {}, {val}; ", self.locations()[loc.0])?
+                    }
+                    Op::Load { dst, loc } => {
+                        write!(f, "{dst} = ld {}; ", self.locations()[loc.0])?
+                    }
+                    Op::Fence => write!(f, "fence; ")?,
+                }
+            }
+            writeln!(f, "}}")?;
+        }
+        let kw = match self.condition().kind() {
+            CondKind::Forbidden => "forbid",
+            CondKind::Permitted => "permit",
+        };
+        write!(f, "{kw} ( ")?;
+        for (i, clause) in self.condition().clauses().iter().enumerate() {
+            if i > 0 {
+                write!(f, " /\\ ")?;
+            }
+            match *clause {
+                CondClause::RegEq { core, reg, val } => write!(f, "{}:{reg} = {val}", core.0)?,
+                CondClause::MemEq { loc, val } => {
+                    write!(f, "{} = {val}", self.locations()[loc.0])?
+                }
+            }
+        }
+        write!(f, " )")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parse;
+
+    #[test]
+    fn display_round_trips_through_parse() {
+        let src = r#"
+            test mp
+            { x = 0; y = 0; }
+            core 0 { st x, 1; st y, 1; }
+            core 1 { r1 = ld y; r2 = ld x; }
+            forbid ( 1:r1 = 1 /\ 1:r2 = 0 )
+        "#;
+        let t = parse(src).unwrap();
+        let rendered = t.to_string();
+        let reparsed = parse(&rendered).unwrap();
+        assert_eq!(t, reparsed, "render:\n{rendered}");
+    }
+
+    #[test]
+    fn display_round_trips_mem_clauses() {
+        let src = "test t\n{ x = 0; }\ncore 0 { st x, 1; st x, 2; }\npermit ( x = 2 )";
+        let t = parse(src).unwrap();
+        assert_eq!(t, parse(&t.to_string()).unwrap());
+    }
+}

@@ -1,0 +1,100 @@
+//! Newtype identifiers shared across the litmus-test representation.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a hardware thread (core) in a litmus test.
+///
+/// Cores are numbered densely from zero in the order their threads appear in
+/// the test source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CoreId(pub usize);
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C{}", self.0)
+    }
+}
+
+/// A globally unique instruction identifier within a single [`crate::LitmusTest`].
+///
+/// Instructions are numbered densely in (core, program-order) order, i.e. all
+/// of core 0's instructions come first, then core 1's, and so on. This
+/// matches the `i1..iN` numbering convention used in the RTLCheck paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct InstrUid(pub usize);
+
+impl fmt::Display for InstrUid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "i{}", self.0 + 1)
+    }
+}
+
+/// A symbolic memory location (e.g. `x`, `y`).
+///
+/// The index refers into the owning test's location name table; physical
+/// addresses are assigned only when a test is mapped onto a concrete design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Loc(pub usize);
+
+impl fmt::Display for Loc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "loc{}", self.0)
+    }
+}
+
+/// An architectural register within one thread (e.g. `r1`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Reg(pub u8);
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A data value stored to or loaded from memory.
+///
+/// Litmus tests use tiny value domains (typically `{0, 1, 2}`), but the full
+/// 32-bit range of the modelled datapath is representable.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Val(pub u32);
+
+impl fmt::Display for Val {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for Val {
+    fn from(v: u32) -> Self {
+        Val(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(CoreId(2).to_string(), "C2");
+        assert_eq!(InstrUid(0).to_string(), "i1");
+        assert_eq!(Reg(3).to_string(), "r3");
+        assert_eq!(Val(7).to_string(), "7");
+    }
+
+    #[test]
+    fn val_from_u32() {
+        assert_eq!(Val::from(9), Val(9));
+    }
+
+    #[test]
+    fn ordering_is_by_index() {
+        assert!(InstrUid(0) < InstrUid(1));
+        assert!(CoreId(0) < CoreId(3));
+    }
+}

@@ -1,0 +1,53 @@
+//! Litmus tests for memory consistency verification.
+//!
+//! This crate provides the program-side inputs to the RTLCheck pipeline:
+//!
+//! * [`LitmusTest`] — a small multi-threaded program of loads and stores with
+//!   an initial memory state and an outcome [`Condition`] that is expected to
+//!   be *forbidden* or *permitted* by the consistency model under test.
+//! * [`parse`] — a parser for a compact `.litmus`-style text format.
+//! * [`suite`] — the 56-test suite used in the RTLCheck paper's evaluation
+//!   (Figure 13/14 test names).
+//! * [`diy`] — a `diy`-style generator that synthesises litmus tests from
+//!   *critical cycles* of relaxation edges.
+//! * [`sc`] — an operational sequential-consistency oracle used as ground
+//!   truth for outcome conditions.
+//!
+//! # Example
+//!
+//! ```
+//! use rtlcheck_litmus::{parse, sc};
+//!
+//! let mp = parse(r#"
+//!     test mp
+//!     { x = 0; y = 0; }
+//!     core 0 { st x, 1; st y, 1; }
+//!     core 1 { r1 = ld y; r2 = ld x; }
+//!     forbid ( 1:r1 = 1 /\ 1:r2 = 0 )
+//! "#).expect("mp parses");
+//! assert_eq!(mp.name(), "mp");
+//! // The forbidden outcome of mp is indeed unobservable under SC:
+//! assert!(!sc::observable(&mp));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod cond;
+mod error;
+mod fmt;
+mod ids;
+mod parser;
+mod test;
+
+pub mod diy;
+pub mod fenced;
+pub mod sc;
+pub mod suite;
+pub mod tso;
+
+pub use cond::{CondClause, CondKind, Condition};
+pub use error::{LitmusError, ParseLitmusError};
+pub use ids::{CoreId, InstrUid, Loc, Reg, Val};
+pub use parser::parse;
+pub use test::{InstrRef, LitmusTest, Op};

@@ -1,0 +1,582 @@
+//! The 56-litmus-test suite from the RTLCheck evaluation (Figures 13/14).
+//!
+//! The RTLCheck paper verified the fixed Multi-V-scale design against 56
+//! litmus tests: hand-written tests from the x86-TSO suite plus tests
+//! generated with the `diy` framework. The test *names* here are exactly the
+//! ones that label Figures 13 and 14 of the paper. Bodies for the classic
+//! tests (`mp`, `sb`, `lb`, `iriw`, `wrc`, `rwc`, `co-mp`, ...) are the
+//! canonical ones from the literature; bodies for the numbered `diy` families
+//! (`rfi*`, `safe*`, `podwr*`, `n*`) are faithful reconstructions of the
+//! relaxation shapes those families test (read-from-internal, safe-only
+//! cycles, program-order store→load), since the exact generated programs were
+//! not published. Every test's forbidden outcome is validated against the
+//! [`crate::sc`] oracle in this crate's test suite.
+//!
+//! All outcomes are `forbid` conditions under sequential consistency, which
+//! is the model the Multi-V-scale microarchitecture is specified to
+//! implement.
+
+use crate::test::LitmusTest;
+
+/// `(name, source)` for every test in the suite, in the order they appear in
+/// the paper's Figure 13.
+pub const SOURCES: &[(&str, &str)] = &[
+    (
+        "amd3",
+        "test amd3\n{ x = 0; y = 0; }\n\
+         core 0 { st x, 1; r1 = ld x; r2 = ld y; }\n\
+         core 1 { st y, 1; r1 = ld y; r2 = ld x; }\n\
+         forbid ( 0:r1 = 1 /\\ 0:r2 = 0 /\\ 1:r1 = 1 /\\ 1:r2 = 0 )",
+    ),
+    (
+        "co-iriw",
+        "test co-iriw\n{ x = 0; }\n\
+         core 0 { st x, 1; }\n\
+         core 1 { st x, 2; }\n\
+         core 2 { r1 = ld x; r2 = ld x; }\n\
+         core 3 { r1 = ld x; r2 = ld x; }\n\
+         forbid ( 2:r1 = 1 /\\ 2:r2 = 2 /\\ 3:r1 = 2 /\\ 3:r2 = 1 )",
+    ),
+    (
+        "co-mp",
+        "test co-mp\n{ x = 0; }\n\
+         core 0 { st x, 1; st x, 2; }\n\
+         core 1 { r1 = ld x; r2 = ld x; }\n\
+         forbid ( 1:r1 = 2 /\\ 1:r2 = 1 )",
+    ),
+    (
+        "iriw",
+        "test iriw\n{ x = 0; y = 0; }\n\
+         core 0 { st x, 1; }\n\
+         core 1 { st y, 1; }\n\
+         core 2 { r1 = ld x; r2 = ld y; }\n\
+         core 3 { r1 = ld y; r2 = ld x; }\n\
+         forbid ( 2:r1 = 1 /\\ 2:r2 = 0 /\\ 3:r1 = 1 /\\ 3:r2 = 0 )",
+    ),
+    (
+        "iwp23b",
+        "test iwp23b\n{ x = 0; y = 0; }\n\
+         core 0 { st x, 1; r1 = ld y; }\n\
+         core 1 { st y, 1; r1 = ld x; }\n\
+         forbid ( 0:r1 = 0 /\\ 1:r1 = 0 )",
+    ),
+    (
+        "iwp24",
+        "test iwp24\n{ x = 0; y = 0; }\n\
+         core 0 { st x, 1; r1 = ld x; }\n\
+         core 1 { st y, 1; r1 = ld y; }\n\
+         forbid ( 0:r1 = 0 /\\ 1:r1 = 0 )",
+    ),
+    (
+        "lb",
+        "test lb\n{ x = 0; y = 0; }\n\
+         core 0 { r1 = ld x; st y, 1; }\n\
+         core 1 { r1 = ld y; st x, 1; }\n\
+         forbid ( 0:r1 = 1 /\\ 1:r1 = 1 )",
+    ),
+    (
+        "mp+staleld",
+        "test mp+staleld\n{ x = 0; y = 0; }\n\
+         core 0 { st x, 1; st y, 1; }\n\
+         core 1 { r1 = ld y; r2 = ld x; r3 = ld x; }\n\
+         forbid ( 1:r1 = 1 /\\ 1:r2 = 1 /\\ 1:r3 = 0 )",
+    ),
+    (
+        "mp",
+        "test mp\n{ x = 0; y = 0; }\n\
+         core 0 { st x, 1; st y, 1; }\n\
+         core 1 { r1 = ld y; r2 = ld x; }\n\
+         forbid ( 1:r1 = 1 /\\ 1:r2 = 0 )",
+    ),
+    (
+        "n1",
+        "test n1\n{ x = 0; y = 0; }\n\
+         core 0 { st x, 1; r1 = ld x; r2 = ld y; }\n\
+         core 1 { st y, 1; r4 = ld x; r3 = ld y; }\n\
+         forbid ( 0:r1 = 1 /\\ 0:r2 = 0 /\\ 1:r4 = 0 /\\ 1:r3 = 1 )",
+    ),
+    (
+        "n2",
+        "test n2\n{ x = 0; y = 0; z = 0; }\n\
+         core 0 { st x, 1; st y, 1; }\n\
+         core 1 { r1 = ld y; st z, 1; }\n\
+         core 2 { r2 = ld z; r3 = ld x; }\n\
+         forbid ( 1:r1 = 1 /\\ 2:r2 = 1 /\\ 2:r3 = 0 )",
+    ),
+    (
+        "n4",
+        "test n4\n{ x = 0; y = 0; }\n\
+         core 0 { st x, 1; r1 = ld y; }\n\
+         core 1 { st y, 1; r2 = ld x; }\n\
+         core 2 { r3 = ld x; r4 = ld y; }\n\
+         forbid ( 0:r1 = 0 /\\ 1:r2 = 0 /\\ 2:r3 = 1 /\\ 2:r4 = 0 )",
+    ),
+    (
+        "n5",
+        "test n5\n{ x = 0; }\n\
+         core 0 { st x, 1; r1 = ld x; }\n\
+         core 1 { st x, 2; r2 = ld x; }\n\
+         forbid ( 0:r1 = 2 /\\ 1:r2 = 1 )",
+    ),
+    (
+        "n6",
+        "test n6\n{ x = 0; y = 0; }\n\
+         core 0 { st x, 1; r1 = ld x; r2 = ld y; }\n\
+         core 1 { st y, 1; st x, 2; }\n\
+         forbid ( 0:r1 = 1 /\\ 0:r2 = 0 /\\ x = 1 )",
+    ),
+    (
+        "n7",
+        "test n7\n{ x = 0; y = 0; }\n\
+         core 0 { st x, 1; r1 = ld y; }\n\
+         core 1 { st y, 1; r2 = ld y; r3 = ld x; }\n\
+         forbid ( 0:r1 = 0 /\\ 1:r2 = 1 /\\ 1:r3 = 0 )",
+    ),
+    (
+        "podwr000",
+        "test podwr000\n{ x = 0; y = 0; }\n\
+         core 0 { st x, 1; r1 = ld y; }\n\
+         core 1 { st y, 1; r2 = ld x; }\n\
+         forbid ( 0:r1 = 0 /\\ 1:r2 = 0 )",
+    ),
+    (
+        "podwr001",
+        "test podwr001\n{ x = 0; y = 0; z = 0; }\n\
+         core 0 { st x, 1; r1 = ld y; }\n\
+         core 1 { st y, 1; r1 = ld z; }\n\
+         core 2 { st z, 1; r1 = ld x; }\n\
+         forbid ( 0:r1 = 0 /\\ 1:r1 = 0 /\\ 2:r1 = 0 )",
+    ),
+    (
+        "rfi000",
+        "test rfi000\n{ x = 0; y = 0; }\n\
+         core 0 { st x, 1; r1 = ld x; r2 = ld y; }\n\
+         core 1 { st y, 1; r1 = ld x; }\n\
+         forbid ( 0:r1 = 1 /\\ 0:r2 = 0 /\\ 1:r1 = 0 )",
+    ),
+    (
+        "rfi001",
+        "test rfi001\n{ x = 0; y = 0; }\n\
+         core 0 { st x, 1; r1 = ld x; r2 = ld y; }\n\
+         core 1 { st y, 2; r1 = ld y; r2 = ld x; }\n\
+         forbid ( 0:r1 = 1 /\\ 0:r2 = 0 /\\ 1:r1 = 2 /\\ 1:r2 = 0 )",
+    ),
+    (
+        "rfi002",
+        "test rfi002\n{ x = 0; y = 0; z = 0; }\n\
+         core 0 { st x, 1; r1 = ld x; r2 = ld y; }\n\
+         core 1 { st y, 1; r1 = ld y; r2 = ld z; }\n\
+         core 2 { st z, 1; r1 = ld z; r2 = ld x; }\n\
+         forbid ( 0:r1 = 1 /\\ 0:r2 = 0 /\\ 1:r1 = 1 /\\ 1:r2 = 0 /\\ 2:r1 = 1 /\\ 2:r2 = 0 )",
+    ),
+    (
+        "rfi003",
+        "test rfi003\n{ x = 0; y = 0; }\n\
+         core 0 { st x, 1; r1 = ld x; st y, 1; }\n\
+         core 1 { r1 = ld y; r2 = ld x; }\n\
+         forbid ( 0:r1 = 1 /\\ 1:r1 = 1 /\\ 1:r2 = 0 )",
+    ),
+    (
+        "rfi004",
+        "test rfi004\n{ x = 0; y = 0; }\n\
+         core 0 { r1 = ld x; st y, 1; r2 = ld y; }\n\
+         core 1 { r1 = ld y; st x, 1; r2 = ld x; }\n\
+         forbid ( 0:r1 = 1 /\\ 0:r2 = 1 /\\ 1:r1 = 1 /\\ 1:r2 = 1 )",
+    ),
+    (
+        "rfi005",
+        "test rfi005\n{ x = 0; }\n\
+         core 0 { st x, 1; r1 = ld x; }\n\
+         core 1 { st x, 2; r1 = ld x; r2 = ld x; }\n\
+         forbid ( 0:r1 = 1 /\\ 1:r1 = 2 /\\ 1:r2 = 1 /\\ x = 2 )",
+    ),
+    (
+        "rfi006",
+        "test rfi006\n{ x = 0; y = 0; }\n\
+         core 0 { st x, 1; }\n\
+         core 1 { r1 = ld x; st y, 1; r2 = ld y; }\n\
+         core 2 { r1 = ld y; r2 = ld x; }\n\
+         forbid ( 1:r1 = 1 /\\ 1:r2 = 1 /\\ 2:r1 = 1 /\\ 2:r2 = 0 )",
+    ),
+    (
+        "rfi011",
+        "test rfi011\n{ x = 0; y = 0; }\n\
+         core 0 { st x, 1; r1 = ld x; r2 = ld x; r3 = ld y; }\n\
+         core 1 { st y, 1; r1 = ld y; r2 = ld x; }\n\
+         forbid ( 0:r1 = 1 /\\ 0:r2 = 1 /\\ 0:r3 = 0 /\\ 1:r1 = 1 /\\ 1:r2 = 0 )",
+    ),
+    (
+        "rfi012",
+        "test rfi012\n{ x = 0; y = 0; z = 0; w = 0; }\n\
+         core 0 { st x, 1; r1 = ld x; r2 = ld y; }\n\
+         core 1 { st y, 1; r1 = ld y; r2 = ld z; }\n\
+         core 2 { st z, 1; r1 = ld z; r2 = ld w; }\n\
+         core 3 { st w, 1; r1 = ld w; r2 = ld x; }\n\
+         forbid ( 0:r1 = 1 /\\ 0:r2 = 0 /\\ 1:r1 = 1 /\\ 1:r2 = 0 /\\ 2:r1 = 1 /\\ 2:r2 = 0 /\\ 3:r1 = 1 /\\ 3:r2 = 0 )",
+    ),
+    (
+        "rfi013",
+        "test rfi013\n{ x = 0; y = 0; }\n\
+         core 0 { st x, 1; st y, 1; r1 = ld y; }\n\
+         core 1 { r1 = ld y; r2 = ld x; }\n\
+         forbid ( 0:r1 = 1 /\\ 1:r1 = 1 /\\ 1:r2 = 0 )",
+    ),
+    (
+        "rfi014",
+        "test rfi014\n{ x = 0; y = 0; }\n\
+         core 0 { st x, 1; r1 = ld x; }\n\
+         core 1 { r1 = ld x; r2 = ld y; }\n\
+         core 2 { st y, 1; r1 = ld y; r2 = ld x; }\n\
+         forbid ( 0:r1 = 1 /\\ 1:r1 = 1 /\\ 1:r2 = 0 /\\ 2:r1 = 1 /\\ 2:r2 = 0 )",
+    ),
+    (
+        "rfi015",
+        "test rfi015\n{ x = 0; }\n\
+         core 0 { st x, 1; r1 = ld x; r2 = ld x; }\n\
+         core 1 { st x, 2; r1 = ld x; r2 = ld x; }\n\
+         forbid ( 0:r1 = 1 /\\ 0:r2 = 2 /\\ 1:r1 = 2 /\\ 1:r2 = 1 )",
+    ),
+    (
+        "rwc",
+        "test rwc\n{ x = 0; y = 0; }\n\
+         core 0 { st x, 1; }\n\
+         core 1 { r1 = ld x; r2 = ld y; }\n\
+         core 2 { st y, 1; r1 = ld x; }\n\
+         forbid ( 1:r1 = 1 /\\ 1:r2 = 0 /\\ 2:r1 = 0 )",
+    ),
+    (
+        "safe000",
+        "test safe000\n{ x = 0; y = 0; }\n\
+         core 0 { st y, 1; st x, 1; }\n\
+         core 1 { r1 = ld x; r2 = ld y; }\n\
+         forbid ( 1:r1 = 1 /\\ 1:r2 = 0 )",
+    ),
+    (
+        "safe001",
+        "test safe001\n{ x = 0; y = 0; }\n\
+         core 0 { st x, 1; st y, 1; }\n\
+         core 1 { st y, 2; st x, 2; }\n\
+         forbid ( x = 1 /\\ y = 2 )",
+    ),
+    (
+        "safe002",
+        "test safe002\n{ x = 0; y = 0; }\n\
+         core 0 { st x, 1; st y, 1; }\n\
+         core 1 { st y, 2; r1 = ld x; }\n\
+         forbid ( 1:r1 = 0 /\\ y = 2 )",
+    ),
+    (
+        "safe003",
+        "test safe003\n{ x = 0; y = 0; }\n\
+         core 0 { st x, 2; st y, 1; }\n\
+         core 1 { r1 = ld y; st x, 1; }\n\
+         forbid ( 1:r1 = 1 /\\ x = 2 )",
+    ),
+    (
+        "safe004",
+        "test safe004\n{ x = 0; }\n\
+         core 0 { r1 = ld x; st x, 1; }\n\
+         core 1 { st x, 2; }\n\
+         forbid ( 0:r1 = 1 )",
+    ),
+    (
+        "safe006",
+        "test safe006\n{ x = 0; }\n\
+         core 0 { st x, 1; r1 = ld x; }\n\
+         core 1 { st x, 2; }\n\
+         forbid ( 0:r1 = 2 /\\ x = 1 )",
+    ),
+    (
+        "safe007",
+        "test safe007\n{ x = 0; }\n\
+         core 0 { st x, 1; }\n\
+         core 1 { r1 = ld x; r2 = ld x; }\n\
+         core 2 { st x, 2; }\n\
+         forbid ( 1:r1 = 2 /\\ 1:r2 = 1 /\\ x = 2 )",
+    ),
+    (
+        "safe008",
+        "test safe008\n{ x = 0; }\n\
+         core 0 { st x, 1; st x, 2; }\n\
+         core 1 { r1 = ld x; r2 = ld x; }\n\
+         forbid ( 1:r1 = 2 /\\ 1:r2 = 0 )",
+    ),
+    (
+        "safe009",
+        "test safe009\n{ x = 0; y = 0; z = 0; }\n\
+         core 0 { st x, 1; st y, 1; }\n\
+         core 1 { st y, 2; st z, 1; }\n\
+         core 2 { st z, 2; st x, 2; }\n\
+         forbid ( x = 1 /\\ y = 2 /\\ z = 2 )",
+    ),
+    (
+        "safe010",
+        "test safe010\n{ x = 0; y = 0; }\n\
+         core 0 { st x, 1; }\n\
+         core 1 { r1 = ld x; st y, 1; }\n\
+         core 2 { st y, 2; st x, 2; }\n\
+         forbid ( 1:r1 = 1 /\\ y = 2 /\\ x = 1 )",
+    ),
+    (
+        "safe011",
+        "test safe011\n{ x = 0; y = 0; }\n\
+         core 0 { st x, 1; }\n\
+         core 1 { r1 = ld x; r2 = ld y; }\n\
+         core 2 { st y, 1; st x, 2; }\n\
+         forbid ( 1:r1 = 1 /\\ 1:r2 = 0 /\\ x = 1 )",
+    ),
+    (
+        "safe012",
+        "test safe012\n{ x = 0; y = 0; z = 0; w = 0; }\n\
+         core 0 { st x, 1; r1 = ld y; }\n\
+         core 1 { st y, 1; r1 = ld z; }\n\
+         core 2 { st z, 1; r1 = ld w; }\n\
+         core 3 { st w, 1; r1 = ld x; }\n\
+         forbid ( 0:r1 = 0 /\\ 1:r1 = 0 /\\ 2:r1 = 0 /\\ 3:r1 = 0 )",
+    ),
+    (
+        "safe014",
+        "test safe014\n{ x = 0; y = 0; z = 0; }\n\
+         core 0 { st x, 1; st y, 1; st z, 1; }\n\
+         core 1 { r1 = ld z; r2 = ld x; }\n\
+         forbid ( 1:r1 = 1 /\\ 1:r2 = 0 )",
+    ),
+    (
+        "safe016",
+        "test safe016\n{ x = 0; }\n\
+         core 0 { st x, 1; }\n\
+         core 1 { r1 = ld x; st x, 2; }\n\
+         forbid ( 1:r1 = 1 /\\ x = 1 )",
+    ),
+    (
+        "safe017",
+        "test safe017\n{ x = 0; y = 0; }\n\
+         core 0 { st x, 1; st y, 1; }\n\
+         core 1 { r1 = ld y; r2 = ld y; }\n\
+         forbid ( 1:r1 = 1 /\\ 1:r2 = 0 )",
+    ),
+    (
+        "safe018",
+        "test safe018\n{ x = 0; y = 0; z = 0; }\n\
+         core 0 { st x, 2; st y, 1; }\n\
+         core 1 { r1 = ld y; st z, 1; }\n\
+         core 2 { r2 = ld z; st x, 1; }\n\
+         forbid ( 1:r1 = 1 /\\ 2:r2 = 1 /\\ x = 2 )",
+    ),
+    (
+        "safe019",
+        "test safe019\n{ x = 0; y = 0; }\n\
+         core 0 { st x, 1; r1 = ld y; }\n\
+         core 1 { st y, 1; st x, 2; }\n\
+         forbid ( 0:r1 = 0 /\\ x = 1 )",
+    ),
+    (
+        "safe021",
+        "test safe021\n{ x = 0; y = 0; }\n\
+         core 0 { st x, 1; r1 = ld x; r2 = ld y; }\n\
+         core 1 { st y, 1; st x, 2; }\n\
+         forbid ( 0:r1 = 1 /\\ 0:r2 = 0 /\\ x = 1 )",
+    ),
+    (
+        "safe022",
+        "test safe022\n{ x = 0; y = 0; z = 0; w = 0; }\n\
+         core 0 { st x, 1; st y, 1; }\n\
+         core 1 { st y, 2; st z, 1; }\n\
+         core 2 { st z, 2; st w, 1; }\n\
+         core 3 { st w, 2; st x, 2; }\n\
+         forbid ( x = 1 /\\ y = 2 /\\ z = 2 /\\ w = 2 )",
+    ),
+    (
+        "safe026",
+        "test safe026\n{ x = 0; y = 0; z = 0; }\n\
+         core 0 { r1 = ld x; st y, 1; }\n\
+         core 1 { r1 = ld y; st z, 1; }\n\
+         core 2 { r1 = ld z; st x, 1; }\n\
+         forbid ( 0:r1 = 1 /\\ 1:r1 = 1 /\\ 2:r1 = 1 )",
+    ),
+    (
+        "safe027",
+        "test safe027\n{ x = 0; y = 0; z = 0; }\n\
+         core 0 { st x, 1; r1 = ld y; }\n\
+         core 1 { st y, 1; r2 = ld y; r3 = ld z; }\n\
+         core 2 { st z, 1; r4 = ld x; }\n\
+         forbid ( 0:r1 = 0 /\\ 1:r2 = 1 /\\ 1:r3 = 0 /\\ 2:r4 = 0 )",
+    ),
+    (
+        "safe029",
+        "test safe029\n{ x = 0; }\n\
+         core 0 { st x, 1; r1 = ld x; }\n\
+         core 1 { st x, 2; r2 = ld x; }\n\
+         forbid ( 0:r1 = 2 /\\ 1:r2 = 2 /\\ x = 1 )",
+    ),
+    (
+        "safe030",
+        "test safe030\n{ x = 0; y = 0; z = 0; }\n\
+         core 0 { st x, 1; st y, 1; }\n\
+         core 1 { r1 = ld y; r2 = ld x; st z, 1; }\n\
+         core 2 { r3 = ld z; r4 = ld x; }\n\
+         forbid ( 1:r1 = 1 /\\ 1:r2 = 1 /\\ 2:r3 = 1 /\\ 2:r4 = 0 )",
+    ),
+    (
+        "sb",
+        "test sb\n{ x = 0; y = 0; }\n\
+         core 0 { st x, 1; r1 = ld y; }\n\
+         core 1 { st y, 1; r1 = ld x; }\n\
+         forbid ( 0:r1 = 0 /\\ 1:r1 = 0 )",
+    ),
+    (
+        "ssl",
+        "test ssl\n{ x = 0; y = 0; }\n\
+         core 0 { st x, 1; st y, 1; }\n\
+         core 1 { r1 = ld y; st x, 2; }\n\
+         forbid ( 1:r1 = 1 /\\ x = 1 )",
+    ),
+    (
+        "wrc",
+        "test wrc\n{ x = 0; y = 0; }\n\
+         core 0 { st x, 1; }\n\
+         core 1 { r1 = ld x; st y, 1; }\n\
+         core 2 { r2 = ld y; r3 = ld x; }\n\
+         forbid ( 1:r1 = 1 /\\ 2:r2 = 1 /\\ 2:r3 = 0 )",
+    ),
+];
+
+/// Names of all suite tests, in Figure 13 order.
+pub fn names() -> Vec<&'static str> {
+    SOURCES.iter().map(|(n, _)| *n).collect()
+}
+
+/// Parses and returns the whole suite, in Figure 13 order.
+///
+/// # Panics
+///
+/// Panics if a built-in test fails to parse, which would be a bug in this
+/// crate (the suite is covered by tests).
+pub fn all() -> Vec<LitmusTest> {
+    SOURCES
+        .iter()
+        .map(|(name, src)| {
+            crate::parse(src).unwrap_or_else(|e| panic!("built-in test {name} is invalid: {e}"))
+        })
+        .collect()
+}
+
+/// Parses and returns the named suite test, if it exists.
+pub fn get(name: &str) -> Option<LitmusTest> {
+    SOURCES
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|(n, src)| crate::parse(src).unwrap_or_else(|e| panic!("built-in test {n} is invalid: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cond::{CondClause, CondKind};
+    use crate::sc;
+
+    #[test]
+    fn suite_has_exactly_56_tests() {
+        assert_eq!(SOURCES.len(), 56);
+    }
+
+    #[test]
+    fn all_tests_parse_and_names_match() {
+        for (t, (name, _)) in all().iter().zip(SOURCES) {
+            assert_eq!(t.name(), *name);
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut ns = names();
+        ns.sort_unstable();
+        ns.dedup();
+        assert_eq!(ns.len(), 56);
+    }
+
+    #[test]
+    fn all_conditions_are_forbidden_kind() {
+        for t in all() {
+            assert_eq!(t.condition().kind(), CondKind::Forbidden, "{}", t.name());
+        }
+    }
+
+    /// Every `forbid` outcome must actually be unobservable under SC — this
+    /// validates all 56 hand-encoded bodies against the operational oracle.
+    #[test]
+    fn all_forbidden_outcomes_unobservable_under_sc() {
+        for t in all() {
+            assert!(
+                !sc::observable(&t),
+                "test {} marks an SC-observable outcome as forbidden",
+                t.name()
+            );
+        }
+    }
+
+    /// Guard against vacuous conditions: every value a clause requires must
+    /// be the location's initial value or stored by some instruction to that
+    /// location, so the clause is at least type-sensible.
+    #[test]
+    fn conditions_are_not_vacuous() {
+        for t in all() {
+            for clause in t.condition().clauses() {
+                let (loc, val) = match *clause {
+                    CondClause::RegEq { core, reg, val } => {
+                        let load = t
+                            .instructions()
+                            .find(|i| {
+                                i.core == core
+                                    && matches!(i.op, crate::Op::Load { dst, .. } if dst == reg)
+                            })
+                            .expect("validated at construction");
+                        (load.loc().expect("loads access a location"), val)
+                    }
+                    CondClause::MemEq { loc, val } => (loc, val),
+                };
+                let producible = t.initial_value(loc) == val
+                    || t.stores_to(loc).iter().any(|s| s.store_value() == Some(val));
+                assert!(
+                    producible,
+                    "test {}: clause {:?} requires value never stored to {:?}",
+                    t.name(),
+                    clause,
+                    loc
+                );
+            }
+        }
+    }
+
+    /// The paper's processor has four cores; no suite test may need more.
+    #[test]
+    fn no_test_exceeds_four_cores() {
+        for t in all() {
+            assert!(t.num_cores() <= 4, "{} uses {} cores", t.name(), t.num_cores());
+        }
+    }
+
+    #[test]
+    fn get_finds_known_and_rejects_unknown() {
+        assert!(get("mp").is_some());
+        assert!(get("mp+staleld").is_some());
+        assert!(get("co-iriw").is_some());
+        assert!(get("nonexistent").is_none());
+    }
+
+    /// Every load constrained by a condition keeps tests meaningful for the
+    /// outcome-aware assertion generator: all loads should be pinned.
+    #[test]
+    fn all_loads_are_condition_pinned_or_documented() {
+        for t in all() {
+            for i in t.instructions().filter(|i| i.is_load()) {
+                assert!(
+                    t.expected_load_value(&i).is_some(),
+                    "test {}: load {} is not pinned by the condition",
+                    t.name(),
+                    i.uid
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,390 @@
+//! The litmus test data structure.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cond::{CondClause, Condition};
+use crate::error::LitmusError;
+use crate::ids::{CoreId, InstrUid, Loc, Reg, Val};
+
+/// A single litmus-test instruction.
+///
+/// The RTLCheck evaluation targets a load/store ISA subset (plus a `halt`
+/// added by the authors, which is implicit here: every thread halts after its
+/// last instruction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Op {
+    /// `dst = ld loc` — load the current value of `loc` into `dst`.
+    Load {
+        /// Destination register.
+        dst: Reg,
+        /// Location read.
+        loc: Loc,
+    },
+    /// `st loc, val` — store the immediate `val` to `loc`.
+    Store {
+        /// Location written.
+        loc: Loc,
+        /// Value written.
+        val: Val,
+    },
+    /// `fence` — a full memory fence (mfence-style): under TSO it drains
+    /// the core's store buffer before later instructions execute; under SC
+    /// it is a no-op.
+    Fence,
+}
+
+impl Op {
+    /// The memory location this instruction accesses (`None` for fences).
+    pub fn loc(&self) -> Option<Loc> {
+        match *self {
+            Op::Load { loc, .. } | Op::Store { loc, .. } => Some(loc),
+            Op::Fence => None,
+        }
+    }
+
+    /// Whether this is a load.
+    pub fn is_load(&self) -> bool {
+        matches!(self, Op::Load { .. })
+    }
+
+    /// Whether this is a store.
+    pub fn is_store(&self) -> bool {
+        matches!(self, Op::Store { .. })
+    }
+
+    /// Whether this is a fence.
+    pub fn is_fence(&self) -> bool {
+        matches!(self, Op::Fence)
+    }
+}
+
+/// A fully-resolved view of one instruction in a test: its global id, its
+/// placement, and its operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct InstrRef {
+    /// Globally unique id (dense, core-major order).
+    pub uid: InstrUid,
+    /// Core executing the instruction.
+    pub core: CoreId,
+    /// 0-based index within the core's program order.
+    pub index: usize,
+    /// The operation itself.
+    pub op: Op,
+}
+
+impl InstrRef {
+    /// The memory location this instruction accesses (`None` for fences).
+    pub fn loc(&self) -> Option<Loc> {
+        self.op.loc()
+    }
+
+    /// Whether this is a load.
+    pub fn is_load(&self) -> bool {
+        self.op.is_load()
+    }
+
+    /// Whether this is a store.
+    pub fn is_store(&self) -> bool {
+        self.op.is_store()
+    }
+
+    /// Whether this is a fence.
+    pub fn is_fence(&self) -> bool {
+        self.op.is_fence()
+    }
+
+    /// The store's data value, if this is a store.
+    pub fn store_value(&self) -> Option<Val> {
+        match self.op {
+            Op::Store { val, .. } => Some(val),
+            Op::Load { .. } | Op::Fence => None,
+        }
+    }
+}
+
+/// A litmus test: named threads of loads/stores, an initial memory state, and
+/// an outcome condition.
+///
+/// Construct with [`LitmusTest::new`], which validates structural invariants
+/// (see [`LitmusError`]), or via [`crate::parse`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LitmusTest {
+    name: String,
+    locs: Vec<String>,
+    init: Vec<Val>,
+    threads: Vec<Vec<Op>>,
+    cond: Condition,
+}
+
+impl LitmusTest {
+    /// Creates and validates a litmus test.
+    ///
+    /// `locs` names the memory locations (indexed by [`Loc`]); `init` gives
+    /// each location's initial value and must be the same length as `locs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LitmusError`] if the test is structurally invalid: no
+    /// threads, an empty thread, duplicate location names, a register written
+    /// by two loads on the same core, or a condition clause referring to a
+    /// nonexistent core or never-loaded register.
+    pub fn new(
+        name: impl Into<String>,
+        locs: Vec<String>,
+        init: Vec<Val>,
+        threads: Vec<Vec<Op>>,
+        cond: Condition,
+    ) -> Result<Self, LitmusError> {
+        assert_eq!(locs.len(), init.len(), "locs and init must have equal length");
+        if threads.is_empty() {
+            return Err(LitmusError::NoThreads);
+        }
+        for (c, t) in threads.iter().enumerate() {
+            if t.is_empty() {
+                return Err(LitmusError::EmptyThread(c));
+            }
+        }
+        for (i, l) in locs.iter().enumerate() {
+            if locs[..i].contains(l) {
+                return Err(LitmusError::DuplicateLocation(l.clone()));
+            }
+        }
+        // Each register may be the destination of at most one load per core.
+        for (c, t) in threads.iter().enumerate() {
+            let mut written: Vec<Reg> = Vec::new();
+            for op in t {
+                if let Op::Load { dst, .. } = *op {
+                    if written.contains(&dst) {
+                        return Err(LitmusError::RegWrittenTwice { core: c, reg: dst.0 });
+                    }
+                    written.push(dst);
+                }
+            }
+        }
+        // Condition clauses must refer to real cores and loaded registers.
+        for clause in cond.clauses() {
+            if let CondClause::RegEq { core, reg, .. } = *clause {
+                let thread = threads.get(core.0).ok_or(LitmusError::UnknownCore(core.0))?;
+                let loaded = thread
+                    .iter()
+                    .any(|op| matches!(*op, Op::Load { dst, .. } if dst == reg));
+                if !loaded {
+                    return Err(LitmusError::UnknownReg { core: core.0, reg: reg.0 });
+                }
+            }
+        }
+        Ok(LitmusTest { name: name.into(), locs, init, threads, cond })
+    }
+
+    /// The test's name (e.g. `"mp"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Location names, indexed by [`Loc`].
+    pub fn locations(&self) -> &[String] {
+        &self.locs
+    }
+
+    /// Number of memory locations.
+    pub fn num_locations(&self) -> usize {
+        self.locs.len()
+    }
+
+    /// Initial value of a location.
+    pub fn initial_value(&self, loc: Loc) -> Val {
+        self.init[loc.0]
+    }
+
+    /// Looks up a location by name.
+    pub fn loc_by_name(&self, name: &str) -> Option<Loc> {
+        self.locs.iter().position(|l| l == name).map(Loc)
+    }
+
+    /// The threads of the test, indexed by core.
+    pub fn threads(&self) -> &[Vec<Op>] {
+        &self.threads
+    }
+
+    /// Number of cores (threads).
+    pub fn num_cores(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Total number of instructions across all threads.
+    pub fn num_instructions(&self) -> usize {
+        self.threads.iter().map(Vec::len).sum()
+    }
+
+    /// The outcome condition under test.
+    pub fn condition(&self) -> &Condition {
+        &self.cond
+    }
+
+    /// Iterates over all instructions in (core, program-order) order with
+    /// their dense global ids.
+    pub fn instructions(&self) -> impl Iterator<Item = InstrRef> + '_ {
+        self.threads.iter().enumerate().flat_map(|(c, t)| {
+            let base: usize = self.threads[..c].iter().map(Vec::len).sum();
+            t.iter().enumerate().map(move |(i, &op)| InstrRef {
+                uid: InstrUid(base + i),
+                core: CoreId(c),
+                index: i,
+                op,
+            })
+        })
+    }
+
+    /// Resolves a global instruction id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `uid` is out of range for this test.
+    pub fn instr(&self, uid: InstrUid) -> InstrRef {
+        self.instructions()
+            .nth(uid.0)
+            .unwrap_or_else(|| panic!("instruction {uid} out of range"))
+    }
+
+    /// The value the outcome condition requires this load to return, if any.
+    ///
+    /// Returns `None` for stores and for loads whose destination register is
+    /// unconstrained by the condition.
+    pub fn expected_load_value(&self, instr: &InstrRef) -> Option<Val> {
+        match instr.op {
+            Op::Load { dst, .. } => self.cond.reg_value(instr.core, dst),
+            Op::Store { .. } | Op::Fence => None,
+        }
+    }
+
+    /// All stores to `loc`, in (core, program-order) order.
+    pub fn stores_to(&self, loc: Loc) -> Vec<InstrRef> {
+        self.instructions().filter(|i| i.is_store() && i.loc() == Some(loc)).collect()
+    }
+
+    /// All loads from `loc`, in (core, program-order) order.
+    pub fn loads_from(&self, loc: Loc) -> Vec<InstrRef> {
+        self.instructions().filter(|i| i.is_load() && i.loc() == Some(loc)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cond::CondKind;
+
+    fn mp() -> LitmusTest {
+        LitmusTest::new(
+            "mp",
+            vec!["x".into(), "y".into()],
+            vec![Val(0), Val(0)],
+            vec![
+                vec![
+                    Op::Store { loc: Loc(0), val: Val(1) },
+                    Op::Store { loc: Loc(1), val: Val(1) },
+                ],
+                vec![
+                    Op::Load { dst: Reg(1), loc: Loc(1) },
+                    Op::Load { dst: Reg(2), loc: Loc(0) },
+                ],
+            ],
+            Condition::forbid(vec![
+                CondClause::RegEq { core: CoreId(1), reg: Reg(1), val: Val(1) },
+                CondClause::RegEq { core: CoreId(1), reg: Reg(2), val: Val(0) },
+            ]),
+        )
+        .expect("mp is valid")
+    }
+
+    #[test]
+    fn instruction_numbering_is_core_major() {
+        let t = mp();
+        let ids: Vec<(usize, usize, usize)> =
+            t.instructions().map(|i| (i.uid.0, i.core.0, i.index)).collect();
+        assert_eq!(ids, vec![(0, 0, 0), (1, 0, 1), (2, 1, 0), (3, 1, 1)]);
+    }
+
+    #[test]
+    fn expected_load_values_follow_condition() {
+        let t = mp();
+        let loads: Vec<InstrRef> = t.instructions().filter(InstrRef::is_load).collect();
+        assert_eq!(t.expected_load_value(&loads[0]), Some(Val(1)));
+        assert_eq!(t.expected_load_value(&loads[1]), Some(Val(0)));
+    }
+
+    #[test]
+    fn stores_and_loads_by_location() {
+        let t = mp();
+        assert_eq!(t.stores_to(Loc(0)).len(), 1);
+        assert_eq!(t.loads_from(Loc(0)).len(), 1);
+        assert_eq!(t.stores_to(Loc(1)).len(), 1);
+        assert_eq!(t.condition().kind(), CondKind::Forbidden);
+    }
+
+    #[test]
+    fn rejects_double_written_register() {
+        let err = LitmusTest::new(
+            "bad",
+            vec!["x".into()],
+            vec![Val(0)],
+            vec![vec![
+                Op::Load { dst: Reg(1), loc: Loc(0) },
+                Op::Load { dst: Reg(1), loc: Loc(0) },
+            ]],
+            Condition::forbid(vec![]),
+        )
+        .unwrap_err();
+        assert_eq!(err, LitmusError::RegWrittenTwice { core: 0, reg: 1 });
+    }
+
+    #[test]
+    fn rejects_condition_on_missing_register() {
+        let err = LitmusTest::new(
+            "bad",
+            vec!["x".into()],
+            vec![Val(0)],
+            vec![vec![Op::Store { loc: Loc(0), val: Val(1) }]],
+            Condition::forbid(vec![CondClause::RegEq {
+                core: CoreId(0),
+                reg: Reg(1),
+                val: Val(0),
+            }]),
+        )
+        .unwrap_err();
+        assert_eq!(err, LitmusError::UnknownReg { core: 0, reg: 1 });
+    }
+
+    #[test]
+    fn rejects_empty_shapes() {
+        assert_eq!(
+            LitmusTest::new("t", vec![], vec![], vec![], Condition::forbid(vec![])).unwrap_err(),
+            LitmusError::NoThreads
+        );
+        assert_eq!(
+            LitmusTest::new("t", vec![], vec![], vec![vec![]], Condition::forbid(vec![]))
+                .unwrap_err(),
+            LitmusError::EmptyThread(0)
+        );
+    }
+
+    #[test]
+    fn rejects_duplicate_locations() {
+        let err = LitmusTest::new(
+            "t",
+            vec!["x".into(), "x".into()],
+            vec![Val(0), Val(0)],
+            vec![vec![Op::Store { loc: Loc(0), val: Val(1) }]],
+            Condition::forbid(vec![]),
+        )
+        .unwrap_err();
+        assert_eq!(err, LitmusError::DuplicateLocation("x".into()));
+    }
+
+    #[test]
+    fn instr_lookup_roundtrips() {
+        let t = mp();
+        for i in t.instructions() {
+            assert_eq!(t.instr(i.uid), i);
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests for the litmus-test representation, the parser, and
+//! the SC oracle.
+
+use proptest::prelude::*;
+use rtlcheck_litmus::{parse, sc, CondClause, CondKind, Condition, CoreId, LitmusTest, Loc, Op, Reg, Val};
+
+/// Generates a structurally valid litmus test: 1–4 threads of 1–3
+/// operations over up to 3 locations, with every load's register pinned by
+/// the condition to a producible value.
+fn arb_test() -> impl Strategy<Value = LitmusTest> {
+    let op = prop_oneof![
+        3 => (0usize..3, 1u32..4).prop_map(|(loc, val)| Op::Store { loc: Loc(loc), val: Val(val) }),
+        3 => (0usize..3).prop_map(|loc| Op::Load { dst: Reg(0), loc: Loc(loc) }),
+        1 => Just(Op::Fence),
+    ];
+    let thread = proptest::collection::vec(op, 1..4);
+    (proptest::collection::vec(thread, 1..5), any::<bool>(), 0u32..4).prop_map(
+        |(mut threads, forbid, pin_choice)| {
+            // Renumber load destination registers densely per thread.
+            let mut clauses = Vec::new();
+            for (c, ops) in threads.iter_mut().enumerate() {
+                let mut next_reg = 1u8;
+                for op in ops.iter_mut() {
+                    if let Op::Load { dst, loc } = op {
+                        *dst = Reg(next_reg);
+                        next_reg += 1;
+                        // Pin to a producible value: the initial value 0 or
+                        // one of the small store values.
+                        let val = Val(pin_choice % 4);
+                        let _ = loc;
+                        clauses.push(CondClause::RegEq { core: CoreId(c), reg: *dst, val });
+                    }
+                }
+            }
+            let cond = Condition::new(
+                if forbid { CondKind::Forbidden } else { CondKind::Permitted },
+                clauses,
+            );
+            LitmusTest::new(
+                "generated",
+                vec!["x".into(), "y".into(), "z".into()],
+                vec![Val(0); 3],
+                threads,
+                cond,
+            )
+            .expect("construction is valid by generation")
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Rendering a test and parsing it back yields the same test.
+    #[test]
+    fn display_parse_roundtrip(test in arb_test()) {
+        let rendered = test.to_string();
+        let reparsed = parse(&rendered)
+            .unwrap_or_else(|e| panic!("rendered test failed to parse: {e}\n{rendered}"));
+        prop_assert_eq!(test, reparsed);
+    }
+
+    /// The SC oracle's outcome set always contains the serial (one thread
+    /// after another) execution's outcome.
+    #[test]
+    fn sc_outcomes_contain_serial_execution(test in arb_test()) {
+        let mut mem = vec![0u32; test.num_locations()];
+        let mut regs: Vec<((usize, u8), u32)> = Vec::new();
+        for i in test.instructions() {
+            match i.op {
+                Op::Store { loc, val } => mem[loc.0] = val.0,
+                Op::Load { dst, loc } => regs.push(((i.core.0, dst.0), mem[loc.0])),
+                Op::Fence => {}
+            }
+        }
+        regs.sort();
+        let outcomes = sc::outcomes(&test);
+        prop_assert!(outcomes.iter().any(|o| {
+            o.mem.iter().map(|v| v.0).eq(mem.iter().copied())
+                && o.regs.iter().map(|&(k, v)| (k, v.0)).eq(regs.iter().copied())
+        }), "serial outcome missing from {outcomes:?}");
+    }
+
+    /// The number of distinct SC outcomes is bounded by the number of
+    /// instruction interleavings (a loose sanity bound) and is at least 1.
+    #[test]
+    fn sc_outcome_count_is_sane(test in arb_test()) {
+        let outcomes = sc::outcomes(&test);
+        prop_assert!(!outcomes.is_empty());
+        // Each load has at most (#stores to its loc + 1) possible values.
+        let bound: usize = test
+            .instructions()
+            .filter(|i| i.is_load())
+            .map(|i| test.stores_to(i.loc().expect("loads access a location")).len() + 1)
+            .product::<usize>()
+            .max(1)
+            * test.num_locations().pow(2).max(1);
+        prop_assert!(outcomes.len() <= bound.max(16),
+            "{} outcomes exceeds bound {}", outcomes.len(), bound);
+    }
+
+    /// `observable` is consistent with the outcome enumeration.
+    #[test]
+    fn observable_matches_outcome_enumeration(test in arb_test()) {
+        let observable = sc::observable(&test);
+        let by_enumeration = sc::outcomes(&test).iter().any(|o| {
+            test.condition().eval(
+                |core, reg| {
+                    o.regs
+                        .iter()
+                        .find(|((c, r), _)| *c == core.0 && *r == reg.0)
+                        .map(|&(_, v)| v)
+                        .unwrap_or(Val(0))
+                },
+                |loc| o.mem[loc.0],
+            )
+        });
+        prop_assert_eq!(observable, by_enumeration);
+    }
+}

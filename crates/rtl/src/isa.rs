@@ -1,0 +1,162 @@
+//! The litmus-subset ISA executed by Multi-V-scale.
+//!
+//! The RTLCheck evaluation only exercises loads, stores, and the halt
+//! instruction the authors added to V-scale. This module fixes the encoding
+//! of those instructions in the modelled design: a packed word of
+//! `(kind, address, data)` fields rather than RISC-V bit patterns — the
+//! consistency-relevant content of an instruction is exactly those fields.
+
+use rtlcheck_litmus::{LitmusTest, Op};
+
+/// Instruction/pipeline-slot kind encodings (3 bits).
+pub mod kind {
+    /// Halt: stops the core once it reaches Writeback.
+    pub const HALT: u64 = 0;
+    /// Load from a data-memory word.
+    pub const LOAD: u64 = 1;
+    /// Store an immediate to a data-memory word.
+    pub const STORE: u64 = 2;
+    /// Pipeline bubble (never appears in instruction memory).
+    pub const BUBBLE: u64 = 3;
+    /// Full memory fence (mfence-style; drains the TSO store buffer).
+    pub const FENCE: u64 = 4;
+}
+
+/// Program-counter value of a pipeline bubble: no real instruction ever has
+/// this PC, so node-mapping equality checks cannot match bubbles.
+pub const BUBBLE_PC: u64 = 0xFFFF_FFFF;
+
+/// Byte distance between consecutive instructions.
+pub const PC_STEP: u64 = 4;
+
+/// Byte distance between the PC bases of consecutive cores. Programs are
+/// limited to 15 instructions plus the final halt.
+pub const CORE_PC_STRIDE: u64 = 64;
+
+/// A decoded instruction as stored in instruction memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EncInstr {
+    /// One of the [`kind`] encodings.
+    pub kind: u64,
+    /// Word address in data memory (the litmus location index).
+    pub addr: u64,
+    /// Store immediate (0 for loads and halts).
+    pub data: u64,
+}
+
+impl EncInstr {
+    /// The halt instruction.
+    pub const HALT: EncInstr = EncInstr { kind: kind::HALT, addr: 0, data: 0 };
+
+    /// Packs the instruction into a single word:
+    /// `kind[42:40] | addr[39:32] | data[31:0]`.
+    pub fn packed(self) -> u64 {
+        (self.kind << 40) | (self.addr << 32) | self.data
+    }
+}
+
+/// The starting PC of a core's program.
+pub fn pc_base(core: usize) -> u64 {
+    core as u64 * CORE_PC_STRIDE
+}
+
+/// The PC of instruction `index` (0-based, program order) on `core`.
+pub fn pc_of(core: usize, index: usize) -> u64 {
+    pc_base(core) + index as u64 * PC_STEP
+}
+
+/// Encodes one thread of a litmus test, terminated by [`EncInstr::HALT`].
+pub fn encode_thread(ops: &[Op]) -> Vec<EncInstr> {
+    let mut out: Vec<EncInstr> = ops
+        .iter()
+        .map(|op| match *op {
+            Op::Load { loc, .. } => EncInstr { kind: kind::LOAD, addr: loc.0 as u64, data: 0 },
+            Op::Store { loc, val } => {
+                EncInstr { kind: kind::STORE, addr: loc.0 as u64, data: u64::from(val.0) }
+            }
+            Op::Fence => EncInstr { kind: kind::FENCE, addr: 0, data: 0 },
+        })
+        .collect();
+    out.push(EncInstr::HALT);
+    out
+}
+
+/// Encodes all programs of a litmus test for a machine with `num_cores`
+/// cores. Cores beyond the test's threads run an immediate halt.
+///
+/// # Panics
+///
+/// Panics if the test has more threads than `num_cores`, or a thread longer
+/// than 15 instructions (the per-core PC window).
+pub fn encode_programs(test: &LitmusTest, num_cores: usize) -> Vec<Vec<EncInstr>> {
+    assert!(
+        test.num_cores() <= num_cores,
+        "test `{}` needs {} cores but the design has {num_cores}",
+        test.name(),
+        test.num_cores()
+    );
+    let mut programs = Vec::with_capacity(num_cores);
+    for c in 0..num_cores {
+        let prog = match test.threads().get(c) {
+            Some(ops) => encode_thread(ops),
+            None => vec![EncInstr::HALT],
+        };
+        assert!(
+            prog.len() as u64 * PC_STEP <= CORE_PC_STRIDE,
+            "thread {c} of `{}` exceeds the per-core PC window",
+            test.name()
+        );
+        programs.push(prog);
+    }
+    programs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtlcheck_litmus::suite;
+
+    #[test]
+    fn pc_layout() {
+        assert_eq!(pc_base(0), 0);
+        assert_eq!(pc_base(1), 64);
+        assert_eq!(pc_of(1, 2), 72);
+    }
+
+    #[test]
+    fn encodes_mp_with_halts() {
+        let mp = suite::get("mp").unwrap();
+        let progs = encode_programs(&mp, 4);
+        assert_eq!(progs.len(), 4);
+        assert_eq!(progs[0].len(), 3, "two stores + halt");
+        assert_eq!(progs[0][0].kind, kind::STORE);
+        assert_eq!(progs[0][0].data, 1);
+        assert_eq!(progs[1][0].kind, kind::LOAD);
+        assert_eq!(progs[1][2], EncInstr::HALT);
+        assert_eq!(progs[2], vec![EncInstr::HALT], "unused core halts immediately");
+    }
+
+    #[test]
+    fn packed_fields_are_disjoint() {
+        let i = EncInstr { kind: kind::STORE, addr: 0x7, data: 0xDEAD_BEEF };
+        let p = i.packed();
+        assert_eq!(p >> 40, kind::STORE);
+        assert_eq!((p >> 32) & 0xFF, 0x7);
+        assert_eq!(p & 0xFFFF_FFFF, 0xDEAD_BEEF);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs")]
+    fn too_many_threads_panics() {
+        let iriw = suite::get("iriw").unwrap();
+        encode_programs(&iriw, 2);
+    }
+
+    #[test]
+    fn whole_suite_encodes_for_four_cores() {
+        for t in suite::all() {
+            let progs = encode_programs(&t, 4);
+            assert_eq!(progs.len(), 4, "{}", t.name());
+        }
+    }
+}

@@ -1,0 +1,288 @@
+//! Cycle-accurate simulation of a [`Design`].
+
+use std::error::Error;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::design::{Design, SignalId, SignalKind};
+use crate::expr::{mask, BinOp, Expr, ExprId, UnOp};
+
+/// The register contents of a design at one clock cycle.
+///
+/// States are compact (`Arc<[u64]>`, one word per register), cheap to clone,
+/// and hashable — the explicit-state property verifier uses them directly as
+/// graph keys.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct State(Arc<[u64]>);
+
+impl State {
+    /// Creates a state from raw register values (one per register, in
+    /// declaration order).
+    pub fn from_regs(regs: Vec<u64>) -> Self {
+        State(regs.into())
+    }
+
+    /// Raw register values.
+    pub fn regs(&self) -> &[u64] {
+        &self.0
+    }
+}
+
+/// An error raised when constructing an initial state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FreeInitError {
+    /// Names of registers with unconstrained initial values.
+    pub unpinned: Vec<String>,
+}
+
+impl fmt::Display for FreeInitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "registers with free initial values must be pinned: {}",
+            self.unpinned.join(", ")
+        )
+    }
+}
+
+impl Error for FreeInitError {}
+
+/// Evaluates a design cycle-by-cycle.
+///
+/// The simulator itself is stateless: callers hold [`State`]s and thread
+/// them through [`Simulator::step`], which makes it trivially shareable
+/// between the interactive simulator and the model checker.
+#[derive(Debug, Clone)]
+pub struct Simulator<'d> {
+    design: &'d Design,
+}
+
+impl<'d> Simulator<'d> {
+    /// Creates a simulator for `design`.
+    pub fn new(design: &'d Design) -> Self {
+        Simulator { design }
+    }
+
+    /// The design being simulated.
+    pub fn design(&self) -> &'d Design {
+        self.design
+    }
+
+    /// The reset state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FreeInitError`] if any register has a free (unconstrained)
+    /// initial value; use [`Simulator::initial_state_with`] to pin those.
+    pub fn initial_state(&self) -> Result<State, FreeInitError> {
+        self.initial_state_with(&[])
+    }
+
+    /// The reset state, with free-init registers pinned by `(signal, value)`
+    /// pairs (typically derived from first-cycle verification assumptions).
+    ///
+    /// Pins for registers that also have a reset value override the reset
+    /// value; this mirrors an RTL verifier letting initial-value assumptions
+    /// constrain the reset state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FreeInitError`] listing any free-init register that no pin
+    /// covers.
+    pub fn initial_state_with(&self, pins: &[(SignalId, u64)]) -> Result<State, FreeInitError> {
+        let mut regs = vec![0u64; self.design.num_regs()];
+        let mut unpinned = Vec::new();
+        for (id, s) in self.design.signals() {
+            if let SignalKind::Reg { index, init, .. } = s.kind {
+                let pinned = pins.iter().find(|(p, _)| *p == id).map(|&(_, v)| v);
+                match pinned.or(init) {
+                    Some(v) => regs[index] = mask(v, s.width),
+                    None => unpinned.push(s.name.clone()),
+                }
+            }
+        }
+        if unpinned.is_empty() {
+            Ok(State::from_regs(regs))
+        } else {
+            Err(FreeInitError { unpinned })
+        }
+    }
+
+    /// Evaluates an expression in the given state with the given inputs.
+    pub fn eval(&self, state: &State, inputs: &[u64], expr: ExprId) -> u64 {
+        debug_assert_eq!(inputs.len(), self.design.num_inputs());
+        self.eval_inner(state, inputs, expr)
+    }
+
+    fn eval_inner(&self, state: &State, inputs: &[u64], expr: ExprId) -> u64 {
+        match self.design.expr(expr) {
+            Expr::Const { value, .. } => value,
+            Expr::Sig(s) => self.peek(state, inputs, s),
+            Expr::Unary { op, arg } => {
+                let a = self.eval_inner(state, inputs, arg);
+                match op {
+                    UnOp::Not => mask(!a, self.design.expr_width(expr)),
+                    UnOp::OrReduce => u64::from(a != 0),
+                }
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                let (a, b) = (
+                    self.eval_inner(state, inputs, lhs),
+                    self.eval_inner(state, inputs, rhs),
+                );
+                let w = self.design.expr_width(expr);
+                match op {
+                    BinOp::And => a & b,
+                    BinOp::Or => a | b,
+                    BinOp::Xor => a ^ b,
+                    BinOp::Add => mask(a.wrapping_add(b), w),
+                    BinOp::Sub => mask(a.wrapping_sub(b), w),
+                    BinOp::Eq => u64::from(a == b),
+                    BinOp::Ne => u64::from(a != b),
+                    BinOp::Lt => u64::from(a < b),
+                }
+            }
+            Expr::Mux { cond, then_, else_ } => {
+                if self.eval_inner(state, inputs, cond) != 0 {
+                    self.eval_inner(state, inputs, then_)
+                } else {
+                    self.eval_inner(state, inputs, else_)
+                }
+            }
+        }
+    }
+
+    /// The current value of any signal (input, register, or wire).
+    pub fn peek(&self, state: &State, inputs: &[u64], sig: SignalId) -> u64 {
+        match self.design.signal(sig).kind {
+            SignalKind::Input { index } => inputs[index],
+            SignalKind::Reg { index, .. } => state.regs()[index],
+            SignalKind::Wire { expr } => self.eval_inner(state, inputs, expr),
+        }
+    }
+
+    /// Advances one clock cycle: computes every register's next value from
+    /// the current state and inputs, then commits them simultaneously
+    /// (non-blocking assignment semantics).
+    pub fn step(&self, state: &State, inputs: &[u64]) -> State {
+        let mut next = vec![0u64; self.design.num_regs()];
+        for (_, s) in self.design.signals() {
+            if let SignalKind::Reg { index, next: expr, .. } = s.kind {
+                next[index] = mask(self.eval_inner(state, inputs, expr), s.width);
+            }
+        }
+        State::from_regs(next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DesignBuilder;
+
+    /// A 2-bit counter with an enable input.
+    fn counter() -> Design {
+        let mut b = DesignBuilder::new("c");
+        let en = b.input("en", 1);
+        let count = b.reg("count", 2, Some(0));
+        let one = b.lit(1, 2);
+        let inc = b.sig(count);
+        let sum = b.add(inc, one);
+        let ene = b.sig(en);
+        let cur = b.sig(count);
+        let nxt = b.mux(ene, sum, cur);
+        b.set_next(count, nxt);
+        let c2 = b.sig(count);
+        let two = b.lit(2, 2);
+        let at2 = b.eq(c2, two);
+        b.wire("at_two", at2);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn counter_counts_and_wraps() {
+        let d = counter();
+        let sim = Simulator::new(&d);
+        let count = d.signal_by_name("count").unwrap();
+        let at_two = d.signal_by_name("at_two").unwrap();
+        let mut s = sim.initial_state().unwrap();
+        let mut seen = Vec::new();
+        for cycle in 0..6 {
+            seen.push(sim.peek(&s, &[1], count));
+            if cycle == 2 {
+                assert_eq!(sim.peek(&s, &[1], at_two), 1);
+            }
+            s = sim.step(&s, &[1]);
+        }
+        assert_eq!(seen, vec![0, 1, 2, 3, 0, 1], "2-bit counter wraps");
+    }
+
+    #[test]
+    fn enable_gates_the_counter() {
+        let d = counter();
+        let sim = Simulator::new(&d);
+        let count = d.signal_by_name("count").unwrap();
+        let mut s = sim.initial_state().unwrap();
+        s = sim.step(&s, &[0]);
+        assert_eq!(sim.peek(&s, &[0], count), 0);
+        s = sim.step(&s, &[1]);
+        assert_eq!(sim.peek(&s, &[1], count), 1);
+    }
+
+    #[test]
+    fn nonblocking_commit_semantics() {
+        // Two registers swapping values each cycle — the classic test that
+        // next-state evaluation reads pre-edge values.
+        let mut b = DesignBuilder::new("swap");
+        let a = b.reg("a", 4, Some(3));
+        let c = b.reg("c", 4, Some(9));
+        let ae = b.sig(a);
+        let ce = b.sig(c);
+        b.set_next(a, ce);
+        b.set_next(c, ae);
+        let d = b.build().unwrap();
+        let sim = Simulator::new(&d);
+        let s0 = sim.initial_state().unwrap();
+        let s1 = sim.step(&s0, &[]);
+        assert_eq!(s1.regs(), &[9, 3]);
+        let s2 = sim.step(&s1, &[]);
+        assert_eq!(s2.regs(), &[3, 9]);
+    }
+
+    #[test]
+    fn free_init_requires_pinning() {
+        let mut b = DesignBuilder::new("m");
+        let m = b.reg("mem0", 8, None);
+        let me = b.sig(m);
+        b.set_next(m, me);
+        let d = b.build().unwrap();
+        let sim = Simulator::new(&d);
+        let err = sim.initial_state().unwrap_err();
+        assert_eq!(err.unpinned, vec!["mem0".to_string()]);
+        let s = sim.initial_state_with(&[(m, 42)]).unwrap();
+        assert_eq!(s.regs(), &[42]);
+    }
+
+    #[test]
+    fn pins_are_masked_to_width() {
+        let mut b = DesignBuilder::new("m");
+        let m = b.reg("r", 4, None);
+        let me = b.sig(m);
+        b.set_next(m, me);
+        let d = b.build().unwrap();
+        let sim = Simulator::new(&d);
+        let s = sim.initial_state_with(&[(m, 0xFF)]).unwrap();
+        assert_eq!(s.regs(), &[0xF]);
+    }
+
+    #[test]
+    fn states_hash_and_compare() {
+        let s1 = State::from_regs(vec![1, 2, 3]);
+        let s2 = State::from_regs(vec![1, 2, 3]);
+        let s3 = State::from_regs(vec![1, 2, 4]);
+        assert_eq!(s1, s2);
+        assert_ne!(s1, s3);
+        let set: std::collections::HashSet<State> = [s1, s2, s3].into_iter().collect();
+        assert_eq!(set.len(), 2);
+    }
+}

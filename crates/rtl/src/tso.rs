@@ -1,0 +1,466 @@
+//! Multi-V-scale-TSO: the Total Store Order variant of the Multi-V-scale
+//! processor.
+//!
+//! The RTLCheck methodology is MCM-agnostic (paper §1: it "supports
+//! arbitrary ISA-level MCMs, including ones as sophisticated as x86-TSO").
+//! This design exercises that claim: each core gains a single-entry FIFO
+//! store buffer between Writeback and the shared memory —
+//!
+//! * a store retires from WB into its core's **private buffer** without
+//!   consulting the arbiter (stores never stall on grants);
+//! * a buffered store **drains** to the memory array when its core holds
+//!   the grant and no load is using the read port that cycle; the drain is
+//!   a distinct microarchitectural event, modelled as the `Memory` stage of
+//!   the TSO µspec model;
+//! * loads read memory combinationally during WB, **forwarding** from their
+//!   own core's buffered store on an address match;
+//! * a store (or the halt) stalls in DX while the buffer is full, keeping
+//!   the buffer FIFO and flushing it before the core halts.
+//!
+//! Store→load reordering (and hence the `sb` outcome) is observable;
+//! coherence, store→store, and load→load order are preserved — exactly
+//! x86-TSO's envelope for this instruction set.
+
+use rtlcheck_litmus::LitmusTest;
+
+use crate::builder::DesignBuilder;
+use crate::design::SignalId;
+use crate::isa::{self, kind, EncInstr, BUBBLE_PC, PC_STEP};
+use crate::multi_vscale::{CoreSignals, MemoryImpl, MultiVscale, TsoCoreSignals, NUM_CORES};
+
+const ADDR_WIDTH: u8 = 8;
+const DATA_WIDTH: u8 = 32;
+const PC_WIDTH: u8 = 32;
+const KIND_WIDTH: u8 = 3;
+const GRANT_WIDTH: u8 = 2;
+
+/// Builds the TSO design loaded with `test`'s programs.
+///
+/// # Panics
+///
+/// Panics if the test needs more than [`NUM_CORES`] cores or a thread
+/// exceeds the per-core PC window.
+pub fn build(test: &LitmusTest) -> MultiVscale {
+    let programs = isa::encode_programs(test, NUM_CORES);
+    let num_words = test.num_locations().max(1);
+    build_raw(programs, num_words)
+}
+
+/// Builds the TSO design from raw encoded programs and a word count.
+pub fn build_raw(programs: Vec<Vec<EncInstr>>, num_words: usize) -> MultiVscale {
+    let mut b = DesignBuilder::new("multi_vscale_tso");
+
+    let grant = b.input("arbiter_grant", GRANT_WIDTH);
+    let first = b.reg("first", 1, Some(1));
+    let zero1 = b.lit(0, 1);
+    b.set_next(first, zero1);
+
+    let mem: Vec<SignalId> =
+        (0..num_words).map(|w| b.reg(format!("mem_{w}"), DATA_WIDTH, None)).collect();
+
+    struct CoreRegs {
+        pc_if: SignalId,
+        pc_dx: SignalId,
+        pc_wb: SignalId,
+        kind_dx: SignalId,
+        kind_wb: SignalId,
+        addr_dx: SignalId,
+        addr_wb: SignalId,
+        data_dx: SignalId,
+        store_data_wb: SignalId,
+        halted: SignalId,
+        sbuf_valid: SignalId,
+        sbuf_addr: SignalId,
+        sbuf_data: SignalId,
+        sbuf_pc: SignalId,
+    }
+    let regs: Vec<CoreRegs> = (0..NUM_CORES)
+        .map(|c| CoreRegs {
+            pc_if: b.reg(format!("core{c}_PC_IF"), PC_WIDTH, Some(isa::pc_base(c))),
+            pc_dx: b.reg(format!("core{c}_PC_DX"), PC_WIDTH, Some(BUBBLE_PC)),
+            pc_wb: b.reg(format!("core{c}_PC_WB"), PC_WIDTH, Some(BUBBLE_PC)),
+            kind_dx: b.reg(format!("core{c}_kind_DX"), KIND_WIDTH, Some(kind::BUBBLE)),
+            kind_wb: b.reg(format!("core{c}_kind_WB"), KIND_WIDTH, Some(kind::BUBBLE)),
+            addr_dx: b.reg(format!("core{c}_addr_DX"), ADDR_WIDTH, Some(0)),
+            addr_wb: b.reg(format!("core{c}_addr_WB"), ADDR_WIDTH, Some(0)),
+            data_dx: b.reg(format!("core{c}_data_DX"), DATA_WIDTH, Some(0)),
+            store_data_wb: b.reg(format!("core{c}_store_data_WB"), DATA_WIDTH, Some(0)),
+            halted: b.reg(format!("core{c}_halted"), 1, Some(0)),
+            sbuf_valid: b.reg(format!("core{c}_sbuf_valid"), 1, Some(0)),
+            sbuf_addr: b.reg(format!("core{c}_sbuf_addr"), ADDR_WIDTH, Some(0)),
+            sbuf_data: b.reg(format!("core{c}_sbuf_data"), DATA_WIDTH, Some(0)),
+            sbuf_pc: b.reg(format!("core{c}_sbuf_pc"), PC_WIDTH, Some(BUBBLE_PC)),
+        })
+        .collect();
+
+    // A load granted in DX at cycle t occupies the memory read port at
+    // t + 1 (its WB); drains are blocked that cycle.
+    let load_in_wb = b.reg("mem_load_in_wb", 1, Some(0));
+    let gkind = {
+        let mut acc = b.sig(regs[0].kind_dx);
+        for (c, r) in regs.iter().enumerate().skip(1) {
+            let sel = b.eq_lit(grant, c as u64);
+            let v = b.sig(r.kind_dx);
+            acc = b.mux(sel, v, acc);
+        }
+        acc
+    };
+    let gkind_is_load = {
+        let k = b.lit(kind::LOAD, KIND_WIDTH);
+        b.eq(gkind, k)
+    };
+    b.set_next(load_in_wb, gkind_is_load);
+
+    // Instruction ROMs + IF decode (identical scheme to the SC designs).
+    let mut imem: Vec<Vec<SignalId>> = Vec::with_capacity(NUM_CORES);
+    struct Decode {
+        kind_if: crate::ExprId,
+        addr_if: crate::ExprId,
+        data_if: crate::ExprId,
+    }
+    let mut decodes: Vec<Decode> = Vec::with_capacity(NUM_CORES);
+    for (c, prog) in programs.iter().enumerate() {
+        let mut slots = Vec::with_capacity(prog.len());
+        for (s, instr) in prog.iter().enumerate() {
+            let packed = b.lit(instr.packed(), 43);
+            slots.push(b.wire(format!("core{c}_imem_{s}"), packed));
+        }
+        imem.push(slots);
+        let mut kind_if = b.lit(kind::HALT, KIND_WIDTH);
+        let mut addr_if = b.lit(0, ADDR_WIDTH);
+        let mut data_if = b.lit(0, DATA_WIDTH);
+        for (s, instr) in prog.iter().enumerate() {
+            let here = b.eq_lit(regs[c].pc_if, isa::pc_of(c, s));
+            let k = b.lit(instr.kind, KIND_WIDTH);
+            let a = b.lit(instr.addr, ADDR_WIDTH);
+            let d = b.lit(instr.data, DATA_WIDTH);
+            kind_if = b.mux(here, k, kind_if);
+            addr_if = b.mux(here, a, addr_if);
+            data_if = b.mux(here, d, data_if);
+        }
+        decodes.push(Decode { kind_if, addr_if, data_if });
+    }
+
+    // Per-core drain wires (needed for the memory update mux below).
+    let drains: Vec<SignalId> = regs
+        .iter()
+        .enumerate()
+        .map(|(c, r)| {
+            let granted = b.eq_lit(grant, c as u64);
+            let pend = b.sig(r.sbuf_valid);
+            let lw = b.sig(load_in_wb);
+            let no_load = b.not_e(lw);
+            let gp = b.and(granted, pend);
+            let e = b.and(gp, no_load);
+            b.wire(format!("core{c}_drain"), e)
+        })
+        .collect();
+
+    // Memory array update: the granted (draining) core writes its buffered
+    // word.
+    for (w, &mem_w) in mem.iter().enumerate() {
+        let mut write_here = b.lit(0, 1);
+        let mut write_data = b.lit(0, DATA_WIDTH);
+        for (c, r) in regs.iter().enumerate() {
+            let d = b.sig(drains[c]);
+            let here = b.eq_lit(r.sbuf_addr, w as u64);
+            let dh = b.and(d, here);
+            write_here = b.or(write_here, dh);
+            let data = b.sig(r.sbuf_data);
+            write_data = b.mux(dh, data, write_data);
+        }
+        let hold = b.sig(mem_w);
+        let next = b.mux(write_here, write_data, hold);
+        b.set_next(mem_w, next);
+    }
+
+    let mut cores = Vec::with_capacity(NUM_CORES);
+    let mut tso_cores = Vec::with_capacity(NUM_CORES);
+    for (c, r) in regs.iter().enumerate() {
+        // Stalls: loads wait for the grant; stores and the halt wait for
+        // the store buffer to be free (and for a store in WB to clear,
+        // which will occupy the buffer next cycle).
+        let is_ld = b.eq_lit(r.kind_dx, kind::LOAD);
+        let is_st = b.eq_lit(r.kind_dx, kind::STORE);
+        let is_halt = b.eq_lit(r.kind_dx, kind::HALT);
+        let is_fence = b.eq_lit(r.kind_dx, kind::FENCE);
+        let granted = b.eq_lit(grant, c as u64);
+        let not_granted = b.not_e(granted);
+        let load_stall = b.and(is_ld, not_granted);
+        let pend = b.sig(r.sbuf_valid);
+        let wb_is_store = b.eq_lit(r.kind_wb, kind::STORE);
+        let buffer_busy = b.or(pend, wb_is_store);
+        // Stores wait for a free buffer slot; the halt AND the fence wait
+        // for the buffer to flush entirely (the fence's whole purpose).
+        let st_or_halt = b.or(is_st, is_halt);
+        let flushers = b.or(st_or_halt, is_fence);
+        let flush_stall = b.and(flushers, buffer_busy);
+        let stall_e = b.or(load_stall, flush_stall);
+        let stall_dx = b.wire(format!("core{c}_stall_DX"), stall_e);
+        let stall_if_e = b.sig(stall_dx);
+        let stall_if = b.wire(format!("core{c}_stall_IF"), stall_if_e);
+        let zero = b.lit(0, 1);
+        let stall_wb = b.wire(format!("core{c}_stall_WB"), zero);
+
+        let stall = b.sig(stall_dx);
+        let not_stall = b.not_e(stall);
+
+        // Fetch (identical to the SC designs).
+        let dec = &decodes[c];
+        let at_halt = {
+            let k = b.lit(kind::HALT, KIND_WIDTH);
+            b.eq(dec.kind_if, k)
+        };
+        let pc = b.sig(r.pc_if);
+        let step = b.lit(PC_STEP, PC_WIDTH);
+        let pc_plus = b.add(pc, step);
+        let pc_hold = b.sig(r.pc_if);
+        let pc_adv = b.mux(at_halt, pc_hold, pc_plus);
+        let pc_same = b.sig(r.pc_if);
+        let pc_next = b.mux(not_stall, pc_adv, pc_same);
+        b.set_next(r.pc_if, pc_next);
+
+        let set_dx = |b: &mut DesignBuilder, reg: SignalId, val: crate::ExprId| {
+            let hold = b.sig(reg);
+            let next = b.mux(not_stall, val, hold);
+            b.set_next(reg, next);
+        };
+        let pc_if_e = b.sig(r.pc_if);
+        set_dx(&mut b, r.pc_dx, pc_if_e);
+        set_dx(&mut b, r.kind_dx, dec.kind_if);
+        set_dx(&mut b, r.addr_dx, dec.addr_if);
+        set_dx(&mut b, r.data_dx, dec.data_if);
+
+        let bub_pc = b.lit(BUBBLE_PC, PC_WIDTH);
+        let pc_dx_e = b.sig(r.pc_dx);
+        let pc_wb_next = b.mux(not_stall, pc_dx_e, bub_pc);
+        b.set_next(r.pc_wb, pc_wb_next);
+        let bub_k = b.lit(kind::BUBBLE, KIND_WIDTH);
+        let kind_dx_e = b.sig(r.kind_dx);
+        let kind_wb_next = b.mux(not_stall, kind_dx_e, bub_k);
+        b.set_next(r.kind_wb, kind_wb_next);
+        let zero_a = b.lit(0, ADDR_WIDTH);
+        let addr_dx_e = b.sig(r.addr_dx);
+        let addr_wb_next = b.mux(not_stall, addr_dx_e, zero_a);
+        b.set_next(r.addr_wb, addr_wb_next);
+        let zero_d = b.lit(0, DATA_WIDTH);
+        let data_dx_e = b.sig(r.data_dx);
+        let sdata_next = b.mux(not_stall, data_dx_e, zero_d);
+        b.set_next(r.store_data_wb, sdata_next);
+
+        // Halt: because the halt stalls in DX while the buffer is busy, a
+        // halted core has flushed all of its stores.
+        let halt_in_dx = b.eq_lit(r.kind_dx, kind::HALT);
+        let entering_wb = b.and(not_stall, halt_in_dx);
+        let was = b.sig(r.halted);
+        let halted_next = b.or(was, entering_wb);
+        b.set_next(r.halted, halted_next);
+
+        // Store buffer: a store in WB enters the buffer at the next edge;
+        // a drain empties it. The stall logic makes enter and drain
+        // mutually exclusive.
+        let enter = b.eq_lit(r.kind_wb, kind::STORE);
+        let d = b.sig(drains[c]);
+        let one = b.lit(1, 1);
+        let hold_v = b.sig(r.sbuf_valid);
+        let after_enter = b.mux(enter, one, hold_v);
+        let zero_v = b.lit(0, 1);
+        let v_next = b.mux(d, zero_v, after_enter);
+        b.set_next(r.sbuf_valid, v_next);
+        let set_on_enter = |b: &mut DesignBuilder, reg: SignalId, val: SignalId| {
+            let v = b.sig(val);
+            let hold = b.sig(reg);
+            let next = b.mux(enter, v, hold);
+            b.set_next(reg, next);
+        };
+        set_on_enter(&mut b, r.sbuf_addr, r.addr_wb);
+        set_on_enter(&mut b, r.sbuf_data, r.store_data_wb);
+        set_on_enter(&mut b, r.sbuf_pc, r.pc_wb);
+
+        // Load result: forward from the own buffer on an address match,
+        // else read the memory array.
+        let mut read = b.lit(0, DATA_WIDTH);
+        for (w, &mem_w) in mem.iter().enumerate() {
+            let here = b.eq_lit(r.addr_wb, w as u64);
+            let v = b.sig(mem_w);
+            read = b.mux(here, v, read);
+        }
+        let pend2 = b.sig(r.sbuf_valid);
+        let sa = b.sig(r.sbuf_addr);
+        let la = b.sig(r.addr_wb);
+        let addr_match = b.eq(la, sa);
+        let fwd = b.and(pend2, addr_match);
+        let sd = b.sig(r.sbuf_data);
+        let load_data_e = b.mux(fwd, sd, read);
+        let load_data_wb = b.wire(format!("core{c}_load_data_WB"), load_data_e);
+
+        cores.push(CoreSignals {
+            pc_if: r.pc_if,
+            pc_dx: r.pc_dx,
+            pc_wb: r.pc_wb,
+            kind_dx: r.kind_dx,
+            kind_wb: r.kind_wb,
+            addr_dx: r.addr_dx,
+            addr_wb: r.addr_wb,
+            store_data_wb: r.store_data_wb,
+            load_data_wb,
+            stall_if,
+            stall_dx,
+            stall_wb,
+            halted: r.halted,
+        });
+        tso_cores.push(TsoCoreSignals {
+            sbuf_valid: r.sbuf_valid,
+            sbuf_addr: r.sbuf_addr,
+            sbuf_data: r.sbuf_data,
+            sbuf_pc: r.sbuf_pc,
+            drain: drains[c],
+        });
+    }
+
+    let design = b.build().expect("Multi-V-scale-TSO IR is well-formed");
+    MultiVscale {
+        design,
+        memory_impl: MemoryImpl::Tso,
+        grant,
+        first,
+        mem,
+        imem,
+        cores,
+        tso: Some(tso_cores),
+        programs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{Simulator, State};
+    use rtlcheck_litmus::suite;
+
+    fn init_state(mv: &MultiVscale, sim: &Simulator<'_>) -> State {
+        let pins: Vec<_> = mv.mem.iter().map(|&m| (m, 0)).collect();
+        sim.initial_state_with(&pins).unwrap()
+    }
+
+    #[test]
+    fn builds_for_every_suite_test() {
+        for t in suite::all() {
+            let mv = build(&t);
+            assert_eq!(mv.cores.len(), NUM_CORES, "{}", t.name());
+            assert!(mv.tso.is_some());
+        }
+    }
+
+    /// The sb outcome (r1 = r2 = 0) — SC-forbidden — is reachable on the
+    /// TSO design: both stores sit in their buffers while both loads read
+    /// memory.
+    #[test]
+    fn sb_forbidden_outcome_reachable_by_simulation() {
+        let sb = suite::get("sb").unwrap();
+        let mv = build(&sb);
+        let sim = Simulator::new(&mv.design);
+        let mut s = init_state(&mv, &sim);
+        // Stores never need the grant; alternate load grants so both loads
+        // read memory before any drain (drains need grants too, but a
+        // granted core with a load in DX and a pending store prefers... the
+        // drain is blocked only by load_in_wb; so grant each core exactly
+        // when its load is in DX and its own drain is blocked by the other
+        // load's WB — simpler: drive grants to core 2 (idle) first so
+        // nothing drains, wait for loads to stall, then grant each loader.
+        let mut r = [None, None];
+        for g in [2u64, 2, 0, 1, 2, 2, 2, 0, 1, 0, 1, 0, 1] {
+            for c in [0usize, 1] {
+                let pc_wb = sim.peek(&s, &[g], mv.cores[c].pc_wb);
+                if pc_wb == isa::pc_of(c, 1) {
+                    r[c] = Some(sim.peek(&s, &[g], mv.cores[c].load_data_wb));
+                }
+            }
+            s = sim.step(&s, &[g]);
+        }
+        assert_eq!(r, [Some(0), Some(0)], "the TSO design exhibits store buffering");
+    }
+
+    /// Same-core forwarding: a load after a buffered same-address store
+    /// returns the buffered data.
+    #[test]
+    fn store_forwarding_from_the_buffer() {
+        let t = rtlcheck_litmus::parse(
+            "test f\n{ x = 0; }\ncore 0 { st x, 1; r1 = ld x; }\npermit ( 0:r1 = 1 )",
+        )
+        .unwrap();
+        let mv = build(&t);
+        let sim = Simulator::new(&mv.design);
+        let mut s = init_state(&mv, &sim);
+        let mut r1 = None;
+        // Never grant core 0 the drain slot before the load needs it; the
+        // load still must be granted.
+        for g in [2u64, 2, 0, 0, 0, 0, 0] {
+            let pc_wb = sim.peek(&s, &[g], mv.cores[0].pc_wb);
+            if pc_wb == isa::pc_of(0, 1) {
+                r1 = Some(sim.peek(&s, &[g], mv.cores[0].load_data_wb));
+            }
+            s = sim.step(&s, &[g]);
+        }
+        assert_eq!(r1, Some(1), "load forwards from the store buffer");
+    }
+
+    /// Halt flushes the buffer: once all cores report halted, memory holds
+    /// every store's value.
+    #[test]
+    fn halt_waits_for_the_buffer_to_drain() {
+        let mp = suite::get("mp").unwrap();
+        let mv = build(&mp);
+        let sim = Simulator::new(&mv.design);
+        let mut s = init_state(&mv, &sim);
+        for i in 0..60u64 {
+            s = sim.step(&s, &[i % 4]);
+        }
+        for c in 0..NUM_CORES {
+            assert_eq!(sim.peek(&s, &[0], mv.cores[c].halted), 1, "core {c} halted");
+        }
+        assert_eq!(sim.peek(&s, &[0], mv.mem[0]), 1, "x drained");
+        assert_eq!(sim.peek(&s, &[0], mv.mem[1]), 1, "y drained");
+        let tso = mv.tso.as_ref().unwrap();
+        for c in 0..NUM_CORES {
+            assert_eq!(sim.peek(&s, &[0], tso[c].sbuf_valid), 0, "buffer {c} empty");
+        }
+    }
+
+    /// Drains never coincide with a load's WB (the read port is busy).
+    #[test]
+    fn drain_blocked_while_load_in_wb() {
+        let t = rtlcheck_litmus::parse(
+            "test b\n{ x = 0; y = 0; }\ncore 0 { st x, 1; }\ncore 1 { r1 = ld y; }\npermit ( 1:r1 = 0 )",
+        )
+        .unwrap();
+        let mv = build(&t);
+        let sim = Simulator::new(&mv.design);
+        let tso = mv.tso.as_ref().unwrap();
+        let mut s = init_state(&mv, &sim);
+        // Cycle 1: grant core 1 (load to WB at cycle 2). Cycle 2: grant
+        // core 0, whose store is buffered by then — drain must be blocked.
+        s = sim.step(&s, &[1]); // cycle 1: load granted in DX
+        s = sim.step(&s, &[1]); // cycle 2 begins: load in WB
+        // The store needs a couple more cycles to reach the buffer; run a
+        // schedule where a load WB and a drain would collide and check the
+        // drain wire stays low in that cycle.
+        let mut saw_block = false;
+        for _ in 0..12 {
+            let load_in_wb = (0..NUM_CORES)
+                .any(|c| sim.peek(&s, &[0], mv.cores[c].kind_wb) == kind::LOAD);
+            if load_in_wb {
+                for c in 0..NUM_CORES {
+                    assert_eq!(
+                        sim.peek(&s, &[c as u64], tso[c].drain),
+                        0,
+                        "drain while a load holds the read port"
+                    );
+                }
+                saw_block = true;
+            }
+            s = sim.step(&s, &[0]);
+        }
+        assert!(saw_block, "the schedule should exercise the blocking case");
+    }
+}

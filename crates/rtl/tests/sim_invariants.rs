@@ -1,0 +1,143 @@
+//! Property-based invariants of the Multi-V-scale design under random
+//! programs and arbiter schedules.
+
+use proptest::prelude::*;
+use rtlcheck_rtl::isa::{self, kind, EncInstr};
+use rtlcheck_rtl::multi_vscale::{MemoryImpl, MultiVscale, NUM_CORES};
+use rtlcheck_rtl::sim::Simulator;
+use rtlcheck_rtl::SignalKind;
+
+fn arb_instr() -> impl Strategy<Value = EncInstr> {
+    prop_oneof![
+        (0u64..3, 1u64..4)
+            .prop_map(|(addr, data)| EncInstr { kind: kind::STORE, addr, data }),
+        (0u64..3).prop_map(|addr| EncInstr { kind: kind::LOAD, addr, data: 0 }),
+    ]
+}
+
+fn arb_programs() -> impl Strategy<Value = Vec<Vec<EncInstr>>> {
+    proptest::collection::vec(proptest::collection::vec(arb_instr(), 0..4), NUM_CORES..=NUM_CORES)
+        .prop_map(|progs| {
+            progs
+                .into_iter()
+                .map(|mut p| {
+                    p.push(EncInstr::HALT);
+                    p
+                })
+                .collect()
+        })
+}
+
+fn arb_schedule() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(0u64..4, 30..60)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Register values always fit their declared widths, on both memory
+    /// implementations, under any schedule.
+    #[test]
+    fn values_respect_widths(programs in arb_programs(), schedule in arb_schedule()) {
+        for memory in [MemoryImpl::Buggy, MemoryImpl::Fixed] {
+            let mv = MultiVscale::build_raw(programs.clone(), 3, memory);
+            let sim = Simulator::new(&mv.design);
+            let pins: Vec<_> = mv.mem.iter().map(|&m| (m, 0)).collect();
+            let mut state = sim.initial_state_with(&pins).unwrap();
+            for &g in &schedule {
+                for (_, s) in mv.design.signals() {
+                    if let SignalKind::Reg { index, .. } = s.kind {
+                        let v = state.regs()[index];
+                        let max = if s.width == 64 { u64::MAX } else { (1 << s.width) - 1 };
+                        prop_assert!(v <= max, "{} = {v} exceeds {} bits", s.name, s.width);
+                    }
+                }
+                state = sim.step(&state, &[g]);
+            }
+        }
+    }
+
+    /// `halted` is monotone and all cores eventually halt under a fair
+    /// round-robin schedule; the final state is absorbing.
+    #[test]
+    fn fair_schedules_reach_an_absorbing_halt(programs in arb_programs()) {
+        for memory in [MemoryImpl::Buggy, MemoryImpl::Fixed] {
+            let mv = MultiVscale::build_raw(programs.clone(), 3, memory);
+            let sim = Simulator::new(&mv.design);
+            let pins: Vec<_> = mv.mem.iter().map(|&m| (m, 0)).collect();
+            let mut state = sim.initial_state_with(&pins).unwrap();
+            let mut halted_before = vec![false; NUM_CORES];
+            for cycle in 0..64u64 {
+                let g = cycle % 4;
+                for (c, core) in mv.cores.iter().enumerate() {
+                    let h = sim.peek(&state, &[g], core.halted) == 1;
+                    prop_assert!(h || !halted_before[c], "core {c} un-halted");
+                    halted_before[c] = h;
+                }
+                state = sim.step(&state, &[g]);
+            }
+            for (c, core) in mv.cores.iter().enumerate() {
+                prop_assert_eq!(sim.peek(&state, &[0], core.halted), 1, "core {} never halted", c);
+            }
+            for g in 0..4u64 {
+                let next = sim.step(&state, &[g]);
+                prop_assert_eq!(&next, &sim.step(&next, &[g]), "state not absorbing");
+            }
+        }
+    }
+
+    /// The *fixed* memory is sequentially consistent: replaying the
+    /// schedule and tracking the memory order (stores apply one cycle after
+    /// their WB) must show every load returning the latest committed store
+    /// value, which the simulator's `load_data_WB` must match.
+    #[test]
+    fn fixed_memory_loads_return_latest_committed_store(
+        programs in arb_programs(),
+        schedule in arb_schedule(),
+    ) {
+        let mv = MultiVscale::build_raw(programs.clone(), 3, MemoryImpl::Fixed);
+        let sim = Simulator::new(&mv.design);
+        let pins: Vec<_> = mv.mem.iter().map(|&m| (m, 0)).collect();
+        let mut state = sim.initial_state_with(&pins).unwrap();
+        // Reference memory: applied when a store's WB completes (visible to
+        // loads one cycle later, like the RTL).
+        let mut ref_mem = [0u64; 3];
+        for &g in &schedule {
+            // Check loads currently in WB against the reference memory.
+            for (c, core) in mv.cores.iter().enumerate() {
+                if sim.peek(&state, &[g], core.kind_wb) == kind::LOAD {
+                    let addr = sim.peek(&state, &[g], core.addr_wb) as usize;
+                    let got = sim.peek(&state, &[g], core.load_data_wb);
+                    prop_assert_eq!(
+                        got, ref_mem[addr],
+                        "core {} load of word {} diverged from the reference", c, addr
+                    );
+                }
+            }
+            // Commit stores in WB to the reference (visible next cycle).
+            for core in &mv.cores {
+                if sim.peek(&state, &[g], core.kind_wb) == kind::STORE {
+                    let addr = sim.peek(&state, &[g], core.addr_wb) as usize;
+                    ref_mem[addr] = sim.peek(&state, &[g], core.store_data_wb);
+                }
+            }
+            state = sim.step(&state, &[g]);
+        }
+    }
+
+    /// Instruction encoding round-trips through packing.
+    #[test]
+    fn packed_encoding_roundtrips(i in arb_instr()) {
+        let p = i.packed();
+        prop_assert_eq!(p >> 40, i.kind);
+        prop_assert_eq!((p >> 32) & 0xFF, i.addr);
+        prop_assert_eq!(p & 0xFFFF_FFFF, i.data);
+    }
+
+    /// PC layout never collides across cores.
+    #[test]
+    fn pc_layout_is_disjoint(c1 in 0usize..4, i1 in 0usize..16, c2 in 0usize..4, i2 in 0usize..16) {
+        prop_assume!((c1, i1) != (c2, i2));
+        prop_assert_ne!(isa::pc_of(c1, i1), isa::pc_of(c2, i2));
+    }
+}

@@ -1,0 +1,247 @@
+//! Abstract syntax for the SVA subset.
+//!
+//! All types are generic over the atom type `A` — the opaque boolean
+//! conditions sampled each clock cycle. The RTLCheck core instantiates `A`
+//! with RTL signal comparisons; tests often use small integers.
+
+/// A boolean expression over atoms, sampled at one clock cycle.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum SvaBool<A> {
+    /// Constant truth value.
+    Const(bool),
+    /// An opaque atom, evaluated by the environment.
+    Atom(A),
+    /// Negation.
+    Not(Box<SvaBool<A>>),
+    /// Conjunction.
+    And(Box<SvaBool<A>>, Box<SvaBool<A>>),
+    /// Disjunction.
+    Or(Box<SvaBool<A>>, Box<SvaBool<A>>),
+}
+
+impl<A> SvaBool<A> {
+    /// An atom.
+    pub fn atom(a: A) -> Self {
+        SvaBool::Atom(a)
+    }
+
+    /// `~b`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(b: SvaBool<A>) -> Self {
+        SvaBool::Not(Box::new(b))
+    }
+
+    /// `a && b`.
+    pub fn and(a: SvaBool<A>, b: SvaBool<A>) -> Self {
+        SvaBool::And(Box::new(a), Box::new(b))
+    }
+
+    /// `a || b`.
+    pub fn or(a: SvaBool<A>, b: SvaBool<A>) -> Self {
+        SvaBool::Or(Box::new(a), Box::new(b))
+    }
+
+    /// Conjunction of any number of terms (`true` when empty).
+    pub fn all(terms: Vec<SvaBool<A>>) -> Self {
+        let mut it = terms.into_iter();
+        match it.next() {
+            None => SvaBool::Const(true),
+            Some(first) => it.fold(first, SvaBool::and),
+        }
+    }
+
+    /// Disjunction of any number of terms (`false` when empty).
+    pub fn any(terms: Vec<SvaBool<A>>) -> Self {
+        let mut it = terms.into_iter();
+        match it.next() {
+            None => SvaBool::Const(false),
+            Some(first) => it.fold(first, SvaBool::or),
+        }
+    }
+
+    /// Evaluates under an atom valuation.
+    pub fn eval(&self, env: &dyn Fn(&A) -> bool) -> bool {
+        match self {
+            SvaBool::Const(c) => *c,
+            SvaBool::Atom(a) => env(a),
+            SvaBool::Not(b) => !b.eval(env),
+            SvaBool::And(a, b) => a.eval(env) && b.eval(env),
+            SvaBool::Or(a, b) => a.eval(env) || b.eval(env),
+        }
+    }
+}
+
+/// A sequence (SVA's regular-expression-like layer over clock cycles).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Seq<A> {
+    /// Matches exactly one cycle where the boolean holds.
+    Bool(SvaBool<A>),
+    /// `a ##1 b`: `b` begins the cycle after `a` ends.
+    Then(Box<Seq<A>>, Box<Seq<A>>),
+    /// `s[*min:max]`: consecutive repetition; `max = None` is `$`
+    /// (unbounded). `min = 0` permits the empty match.
+    Repeat {
+        /// Repeated sequence.
+        body: Box<Seq<A>>,
+        /// Minimum repetitions.
+        min: u32,
+        /// Maximum repetitions (`None` = unbounded).
+        max: Option<u32>,
+    },
+    /// Sequence disjunction: matches if either operand matches.
+    Or(Box<Seq<A>>, Box<Seq<A>>),
+}
+
+impl<A> Seq<A> {
+    /// A single-cycle boolean sequence.
+    pub fn boolean(b: SvaBool<A>) -> Self {
+        Seq::Bool(b)
+    }
+
+    /// `a ##1 b`.
+    pub fn then(a: Seq<A>, b: Seq<A>) -> Self {
+        Seq::Then(Box::new(a), Box::new(b))
+    }
+
+    /// `s[*min:max]`.
+    pub fn repeat(body: Seq<A>, min: u32, max: Option<u32>) -> Self {
+        Seq::Repeat { body: Box::new(body), min, max }
+    }
+
+    /// `##[min:max] s`: an arbitrary delay of `min..=max` cycles, then `s`.
+    /// `max = None` renders as `##[min:$]`.
+    pub fn delay(min: u32, max: Option<u32>, s: Seq<A>) -> Self {
+        let any = Seq::repeat(Seq::boolean(SvaBool::Const(true)), min, max);
+        Seq::then(any, s)
+    }
+
+    /// `##n s`: exactly `n` cycles of delay, then `s`.
+    pub fn delay_exact(n: u32, s: Seq<A>) -> Self {
+        Seq::delay(n, Some(n), s)
+    }
+
+    /// `a ##1 b ##1 c ##1 …` over a list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty.
+    pub fn chain(parts: Vec<Seq<A>>) -> Self {
+        let mut it = parts.into_iter();
+        let first = it.next().expect("chain of at least one sequence");
+        it.fold(first, Seq::then)
+    }
+}
+
+/// A property.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Prop<A> {
+    /// A (weak) sequence property: holds unless the sequence can no longer
+    /// match.
+    Seq(Seq<A>),
+    /// `b |-> p`: if the boolean holds at the attempt's start cycle, `p`
+    /// must hold starting that same cycle.
+    Implies {
+        /// Boolean antecedent, sampled at the attempt's first cycle.
+        antecedent: SvaBool<A>,
+        /// Consequent property.
+        body: Box<Prop<A>>,
+    },
+    /// Property conjunction (`and`).
+    And(Vec<Prop<A>>),
+    /// Property disjunction (`or`).
+    Or(Vec<Prop<A>>),
+    /// Fails if the boolean ever holds at or after the attempt's start.
+    /// (Used for `NeverNode` constraints; equivalent to
+    /// `always ~b` from the attempt's start.)
+    Never(SvaBool<A>),
+}
+
+impl<A> Prop<A> {
+    /// A sequence property.
+    pub fn seq(s: Seq<A>) -> Self {
+        Prop::Seq(s)
+    }
+
+    /// `b |-> p`.
+    pub fn implies(antecedent: SvaBool<A>, body: Prop<A>) -> Self {
+        Prop::Implies { antecedent, body: Box::new(body) }
+    }
+
+    /// Property conjunction; unwraps singletons and treats empty as `true`
+    /// (a property that always holds).
+    pub fn all(mut props: Vec<Prop<A>>) -> Self {
+        match props.len() {
+            1 => props.pop().expect("len checked"),
+            _ => Prop::And(props),
+        }
+    }
+
+    /// Property disjunction; unwraps singletons. An empty disjunction is
+    /// unsatisfiable (fails immediately).
+    pub fn any(mut props: Vec<Prop<A>>) -> Self {
+        match props.len() {
+            1 => props.pop().expect("len checked"),
+            _ => Prop::Or(props),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bool_eval() {
+        let b: SvaBool<u32> = SvaBool::and(
+            SvaBool::atom(1),
+            SvaBool::or(SvaBool::not(SvaBool::atom(2)), SvaBool::Const(false)),
+        );
+        assert!(b.eval(&|v| *v == 1));
+        assert!(!b.eval(&|v| *v == 2));
+        assert!(!b.eval(&|_| true), "atom 2 true makes the Or false");
+    }
+
+    #[test]
+    fn all_and_any_fold() {
+        let t: SvaBool<u32> = SvaBool::all(vec![]);
+        assert!(t.eval(&|_| false));
+        let f: SvaBool<u32> = SvaBool::any(vec![]);
+        assert!(!f.eval(&|_| true));
+        let both = SvaBool::all(vec![SvaBool::atom(0u32), SvaBool::atom(1)]);
+        assert!(both.eval(&|_| true));
+        assert!(!both.eval(&|v| *v == 0));
+    }
+
+    #[test]
+    fn chain_builds_left_nested_thens() {
+        let s: Seq<u32> = Seq::chain(vec![
+            Seq::boolean(SvaBool::atom(0)),
+            Seq::boolean(SvaBool::atom(1)),
+            Seq::boolean(SvaBool::atom(2)),
+        ]);
+        match s {
+            Seq::Then(ab, c) => {
+                assert!(matches!(*c, Seq::Bool(_)));
+                assert!(matches!(*ab, Seq::Then(..)));
+            }
+            other => panic!("expected Then, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn chain_rejects_empty() {
+        let _: Seq<u32> = Seq::chain(vec![]);
+    }
+
+    #[test]
+    fn prop_fold_unwraps_singletons() {
+        let p: Prop<u32> = Prop::all(vec![Prop::seq(Seq::boolean(SvaBool::atom(0)))]);
+        assert!(matches!(p, Prop::Seq(_)));
+        let q: Prop<u32> = Prop::any(vec![
+            Prop::seq(Seq::boolean(SvaBool::atom(0))),
+            Prop::seq(Seq::boolean(SvaBool::atom(1))),
+        ]);
+        assert!(matches!(q, Prop::Or(ref v) if v.len() == 2));
+    }
+}

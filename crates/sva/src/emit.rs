@@ -1,0 +1,129 @@
+//! Rendering of properties as SystemVerilog source text.
+//!
+//! The generated text matches the shape of the paper's Figures 8 and 10:
+//! `assert property (@(posedge clk) first |-> …);`. Atoms are rendered by a
+//! caller-supplied function, since only the instantiating crate knows what
+//! an atom is (e.g. `core[1].PC_WB == 32'd28`).
+
+use crate::ast::{Prop, Seq, SvaBool};
+
+/// Renders a boolean expression.
+pub fn bool_to_sva<A>(b: &SvaBool<A>, atom: &dyn Fn(&A) -> String) -> String {
+    match b {
+        SvaBool::Const(true) => "1".to_string(),
+        SvaBool::Const(false) => "0".to_string(),
+        SvaBool::Atom(a) => atom(a),
+        SvaBool::Not(inner) => format!("(~{})", bool_to_sva(inner, atom)),
+        SvaBool::And(x, y) => {
+            format!("({} && {})", bool_to_sva(x, atom), bool_to_sva(y, atom))
+        }
+        SvaBool::Or(x, y) => {
+            format!("({} || {})", bool_to_sva(x, atom), bool_to_sva(y, atom))
+        }
+    }
+}
+
+/// Renders a sequence.
+pub fn seq_to_sva<A>(s: &Seq<A>, atom: &dyn Fn(&A) -> String) -> String {
+    match s {
+        Seq::Bool(b) => bool_to_sva(b, atom),
+        Seq::Then(a, b) => format!("{} ##1 {}", seq_to_sva(a, atom), seq_to_sva(b, atom)),
+        Seq::Repeat { body, min, max } => {
+            let bound = match max {
+                Some(max) if max == min => format!("[*{min}]"),
+                Some(max) => format!("[*{min}:{max}]"),
+                None => format!("[*{min}:$]"),
+            };
+            format!("({}) {bound}", seq_to_sva(body, atom))
+        }
+        Seq::Or(a, b) => {
+            format!("({} or {})", seq_to_sva(a, atom), seq_to_sva(b, atom))
+        }
+    }
+}
+
+/// Renders a property.
+pub fn prop_to_sva<A>(p: &Prop<A>, atom: &dyn Fn(&A) -> String) -> String {
+    match p {
+        Prop::Seq(s) => format!("({})", seq_to_sva(s, atom)),
+        Prop::Implies { antecedent, body } => {
+            format!("{} |-> {}", bool_to_sva(antecedent, atom), prop_to_sva(body, atom))
+        }
+        Prop::And(children) => join_children(children, " and ", atom),
+        Prop::Or(children) => join_children(children, " or ", atom),
+        Prop::Never(b) => format!("(not (##[0:$] {}))", bool_to_sva(b, atom)),
+    }
+}
+
+fn join_children<A>(children: &[Prop<A>], sep: &str, atom: &dyn Fn(&A) -> String) -> String {
+    if children.is_empty() {
+        return "(1)".to_string();
+    }
+    let parts: Vec<String> = children.iter().map(|c| prop_to_sva(c, atom)).collect();
+    format!("({})", parts.join(sep))
+}
+
+/// Renders a complete `assert property` directive on the given clock.
+pub fn assert_directive<A>(p: &Prop<A>, atom: &dyn Fn(&A) -> String) -> String {
+    format!("assert property (@(posedge clk) {});", prop_to_sva(p, atom))
+}
+
+/// Renders a complete `assume property` directive on the given clock.
+pub fn assume_directive<A>(p: &Prop<A>, atom: &dyn Fn(&A) -> String) -> String {
+    format!("assume property (@(posedge clk) {});", prop_to_sva(p, atom))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn atom(a: &u32) -> String {
+        format!("sig{a}")
+    }
+
+    #[test]
+    fn renders_figure10_shape() {
+        // first |-> ((~(ld || st))[*0:$] ##1 ld0 ##1 (~(ld || st))[*0:$] ##1 st)
+        let quiet = SvaBool::not(SvaBool::or(SvaBool::atom(1u32), SvaBool::atom(2)));
+        let seq = Seq::chain(vec![
+            Seq::repeat(Seq::boolean(quiet.clone()), 0, None),
+            Seq::boolean(SvaBool::atom(3)),
+            Seq::repeat(Seq::boolean(quiet), 0, None),
+            Seq::boolean(SvaBool::atom(2)),
+        ]);
+        let prop = Prop::implies(SvaBool::atom(0), Prop::seq(seq));
+        let text = assert_directive(&prop, &atom);
+        assert!(text.starts_with("assert property (@(posedge clk) sig0 |-> "), "{text}");
+        assert!(text.contains("[*0:$]"), "{text}");
+        assert!(text.contains("##1 sig3 ##1"), "{text}");
+        assert!(text.contains("(~(sig1 || sig2))"), "{text}");
+        assert!(text.ends_with(");"), "{text}");
+    }
+
+    #[test]
+    fn renders_delays_and_bounds() {
+        let s: Seq<u32> = Seq::delay(2, Some(5), Seq::boolean(SvaBool::atom(7)));
+        let text = seq_to_sva(&s, &atom);
+        assert_eq!(text, "(1) [*2:5] ##1 sig7");
+        let s: Seq<u32> = Seq::repeat(Seq::boolean(SvaBool::atom(7)), 3, Some(3));
+        assert_eq!(seq_to_sva(&s, &atom), "(sig7) [*3]");
+    }
+
+    #[test]
+    fn renders_property_connectives() {
+        let a: Prop<u32> = Prop::seq(Seq::boolean(SvaBool::atom(1)));
+        let b: Prop<u32> = Prop::seq(Seq::boolean(SvaBool::atom(2)));
+        let text = prop_to_sva(&Prop::And(vec![a.clone(), b.clone()]), &atom);
+        assert_eq!(text, "((sig1) and (sig2))");
+        let text = prop_to_sva(&Prop::Or(vec![a, b]), &atom);
+        assert_eq!(text, "((sig1) or (sig2))");
+    }
+
+    #[test]
+    fn renders_assume_and_never() {
+        let p: Prop<u32> = Prop::Never(SvaBool::atom(4));
+        let text = assume_directive(&p, &atom);
+        assert!(text.starts_with("assume property"), "{text}");
+        assert!(text.contains("not (##[0:$] sig4)"), "{text}");
+    }
+}

@@ -1,0 +1,57 @@
+//! A SystemVerilog Assertions (SVA) subset with precise weak-safety
+//! semantics.
+//!
+//! RTLCheck's generated properties use a small but semantically subtle SVA
+//! fragment: boolean conditions over design signals, sequence concatenation
+//! (`##1`), bounded and unbounded delay (`##[m:n]`, `##[0:$]`), consecutive
+//! repetition (`[*m:n]`, `[*0:$]`), sequence disjunction, property
+//! `and`/`or`, and implication with a boolean antecedent (`first |-> …`).
+//! This crate implements that fragment:
+//!
+//! * [`ast`] — the expression/sequence/property syntax.
+//! * [`nfa`] — Thompson-style compilation of sequences to NFAs with
+//!   epsilon transitions, plus a compact bitset state representation.
+//! * [`monitor`] — online evaluation faithful to the semantics the paper's
+//!   translation challenges hinge on (§3):
+//!   - a **match attempt starts at every clock cycle** (§3.4) — RTLCheck's
+//!     `first |->` guard exists precisely to filter out all but the first;
+//!   - sequences are checked **weakly**: an attempt fails only when its NFA
+//!     has no live states and has not matched, so partial executions that
+//!     could still extend to a match never fail (§3.1);
+//!   - assumptions are enforced only **up to the present cycle** — there is
+//!     no lookahead for future violation (§3.1/§3.2).
+//! * [`emit`] — rendering as SystemVerilog source text (the artifacts a
+//!   JasperGold run would consume; cf. the paper's Figures 8 and 10).
+//!
+//! # Example
+//!
+//! ```
+//! use rtlcheck_sva::ast::{Prop, Seq, SvaBool};
+//! use rtlcheck_sva::monitor::Monitor;
+//!
+//! // assert property (@(posedge clk) first |-> ##2 st_x_wb);
+//! // Atoms here are indices into a per-cycle valuation for brevity; the
+//! // RTLCheck core instantiates them as signal comparisons instead.
+//! let first = SvaBool::atom(0u32);
+//! let st_x_wb = SvaBool::atom(1u32);
+//! let prop = Prop::implies(first, Prop::seq(Seq::delay_exact(2, Seq::boolean(st_x_wb))));
+//! let mut m = Monitor::new(&prop);
+//! // Cycle 0: first=1; cycles 1, 2: st_x_wb rises at cycle 2.
+//! m.step(&|v: &u32| *v == 0);
+//! m.step(&|_: &u32| false);
+//! m.step(&|v: &u32| *v == 1);
+//! assert!(!m.failed());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod ast;
+pub mod emit;
+pub mod monitor;
+pub mod nfa;
+pub mod parse;
+
+pub use ast::{Prop, Seq, SvaBool};
+pub use monitor::{Monitor, MonitorState};
+pub use parse::{parse_directive, parse_prop, DirectiveKeyword, ParseSvaError};

@@ -1,0 +1,522 @@
+//! Online property monitors with faithful SVA attempt semantics.
+//!
+//! A [`Monitor`] tracks one `assert property` / `assume property`
+//! directive over a trace, implementing the semantics that drive the
+//! paper's translation design:
+//!
+//! * **An attempt starts at every clock cycle** (§3.4). Each cycle
+//!   instantiates a fresh copy of the property beginning at that cycle; the
+//!   directive fails if *any* attempt fails. RTLCheck's generated
+//!   properties guard with `first |->` so that only the first attempt is
+//!   ever non-vacuous — un-guarded properties really do check from every
+//!   cycle, which this monitor reproduces.
+//! * **Weak sequence evaluation** (§3.1). An attempt is `Pending` while its
+//!   sequences could still match, `Holds` once satisfied, and `Fails` only
+//!   when no extension of the trace can satisfy it. Partial executions
+//!   never fail a property that could still match.
+//! * **No future-violation lookahead.** A monitor only reports failure
+//!   at/after the cycle where failure becomes unavoidable — exactly the
+//!   assumption semantics (of JasperGold and other SVA verifiers) that
+//!   force outcome-aware assertion generation (§3.2).
+//!
+//! Monitor state is canonically encoded ([`MonitorState`]) — deduplicated,
+//! ordered, and hashable — so the explicit-state verifier can use
+//! `(design state, monitor states)` product states directly.
+
+use std::collections::BTreeSet;
+
+use crate::ast::{Prop, SvaBool};
+use crate::nfa::{BitSet, Nfa};
+
+/// The status/state of one attempt's property evaluation.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+enum PropState {
+    /// Resolved: holds (true) or fails (false), regardless of the future.
+    Done(bool),
+    /// A pending sequence: live NFA states, by index into the monitor's
+    /// compiled sequence table.
+    SeqPending {
+        /// Which compiled NFA this refers to.
+        nfa: usize,
+        /// Live state set.
+        live: BitSet,
+    },
+    /// Pending `Never`: fails if the boolean (by index) ever holds.
+    NeverPending {
+        /// Index into the monitor's boolean table.
+        cond: usize,
+    },
+    /// All children must hold.
+    And(Vec<PropState>),
+    /// At least one child must hold.
+    Or(Vec<PropState>),
+}
+
+impl PropState {
+    fn resolved(&self) -> Option<bool> {
+        match self {
+            PropState::Done(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Normalises And/Or nodes whose outcome is already determined.
+    fn normalise(self) -> PropState {
+        match self {
+            PropState::And(children) => {
+                let mut pending = Vec::new();
+                for c in children {
+                    match c.resolved() {
+                        Some(false) => return PropState::Done(false),
+                        Some(true) => {}
+                        None => pending.push(c),
+                    }
+                }
+                match pending.len() {
+                    0 => PropState::Done(true),
+                    1 => pending.pop().expect("len checked"),
+                    _ => {
+                        pending.sort();
+                        PropState::And(pending)
+                    }
+                }
+            }
+            PropState::Or(children) => {
+                let mut pending = Vec::new();
+                for c in children {
+                    match c.resolved() {
+                        Some(true) => return PropState::Done(true),
+                        Some(false) => {}
+                        None => pending.push(c),
+                    }
+                }
+                match pending.len() {
+                    0 => PropState::Done(false),
+                    1 => pending.pop().expect("len checked"),
+                    _ => {
+                        pending.sort();
+                        PropState::Or(pending)
+                    }
+                }
+            }
+            other => other,
+        }
+    }
+}
+
+/// The externally visible, canonically encoded state of a [`Monitor`]:
+/// whether it has failed plus the set of distinct pending attempts.
+///
+/// Two monitors with equal `MonitorState`s behave identically on all future
+/// inputs, which is what makes product-state deduplication in the verifier
+/// sound.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MonitorState {
+    failed: bool,
+    pending: BTreeSet<PropState>,
+}
+
+impl MonitorState {
+    /// Whether some attempt has failed.
+    pub fn failed(&self) -> bool {
+        self.failed
+    }
+
+    /// Number of distinct pending attempts.
+    pub fn num_pending(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+/// Compiled, immutable data shared by all attempts of one property.
+#[derive(Debug, Clone)]
+struct Compiled<A> {
+    prop: Prop<A>,
+    nfas: Vec<Nfa<A>>,
+    bools: Vec<SvaBool<A>>,
+}
+
+/// An online monitor for one property directive.
+#[derive(Debug, Clone)]
+pub struct Monitor<A> {
+    compiled: Compiled<A>,
+    state: MonitorState,
+}
+
+impl<A: Clone + Ord> Monitor<A> {
+    /// Compiles a monitor for `prop`. No attempt is active until the first
+    /// [`Monitor::step`].
+    pub fn new(prop: &Prop<A>) -> Self {
+        let mut compiled =
+            Compiled { prop: prop.clone(), nfas: Vec::new(), bools: Vec::new() };
+        compile(prop, &mut compiled);
+        Monitor {
+            compiled,
+            state: MonitorState { failed: false, pending: BTreeSet::new() },
+        }
+    }
+
+    /// The canonical monitor state.
+    pub fn state(&self) -> &MonitorState {
+        &self.state
+    }
+
+    /// Replaces the monitor's state (used by the verifier when revisiting a
+    /// product state).
+    pub fn set_state(&mut self, state: MonitorState) {
+        self.state = state;
+    }
+
+    /// Whether any attempt has failed so far.
+    pub fn failed(&self) -> bool {
+        self.state.failed
+    }
+
+    /// Processes one clock cycle: spawns this cycle's new attempt, advances
+    /// every pending attempt, and records failures.
+    pub fn step(&mut self, env: &dyn Fn(&A) -> bool) {
+        if self.state.failed {
+            return; // failure is absorbing
+        }
+        let mut next: BTreeSet<PropState> = BTreeSet::new();
+        let mut failed = false;
+
+        // New attempt starting this cycle. The antecedent of a top-level
+        // implication (and the initial NFA closures) see this cycle's
+        // values; `spawn` therefore also consumes this cycle.
+        let fresh = spawn(&self.compiled, &self.compiled.prop, env);
+        match fresh.resolved() {
+            Some(false) => failed = true,
+            Some(true) => {}
+            None => {
+                next.insert(fresh);
+            }
+        }
+
+        // Advance previously pending attempts.
+        for attempt in &self.state.pending {
+            let advanced = advance(&self.compiled, attempt.clone(), env);
+            match advanced.resolved() {
+                Some(false) => failed = true,
+                Some(true) => {}
+                None => {
+                    next.insert(advanced);
+                }
+            }
+        }
+
+        self.state = MonitorState { failed, pending: if failed { BTreeSet::new() } else { next } };
+    }
+}
+
+/// Collects sequence NFAs and `Never` booleans into the compiled tables.
+fn compile<A: Clone>(prop: &Prop<A>, out: &mut Compiled<A>) {
+    match prop {
+        Prop::Seq(s) => {
+            out.nfas.push(Nfa::compile(s));
+        }
+        Prop::Implies { body, .. } => compile(body, out),
+        Prop::And(children) | Prop::Or(children) => {
+            for c in children {
+                compile(c, out);
+            }
+        }
+        Prop::Never(b) => {
+            out.bools.push(b.clone());
+        }
+    }
+}
+
+/// Starts a new attempt of `prop` at the current cycle, consuming it.
+///
+/// Sequence/`Never` indices are assigned in the same traversal order as
+/// [`compile`], tracked via counters threaded through the recursion.
+fn spawn<A: Clone + Ord>(
+    compiled: &Compiled<A>,
+    prop: &Prop<A>,
+    env: &dyn Fn(&A) -> bool,
+) -> PropState {
+    fn go<A: Clone + Ord>(
+        compiled: &Compiled<A>,
+        prop: &Prop<A>,
+        env: &dyn Fn(&A) -> bool,
+        next_nfa: &mut usize,
+        next_bool: &mut usize,
+    ) -> PropState {
+        match prop {
+            Prop::Seq(_) => {
+                let idx = *next_nfa;
+                *next_nfa += 1;
+                let nfa = &compiled.nfas[idx];
+                let live = nfa.step(&nfa.initial(), env);
+                seq_status(nfa, idx, live)
+            }
+            Prop::Implies { antecedent, body } => {
+                if antecedent.eval(env) {
+                    go(compiled, body, env, next_nfa, next_bool)
+                } else {
+                    // Vacuously true — but the traversal must still account
+                    // for the body's table indices.
+                    skip(body, next_nfa, next_bool);
+                    PropState::Done(true)
+                }
+            }
+            Prop::And(children) => PropState::And(
+                children
+                    .iter()
+                    .map(|c| go(compiled, c, env, next_nfa, next_bool))
+                    .collect(),
+            )
+            .normalise(),
+            Prop::Or(children) => PropState::Or(
+                children
+                    .iter()
+                    .map(|c| go(compiled, c, env, next_nfa, next_bool))
+                    .collect(),
+            )
+            .normalise(),
+            Prop::Never(b) => {
+                let idx = *next_bool;
+                *next_bool += 1;
+                if b.eval(env) {
+                    PropState::Done(false)
+                } else {
+                    PropState::NeverPending { cond: idx }
+                }
+            }
+        }
+    }
+    fn skip<A>(prop: &Prop<A>, next_nfa: &mut usize, next_bool: &mut usize) {
+        match prop {
+            Prop::Seq(_) => *next_nfa += 1,
+            Prop::Implies { body, .. } => skip(body, next_nfa, next_bool),
+            Prop::And(children) | Prop::Or(children) => {
+                for c in children {
+                    skip(c, next_nfa, next_bool);
+                }
+            }
+            Prop::Never(_) => *next_bool += 1,
+        }
+    }
+    let (mut n, mut b) = (0, 0);
+    go(compiled, prop, env, &mut n, &mut b)
+}
+
+fn seq_status<A: Clone>(nfa: &Nfa<A>, idx: usize, live: BitSet) -> PropState {
+    if nfa.accepts(&live) {
+        PropState::Done(true)
+    } else if live.is_empty() {
+        PropState::Done(false)
+    } else {
+        PropState::SeqPending { nfa: idx, live }
+    }
+}
+
+/// Advances a pending attempt by one cycle.
+fn advance<A: Clone + Ord>(
+    compiled: &Compiled<A>,
+    state: PropState,
+    env: &dyn Fn(&A) -> bool,
+) -> PropState {
+    match state {
+        done @ PropState::Done(_) => done,
+        PropState::SeqPending { nfa, live } => {
+            let next = compiled.nfas[nfa].step(&live, env);
+            seq_status(&compiled.nfas[nfa], nfa, next)
+        }
+        PropState::NeverPending { cond } => {
+            if compiled.bools[cond].eval(env) {
+                PropState::Done(false)
+            } else {
+                PropState::NeverPending { cond }
+            }
+        }
+        PropState::And(children) => PropState::And(
+            children.into_iter().map(|c| advance(compiled, c, env)).collect(),
+        )
+        .normalise(),
+        PropState::Or(children) => PropState::Or(
+            children.into_iter().map(|c| advance(compiled, c, env)).collect(),
+        )
+        .normalise(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Seq;
+
+    type P = Prop<u32>;
+    type S = Seq<u32>;
+
+    fn atom(v: u32) -> SvaBool<u32> {
+        SvaBool::atom(v)
+    }
+
+    /// Drives a monitor over a trace of true-atom sets; returns whether it
+    /// failed by the end.
+    fn fails(prop: &P, trace: &[&[u32]]) -> bool {
+        let mut m = Monitor::new(prop);
+        for t in trace {
+            m.step(&|a| t.contains(a));
+            if m.failed() {
+                return true;
+            }
+        }
+        m.failed()
+    }
+
+    /// §3.4's example: `assert property (##2 st_x_wb)` — WITHOUT a first
+    /// guard — fails even on a trace where the store IS in WB two cycles
+    /// after the start, because the attempt beginning at cycle 1 checks
+    /// cycle 3.
+    #[test]
+    fn unguarded_assertion_fails_due_to_later_attempts() {
+        let prop = P::seq(S::delay_exact(2, S::boolean(atom(1))));
+        // st_x_wb at cycle 2 only.
+        assert!(fails(&prop, &[&[], &[], &[1], &[], &[]]));
+    }
+
+    /// §4.4: guarding with `first |->` filters all attempts but the first.
+    #[test]
+    fn first_guard_filters_match_attempts() {
+        let first = atom(0);
+        let prop = P::implies(first, P::seq(S::delay_exact(2, S::boolean(atom(1)))));
+        // first holds only at cycle 0; store in WB at cycle 2.
+        assert!(!fails(&prop, &[&[0], &[], &[1], &[], &[]]));
+        // Without the store at cycle 2 the first attempt fails.
+        assert!(fails(&prop, &[&[0], &[], &[], &[1]]));
+    }
+
+    /// Weak semantics: a pending unbounded sequence never fails, no matter
+    /// how long the quiet trace runs (§3.1: properties must match partial
+    /// executions).
+    #[test]
+    fn pending_unbounded_sequence_never_fails() {
+        let first = atom(0);
+        let prop = P::implies(
+            first,
+            P::seq(S::delay(0, None, S::boolean(atom(1)))),
+        );
+        let quiet: Vec<&[u32]> = std::iter::once(&[0u32][..])
+            .chain(std::iter::repeat(&[][..]).take(50))
+            .collect();
+        assert!(!fails(&prop, &quiet));
+    }
+
+    #[test]
+    fn and_fails_if_any_branch_fails() {
+        let first = atom(0);
+        let a = P::seq(S::boolean(atom(1)));
+        let b = P::seq(S::boolean(atom(2)));
+        let prop = P::implies(first, P::And(vec![a, b]));
+        assert!(!fails(&prop, &[&[0, 1, 2]]));
+        assert!(fails(&prop, &[&[0, 1]]), "branch b fails at cycle 0");
+    }
+
+    #[test]
+    fn or_fails_only_when_all_branches_fail() {
+        let first = atom(0);
+        let a = P::seq(S::boolean(atom(1)));
+        let b = P::seq(S::then(S::boolean(atom(2)), S::boolean(atom(3))));
+        let prop = P::implies(first, P::Or(vec![a, b]));
+        // Branch a fails at cycle 0, branch b still pending, then matches.
+        assert!(!fails(&prop, &[&[0, 2], &[3]]));
+        // Both fail.
+        assert!(fails(&prop, &[&[0, 2], &[2]]));
+    }
+
+    #[test]
+    fn or_branches_at_different_speeds() {
+        let first = atom(0);
+        let fast = P::seq(S::boolean(atom(1)));
+        let slow = P::seq(S::delay(0, None, S::boolean(atom(2))));
+        let prop = P::implies(first, P::Or(vec![fast, slow]));
+        // Fast branch fails immediately; slow branch keeps the attempt
+        // alive forever (weak semantics) — no failure.
+        let quiet: Vec<&[u32]> = std::iter::once(&[0u32][..])
+            .chain(std::iter::repeat(&[][..]).take(20))
+            .collect();
+        assert!(!fails(&prop, &quiet));
+    }
+
+    #[test]
+    fn never_fails_exactly_when_condition_occurs() {
+        let first = atom(0);
+        let prop = P::implies(first, P::Never(atom(9)));
+        assert!(!fails(&prop, &[&[0], &[], &[], &[]]));
+        assert!(fails(&prop, &[&[0], &[], &[9]]));
+        // The condition occurring when the antecedent never held is fine.
+        assert!(!fails(&prop, &[&[], &[9]]));
+    }
+
+    #[test]
+    fn attempts_deduplicate_for_bounded_state() {
+        // An unguarded unbounded-delay property spawns an attempt per
+        // cycle, but they all collapse to the same NFA live set.
+        let prop = P::seq(S::delay(0, None, S::boolean(atom(1))));
+        let mut m = Monitor::new(&prop);
+        for _ in 0..100 {
+            m.step(&|_| false);
+        }
+        assert!(!m.failed());
+        assert_eq!(m.state().num_pending(), 1, "identical attempts deduplicate");
+    }
+
+    #[test]
+    fn monitor_state_roundtrips() {
+        let prop = P::seq(S::delay(0, None, S::boolean(atom(1))));
+        let mut m = Monitor::new(&prop);
+        m.step(&|_| false);
+        let snapshot = m.state().clone();
+        m.step(&|_| false);
+        assert_eq!(m.state(), &snapshot, "quiet cycles reach a fixpoint");
+        let mut m2 = Monitor::new(&prop);
+        m2.set_state(snapshot.clone());
+        assert_eq!(m2.state(), &snapshot);
+    }
+
+    #[test]
+    fn failure_is_absorbing() {
+        let prop = P::seq(S::boolean(atom(1)));
+        let mut m = Monitor::new(&prop);
+        m.step(&|_| false);
+        assert!(m.failed());
+        m.step(&|_| true);
+        assert!(m.failed());
+        assert_eq!(m.state().num_pending(), 0);
+    }
+
+    /// The full §4.3 edge-encoding property with a `first` guard and two
+    /// outcome branches (the shape RTLCheck generates for Read_Values on
+    /// mp): branch 1 = load-of-x-returns-0 before the store, branch 2 =
+    /// store before load-of-x-returns-1.
+    #[test]
+    fn outcome_aware_edge_property_end_to_end() {
+        // Atoms: 0 = first, 1 = Ld x @WB (any data), 2 = St x @WB,
+        //        3 = Ld x @WB with data 0, 4 = Ld x @WB with data 1.
+        let quiet = || SvaBool::not(SvaBool::or(atom(1), atom(2)));
+        let edge = |src: SvaBool<u32>, dst: SvaBool<u32>| {
+            P::seq(S::chain(vec![
+                S::repeat(S::boolean(quiet()), 0, None),
+                S::boolean(src),
+                S::repeat(S::boolean(quiet()), 0, None),
+                S::boolean(dst),
+            ]))
+        };
+        let branch1 = edge(atom(3), atom(2)); // Ld=0 then St
+        let branch2 = edge(atom(2), atom(4)); // St then Ld=1
+        let prop = P::implies(atom(0), P::Or(vec![branch1, branch2]));
+
+        // Correct trace: store at 2, load returns 1 at 4.
+        assert!(!fails(&prop, &[&[0], &[], &[2], &[], &[1, 4]]));
+        // Correct trace: load returns 0 at 1, store at 3.
+        assert!(!fails(&prop, &[&[0], &[1, 3], &[], &[2]]));
+        // Buggy trace (Figure 12): store at 2, load returns 0 at 4.
+        assert!(fails(&prop, &[&[0], &[], &[2], &[], &[1, 3]]));
+        // Partial trace: store happened, load still outstanding — pending,
+        // not failed (§3.2's requirement).
+        assert!(!fails(&prop, &[&[0], &[], &[2], &[], &[]]));
+    }
+}

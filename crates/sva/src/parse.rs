@@ -1,0 +1,645 @@
+//! Parser for the SVA subset emitted by [`crate::emit`].
+//!
+//! Together with the emitter this makes the property representation
+//! round-trippable: the per-test `.sva` files RTLCheck writes can be read
+//! back for inspection, diffing, or re-verification. Atoms are parsed by a
+//! caller-supplied function (the inverse of the emitter's atom renderer).
+//!
+//! Because `or` appears at both the sequence and property levels with
+//! identical (weak) semantics, the parser canonicalises: parenthesised
+//! `X or Y` groups whose operands are sequences parse as sequence
+//! disjunction. Round-trip equality therefore holds *semantically* (same
+//! monitor behaviour) rather than syntactically; see the crate's
+//! `emit_roundtrip` tests.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::ast::{Prop, Seq, SvaBool};
+
+/// An error raised while parsing SVA text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSvaError {
+    /// Byte offset of the error in the input.
+    pub at: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseSvaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SVA parse error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl Error for ParseSvaError {}
+
+/// Which directive keyword introduced a parsed property.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DirectiveKeyword {
+    /// `assert property (…);`
+    Assert,
+    /// `assume property (…);`
+    Assume,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    LParen,
+    RParen,
+    Implies,     // |->
+    AndAnd,      // &&
+    OrOr,        // ||
+    Tilde,       // ~
+    DelayOne,    // ##1 (and ##N generally, carrying N)
+    DelayN(u32),
+    DelayRange(u32, Option<u32>), // ##[m:n] / ##[m:$]
+    Repeat(u32, Option<u32>), // [*m:n] / [*m:$] / [*m]
+    Word(String),             // and / or / not / 1 / 0 / atom fragments
+    Semi,
+}
+
+fn lex(src: &str) -> Result<Vec<(Tok, usize)>, ParseSvaError> {
+    let b = src.as_bytes();
+    let mut i = 0;
+    let mut toks = Vec::new();
+    while i < b.len() {
+        let c = b[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '(' => {
+                toks.push((Tok::LParen, i));
+                i += 1;
+            }
+            ')' => {
+                toks.push((Tok::RParen, i));
+                i += 1;
+            }
+            ';' => {
+                toks.push((Tok::Semi, i));
+                i += 1;
+            }
+            '~' => {
+                toks.push((Tok::Tilde, i));
+                i += 1;
+            }
+            '|' if src[i..].starts_with("|->") => {
+                toks.push((Tok::Implies, i));
+                i += 3;
+            }
+            '|' if src[i..].starts_with("||") => {
+                toks.push((Tok::OrOr, i));
+                i += 2;
+            }
+            '&' if src[i..].starts_with("&&") => {
+                toks.push((Tok::AndAnd, i));
+                i += 2;
+            }
+            '#' if src[i..].starts_with("##") => {
+                let start = i;
+                i += 2;
+                if i < b.len() && b[i] == b'[' {
+                    // ##[m:n] / ##[m:$]
+                    i += 1;
+                    let num_start = i;
+                    while i < b.len() && b[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    let min: u32 = src[num_start..i]
+                        .parse()
+                        .map_err(|_| err(start, "malformed ## range"))?;
+                    if i >= b.len() || b[i] != b':' {
+                        return Err(err(start, "malformed ## range"));
+                    }
+                    i += 1;
+                    let max = if i < b.len() && b[i] == b'$' {
+                        i += 1;
+                        None
+                    } else {
+                        let num_start = i;
+                        while i < b.len() && b[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                        Some(
+                            src[num_start..i]
+                                .parse()
+                                .map_err(|_| err(start, "malformed ## range"))?,
+                        )
+                    };
+                    if i >= b.len() || b[i] != b']' {
+                        return Err(err(start, "unterminated ## range"));
+                    }
+                    i += 1;
+                    toks.push((Tok::DelayRange(min, max), start));
+                } else {
+                    let num_start = i;
+                    while i < b.len() && b[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    let n: u32 = src[num_start..i]
+                        .parse()
+                        .map_err(|_| err(start, "malformed ## delay"))?;
+                    toks.push((if n == 1 { Tok::DelayOne } else { Tok::DelayN(n) }, start));
+                }
+            }
+            '[' if src[i..].starts_with("[*") => {
+                let start = i;
+                i += 2;
+                let num_start = i;
+                while i < b.len() && b[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let min: u32 = src[num_start..i]
+                    .parse()
+                    .map_err(|_| err(start, "malformed repetition bound"))?;
+                let max = if i < b.len() && b[i] == b':' {
+                    i += 1;
+                    if i < b.len() && b[i] == b'$' {
+                        i += 1;
+                        None
+                    } else {
+                        let num_start = i;
+                        while i < b.len() && b[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                        Some(
+                            src[num_start..i]
+                                .parse()
+                                .map_err(|_| err(start, "malformed repetition bound"))?,
+                        )
+                    }
+                } else {
+                    Some(min)
+                };
+                if i >= b.len() || b[i] != b']' {
+                    return Err(err(start, "unterminated repetition"));
+                }
+                i += 1;
+                toks.push((Tok::Repeat(min, max), start));
+            }
+            _ => {
+                // A "word": a run of characters that are not structural.
+                // Atom text like `core1_PC_WB == 32'd28` is several words
+                // which the atom parser reassembles.
+                let start = i;
+                while i < b.len() {
+                    let d = b[i] as char;
+                    if d.is_whitespace()
+                        || "();~".contains(d)
+                        || src[i..].starts_with("|->")
+                        || src[i..].starts_with("||")
+                        || src[i..].starts_with("&&")
+                        || src[i..].starts_with("##")
+                        || src[i..].starts_with("[*")
+                    {
+                        break;
+                    }
+                    i += 1;
+                }
+                if start == i {
+                    return Err(err(start, format!("unexpected character `{c}`")));
+                }
+                toks.push((Tok::Word(src[start..i].to_string()), start));
+            }
+        }
+    }
+    Ok(toks)
+}
+
+fn err(at: usize, message: impl Into<String>) -> ParseSvaError {
+    ParseSvaError { at, message: message.into() }
+}
+
+/// Parses a complete `assert property`/`assume property` directive as
+/// emitted by [`crate::emit::assert_directive`] /
+/// [`crate::emit::assume_directive`].
+///
+/// `atom` parses one atom from its textual rendering (e.g.
+/// `"core1_PC_WB == 32'd28"`); it receives the space-joined words of the
+/// atom position.
+///
+/// # Errors
+///
+/// Returns a [`ParseSvaError`] on any lexical or syntactic problem, or when
+/// `atom` rejects an atom's text.
+pub fn parse_directive<A>(
+    src: &str,
+    atom: &dyn Fn(&str) -> Option<A>,
+) -> Result<(DirectiveKeyword, Prop<A>), ParseSvaError> {
+    let src = src.trim();
+    let (keyword, rest) = if let Some(r) = src.strip_prefix("assert property") {
+        (DirectiveKeyword::Assert, r)
+    } else if let Some(r) = src.strip_prefix("assume property") {
+        (DirectiveKeyword::Assume, r)
+    } else {
+        return Err(err(0, "expected `assert property` or `assume property`"));
+    };
+    let rest = rest.trim_start();
+    let rest = rest
+        .strip_prefix('(')
+        .ok_or_else(|| err(0, "expected `(` after `property`"))?;
+    let rest = rest.trim_start();
+    let rest = rest
+        .strip_prefix("@(posedge clk)")
+        .ok_or_else(|| err(0, "expected `@(posedge clk)` clocking event"))?;
+    let rest = rest
+        .trim_end()
+        .strip_suffix(';')
+        .ok_or_else(|| err(src.len(), "expected trailing `;`"))?
+        .trim_end()
+        .strip_suffix(')')
+        .ok_or_else(|| err(src.len(), "expected closing `)`"))?;
+
+    let toks = lex(rest)?;
+    let mut p = Parser { toks, pos: 0, atom };
+    let prop = p.prop()?;
+    if p.pos != p.toks.len() {
+        return Err(err(p.at(), "trailing tokens after property"));
+    }
+    Ok((keyword, prop))
+}
+
+/// Parses a standalone property expression (no directive wrapper).
+pub fn parse_prop<A>(
+    src: &str,
+    atom: &dyn Fn(&str) -> Option<A>,
+) -> Result<Prop<A>, ParseSvaError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0, atom };
+    let prop = p.prop()?;
+    if p.pos != p.toks.len() {
+        return Err(err(p.at(), "trailing tokens after property"));
+    }
+    Ok(prop)
+}
+
+struct Parser<'a, A> {
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+    atom: &'a dyn Fn(&str) -> Option<A>,
+}
+
+/// An element parsed inside parentheses: not yet committed to being a
+/// sequence or a property.
+enum Elem<A> {
+    Seq(Seq<A>),
+    Prop(Prop<A>),
+}
+
+impl<A> Elem<A> {
+    fn into_prop(self) -> Prop<A> {
+        match self {
+            Elem::Seq(s) => Prop::seq(s),
+            Elem::Prop(p) => p,
+        }
+    }
+
+    fn into_seq(self, at: usize) -> Result<Seq<A>, ParseSvaError> {
+        match self {
+            Elem::Seq(s) => Ok(s),
+            Elem::Prop(_) => Err(err(at, "expected a sequence, found a property")),
+        }
+    }
+}
+
+impl<A> Parser<'_, A> {
+    fn at(&self) -> usize {
+        self.toks.get(self.pos).map_or(usize::MAX, |(_, at)| *at)
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.peek().cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, tok: Tok) -> Result<(), ParseSvaError> {
+        let at = self.at();
+        match self.bump() {
+            Some(t) if t == tok => Ok(()),
+            other => Err(err(at, format!("expected {tok:?}, found {other:?}"))),
+        }
+    }
+
+    /// prop := bool '|->' prop | element
+    fn prop(&mut self) -> Result<Prop<A>, ParseSvaError> {
+        // Try a boolean antecedent followed by |->.
+        let save = self.pos;
+        if let Ok(b) = self.boolean() {
+            if self.peek() == Some(&Tok::Implies) {
+                self.bump();
+                let body = self.prop()?;
+                return Ok(Prop::implies(b, body));
+            }
+        }
+        self.pos = save;
+        Ok(self.element()?.into_prop())
+    }
+
+    /// element := primary (('##N' | '##[m:n]') primary)*
+    fn element(&mut self) -> Result<Elem<A>, ParseSvaError> {
+        let mut cur = self.primary()?;
+        while matches!(
+            self.peek(),
+            Some(Tok::DelayOne) | Some(Tok::DelayN(_)) | Some(Tok::DelayRange(..))
+        ) {
+            let at = self.at();
+            let delay = self.bump().expect("peeked a delay");
+            let lhs = cur.into_seq(at)?;
+            let rhs = self.primary()?.into_seq(self.at())?;
+            let rhs = match delay {
+                Tok::DelayOne => rhs,
+                // `a ##N b` = a, N-1 arbitrary cycles, b.
+                Tok::DelayN(n) if n >= 1 => Seq::delay_exact(n - 1, rhs),
+                Tok::DelayN(_) => {
+                    return Err(err(at, "##0 fusion is outside the supported subset"))
+                }
+                Tok::DelayRange(min, max) => {
+                    let min = min
+                        .checked_sub(1)
+                        .ok_or_else(|| err(at, "##[0:…] between sequences is unsupported"))?;
+                    Seq::delay(min, max.map(|m| m - 1), rhs)
+                }
+                _ => unreachable!("matched a delay token"),
+            };
+            cur = Elem::Seq(Seq::then(lhs, rhs));
+        }
+        Ok(cur)
+    }
+
+    /// primary := '(' group ')' ['[*m:n]'] | boolean
+    fn primary(&mut self) -> Result<Elem<A>, ParseSvaError> {
+        if self.peek() == Some(&Tok::LParen) {
+            // Could be a parenthesised boolean (e.g. `(a && b)`), a group,
+            // or `not (…)`. Try boolean first — booleans are also valid
+            // single-cycle sequences, so prefer the tighter reading and
+            // let the caller lift as needed.
+            let save = self.pos;
+            if let Ok(b) = self.boolean() {
+                // A boolean followed by a repetition is a sequence.
+                return Ok(self.apply_repeat(Elem::Seq(Seq::boolean(b)))?);
+            }
+            self.pos = save;
+            self.bump(); // (
+            if matches!(self.peek(), Some(Tok::Word(w)) if w == "not") {
+                self.bump();
+                // not (##[0:$] b)
+                self.expect(Tok::LParen)?;
+                match self.bump() {
+                    Some(Tok::DelayRange(0, None)) => {}
+                    other => return Err(err(self.at(), format!("expected ##[0:$], found {other:?}"))),
+                }
+                let b = self.boolean()?;
+                self.expect(Tok::RParen)?;
+                self.expect(Tok::RParen)?;
+                return Ok(Elem::Prop(Prop::Never(b)));
+            }
+            let inner = self.group()?;
+            self.expect(Tok::RParen)?;
+            self.apply_repeat(inner)
+        } else {
+            let b = self.boolean()?;
+            self.apply_repeat(Elem::Seq(Seq::boolean(b)))
+        }
+    }
+
+    fn apply_repeat(&mut self, e: Elem<A>) -> Result<Elem<A>, ParseSvaError> {
+        if let Some(Tok::Repeat(min, max)) = self.peek().cloned() {
+            let at = self.at();
+            self.bump();
+            let s = e.into_seq(at)?;
+            Ok(Elem::Seq(Seq::repeat(s, min, max)))
+        } else {
+            Ok(e)
+        }
+    }
+
+    /// group := element (('and'|'or') element)*
+    fn group(&mut self) -> Result<Elem<A>, ParseSvaError> {
+        let mut items = vec![self.element()?];
+        let mut op: Option<&'static str> = None;
+        loop {
+            let word = match self.peek() {
+                Some(Tok::Word(w)) if w == "and" => "and",
+                Some(Tok::Word(w)) if w == "or" => "or",
+                _ => break,
+            };
+            match op {
+                None => op = Some(word),
+                Some(prev) if prev != word => {
+                    return Err(err(self.at(), "mixed and/or without parentheses"))
+                }
+                _ => {}
+            }
+            self.bump();
+            items.push(self.element()?);
+        }
+        match op {
+            None => Ok(items.pop().expect("at least one element")),
+            Some("or") => {
+                // Canonicalise: if every operand is a sequence, use
+                // sequence disjunction (identical weak semantics).
+                if items.iter().all(|e| matches!(e, Elem::Seq(_))) {
+                    let mut it = items.into_iter();
+                    let first = match it.next() {
+                        Some(Elem::Seq(s)) => s,
+                        _ => unreachable!("all are sequences"),
+                    };
+                    let s = it.fold(first, |acc, e| match e {
+                        Elem::Seq(s) => Seq::Or(Box::new(acc), Box::new(s)),
+                        Elem::Prop(_) => unreachable!("all are sequences"),
+                    });
+                    Ok(Elem::Seq(s))
+                } else {
+                    Ok(Elem::Prop(Prop::any(
+                        items.into_iter().map(Elem::into_prop).collect(),
+                    )))
+                }
+            }
+            Some(_) => Ok(Elem::Prop(Prop::all(
+                items.into_iter().map(Elem::into_prop).collect(),
+            ))),
+        }
+    }
+
+    /// boolean := '(' boolean ')' | '(~ b)' | '(a && b)' | '(a || b)'
+    ///          | '1' | '0' | atom-words
+    ///
+    /// The emitter parenthesises every compound boolean, so precedence is
+    /// trivial; bare word runs are atoms.
+    fn boolean(&mut self) -> Result<SvaBool<A>, ParseSvaError> {
+        match self.peek() {
+            Some(Tok::Tilde) => {
+                self.bump();
+                Ok(SvaBool::not(self.boolean()?))
+            }
+            Some(Tok::LParen) => {
+                let save = self.pos;
+                self.bump();
+                let lhs = match self.boolean() {
+                    Ok(b) => b,
+                    Err(e) => {
+                        self.pos = save;
+                        return Err(e);
+                    }
+                };
+                match self.bump() {
+                    Some(Tok::RParen) => Ok(lhs),
+                    Some(Tok::AndAnd) => {
+                        let rhs = self.boolean()?;
+                        self.expect(Tok::RParen)?;
+                        Ok(SvaBool::and(lhs, rhs))
+                    }
+                    Some(Tok::OrOr) => {
+                        let rhs = self.boolean()?;
+                        self.expect(Tok::RParen)?;
+                        Ok(SvaBool::or(lhs, rhs))
+                    }
+                    other => {
+                        let at = self.at();
+                        self.pos = save;
+                        Err(err(at, format!("expected boolean operator, found {other:?}")))
+                    }
+                }
+            }
+            Some(Tok::Word(_)) => {
+                // Consume a run of words as one atom (e.g. `x == 32'd1`).
+                let mut words = Vec::new();
+                while let Some(Tok::Word(w)) = self.peek() {
+                    if w == "and" || w == "or" || w == "not" {
+                        break;
+                    }
+                    words.push(w.clone());
+                    self.bump();
+                }
+                if words.is_empty() {
+                    return Err(err(self.at(), "expected an atom"));
+                }
+                let text = words.join(" ");
+                match text.as_str() {
+                    "1" => Ok(SvaBool::Const(true)),
+                    "0" => Ok(SvaBool::Const(false)),
+                    _ => (self.atom)(&text)
+                        .map(SvaBool::Atom)
+                        .ok_or_else(|| err(self.at(), format!("unrecognised atom `{text}`"))),
+                }
+            }
+            other => Err(err(self.at(), format!("expected boolean, found {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::emit;
+
+    /// Toy atoms: `sigN`.
+    fn atom(s: &str) -> Option<u32> {
+        s.strip_prefix("sig")?.parse().ok()
+    }
+
+    fn roundtrip(p: &Prop<u32>) -> Prop<u32> {
+        let text = emit::assert_directive(p, &|a| format!("sig{a}"));
+        let (kw, parsed) = parse_directive(&text, &atom).unwrap_or_else(|e| {
+            panic!("failed to parse emitted text: {e}\n{text}");
+        });
+        assert_eq!(kw, DirectiveKeyword::Assert);
+        parsed
+    }
+
+    #[test]
+    fn parses_simple_guarded_sequence() {
+        let p = Prop::implies(
+            SvaBool::atom(0u32),
+            Prop::seq(Seq::then(Seq::boolean(SvaBool::atom(1)), Seq::boolean(SvaBool::atom(2)))),
+        );
+        assert_eq!(roundtrip(&p), p);
+    }
+
+    #[test]
+    fn parses_strict_edge_shape() {
+        let quiet = SvaBool::not(SvaBool::or(SvaBool::atom(1u32), SvaBool::atom(2)));
+        let p = Prop::implies(
+            SvaBool::atom(0),
+            Prop::seq(Seq::chain(vec![
+                Seq::repeat(Seq::boolean(quiet.clone()), 0, None),
+                Seq::boolean(SvaBool::atom(1)),
+                Seq::repeat(Seq::boolean(quiet), 0, None),
+                Seq::boolean(SvaBool::atom(2)),
+            ])),
+        );
+        assert_eq!(roundtrip(&p), p);
+    }
+
+    #[test]
+    fn parses_never_and_assume() {
+        let p: Prop<u32> = Prop::Never(SvaBool::atom(7));
+        let text = emit::assume_directive(&p, &|a| format!("sig{a}"));
+        let (kw, parsed) = parse_directive(&text, &atom).unwrap();
+        assert_eq!(kw, DirectiveKeyword::Assume);
+        assert_eq!(parsed, p);
+    }
+
+    #[test]
+    fn parses_property_conjunction() {
+        let p = Prop::implies(
+            SvaBool::atom(0u32),
+            Prop::And(vec![
+                Prop::seq(Seq::boolean(SvaBool::atom(1))),
+                Prop::seq(Seq::boolean(SvaBool::atom(2))),
+            ]),
+        );
+        // `and` of two single-cycle sequences parses back as a property
+        // conjunction of sequences (no canonicalisation for `and`).
+        assert_eq!(roundtrip(&p), p);
+    }
+
+    #[test]
+    fn sequence_or_canonicalisation() {
+        // A property-level Or of two sequences parses back as a sequence
+        // Or — semantically identical under weak evaluation.
+        let a = Seq::boolean(SvaBool::atom(1u32));
+        let b = Seq::then(Seq::boolean(SvaBool::atom(2)), Seq::boolean(SvaBool::atom(3)));
+        let p = Prop::implies(
+            SvaBool::atom(0),
+            Prop::Or(vec![Prop::seq(a.clone()), Prop::seq(b.clone())]),
+        );
+        let expected = Prop::implies(
+            SvaBool::atom(0),
+            Prop::seq(Seq::Or(Box::new(a), Box::new(b))),
+        );
+        assert_eq!(roundtrip(&p), expected);
+    }
+
+    #[test]
+    fn parses_bounded_delays_and_repeats() {
+        let p: Prop<u32> = Prop::seq(Seq::delay(2, Some(5), Seq::boolean(SvaBool::atom(3))));
+        assert_eq!(roundtrip(&p), p);
+        let q: Prop<u32> = Prop::seq(Seq::repeat(Seq::boolean(SvaBool::atom(3)), 2, Some(2)));
+        assert_eq!(roundtrip(&q), q);
+    }
+
+    #[test]
+    fn rejects_malformed_inputs() {
+        assert!(parse_directive::<u32>("assert (x);", &atom).is_err());
+        assert!(parse_directive::<u32>("assert property (@(posedge clk) sig1)", &atom).is_err());
+        assert!(parse_directive::<u32>("assert property (@(posedge clk) bogus atom);", &atom)
+            .is_err());
+        assert!(parse_prop::<u32>("(sig1 and sig2 or sig3)", &atom).is_err(), "mixed and/or");
+        assert!(parse_prop::<u32>("(sig1 ##", &atom).is_err());
+        assert!(parse_prop::<u32>("(sig1) [*2", &atom).is_err());
+    }
+
+    #[test]
+    fn error_positions_are_byte_offsets() {
+        let e = parse_prop::<u32>("(sig1 && zork)", &atom).unwrap_err();
+        assert!(e.at > 0 && e.at < 20, "{e}");
+    }
+}

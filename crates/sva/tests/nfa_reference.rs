@@ -1,0 +1,135 @@
+//! Property-based differential test: the NFA-based online matcher against a
+//! brute-force reference implementation of SVA sequence matching.
+//!
+//! The reference decides `matches(seq, trace[i..j])` by structural
+//! recursion over the sequence and explicit enumeration of split points —
+//! obviously correct, exponentially slow, and completely independent of the
+//! Thompson construction in `rtlcheck_sva::nfa`.
+
+use proptest::prelude::*;
+use rtlcheck_sva::ast::{Seq, SvaBool};
+use rtlcheck_sva::nfa::Nfa;
+
+/// Atoms are small integers; a trace cycle is the set of true atoms
+/// (represented as a bitmask over atoms 0..4).
+type Cycle = u8;
+
+fn eval(b: &SvaBool<u8>, cycle: Cycle) -> bool {
+    match b {
+        SvaBool::Const(c) => *c,
+        SvaBool::Atom(a) => cycle & (1 << a) != 0,
+        SvaBool::Not(x) => !eval(x, cycle),
+        SvaBool::And(x, y) => eval(x, cycle) && eval(y, cycle),
+        SvaBool::Or(x, y) => eval(x, cycle) || eval(y, cycle),
+    }
+}
+
+/// Brute-force: does `seq` exactly match `trace[lo..hi]`?
+fn brute_matches(seq: &Seq<u8>, trace: &[Cycle], lo: usize, hi: usize) -> bool {
+    match seq {
+        Seq::Bool(b) => hi == lo + 1 && eval(b, trace[lo]),
+        Seq::Then(a, b) => (lo..=hi)
+            .any(|mid| brute_matches(a, trace, lo, mid) && brute_matches(b, trace, mid, hi)),
+        Seq::Or(a, b) => brute_matches(a, trace, lo, hi) || brute_matches(b, trace, lo, hi),
+        Seq::Repeat { body, min, max } => {
+            // n repetitions; n is bounded by the slice length (each
+            // repetition of our generated bodies consumes >= 1 cycle).
+            let cap = max.map_or(hi - lo, |m| m as usize).min(hi - lo);
+            ((*min as usize)..=cap).any(|n| brute_repeat(body, trace, lo, hi, n))
+                || (*min == 0 && lo == hi)
+        }
+    }
+}
+
+fn brute_repeat(body: &Seq<u8>, trace: &[Cycle], lo: usize, hi: usize, n: usize) -> bool {
+    if n == 0 {
+        return lo == hi;
+    }
+    (lo..=hi).any(|mid| {
+        brute_matches(body, trace, lo, mid) && brute_repeat(body, trace, mid, hi, n - 1)
+    })
+}
+
+fn arb_bool() -> impl Strategy<Value = SvaBool<u8>> {
+    let leaf = prop_oneof![
+        (0u8..4).prop_map(SvaBool::atom),
+        Just(SvaBool::Const(true)),
+        Just(SvaBool::Const(false)),
+    ];
+    leaf.prop_recursive(2, 6, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|b| SvaBool::not(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| SvaBool::and(a, b)),
+            (inner.clone(), inner).prop_map(|(a, b)| SvaBool::or(a, b)),
+        ]
+    })
+}
+
+fn arb_seq() -> impl Strategy<Value = Seq<u8>> {
+    let leaf = arb_bool().prop_map(Seq::boolean);
+    leaf.prop_recursive(3, 12, 2, |inner| {
+        // Repetition bodies are single-cycle booleans (as in RTLCheck's
+        // generated properties); this also keeps the brute-force reference
+        // simple, since every repetition then consumes exactly one cycle.
+        let rep_body = || arb_bool().prop_map(Seq::boolean as fn(SvaBool<u8>) -> Seq<u8>).boxed();
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Seq::then(a, b)),
+            (inner, rep_body())
+                .prop_map(|(a, b)| Seq::Or(Box::new(a), Box::new(b))),
+            (rep_body(), 0u32..3, 0u32..3).prop_map(|(s, min, extra)| {
+                Seq::repeat(s, min, Some(min + extra))
+            }),
+            (rep_body(), 0u32..2).prop_map(|(s, min)| Seq::repeat(s, min, None)),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The NFA accepts after consuming `trace[0..=t]` iff the brute-force
+    /// reference finds an exact match of some prefix `trace[0..j]`, `j-1 <= t`.
+    #[test]
+    fn nfa_agrees_with_brute_force(seq in arb_seq(), trace in proptest::collection::vec(0u8..16, 1..7)) {
+        let nfa = Nfa::compile(&seq);
+        let mut live = nfa.initial();
+        let mut nfa_matched_at: Vec<usize> = Vec::new();
+        for (t, &cycle) in trace.iter().enumerate() {
+            live = nfa.step(&live, &|a| cycle & (1 << a) != 0);
+            if nfa.accepts(&live) {
+                nfa_matched_at.push(t);
+            }
+        }
+        for t in 0..trace.len() {
+            let brute = brute_matches(&seq, &trace, 0, t + 1);
+            let nfa_says = nfa_matched_at.contains(&t);
+            prop_assert_eq!(
+                brute, nfa_says,
+                "mismatch at cycle {} for {:?} on {:?}", t, seq, trace
+            );
+        }
+    }
+
+    /// If the NFA's live set dies at cycle `t`, no prefix of the trace (of
+    /// any length) matches — death is conservative.
+    #[test]
+    fn nfa_death_implies_no_match(seq in arb_seq(), trace in proptest::collection::vec(0u8..16, 1..7)) {
+        let nfa = Nfa::compile(&seq);
+        let mut live = nfa.initial();
+        for (t, &cycle) in trace.iter().enumerate() {
+            live = nfa.step(&live, &|a| cycle & (1 << a) != 0);
+            if nfa.accepts(&live) {
+                return Ok(()); // matched; death afterwards is fine
+            }
+            if live.is_empty() {
+                for j in t + 1..=trace.len() {
+                    prop_assert!(
+                        !brute_matches(&seq, &trace, 0, j),
+                        "NFA died at {} but {:?} matches [0..{})", t, seq, j
+                    );
+                }
+                return Ok(());
+            }
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! Exhaustive scenario enumeration.
+//!
+//! [`crate::solve`] stops at the first acyclic witness; this module
+//! enumerates **all** satisfying scenarios of a grounded axiom set, the way
+//! the paper describes the Check suite's strategy ("consider and
+//! cycle-check all possible scenarios"). Useful for statistics (how many
+//! executions realise an outcome), for exhaustively cross-checking the
+//! solver, and for the axiomatic benchmarks.
+
+use std::collections::BTreeSet;
+
+use rtlcheck_uspec::ground::{GAtom, GEdge, GFormula, GroundedAxiom};
+
+use crate::graph::UhbGraph;
+
+/// Result of exhaustive enumeration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Enumeration {
+    /// Distinct acyclic scenarios, as canonical edge sets. Distinctness is
+    /// by the *committed edge set*, so syntactically different branch
+    /// choices that induce the same graph count once.
+    pub witnesses: BTreeSet<BTreeSet<GEdge>>,
+    /// Branches explored.
+    pub branches: u64,
+    /// Branches pruned by cycles/contradictions.
+    pub pruned: u64,
+}
+
+impl Enumeration {
+    /// Whether the outcome is forbidden (no acyclic scenario).
+    pub fn is_forbidden(&self) -> bool {
+        self.witnesses.is_empty()
+    }
+
+    /// Number of distinct acyclic scenarios.
+    pub fn num_witnesses(&self) -> usize {
+        self.witnesses.len()
+    }
+}
+
+/// Enumerates every satisfying acyclic scenario, up to `max_witnesses`
+/// (enumeration stops early once the cap is reached; the cap guards
+/// against tests with astronomically many realisations).
+pub fn enumerate(grounded: &[GroundedAxiom], max_witnesses: usize) -> Enumeration {
+    let mut formulas: Vec<GFormula> = Vec::new();
+    for g in grounded {
+        if !formulas.contains(&g.formula) {
+            formulas.push(g.formula.clone());
+        }
+    }
+    let mut e = Enumeration { witnesses: BTreeSet::new(), branches: 0, pruned: 0 };
+    dfs(formulas, UhbGraph::new(), &mut e, max_witnesses);
+    e
+}
+
+fn dfs(formulas: Vec<GFormula>, graph: UhbGraph, out: &mut Enumeration, cap: usize) {
+    if out.witnesses.len() >= cap {
+        return;
+    }
+    let (formulas, graph) = match propagate(formulas, graph) {
+        Some(state) => state,
+        None => {
+            out.pruned += 1;
+            return;
+        }
+    };
+    let pick = formulas.iter().position(|f| matches!(f, GFormula::Or(_)));
+    match pick {
+        None => {
+            out.witnesses.insert(graph.edges().collect());
+        }
+        Some(idx) => {
+            let GFormula::Or(disjuncts) = formulas[idx].clone() else {
+                unreachable!("picked a disjunction")
+            };
+            for d in disjuncts {
+                out.branches += 1;
+                let mut rest = formulas.clone();
+                rest[idx] = d;
+                dfs(rest, graph.clone(), out, cap);
+            }
+        }
+    }
+}
+
+/// Same propagation as the solver: simplify against the graph, commit unit
+/// atoms, repeat.
+fn propagate(
+    mut formulas: Vec<GFormula>,
+    mut graph: UhbGraph,
+) -> Option<(Vec<GFormula>, UhbGraph)> {
+    loop {
+        let mut changed = false;
+        let mut next = Vec::with_capacity(formulas.len());
+        for f in formulas {
+            match eval(&f, &graph) {
+                GFormula::True => changed = true,
+                GFormula::False => return None,
+                GFormula::Atom(atom) => {
+                    if !commit(atom, &mut graph) {
+                        return None;
+                    }
+                    changed = true;
+                }
+                GFormula::And(children) => {
+                    for c in children {
+                        match c {
+                            GFormula::Atom(atom) => {
+                                if !commit(atom, &mut graph) {
+                                    return None;
+                                }
+                            }
+                            other => next.push(other),
+                        }
+                    }
+                    changed = true;
+                }
+                or @ GFormula::Or(_) => next.push(or),
+            }
+        }
+        formulas = next;
+        if !changed {
+            return Some((formulas, graph));
+        }
+    }
+}
+
+fn commit(atom: GAtom, graph: &mut UhbGraph) -> bool {
+    match atom {
+        GAtom::Edge(e) => graph.add_edge(e),
+        GAtom::Node(_) => true,
+        GAtom::NeverNode(_) | GAtom::LoadValue(_) => false,
+    }
+}
+
+fn eval(f: &GFormula, graph: &UhbGraph) -> GFormula {
+    match f {
+        GFormula::True => GFormula::True,
+        GFormula::False => GFormula::False,
+        GFormula::Atom(GAtom::Edge(e)) => {
+            if graph.implies(*e) {
+                GFormula::True
+            } else if graph.would_cycle(*e) {
+                GFormula::False
+            } else {
+                f.clone()
+            }
+        }
+        GFormula::Atom(GAtom::Node(_)) => GFormula::True,
+        GFormula::Atom(_) => GFormula::False,
+        GFormula::And(cs) => GFormula::and(cs.iter().map(|c| eval(c, graph)).collect()),
+        GFormula::Or(cs) => GFormula::or(cs.iter().map(|c| eval(c, graph)).collect()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solve;
+    use rtlcheck_litmus::{parse, suite};
+    use rtlcheck_uspec::ground::{ground, DataMode};
+    use rtlcheck_uspec::multi_vscale;
+
+    fn enumerate_test(test: &rtlcheck_litmus::LitmusTest) -> Enumeration {
+        let spec = multi_vscale::spec();
+        let grounded = ground(&spec, test, DataMode::Outcome).unwrap();
+        enumerate(&grounded, 10_000)
+    }
+
+    #[test]
+    fn forbidden_outcomes_have_zero_witnesses() {
+        for name in ["mp", "sb", "co-mp"] {
+            let e = enumerate_test(&suite::get(name).unwrap());
+            assert!(e.is_forbidden(), "{name}: {} witnesses", e.num_witnesses());
+            assert!(e.pruned > 0);
+        }
+    }
+
+    #[test]
+    fn permitted_outcomes_have_witnesses() {
+        let t = parse(
+            "test mp-11\n{ x = 0; y = 0; }\ncore 0 { st x, 1; st y, 1; }\n\
+             core 1 { r1 = ld y; r2 = ld x; }\npermit ( 1:r1 = 1 /\\ 1:r2 = 1 )",
+        )
+        .unwrap();
+        let e = enumerate_test(&t);
+        assert!(!e.is_forbidden());
+        assert!(e.num_witnesses() >= 1);
+        // Every witness must re-validate as acyclic.
+        for edges in &e.witnesses {
+            let mut g = UhbGraph::new();
+            for &edge in edges {
+                assert!(g.add_edge(edge));
+            }
+        }
+    }
+
+    /// The solver and the enumerator agree on forbidden/observable across
+    /// the suite (the enumerator is an independent implementation).
+    #[test]
+    fn solver_and_enumerator_agree() {
+        let spec = multi_vscale::spec();
+        for name in ["mp", "sb", "lb", "wrc", "n5", "safe001", "ssl", "iwp24"] {
+            let t = suite::get(name).unwrap();
+            let grounded = ground(&spec, &t, DataMode::Outcome).unwrap();
+            let solved = solve::solve(&grounded).is_forbidden();
+            let enumerated = enumerate(&grounded, 10_000).is_forbidden();
+            assert_eq!(solved, enumerated, "{name}");
+        }
+    }
+
+    #[test]
+    fn witness_cap_limits_enumeration() {
+        let t = parse(
+            "test free\n{ x = 0; }\ncore 0 { st x, 1; }\ncore 1 { r1 = ld x; }\n\
+             permit ( 1:r1 = 1 )",
+        )
+        .unwrap();
+        let full = enumerate_test(&t);
+        assert!(full.num_witnesses() >= 1);
+        let spec = multi_vscale::spec();
+        let grounded = ground(&spec, &t, DataMode::Outcome).unwrap();
+        let capped = enumerate(&grounded, 1);
+        assert_eq!(capped.num_witnesses(), 1);
+    }
+}

@@ -1,0 +1,227 @@
+//! The µhb graph data structure.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+
+use rtlcheck_litmus::LitmusTest;
+use rtlcheck_uspec::ground::{GEdge, GNode};
+use rtlcheck_uspec::Spec;
+
+/// A microarchitectural happens-before graph.
+///
+/// Nodes are `(instruction, pipeline stage)` events; a directed edge
+/// `a -> b` records that event `a` happens before event `b` in the modelled
+/// execution. The graph maintains reachability queries for online cycle
+/// prevention: [`UhbGraph::add_edge`] refuses edges that would close a
+/// cycle, because a happens-before cycle is unsatisfiable.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct UhbGraph {
+    /// Adjacency: successors of each node. `BTreeMap` keeps iteration (and
+    /// DOT output) deterministic.
+    succ: BTreeMap<GNode, BTreeSet<GNode>>,
+    edges: BTreeSet<GEdge>,
+}
+
+impl UhbGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        UhbGraph::default()
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// All edges, in deterministic order.
+    pub fn edges(&self) -> impl Iterator<Item = GEdge> + '_ {
+        self.edges.iter().copied()
+    }
+
+    /// All nodes that appear as an endpoint of some edge.
+    pub fn nodes(&self) -> BTreeSet<GNode> {
+        self.edges
+            .iter()
+            .flat_map(|e| [e.src, e.dst])
+            .collect()
+    }
+
+    /// Whether the edge is present (not considering transitivity).
+    pub fn has_edge(&self, e: GEdge) -> bool {
+        self.edges.contains(&e)
+    }
+
+    /// Whether `to` is reachable from `from` along edges (including the
+    /// trivial zero-length path `from == to`).
+    pub fn reachable(&self, from: GNode, to: GNode) -> bool {
+        if from == to {
+            return true;
+        }
+        let mut seen = BTreeSet::new();
+        let mut stack = vec![from];
+        while let Some(n) = stack.pop() {
+            if !seen.insert(n) {
+                continue;
+            }
+            if let Some(next) = self.succ.get(&n) {
+                for &m in next {
+                    if m == to {
+                        return true;
+                    }
+                    stack.push(m);
+                }
+            }
+        }
+        false
+    }
+
+    /// Whether the happens-before relation `e.src` → `e.dst` already holds,
+    /// directly or transitively.
+    pub fn implies(&self, e: GEdge) -> bool {
+        self.reachable(e.src, e.dst)
+    }
+
+    /// Whether adding `e` would close a cycle (i.e. `e.dst` already
+    /// happens-before `e.src`).
+    pub fn would_cycle(&self, e: GEdge) -> bool {
+        e.src == e.dst || self.reachable(e.dst, e.src)
+    }
+
+    /// Adds a happens-before edge.
+    ///
+    /// Returns `false` (leaving the graph unchanged) if the edge would close
+    /// a cycle; returns `true` otherwise, including when the edge was
+    /// already present.
+    pub fn add_edge(&mut self, e: GEdge) -> bool {
+        if self.would_cycle(e) {
+            return false;
+        }
+        if self.edges.insert(e) {
+            self.succ.entry(e.src).or_default().insert(e.dst);
+        }
+        true
+    }
+
+    /// Renders the graph in Graphviz DOT format.
+    ///
+    /// When `context` is provided, nodes are labelled with the litmus test's
+    /// instruction text and the specification's stage names (as in the
+    /// paper's Figure 3a); otherwise raw indices are printed.
+    pub fn to_dot(&self, context: Option<(&LitmusTest, &Spec)>) -> String {
+        let mut out = String::from("digraph uhb {\n  rankdir=TB;\n");
+        let label = |n: GNode| -> String {
+            match context {
+                Some((test, spec)) => {
+                    let instr = test.instr(n.instr);
+                    let stage = spec
+                        .stages
+                        .get(n.stage.0)
+                        .map(String::as_str)
+                        .unwrap_or("?");
+                    let op = match instr.op {
+                        rtlcheck_litmus::Op::Load { dst, loc } => {
+                            format!("{dst} = ld {}", test.locations()[loc.0])
+                        }
+                        rtlcheck_litmus::Op::Store { loc, val } => {
+                            format!("st {}, {val}", test.locations()[loc.0])
+                        }
+                        rtlcheck_litmus::Op::Fence => "fence".to_string(),
+                    };
+                    format!("{} C{} {op} @{stage}", n.instr, instr.core.0)
+                }
+                None => format!("{} @{}", n.instr, n.stage),
+            }
+        };
+        for n in self.nodes() {
+            let _ = writeln!(
+                out,
+                "  \"n{}_{}\" [label=\"{}\"];",
+                n.instr.0,
+                n.stage.0,
+                label(n)
+            );
+        }
+        for e in &self.edges {
+            let _ = writeln!(
+                out,
+                "  \"n{}_{}\" -> \"n{}_{}\";",
+                e.src.instr.0, e.src.stage.0, e.dst.instr.0, e.dst.stage.0
+            );
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtlcheck_litmus::InstrUid;
+    use rtlcheck_uspec::StageId;
+
+    fn n(i: usize, s: usize) -> GNode {
+        GNode { instr: InstrUid(i), stage: StageId(s) }
+    }
+
+    fn e(a: GNode, b: GNode) -> GEdge {
+        GEdge { src: a, dst: b }
+    }
+
+    #[test]
+    fn add_edge_and_reachability() {
+        let mut g = UhbGraph::new();
+        assert!(g.add_edge(e(n(0, 0), n(0, 1))));
+        assert!(g.add_edge(e(n(0, 1), n(1, 0))));
+        assert!(g.reachable(n(0, 0), n(1, 0)));
+        assert!(!g.reachable(n(1, 0), n(0, 0)));
+        assert!(g.implies(e(n(0, 0), n(1, 0))));
+        assert!(!g.has_edge(e(n(0, 0), n(1, 0))), "implied but not present");
+    }
+
+    #[test]
+    fn cycle_prevention() {
+        let mut g = UhbGraph::new();
+        assert!(g.add_edge(e(n(0, 0), n(1, 0))));
+        assert!(g.add_edge(e(n(1, 0), n(2, 0))));
+        assert!(g.would_cycle(e(n(2, 0), n(0, 0))));
+        assert!(!g.add_edge(e(n(2, 0), n(0, 0))));
+        assert_eq!(g.num_edges(), 2, "rejected edge leaves graph unchanged");
+    }
+
+    #[test]
+    fn self_edges_always_cycle() {
+        let mut g = UhbGraph::new();
+        assert!(g.would_cycle(e(n(0, 0), n(0, 0))));
+        assert!(!g.add_edge(e(n(0, 0), n(0, 0))));
+    }
+
+    #[test]
+    fn duplicate_edges_are_idempotent() {
+        let mut g = UhbGraph::new();
+        assert!(g.add_edge(e(n(0, 0), n(1, 0))));
+        assert!(g.add_edge(e(n(0, 0), n(1, 0))));
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn dot_output_mentions_all_nodes() {
+        let mut g = UhbGraph::new();
+        g.add_edge(e(n(0, 0), n(1, 2)));
+        let dot = g.to_dot(None);
+        assert!(dot.contains("digraph"));
+        assert!(dot.contains("n0_0"));
+        assert!(dot.contains("n1_2"));
+        assert!(dot.contains("->"));
+    }
+
+    #[test]
+    fn dot_output_with_context_labels() {
+        let test = rtlcheck_litmus::suite::get("mp").unwrap();
+        let spec = rtlcheck_uspec::multi_vscale::spec();
+        let mut g = UhbGraph::new();
+        g.add_edge(e(n(0, 2), n(2, 2)));
+        let dot = g.to_dot(Some((&test, &spec)));
+        assert!(dot.contains("st x, 1"), "{dot}");
+        assert!(dot.contains("Writeback"), "{dot}");
+    }
+}

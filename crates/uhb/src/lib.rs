@@ -1,0 +1,34 @@
+//! Microarchitectural happens-before (µhb) graphs and the axiomatic
+//! litmus-test verifier.
+//!
+//! This crate is the Check-suite side of the RTLCheck flow (paper §2.1):
+//! given the grounded µspec axioms for a litmus test, it explores every
+//! family of µhb graphs the axioms allow and checks each for cycles. A
+//! cycle means the depicted scenario is impossible ("an event would have to
+//! happen before itself"); the outcome under test is therefore
+//! microarchitecturally *forbidden* iff **every** satisfying scenario is
+//! cyclic, and *observable* iff some acyclic scenario (a witness graph)
+//! exists.
+//!
+//! # Example
+//!
+//! ```
+//! use rtlcheck_uhb::solve;
+//! use rtlcheck_uspec::{ground, multi_vscale};
+//!
+//! let spec = multi_vscale::spec();
+//! let mp = rtlcheck_litmus::suite::get("mp").unwrap();
+//! let grounded = ground::ground(&spec, &mp, ground::DataMode::Outcome).unwrap();
+//! let result = solve::solve(&grounded);
+//! assert!(result.is_forbidden(), "mp's outcome is SC-forbidden on Multi-V-scale");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod enumerate;
+pub mod graph;
+pub mod solve;
+
+pub use graph::UhbGraph;
+pub use solve::{solve, AxiomaticResult, SolveStats};

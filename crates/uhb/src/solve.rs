@@ -1,0 +1,395 @@
+//! The axiomatic scenario solver.
+//!
+//! The Check suite verifies a litmus-test outcome by enumerating every µhb
+//! graph the grounded axioms permit and cycle-checking each one. This
+//! module implements that exploration as a DFS with unit propagation:
+//!
+//! 1. **Propagate** — partially evaluate every pending formula against the
+//!    current graph (an edge already implied is `true`; an edge whose
+//!    reverse is implied is `false`), committing edges from formulas that
+//!    have become unit conjunctions.
+//! 2. **Branch** — pick the pending disjunction with the fewest disjuncts
+//!    and recurse on each.
+//!
+//! Because every committed edge is a happens-before fact, a branch dies as
+//! soon as a required edge closes a cycle. The outcome is *observable* iff
+//! some branch satisfies all formulas with an acyclic graph (returned as a
+//! witness), and *forbidden* otherwise.
+
+use rtlcheck_uspec::ground::{GAtom, GFormula, GroundedAxiom};
+
+use crate::graph::UhbGraph;
+
+/// Exploration statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Branch points taken during the DFS.
+    pub branches: u64,
+    /// Scenarios fully satisfied (acyclic witnesses found; at most 1, since
+    /// the search stops at the first witness).
+    pub witnesses: u64,
+    /// Branches pruned by a cycle or an unsatisfiable formula.
+    pub pruned: u64,
+}
+
+/// The verdict of the axiomatic verifier for one litmus test outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AxiomaticResult {
+    /// Every scenario is cyclic: the outcome cannot occur on the modelled
+    /// microarchitecture.
+    Forbidden(SolveStats),
+    /// An acyclic scenario exists: the outcome is observable, and the
+    /// witness µhb graph describes one execution exhibiting it.
+    Observable(Box<UhbGraph>, SolveStats),
+}
+
+impl AxiomaticResult {
+    /// Whether the outcome was proven unobservable.
+    pub fn is_forbidden(&self) -> bool {
+        matches!(self, AxiomaticResult::Forbidden(_))
+    }
+
+    /// The exploration statistics.
+    pub fn stats(&self) -> SolveStats {
+        match self {
+            AxiomaticResult::Forbidden(s) => *s,
+            AxiomaticResult::Observable(_, s) => *s,
+        }
+    }
+
+    /// The witness graph, if the outcome is observable.
+    pub fn witness(&self) -> Option<&UhbGraph> {
+        match self {
+            AxiomaticResult::Observable(g, _) => Some(g),
+            AxiomaticResult::Forbidden(_) => None,
+        }
+    }
+}
+
+/// Runs the axiomatic verifier on a set of grounded axioms.
+///
+/// The grounded axioms should come from
+/// [`rtlcheck_uspec::ground::ground`] in
+/// [`rtlcheck_uspec::ground::DataMode::Outcome`]; symbolic-mode atoms
+/// ([`GAtom::LoadValue`], [`GAtom::NeverNode`]) are treated as unsatisfiable
+/// constraints since the axiomatic domain has no load-value freedom left.
+pub fn solve(grounded: &[GroundedAxiom]) -> AxiomaticResult {
+    // Deduplicate identical formulas (symmetric axioms like total orders
+    // ground each unordered pair twice).
+    let mut formulas: Vec<GFormula> = Vec::new();
+    for g in grounded {
+        if !formulas.contains(&g.formula) {
+            formulas.push(g.formula.clone());
+        }
+    }
+    let mut stats = SolveStats::default();
+    let graph = UhbGraph::new();
+    match dfs(formulas, graph, &mut stats) {
+        Some(witness) => {
+            stats.witnesses += 1;
+            AxiomaticResult::Observable(Box::new(witness), stats)
+        }
+        None => AxiomaticResult::Forbidden(stats),
+    }
+}
+
+/// Returns a witness graph if the pending formulas are satisfiable.
+fn dfs(formulas: Vec<GFormula>, graph: UhbGraph, stats: &mut SolveStats) -> Option<UhbGraph> {
+    let (formulas, graph) = match propagate(formulas, graph) {
+        Some(state) => state,
+        None => {
+            stats.pruned += 1;
+            return None;
+        }
+    };
+    // Choose the smallest disjunction to branch on.
+    let pick = formulas
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, f)| match f {
+            GFormula::Or(cs) => cs.len(),
+            _ => usize::MAX,
+        });
+    let (idx, branch) = match pick {
+        None => return Some(graph), // no pending formulas: witness found
+        Some((idx, GFormula::Or(_))) => {
+            let f = formulas[idx].clone();
+            (idx, f)
+        }
+        // Propagation leaves only disjunctions pending; anything else means
+        // the formula could not be reduced, which cannot happen for the
+        // outcome-mode atom vocabulary.
+        Some((_, other)) => unreachable!("propagation left non-disjunction pending: {other:?}"),
+    };
+    let GFormula::Or(disjuncts) = branch else { unreachable!("picked a disjunction") };
+    for d in disjuncts {
+        stats.branches += 1;
+        let mut rest = formulas.clone();
+        rest[idx] = d;
+        if let Some(w) = dfs(rest, graph.clone(), stats) {
+            return Some(w);
+        }
+    }
+    stats.pruned += 1;
+    None
+}
+
+/// Repeatedly simplifies formulas against the graph and commits unit edges
+/// until fixpoint. Returns `None` if some formula became unsatisfiable,
+/// otherwise the residual (all-disjunction) formulas and extended graph.
+fn propagate(
+    mut formulas: Vec<GFormula>,
+    mut graph: UhbGraph,
+) -> Option<(Vec<GFormula>, UhbGraph)> {
+    loop {
+        let mut changed = false;
+        let mut next: Vec<GFormula> = Vec::with_capacity(formulas.len());
+        for f in formulas {
+            let simplified = eval(&f, &graph);
+            match simplified {
+                GFormula::True => {
+                    changed = true;
+                }
+                GFormula::False => return None,
+                GFormula::Atom(atom) => {
+                    if !commit(atom, &mut graph) {
+                        return None;
+                    }
+                    changed = true;
+                }
+                GFormula::And(children) => {
+                    // Commit atomic children; keep the rest pending.
+                    for c in children {
+                        match c {
+                            GFormula::Atom(atom) => {
+                                if !commit(atom, &mut graph) {
+                                    return None;
+                                }
+                            }
+                            other => next.push(other),
+                        }
+                    }
+                    changed = true;
+                }
+                or @ GFormula::Or(_) => next.push(or),
+            }
+        }
+        formulas = next;
+        if !changed {
+            return Some((formulas, graph));
+        }
+    }
+}
+
+fn commit(atom: GAtom, graph: &mut UhbGraph) -> bool {
+    match atom {
+        GAtom::Edge(e) => graph.add_edge(e),
+        // Nodes always exist in a complete execution.
+        GAtom::Node(_) => true,
+        // Symbolic-mode atoms have no axiomatic interpretation here.
+        GAtom::NeverNode(_) | GAtom::LoadValue(_) => false,
+    }
+}
+
+/// Partially evaluates a formula against the current graph.
+fn eval(f: &GFormula, graph: &UhbGraph) -> GFormula {
+    match f {
+        GFormula::True => GFormula::True,
+        GFormula::False => GFormula::False,
+        GFormula::Atom(GAtom::Edge(e)) => {
+            if graph.implies(*e) {
+                GFormula::True
+            } else if graph.would_cycle(*e) {
+                GFormula::False
+            } else {
+                f.clone()
+            }
+        }
+        GFormula::Atom(GAtom::Node(_)) => GFormula::True,
+        GFormula::Atom(GAtom::NeverNode(_)) | GFormula::Atom(GAtom::LoadValue(_)) => {
+            GFormula::False
+        }
+        GFormula::And(cs) => GFormula::and(cs.iter().map(|c| eval(c, graph)).collect()),
+        GFormula::Or(cs) => GFormula::or(cs.iter().map(|c| eval(c, graph)).collect()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtlcheck_litmus::{parse, suite};
+    use rtlcheck_uspec::ground::{ground, DataMode};
+    use rtlcheck_uspec::multi_vscale;
+
+    fn verdict(test: &rtlcheck_litmus::LitmusTest) -> AxiomaticResult {
+        let spec = multi_vscale::spec();
+        let grounded = ground(&spec, test, DataMode::Outcome)
+            .unwrap_or_else(|e| panic!("{}: {e}", test.name()));
+        solve(&grounded)
+    }
+
+    #[test]
+    fn mp_forbidden_outcome_is_forbidden() {
+        let result = verdict(&suite::get("mp").unwrap());
+        assert!(result.is_forbidden(), "{result:?}");
+        assert!(result.stats().witnesses == 0);
+    }
+
+    #[test]
+    fn sb_and_iriw_are_forbidden() {
+        assert!(verdict(&suite::get("sb").unwrap()).is_forbidden());
+        assert!(verdict(&suite::get("iriw").unwrap()).is_forbidden());
+    }
+
+    #[test]
+    fn sc_permitted_outcome_is_observable_with_witness() {
+        // mp's (r1, r2) = (1, 1) outcome is SC-permitted.
+        let t = parse(
+            "test mp-ok\n{ x = 0; y = 0; }\ncore 0 { st x, 1; st y, 1; }\n\
+             core 1 { r1 = ld y; r2 = ld x; }\npermit ( 1:r1 = 1 /\\ 1:r2 = 1 )",
+        )
+        .unwrap();
+        let result = verdict(&t);
+        let witness = result.witness().expect("observable outcome has a witness");
+        assert!(witness.num_edges() > 0);
+        // The witness is acyclic by construction: re-adding all edges to a
+        // fresh graph must succeed.
+        let mut g = UhbGraph::new();
+        for e in witness.edges() {
+            assert!(g.add_edge(e));
+        }
+    }
+
+    #[test]
+    fn all_other_permitted_mp_outcomes_observable() {
+        for (r1, r2) in [(0u32, 0u32), (0, 1), (1, 1)] {
+            let t = parse(&format!(
+                "test mp-v\n{{ x = 0; y = 0; }}\ncore 0 {{ st x, 1; st y, 1; }}\n\
+                 core 1 {{ r1 = ld y; r2 = ld x; }}\npermit ( 1:r1 = {r1} /\\ 1:r2 = {r2} )"
+            ))
+            .unwrap();
+            assert!(!verdict(&t).is_forbidden(), "({r1},{r2}) should be observable");
+        }
+    }
+
+    #[test]
+    fn empty_axiom_set_is_trivially_observable() {
+        let result = solve(&[]);
+        assert!(!result.is_forbidden());
+        assert_eq!(result.witness().unwrap().num_edges(), 0);
+    }
+
+    /// The headline differential test: across the entire 56-test suite, the
+    /// axiomatic verdict on the Multi-V-scale µspec model must agree with
+    /// the paper — every forbidden outcome is microarchitecturally
+    /// unobservable.
+    #[test]
+    fn whole_suite_matches_the_sc_oracle() {
+        for t in suite::all() {
+            let result = verdict(&t);
+            assert!(
+                result.is_forbidden(),
+                "{}: axiomatic verifier found a witness for an SC-forbidden outcome",
+                t.name()
+            );
+        }
+    }
+
+    /// Conversely: diy-generated *permitted* variants (one per suite test,
+    /// obtained by flipping the condition to an SC-observable outcome)
+    /// must be observable. We use the simplest such outcome: all loads read
+    /// their location's final SC value from a serial execution.
+    #[test]
+    fn serial_outcomes_are_observable() {
+        for name in ["mp", "sb", "lb", "wrc", "iriw", "co-mp"] {
+            let t = suite::get(name).unwrap();
+            // Execute the test serially (core 0 first, then core 1, ...)
+            // and build the resulting permitted outcome.
+            let mut mem: Vec<u32> =
+                (0..t.num_locations()).map(|l| t.initial_value(rtlcheck_litmus::Loc(l)).0).collect();
+            let mut clauses = Vec::new();
+            for i in t.instructions() {
+                match i.op {
+                    rtlcheck_litmus::Op::Store { loc, val } => mem[loc.0] = val.0,
+                    rtlcheck_litmus::Op::Load { dst, loc } => {
+                        clauses.push(format!("{}:{} = {}", i.core.0, dst, mem[loc.0]));
+                    }
+                    rtlcheck_litmus::Op::Fence => {}
+                }
+            }
+            let body: Vec<String> = t
+                .threads()
+                .iter()
+                .enumerate()
+                .map(|(c, ops)| {
+                    let ops: Vec<String> = ops
+                        .iter()
+                        .map(|op| match *op {
+                            rtlcheck_litmus::Op::Store { loc, val } => {
+                                format!("st {}, {val};", t.locations()[loc.0])
+                            }
+                            rtlcheck_litmus::Op::Load { dst, loc } => {
+                                format!("{dst} = ld {};", t.locations()[loc.0])
+                            }
+                            rtlcheck_litmus::Op::Fence => "fence;".to_string(),
+                        })
+                        .collect();
+                    format!("core {c} {{ {} }}", ops.join(" "))
+                })
+                .collect();
+            let src = format!(
+                "test serial\n{{ }}\n{}\npermit ( {} )",
+                body.join("\n"),
+                clauses.join(" /\\ ")
+            );
+            let serial = parse(&src).unwrap();
+            assert!(
+                !verdict(&serial).is_forbidden(),
+                "{name}: serial outcome must be observable"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tso_tests {
+    use super::*;
+    use rtlcheck_litmus::{suite, tso};
+    use rtlcheck_uspec::ground::{ground, DataMode};
+    use rtlcheck_uspec::multi_vscale_tso;
+
+    /// The TSO differential: across the whole 56-test suite, the axiomatic
+    /// verdict on the Multi-V-scale-TSO µspec model must agree with the
+    /// operational x86-TSO oracle.
+    #[test]
+    fn tso_spec_matches_the_tso_oracle_on_the_whole_suite() {
+        let spec = multi_vscale_tso::spec();
+        for t in suite::all() {
+            let grounded = ground(&spec, &t, DataMode::Outcome)
+                .unwrap_or_else(|e| panic!("{}: {e}", t.name()));
+            let axiomatic_forbidden = solve(&grounded).is_forbidden();
+            let oracle_forbidden = !tso::observable(&t);
+            assert_eq!(
+                axiomatic_forbidden,
+                oracle_forbidden,
+                "{}: axiomatic TSO model disagrees with the operational oracle",
+                t.name()
+            );
+        }
+    }
+
+    /// sb: forbidden under the SC model, observable under the TSO model —
+    /// with a witness graph exhibiting the store→load reordering.
+    #[test]
+    fn sb_splits_the_two_models() {
+        let sb = suite::get("sb").unwrap();
+        let sc_spec = rtlcheck_uspec::multi_vscale::spec();
+        let sc_grounded = ground(&sc_spec, &sb, DataMode::Outcome).unwrap();
+        assert!(solve(&sc_grounded).is_forbidden());
+        let tso_spec = multi_vscale_tso::spec();
+        let tso_grounded = ground(&tso_spec, &sb, DataMode::Outcome).unwrap();
+        let result = solve(&tso_grounded);
+        let witness = result.witness().expect("sb is TSO-observable");
+        assert!(witness.num_edges() > 0);
+    }
+}

@@ -1,0 +1,238 @@
+//! Abstract syntax for µspec specifications.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a pipeline stage in the specification's stage table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct StageId(pub usize);
+
+impl fmt::Display for StageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "stage{}", self.0)
+    }
+}
+
+/// The sort of a quantified variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sort {
+    /// Ranges over the micro-operations (instructions) of the litmus test.
+    Microop,
+    /// Ranges over the cores of the litmus test.
+    Core,
+}
+
+/// A `(microop, Stage)` node expression as written in µspec, e.g.
+/// `(a1, Writeback)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct NodeExpr {
+    /// Name of the micro-op variable.
+    pub uop: String,
+    /// Stage name (resolved against [`Spec::stages`] during grounding).
+    pub stage: String,
+}
+
+/// An edge expression `((a, S1), (b, S2))`, optionally labelled in the
+/// source syntax (labels and colours are parsed but not semantically
+/// relevant).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct EdgeExpr {
+    /// Source node.
+    pub src: NodeExpr,
+    /// Destination node.
+    pub dst: NodeExpr,
+}
+
+/// An atomic µspec predicate over quantified variables.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Predicate {
+    /// `OnCore c i` — micro-op `i` executes on core `c`.
+    OnCore(String, String),
+    /// `IsAnyRead i` — `i` is a load.
+    IsAnyRead(String),
+    /// `IsAnyWrite i` — `i` is a store.
+    IsAnyWrite(String),
+    /// `IsAnyFence i` — `i` is a memory fence.
+    IsAnyFence(String),
+    /// `SameMicroop a b` — `a` and `b` are the same instruction.
+    SameMicroop(String, String),
+    /// `ProgramOrder a b` — same core and `a` precedes `b` in program order.
+    ProgramOrder(String, String),
+    /// `SameCore a b` — `a` and `b` execute on the same core.
+    SameCore(String, String),
+    /// `SameAddress a b` — `a` and `b` access the same location.
+    SameAddress(String, String),
+    /// `SameData a b` — `a` and `b` carry the same data value (outcome- or
+    /// constraint-based depending on the grounding mode).
+    SameData(String, String),
+    /// `DataFromInitialStateAtPA i` — load `i` returns the initial value of
+    /// its address.
+    DataFromInitialStateAtPA(String),
+    /// `DataFromFinalStateAtPA i` — store `i` writes the final value of its
+    /// address (conservatively `false` in symbolic mode, §4.2).
+    DataFromFinalStateAtPA(String),
+}
+
+/// A µspec formula.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Formula {
+    /// Constant truth.
+    True,
+    /// Constant falsehood.
+    False,
+    /// Universal quantification over a sort.
+    Forall {
+        /// Sort of the bound variable.
+        sort: Sort,
+        /// Variable name.
+        var: String,
+        /// Scope of the quantifier.
+        body: Box<Formula>,
+    },
+    /// Existential quantification over a sort.
+    Exists {
+        /// Sort of the bound variable.
+        sort: Sort,
+        /// Variable name.
+        var: String,
+        /// Scope of the quantifier.
+        body: Box<Formula>,
+    },
+    /// Logical negation `~f`.
+    Not(Box<Formula>),
+    /// Conjunction `a /\ b`.
+    And(Box<Formula>, Box<Formula>),
+    /// Disjunction `a \/ b`.
+    Or(Box<Formula>, Box<Formula>),
+    /// Implication `a => b`.
+    Implies(Box<Formula>, Box<Formula>),
+    /// An atomic predicate.
+    Pred(Predicate),
+    /// `AddEdge ((a,S1),(b,S2))` — assert the happens-before edge.
+    AddEdge(EdgeExpr),
+    /// `EdgeExists ((a,S1),(b,S2))` — test the happens-before edge.
+    ///
+    /// In the synthesizable µspec subset used here, `EdgeExists` and
+    /// `AddEdge` have the same grounded meaning ("this edge holds in the
+    /// execution"); the distinction is stylistic, marking premises versus
+    /// conclusions.
+    EdgeExists(EdgeExpr),
+    /// `EdgesExist [e1; e2; ...]` — conjunction of edges.
+    EdgesExist(Vec<EdgeExpr>),
+    /// `NodeExists (a, S)` — the node occurs in the execution.
+    NodeExists(NodeExpr),
+    /// `ExpandMacro Name` — splice in a macro body (free variables resolve
+    /// at the expansion site, matching the Check suite's macro semantics).
+    ExpandMacro(String),
+}
+
+impl Formula {
+    /// Convenience constructor for `a /\ b`.
+    pub fn and(a: Formula, b: Formula) -> Formula {
+        Formula::And(Box::new(a), Box::new(b))
+    }
+
+    /// Convenience constructor for `a \/ b`.
+    pub fn or(a: Formula, b: Formula) -> Formula {
+        Formula::Or(Box::new(a), Box::new(b))
+    }
+
+    /// Convenience constructor for `a => b`.
+    pub fn implies(a: Formula, b: Formula) -> Formula {
+        Formula::Implies(Box::new(a), Box::new(b))
+    }
+
+    /// Convenience constructor for `~a`.
+    pub fn not(a: Formula) -> Formula {
+        Formula::Not(Box::new(a))
+    }
+}
+
+/// A top-level µspec declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Item {
+    /// `Axiom "Name": body.`
+    Axiom {
+        /// Axiom name.
+        name: String,
+        /// Axiom body.
+        body: Formula,
+    },
+    /// `DefineMacro "Name": body.`
+    Macro {
+        /// Macro name.
+        name: String,
+        /// Macro body.
+        body: Formula,
+    },
+}
+
+/// A complete µspec specification: a pipeline-stage table plus axioms and
+/// macros.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Spec {
+    /// Ordered pipeline stage names (`Stage "Fetch".` declarations).
+    pub stages: Vec<String>,
+    /// Axioms and macros in declaration order.
+    pub items: Vec<Item>,
+}
+
+impl Spec {
+    /// Resolves a stage name to its index.
+    pub fn stage_id(&self, name: &str) -> Option<StageId> {
+        self.stages.iter().position(|s| s == name).map(StageId)
+    }
+
+    /// All axioms, in declaration order.
+    pub fn axioms(&self) -> impl Iterator<Item = (&str, &Formula)> {
+        self.items.iter().filter_map(|i| match i {
+            Item::Axiom { name, body } => Some((name.as_str(), body)),
+            Item::Macro { .. } => None,
+        })
+    }
+
+    /// Looks up a macro body by name.
+    pub fn macro_body(&self, name: &str) -> Option<&Formula> {
+        self.items.iter().find_map(|i| match i {
+            Item::Macro { name: n, body } if n == name => Some(body),
+            _ => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_lookups() {
+        let spec = Spec {
+            stages: vec!["Fetch".into(), "DecodeExecute".into(), "Writeback".into()],
+            items: vec![
+                Item::Macro { name: "m".into(), body: Formula::True },
+                Item::Axiom { name: "a".into(), body: Formula::False },
+            ],
+        };
+        assert_eq!(spec.stage_id("Writeback"), Some(StageId(2)));
+        assert_eq!(spec.stage_id("WB"), None);
+        assert_eq!(spec.axioms().count(), 1);
+        assert_eq!(spec.macro_body("m"), Some(&Formula::True));
+        assert_eq!(spec.macro_body("a"), None);
+    }
+
+    #[test]
+    fn formula_constructors_nest() {
+        let f = Formula::implies(
+            Formula::and(Formula::True, Formula::not(Formula::False)),
+            Formula::or(Formula::False, Formula::True),
+        );
+        match f {
+            Formula::Implies(a, b) => {
+                assert!(matches!(*a, Formula::And(..)));
+                assert!(matches!(*b, Formula::Or(..)));
+            }
+            _ => panic!("expected implication"),
+        }
+    }
+}

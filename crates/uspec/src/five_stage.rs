@@ -1,0 +1,151 @@
+//! The µspec model of the Multi-Five-Stage processor.
+//!
+//! Same axiom structure as the Multi-V-scale model, retargeted at a classic
+//! five-stage pipeline: memory is accessed (and serialised by the arbiter)
+//! at the **Memory** stage, so the total order and the load-value axiom
+//! move there, and the in-order-pipeline FIFO axioms chain through two more
+//! stages.
+
+use crate::ast::Spec;
+
+/// Stage index of Fetch in [`SOURCE`].
+pub const FETCH: usize = 0;
+/// Stage index of Decode in [`SOURCE`].
+pub const DECODE: usize = 1;
+/// Stage index of Execute in [`SOURCE`].
+pub const EXECUTE: usize = 2;
+/// Stage index of Memory in [`SOURCE`].
+pub const MEMORY: usize = 3;
+/// Stage index of Writeback in [`SOURCE`].
+pub const WRITEBACK: usize = 4;
+
+/// The µspec source for Multi-Five-Stage.
+pub const SOURCE: &str = r#"
+% Multi-Five-Stage: four classic 5-stage in-order pipelines behind a
+% single-ported memory arbitrated at the Memory stage.
+
+Stage "Fetch".
+Stage "Decode".
+Stage "Execute".
+Stage "Memory".
+Stage "Writeback".
+
+Axiom "Instr_Path":
+forall microops "i",
+AddEdge ((i, Fetch), (i, Decode)) /\
+AddEdge ((i, Decode), (i, Execute)) /\
+AddEdge ((i, Execute), (i, Memory)) /\
+AddEdge ((i, Memory), (i, Writeback)).
+
+Axiom "PO_Fetch":
+forall microops "a1", "a2",
+ProgramOrder a1 a2 =>
+AddEdge ((a1, Fetch), (a2, Fetch)).
+
+% The pipeline is in order: each stage is FIFO given the previous one.
+Axiom "Decode_FIFO":
+forall microops "a1", "a2",
+(SameCore a1 a2 /\ ~SameMicroop a1 a2 /\ ProgramOrder a1 a2) =>
+EdgeExists ((a1, Fetch), (a2, Fetch)) =>
+AddEdge ((a1, Decode), (a2, Decode)).
+
+Axiom "Execute_FIFO":
+forall microops "a1", "a2",
+(SameCore a1 a2 /\ ~SameMicroop a1 a2 /\ ProgramOrder a1 a2) =>
+EdgeExists ((a1, Decode), (a2, Decode)) =>
+AddEdge ((a1, Execute), (a2, Execute)).
+
+Axiom "Memory_FIFO":
+forall microops "a1", "a2",
+(SameCore a1 a2 /\ ~SameMicroop a1 a2 /\ ProgramOrder a1 a2) =>
+EdgeExists ((a1, Execute), (a2, Execute)) =>
+AddEdge ((a1, Memory), (a2, Memory)).
+
+Axiom "WB_FIFO":
+forall cores "c",
+forall microops "a1", "a2",
+(OnCore c a1 /\ OnCore c a2 /\
+  ~SameMicroop a1 a2 /\ ProgramOrder a1 a2) =>
+EdgeExists ((a1, Memory), (a2, Memory)) =>
+AddEdge ((a1, Writeback), (a2, Writeback)).
+
+% The arbiter serialises memory accesses at the Memory stage.
+Axiom "Memory_Total_Order":
+forall microops "a1", "a2",
+((IsAnyRead a1 \/ IsAnyWrite a1) /\ (IsAnyRead a2 \/ IsAnyWrite a2) /\
+  ~SameMicroop a1 a2) =>
+(AddEdge ((a1, Memory), (a2, Memory)) \/
+ AddEdge ((a2, Memory), (a1, Memory))).
+
+Axiom "Write_Serialization":
+forall microops "w1", "w2",
+(IsAnyWrite w1 /\ IsAnyWrite w2 /\ ~SameMicroop w1 w2 /\ SameAddress w1 w2) =>
+(AddEdge ((w1, Memory), (w2, Memory)) \/
+ AddEdge ((w2, Memory), (w1, Memory))).
+
+Axiom "Final_Value":
+forall microops "w1", "w2",
+(IsAnyWrite w1 /\ IsAnyWrite w2 /\ ~SameMicroop w1 w2 /\ SameAddress w1 w2 /\
+  DataFromFinalStateAtPA w2) =>
+AddEdge ((w1, Memory), (w2, Memory)).
+
+% Loads read memory during their (granted) Memory cycle; stores commit at
+% the end of theirs: a load reads the last same-address store whose Memory
+% stage precedes its own, or the initial state before every such store.
+DefineMacro "NoInterveningWrite":
+exists microop "w", (
+  IsAnyWrite w /\ SameAddress w i /\ SameData w i /\
+  EdgeExists ((w, Memory), (i, Memory)) /\
+  ~(exists microop "w'",
+    IsAnyWrite w' /\ SameAddress i w' /\ ~SameMicroop w w' /\
+    EdgesExist [((w, Memory), (w', Memory), "");
+                ((w', Memory), (i, Memory), "")])).
+
+DefineMacro "BeforeAllWrites":
+DataFromInitialStateAtPA i /\
+forall microop "w", (
+  (IsAnyWrite w /\ SameAddress w i /\ ~SameMicroop i w) =>
+  AddEdge ((i, Memory), (w, Memory), "fr", "red")).
+
+Axiom "Read_Values":
+forall cores "c",
+forall microops "i",
+OnCore c i => IsAnyRead i => (
+  ExpandMacro BeforeAllWrites \/ ExpandMacro NoInterveningWrite).
+"#;
+
+/// Parses and returns the Multi-Five-Stage µspec specification.
+///
+/// # Panics
+///
+/// Panics if the built-in source fails to parse (a bug; covered by tests).
+pub fn spec() -> Spec {
+    crate::parse(SOURCE).expect("built-in Multi-Five-Stage µspec is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ground::{ground, DataMode};
+    use rtlcheck_litmus::suite;
+
+    #[test]
+    fn source_parses_with_five_stages() {
+        let s = spec();
+        assert_eq!(s.stages.len(), 5);
+        assert_eq!(s.stage_id("Memory"), Some(crate::StageId(MEMORY)));
+        assert_eq!(s.stage_id("Writeback"), Some(crate::StageId(WRITEBACK)));
+        assert_eq!(s.axioms().count(), 10);
+    }
+
+    #[test]
+    fn grounds_against_the_whole_suite() {
+        let s = spec();
+        for t in suite::all() {
+            for mode in [DataMode::Outcome, DataMode::Symbolic] {
+                let g = ground(&s, &t, mode).unwrap_or_else(|e| panic!("{}: {e}", t.name()));
+                assert!(!g.is_empty(), "{}", t.name());
+            }
+        }
+    }
+}

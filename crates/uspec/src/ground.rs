@@ -1,0 +1,1091 @@
+//! Grounding of µspec axioms against a concrete litmus test.
+//!
+//! Grounding eliminates quantifiers (micro-op variables range over the
+//! test's instructions, core variables over its cores), expands macros,
+//! evaluates static predicates, and pushes negation inwards, yielding
+//! negation-free quantifier-free [`GFormula`]s over µhb atoms.
+//!
+//! # Data-predicate modes
+//!
+//! The `SameData`, `DataFromInitialStateAtPA`, and `DataFromFinalStateAtPA`
+//! predicates depend on the values loads return, which are only known for a
+//! *complete* execution:
+//!
+//! * [`DataMode::Outcome`] evaluates them against the litmus test's outcome
+//!   condition, exactly as the Check suite's omniscient axiomatic analysis
+//!   does (paper §3.2). This mode feeds the µhb graph enumerator.
+//! * [`DataMode::Symbolic`] keeps them symbolic as [`GAtom::LoadValue`]
+//!   constraints, so a single grounded formula covers every outcome of the
+//!   test. This is RTLCheck's *outcome-aware* translation (§4.2): SVA
+//!   verifiers cannot check assumptions against the future, so properties
+//!   generated from the grounded formula must hold on partial executions of
+//!   all outcomes, not just the outcome under test.
+//!
+//! # The synthesizable µspec subset
+//!
+//! A key point of the paper (§2.2) is that µspec must be written in a subset
+//! that is "synthesizable" to SVA, much as only a subset of Verilog is
+//! synthesizable to hardware. The subset implemented here interprets a
+//! *negated* edge `~EdgeExists(src, dst)` as the reversed edge
+//! `EdgeExists(dst, src)`, which is sound whenever occupancy of the mapped
+//! node events is mutually exclusive (true of Multi-V-scale, whose arbiter
+//! serialises memory-stage events). Negated node existence becomes
+//! [`GAtom::NeverNode`] in symbolic mode and `false` in outcome mode (every
+//! instruction of a complete execution performs all of its stages).
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use rtlcheck_litmus::{InstrRef, InstrUid, LitmusTest, Val};
+use serde::{Deserialize, Serialize};
+
+use crate::ast::{EdgeExpr, Formula, NodeExpr, Predicate, Sort, Spec, StageId};
+
+/// Maximum macro expansion depth before [`GroundError::MacroRecursion`].
+const MACRO_DEPTH_LIMIT: usize = 64;
+
+/// A grounded µhb node: one instruction at one pipeline stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct GNode {
+    /// The instruction.
+    pub instr: InstrUid,
+    /// The pipeline stage.
+    pub stage: StageId,
+}
+
+impl fmt::Display for GNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.instr, self.stage)
+    }
+}
+
+/// A grounded happens-before edge between two µhb nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct GEdge {
+    /// Source node (happens first).
+    pub src: GNode,
+    /// Destination node (happens later).
+    pub dst: GNode,
+}
+
+impl GEdge {
+    /// The same edge with source and destination swapped.
+    pub fn reversed(self) -> GEdge {
+        GEdge { src: self.dst, dst: self.src }
+    }
+}
+
+impl fmt::Display for GEdge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -> {}", self.src, self.dst)
+    }
+}
+
+/// A constraint that a given load returns a given value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LoadConstraint {
+    /// The load instruction.
+    pub load: InstrUid,
+    /// The value it must return.
+    pub value: Val,
+}
+
+/// An atom of a grounded formula.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GAtom {
+    /// The happens-before edge holds.
+    Edge(GEdge),
+    /// The node occurs in the execution.
+    Node(GNode),
+    /// The node never occurs (symbolic mode only).
+    NeverNode(GNode),
+    /// The load returns the value (symbolic mode only).
+    LoadValue(LoadConstraint),
+}
+
+/// A grounded, quantifier-free, negation-free formula.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GFormula {
+    /// Constant truth.
+    True,
+    /// Constant falsehood.
+    False,
+    /// An atomic constraint.
+    Atom(GAtom),
+    /// Conjunction of sub-formulas.
+    And(Vec<GFormula>),
+    /// Disjunction of sub-formulas.
+    Or(Vec<GFormula>),
+}
+
+impl GFormula {
+    /// Smart conjunction: drops `True`, collapses on `False`, flattens.
+    pub fn and(children: Vec<GFormula>) -> GFormula {
+        let mut out = Vec::new();
+        for c in children {
+            match c {
+                GFormula::True => {}
+                GFormula::False => return GFormula::False,
+                GFormula::And(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => GFormula::True,
+            1 => out.pop().expect("len checked"),
+            _ => GFormula::And(out),
+        }
+    }
+
+    /// Smart disjunction: drops `False`, collapses on `True`, flattens.
+    pub fn or(children: Vec<GFormula>) -> GFormula {
+        let mut out = Vec::new();
+        for c in children {
+            match c {
+                GFormula::False => {}
+                GFormula::True => return GFormula::True,
+                GFormula::Or(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => GFormula::False,
+            1 => out.pop().expect("len checked"),
+            _ => GFormula::Or(out),
+        }
+    }
+
+    /// Whether the formula is the constant `True`.
+    pub fn is_trivially_true(&self) -> bool {
+        matches!(self, GFormula::True)
+    }
+
+    /// Converts the formula to disjunctive normal form.
+    ///
+    /// Each returned [`Conjunct`] is one way of satisfying the formula.
+    /// Grounded per-instance formulas are small, so the worst-case
+    /// exponential blow-up is not a concern at this granularity.
+    pub fn to_dnf(&self) -> Vec<Conjunct> {
+        match self {
+            GFormula::True => vec![Conjunct::default()],
+            GFormula::False => vec![],
+            GFormula::Atom(a) => {
+                let mut c = Conjunct::default();
+                c.push(*a);
+                vec![c]
+            }
+            GFormula::Or(children) => children.iter().flat_map(GFormula::to_dnf).collect(),
+            GFormula::And(children) => {
+                let mut acc = vec![Conjunct::default()];
+                for child in children {
+                    let child_dnf = child.to_dnf();
+                    let mut next = Vec::with_capacity(acc.len() * child_dnf.len().max(1));
+                    for base in &acc {
+                        for extension in &child_dnf {
+                            let mut merged = base.clone();
+                            merged.merge(extension);
+                            next.push(merged);
+                        }
+                    }
+                    acc = next;
+                }
+                acc
+            }
+        }
+    }
+
+    /// All atoms appearing anywhere in the formula.
+    pub fn atoms(&self) -> Vec<GAtom> {
+        let mut out = Vec::new();
+        self.collect_atoms(&mut out);
+        out
+    }
+
+    fn collect_atoms(&self, out: &mut Vec<GAtom>) {
+        match self {
+            GFormula::True | GFormula::False => {}
+            GFormula::Atom(a) => out.push(*a),
+            GFormula::And(cs) | GFormula::Or(cs) => {
+                for c in cs {
+                    c.collect_atoms(out);
+                }
+            }
+        }
+    }
+}
+
+/// One satisfied branch of a grounded formula in DNF: the atoms that must
+/// all hold together.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Conjunct {
+    /// Required happens-before edges.
+    pub edges: Vec<GEdge>,
+    /// Required node occurrences.
+    pub nodes: Vec<GNode>,
+    /// Required node non-occurrences.
+    pub never_nodes: Vec<GNode>,
+    /// Required load values.
+    pub constraints: Vec<LoadConstraint>,
+}
+
+impl Conjunct {
+    fn push(&mut self, atom: GAtom) {
+        match atom {
+            GAtom::Edge(e) => {
+                if !self.edges.contains(&e) {
+                    self.edges.push(e);
+                }
+            }
+            GAtom::Node(n) => {
+                if !self.nodes.contains(&n) {
+                    self.nodes.push(n);
+                }
+            }
+            GAtom::NeverNode(n) => {
+                if !self.never_nodes.contains(&n) {
+                    self.never_nodes.push(n);
+                }
+            }
+            GAtom::LoadValue(c) => {
+                if !self.constraints.contains(&c) {
+                    self.constraints.push(c);
+                }
+            }
+        }
+    }
+
+    fn merge(&mut self, other: &Conjunct) {
+        for &e in &other.edges {
+            self.push(GAtom::Edge(e));
+        }
+        for &n in &other.nodes {
+            self.push(GAtom::Node(n));
+        }
+        for &n in &other.never_nodes {
+            self.push(GAtom::NeverNode(n));
+        }
+        for &c in &other.constraints {
+            self.push(GAtom::LoadValue(c));
+        }
+    }
+
+    /// The load-value constraints that apply to a given instruction.
+    pub fn constraints_on(&self, instr: InstrUid) -> Vec<LoadConstraint> {
+        self.constraints.iter().copied().filter(|c| c.load == instr).collect()
+    }
+
+    /// Whether two constraints pin the same load to different values,
+    /// making the conjunct unsatisfiable.
+    pub fn has_contradictory_constraints(&self) -> bool {
+        self.constraints.iter().enumerate().any(|(i, a)| {
+            self.constraints[i + 1..]
+                .iter()
+                .any(|b| a.load == b.load && a.value != b.value)
+        })
+    }
+}
+
+/// How data predicates are evaluated during grounding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataMode {
+    /// Evaluate against the litmus outcome (Check-suite omniscience).
+    Outcome,
+    /// Keep symbolic as load-value constraints (RTLCheck outcome-awareness).
+    Symbolic,
+}
+
+/// A grounded axiom instance: one binding of the axiom's outermost
+/// universal quantifiers, simplified.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroundedAxiom {
+    /// Name of the originating axiom.
+    pub axiom: String,
+    /// Human-readable description of the variable binding, e.g.
+    /// `"a1 = i1, a2 = i2"`.
+    pub instance: String,
+    /// The grounded, simplified formula. Never trivially `True` (such
+    /// instances are dropped).
+    pub formula: GFormula,
+}
+
+/// An error raised during grounding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GroundError {
+    /// A node or edge expression refers to an unknown stage name.
+    UnknownStage(String),
+    /// A formula refers to an unbound variable.
+    UnboundVar(String),
+    /// A variable was bound at the wrong sort for a predicate.
+    SortMismatch(String),
+    /// `ExpandMacro` refers to an undefined macro.
+    UnknownMacro(String),
+    /// Macro expansion exceeded the depth limit (likely recursive macros).
+    MacroRecursion(String),
+    /// In outcome mode, a load's value is needed but the litmus condition
+    /// does not pin it.
+    UnpinnedLoad(InstrUid),
+    /// A predicate usage falls outside the synthesizable subset (e.g.
+    /// `SameData` between two loads in symbolic mode).
+    NotSynthesizable(String),
+}
+
+impl fmt::Display for GroundError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GroundError::UnknownStage(s) => write!(f, "unknown stage `{s}`"),
+            GroundError::UnboundVar(v) => write!(f, "unbound variable `{v}`"),
+            GroundError::SortMismatch(v) => write!(f, "variable `{v}` used at the wrong sort"),
+            GroundError::UnknownMacro(m) => write!(f, "unknown macro `{m}`"),
+            GroundError::MacroRecursion(m) => {
+                write!(f, "macro expansion depth limit exceeded expanding `{m}`")
+            }
+            GroundError::UnpinnedLoad(i) => {
+                write!(f, "outcome mode requires the condition to pin load {i}")
+            }
+            GroundError::NotSynthesizable(msg) => write!(f, "not synthesizable: {msg}"),
+        }
+    }
+}
+
+impl Error for GroundError {}
+
+/// Grounds every axiom of `spec` against `test`.
+///
+/// One [`GroundedAxiom`] is produced per binding of each axiom's outermost
+/// block of universal quantifiers; instances that simplify to `True` are
+/// dropped. Inner quantifiers are expanded into conjunctions/disjunctions.
+///
+/// # Errors
+///
+/// See [`GroundError`].
+pub fn ground(
+    spec: &Spec,
+    test: &LitmusTest,
+    mode: DataMode,
+) -> Result<Vec<GroundedAxiom>, GroundError> {
+    let grounder = Grounder { spec, test, mode };
+    let mut out = Vec::new();
+    for (name, body) in spec.axioms() {
+        grounder.ground_axiom(name, body, &mut out)?;
+    }
+    Ok(out)
+}
+
+#[derive(Clone, Copy)]
+enum Binding {
+    Uop(InstrRef),
+    Core(rtlcheck_litmus::CoreId),
+}
+
+type Env = HashMap<String, Binding>;
+
+struct Grounder<'a> {
+    spec: &'a Spec,
+    test: &'a LitmusTest,
+    mode: DataMode,
+}
+
+impl Grounder<'_> {
+    /// Splits off the outermost universal block and produces one grounded
+    /// instance per binding.
+    fn ground_axiom(
+        &self,
+        name: &str,
+        body: &Formula,
+        out: &mut Vec<GroundedAxiom>,
+    ) -> Result<(), GroundError> {
+        // Collect the outer forall chain.
+        let mut binders: Vec<(Sort, &str)> = Vec::new();
+        let mut inner = body;
+        while let Formula::Forall { sort, var, body } = inner {
+            binders.push((*sort, var));
+            inner = body;
+        }
+        let instrs: Vec<InstrRef> = self.test.instructions().collect();
+        let cores = self.test.num_cores();
+
+        // Enumerate bindings of the outer block.
+        let mut stack: Vec<(Env, usize, String)> = vec![(Env::new(), 0, String::new())];
+        while let Some((env, depth, desc)) = stack.pop() {
+            if depth == binders.len() {
+                let formula = self.ground_formula(inner, &env, true, 0)?;
+                if !formula.is_trivially_true() {
+                    out.push(GroundedAxiom {
+                        axiom: name.to_string(),
+                        instance: desc.clone(),
+                        formula,
+                    });
+                }
+                continue;
+            }
+            let (sort, var) = binders[depth];
+            match sort {
+                Sort::Microop => {
+                    for &i in &instrs {
+                        let mut env2 = env.clone();
+                        env2.insert(var.to_string(), Binding::Uop(i));
+                        let desc2 = extend_desc(&desc, var, &i.uid.to_string());
+                        stack.push((env2, depth + 1, desc2));
+                    }
+                }
+                Sort::Core => {
+                    for c in 0..cores {
+                        let mut env2 = env.clone();
+                        env2.insert(var.to_string(), Binding::Core(rtlcheck_litmus::CoreId(c)));
+                        let desc2 = extend_desc(&desc, var, &format!("C{c}"));
+                        stack.push((env2, depth + 1, desc2));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Grounds a formula under `env` with the given polarity (`true` =
+    /// positive). Negation is eliminated on the fly, producing NNF.
+    fn ground_formula(
+        &self,
+        f: &Formula,
+        env: &Env,
+        positive: bool,
+        macro_depth: usize,
+    ) -> Result<GFormula, GroundError> {
+        Ok(match f {
+            Formula::True => {
+                if positive {
+                    GFormula::True
+                } else {
+                    GFormula::False
+                }
+            }
+            Formula::False => {
+                if positive {
+                    GFormula::False
+                } else {
+                    GFormula::True
+                }
+            }
+            Formula::Not(inner) => self.ground_formula(inner, env, !positive, macro_depth)?,
+            // And/Or/Implies short-circuit on their first operand so that
+            // guard predicates (e.g. `IsAnyWrite w`) protect data predicates
+            // from being grounded for instructions they do not apply to.
+            Formula::And(a, b) => {
+                let ga = self.ground_formula(a, env, positive, macro_depth)?;
+                if positive {
+                    if ga == GFormula::False {
+                        return Ok(GFormula::False);
+                    }
+                    let gb = self.ground_formula(b, env, positive, macro_depth)?;
+                    GFormula::and(vec![ga, gb])
+                } else {
+                    if ga == GFormula::True {
+                        return Ok(GFormula::True);
+                    }
+                    let gb = self.ground_formula(b, env, positive, macro_depth)?;
+                    GFormula::or(vec![ga, gb])
+                }
+            }
+            Formula::Or(a, b) => {
+                let ga = self.ground_formula(a, env, positive, macro_depth)?;
+                if positive {
+                    if ga == GFormula::True {
+                        return Ok(GFormula::True);
+                    }
+                    let gb = self.ground_formula(b, env, positive, macro_depth)?;
+                    GFormula::or(vec![ga, gb])
+                } else {
+                    if ga == GFormula::False {
+                        return Ok(GFormula::False);
+                    }
+                    let gb = self.ground_formula(b, env, positive, macro_depth)?;
+                    GFormula::and(vec![ga, gb])
+                }
+            }
+            Formula::Implies(a, b) => {
+                // a => b  ≡  ~a \/ b
+                let ga = self.ground_formula(a, env, !positive, macro_depth)?;
+                if positive {
+                    if ga == GFormula::True {
+                        return Ok(GFormula::True);
+                    }
+                    let gb = self.ground_formula(b, env, positive, macro_depth)?;
+                    GFormula::or(vec![ga, gb])
+                } else {
+                    if ga == GFormula::False {
+                        return Ok(GFormula::False);
+                    }
+                    let gb = self.ground_formula(b, env, positive, macro_depth)?;
+                    GFormula::and(vec![ga, gb])
+                }
+            }
+            Formula::Forall { sort, var, body } | Formula::Exists { sort, var, body } => {
+                let universal = matches!(f, Formula::Forall { .. });
+                let mut children = Vec::new();
+                match sort {
+                    Sort::Microop => {
+                        for i in self.test.instructions() {
+                            let mut env2 = env.clone();
+                            env2.insert(var.clone(), Binding::Uop(i));
+                            children.push(self.ground_formula(
+                                body,
+                                &env2,
+                                positive,
+                                macro_depth,
+                            )?);
+                        }
+                    }
+                    Sort::Core => {
+                        for c in 0..self.test.num_cores() {
+                            let mut env2 = env.clone();
+                            env2.insert(
+                                var.clone(),
+                                Binding::Core(rtlcheck_litmus::CoreId(c)),
+                            );
+                            children.push(self.ground_formula(
+                                body,
+                                &env2,
+                                positive,
+                                macro_depth,
+                            )?);
+                        }
+                    }
+                }
+                // forall ≡ big-and when positive, big-or when negated;
+                // exists is the dual.
+                if universal == positive {
+                    GFormula::and(children)
+                } else {
+                    GFormula::or(children)
+                }
+            }
+            Formula::Pred(p) => self.ground_pred(p, env, positive)?,
+            Formula::AddEdge(e) | Formula::EdgeExists(e) => {
+                self.ground_edge(e, env, positive)?
+            }
+            Formula::EdgesExist(edges) => {
+                let children = edges
+                    .iter()
+                    .map(|e| self.ground_edge(e, env, positive))
+                    .collect::<Result<Vec<_>, _>>()?;
+                if positive {
+                    GFormula::and(children)
+                } else {
+                    GFormula::or(children)
+                }
+            }
+            Formula::NodeExists(n) => {
+                let node = self.resolve_node(n, env)?;
+                if positive {
+                    GFormula::Atom(GAtom::Node(node))
+                } else {
+                    match self.mode {
+                        // In a complete execution every instruction performs
+                        // every stage, so "node absent" is unsatisfiable.
+                        DataMode::Outcome => GFormula::False,
+                        DataMode::Symbolic => GFormula::Atom(GAtom::NeverNode(node)),
+                    }
+                }
+            }
+            Formula::ExpandMacro(name) => {
+                if macro_depth >= MACRO_DEPTH_LIMIT {
+                    return Err(GroundError::MacroRecursion(name.clone()));
+                }
+                let body = self
+                    .spec
+                    .macro_body(name)
+                    .ok_or_else(|| GroundError::UnknownMacro(name.clone()))?;
+                self.ground_formula(body, env, positive, macro_depth + 1)?
+            }
+        })
+    }
+
+    /// Grounds an edge expression. A negated edge is interpreted as the
+    /// reversed edge (synthesizable subset, see module docs); a self-edge is
+    /// unsatisfiable and its negation trivially true.
+    fn ground_edge(
+        &self,
+        e: &EdgeExpr,
+        env: &Env,
+        positive: bool,
+    ) -> Result<GFormula, GroundError> {
+        let src = self.resolve_node(&e.src, env)?;
+        let dst = self.resolve_node(&e.dst, env)?;
+        if src == dst {
+            return Ok(if positive { GFormula::False } else { GFormula::True });
+        }
+        let edge = GEdge { src, dst };
+        Ok(GFormula::Atom(GAtom::Edge(if positive { edge } else { edge.reversed() })))
+    }
+
+    fn resolve_node(&self, n: &NodeExpr, env: &Env) -> Result<GNode, GroundError> {
+        let instr = self.lookup_uop(&n.uop, env)?;
+        let stage = self
+            .spec
+            .stage_id(&n.stage)
+            .ok_or_else(|| GroundError::UnknownStage(n.stage.clone()))?;
+        Ok(GNode { instr: instr.uid, stage })
+    }
+
+    fn lookup_uop(&self, var: &str, env: &Env) -> Result<InstrRef, GroundError> {
+        match env.get(var) {
+            Some(Binding::Uop(i)) => Ok(*i),
+            Some(Binding::Core(_)) => Err(GroundError::SortMismatch(var.to_string())),
+            None => Err(GroundError::UnboundVar(var.to_string())),
+        }
+    }
+
+    fn lookup_core(&self, var: &str, env: &Env) -> Result<rtlcheck_litmus::CoreId, GroundError> {
+        match env.get(var) {
+            Some(Binding::Core(c)) => Ok(*c),
+            Some(Binding::Uop(_)) => Err(GroundError::SortMismatch(var.to_string())),
+            None => Err(GroundError::UnboundVar(var.to_string())),
+        }
+    }
+
+    /// The values a load could possibly return in any execution of the
+    /// test: the initial value of its location plus every stored value.
+    fn possible_load_values(&self, load: InstrRef) -> Vec<Val> {
+        let loc = load.loc().expect("loads access a location");
+        let mut vals = vec![self.test.initial_value(loc)];
+        for s in self.test.stores_to(loc) {
+            let v = s.store_value().expect("stores carry values");
+            if !vals.contains(&v) {
+                vals.push(v);
+            }
+        }
+        vals
+    }
+
+    /// The value instruction `i` carries in the outcome under test: a
+    /// store's immediate, or the condition-pinned value of a load.
+    fn outcome_data(&self, i: InstrRef) -> Result<Val, GroundError> {
+        if let Some(v) = i.store_value() {
+            return Ok(v);
+        }
+        self.test
+            .expected_load_value(&i)
+            .ok_or(GroundError::UnpinnedLoad(i.uid))
+    }
+
+    fn bool_formula(value: bool, positive: bool) -> GFormula {
+        if value == positive {
+            GFormula::True
+        } else {
+            GFormula::False
+        }
+    }
+
+    /// Constrains load `i` to carry `value` (symbolic mode), honouring
+    /// polarity: a negative constraint becomes the disjunction of all other
+    /// possible values of the load.
+    fn load_value_formula(&self, load: InstrRef, value: Val, positive: bool) -> GFormula {
+        let possible = self.possible_load_values(load);
+        if positive {
+            if possible.contains(&value) {
+                GFormula::Atom(GAtom::LoadValue(LoadConstraint { load: load.uid, value }))
+            } else {
+                // The load can never return this value in any execution.
+                GFormula::False
+            }
+        } else {
+            GFormula::or(
+                possible
+                    .into_iter()
+                    .filter(|&v| v != value)
+                    .map(|v| {
+                        GFormula::Atom(GAtom::LoadValue(LoadConstraint {
+                            load: load.uid,
+                            value: v,
+                        }))
+                    })
+                    .collect(),
+            )
+        }
+    }
+
+    fn ground_pred(
+        &self,
+        p: &Predicate,
+        env: &Env,
+        positive: bool,
+    ) -> Result<GFormula, GroundError> {
+        Ok(match p {
+            Predicate::OnCore(c, i) => {
+                let core = self.lookup_core(c, env)?;
+                let instr = self.lookup_uop(i, env)?;
+                Self::bool_formula(instr.core == core, positive)
+            }
+            Predicate::IsAnyRead(i) => {
+                Self::bool_formula(self.lookup_uop(i, env)?.is_load(), positive)
+            }
+            Predicate::IsAnyWrite(i) => {
+                Self::bool_formula(self.lookup_uop(i, env)?.is_store(), positive)
+            }
+            Predicate::IsAnyFence(i) => {
+                Self::bool_formula(self.lookup_uop(i, env)?.is_fence(), positive)
+            }
+            Predicate::SameMicroop(a, b) => {
+                let (a, b) = (self.lookup_uop(a, env)?, self.lookup_uop(b, env)?);
+                Self::bool_formula(a.uid == b.uid, positive)
+            }
+            Predicate::ProgramOrder(a, b) => {
+                let (a, b) = (self.lookup_uop(a, env)?, self.lookup_uop(b, env)?);
+                Self::bool_formula(a.core == b.core && a.index < b.index, positive)
+            }
+            Predicate::SameCore(a, b) => {
+                let (a, b) = (self.lookup_uop(a, env)?, self.lookup_uop(b, env)?);
+                Self::bool_formula(a.core == b.core, positive)
+            }
+            Predicate::SameAddress(a, b) => {
+                let (a, b) = (self.lookup_uop(a, env)?, self.lookup_uop(b, env)?);
+                // Fences access no location: SameAddress with a fence is
+                // false, like the Check suite's treatment of non-memory ops.
+                let same = match (a.loc(), b.loc()) {
+                    (Some(la), Some(lb)) => la == lb,
+                    _ => false,
+                };
+                Self::bool_formula(same, positive)
+            }
+            Predicate::SameData(a, b) => {
+                let (a, b) = (self.lookup_uop(a, env)?, self.lookup_uop(b, env)?);
+                match self.mode {
+                    DataMode::Outcome => {
+                        let same = self.outcome_data(a)? == self.outcome_data(b)?;
+                        Self::bool_formula(same, positive)
+                    }
+                    DataMode::Symbolic => match (a.store_value(), b.store_value()) {
+                        (Some(va), Some(vb)) => Self::bool_formula(va == vb, positive),
+                        (Some(v), None) => self.load_value_formula(b, v, positive),
+                        (None, Some(v)) => self.load_value_formula(a, v, positive),
+                        (None, None) => {
+                            return Err(GroundError::NotSynthesizable(format!(
+                                "SameData between two loads ({}, {}) in symbolic mode",
+                                a.uid, b.uid
+                            )))
+                        }
+                    },
+                }
+            }
+            Predicate::DataFromInitialStateAtPA(i) => {
+                let instr = self.lookup_uop(i, env)?;
+                let Some(loc) = instr.loc() else {
+                    // A fence carries no data: it never matches the initial
+                    // state.
+                    return Ok(Self::bool_formula(false, positive));
+                };
+                let init = self.test.initial_value(loc);
+                if instr.is_store() {
+                    // A store "reads" nothing; it matches the initial state
+                    // only if it writes the same value, mirroring the data
+                    // comparison the Check suite performs.
+                    let same = instr.store_value() == Some(init);
+                    return Ok(Self::bool_formula(same, positive));
+                }
+                match self.mode {
+                    DataMode::Outcome => {
+                        let same = self.outcome_data(instr)? == init;
+                        Self::bool_formula(same, positive)
+                    }
+                    DataMode::Symbolic => self.load_value_formula(instr, init, positive),
+                }
+            }
+            Predicate::DataFromFinalStateAtPA(i) => {
+                let instr = self.lookup_uop(i, env)?;
+                let Some(loc) = instr.loc() else {
+                    return Ok(Self::bool_formula(false, positive));
+                };
+                match self.mode {
+                    DataMode::Outcome => {
+                        let fin = self.test.condition().mem_value(loc);
+                        let same = fin.is_some() && Some(self.outcome_data(instr)?) == fin;
+                        Self::bool_formula(same, positive)
+                    }
+                    // §4.2: SVA verifiers cannot enforce that a write is the
+                    // execution's last, so the translation conservatively
+                    // evaluates this predicate to false.
+                    DataMode::Symbolic => Self::bool_formula(false, positive),
+                }
+            }
+        })
+    }
+}
+
+fn extend_desc(desc: &str, var: &str, value: &str) -> String {
+    if desc.is_empty() {
+        format!("{var} = {value}")
+    } else {
+        format!("{desc}, {var} = {value}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+    use rtlcheck_litmus::suite;
+
+    fn mini_spec() -> Spec {
+        parse(
+            r#"
+            Stage "Fetch".
+            Stage "DecodeExecute".
+            Stage "Writeback".
+
+            Axiom "WB_FIFO":
+            forall cores "c",
+            forall microops "a1", "a2",
+            (OnCore c a1 /\ OnCore c a2 /\
+              ~SameMicroop a1 a2 /\ ProgramOrder a1 a2) =>
+            EdgeExists ((a1, DecodeExecute), (a2, DecodeExecute)) =>
+            AddEdge ((a1, Writeback), (a2, Writeback)).
+        "#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn wb_fifo_grounds_to_per_pair_instances() {
+        let spec = mini_spec();
+        let mp = suite::get("mp").unwrap();
+        let grounded = ground(&spec, &mp, DataMode::Outcome).unwrap();
+        // mp has two cores with two instructions each: one program-order
+        // pair per core (and per bound core variable), so two instances.
+        assert_eq!(grounded.len(), 2);
+        for g in &grounded {
+            assert_eq!(g.axiom, "WB_FIFO");
+            // ~EdgeExists(DX) \/ AddEdge(WB): an Or of the reversed premise
+            // edge and the conclusion edge.
+            match &g.formula {
+                GFormula::Or(children) => assert_eq!(children.len(), 2),
+                other => panic!("expected or, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn premise_edge_negation_reverses() {
+        let spec = mini_spec();
+        let mp = suite::get("mp").unwrap();
+        let grounded = ground(&spec, &mp, DataMode::Outcome).unwrap();
+        let g = &grounded[0];
+        let atoms = g.formula.atoms();
+        let edges: Vec<GEdge> = atoms
+            .iter()
+            .filter_map(|a| match a {
+                GAtom::Edge(e) => Some(*e),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(edges.len(), 2);
+        // One edge is on DX (reversed premise), one on WB (conclusion).
+        let dx = StageId(1);
+        let wb = StageId(2);
+        let dx_edge = edges.iter().find(|e| e.src.stage == dx).unwrap();
+        let wb_edge = edges.iter().find(|e| e.src.stage == wb).unwrap();
+        // Premise reversed: the later instruction's DX before the earlier's.
+        assert!(dx_edge.src.instr > dx_edge.dst.instr);
+        assert!(wb_edge.src.instr < wb_edge.dst.instr);
+    }
+
+    #[test]
+    fn exists_becomes_or_and_forall_becomes_and() {
+        let spec = parse(
+            r#"
+            Stage "WB".
+            Axiom "A":
+            forall microops "i",
+            IsAnyRead i =>
+            exists microop "w",
+            (IsAnyWrite w /\ AddEdge ((w, WB), (i, WB))).
+        "#,
+        )
+        .unwrap();
+        let mp = suite::get("mp").unwrap();
+        let grounded = ground(&spec, &mp, DataMode::Outcome).unwrap();
+        // Two loads in mp → two instances; each is an Or over mp's 2 writes.
+        assert_eq!(grounded.len(), 2);
+        for g in &grounded {
+            match &g.formula {
+                GFormula::Or(children) => assert_eq!(children.len(), 2),
+                other => panic!("expected or over writes, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn macros_expand_with_dynamic_scope() {
+        let spec = parse(
+            r#"
+            Stage "WB".
+            DefineMacro "HasWriteBefore":
+            exists microop "w",
+            (IsAnyWrite w /\ AddEdge ((w, WB), (i, WB))).
+            Axiom "A":
+            forall microops "i",
+            IsAnyRead i => ExpandMacro HasWriteBefore.
+        "#,
+        )
+        .unwrap();
+        let mp = suite::get("mp").unwrap();
+        let grounded = ground(&spec, &mp, DataMode::Outcome).unwrap();
+        assert_eq!(grounded.len(), 2, "macro body must see the enclosing `i`");
+    }
+
+    #[test]
+    fn recursive_macro_errors() {
+        let spec = parse(
+            r#"
+            Stage "WB".
+            DefineMacro "Loop": ExpandMacro Loop.
+            Axiom "A": ExpandMacro Loop.
+        "#,
+        )
+        .unwrap();
+        let mp = suite::get("mp").unwrap();
+        let err = ground(&spec, &mp, DataMode::Outcome).unwrap_err();
+        assert_eq!(err, GroundError::MacroRecursion("Loop".into()));
+    }
+
+    #[test]
+    fn unknown_stage_and_macro_error() {
+        let mp = suite::get("mp").unwrap();
+        let spec = parse(
+            r#"Stage "WB". Axiom "A": forall microops "i", NodeExists (i, Bogus)."#,
+        )
+        .unwrap();
+        assert_eq!(
+            ground(&spec, &mp, DataMode::Outcome).unwrap_err(),
+            GroundError::UnknownStage("Bogus".into())
+        );
+        let spec = parse(r#"Stage "WB". Axiom "A": ExpandMacro Missing."#).unwrap();
+        assert_eq!(
+            ground(&spec, &mp, DataMode::Outcome).unwrap_err(),
+            GroundError::UnknownMacro("Missing".into())
+        );
+    }
+
+    #[test]
+    fn symbolic_same_data_pins_load_values() {
+        let spec = parse(
+            r#"
+            Stage "WB".
+            Axiom "A":
+            forall microops "w", forall microops "i",
+            (IsAnyWrite w /\ IsAnyRead i /\ SameAddress w i) =>
+            (SameData w i => AddEdge ((w, WB), (i, WB))).
+        "#,
+        )
+        .unwrap();
+        let mp = suite::get("mp").unwrap();
+        let grounded = ground(&spec, &mp, DataMode::Symbolic).unwrap();
+        // mp: write x / read x and write y / read y → 2 instances.
+        assert_eq!(grounded.len(), 2);
+        for g in &grounded {
+            let atoms = g.formula.atoms();
+            assert!(
+                atoms.iter().any(|a| matches!(a, GAtom::LoadValue(_))),
+                "negated SameData should expand to alternative load values: {atoms:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn symbolic_negated_same_data_covers_other_values() {
+        // For mp's load of x, values are {0 (initial), 1 (store)}. The
+        // negation of SameData(store-of-1, load) is the single constraint
+        // load = 0.
+        let spec = parse(
+            r#"
+            Stage "WB".
+            Axiom "A":
+            forall microops "w", forall microops "i",
+            (IsAnyWrite w /\ IsAnyRead i /\ SameAddress w i /\ ~SameData w i) =>
+            AddEdge ((i, WB), (w, WB)).
+        "#,
+        )
+        .unwrap();
+        let mp = suite::get("mp").unwrap();
+        let grounded = ground(&spec, &mp, DataMode::Symbolic).unwrap();
+        assert_eq!(grounded.len(), 2);
+        for g in &grounded {
+            let dnf = g.formula.to_dnf();
+            // Branch 1: load = store value (premise false);
+            // branch 2: load = 0 and edge.
+            assert_eq!(dnf.len(), 2, "{:?}", g.formula);
+            assert!(dnf.iter().any(|c| !c.edges.is_empty()));
+        }
+    }
+
+    #[test]
+    fn outcome_mode_requires_pinned_loads() {
+        let spec = parse(
+            r#"
+            Stage "WB".
+            Axiom "A":
+            forall microops "w", forall microops "i",
+            (IsAnyWrite w /\ IsAnyRead i /\ SameAddress w i /\ SameData w i) =>
+            AddEdge ((w, WB), (i, WB)).
+        "#,
+        )
+        .unwrap();
+        let unpinned = rtlcheck_litmus::parse(
+            "test t\n{ x = 0; }\ncore 0 { st x, 1; }\ncore 1 { r1 = ld x; r2 = ld x; }\npermit ( 1:r1 = 1 )",
+        )
+        .unwrap();
+        let err = ground(&spec, &unpinned, DataMode::Outcome).unwrap_err();
+        assert!(matches!(err, GroundError::UnpinnedLoad(_)));
+        // Symbolic mode handles the same test fine.
+        assert!(ground(&spec, &unpinned, DataMode::Symbolic).is_ok());
+    }
+
+    #[test]
+    fn dnf_distributes_and_over_or() {
+        let a = GFormula::Atom(GAtom::Node(GNode { instr: InstrUid(0), stage: StageId(0) }));
+        let b = GFormula::Atom(GAtom::Node(GNode { instr: InstrUid(1), stage: StageId(0) }));
+        let c = GFormula::Atom(GAtom::Node(GNode { instr: InstrUid(2), stage: StageId(0) }));
+        let f = GFormula::and(vec![a, GFormula::or(vec![b, c])]);
+        let dnf = f.to_dnf();
+        assert_eq!(dnf.len(), 2);
+        assert!(dnf.iter().all(|conj| conj.nodes.len() == 2));
+    }
+
+    #[test]
+    fn conjunct_detects_contradictions() {
+        let mut c = Conjunct::default();
+        c.push(GAtom::LoadValue(LoadConstraint { load: InstrUid(0), value: Val(0) }));
+        assert!(!c.has_contradictory_constraints());
+        c.push(GAtom::LoadValue(LoadConstraint { load: InstrUid(0), value: Val(1) }));
+        assert!(c.has_contradictory_constraints());
+    }
+
+    #[test]
+    fn smart_constructors_simplify() {
+        assert_eq!(GFormula::and(vec![GFormula::True, GFormula::True]), GFormula::True);
+        assert_eq!(GFormula::and(vec![GFormula::False, GFormula::True]), GFormula::False);
+        assert_eq!(GFormula::or(vec![GFormula::False, GFormula::False]), GFormula::False);
+        assert_eq!(GFormula::or(vec![GFormula::True, GFormula::False]), GFormula::True);
+        let atom = GFormula::Atom(GAtom::Node(GNode { instr: InstrUid(0), stage: StageId(0) }));
+        assert_eq!(GFormula::and(vec![GFormula::True, atom.clone()]), atom);
+    }
+
+    #[test]
+    fn self_edges_are_false_and_negations_true() {
+        let spec = parse(
+            r#"
+            Stage "WB".
+            Axiom "SelfEdge":
+            forall microops "i", AddEdge ((i, WB), (i, WB)).
+            Axiom "NotSelfEdge":
+            forall microops "i", ~EdgeExists ((i, WB), (i, WB)).
+        "#,
+        )
+        .unwrap();
+        let mp = suite::get("mp").unwrap();
+        let grounded = ground(&spec, &mp, DataMode::Outcome).unwrap();
+        // SelfEdge instances are all False (kept); NotSelfEdge are all True
+        // (dropped).
+        assert_eq!(grounded.len(), mp.num_instructions());
+        assert!(grounded.iter().all(|g| g.formula == GFormula::False));
+    }
+}

@@ -1,0 +1,169 @@
+//! Tokeniser for the µspec concrete syntax.
+
+use std::fmt;
+
+/// A µspec token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Tok {
+    /// An identifier or keyword (`forall`, `Axiom`, `AddEdge`, stage names…).
+    Ident(String),
+    /// A quoted string literal (variable names, axiom names, labels).
+    Str(String),
+    /// `/\`
+    And,
+    /// `\/`
+    Or,
+    /// `=>`
+    Implies,
+    /// `~`
+    Not,
+    /// Single punctuation: `( ) [ ] , ; : .`
+    Punct(char),
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "`{s}`"),
+            Tok::Str(s) => write!(f, "\"{s}\""),
+            Tok::And => write!(f, "`/\\`"),
+            Tok::Or => write!(f, "`\\/`"),
+            Tok::Implies => write!(f, "`=>`"),
+            Tok::Not => write!(f, "`~`"),
+            Tok::Punct(c) => write!(f, "`{c}`"),
+        }
+    }
+}
+
+/// A token plus its 1-based source line, for error reporting.
+pub(crate) type Spanned = (Tok, usize);
+
+/// Tokenises µspec source. `%` starts a line comment (as in the Check
+/// suite's µspec files).
+///
+/// Returns `Err((line, message))` on a lexical error.
+pub(crate) fn lex(src: &str) -> Result<Vec<Spanned>, (usize, String)> {
+    let mut toks = Vec::new();
+    for (lineno, raw) in src.lines().enumerate() {
+        let line = lineno + 1;
+        let mut chars = raw.chars().peekable();
+        while let Some(&c) = chars.peek() {
+            match c {
+                '%' => break, // comment to end of line
+                _ if c.is_whitespace() => {
+                    chars.next();
+                }
+                '"' => {
+                    chars.next();
+                    let mut s = String::new();
+                    loop {
+                        match chars.next() {
+                            Some('"') => break,
+                            Some(ch) => s.push(ch),
+                            None => return Err((line, "unterminated string".into())),
+                        }
+                    }
+                    toks.push((Tok::Str(s), line));
+                }
+                '/' => {
+                    chars.next();
+                    match chars.next() {
+                        Some('\\') => toks.push((Tok::And, line)),
+                        other => {
+                            return Err((line, format!("expected `\\` after `/`, found {other:?}")))
+                        }
+                    }
+                }
+                '\\' => {
+                    chars.next();
+                    match chars.next() {
+                        Some('/') => toks.push((Tok::Or, line)),
+                        other => {
+                            return Err((line, format!("expected `/` after `\\`, found {other:?}")))
+                        }
+                    }
+                }
+                '=' => {
+                    chars.next();
+                    match chars.next() {
+                        Some('>') => toks.push((Tok::Implies, line)),
+                        other => {
+                            return Err((line, format!("expected `>` after `=`, found {other:?}")))
+                        }
+                    }
+                }
+                '~' => {
+                    chars.next();
+                    toks.push((Tok::Not, line));
+                }
+                '(' | ')' | '[' | ']' | ',' | ';' | ':' | '.' => {
+                    chars.next();
+                    toks.push((Tok::Punct(c), line));
+                }
+                _ if c.is_alphanumeric() || c == '_' => {
+                    let mut s = String::new();
+                    while let Some(&d) = chars.peek() {
+                        if d.is_alphanumeric() || d == '_' || d == '\'' {
+                            s.push(d);
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    toks.push((Tok::Ident(s), line));
+                }
+                _ => return Err((line, format!("unexpected character `{c}`"))),
+            }
+        }
+    }
+    Ok(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_operators_and_strings() {
+        let toks = lex(r#"Axiom "A": a /\ b \/ ~c => d."#).unwrap();
+        let kinds: Vec<Tok> = toks.into_iter().map(|(t, _)| t).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                Tok::Ident("Axiom".into()),
+                Tok::Str("A".into()),
+                Tok::Punct(':'),
+                Tok::Ident("a".into()),
+                Tok::And,
+                Tok::Ident("b".into()),
+                Tok::Or,
+                Tok::Not,
+                Tok::Ident("c".into()),
+                Tok::Implies,
+                Tok::Ident("d".into()),
+                Tok::Punct('.'),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_primes() {
+        let toks = lex("w' % trailing comment /\\ ignored\nx").unwrap();
+        let kinds: Vec<Tok> = toks.into_iter().map(|(t, _)| t).collect();
+        assert_eq!(kinds, vec![Tok::Ident("w'".into()), Tok::Ident("x".into())]);
+    }
+
+    #[test]
+    fn tracks_line_numbers() {
+        let toks = lex("a\nb\n\nc").unwrap();
+        let lines: Vec<usize> = toks.iter().map(|(_, l)| *l).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn rejects_lone_slash() {
+        assert!(lex("a / b").is_err());
+        assert!(lex("a = b").is_err());
+        assert!(lex("\"unterminated").is_err());
+    }
+}

@@ -1,0 +1,53 @@
+//! The µspec microarchitectural ordering-axiom language.
+//!
+//! µspec is the first-order logic modelling language used by the Check suite
+//! (PipeCheck, CCICheck, COATCheck, TriCheck) and by RTLCheck to describe
+//! *microarchitectural happens-before* orderings: axioms quantify over the
+//! micro-operations of a litmus test and add edges between `(instruction,
+//! pipeline-stage)` nodes of a µhb graph.
+//!
+//! This crate provides:
+//!
+//! * [`ast`] — the abstract syntax (formulas, predicates, node/edge
+//!   expressions, axiom and macro declarations).
+//! * [`parse`] — a parser for the concrete syntax used in the RTLCheck paper
+//!   (Figures 3b and 5), including `DefineMacro`/`ExpandMacro`.
+//! * [`ground`] — grounding of the quantified axioms against a concrete
+//!   litmus test, producing quantifier-free [`ground::GFormula`]s over µhb
+//!   edge/node atoms. Grounding has two data-predicate modes:
+//!   [`ground::DataMode::Outcome`] (the Check suite's omniscient evaluation,
+//!   used by the axiomatic verifier) and [`ground::DataMode::Symbolic`]
+//!   (RTLCheck's outcome-aware evaluation, in which `SameData`/
+//!   `DataFromInitialStateAtPA` become load-value constraints so the
+//!   generated RTL properties cover *every* outcome of the test — see §3.2
+//!   and §4.2 of the paper).
+//! * [`multi_vscale`] — the µspec model of the Multi-V-scale processor used
+//!   throughout the paper's evaluation.
+//!
+//! # Example
+//!
+//! ```
+//! use rtlcheck_uspec::{parse, ground, multi_vscale};
+//!
+//! let spec = multi_vscale::spec();
+//! let mp = rtlcheck_litmus::suite::get("mp").unwrap();
+//! let grounded = ground::ground(&spec, &mp, ground::DataMode::Outcome).unwrap();
+//! assert!(!grounded.is_empty());
+//! # let _ = parse(multi_vscale::SOURCE).unwrap();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod ast;
+pub mod five_stage;
+pub mod ground;
+pub mod multi_vscale;
+pub mod multi_vscale_tso;
+
+mod lexer;
+mod parser;
+mod pretty;
+
+pub use ast::{EdgeExpr, Formula, Item, NodeExpr, Predicate, Sort, Spec, StageId};
+pub use parser::{parse, ParseSpecError};

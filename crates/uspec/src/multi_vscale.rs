@@ -1,0 +1,248 @@
+//! The µspec model of the Multi-V-scale processor (paper §5.3).
+//!
+//! Multi-V-scale is four three-stage in-order V-scale pipelines (Fetch,
+//! DecodeExecute, Writeback) sharing a data memory through an arbiter that
+//! grants at most one core per cycle. Its µspec model has one node per
+//! instruction per pipeline stage and the following axioms:
+//!
+//! * `Instr_Path` — every instruction flows IF → DX → WB.
+//! * `PO_Fetch` — same-core instructions fetch in program order.
+//! * `DX_FIFO` / `WB_FIFO` — the pipeline stages are FIFO (Figure 3b).
+//! * `DX_Total_Order` — the arbiter serialises the memory-access (DX)
+//!   events of all memory instructions across cores.
+//! * `Write_Serialization` — writes to one address reach memory in a total
+//!   order.
+//! * `Final_Value` — a write carrying the litmus test's final memory value
+//!   is coherence-last (meaningful in outcome mode; conservatively dropped
+//!   in symbolic mode, §4.2).
+//! * `Read_Values` — Figure 5: a load either reads the initial state of
+//!   memory before all writes to its address, or reads from the most recent
+//!   write (no intervening write), with every same-address write ordered
+//!   either before or after it at DX.
+
+use crate::ast::Spec;
+
+/// Stage index of Fetch in [`SOURCE`].
+pub const FETCH: usize = 0;
+/// Stage index of DecodeExecute in [`SOURCE`].
+pub const DECODE_EXECUTE: usize = 1;
+/// Stage index of Writeback in [`SOURCE`].
+pub const WRITEBACK: usize = 2;
+
+/// The µspec source for Multi-V-scale.
+pub const SOURCE: &str = r#"
+% Multi-V-scale: four 3-stage in-order V-scale pipelines behind a memory
+% arbiter (RTLCheck, MICRO-50, Section 5.3).
+
+Stage "Fetch".
+Stage "DecodeExecute".
+Stage "Writeback".
+
+% Every instruction passes through its pipeline stages in order.
+Axiom "Instr_Path":
+forall microops "i",
+AddEdge ((i, Fetch), (i, DecodeExecute)) /\
+AddEdge ((i, DecodeExecute), (i, Writeback)).
+
+% In-order fetch.
+Axiom "PO_Fetch":
+forall microops "a1", "a2",
+ProgramOrder a1 a2 =>
+AddEdge ((a1, Fetch), (a2, Fetch)).
+
+% The Decode-Execute stage is FIFO.
+Axiom "DX_FIFO":
+forall microops "a1", "a2",
+(SameCore a1 a2 /\ ~SameMicroop a1 a2 /\ ProgramOrder a1 a2) =>
+EdgeExists ((a1, Fetch), (a2, Fetch)) =>
+AddEdge ((a1, DecodeExecute), (a2, DecodeExecute)).
+
+% The Writeback stage is FIFO (Figure 3b).
+Axiom "WB_FIFO":
+forall cores "c",
+forall microops "a1", "a2",
+(OnCore c a1 /\ OnCore c a2 /\
+  ~SameMicroop a1 a2 /\ ProgramOrder a1 a2) =>
+EdgeExists ((a1, DecodeExecute), (a2, DecodeExecute)) =>
+AddEdge ((a1, Writeback), (a2, Writeback)).
+
+% The arbiter lets only one core access memory at a time, so the DX
+% (memory-access) events of all memory instructions are totally ordered.
+Axiom "DX_Total_Order":
+forall microops "a1", "a2",
+((IsAnyRead a1 \/ IsAnyWrite a1) /\ (IsAnyRead a2 \/ IsAnyWrite a2) /\
+  ~SameMicroop a1 a2) =>
+(AddEdge ((a1, DecodeExecute), (a2, DecodeExecute)) \/
+ AddEdge ((a2, DecodeExecute), (a1, DecodeExecute))).
+
+% Writes to the same address are serialised at Writeback.
+Axiom "Write_Serialization":
+forall microops "w1", "w2",
+(IsAnyWrite w1 /\ IsAnyWrite w2 /\ ~SameMicroop w1 w2 /\ SameAddress w1 w2) =>
+(AddEdge ((w1, Writeback), (w2, Writeback)) \/
+ AddEdge ((w2, Writeback), (w1, Writeback))).
+
+% A write of the final memory value is coherence-last. (Evaluated against
+% the outcome by the axiomatic flow; conservatively false at RTL, where the
+% final-value assumption takes over this role.)
+Axiom "Final_Value":
+forall microops "w1", "w2",
+(IsAnyWrite w1 /\ IsAnyWrite w2 /\ ~SameMicroop w1 w2 /\ SameAddress w1 w2 /\
+  DataFromFinalStateAtPA w2) =>
+AddEdge ((w1, Writeback), (w2, Writeback)).
+
+% Figure 5: orderings and value requirements for loads.
+DefineMacro "NoInterveningWrite":
+exists microop "w", (
+  IsAnyWrite w /\ SameAddress w i /\ SameData w i /\
+  EdgeExists ((w, Writeback), (i, Writeback)) /\
+  ~(exists microop "w'",
+    IsAnyWrite w' /\ SameAddress i w' /\ ~SameMicroop w w' /\
+    EdgesExist [((w, Writeback), (w', Writeback), "");
+                ((w', Writeback), (i, Writeback), "")])).
+
+DefineMacro "BeforeAllWrites":
+DataFromInitialStateAtPA i /\
+forall microop "w", (
+  (IsAnyWrite w /\ SameAddress w i /\ ~SameMicroop i w) =>
+  AddEdge ((i, Writeback), (w, Writeback), "fr", "red")).
+
+DefineMacro "BeforeOrAfterEveryWrite":
+forall microop "w", (
+  (IsAnyWrite w /\ SameAddress w i) =>
+  (AddEdge ((w, DecodeExecute), (i, DecodeExecute)) \/
+   AddEdge ((i, DecodeExecute), (w, DecodeExecute)))).
+
+Axiom "Read_Values":
+forall cores "c",
+forall microops "i",
+OnCore c i => IsAnyRead i => (
+  ExpandMacro BeforeAllWrites
+  \/
+  (ExpandMacro NoInterveningWrite
+   /\ ExpandMacro BeforeOrAfterEveryWrite)).
+"#;
+
+/// Parses and returns the Multi-V-scale µspec specification.
+///
+/// # Panics
+///
+/// Panics if the built-in source fails to parse, which would be a bug in
+/// this crate (it is covered by tests).
+pub fn spec() -> Spec {
+    crate::parse(SOURCE).expect("built-in Multi-V-scale µspec is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::StageId;
+    use crate::ground::{ground, DataMode, GAtom, GFormula};
+    use rtlcheck_litmus::suite;
+
+    #[test]
+    fn source_parses_with_three_stages_and_eight_axioms() {
+        let s = spec();
+        assert_eq!(s.stages, ["Fetch", "DecodeExecute", "Writeback"]);
+        assert_eq!(s.stage_id("Fetch"), Some(StageId(FETCH)));
+        assert_eq!(s.stage_id("DecodeExecute"), Some(StageId(DECODE_EXECUTE)));
+        assert_eq!(s.stage_id("Writeback"), Some(StageId(WRITEBACK)));
+        assert_eq!(s.axioms().count(), 8);
+        assert!(s.macro_body("NoInterveningWrite").is_some());
+        assert!(s.macro_body("BeforeAllWrites").is_some());
+        assert!(s.macro_body("BeforeOrAfterEveryWrite").is_some());
+    }
+
+    #[test]
+    fn grounds_against_the_whole_suite_in_both_modes() {
+        let s = spec();
+        for t in suite::all() {
+            let outcome = ground(&s, &t, DataMode::Outcome)
+                .unwrap_or_else(|e| panic!("{}: {e}", t.name()));
+            assert!(!outcome.is_empty(), "{} grounded to nothing", t.name());
+            let symbolic = ground(&s, &t, DataMode::Symbolic)
+                .unwrap_or_else(|e| panic!("{}: {e}", t.name()));
+            assert!(!symbolic.is_empty(), "{} grounded to nothing", t.name());
+        }
+    }
+
+    /// For mp's load of x (which reads 0 in the outcome under test), the
+    /// Check suite's omniscient simplification reduces Read_Values to
+    /// BeforeAllWrites: an fr edge Ld x @WB → St x @WB (paper §3.2).
+    #[test]
+    fn outcome_mode_simplifies_read_values_for_mp_load_of_x() {
+        let s = spec();
+        let mp = suite::get("mp").unwrap();
+        let grounded = ground(&s, &mp, DataMode::Outcome).unwrap();
+        // Load of x is i4 (uid 3); find its Read_Values instance.
+        let inst = grounded
+            .iter()
+            .find(|g| g.axiom == "Read_Values" && g.instance.contains("i = i4"))
+            .expect("Read_Values instance for i4");
+        let edges: Vec<_> = inst
+            .formula
+            .atoms()
+            .into_iter()
+            .filter_map(|a| match a {
+                GAtom::Edge(e) => Some(e),
+                _ => None,
+            })
+            .collect();
+        // BeforeAllWrites contributes the fr edge (i4, WB) -> (i1, WB).
+        assert!(
+            edges.iter().any(|e| e.src.instr.0 == 3
+                && e.dst.instr.0 == 0
+                && e.src.stage == StageId(WRITEBACK)),
+            "expected fr edge from load of x to store of x, got {edges:?}"
+        );
+    }
+
+    /// In symbolic mode the same instance must keep BOTH branches — the
+    /// load-returns-0 branch and the load-returns-1 branch — because RTL
+    /// verifiers explore partial executions of every outcome (§3.2/§4.2).
+    #[test]
+    fn symbolic_mode_keeps_both_outcomes_for_mp_load_of_x() {
+        let s = spec();
+        let mp = suite::get("mp").unwrap();
+        let grounded = ground(&s, &mp, DataMode::Symbolic).unwrap();
+        let inst = grounded
+            .iter()
+            .find(|g| g.axiom == "Read_Values" && g.instance.contains("i = i4"))
+            .expect("Read_Values instance for i4");
+        let dnf = inst.formula.to_dnf();
+        let load = rtlcheck_litmus::InstrUid(3);
+        let values: std::collections::BTreeSet<u32> = dnf
+            .iter()
+            .flat_map(|c| c.constraints_on(load))
+            .map(|c| c.value.0)
+            .collect();
+        assert_eq!(values, [0u32, 1].into_iter().collect(), "dnf: {dnf:?}");
+    }
+
+    #[test]
+    fn final_value_axiom_vanishes_in_symbolic_mode() {
+        let s = spec();
+        // ssl's condition pins x = 1 (final memory), so Final_Value fires in
+        // outcome mode but must disappear in symbolic mode.
+        let ssl = suite::get("ssl").unwrap();
+        let outcome = ground(&s, &ssl, DataMode::Outcome).unwrap();
+        assert!(
+            outcome.iter().any(|g| g.axiom == "Final_Value"),
+            "Final_Value should ground non-trivially for ssl in outcome mode"
+        );
+        let symbolic = ground(&s, &ssl, DataMode::Symbolic).unwrap();
+        assert!(
+            !symbolic.iter().any(|g| g.axiom == "Final_Value"),
+            "Final_Value must be conservatively dropped in symbolic mode"
+        );
+    }
+
+    #[test]
+    fn no_grounded_formula_is_constant_true() {
+        let s = spec();
+        let mp = suite::get("mp").unwrap();
+        for g in ground(&s, &mp, DataMode::Symbolic).unwrap() {
+            assert!(!matches!(g.formula, GFormula::True));
+        }
+    }
+}

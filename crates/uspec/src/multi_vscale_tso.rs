@@ -1,0 +1,206 @@
+//! The µspec model of the Multi-V-scale-TSO processor.
+//!
+//! The TSO variant adds a per-core single-entry FIFO store buffer between
+//! Writeback and the shared memory. The µspec model gains a fourth stage —
+//! `Memory`, the cycle a store drains from the buffer into the array — and
+//! replaces the SC model's `Read_Values` with a TSO one:
+//!
+//! a load `i` either
+//!
+//! * **forwards** from the latest program-order-earlier same-address store
+//!   of its own core whose drain has not yet happened (`STBFwd`), or
+//! * reads the **memory array**: all of its core's earlier same-address
+//!   stores have drained (`NoSTBFwd`), and `i` reads the initial value
+//!   before any same-address drain (`BeforeAllMem`) or the value of the
+//!   last same-address drain before its Writeback (`ReadFromMem`).
+//!
+//! Ordering axioms: the pipeline stages stay FIFO; same-core stores drain
+//! in order (`Mem_FIFO`, the FIFO buffer); drains of all stores are
+//! serialised by the single memory port (`Mem_Total_Order`).
+//!
+//! The memory-order position of a load is its Writeback cycle (loads read
+//! the array combinationally during WB) and of a store its Memory (drain)
+//! cycle — which is exactly how store→load reordering (`sb`) becomes
+//! observable while coherence and store→store order are preserved.
+
+use crate::ast::Spec;
+
+/// Stage index of Fetch in [`SOURCE`].
+pub const FETCH: usize = 0;
+/// Stage index of DecodeExecute in [`SOURCE`].
+pub const DECODE_EXECUTE: usize = 1;
+/// Stage index of Writeback in [`SOURCE`].
+pub const WRITEBACK: usize = 2;
+/// Stage index of Memory (store-buffer drain) in [`SOURCE`].
+pub const MEMORY: usize = 3;
+
+/// The µspec source for Multi-V-scale-TSO.
+pub const SOURCE: &str = r#"
+% Multi-V-scale-TSO: V-scale pipelines with per-core single-entry store
+% buffers. Stores drain to memory at the Memory stage; loads read memory at
+% Writeback with store-buffer forwarding.
+
+Stage "Fetch".
+Stage "DecodeExecute".
+Stage "Writeback".
+Stage "Memory".
+
+Axiom "Instr_Path":
+forall microops "i",
+AddEdge ((i, Fetch), (i, DecodeExecute)) /\
+AddEdge ((i, DecodeExecute), (i, Writeback)) /\
+(IsAnyWrite i => AddEdge ((i, Writeback), (i, Memory))).
+
+Axiom "PO_Fetch":
+forall microops "a1", "a2",
+ProgramOrder a1 a2 =>
+AddEdge ((a1, Fetch), (a2, Fetch)).
+
+Axiom "DX_FIFO":
+forall microops "a1", "a2",
+(SameCore a1 a2 /\ ~SameMicroop a1 a2 /\ ProgramOrder a1 a2) =>
+EdgeExists ((a1, Fetch), (a2, Fetch)) =>
+AddEdge ((a1, DecodeExecute), (a2, DecodeExecute)).
+
+Axiom "WB_FIFO":
+forall cores "c",
+forall microops "a1", "a2",
+(OnCore c a1 /\ OnCore c a2 /\
+  ~SameMicroop a1 a2 /\ ProgramOrder a1 a2) =>
+EdgeExists ((a1, DecodeExecute), (a2, DecodeExecute)) =>
+AddEdge ((a1, Writeback), (a2, Writeback)).
+
+% The store buffer is FIFO: same-core stores drain in program order.
+Axiom "Mem_FIFO":
+forall microops "w1", "w2",
+(IsAnyWrite w1 /\ IsAnyWrite w2 /\ SameCore w1 w2 /\
+  ~SameMicroop w1 w2 /\ ProgramOrder w1 w2) =>
+AddEdge ((w1, Memory), (w2, Memory)).
+
+% The single memory write port serialises all drains.
+Axiom "Mem_Total_Order":
+forall microops "w1", "w2",
+(IsAnyWrite w1 /\ IsAnyWrite w2 /\ ~SameMicroop w1 w2) =>
+(AddEdge ((w1, Memory), (w2, Memory)) \/
+ AddEdge ((w2, Memory), (w1, Memory))).
+
+% A fence drains the store buffer: every program-order-earlier store of
+% its core reaches memory before the fence completes Writeback. This is
+% what restores store->load order across an mfence.
+Axiom "Fence_Order":
+forall microops "f", "w",
+(IsAnyFence f /\ IsAnyWrite w /\ SameCore w f /\ ProgramOrder w f) =>
+AddEdge ((w, Memory), (f, Writeback)).
+
+% A write of the final memory value drains last among same-address writes.
+Axiom "Final_Value":
+forall microops "w1", "w2",
+(IsAnyWrite w1 /\ IsAnyWrite w2 /\ ~SameMicroop w1 w2 /\ SameAddress w1 w2 /\
+  DataFromFinalStateAtPA w2) =>
+AddEdge ((w1, Memory), (w2, Memory)).
+
+% Store-buffer forwarding: i reads its own core's latest not-yet-drained
+% same-address store.
+DefineMacro "STBFwd":
+exists microop "w", (
+  IsAnyWrite w /\ SameCore w i /\ SameAddress w i /\ SameData w i /\
+  ProgramOrder w i /\
+  EdgeExists ((w, Writeback), (i, Writeback)) /\
+  EdgeExists ((i, Writeback), (w, Memory)) /\
+  ~(exists microop "w'",
+    IsAnyWrite w' /\ SameCore w' i /\ SameAddress w' i /\ ~SameMicroop w w' /\
+    ProgramOrder w' i /\
+    EdgesExist [((w, Writeback), (w', Writeback), "");
+                ((w', Writeback), (i, Writeback), "")])).
+
+% No forwarding: all of i's core's earlier same-address stores drained
+% before i's Writeback.
+DefineMacro "NoSTBFwd":
+forall microop "w", (
+  (IsAnyWrite w /\ SameCore w i /\ SameAddress w i /\ ProgramOrder w i) =>
+  AddEdge ((w, Memory), (i, Writeback))).
+
+DefineMacro "BeforeAllMem":
+DataFromInitialStateAtPA i /\
+forall microop "w", (
+  (IsAnyWrite w /\ SameAddress w i /\ ~SameMicroop i w) =>
+  AddEdge ((i, Writeback), (w, Memory), "fr", "red")).
+
+DefineMacro "ReadFromMem":
+exists microop "w", (
+  IsAnyWrite w /\ SameAddress w i /\ SameData w i /\
+  EdgeExists ((w, Memory), (i, Writeback)) /\
+  ~(exists microop "w'",
+    IsAnyWrite w' /\ SameAddress i w' /\ ~SameMicroop w w' /\
+    EdgesExist [((w, Memory), (w', Memory), "");
+                ((w', Memory), (i, Writeback), "")])).
+
+Axiom "Read_Values":
+forall cores "c",
+forall microops "i",
+OnCore c i => IsAnyRead i => (
+  ExpandMacro STBFwd
+  \/
+  (ExpandMacro NoSTBFwd /\
+   (ExpandMacro BeforeAllMem \/ ExpandMacro ReadFromMem))).
+"#;
+
+/// Parses and returns the Multi-V-scale-TSO µspec specification.
+///
+/// # Panics
+///
+/// Panics if the built-in source fails to parse (a bug; covered by tests).
+pub fn spec() -> Spec {
+    crate::parse(SOURCE).expect("built-in Multi-V-scale-TSO µspec is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ground::{ground, DataMode};
+    use rtlcheck_litmus::suite;
+
+    #[test]
+    fn source_parses_with_four_stages() {
+        let s = spec();
+        assert_eq!(s.stages, ["Fetch", "DecodeExecute", "Writeback", "Memory"]);
+        assert_eq!(s.stage_id("Memory"), Some(crate::StageId(MEMORY)));
+        assert_eq!(s.axioms().count(), 9);
+        for m in ["STBFwd", "NoSTBFwd", "BeforeAllMem", "ReadFromMem"] {
+            assert!(s.macro_body(m).is_some(), "missing macro {m}");
+        }
+    }
+
+    #[test]
+    fn grounds_against_the_whole_suite_in_both_modes() {
+        let s = spec();
+        for t in suite::all() {
+            for mode in [DataMode::Outcome, DataMode::Symbolic] {
+                let g = ground(&s, &t, mode).unwrap_or_else(|e| panic!("{}: {e}", t.name()));
+                assert!(!g.is_empty(), "{}", t.name());
+            }
+        }
+    }
+
+    /// The symbolic grounding of Read_Values for sb's load of y must carry
+    /// both outcome branches (0 from initial memory, 1 from the store).
+    #[test]
+    fn symbolic_grounding_covers_both_sb_load_values() {
+        let s = spec();
+        let sb = suite::get("sb").unwrap();
+        let grounded = ground(&s, &sb, DataMode::Symbolic).unwrap();
+        let inst = grounded
+            .iter()
+            .find(|g| g.axiom == "Read_Values" && g.instance.contains("i = i2"))
+            .expect("Read_Values for core 0's load");
+        let load = rtlcheck_litmus::InstrUid(1);
+        let values: std::collections::BTreeSet<u32> = inst
+            .formula
+            .to_dnf()
+            .iter()
+            .flat_map(|c| c.constraints_on(load))
+            .map(|c| c.value.0)
+            .collect();
+        assert_eq!(values, [0u32, 1].into_iter().collect());
+    }
+}

@@ -1,0 +1,475 @@
+//! Recursive-descent parser for the µspec concrete syntax.
+//!
+//! The accepted grammar follows the µspec fragments shown in the RTLCheck
+//! paper (Figures 3b and 5):
+//!
+//! ```text
+//! spec      := item*
+//! item      := "Stage" STR "."
+//!            | "Axiom" STR ":" formula "."
+//!            | "DefineMacro" STR ":" formula "."
+//! formula   := or ("=>" formula)?                      (right-assoc)
+//! or        := and ("\/" and)*
+//! and       := unary ("/\" unary)*
+//! unary     := "~" unary | quantifier | atom
+//! quantifier:= ("forall"|"exists") sort STR ("," STR)* "," formula
+//! sort      := "microop" | "microops" | "core" | "cores"
+//! atom      := "AddEdge" edge | "EdgeExists" edge
+//!            | "EdgesExist" "[" edge (";" edge)* "]"
+//!            | "NodeExists" node | "ExpandMacro" IDENT
+//!            | "TRUE" | "FALSE" | predicate | "(" formula ")"
+//! edge      := "(" node "," node ("," STR)* ")"        (labels ignored)
+//! node      := "(" IDENT "," IDENT ")"
+//! predicate := PRED-NAME IDENT+
+//! ```
+//!
+//! Quantifier scope extends as far right as possible. `%` starts a comment.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::ast::{EdgeExpr, Formula, Item, NodeExpr, Predicate, Sort, Spec};
+use crate::lexer::{lex, Spanned, Tok};
+
+/// An error raised while parsing µspec source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSpecError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParseSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "µspec parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseSpecError {}
+
+/// Parses a µspec specification.
+///
+/// # Errors
+///
+/// Returns a [`ParseSpecError`] pointing at the offending source line for
+/// any lexical or syntactic problem, a duplicate stage declaration, or a
+/// duplicate axiom/macro name.
+///
+/// # Example
+///
+/// ```
+/// let spec = rtlcheck_uspec::parse(r#"
+///     Stage "Fetch".
+///     Stage "Writeback".
+///     Axiom "PO_Fetch":
+///     forall microops "a1", "a2",
+///     ProgramOrder a1 a2 => AddEdge ((a1, Fetch), (a2, Fetch)).
+/// "#)?;
+/// assert_eq!(spec.stages.len(), 2);
+/// assert_eq!(spec.axioms().count(), 1);
+/// # Ok::<(), rtlcheck_uspec::ParseSpecError>(())
+/// ```
+pub fn parse(src: &str) -> Result<Spec, ParseSpecError> {
+    let toks = lex(src).map_err(|(line, message)| ParseSpecError { line, message })?;
+    Parser { toks, pos: 0 }.spec()
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn line(&self) -> usize {
+        self.toks
+            .get(self.pos)
+            .or_else(|| self.toks.last())
+            .map_or(0, |(_, l)| *l)
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseSpecError {
+        ParseSpecError { line: self.line(), message: msg.into() }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.peek().cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, c: char) -> Result<(), ParseSpecError> {
+        match self.bump() {
+            Some(Tok::Punct(p)) if p == c => Ok(()),
+            Some(t) => Err(self.err(format!("expected `{c}`, found {t}"))),
+            None => Err(self.err(format!("expected `{c}`, found end of input"))),
+        }
+    }
+
+    fn eat_str(&mut self) -> Result<String, ParseSpecError> {
+        match self.bump() {
+            Some(Tok::Str(s)) => Ok(s),
+            Some(t) => Err(self.err(format!("expected string literal, found {t}"))),
+            None => Err(self.err("expected string literal, found end of input")),
+        }
+    }
+
+    fn eat_ident(&mut self) -> Result<String, ParseSpecError> {
+        match self.bump() {
+            Some(Tok::Ident(s)) => Ok(s),
+            Some(t) => Err(self.err(format!("expected identifier, found {t}"))),
+            None => Err(self.err("expected identifier, found end of input")),
+        }
+    }
+
+    fn spec(mut self) -> Result<Spec, ParseSpecError> {
+        let mut spec = Spec::default();
+        while let Some(tok) = self.peek() {
+            let head = match tok {
+                Tok::Ident(s) => s.clone(),
+                t => return Err(self.err(format!("expected declaration, found {t}"))),
+            };
+            self.bump();
+            match head.as_str() {
+                "Stage" => {
+                    let name = self.eat_str()?;
+                    self.eat_punct('.')?;
+                    if spec.stages.contains(&name) {
+                        return Err(self.err(format!("stage `{name}` declared twice")));
+                    }
+                    spec.stages.push(name);
+                }
+                "Axiom" | "DefineMacro" => {
+                    let name = self.eat_str()?;
+                    self.eat_punct(':')?;
+                    let body = self.formula()?;
+                    self.eat_punct('.')?;
+                    let dup = spec.items.iter().any(|i| match i {
+                        Item::Axiom { name: n, .. } | Item::Macro { name: n, .. } => *n == name,
+                    });
+                    if dup {
+                        return Err(self.err(format!("`{name}` declared twice")));
+                    }
+                    spec.items.push(if head == "Axiom" {
+                        Item::Axiom { name, body }
+                    } else {
+                        Item::Macro { name, body }
+                    });
+                }
+                other => {
+                    return Err(self.err(format!(
+                        "expected `Stage`, `Axiom`, or `DefineMacro`, found `{other}`"
+                    )))
+                }
+            }
+        }
+        Ok(spec)
+    }
+
+    fn formula(&mut self) -> Result<Formula, ParseSpecError> {
+        let lhs = self.or_formula()?;
+        if self.peek() == Some(&Tok::Implies) {
+            self.bump();
+            let rhs = self.formula()?; // right-associative
+            Ok(Formula::implies(lhs, rhs))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn or_formula(&mut self) -> Result<Formula, ParseSpecError> {
+        let mut f = self.and_formula()?;
+        while self.peek() == Some(&Tok::Or) {
+            self.bump();
+            let rhs = self.and_formula()?;
+            f = Formula::or(f, rhs);
+        }
+        Ok(f)
+    }
+
+    fn and_formula(&mut self) -> Result<Formula, ParseSpecError> {
+        let mut f = self.unary()?;
+        while self.peek() == Some(&Tok::And) {
+            self.bump();
+            let rhs = self.unary()?;
+            f = Formula::and(f, rhs);
+        }
+        Ok(f)
+    }
+
+    fn unary(&mut self) -> Result<Formula, ParseSpecError> {
+        match self.peek() {
+            Some(Tok::Not) => {
+                self.bump();
+                Ok(Formula::not(self.unary()?))
+            }
+            Some(Tok::Ident(s)) if s == "forall" || s == "exists" => self.quantifier(),
+            _ => self.atom(),
+        }
+    }
+
+    fn quantifier(&mut self) -> Result<Formula, ParseSpecError> {
+        let kw = self.eat_ident()?;
+        let universal = kw == "forall";
+        let sort = match self.eat_ident()?.as_str() {
+            "microop" | "microops" => Sort::Microop,
+            "core" | "cores" => Sort::Core,
+            other => {
+                return Err(self.err(format!(
+                    "expected `microop(s)` or `core(s)`, found `{other}`"
+                )))
+            }
+        };
+        // One or more quoted variable names, each followed by a comma; the
+        // last comma separates the binder list from the body.
+        let mut vars = vec![self.eat_str()?];
+        self.eat_punct(',')?;
+        while matches!(self.peek(), Some(Tok::Str(_))) {
+            vars.push(self.eat_str()?);
+            self.eat_punct(',')?;
+        }
+        let mut f = self.formula()?;
+        for var in vars.into_iter().rev() {
+            f = if universal {
+                Formula::Forall { sort, var, body: Box::new(f) }
+            } else {
+                Formula::Exists { sort, var, body: Box::new(f) }
+            };
+        }
+        Ok(f)
+    }
+
+    fn atom(&mut self) -> Result<Formula, ParseSpecError> {
+        let head = match self.peek() {
+            Some(Tok::Punct('(')) => {
+                self.bump();
+                let f = self.formula()?;
+                self.eat_punct(')')?;
+                return Ok(f);
+            }
+            Some(Tok::Ident(s)) => s.clone(),
+            Some(t) => return Err(self.err(format!("expected formula atom, found {t}"))),
+            None => return Err(self.err("expected formula atom, found end of input")),
+        };
+        self.bump();
+        match head.as_str() {
+            "TRUE" => Ok(Formula::True),
+            "FALSE" => Ok(Formula::False),
+            "AddEdge" => Ok(Formula::AddEdge(self.edge()?)),
+            "EdgeExists" => Ok(Formula::EdgeExists(self.edge()?)),
+            "EdgesExist" => {
+                self.eat_punct('[')?;
+                let mut edges = vec![self.edge()?];
+                while self.peek() == Some(&Tok::Punct(';')) {
+                    self.bump();
+                    edges.push(self.edge()?);
+                }
+                self.eat_punct(']')?;
+                Ok(Formula::EdgesExist(edges))
+            }
+            "NodeExists" => {
+                let node = self.node()?;
+                Ok(Formula::NodeExists(node))
+            }
+            "ExpandMacro" => Ok(Formula::ExpandMacro(self.eat_ident()?)),
+            _ => self.predicate(head),
+        }
+    }
+
+    fn predicate(&mut self, name: String) -> Result<Formula, ParseSpecError> {
+        let arg = |p: &mut Self| p.eat_ident();
+        let pred = match name.as_str() {
+            "OnCore" => Predicate::OnCore(arg(self)?, arg(self)?),
+            "IsAnyRead" => Predicate::IsAnyRead(arg(self)?),
+            "IsAnyWrite" => Predicate::IsAnyWrite(arg(self)?),
+            "IsAnyFence" => Predicate::IsAnyFence(arg(self)?),
+            "SameMicroop" => Predicate::SameMicroop(arg(self)?, arg(self)?),
+            "ProgramOrder" => Predicate::ProgramOrder(arg(self)?, arg(self)?),
+            "SameCore" => Predicate::SameCore(arg(self)?, arg(self)?),
+            "SameAddress" => Predicate::SameAddress(arg(self)?, arg(self)?),
+            "SameData" => Predicate::SameData(arg(self)?, arg(self)?),
+            "DataFromInitialStateAtPA" => Predicate::DataFromInitialStateAtPA(arg(self)?),
+            "DataFromFinalStateAtPA" => Predicate::DataFromFinalStateAtPA(arg(self)?),
+            other => return Err(self.err(format!("unknown predicate `{other}`"))),
+        };
+        Ok(Formula::Pred(pred))
+    }
+
+    /// Parses `((a, S1), (b, S2))` with optional trailing `, "label"`
+    /// strings, which are accepted and discarded.
+    fn edge(&mut self) -> Result<EdgeExpr, ParseSpecError> {
+        self.eat_punct('(')?;
+        let src = self.node()?;
+        self.eat_punct(',')?;
+        let dst = self.node()?;
+        while self.peek() == Some(&Tok::Punct(',')) {
+            self.bump();
+            self.eat_str()?; // label or colour, ignored
+        }
+        self.eat_punct(')')?;
+        Ok(EdgeExpr { src, dst })
+    }
+
+    fn node(&mut self) -> Result<NodeExpr, ParseSpecError> {
+        self.eat_punct('(')?;
+        let uop = self.eat_ident()?;
+        self.eat_punct(',')?;
+        let stage = self.eat_ident()?;
+        self.eat_punct(')')?;
+        Ok(NodeExpr { uop, stage })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The WB_FIFO axiom exactly as printed in the paper's Figure 3b
+    /// (modulo an explicit core quantifier).
+    const WB_FIFO: &str = r#"
+        Stage "Fetch".
+        Stage "DecodeExecute".
+        Stage "Writeback".
+        Axiom "WB_FIFO":
+        forall cores "c",
+        forall microops "a1", "a2",
+        (OnCore c a1 /\ OnCore c a2 /\
+          ~SameMicroop a1 a2 /\ ProgramOrder a1 a2) =>
+        EdgeExists ((a1, DecodeExecute), (a2, DecodeExecute)) =>
+        AddEdge ((a1, Writeback), (a2, Writeback)).
+    "#;
+
+    #[test]
+    fn parses_wb_fifo() {
+        let spec = parse(WB_FIFO).unwrap();
+        assert_eq!(spec.stages.len(), 3);
+        let (name, body) = spec.axioms().next().unwrap();
+        assert_eq!(name, "WB_FIFO");
+        // forall c . forall a1 . forall a2 . (…) => (… => …)
+        let mut f = body;
+        for expected in ["c", "a1", "a2"] {
+            match f {
+                Formula::Forall { var, body, .. } => {
+                    assert_eq!(var, expected);
+                    f = body;
+                }
+                other => panic!("expected forall {expected}, got {other:?}"),
+            }
+        }
+        assert!(matches!(f, Formula::Implies(..)));
+    }
+
+    #[test]
+    fn parses_edges_with_labels_and_lists() {
+        let spec = parse(
+            r#"
+            Stage "WB".
+            Axiom "A":
+            forall microops "i", forall microop "w", forall microop "w'",
+            EdgesExist [ ((w, WB), (w', WB), "");
+                         ((w', WB), (i, WB), "") ] \/
+            AddEdge ((i, WB), (w, WB), "fr", "red").
+        "#,
+        )
+        .unwrap();
+        let (_, body) = spec.axioms().next().unwrap();
+        fn strip<'a>(mut f: &'a Formula) -> &'a Formula {
+            while let Formula::Forall { body, .. } = f {
+                f = body;
+            }
+            f
+        }
+        match strip(body) {
+            Formula::Or(l, r) => {
+                assert!(matches!(**l, Formula::EdgesExist(ref es) if es.len() == 2));
+                assert!(matches!(**r, Formula::AddEdge(_)));
+            }
+            other => panic!("expected or, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn operator_precedence_and_over_or_over_implies() {
+        let spec = parse(
+            r#"
+            Stage "S".
+            Axiom "P":
+            forall microops "a", forall microops "b",
+            IsAnyRead a /\ IsAnyWrite b \/ SameMicroop a b => ProgramOrder a b.
+        "#,
+        )
+        .unwrap();
+        let (_, body) = spec.axioms().next().unwrap();
+        let mut f = body;
+        while let Formula::Forall { body, .. } = f {
+            f = body;
+        }
+        // ((a /\ b) \/ c) => d
+        match f {
+            Formula::Implies(lhs, _) => match &**lhs {
+                Formula::Or(l, _) => assert!(matches!(**l, Formula::And(..))),
+                other => panic!("expected or on lhs, got {other:?}"),
+            },
+            other => panic!("expected implies at top, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn implies_is_right_associative() {
+        let spec = parse(
+            r#"Stage "S". Axiom "A": TRUE => FALSE => TRUE."#,
+        )
+        .unwrap();
+        let (_, body) = spec.axioms().next().unwrap();
+        match body {
+            Formula::Implies(_, rhs) => assert!(matches!(**rhs, Formula::Implies(..))),
+            other => panic!("expected implies, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn macros_parse_and_resolve() {
+        let spec = parse(
+            r#"
+            Stage "S".
+            DefineMacro "M": TRUE.
+            Axiom "A": ExpandMacro M.
+        "#,
+        )
+        .unwrap();
+        assert_eq!(spec.macro_body("M"), Some(&Formula::True));
+    }
+
+    #[test]
+    fn duplicate_declarations_rejected() {
+        assert!(parse(r#"Stage "S". Stage "S"."#).is_err());
+        assert!(parse(r#"Axiom "A": TRUE. Axiom "A": TRUE."#).is_err());
+        assert!(parse(r#"Axiom "A": TRUE. DefineMacro "A": TRUE."#).is_err());
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse("Stage \"S\".\nAxiom \"A\":\nFrob x.").unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.message.contains("Frob"));
+    }
+
+    #[test]
+    fn primed_variables_are_identifiers() {
+        let spec = parse(
+            r#"
+            Stage "S".
+            Axiom "A": exists microop "w'", IsAnyWrite w'.
+        "#,
+        )
+        .unwrap();
+        let (_, body) = spec.axioms().next().unwrap();
+        assert!(matches!(body, Formula::Exists { var, .. } if var == "w'"));
+    }
+}

@@ -1,0 +1,58 @@
+//! Robustness properties of the µspec parser: arbitrary input never
+//! panics, and pretty-specific mutations of valid sources produce
+//! line-accurate errors rather than crashes.
+
+use proptest::prelude::*;
+use rtlcheck_uspec::parse;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary strings never panic the parser.
+    #[test]
+    fn arbitrary_input_never_panics(src in "\\PC*") {
+        let _ = parse(&src);
+    }
+
+    /// Arbitrary sequences of µspec-looking tokens never panic either (a
+    /// denser search of the grammar's neighbourhood than raw strings).
+    #[test]
+    fn token_soup_never_panics(toks in proptest::collection::vec(
+        prop_oneof![
+            Just("Axiom"), Just("Stage"), Just("DefineMacro"), Just("forall"),
+            Just("exists"), Just("microops"), Just("cores"), Just("AddEdge"),
+            Just("EdgeExists"), Just("NodeExists"), Just("ExpandMacro"),
+            Just("IsAnyRead"), Just("SameData"), Just("\"a\""), Just("\"N\""),
+            Just("("), Just(")"), Just("["), Just("]"), Just(","), Just(";"),
+            Just(":"), Just("."), Just("/\\"), Just("\\/"), Just("~"),
+            Just("=>"), Just("i"), Just("w"), Just("Fetch"), Just("TRUE"),
+        ],
+        0..24,
+    )) {
+        let src = toks.join(" ");
+        let _ = parse(&src);
+    }
+}
+
+/// Truncating the Multi-V-scale source at any byte boundary must error
+/// (or, at declaration boundaries, succeed) without panicking.
+#[test]
+fn truncated_builtin_sources_never_panic() {
+    for source in [
+        rtlcheck_uspec::multi_vscale::SOURCE,
+        rtlcheck_uspec::multi_vscale_tso::SOURCE,
+    ] {
+        for end in (0..source.len()).step_by(7) {
+            if source.is_char_boundary(end) {
+                let _ = parse(&source[..end]);
+            }
+        }
+    }
+}
+
+/// Parse errors report the line of the offending token.
+#[test]
+fn errors_point_at_the_right_line() {
+    let err = parse("Stage \"S\".\n\nAxiom \"A\":\nIsAnyRead .\n").unwrap_err();
+    assert_eq!(err.line, 4, "{err}");
+}

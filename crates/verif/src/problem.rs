@@ -1,0 +1,62 @@
+//! Verification problem descriptions.
+
+use rtlcheck_rtl::{Design, SignalId};
+use rtlcheck_sva::Prop;
+
+use crate::atom::{RtlAtom, RtlBool};
+
+/// Whether a directive constrains the environment or checks the design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DirectiveKind {
+    /// `assume property (…)` — traces violating it are discarded.
+    Assume,
+    /// `assert property (…)` — violations are counterexamples.
+    Assert,
+}
+
+/// One named `assert`/`assume` directive.
+#[derive(Debug, Clone)]
+pub struct Directive {
+    /// Human-readable name (e.g. `"Read_Values[i = i4]"`).
+    pub name: String,
+    /// Assume or assert.
+    pub kind: DirectiveKind,
+    /// The property.
+    pub prop: Prop<RtlAtom>,
+}
+
+impl Directive {
+    /// Creates an assumption.
+    pub fn assume(name: impl Into<String>, prop: Prop<RtlAtom>) -> Self {
+        Directive { name: name.into(), kind: DirectiveKind::Assume, prop }
+    }
+
+    /// Creates an assertion.
+    pub fn assert(name: impl Into<String>, prop: Prop<RtlAtom>) -> Self {
+        Directive { name: name.into(), kind: DirectiveKind::Assert, prop }
+    }
+}
+
+/// A complete verification problem: the design, the initial-value pins
+/// extracted from first-cycle assumptions, the assumption set, and a cover
+/// condition.
+#[derive(Debug, Clone)]
+pub struct Problem<'d> {
+    /// The design under verification.
+    pub design: &'d Design,
+    /// `(register, value)` pins for registers with free initial values
+    /// (recognised first-cycle equality assumptions, §4.1).
+    pub init_pins: Vec<(SignalId, u64)>,
+    /// The assumptions constraining admissible traces.
+    pub assumptions: Vec<Directive>,
+    /// Cover condition (e.g. the final-value assumption's antecedent):
+    /// the verifier searches for an admissible trace on which it holds.
+    pub cover: Option<RtlBool>,
+}
+
+impl<'d> Problem<'d> {
+    /// Creates a problem with no assumptions or cover.
+    pub fn new(design: &'d Design) -> Self {
+        Problem { design, init_pins: Vec::new(), assumptions: Vec::new(), cover: None }
+    }
+}

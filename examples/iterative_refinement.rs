@@ -1,0 +1,124 @@
+//! Iterative specification refinement (paper §1: "RTLCheck can also be
+//! used for iterative verification, allowing implementers to refine their
+//! design and its specification with respect to meeting MCM requirements").
+//!
+//! ```sh
+//! cargo run --release --example iterative_refinement
+//! ```
+//!
+//! A designer writes a first draft of the load-value axiom and forgets
+//! that a load may read the *initial* state of memory — the draft claims
+//! every load reads from some store (the `NoInterveningWrite` half of the
+//! paper's Figure 5, without `BeforeAllWrites`). RTLCheck refutes the
+//! draft with a counterexample on the *correct* design; restoring the
+//! missing disjunct makes the model verify.
+
+use rtlcheck::prelude::*;
+
+/// Draft 1: every load reads from a write — wrong: loads may also read the
+/// initial state of memory (the forgotten `BeforeAllWrites` case).
+const DRAFT: &str = r#"
+Stage "Fetch".
+Stage "DecodeExecute".
+Stage "Writeback".
+
+Axiom "Instr_Path":
+forall microops "i",
+AddEdge ((i, Fetch), (i, DecodeExecute)) /\
+AddEdge ((i, DecodeExecute), (i, Writeback)).
+
+DefineMacro "NoInterveningWrite":
+exists microop "w", (
+  IsAnyWrite w /\ SameAddress w i /\ SameData w i /\
+  EdgeExists ((w, Writeback), (i, Writeback)) /\
+  ~(exists microop "w'",
+    IsAnyWrite w' /\ SameAddress i w' /\ ~SameMicroop w w' /\
+    EdgesExist [((w, Writeback), (w', Writeback), "");
+                ((w', Writeback), (i, Writeback), "")])).
+
+% TOO STRONG: forgets that a load may read the initial memory state.
+Axiom "Read_Values":
+forall cores "c",
+forall microops "i",
+OnCore c i => IsAnyRead i => ExpandMacro NoInterveningWrite.
+"#;
+
+/// Draft 2: the fix — restore the `BeforeAllWrites` disjunct (Figure 5).
+const REFINED: &str = r#"
+Stage "Fetch".
+Stage "DecodeExecute".
+Stage "Writeback".
+
+Axiom "Instr_Path":
+forall microops "i",
+AddEdge ((i, Fetch), (i, DecodeExecute)) /\
+AddEdge ((i, DecodeExecute), (i, Writeback)).
+
+DefineMacro "NoInterveningWrite":
+exists microop "w", (
+  IsAnyWrite w /\ SameAddress w i /\ SameData w i /\
+  EdgeExists ((w, Writeback), (i, Writeback)) /\
+  ~(exists microop "w'",
+    IsAnyWrite w' /\ SameAddress i w' /\ ~SameMicroop w w' /\
+    EdgesExist [((w, Writeback), (w', Writeback), "");
+                ((w', Writeback), (i, Writeback), "")])).
+
+DefineMacro "BeforeAllWrites":
+DataFromInitialStateAtPA i /\
+forall microop "w", (
+  (IsAnyWrite w /\ SameAddress w i /\ ~SameMicroop i w) =>
+  AddEdge ((i, Writeback), (w, Writeback), "fr", "red")).
+
+Axiom "Read_Values":
+forall cores "c",
+forall microops "i",
+OnCore c i => IsAnyRead i =>
+(ExpandMacro BeforeAllWrites \/ ExpandMacro NoInterveningWrite).
+"#;
+
+fn main() {
+    let sb = rtlcheck::litmus::suite::get("sb").unwrap();
+    let config = VerifyConfig::quick();
+
+    println!("=== draft specification: loads always read from a store ===\n");
+    let draft = rtlcheck::uspec::parse(DRAFT).expect("draft parses");
+    let tool = Rtlcheck::new(MemoryImpl::Fixed).with_spec(draft);
+    let report = tool.check_test(&sb, &config);
+    let falsified: Vec<&str> = report
+        .properties
+        .iter()
+        .filter(|p| p.verdict.is_falsified())
+        .map(|p| p.name.as_str())
+        .collect();
+    println!(
+        "{} of {} draft properties refuted, e.g.:",
+        falsified.len(),
+        report.properties.len()
+    );
+    for name in falsified.iter().take(3) {
+        println!("  ✗ {name}");
+    }
+    assert!(!falsified.is_empty(), "the overstrong axiom must be refuted");
+
+    if let Some((name, trace)) = report.first_counterexample() {
+        let mv = tool.build_design(&sb);
+        println!("\ncounterexample for `{name}` — a load legally reads the initial 0:\n");
+        println!(
+            "{}",
+            trace.render(
+                &mv.design,
+                &["arbiter_grant", "core0_PC_WB", "core0_load_data_WB", "core1_PC_WB", "core1_load_data_WB"],
+            )
+        );
+    }
+
+    println!("=== refined specification: BeforeAllWrites restored (Figure 5) ===\n");
+    let refined = rtlcheck::uspec::parse(REFINED).expect("refined spec parses");
+    let report = Rtlcheck::new(MemoryImpl::Fixed).with_spec(refined).check_test(&sb, &config);
+    println!("{report}");
+    assert!(
+        report.properties.iter().all(|p| !p.verdict.is_falsified()),
+        "the refined specification must hold"
+    );
+    println!("\nthe refined axioms hold: specification and RTL now agree.");
+}

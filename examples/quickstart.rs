@@ -1,0 +1,34 @@
+//! Quickstart: verify one litmus test against the Multi-V-scale RTL.
+//!
+//! ```sh
+//! cargo run --release --example quickstart [test-name]
+//! ```
+//!
+//! Parses a litmus test (the paper's Figure 2 `mp` by default), shows the
+//! generated SystemVerilog properties, runs the verifier, and prints the
+//! report.
+
+use rtlcheck::prelude::*;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "mp".to_string());
+    let test = rtlcheck::litmus::suite::get(&name).unwrap_or_else(|| {
+        eprintln!("unknown suite test `{name}`; available tests:");
+        eprintln!("{}", rtlcheck::litmus::suite::names().join(" "));
+        std::process::exit(1);
+    });
+
+    println!("=== litmus test ===\n{test}\n");
+
+    let tool = Rtlcheck::new(MemoryImpl::Fixed);
+    println!("=== generated properties (excerpt) ===");
+    let sva = tool.emit_sva(&test);
+    for line in sva.lines().take(20) {
+        println!("{line}");
+    }
+    println!("... ({} lines total)\n", sva.lines().count());
+
+    println!("=== verification ===");
+    let report = tool.check_test(&test, &VerifyConfig::quick());
+    println!("{report}");
+}

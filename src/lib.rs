@@ -1,0 +1,59 @@
+//! # RTLCheck-rs
+//!
+//! A from-scratch Rust reproduction of *RTLCheck: Verifying the Memory
+//! Consistency of RTL Designs* (Manerkar, Lustig, Martonosi, Pellauer —
+//! MICRO-50, 2017).
+//!
+//! RTLCheck closes the verification gap between axiomatic
+//! *microarchitectural* memory-consistency specifications (µspec / µhb
+//! graphs, from the Check suite) and *RTL* temporal verification
+//! (SystemVerilog Assertions checked by a property verifier). Given a µspec
+//! model, an RTL design, and user-provided node/program mapping functions,
+//! it generates per-litmus-test SVA assumptions and assertions and checks
+//! them with a property verifier, yielding complete proofs, bounded proofs,
+//! or counterexample traces.
+//!
+//! This facade crate re-exports the workspace's building blocks:
+//!
+//! * [`litmus`] — litmus tests, the paper's 56-test suite, a diy-style
+//!   generator, and an SC oracle.
+//! * [`uspec`] — the µspec axiom language and its litmus-test grounding.
+//! * [`uhb`] — µhb graphs and the Check-suite-style axiomatic verifier.
+//! * [`rtl`] — a word-level RTL IR, simulator, Verilog emitter, and the
+//!   Multi-V-scale design (with both the buggy and the fixed memory).
+//! * [`sva`] — an SVA subset (sequences, repetition, implication) compiled
+//!   to NFAs for online trace matching.
+//! * [`verif`] — the property verifier substituting for JasperGold:
+//!   explicit-state exploration with assumption pruning, complete/bounded
+//!   proofs, counterexamples, and cover-trace search.
+//! * [`core`] — RTLCheck proper: mapping functions, the Assumption
+//!   Generator, the outcome-aware Assertion Generator, and the end-to-end
+//!   driver.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use rtlcheck::prelude::*;
+//!
+//! // Verify the mp litmus test against the *fixed* Multi-V-scale RTL.
+//! let test = rtlcheck::litmus::suite::get("mp").unwrap();
+//! let report = Rtlcheck::new(MemoryImpl::Fixed).check_test(&test, &VerifyConfig::quick());
+//! assert!(report.verified(), "{report}");
+//! ```
+
+pub use rtlcheck_core as core;
+pub use rtlcheck_litmus as litmus;
+pub use rtlcheck_rtl as rtl;
+pub use rtlcheck_sva as sva;
+pub use rtlcheck_uhb as uhb;
+pub use rtlcheck_uspec as uspec;
+pub use rtlcheck_verif as verif;
+
+/// Convenience re-exports for the common end-to-end flow.
+pub mod prelude {
+    pub use rtlcheck_core::{Rtlcheck, TestReport};
+    pub use rtlcheck_litmus::{parse as parse_litmus, LitmusTest};
+    pub use rtlcheck_rtl::multi_vscale::MemoryImpl;
+    pub use rtlcheck_uspec::multi_vscale::spec as multi_vscale_spec;
+    pub use rtlcheck_verif::VerifyConfig;
+}

@@ -1,0 +1,253 @@
+//! The `rtlcheck` command-line tool.
+//!
+//! ```text
+//! rtlcheck check <test.litmus | suite-test-name> [--memory fixed|buggy|tso]
+//!                [--config quick|hybrid|full-proof] [--trace] [--vcd <path>]
+//! rtlcheck emit-sva <test.litmus | name> [--memory ...]
+//! rtlcheck emit-verilog <test.litmus | name> [--memory ...]
+//! rtlcheck axiomatic <test.litmus | name> [--memory ...] [--dot]
+//! rtlcheck suite [--memory ...] [--config ...]
+//! rtlcheck list
+//! ```
+
+use std::process::ExitCode;
+
+use rtlcheck::core::{CoverOutcome, Rtlcheck};
+use rtlcheck::litmus::{suite, LitmusTest};
+use rtlcheck::prelude::*;
+use rtlcheck::uhb::solve;
+use rtlcheck::uspec::ground::{ground, DataMode};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  rtlcheck check <test> [--memory fixed|buggy|tso] [--config quick|hybrid|full-proof] [--trace] [--vcd <path>]
+  rtlcheck emit-sva <test> [--memory ...]
+  rtlcheck emit-verilog <test> [--memory ...]
+  rtlcheck axiomatic <test> [--memory ...] [--dot]
+  rtlcheck suite [--memory ...] [--config ...]
+  rtlcheck list
+
+<test> is a path to a .litmus file or the name of a built-in suite test.";
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let Some(cmd) = args.first() else {
+        return Err("missing subcommand".into());
+    };
+    let rest = &args[1..];
+    match cmd.as_str() {
+        "list" => {
+            for name in suite::names() {
+                println!("{name}");
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        "check" => check(rest),
+        "emit-sva" => {
+            let (test, memory, _) = common_args(rest, true)?;
+            print!("{}", Rtlcheck::new(memory).emit_sva(&test));
+            Ok(ExitCode::SUCCESS)
+        }
+        "emit-verilog" => {
+            let (test, memory, _) = common_args(rest, true)?;
+            let mv = Rtlcheck::new(memory).build_design(&test);
+            print!("{}", rtlcheck::rtl::verilog::emit(&mv.design));
+            Ok(ExitCode::SUCCESS)
+        }
+        "axiomatic" => axiomatic(rest),
+        "suite" => suite_cmd(rest),
+        other => Err(format!("unknown subcommand `{other}`")),
+    }
+}
+
+fn parse_memory(v: &str) -> Result<MemoryImpl, String> {
+    match v {
+        "fixed" => Ok(MemoryImpl::Fixed),
+        "buggy" => Ok(MemoryImpl::Buggy),
+        "tso" => Ok(MemoryImpl::Tso),
+        other => Err(format!("unknown memory implementation `{other}`")),
+    }
+}
+
+fn parse_config(v: &str) -> Result<VerifyConfig, String> {
+    match v {
+        "quick" => Ok(VerifyConfig::quick()),
+        "hybrid" => Ok(VerifyConfig::hybrid()),
+        "full-proof" | "full_proof" => Ok(VerifyConfig::full_proof()),
+        other => Err(format!("unknown config `{other}`")),
+    }
+}
+
+/// Parses `[<test>] [--memory M] [--config C] [--trace|--dot]`; returns the
+/// test (if `need_test`), memory, and the flag words.
+fn common_args(
+    args: &[String],
+    need_test: bool,
+) -> Result<(LitmusTest, MemoryImpl, Vec<String>), String> {
+    let mut test = None;
+    let mut memory = MemoryImpl::Fixed;
+    let mut flags = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--memory" => {
+                let v = it.next().ok_or("--memory needs a value")?;
+                memory = parse_memory(v)?;
+            }
+            "--config" => {
+                let v = it.next().ok_or("--config needs a value")?;
+                flags.push(format!("--config={v}"));
+            }
+            "--vcd" => {
+                let v = it.next().ok_or("--vcd needs a path")?;
+                flags.push(format!("--vcd={v}"));
+            }
+            f if f.starts_with("--") => flags.push(f.to_string()),
+            positional => {
+                if test.is_some() {
+                    return Err(format!("unexpected argument `{positional}`"));
+                }
+                test = Some(load_test(positional)?);
+            }
+        }
+    }
+    let test = match (test, need_test) {
+        (Some(t), _) => t,
+        (None, false) => suite::get("mp").expect("mp exists"),
+        (None, true) => return Err("missing <test> argument".into()),
+    };
+    Ok((test, memory, flags))
+}
+
+fn flag_config(flags: &[String]) -> Result<VerifyConfig, String> {
+    for f in flags {
+        if let Some(v) = f.strip_prefix("--config=") {
+            return parse_config(v);
+        }
+    }
+    Ok(VerifyConfig::quick())
+}
+
+fn load_test(arg: &str) -> Result<LitmusTest, String> {
+    if let Some(t) = suite::get(arg) {
+        return Ok(t);
+    }
+    let src = std::fs::read_to_string(arg)
+        .map_err(|e| format!("`{arg}` is not a suite test and could not be read: {e}"))?;
+    rtlcheck::litmus::parse(&src).map_err(|e| format!("{arg}: {e}"))
+}
+
+fn check(args: &[String]) -> Result<ExitCode, String> {
+    let (test, memory, flags) = common_args(args, true)?;
+    let config = flag_config(&flags)?;
+    let tool = Rtlcheck::new(memory);
+    let report = tool.check_test(&test, &config);
+    println!("{report}");
+    if flags.iter().any(|f| f == "--trace") {
+        let mv = tool.build_design(&test);
+        let signals: Vec<String> = mv
+            .design
+            .signals()
+            .filter(|(_, s)| {
+                s.name.contains("PC_WB")
+                    || s.name.contains("load_data")
+                    || s.name.starts_with("mem_")
+                    || s.name == "arbiter_grant"
+            })
+            .map(|(_, s)| s.name.clone())
+            .collect();
+        let names: Vec<&str> = signals.iter().map(String::as_str).collect();
+        if let CoverOutcome::BugWitness(trace) = &report.cover {
+            println!("\ncovering trace:\n{}", trace.render(&mv.design, &names));
+        }
+        if let Some((name, trace)) = report.first_counterexample() {
+            println!("\ncounterexample for {name}:\n{}", trace.render(&mv.design, &names));
+        }
+    }
+    if let Some(path) = flags.iter().find_map(|f| f.strip_prefix("--vcd=")) {
+        let mv = tool.build_design(&test);
+        let trace = report
+            .first_counterexample()
+            .map(|(_, t)| t)
+            .or(match &report.cover {
+                CoverOutcome::BugWitness(t) => Some(t.as_ref()),
+                _ => None,
+            });
+        match trace {
+            Some(t) => {
+                std::fs::write(path, rtlcheck::rtl::vcd::emit(&mv.design, t))
+                    .map_err(|e| format!("writing {path}: {e}"))?;
+                println!("\nVCD written to {path}");
+            }
+            None => println!("\nno violating trace to dump (test verified)"),
+        }
+    }
+    Ok(if report.bug_found() { ExitCode::FAILURE } else { ExitCode::SUCCESS })
+}
+
+fn axiomatic(args: &[String]) -> Result<ExitCode, String> {
+    let (test, memory, flags) = common_args(args, true)?;
+    let spec = match memory {
+        MemoryImpl::Tso => rtlcheck::uspec::multi_vscale_tso::spec(),
+        _ => multi_vscale_spec(),
+    };
+    let grounded = ground(&spec, &test, DataMode::Outcome).map_err(|e| e.to_string())?;
+    let result = solve::solve(&grounded);
+    if result.is_forbidden() {
+        println!(
+            "{}: outcome FORBIDDEN microarchitecturally (all µhb graphs cyclic; {} branches explored)",
+            test.name(),
+            result.stats().branches
+        );
+    } else {
+        println!("{}: outcome OBSERVABLE microarchitecturally", test.name());
+        if flags.iter().any(|f| f == "--dot") {
+            if let Some(w) = result.witness() {
+                println!("{}", w.to_dot(Some((&test, &spec))));
+            }
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn suite_cmd(args: &[String]) -> Result<ExitCode, String> {
+    let (_, memory, flags) = common_args(args, false)?;
+    let config = flag_config(&flags)?;
+    let tool = Rtlcheck::new(memory);
+    let mut violations = 0;
+    for test in suite::all() {
+        let report = tool.check_test(&test, &config);
+        let status = if report.bug_found() {
+            violations += 1;
+            "VIOLATION"
+        } else if report.verified_by_assumptions() {
+            "verified (assumptions)"
+        } else if report.verified() {
+            "verified"
+        } else {
+            "inconclusive"
+        };
+        println!(
+            "{:<12} {:<24} {:>3}/{:<3} proven  {:>10.2?}",
+            test.name(),
+            status,
+            report.num_proven(),
+            report.properties.len(),
+            report.runtime_to_verification()
+        );
+    }
+    println!("\n{violations} violations");
+    Ok(if violations > 0 { ExitCode::FAILURE } else { ExitCode::SUCCESS })
+}

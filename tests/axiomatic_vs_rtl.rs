@@ -1,0 +1,107 @@
+//! Differential testing of the two verification flows.
+//!
+//! The Check-suite-style axiomatic verifier (µhb graph enumeration over the
+//! outcome-mode grounded axioms) and the RTL flow (generated SVA checked on
+//! the design) model the same microarchitecture, so their verdicts must
+//! agree: an outcome is axiomatically forbidden iff it is unobservable on
+//! the fixed RTL. This is the "full-stack" consistency RTLCheck's link
+//! enables (§1) — and a powerful oracle for both implementations.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rtlcheck::core::CoverOutcome;
+use rtlcheck::litmus::{diy, suite};
+use rtlcheck::prelude::*;
+use rtlcheck::uhb::solve;
+use rtlcheck::uspec::ground::{ground, DataMode};
+
+fn axiomatically_forbidden(test: &LitmusTest) -> bool {
+    let spec = multi_vscale_spec();
+    let grounded = ground(&spec, test, DataMode::Outcome)
+        .unwrap_or_else(|e| panic!("{}: {e}", test.name()));
+    solve::solve(&grounded).is_forbidden()
+}
+
+/// RTL verdict for the outcome: `true` if observable (a covering trace of
+/// the complete outcome exists on the fixed design).
+fn rtl_observable(test: &LitmusTest) -> bool {
+    let report = Rtlcheck::new(MemoryImpl::Fixed).check_test(test, &VerifyConfig::quick());
+    match report.cover {
+        CoverOutcome::VerifiedUnreachable => false,
+        CoverOutcome::BugWitness(_) => true,
+        CoverOutcome::Inconclusive => panic!("{}: cover must conclude under Quick", test.name()),
+    }
+}
+
+#[test]
+fn suite_subset_agrees_between_flows() {
+    for name in ["mp", "sb", "lb", "iriw", "wrc", "rwc", "co-mp", "n6", "ssl", "safe001"] {
+        let test = suite::get(name).unwrap();
+        assert!(axiomatically_forbidden(&test), "{name}: axiomatic");
+        assert!(!rtl_observable(&test), "{name}: RTL");
+    }
+}
+
+/// SC-*permitted* outcomes must be axiomatically observable AND observable
+/// on the RTL (the cover search finds an execution).
+#[test]
+fn permitted_outcomes_observable_in_both_flows() {
+    let cases = [
+        // mp's three SC-consistent outcomes.
+        "test mp-00\n{ x = 0; y = 0; }\ncore 0 { st x, 1; st y, 1; }\n\
+         core 1 { r1 = ld y; r2 = ld x; }\npermit ( 1:r1 = 0 /\\ 1:r2 = 0 )",
+        "test mp-01\n{ x = 0; y = 0; }\ncore 0 { st x, 1; st y, 1; }\n\
+         core 1 { r1 = ld y; r2 = ld x; }\npermit ( 1:r1 = 0 /\\ 1:r2 = 1 )",
+        "test mp-11\n{ x = 0; y = 0; }\ncore 0 { st x, 1; st y, 1; }\n\
+         core 1 { r1 = ld y; r2 = ld x; }\npermit ( 1:r1 = 1 /\\ 1:r2 = 1 )",
+        // sb's non-forbidden corner.
+        "test sb-11\n{ x = 0; y = 0; }\ncore 0 { st x, 1; r1 = ld y; }\n\
+         core 1 { st y, 1; r1 = ld x; }\npermit ( 0:r1 = 1 /\\ 1:r1 = 1 )",
+        // Coherence: the final value can be either store's.
+        "test co-2\n{ x = 0; }\ncore 0 { st x, 1; r1 = ld x; }\ncore 1 { st x, 2; r1 = ld x; }\n\
+         permit ( 0:r1 = 1 /\\ 1:r1 = 2 /\\ x = 2 )",
+    ];
+    for src in cases {
+        let test = rtlcheck::litmus::parse(src).unwrap();
+        assert!(
+            !axiomatically_forbidden(&test),
+            "{}: permitted outcome must be axiomatically observable",
+            test.name()
+        );
+        assert!(
+            rtl_observable(&test),
+            "{}: permitted outcome must be RTL-observable",
+            test.name()
+        );
+    }
+}
+
+/// Randomised differential testing with diy-generated critical-cycle tests:
+/// every generated test is SC-forbidden by construction, so both flows must
+/// verify it on the fixed design.
+#[test]
+fn random_diy_tests_agree_between_flows() {
+    let mut rng = StdRng::seed_from_u64(0x52);
+    let mut checked = 0;
+    for len in [3usize, 4, 5] {
+        for _ in 0..4 {
+            let Some(cycle) = diy::random_cycle(&mut rng, len) else { continue };
+            let test = diy::generate(&diy::cycle_name(&cycle), &cycle).unwrap();
+            if test.num_cores() > 4 {
+                continue; // beyond the Multi-V-scale design
+            }
+            assert!(
+                axiomatically_forbidden(&test),
+                "{}: axiomatic flow disagrees with the SC oracle",
+                test.name()
+            );
+            assert!(
+                !rtl_observable(&test),
+                "{}: RTL flow observed an SC-forbidden outcome",
+                test.name()
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked >= 6, "differential fuzzing needs a reasonable sample, got {checked}");
+}

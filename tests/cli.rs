@@ -1,0 +1,97 @@
+//! Integration tests for the `rtlcheck` command-line tool.
+
+use std::process::Command;
+
+fn rtlcheck(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_rtlcheck"))
+        .args(args)
+        .output()
+        .expect("the rtlcheck binary runs")
+}
+
+#[test]
+fn list_names_all_suite_tests() {
+    let out = rtlcheck(&["list"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(stdout.lines().count(), 56);
+    assert!(stdout.lines().any(|l| l == "mp"));
+    assert!(stdout.lines().any(|l| l == "co-iriw"));
+}
+
+#[test]
+fn check_verifies_and_sets_exit_code() {
+    let out = rtlcheck(&["check", "mp"]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("verified"), "{stdout}");
+
+    let out = rtlcheck(&["check", "mp", "--memory", "buggy"]);
+    assert_eq!(out.status.code(), Some(1), "violations exit nonzero");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("VIOLATION"), "{stdout}");
+}
+
+#[test]
+fn check_accepts_litmus_files_and_writes_vcd() {
+    let dir = std::env::temp_dir().join(format!("rtlcheck-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let litmus = dir.join("t.litmus");
+    std::fs::write(
+        &litmus,
+        "test t\n{ x = 0; y = 0; }\ncore 0 { st x, 1; st y, 1; }\n\
+         core 1 { r1 = ld y; r2 = ld x; }\nforbid ( 1:r1 = 1 /\\ 1:r2 = 0 )",
+    )
+    .unwrap();
+    let vcd = dir.join("t.vcd");
+    let out = rtlcheck(&[
+        "check",
+        litmus.to_str().unwrap(),
+        "--memory",
+        "buggy",
+        "--vcd",
+        vcd.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    let vcd_text = std::fs::read_to_string(&vcd).expect("VCD written");
+    assert!(vcd_text.contains("$enddefinitions $end"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn emit_subcommands_produce_artifacts() {
+    let out = rtlcheck(&["emit-sva", "mp"]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("assert property"), "{text}");
+
+    let out = rtlcheck(&["emit-verilog", "mp", "--memory", "tso"]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("module multi_vscale_tso"), "{text}");
+    assert!(text.contains("endmodule"), "{text}");
+}
+
+#[test]
+fn axiomatic_subcommand_reports_verdicts() {
+    let out = rtlcheck(&["axiomatic", "sb"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8(out.stdout).unwrap().contains("FORBIDDEN"));
+
+    let out = rtlcheck(&["axiomatic", "sb", "--memory", "tso", "--dot"]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("OBSERVABLE"), "{text}");
+    assert!(text.contains("digraph"), "{text}");
+}
+
+#[test]
+fn bad_usage_exits_2_with_usage_text() {
+    for args in [&[][..], &["frobnicate"][..], &["check"][..], &["check", "nonexistent-test"][..]]
+    {
+        let out = rtlcheck(args);
+        assert_eq!(out.status.code(), Some(2), "{args:?}");
+        let err = String::from_utf8(out.stderr).unwrap();
+        assert!(err.contains("usage:"), "{err}");
+    }
+}

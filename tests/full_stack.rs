@@ -1,0 +1,86 @@
+//! End-to-end integration: the full RTLCheck flow over the paper's 56-test
+//! suite on the fixed Multi-V-scale design.
+
+use rtlcheck::litmus::suite;
+use rtlcheck::prelude::*;
+
+/// The paper's headline result: after the bug fix, the multicore V-scale
+/// implementation satisfies the microarchitectural axioms (sufficient for
+/// SC) across all 56 litmus tests.
+#[test]
+fn whole_suite_verifies_on_the_fixed_design() {
+    let tool = Rtlcheck::new(MemoryImpl::Fixed);
+    let config = VerifyConfig::full_proof();
+    for test in suite::all() {
+        let report = tool.check_test(&test, &config);
+        assert!(report.verified(), "{}:\n{report}", test.name());
+        assert!(!report.bug_found(), "{}:\n{report}", test.name());
+        assert!(!report.vacuous, "{}: contradictory assumptions", test.name());
+    }
+}
+
+/// Representative tests must fully prove every property under a generous
+/// budget (complete proofs, not just bounded).
+#[test]
+fn representative_tests_fully_prove_under_quick() {
+    let tool = Rtlcheck::new(MemoryImpl::Fixed);
+    let config = VerifyConfig::quick();
+    for name in ["mp", "sb", "lb", "iriw", "wrc", "co-mp", "ssl", "safe001"] {
+        let test = suite::get(name).unwrap();
+        let report = tool.check_test(&test, &config);
+        assert!(report.verified(), "{name}:\n{report}");
+        assert_eq!(
+            report.num_proven(),
+            report.properties.len(),
+            "{name}: all properties should fully prove:\n{report}"
+        );
+    }
+}
+
+/// Under the budgeted Table 1 configurations the aggregate proven-property
+/// percentages land where the paper's did: Hybrid ≈ 81%, Full_Proof ≈ 89%,
+/// with Full_Proof ≥ Hybrid.
+#[test]
+fn proven_percentages_match_the_paper_shape() {
+    let tool = Rtlcheck::new(MemoryImpl::Fixed);
+    let mut results = Vec::new();
+    for config in [VerifyConfig::hybrid(), VerifyConfig::full_proof()] {
+        let (mut proven, mut total) = (0usize, 0usize);
+        for test in suite::all() {
+            let report = tool.check_test(&test, &config);
+            proven += report.num_proven();
+            total += report.properties.len();
+        }
+        results.push(100.0 * proven as f64 / total as f64);
+    }
+    let (hybrid, full) = (results[0], results[1]);
+    assert!(full >= hybrid, "Full_Proof ({full:.1}%) must prove at least Hybrid ({hybrid:.1}%)");
+    assert!((75.0..=88.0).contains(&hybrid), "Hybrid proven % = {hybrid:.1}");
+    assert!((85.0..=95.0).contains(&full), "Full_Proof proven % = {full:.1}");
+}
+
+/// A sizeable subset of tests must verify through the unreachable-assumption
+/// fast path alone (the paper: 22 of 56), and `mp` must be among them.
+#[test]
+fn assumption_fast_path_verifies_a_subset() {
+    let tool = Rtlcheck::new(MemoryImpl::Fixed);
+    let config = VerifyConfig::full_proof();
+    let mut by_assumptions = Vec::new();
+    for test in suite::all() {
+        let report = tool.check_test(&test, &config);
+        if report.verified_by_assumptions() {
+            by_assumptions.push(test.name().to_string());
+        }
+    }
+    assert!(
+        (15..=30).contains(&by_assumptions.len()),
+        "expected roughly the paper's 22 fast-path tests, got {}: {by_assumptions:?}",
+        by_assumptions.len()
+    );
+    for expected in ["mp", "lb"] {
+        assert!(
+            by_assumptions.iter().any(|n| n == expected),
+            "{expected} should verify by assumptions (paper §7.2): {by_assumptions:?}"
+        );
+    }
+}

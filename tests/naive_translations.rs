@@ -1,0 +1,77 @@
+//! Integration tests for the §3 semantic-mismatch demonstrations: each of
+//! the three naive translations miscompiles in exactly the way the paper
+//! describes, and the paper's translation does not.
+
+use rtlcheck::core::AssertionOptions;
+use rtlcheck::litmus::suite;
+use rtlcheck::prelude::*;
+
+fn falsified_count(options: AssertionOptions, memory: MemoryImpl) -> usize {
+    let mp = suite::get("mp").unwrap();
+    let report = Rtlcheck::new(memory)
+        .with_options(options)
+        .check_test(&mp, &VerifyConfig::quick());
+    report.properties.iter().filter(|p| p.verdict.is_falsified()).count()
+}
+
+/// §3.2: simplifying axioms under the litmus outcome before translation
+/// yields a property that "would incorrectly report an RTL bug despite the
+/// design actually respecting microarchitectural orderings".
+#[test]
+fn naive_outcome_translation_reports_spurious_bug() {
+    assert_eq!(falsified_count(AssertionOptions::paper(), MemoryImpl::Fixed), 0);
+    assert!(
+        falsified_count(AssertionOptions::naive_outcome(), MemoryImpl::Fixed) > 0,
+        "outcome-simplified assertions must spuriously fail on the correct design"
+    );
+}
+
+/// §3.3: the standard `##[0:$]`/`##[1:$]` unbounded ranges cannot catch the
+/// reordering — Figure 6's violating execution is not a counterexample.
+#[test]
+fn naive_edge_encoding_misses_the_vscale_bug() {
+    assert!(
+        falsified_count(AssertionOptions::paper(), MemoryImpl::Buggy) > 0,
+        "the strict encoding catches the bug"
+    );
+    assert_eq!(
+        falsified_count(AssertionOptions::naive_edges(), MemoryImpl::Buggy),
+        0,
+        "unbounded delay ranges must miss the violation"
+    );
+}
+
+/// §3.4: without the `first |->` guard, SVA's attempt-per-cycle semantics
+/// fail assertions "in contradiction to microarchitectural intent".
+#[test]
+fn unguarded_assertions_fail_spuriously() {
+    assert!(
+        falsified_count(AssertionOptions::unguarded(), MemoryImpl::Fixed) > 0,
+        "later match attempts must spuriously fail on the correct design"
+    );
+}
+
+/// The naive-edge encoding misses violations on *every* affected suite
+/// test, not just mp.
+#[test]
+fn naive_edges_miss_all_buggy_violations() {
+    let config = VerifyConfig::quick();
+    for name in ["mp", "mp+staleld", "rfi013"] {
+        let test = suite::get(name).unwrap();
+        let strict = Rtlcheck::new(MemoryImpl::Buggy).check_test(&test, &config);
+        if !strict.bug_found() {
+            continue; // this test does not trip the bug
+        }
+        let strict_falsified =
+            strict.properties.iter().filter(|p| p.verdict.is_falsified()).count();
+        let naive = Rtlcheck::new(MemoryImpl::Buggy)
+            .with_options(AssertionOptions::naive_edges())
+            .check_test(&test, &config);
+        let naive_falsified =
+            naive.properties.iter().filter(|p| p.verdict.is_falsified()).count();
+        assert!(
+            naive_falsified < strict_falsified,
+            "{name}: naive edges should miss assertion violations (strict {strict_falsified}, naive {naive_falsified})"
+        );
+    }
+}

@@ -1,0 +1,138 @@
+//! The Total Store Order extension, end to end.
+//!
+//! The paper claims RTLCheck "supports arbitrary ISA-level MCMs, including
+//! ones as sophisticated as x86-TSO" (§1). These tests exercise that claim
+//! across the full stack: a TSO hardware design (per-core store buffers), a
+//! TSO µspec model (with a Memory/drain stage), the generated SVA, and the
+//! operational x86-TSO oracle as ground truth.
+
+use rtlcheck::core::CoverOutcome;
+use rtlcheck::litmus::{suite, tso};
+use rtlcheck::prelude::*;
+
+/// sb's SC-forbidden outcome is a legitimate TSO reordering: the RTL
+/// exhibits it AND every TSO axiom still proves (no counterexamples).
+#[test]
+fn sb_reorders_on_tso_hardware_without_violating_tso_axioms() {
+    let sb = suite::get("sb").unwrap();
+    let report = Rtlcheck::tso().check_test(&sb, &VerifyConfig::quick());
+    assert!(
+        matches!(report.cover, CoverOutcome::BugWitness(_)),
+        "store buffering must be observable: {:?}",
+        report.cover
+    );
+    assert_eq!(
+        report.properties.iter().filter(|p| p.verdict.is_falsified()).count(),
+        0,
+        "the TSO axioms describe the TSO design: no assertion may fail\n{report}"
+    );
+    assert!(report.num_proven() > 0);
+}
+
+/// mp stays forbidden under TSO: unreachable outcome, all axioms hold.
+#[test]
+fn mp_stays_forbidden_on_tso_hardware() {
+    let mp = suite::get("mp").unwrap();
+    let report = Rtlcheck::tso().check_test(&mp, &VerifyConfig::quick());
+    assert!(matches!(report.cover, CoverOutcome::VerifiedUnreachable), "{report}");
+    assert!(!report.properties.iter().any(|p| p.verdict.is_falsified()), "{report}");
+}
+
+/// The headline TSO differential: for every suite test, outcome
+/// observability on the TSO RTL equals the operational x86-TSO oracle's
+/// verdict, and no TSO axiom is ever falsified.
+#[test]
+fn whole_suite_agrees_with_the_tso_oracle() {
+    let tool = Rtlcheck::tso();
+    let config = VerifyConfig::quick();
+    let mut observable = Vec::new();
+    for test in suite::all() {
+        let report = tool.check_test(&test, &config);
+        let rtl_observable = match report.cover {
+            CoverOutcome::BugWitness(_) => true,
+            CoverOutcome::VerifiedUnreachable => false,
+            CoverOutcome::Inconclusive => {
+                panic!("{}: cover must conclude under Quick", test.name())
+            }
+        };
+        assert_eq!(
+            rtl_observable,
+            tso::observable(&test),
+            "{}: TSO RTL disagrees with the x86-TSO oracle",
+            test.name()
+        );
+        assert_eq!(
+            report.properties.iter().filter(|p| p.verdict.is_falsified()).count(),
+            0,
+            "{}: a TSO axiom was falsified on the TSO design:\n{report}",
+            test.name()
+        );
+        if rtl_observable {
+            observable.push(test.name().to_string());
+        }
+    }
+    assert_eq!(observable.len(), 21, "the TSO-relaxed subset of the suite: {observable:?}");
+}
+
+/// The *SC* axioms, checked against the *TSO* design, must produce
+/// assertion counterexamples on store-buffering tests: RTLCheck detects
+/// that this hardware does not implement SC.
+#[test]
+fn sc_axioms_fail_on_tso_hardware() {
+    let sb = suite::get("sb").unwrap();
+    let tool = Rtlcheck::tso().with_spec(rtlcheck::uspec::multi_vscale::spec());
+    let report = tool.check_test(&sb, &VerifyConfig::quick());
+    assert!(
+        report.properties.iter().any(|p| p.verdict.is_falsified()),
+        "the SC Read_Values axiom must be refuted by store buffering:\n{report}"
+    );
+}
+
+/// Fences end to end: on the TSO hardware, `sb+fences` is forbidden again
+/// (the fence stalls until the store buffer drains), the one-sided variant
+/// is not, and the TSO axioms — including `Fence_Order` — prove throughout.
+#[test]
+fn fences_restore_ordering_on_tso_hardware() {
+    let tool = Rtlcheck::tso();
+    let config = VerifyConfig::quick();
+    for (name, expect_observable) in [
+        ("sb+fences", false),
+        ("sb+fence-one-side", true),
+        ("amd3+fences", false),
+        ("podwr001+fences", false),
+    ] {
+        let test = rtlcheck::litmus::fenced::get(name).unwrap();
+        let report = tool.check_test(&test, &config);
+        let rtl_observable = matches!(report.cover, CoverOutcome::BugWitness(_));
+        assert_eq!(
+            rtl_observable,
+            expect_observable,
+            "{name}: expected observable={expect_observable}\n{report}"
+        );
+        assert_eq!(
+            rtl_observable,
+            tso::observable(&test),
+            "{name}: RTL disagrees with the x86-TSO oracle"
+        );
+        assert_eq!(
+            report.properties.iter().filter(|p| p.verdict.is_falsified()).count(),
+            0,
+            "{name}: a TSO axiom was falsified:\n{report}"
+        );
+        assert!(
+            report.properties.iter().any(|p| p.name.starts_with("Fence_Order")),
+            "{name}: Fence_Order instances should be generated"
+        );
+    }
+}
+
+/// Fences are no-ops on the SC designs: the fenced tests verify on the
+/// fixed memory exactly like their unfenced counterparts.
+#[test]
+fn fences_are_noops_on_sc_hardware() {
+    let tool = Rtlcheck::new(MemoryImpl::Fixed);
+    for test in rtlcheck::litmus::fenced::all() {
+        let report = tool.check_test(&test, &VerifyConfig::quick());
+        assert!(report.verified(), "{}:\n{report}", test.name());
+    }
+}
