@@ -1,0 +1,203 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no network access, so the real `criterion`
+//! cannot be fetched. This crate keeps the workspace's benchmarks compiling
+//! and *runnable* with the same `cargo bench` invocation: each benchmark is
+//! timed with a few wall-clock passes and reported as a median
+//! per-iteration time on stdout. There is no statistical analysis, outlier
+//! detection, or HTML report.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Entry point handed to each benchmark function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            sample_size: 30,
+        }
+    }
+}
+
+/// A named benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function label and a parameter, rendered `label/param`.
+    pub fn new(label: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{label}/{parameter}"),
+        }
+    }
+
+    /// An id that is just a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// A group of benchmarks sharing a sample-size setting.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a benchmark that closes over its input.
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(&id.to_string(), |b| f(b));
+        self
+    }
+
+    /// Runs a benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.to_string(), |b| f(b, input));
+        self
+    }
+
+    fn run(&mut self, label: &str, mut f: impl FnMut(&mut Bencher)) {
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut bencher = Bencher {
+                elapsed: Duration::ZERO,
+                iters: 0,
+            };
+            f(&mut bencher);
+            if bencher.iters > 0 {
+                samples.push(bencher.elapsed.as_nanos() / u128::from(bencher.iters));
+            }
+        }
+        samples.sort_unstable();
+        match samples.get(samples.len() / 2) {
+            Some(&median_ns) => println!("  {label}: {}", fmt_ns(median_ns)),
+            None => println!("  {label}: no samples"),
+        }
+    }
+
+    /// Ends the group (kept for API compatibility; prints nothing extra).
+    pub fn finish(self) {}
+}
+
+fn fmt_ns(ns: u128) -> String {
+    match ns {
+        0..=9_999 => format!("{ns} ns"),
+        10_000..=9_999_999 => format!("{:.1} µs", ns as f64 / 1e3),
+        10_000_000..=9_999_999_999 => format!("{:.1} ms", ns as f64 / 1e6),
+        _ => format!("{:.2} s", ns as f64 / 1e9),
+    }
+}
+
+/// Times the closure the benchmark hands to [`Bencher::iter`].
+#[derive(Debug)]
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, running it enough times to get a stable reading.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // One warm-up pass, then a timed batch sized so very fast routines
+        // are still measurable.
+        let start = Instant::now();
+        std::hint::black_box(routine());
+        let first = start.elapsed();
+        let batch: u64 = if first > Duration::from_millis(20) {
+            1
+        } else {
+            (Duration::from_millis(2).as_nanos() / first.as_nanos().max(1)).clamp(1, 1000) as u64
+        };
+        let start = Instant::now();
+        for _ in 0..batch {
+            std::hint::black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.iters += batch;
+    }
+}
+
+/// Declares the benchmark harness entry list.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a benchmark binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_render_like_upstream() {
+        assert_eq!(BenchmarkId::new("cfg", "mp").to_string(), "cfg/mp");
+        assert_eq!(BenchmarkId::from_parameter("sb").to_string(), "sb");
+    }
+
+    #[test]
+    fn groups_time_without_panicking() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        let mut runs = 0u64;
+        group.bench_function(BenchmarkId::from_parameter("noop"), |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("f", 3), &3u32, |b, &x| b.iter(|| x * 2));
+        group.finish();
+        assert!(runs >= 2);
+    }
+}

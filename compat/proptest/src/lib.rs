@@ -1,0 +1,150 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build environment has no network access, so the real `proptest`
+//! cannot be fetched. This crate reimplements the subset of its API that
+//! the workspace's property-based tests use — the [`Strategy`] trait with
+//! `prop_map` / `prop_recursive` / `boxed`, integer-range and tuple
+//! strategies, [`strategy::Just`], [`collection::vec`], weighted
+//! [`prop_oneof!`], and the [`proptest!`] / `prop_assert*` macros — as
+//! plain random testing:
+//!
+//! * each test runs its body over `ProptestConfig::cases` inputs drawn
+//!   from a deterministic per-test seed (override with `PROPTEST_SEED`);
+//! * **no shrinking**: a failing case reports the seed and the formatted
+//!   assertion message, not a minimised input;
+//! * string "regex" strategies (`"\\PC*"`) generate arbitrary printable
+//!   strings without interpreting the pattern.
+//!
+//! Semantics the tests rely on — determinism, weighted choice, recursive
+//! strategy depth limits, `prop_assume` rejection — are preserved.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob import used by every test file: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Weighted choice between strategies of a common value type.
+///
+/// Entries are `strategy` or `weight => strategy`; both forms can be mixed
+/// within one invocation, as in upstream proptest.
+#[macro_export]
+macro_rules! prop_oneof {
+    (@accum [$($acc:tt)*] $w:literal => $s:expr, $($rest:tt)*) => {
+        $crate::prop_oneof!(@accum [$($acc)* ($w, $s),] $($rest)*)
+    };
+    (@accum [$($acc:tt)*] $w:literal => $s:expr) => {
+        $crate::prop_oneof!(@accum [$($acc)* ($w, $s),])
+    };
+    (@accum [$($acc:tt)*] $s:expr, $($rest:tt)*) => {
+        $crate::prop_oneof!(@accum [$($acc)* (1, $s),] $($rest)*)
+    };
+    (@accum [$($acc:tt)*] $s:expr) => {
+        $crate::prop_oneof!(@accum [$($acc)* (1, $s),])
+    };
+    (@accum [$(($w:expr, $s:expr),)+]) => {
+        $crate::strategy::Union::new(vec![
+            $(($w as u32, $crate::strategy::Strategy::boxed($s))),+
+        ])
+    };
+    ($($t:tt)+) => { $crate::prop_oneof!(@accum [] $($t)+) };
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn parses(x in 0u32..10, s in arb_string()) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)]
+     $($(#[$attr:meta])*
+       fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                $crate::test_runner::run_proptest($config, stringify!($name), |rng| {
+                    $(let $arg = $crate::strategy::Strategy::gen(&($strat), rng);)+
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            #[allow(unreachable_code)]
+                            ::std::result::Result::Ok(())
+                        })();
+                    outcome
+                })
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::ProptestConfig::default())]
+            $($rest)*
+        }
+    };
+}
+
+/// Fails the current test case with a formatted message unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// `prop_assert!(a == b)` with both values in the failure message.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "assertion failed: `{:?} == {:?}`", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "{} (`{:?}` vs `{:?}`)", format!($($fmt)+), a, b);
+    }};
+}
+
+/// `prop_assert!(a != b)` with both values in the failure message.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, "assertion failed: `{:?} != {:?}`", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, "{} (both `{:?}`)", format!($($fmt)+), a, b);
+    }};
+}
+
+/// Rejects the current case (drawing a fresh input) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                concat!("assumption failed: ", stringify!($cond)).into(),
+            ));
+        }
+    };
+}

@@ -1,0 +1,384 @@
+//! The [`Strategy`] trait and the combinators the workspace uses.
+
+use std::marker::PhantomData;
+use std::rc::Rc;
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of one type.
+///
+/// Unlike upstream proptest there is no value tree and no shrinking: a
+/// strategy simply draws a value from a [`TestRng`].
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn gen(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds a recursive strategy: `recurse` wraps the strategy-so-far,
+    /// applied up to `levels` times (`_total` / `_branch` — upstream's
+    /// size-control hints — are accepted but unused).
+    fn prop_recursive<R, F>(
+        self,
+        levels: u32,
+        _total: u32,
+        _branch: u32,
+        recurse: F,
+    ) -> Recursive<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R + 'static,
+    {
+        Recursive {
+            base: self.boxed(),
+            recurse: Rc::new(move |inner| recurse(inner).boxed()),
+            levels,
+        }
+    }
+
+    /// Type-erases the strategy (cheaply clonable).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// Object-safe mirror of [`Strategy`] used behind [`BoxedStrategy`].
+trait DynStrategy<T> {
+    fn gen_dyn(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn gen_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.gen(rng)
+    }
+}
+
+/// A type-erased, reference-counted strategy.
+pub struct BoxedStrategy<T>(Rc<dyn DynStrategy<T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> std::fmt::Debug for BoxedStrategy<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("BoxedStrategy")
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn gen(&self, rng: &mut TestRng) -> T {
+        self.0.gen_dyn(rng)
+    }
+}
+
+/// Always generates a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn gen(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn gen(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.gen(rng))
+    }
+}
+
+/// The result of [`Strategy::prop_recursive`].
+pub struct Recursive<T> {
+    base: BoxedStrategy<T>,
+    recurse: Rc<dyn Fn(BoxedStrategy<T>) -> BoxedStrategy<T>>,
+    levels: u32,
+}
+
+impl<T> Clone for Recursive<T> {
+    fn clone(&self) -> Self {
+        Recursive {
+            base: self.base.clone(),
+            recurse: Rc::clone(&self.recurse),
+            levels: self.levels,
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for Recursive<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recursive")
+            .field("levels", &self.levels)
+            .finish()
+    }
+}
+
+impl<T: 'static> Strategy for Recursive<T> {
+    type Value = T;
+    fn gen(&self, rng: &mut TestRng) -> T {
+        // Draw a depth uniformly in 0..=levels, then expand the recursion
+        // that many times. Upstream instead recurses probabilistically with
+        // decaying size budgets; a bounded uniform depth exercises the same
+        // structural space.
+        let depth = rng.below(u64::from(self.levels) + 1);
+        let mut strat = self.base.clone();
+        for _ in 0..depth {
+            strat = (self.recurse)(strat);
+        }
+        strat.gen(rng)
+    }
+}
+
+/// Weighted union of strategies (built by `prop_oneof!`).
+pub struct Union<T> {
+    branches: Vec<(u32, BoxedStrategy<T>)>,
+    total: u64,
+}
+
+impl<T> Union<T> {
+    /// Builds a union from `(weight, strategy)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `branches` is empty or all weights are zero.
+    pub fn new(branches: Vec<(u32, BoxedStrategy<T>)>) -> Union<T> {
+        let total: u64 = branches.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(
+            total > 0,
+            "prop_oneof! needs at least one positively weighted branch"
+        );
+        Union { branches, total }
+    }
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union {
+            branches: self.branches.clone(),
+            total: self.total,
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for Union<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Union")
+            .field("branches", &self.branches.len())
+            .finish()
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn gen(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.below(self.total);
+        for (w, s) in &self.branches {
+            if pick < u64::from(*w) {
+                return s.gen(rng);
+            }
+            pick -= u64::from(*w);
+        }
+        unreachable!("weights sum to total")
+    }
+}
+
+macro_rules! int_range_strategies {
+    ($($t:ty),+) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn gen(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u128 - self.start as u128) as u64;
+                self.start + (rng.below(span) as $t)
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn gen(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as u128 - lo as u128) + 1;
+                if span > u128::from(u64::MAX) {
+                    return rng.next_u64() as $t; // full u64/i64-like domain
+                }
+                lo + (rng.below(span as u64) as $t)
+            }
+        }
+    )+};
+}
+
+int_range_strategies!(u8, u16, u32, u64, usize);
+
+/// Marker returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+/// The canonical strategy for a type (`any::<bool>()` et al.).
+pub fn any<T>() -> Any<T>
+where
+    Any<T>: Strategy<Value = T>,
+{
+    Any(PhantomData)
+}
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn gen(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! any_int {
+    ($($t:ty),+) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn gen(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )+};
+}
+
+any_int!(u8, u16, u32, u64, usize);
+
+/// String "regex" strategies: the pattern is *not* interpreted; an
+/// arbitrary printable string (the meaning of the only pattern used in this
+/// workspace, `"\\PC*"`) is generated instead.
+impl Strategy for &'static str {
+    type Value = String;
+    fn gen(&self, rng: &mut TestRng) -> String {
+        const POOL: &[char] = &[
+            'a', 'b', 'x', 'y', 'z', 'r', '0', '1', '9', ' ', '\t', '{', '}', '(', ')', '[', ']',
+            '=', ';', ',', ':', '.', '/', '\\', '~', '<', '>', '|', '-', '+', '*', '"', '\'', '_',
+            '#', 'µ', 'λ', '∀', '☃',
+        ];
+        let len = rng.below(64) as usize;
+        (0..len)
+            .map(|_| POOL[rng.below(POOL.len() as u64) as usize])
+            .collect()
+    }
+}
+
+macro_rules! tuple_strategies {
+    ($(($($S:ident/$idx:tt),+))+) => {$(
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn gen(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.gen(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategies! {
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+    (A/0, B/1, C/2, D/3, E/4)
+    (A/0, B/1, C/2, D/3, E/4, F/5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::run_proptest;
+    use crate::test_runner::ProptestConfig;
+
+    fn with_rng(f: impl FnMut(&mut TestRng) -> Result<(), crate::test_runner::TestCaseError>) {
+        run_proptest(ProptestConfig::with_cases(1), "strategy-test", f);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        with_rng(|rng| {
+            for _ in 0..512 {
+                let x = (3u32..7).gen(rng);
+                assert!((3..7).contains(&x));
+                let y = (5usize..=5).gen(rng);
+                assert_eq!(y, 5);
+            }
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn union_respects_zero_weight_absence() {
+        with_rng(|rng| {
+            let u = Union::new(vec![(1, Just(1u32).boxed()), (3, Just(2u32).boxed())]);
+            let mut twos = 0;
+            for _ in 0..400 {
+                if u.gen(rng) == 2 {
+                    twos += 1;
+                }
+            }
+            // ~75% expected; generous bounds.
+            assert!((200..=390).contains(&twos), "{twos}");
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn recursive_reaches_multiple_depths() {
+        #[derive(Debug)]
+        enum Tree {
+            Leaf,
+            Node(Box<Tree>),
+        }
+        fn depth(t: &Tree) -> u32 {
+            match t {
+                Tree::Leaf => 0,
+                Tree::Node(c) => 1 + depth(c),
+            }
+        }
+        with_rng(|rng| {
+            let strat = Just(0u8)
+                .prop_map(|_| Tree::Leaf)
+                .prop_recursive(3, 8, 1, |inner| inner.prop_map(|t| Tree::Node(Box::new(t))));
+            let mut seen = [false; 4];
+            for _ in 0..256 {
+                seen[depth(&strat.gen(rng)) as usize] = true;
+            }
+            assert!(seen.iter().all(|&s| s), "{seen:?}");
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn map_and_tuples_compose() {
+        with_rng(|rng| {
+            let s = (0u8..4, 10u32..12).prop_map(|(a, b)| u32::from(a) + b);
+            for _ in 0..64 {
+                let v = s.gen(rng);
+                assert!((10..16).contains(&v));
+            }
+            Ok(())
+        });
+    }
+}

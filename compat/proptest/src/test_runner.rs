@@ -1,0 +1,169 @@
+//! The deterministic case runner behind the [`proptest!`](crate::proptest)
+//! macro.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Per-test configuration (the subset of upstream's config we honour).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of *accepted* cases each test must pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// An assertion in the body failed: the whole test fails.
+    Fail(String),
+    /// A `prop_assume!` rejected the input: draw a fresh one.
+    Reject(String),
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+            TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+        }
+    }
+}
+
+/// The generator handed to strategies. Deterministic per test (seeded from
+/// the test name), overridable with the `PROPTEST_SEED` env var.
+#[derive(Debug)]
+pub struct TestRng {
+    rng: StdRng,
+}
+
+impl TestRng {
+    fn seeded(seed: u64) -> TestRng {
+        TestRng {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    /// A uniformly random value in `[0, bound)`. Panics if `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "empty range");
+        self.next_u64() % bound
+    }
+}
+
+fn seed_for(name: &str) -> u64 {
+    if let Ok(s) = std::env::var("PROPTEST_SEED") {
+        if let Ok(seed) = s.parse::<u64>() {
+            return seed;
+        }
+    }
+    // FNV-1a over the test name: stable across runs, distinct across tests.
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in name.bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Runs `f` until `config.cases` cases pass; panics on the first failure.
+///
+/// # Panics
+///
+/// Panics when a case returns [`TestCaseError::Fail`], or when
+/// `prop_assume!` rejects an excessive fraction of inputs.
+pub fn run_proptest(
+    config: ProptestConfig,
+    name: &str,
+    mut f: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+) {
+    let seed = seed_for(name);
+    let mut rng = TestRng::seeded(seed);
+    let mut accepted: u32 = 0;
+    let mut rejected: u64 = 0;
+    while accepted < config.cases {
+        match f(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                assert!(
+                    rejected < u64::from(config.cases) * 16 + 1024,
+                    "proptest `{name}`: too many prop_assume! rejections \
+                     ({rejected} rejects for {accepted} accepted cases)"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => panic!(
+                "proptest `{name}` failed after {accepted} passing cases \
+                 (seed {seed}, rerun with PROPTEST_SEED={seed}): {msg}"
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_exactly_cases_accepted_cases() {
+        let mut n = 0;
+        run_proptest(ProptestConfig::with_cases(10), "t", |_| {
+            n += 1;
+            Ok(())
+        });
+        assert_eq!(n, 10);
+    }
+
+    #[test]
+    fn rejections_do_not_count() {
+        let mut calls = 0;
+        run_proptest(ProptestConfig::with_cases(5), "t", |rng| {
+            calls += 1;
+            if rng.next_u64() % 2 == 0 {
+                Err(TestCaseError::Reject("even".into()))
+            } else {
+                Ok(())
+            }
+        });
+        assert!(calls > 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn failure_panics_with_message() {
+        run_proptest(ProptestConfig::with_cases(5), "t", |_| {
+            Err(TestCaseError::Fail("boom".into()))
+        });
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut first = Vec::new();
+        run_proptest(ProptestConfig::with_cases(4), "det", |rng| {
+            first.push(rng.next_u64());
+            Ok(())
+        });
+        let mut second = Vec::new();
+        run_proptest(ProptestConfig::with_cases(4), "det", |rng| {
+            second.push(rng.next_u64());
+            Ok(())
+        });
+        assert_eq!(first, second);
+    }
+}

@@ -1,15 +1,14 @@
 //! Criterion benchmarks, one group per paper artifact.
 //!
-//! * `generation`        — §6: RTLCheck's assertion + assumption generation
-//!                         phase ("takes just seconds per test" in the
-//!                         paper; microseconds here).
-//! * `figure13_runtime`  — runtime-to-verification for representative
-//!                         tests under both Table 1 configurations.
-//! * `cover_phase`       — the §4.1 covering-trace search.
-//! * `axiomatic_uhb`     — the Check-suite-side µhb enumeration the RTL
-//!                         results are differentially compared against.
-//! * `edge_encodings`    — strict (§4.3) vs naive (§3.3) edge encodings:
-//!                         the soundness fix costs verification time.
+//! * `generation` — §6: RTLCheck's assertion + assumption generation phase
+//!   ("takes just seconds per test" in the paper; microseconds here).
+//! * `figure13_runtime` — runtime-to-verification for representative tests
+//!   under both Table 1 configurations.
+//! * `cover_phase` — the §4.1 covering-trace search.
+//! * `axiomatic_uhb` — the Check-suite-side µhb enumeration the RTL results
+//!   are differentially compared against.
+//! * `edge_encodings` — strict (§4.3) vs naive (§3.3) edge encodings: the
+//!   soundness fix costs verification time.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rtlcheck_core::{assert_gen, assume, AssertionOptions, Rtlcheck};
@@ -32,8 +31,7 @@ fn bench_generation(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("assert+assume", name), &test, |b, test| {
             b.iter(|| {
                 let a = assume::generate(&mv, test);
-                let g =
-                    assert_gen::generate(&spec, &mv, test, AssertionOptions::paper()).unwrap();
+                let g = assert_gen::generate(&spec, &mv, test, AssertionOptions::paper()).unwrap();
                 black_box((a.directives.len(), g.len()))
             })
         });
@@ -48,11 +46,9 @@ fn bench_figure13(c: &mut Criterion) {
         for name in REPRESENTATIVE {
             let test = suite::get(name).unwrap();
             let tool = Rtlcheck::new(MemoryImpl::Fixed);
-            group.bench_with_input(
-                BenchmarkId::new(&config.name, name),
-                &test,
-                |b, test| b.iter(|| black_box(tool.check_test(test, &config)).verified()),
-            );
+            group.bench_with_input(BenchmarkId::new(&config.name, name), &test, |b, test| {
+                b.iter(|| black_box(tool.check_test(test, &config)).verified())
+            });
         }
     }
     group.finish();
@@ -116,9 +112,11 @@ fn bench_tso(c: &mut Criterion) {
         });
     }
     let fenced = rtlcheck_litmus::fenced::get("sb+fences").unwrap();
-    group.bench_with_input(BenchmarkId::from_parameter("sb+fences"), &fenced, |b, test| {
-        b.iter(|| black_box(tool.check_test(test, &VerifyConfig::quick())).num_proven())
-    });
+    group.bench_with_input(
+        BenchmarkId::from_parameter("sb+fences"),
+        &fenced,
+        |b, test| b.iter(|| black_box(tool.check_test(test, &VerifyConfig::quick())).num_proven()),
+    );
     group.finish();
 }
 
@@ -129,8 +127,11 @@ fn bench_five_stage(c: &mut Criterion) {
         let test = suite::get(name).unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(name), &test, |b, test| {
             b.iter(|| {
-                black_box(rtlcheck_core::five_stage::check_test(test, &VerifyConfig::quick()))
-                    .verified()
+                black_box(rtlcheck_core::five_stage::check_test(
+                    test,
+                    &VerifyConfig::quick(),
+                ))
+                .verified()
             })
         });
     }

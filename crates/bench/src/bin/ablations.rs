@@ -20,17 +20,45 @@ fn main() {
         "translation", "design", "falsified", "expected"
     );
     let cases: [(&str, AssertionOptions, MemoryImpl, &str); 5] = [
-        ("paper (outcome-aware)", AssertionOptions::paper(), MemoryImpl::Fixed, "0"),
-        ("paper (outcome-aware)", AssertionOptions::paper(), MemoryImpl::Buggy, ">0"),
-        ("naive outcome (§3.2)", AssertionOptions::naive_outcome(), MemoryImpl::Fixed, ">0 (spurious)"),
-        ("naive edges (§3.3)", AssertionOptions::naive_edges(), MemoryImpl::Buggy, "0 (missed!)"),
-        ("unguarded (§3.4)", AssertionOptions::unguarded(), MemoryImpl::Fixed, ">0 (spurious)"),
+        (
+            "paper (outcome-aware)",
+            AssertionOptions::paper(),
+            MemoryImpl::Fixed,
+            "0",
+        ),
+        (
+            "paper (outcome-aware)",
+            AssertionOptions::paper(),
+            MemoryImpl::Buggy,
+            ">0",
+        ),
+        (
+            "naive outcome (§3.2)",
+            AssertionOptions::naive_outcome(),
+            MemoryImpl::Fixed,
+            ">0 (spurious)",
+        ),
+        (
+            "naive edges (§3.3)",
+            AssertionOptions::naive_edges(),
+            MemoryImpl::Buggy,
+            "0 (missed!)",
+        ),
+        (
+            "unguarded (§3.4)",
+            AssertionOptions::unguarded(),
+            MemoryImpl::Fixed,
+            ">0 (spurious)",
+        ),
     ];
     for (name, options, memory, expected) in cases {
         let tool = Rtlcheck::new(memory).with_options(options);
         let report = tool.check_test(&mp, &config);
-        let falsified =
-            report.properties.iter().filter(|p| p.verdict.is_falsified()).count();
+        let falsified = report
+            .properties
+            .iter()
+            .filter(|p| p.verdict.is_falsified())
+            .count();
         println!(
             "{:<28} {:<10} {:>9} {:>10}",
             name,

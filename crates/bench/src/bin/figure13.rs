@@ -50,12 +50,21 @@ fn main() {
         .iter()
         .map(|r| (r.test.clone(), r.runtime.as_secs_f64() * 1e3))
         .collect();
-    println!("\nHybrid runtime profile (ms):\n{}", bar_chart(&items, 50, "ms"));
+    println!(
+        "\nHybrid runtime profile (ms):\n{}",
+        bar_chart(&items, 50, "ms")
+    );
 
     if let Some(path) = json_path {
-        let all: Vec<_> = hybrid.rows.iter().chain(&full.rows).collect();
-        std::fs::write(&path, serde_json::to_string_pretty(&all).expect("rows serialize"))
-            .expect("write JSON output");
+        let all = rtlcheck_bench::Json::Arr(
+            hybrid
+                .rows
+                .iter()
+                .chain(&full.rows)
+                .map(|r| r.to_json())
+                .collect(),
+        );
+        std::fs::write(&path, all.pretty() + "\n").expect("write JSON output");
         println!("rows written to {path}");
     }
 }

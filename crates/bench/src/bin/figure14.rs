@@ -10,7 +10,10 @@ fn main() {
     let full = run_suite(MemoryImpl::Fixed, &VerifyConfig::full_proof());
 
     println!("Figure 14: % fully proven properties (fixed Multi-V-scale, 56 tests)\n");
-    println!("{:<12} {:>8} {:>11} {:>7}", "test", "Hybrid", "Full_Proof", "#props");
+    println!(
+        "{:<12} {:>8} {:>11} {:>7}",
+        "test", "Hybrid", "Full_Proof", "#props"
+    );
     for (h, f) in hybrid.rows.iter().zip(&full.rows) {
         println!(
             "{:<12} {:>7.1}% {:>10.1}% {:>7}",

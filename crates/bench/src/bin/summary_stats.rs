@@ -30,7 +30,9 @@ fn main() {
     );
     row(
         "avg bounded-proof depth",
-        hybrid.mean_bound().map_or("-".into(), |b| format!("{b:.1}")),
+        hybrid
+            .mean_bound()
+            .map_or("-".into(), |b| format!("{b:.1}")),
         full.mean_bound().map_or("-".into(), |b| format!("{b:.1}")),
         "43 / 22 cycles",
     );
@@ -48,7 +50,12 @@ fn main() {
     );
     row(
         "violations on fixed design",
-        hybrid.rows.iter().filter(|r| r.violated).count().to_string(),
+        hybrid
+            .rows
+            .iter()
+            .filter(|r| r.violated)
+            .count()
+            .to_string(),
         full.rows.iter().filter(|r| r.violated).count().to_string(),
         "0 / 0",
     );

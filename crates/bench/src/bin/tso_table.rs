@@ -23,8 +23,11 @@ fn main() {
         let oracle = tso::observable(&test);
         let report = tool.check_test(&test, &config);
         let rtl = matches!(report.cover, CoverOutcome::BugWitness(_));
-        let falsified =
-            report.properties.iter().filter(|p| p.verdict.is_falsified()).count();
+        let falsified = report
+            .properties
+            .iter()
+            .filter(|p| p.verdict.is_falsified())
+            .count();
         let axioms = if falsified == 0 { "hold" } else { "VIOLATED" };
         println!(
             "{:<20} {:>12} {:>12} {:>14}",

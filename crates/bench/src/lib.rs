@@ -20,12 +20,13 @@ use std::time::Duration;
 
 use rtlcheck_core::{Rtlcheck, TestReport};
 use rtlcheck_litmus::suite;
+pub use rtlcheck_obs::json::Json;
+use rtlcheck_obs::{Collector, NullCollector};
 use rtlcheck_rtl::multi_vscale::MemoryImpl;
 use rtlcheck_verif::VerifyConfig;
-use serde::{Deserialize, Serialize};
 
 /// One row of the per-test results (one bar of Figures 13/14).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TestRow {
     /// Litmus test name.
     pub test: String,
@@ -69,10 +70,68 @@ impl TestRow {
             violated: report.bug_found(),
         }
     }
+
+    /// Serializes the row as JSON (`runtime_us` carries the duration).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("test", Json::Str(self.test.clone())),
+            ("config", Json::Str(self.config.clone())),
+            ("runtime_us", Json::Num(self.runtime.as_micros() as f64)),
+            ("proven", Json::Num(self.proven as f64)),
+            ("total", Json::Num(self.total as f64)),
+            ("by_assumptions", Json::Bool(self.by_assumptions)),
+            (
+                "bounded_depths",
+                Json::Arr(
+                    self.bounded_depths
+                        .iter()
+                        .map(|&d| Json::Num(f64::from(d)))
+                        .collect(),
+                ),
+            ),
+            ("violated", Json::Bool(self.violated)),
+        ])
+    }
+
+    /// Deserializes a row written by [`TestRow::to_json`].
+    pub fn from_json(v: &Json) -> Result<TestRow, String> {
+        let str_field = |k: &str| {
+            v.get(k)
+                .and_then(Json::as_str)
+                .map(String::from)
+                .ok_or(format!("missing `{k}`"))
+        };
+        let num_field = |k: &str| {
+            v.get(k)
+                .and_then(Json::as_u64)
+                .ok_or(format!("missing `{k}`"))
+        };
+        let bool_field = |k: &str| {
+            v.get(k)
+                .and_then(Json::as_bool)
+                .ok_or(format!("missing `{k}`"))
+        };
+        Ok(TestRow {
+            test: str_field("test")?,
+            config: str_field("config")?,
+            runtime: Duration::from_micros(num_field("runtime_us")?),
+            proven: num_field("proven")? as usize,
+            total: num_field("total")? as usize,
+            by_assumptions: bool_field("by_assumptions")?,
+            bounded_depths: v
+                .get("bounded_depths")
+                .and_then(Json::as_arr)
+                .ok_or("missing `bounded_depths`")?
+                .iter()
+                .map(|d| d.as_u64().map(|d| d as u32).ok_or("bad depth".to_string()))
+                .collect::<Result<_, _>>()?,
+            violated: bool_field("violated")?,
+        })
+    }
 }
 
 /// Results of one configuration over the whole suite.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SuiteResults {
     /// Configuration name.
     pub config: String,
@@ -95,8 +154,11 @@ impl SuiteResults {
 
     /// Mean bound of bounded-only proofs, across the suite.
     pub fn mean_bound(&self) -> Option<f64> {
-        let all: Vec<u32> =
-            self.rows.iter().flat_map(|r| r.bounded_depths.iter().copied()).collect();
+        let all: Vec<u32> = self
+            .rows
+            .iter()
+            .flat_map(|r| r.bounded_depths.iter().copied())
+            .collect();
         if all.is_empty() {
             None
         } else {
@@ -119,16 +181,40 @@ impl SuiteResults {
     pub fn total_runtime(&self) -> Duration {
         self.rows.iter().map(|r| r.runtime).sum()
     }
+
+    /// Serializes the results as JSON.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("config", Json::Str(self.config.clone())),
+            (
+                "rows",
+                Json::Arr(self.rows.iter().map(TestRow::to_json).collect()),
+            ),
+        ])
+    }
 }
 
 /// Runs every suite test under `config` on the given memory implementation.
 pub fn run_suite(memory: MemoryImpl, config: &VerifyConfig) -> SuiteResults {
+    run_suite_observed(memory, config, &NullCollector)
+}
+
+/// [`run_suite`] with instrumentation: every per-test Figure-7 phase
+/// reports to `collector` (see `rtlcheck_core::Rtlcheck::check_test_observed`).
+pub fn run_suite_observed(
+    memory: MemoryImpl,
+    config: &VerifyConfig,
+    collector: &dyn Collector,
+) -> SuiteResults {
     let tool = Rtlcheck::new(memory);
     let rows = suite::all()
         .iter()
-        .map(|t| TestRow::from_report(&tool.check_test(t, config)))
+        .map(|t| TestRow::from_report(&tool.check_test_observed(t, config, collector)))
         .collect();
-    SuiteResults { config: config.name.clone(), rows }
+    SuiteResults {
+        config: config.name.clone(),
+        rows,
+    }
 }
 
 /// Renders an ASCII bar chart: one row per `(label, value)`, scaled to
@@ -139,7 +225,9 @@ pub fn bar_chart(items: &[(String, f64)], width: usize, unit: &str) -> String {
     let mut out = String::new();
     for (label, value) in items {
         let bar = "#".repeat(((value / max) * width as f64).round() as usize);
-        out.push_str(&format!("{label:label_w$} | {bar:width$} {value:.3}{unit}\n"));
+        out.push_str(&format!(
+            "{label:label_w$} | {bar:width$} {value:.3}{unit}\n"
+        ));
     }
     out
 }
@@ -182,11 +270,15 @@ mod tests {
     }
 
     #[test]
-    fn rows_serialize_to_json() {
-        let r = row("mp", 24, 24, 5);
-        let json = serde_json::to_string(&r).unwrap();
-        assert!(json.contains("\"test\":\"mp\""));
-        let back: TestRow = serde_json::from_str(&json).unwrap();
+    fn rows_round_trip_through_json() {
+        let mut r = row("mp", 24, 24, 5);
+        r.bounded_depths = vec![40, 210];
+        let text = r.to_json().render();
+        assert!(text.contains("\"test\":\"mp\""), "{text}");
+        let back = TestRow::from_json(&Json::parse(&text).unwrap()).unwrap();
         assert_eq!(back.test, "mp");
+        assert_eq!(back.runtime, Duration::from_millis(5));
+        assert_eq!(back.bounded_depths, vec![40, 210]);
+        assert!(TestRow::from_json(&Json::parse("{}").unwrap()).is_err());
     }
 }

@@ -49,7 +49,11 @@ pub struct AssertionOptions {
 
 impl Default for AssertionOptions {
     fn default() -> Self {
-        AssertionOptions { outcome_aware: true, strict_edges: true, first_guard: true }
+        AssertionOptions {
+            outcome_aware: true,
+            strict_edges: true,
+            first_guard: true,
+        }
     }
 }
 
@@ -61,17 +65,26 @@ impl AssertionOptions {
 
     /// §3.2's naive translation: simplify under the litmus outcome first.
     pub fn naive_outcome() -> Self {
-        AssertionOptions { outcome_aware: false, ..Self::default() }
+        AssertionOptions {
+            outcome_aware: false,
+            ..Self::default()
+        }
     }
 
     /// §3.3's naive translation: standard unbounded delay ranges.
     pub fn naive_edges() -> Self {
-        AssertionOptions { strict_edges: false, ..Self::default() }
+        AssertionOptions {
+            strict_edges: false,
+            ..Self::default()
+        }
     }
 
     /// §3.4's naive translation: no match-attempt filtering.
     pub fn unguarded() -> Self {
-        AssertionOptions { first_guard: false, ..Self::default() }
+        AssertionOptions {
+            first_guard: false,
+            ..Self::default()
+        }
     }
 }
 
@@ -119,7 +132,11 @@ pub fn generate_with(
     test: &LitmusTest,
     options: AssertionOptions,
 ) -> Result<Vec<GeneratedAssertion>, ground::GroundError> {
-    let mode = if options.outcome_aware { DataMode::Symbolic } else { DataMode::Outcome };
+    let mode = if options.outcome_aware {
+        DataMode::Symbolic
+    } else {
+        DataMode::Outcome
+    };
     let grounded = ground::ground(spec, test, mode)?;
     let first = SvaBool::atom(RtlAtom::is_true(first));
     Ok(grounded
@@ -183,7 +200,10 @@ fn attach_outcome_constraints(mut conjunct: Conjunct, test: &LitmusTest) -> Conj
         let instr = test.instr(node.instr);
         if instr.is_load() && node.stage == StageId(WRITEBACK) {
             if let Some(v) = test.expected_load_value(&instr) {
-                let c = LoadConstraint { load: node.instr, value: v };
+                let c = LoadConstraint {
+                    load: node.instr,
+                    value: v,
+                };
                 if !conjunct.constraints.contains(&c) {
                     conjunct.constraints.push(c);
                 }
@@ -232,7 +252,10 @@ fn translate_conjunct(
     // with that value.
     for c in &conjunct.constraints {
         if !covered_loads.contains(&c.load) {
-            let wb = GNode { instr: c.load, stage: StageId(WRITEBACK) };
+            let wb = GNode {
+                instr: c.load,
+                stage: StageId(WRITEBACK),
+            };
             parts.push(Prop::seq(node_sequence(wb, mapping, Some(c.value))));
             covered_loads.push(c.load);
         }
@@ -278,7 +301,11 @@ fn edge_sequence(
             Seq::boolean(dst),
         ])
     } else {
-        Seq::delay(0, None, Seq::then(Seq::boolean(src), Seq::delay(0, None, Seq::boolean(dst))))
+        Seq::delay(
+            0,
+            None,
+            Seq::then(Seq::boolean(src), Seq::delay(0, None, Seq::boolean(dst))),
+        )
     }
 }
 
@@ -317,9 +344,14 @@ mod tests {
         let (_, asserts) = generate_mp(AssertionOptions::paper());
         let axioms: std::collections::BTreeSet<&str> =
             asserts.iter().map(|a| a.axiom.as_str()).collect();
-        for expected in
-            ["Instr_Path", "PO_Fetch", "DX_FIFO", "WB_FIFO", "DX_Total_Order", "Read_Values"]
-        {
+        for expected in [
+            "Instr_Path",
+            "PO_Fetch",
+            "DX_FIFO",
+            "WB_FIFO",
+            "DX_Total_Order",
+            "Read_Values",
+        ] {
             assert!(axioms.contains(expected), "missing {expected}: {axioms:?}");
         }
     }
@@ -374,7 +406,10 @@ mod tests {
         let (mv, asserts) = generate_mp(AssertionOptions::naive_edges());
         let a = asserts.iter().find(|a| a.axiom == "WB_FIFO").unwrap();
         let text = assert_directive(&a.directive.prop, &|at| at.render(&mv.design));
-        assert!(text.contains("(1) [*0:$]"), "naive delays are unconstrained: {text}");
+        assert!(
+            text.contains("(1) [*0:$]"),
+            "naive delays are unconstrained: {text}"
+        );
     }
 
     #[test]
@@ -393,7 +428,11 @@ mod tests {
             let mv = MultiVscale::build(&test, MemoryImpl::Fixed);
             let asserts = generate(&spec, &mv, &test, AssertionOptions::paper())
                 .unwrap_or_else(|e| panic!("{}: {e}", test.name()));
-            assert!(!asserts.is_empty(), "{} generated no assertions", test.name());
+            assert!(
+                !asserts.is_empty(),
+                "{} generated no assertions",
+                test.name()
+            );
         }
     }
 
@@ -401,8 +440,16 @@ mod tests {
     fn assertion_names_carry_provenance() {
         let (_, asserts) = generate_mp(AssertionOptions::paper());
         for a in &asserts {
-            assert!(a.directive.name.starts_with(&a.axiom), "{}", a.directive.name);
-            assert!(a.directive.name.contains(&a.instance), "{}", a.directive.name);
+            assert!(
+                a.directive.name.starts_with(&a.axiom),
+                "{}",
+                a.directive.name
+            );
+            assert!(
+                a.directive.name.contains(&a.instance),
+                "{}",
+                a.directive.name
+            );
         }
     }
 }

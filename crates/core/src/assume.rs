@@ -129,11 +129,18 @@ pub fn generate(mv: &MultiVscale, test: &LitmusTest) -> GeneratedAssumptions {
     );
     directives.push(Directive::assume(
         "final_values",
-        Prop::implies(all_halted.clone(), Prop::seq(Seq::boolean(final_values.clone()))),
+        Prop::implies(
+            all_halted.clone(),
+            Prop::seq(Seq::boolean(final_values.clone())),
+        ),
     ));
     let cover = SvaBool::and(all_halted, final_values);
 
-    GeneratedAssumptions { directives, init_pins, cover }
+    GeneratedAssumptions {
+        directives,
+        init_pins,
+        cover,
+    }
 }
 
 #[cfg(test)]
@@ -168,9 +175,16 @@ mod tests {
     #[test]
     fn memory_init_renders_like_figure_8() {
         let (mv, _, gen) = generate_for("mp");
-        let d = gen.directives.iter().find(|d| d.name == "init_mem_0").unwrap();
+        let d = gen
+            .directives
+            .iter()
+            .find(|d| d.name == "init_mem_0")
+            .unwrap();
         let text = assume_directive(&d.prop, &|a| a.render(&mv.design));
-        assert!(text.starts_with("assume property (@(posedge clk) first == 1'd1 |-> "), "{text}");
+        assert!(
+            text.starts_with("assume property (@(posedge clk) first == 1'd1 |-> "),
+            "{text}"
+        );
         assert!(text.contains("mem_0 == 32'd0"), "{text}");
     }
 
@@ -178,7 +192,11 @@ mod tests {
     fn value_assumption_checks_load_data_at_wb() {
         let (mv, _, gen) = generate_for("mp");
         // i3 = load of y on core 1, expected value 1.
-        let d = gen.directives.iter().find(|d| d.name == "value_i3").unwrap();
+        let d = gen
+            .directives
+            .iter()
+            .find(|d| d.name == "value_i3")
+            .unwrap();
         let text = assume_directive(&d.prop, &|a| a.render(&mv.design));
         assert!(text.contains("core1_PC_WB == 32'd64"), "{text}");
         assert!(text.contains("core1_load_data_WB == 32'd1"), "{text}");
@@ -187,7 +205,11 @@ mod tests {
     #[test]
     fn final_value_assumption_covers_all_cores() {
         let (mv, _, gen) = generate_for("mp");
-        let d = gen.directives.iter().find(|d| d.name == "final_values").unwrap();
+        let d = gen
+            .directives
+            .iter()
+            .find(|d| d.name == "final_values")
+            .unwrap();
         let text = assume_directive(&d.prop, &|a| a.render(&mv.design));
         for c in 0..4 {
             assert!(text.contains(&format!("core{c}_halted == 1'd1")), "{text}");
@@ -202,14 +224,20 @@ mod tests {
         let (mv, test, gen) = generate_for("ssl");
         let x = test.loc_by_name("x").unwrap();
         let cover_text = bool_to_sva(&gen.cover, &|a| a.render(&mv.design));
-        assert!(cover_text.contains(&format!("mem_{} == 32'd1", x.0)), "{cover_text}");
+        assert!(
+            cover_text.contains(&format!("mem_{} == 32'd1", x.0)),
+            "{cover_text}"
+        );
     }
 
     #[test]
     fn init_pins_match_test_initial_values() {
         let (_, test, gen) = generate_for("safe003");
         for (loc_idx, (_, v)) in gen.init_pins.iter().enumerate() {
-            assert_eq!(*v, u64::from(test.initial_value(rtlcheck_litmus::Loc(loc_idx)).0));
+            assert_eq!(
+                *v,
+                u64::from(test.initial_value(rtlcheck_litmus::Loc(loc_idx)).0)
+            );
         }
     }
 }

@@ -1,17 +1,18 @@
 //! The end-to-end RTLCheck driver (paper Figure 7).
 
 use std::fmt::Write as _;
-use std::time::Instant;
 
 use rtlcheck_litmus::LitmusTest;
+use rtlcheck_obs::{attrs, span, Collector, NullCollector};
 use rtlcheck_rtl::multi_vscale::{MemoryImpl, MultiVscale};
 use rtlcheck_sva::emit;
 use rtlcheck_uspec::Spec;
 use rtlcheck_verif::{
-    check_cover, verify_property, CoverVerdict, Problem, VerifyConfig,
+    check_cover_observed, verify_property_observed, CoverVerdict, Problem, PropertyVerdict,
+    VerifyConfig,
 };
 
-use crate::assert_gen::{self, AssertionOptions};
+use crate::assert_gen::{self, AssertionOptions, GeneratedAssertion};
 use crate::assume;
 use crate::report::{CoverOutcome, PropertyReport, TestReport};
 
@@ -44,7 +45,11 @@ impl Rtlcheck {
             MemoryImpl::Buggy | MemoryImpl::Fixed => rtlcheck_uspec::multi_vscale::spec(),
             MemoryImpl::Tso => rtlcheck_uspec::multi_vscale_tso::spec(),
         };
-        Rtlcheck { memory, spec, options: AssertionOptions::paper() }
+        Rtlcheck {
+            memory,
+            spec,
+            options: AssertionOptions::paper(),
+        }
     }
 
     /// RTLCheck for the Total Store Order variant of Multi-V-scale with the
@@ -88,48 +93,63 @@ impl Rtlcheck {
     /// Panics if the test does not fit the design (more than four cores) or
     /// the µspec model falls outside the synthesizable subset.
     pub fn check_test(&self, test: &LitmusTest, config: &VerifyConfig) -> TestReport {
+        self.check_test_observed(test, config, &NullCollector)
+    }
+
+    /// [`Rtlcheck::check_test`] with instrumentation: every Figure-7 phase
+    /// (design build, assumption generation, assertion generation, cover
+    /// search, per-property engine runs) reports to `collector` as a timed
+    /// span, and all report durations are sourced from those spans — the
+    /// CLI's times and the metrics' times are the same measurements.
+    ///
+    /// # Panics
+    ///
+    /// As [`Rtlcheck::check_test`].
+    pub fn check_test_observed(
+        &self,
+        test: &LitmusTest,
+        config: &VerifyConfig,
+        collector: &dyn Collector,
+    ) -> TestReport {
+        let mut flow = span(
+            collector,
+            "check_test",
+            attrs!["test" => test.name(), "config" => &config.name],
+        );
+
+        let g = span(collector, "design_build", attrs!["test" => test.name()]);
         let mv = self.build_design(test);
+        g.finish();
+
+        let mut g = span(collector, "assumption_gen", attrs!["test" => test.name()]);
         let assumptions = assume::generate(&mv, test);
+        g.attr("assumptions", assumptions.directives.len());
+        g.finish();
+
+        let mut g = span(collector, "assertion_gen", attrs!["test" => test.name()]);
         let assertions = assert_gen::generate(&self.spec, &mv, test, self.options)
             .expect("Multi-V-scale µspec is synthesizable");
+        g.attr("assertions", assertions.len());
+        g.finish();
 
         let mut problem = Problem::new(&mv.design);
         problem.init_pins = assumptions.init_pins.clone();
         problem.assumptions = assumptions.directives.clone();
         problem.cover = Some(assumptions.cover.clone());
 
-        // Phase 1: covering-trace search (§4.1).
-        let start = Instant::now();
-        let cover_verdict = check_cover(&problem, config.cover_engine());
-        let cover_elapsed = start.elapsed();
-        let vacuous = cover_verdict.stats().vacuous();
-        let cover = match cover_verdict {
-            CoverVerdict::Unreachable(_) => CoverOutcome::VerifiedUnreachable,
-            CoverVerdict::Covered(trace, _) => CoverOutcome::BugWitness(Box::new(trace)),
-            CoverVerdict::Unknown(_) => CoverOutcome::Inconclusive,
-        };
-
-        // Phase 2: per-property proofs.
-        let mut properties = Vec::with_capacity(assertions.len());
-        for a in &assertions {
-            let start = Instant::now();
-            let verdict = verify_property(&problem, &a.directive.prop, config);
-            properties.push(PropertyReport {
-                name: a.directive.name.clone(),
-                axiom: a.axiom.clone(),
-                verdict,
-                elapsed: start.elapsed(),
-            });
-        }
-
-        TestReport {
-            test: test.name().to_string(),
-            config: config.name.clone(),
-            cover,
-            cover_elapsed,
-            properties,
-            vacuous,
-        }
+        let report = run_flow_observed(test.name(), &problem, &assertions, config, collector);
+        flow.attr(
+            "verdict",
+            if report.bug_found() {
+                "violation"
+            } else if report.verified() {
+                "verified"
+            } else {
+                "inconclusive"
+            },
+        );
+        flow.finish();
+        report
     }
 
     /// Emits the complete per-test SystemVerilog property file — the
@@ -142,7 +162,11 @@ impl Rtlcheck {
             .expect("Multi-V-scale µspec is synthesizable");
         let render = |a: &rtlcheck_verif::RtlAtom| a.render(&mv.design);
         let mut out = String::new();
-        let _ = writeln!(out, "// RTLCheck-generated properties for litmus test `{}`", test.name());
+        let _ = writeln!(
+            out,
+            "// RTLCheck-generated properties for litmus test `{}`",
+            test.name()
+        );
         let _ = writeln!(out, "// Design: {}\n", mv.design.name());
         let _ = writeln!(out, "// ---- assumptions (§4.1) ----");
         for d in &assumptions.directives {
@@ -152,9 +176,121 @@ impl Rtlcheck {
         let _ = writeln!(out, "\n// ---- assertions (§4.2-4.4) ----");
         for a in &assertions {
             let _ = writeln!(out, "// {}", a.directive.name);
-            let _ = writeln!(out, "{}", emit::assert_directive(&a.directive.prop, &render));
+            let _ = writeln!(
+                out,
+                "{}",
+                emit::assert_directive(&a.directive.prop, &render)
+            );
         }
         out
+    }
+}
+
+/// Runs the verification phases (cover search + per-property proofs) of the
+/// Figure-7 flow on a prepared [`Problem`], reporting to `collector`.
+///
+/// Shared by the Multi-V-scale driver and the five-stage flow. The stats
+/// written into the report are the same values emitted as `cover.*` /
+/// `property.*` counters, and both `cover_elapsed` and every property's
+/// `elapsed` are the span measurements — a single source of truth for the
+/// CLI and the metrics view.
+pub(crate) fn run_flow_observed(
+    test_name: &str,
+    problem: &Problem<'_>,
+    assertions: &[GeneratedAssertion],
+    config: &VerifyConfig,
+    collector: &dyn Collector,
+) -> TestReport {
+    // Phase 1: covering-trace search (§4.1).
+    let mut g = span(collector, "cover_search", attrs!["test" => test_name]);
+    let cover_verdict = check_cover_observed(problem, config.cover_engine(), collector);
+    let cover_stats = cover_verdict.stats();
+    g.attr("states", cover_stats.states);
+    let cover_elapsed = g.finish();
+    collector.counter(
+        "cover.states",
+        cover_stats.states as u64,
+        attrs!["test" => test_name],
+    );
+    collector.counter(
+        "cover.transitions",
+        cover_stats.transitions,
+        attrs!["test" => test_name],
+    );
+    collector.counter(
+        "cover.pruned",
+        cover_stats.pruned_by_assumptions,
+        attrs!["test" => test_name],
+    );
+    let vacuous = cover_stats.vacuous();
+    if vacuous {
+        collector.event(
+            "vacuous_proof",
+            attrs!["test" => test_name, "scope" => "cover"],
+        );
+    }
+    let cover = match cover_verdict {
+        CoverVerdict::Unreachable(_) => CoverOutcome::VerifiedUnreachable,
+        CoverVerdict::Covered(trace, _) => CoverOutcome::BugWitness(Box::new(trace)),
+        CoverVerdict::Unknown(_) => CoverOutcome::Inconclusive,
+    };
+
+    // Phase 2: per-property proofs.
+    let mut properties = Vec::with_capacity(assertions.len());
+    for a in assertions {
+        let name = &a.directive.name;
+        let mut g = span(
+            collector,
+            "property",
+            attrs!["test" => test_name, "property" => name, "axiom" => &a.axiom],
+        );
+        let verdict = verify_property_observed(problem, &a.directive.prop, config, name, collector);
+        let stats = verdict.stats();
+        collector.counter(
+            "property.states",
+            stats.states as u64,
+            attrs!["property" => name],
+        );
+        collector.counter(
+            "property.transitions",
+            stats.transitions,
+            attrs!["property" => name],
+        );
+        collector.counter(
+            "property.pruned",
+            stats.pruned_by_assumptions,
+            attrs!["property" => name],
+        );
+        let label = match &verdict {
+            PropertyVerdict::Proven { .. } => "proven",
+            PropertyVerdict::Bounded { .. } => "bounded",
+            PropertyVerdict::Falsified { .. } => "falsified",
+        };
+        collector.event(&format!("verdict.{label}"), attrs!["property" => name]);
+        if verdict.is_proven() && stats.vacuous() {
+            collector.event(
+                "vacuous_proof",
+                attrs!["property" => name, "scope" => "property"],
+            );
+        }
+        g.attr("verdict", label);
+        let elapsed = g.finish();
+        properties.push(PropertyReport {
+            name: name.clone(),
+            axiom: a.axiom.clone(),
+            verdict,
+            elapsed,
+        });
+    }
+
+    TestReport {
+        test: test_name.to_string(),
+        config: config.name.clone(),
+        cover,
+        cover_elapsed,
+        cover_stats,
+        properties,
+        vacuous,
     }
 }
 
@@ -168,7 +304,10 @@ mod tests {
         let mp = suite::get("mp").unwrap();
         let report = Rtlcheck::new(MemoryImpl::Fixed).check_test(&mp, &VerifyConfig::quick());
         assert!(report.verified(), "{report}");
-        assert!(report.verified_by_assumptions(), "mp's outcome should be unreachable");
+        assert!(
+            report.verified_by_assumptions(),
+            "mp's outcome should be unreachable"
+        );
         assert!(!report.vacuous);
         assert!(
             report.properties.iter().all(|p| !p.verdict.is_falsified()),
@@ -183,12 +322,18 @@ mod tests {
         let report = Rtlcheck::new(MemoryImpl::Buggy).check_test(&mp, &VerifyConfig::quick());
         assert!(report.bug_found(), "{report}");
         // The covering trace is an execution of the forbidden outcome…
-        assert!(matches!(report.cover, crate::report::CoverOutcome::BugWitness(_)));
+        assert!(matches!(
+            report.cover,
+            crate::report::CoverOutcome::BugWitness(_)
+        ));
         // …and, as in the paper, a Read_Values property has a
         // counterexample.
         let (name, trace) = report.first_counterexample().expect("a falsified property");
         assert!(name.starts_with("Read_Values"), "{name}");
-        assert!(trace.len() >= 4, "the violation needs the pipelined schedule");
+        assert!(
+            trace.len() >= 4,
+            "the violation needs the pipelined schedule"
+        );
     }
 
     #[test]

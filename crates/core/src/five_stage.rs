@@ -7,22 +7,18 @@
 //! program mapping / assumption generation, and a small driver mirroring
 //! [`crate::Rtlcheck::check_test`].
 
-use std::time::Instant;
-
 use rtlcheck_litmus::{CondClause, LitmusTest, Val};
 use rtlcheck_rtl::five_stage::FiveStage;
 use rtlcheck_rtl::isa;
 use rtlcheck_sva::{Prop, Seq, SvaBool};
 use rtlcheck_uspec::five_stage as fs_spec;
 use rtlcheck_uspec::ground::GNode;
-use rtlcheck_verif::{
-    check_cover, verify_property, CoverVerdict, Directive, Problem, RtlAtom, VerifyConfig,
-};
+use rtlcheck_verif::{Directive, Problem, RtlAtom, VerifyConfig};
 
 use crate::assert_gen::{self, AssertionOptions};
 use crate::assume::GeneratedAssumptions;
 use crate::mapping::{NodeMapping, RtlBool};
-use crate::report::{CoverOutcome, PropertyReport, TestReport};
+use crate::report::TestReport;
 
 /// The node mapping for Multi-Five-Stage.
 ///
@@ -117,7 +113,10 @@ pub fn generate_assumptions(fs: &FiveStage, test: &LitmusTest) -> GeneratedAssum
         }
     }
     let all_halted = SvaBool::all(
-        fs.cores.iter().map(|c| SvaBool::atom(RtlAtom::is_true(c.halted))).collect(),
+        fs.cores
+            .iter()
+            .map(|c| SvaBool::atom(RtlAtom::is_true(c.halted)))
+            .collect(),
     );
     let final_values = SvaBool::all(
         test.condition()
@@ -133,11 +132,18 @@ pub fn generate_assumptions(fs: &FiveStage, test: &LitmusTest) -> GeneratedAssum
     );
     directives.push(Directive::assume(
         "final_values",
-        Prop::implies(all_halted.clone(), Prop::seq(Seq::boolean(final_values.clone()))),
+        Prop::implies(
+            all_halted.clone(),
+            Prop::seq(Seq::boolean(final_values.clone())),
+        ),
     ));
     let cover = SvaBool::and(all_halted, final_values);
 
-    GeneratedAssumptions { directives, init_pins, cover }
+    GeneratedAssumptions {
+        directives,
+        init_pins,
+        cover,
+    }
 }
 
 /// Runs the full RTLCheck flow on one litmus test against Multi-Five-Stage.
@@ -146,54 +152,65 @@ pub fn generate_assumptions(fs: &FiveStage, test: &LitmusTest) -> GeneratedAssum
 ///
 /// Panics if the test does not fit the design.
 pub fn check_test(test: &LitmusTest, config: &VerifyConfig) -> TestReport {
+    check_test_observed(test, config, &rtlcheck_obs::NullCollector)
+}
+
+/// [`check_test`] with instrumentation, mirroring
+/// [`crate::Rtlcheck::check_test_observed`].
+///
+/// # Panics
+///
+/// As [`check_test`].
+pub fn check_test_observed(
+    test: &LitmusTest,
+    config: &VerifyConfig,
+    collector: &dyn rtlcheck_obs::Collector,
+) -> TestReport {
+    use rtlcheck_obs::{attrs, span};
+
+    let mut flow = span(
+        collector,
+        "check_test",
+        attrs!["test" => test.name(), "config" => &config.name],
+    );
+
+    let g = span(collector, "design_build", attrs!["test" => test.name()]);
     let fs = FiveStage::build(test);
     let spec = fs_spec::spec();
     let mapping = FiveStageMapping { fs: &fs, test };
+    g.finish();
+
+    let mut g = span(collector, "assumption_gen", attrs!["test" => test.name()]);
     let assumptions = generate_assumptions(&fs, test);
-    let assertions = assert_gen::generate_with(
-        &spec,
-        &mapping,
-        fs.first,
-        test,
-        AssertionOptions::paper(),
-    )
-    .expect("Multi-Five-Stage µspec is synthesizable");
+    g.attr("assumptions", assumptions.directives.len());
+    g.finish();
+
+    let mut g = span(collector, "assertion_gen", attrs!["test" => test.name()]);
+    let assertions =
+        assert_gen::generate_with(&spec, &mapping, fs.first, test, AssertionOptions::paper())
+            .expect("Multi-Five-Stage µspec is synthesizable");
+    g.attr("assertions", assertions.len());
+    g.finish();
 
     let mut problem = Problem::new(&fs.design);
     problem.init_pins = assumptions.init_pins.clone();
     problem.assumptions = assumptions.directives.clone();
     problem.cover = Some(assumptions.cover.clone());
 
-    let start = Instant::now();
-    let cover_verdict = check_cover(&problem, config.cover_engine());
-    let cover_elapsed = start.elapsed();
-    let vacuous = cover_verdict.stats().vacuous();
-    let cover = match cover_verdict {
-        CoverVerdict::Unreachable(_) => CoverOutcome::VerifiedUnreachable,
-        CoverVerdict::Covered(trace, _) => CoverOutcome::BugWitness(Box::new(trace)),
-        CoverVerdict::Unknown(_) => CoverOutcome::Inconclusive,
-    };
-
-    let mut properties = Vec::with_capacity(assertions.len());
-    for a in &assertions {
-        let start = Instant::now();
-        let verdict = verify_property(&problem, &a.directive.prop, config);
-        properties.push(PropertyReport {
-            name: a.directive.name.clone(),
-            axiom: a.axiom.clone(),
-            verdict,
-            elapsed: start.elapsed(),
-        });
-    }
-
-    TestReport {
-        test: test.name().to_string(),
-        config: config.name.clone(),
-        cover,
-        cover_elapsed,
-        properties,
-        vacuous,
-    }
+    let report =
+        crate::check::run_flow_observed(test.name(), &problem, &assertions, config, collector);
+    flow.attr(
+        "verdict",
+        if report.bug_found() {
+            "violation"
+        } else if report.verified() {
+            "verified"
+        } else {
+            "inconclusive"
+        },
+    );
+    flow.finish();
+    report
 }
 
 #[cfg(test)]
@@ -208,7 +225,10 @@ mod tests {
         let mp = suite::get("mp").unwrap();
         let fs = FiveStage::build(&mp);
         let m = FiveStageMapping { fs: &fs, test: &mp };
-        let node = GNode { instr: rtlcheck_litmus::InstrUid(3), stage: StageId(fs_spec::MEMORY) };
+        let node = GNode {
+            instr: rtlcheck_litmus::InstrUid(3),
+            stage: StageId(fs_spec::MEMORY),
+        };
         let text = bool_to_sva(&m.map_node(node, Some(Val(0))), &|a| a.render(&fs.design));
         assert!(text.contains("core1_PC_MEM == 32'd68"), "{text}");
         assert!(text.contains("core1_stall_MEM == 1'd0"), "{text}");
@@ -230,7 +250,11 @@ mod tests {
         let report = check_test(&sb, &VerifyConfig::quick());
         assert!(report.verified(), "{report}");
         assert_eq!(
-            report.properties.iter().filter(|p| p.verdict.is_falsified()).count(),
+            report
+                .properties
+                .iter()
+                .filter(|p| p.verdict.is_falsified())
+                .count(),
             0,
             "{report}"
         );

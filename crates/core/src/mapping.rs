@@ -15,9 +15,9 @@
 
 use rtlcheck_litmus::{InstrRef, LitmusTest, Val};
 use rtlcheck_rtl::isa;
+use rtlcheck_rtl::isa::BUBBLE_PC;
 use rtlcheck_rtl::multi_vscale::MultiVscale;
 use rtlcheck_sva::SvaBool;
-use rtlcheck_rtl::isa::BUBBLE_PC;
 use rtlcheck_uspec::ground::GNode;
 use rtlcheck_uspec::multi_vscale::{DECODE_EXECUTE, FETCH, WRITEBACK};
 use rtlcheck_uspec::multi_vscale_tso::MEMORY;
@@ -131,7 +131,10 @@ mod tests {
         let (mv, mp) = setup();
         let m = MultiVscaleMapping::new(&mv, &mp);
         // i4 = load of x on core 1, index 1 → PC = 64 + 4 = 68.
-        let node = GNode { instr: InstrUid(3), stage: StageId(WRITEBACK) };
+        let node = GNode {
+            instr: InstrUid(3),
+            stage: StageId(WRITEBACK),
+        };
         let expr = m.map_node(node, Some(Val(0)));
         let text = bool_to_sva(&expr, &|a| a.render(&mv.design));
         assert!(text.contains("core1_PC_WB == 32'd68"), "{text}");
@@ -143,7 +146,10 @@ mod tests {
     fn delay_mapping_is_value_agnostic() {
         let (mv, mp) = setup();
         let m = MultiVscaleMapping::new(&mv, &mp);
-        let node = GNode { instr: InstrUid(3), stage: StageId(WRITEBACK) };
+        let node = GNode {
+            instr: InstrUid(3),
+            stage: StageId(WRITEBACK),
+        };
         let text = bool_to_sva(&m.map_node(node, None), &|a| a.render(&mv.design));
         assert!(!text.contains("load_data"), "{text}");
     }
@@ -152,11 +158,17 @@ mod tests {
     fn dx_and_if_nodes_map_with_stalls() {
         let (mv, mp) = setup();
         let m = MultiVscaleMapping::new(&mv, &mp);
-        let dx = GNode { instr: InstrUid(0), stage: StageId(DECODE_EXECUTE) };
+        let dx = GNode {
+            instr: InstrUid(0),
+            stage: StageId(DECODE_EXECUTE),
+        };
         let text = bool_to_sva(&m.map_node(dx, None), &|a| a.render(&mv.design));
         assert!(text.contains("core0_PC_DX == 32'd0"), "{text}");
         assert!(text.contains("core0_stall_DX == 1'd0"), "{text}");
-        let iff = GNode { instr: InstrUid(1), stage: StageId(FETCH) };
+        let iff = GNode {
+            instr: InstrUid(1),
+            stage: StageId(FETCH),
+        };
         let text = bool_to_sva(&m.map_node(iff, None), &|a| a.render(&mv.design));
         assert!(text.contains("core0_PC_IF == 32'd4"), "{text}");
         assert!(text.contains("core0_stall_IF == 1'd0"), "{text}");
@@ -168,7 +180,10 @@ mod tests {
         let mv = MultiVscale::build(&sb, MemoryImpl::Tso);
         let m = MultiVscaleMapping::new(&mv, &sb);
         // i1 = store of x on core 0.
-        let node = GNode { instr: InstrUid(0), stage: StageId(3) };
+        let node = GNode {
+            instr: InstrUid(0),
+            stage: StageId(3),
+        };
         let text = bool_to_sva(&m.map_node(node, None), &|a| a.render(&mv.design));
         assert!(text.contains("core0_drain == 1'd1"), "{text}");
         assert!(text.contains("core0_sbuf_pc == 32'd0"), "{text}");
@@ -179,7 +194,10 @@ mod tests {
     fn memory_stage_requires_the_tso_design() {
         let (mv, mp) = setup();
         let m = MultiVscaleMapping::new(&mv, &mp);
-        let node = GNode { instr: InstrUid(0), stage: StageId(3) };
+        let node = GNode {
+            instr: InstrUid(0),
+            stage: StageId(3),
+        };
         let _ = m.map_node(node, None);
     }
 
@@ -188,7 +206,10 @@ mod tests {
     fn unknown_stage_panics() {
         let (mv, mp) = setup();
         let m = MultiVscaleMapping::new(&mv, &mp);
-        let node = GNode { instr: InstrUid(0), stage: StageId(9) };
+        let node = GNode {
+            instr: InstrUid(0),
+            stage: StageId(9),
+        };
         let _ = m.map_node(node, None);
     }
 }

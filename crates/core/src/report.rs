@@ -4,7 +4,7 @@ use std::fmt;
 use std::time::Duration;
 
 use rtlcheck_rtl::waveform::Trace;
-use rtlcheck_verif::PropertyVerdict;
+use rtlcheck_verif::{ExploreStats, PropertyVerdict};
 
 /// Outcome of the covering-trace phase (§4.1's assumption-only fast path).
 #[derive(Debug, Clone)]
@@ -32,6 +32,19 @@ pub struct PropertyReport {
     pub elapsed: Duration,
 }
 
+impl PropertyReport {
+    /// The exploration statistics of the decisive engine run.
+    pub fn stats(&self) -> ExploreStats {
+        self.verdict.stats()
+    }
+
+    /// Whether this property was "proven" only because the assumptions
+    /// admitted no execution at all.
+    pub fn vacuously_proven(&self) -> bool {
+        self.verdict.is_proven() && self.stats().vacuous()
+    }
+}
+
 /// The full report for one litmus test under one configuration.
 #[derive(Debug, Clone)]
 pub struct TestReport {
@@ -43,6 +56,8 @@ pub struct TestReport {
     pub cover: CoverOutcome,
     /// Time spent in the covering-trace phase.
     pub cover_elapsed: Duration,
+    /// Exploration statistics of the covering-trace phase.
+    pub cover_stats: ExploreStats,
     /// Per-property results (empty if assertions were skipped).
     pub properties: Vec<PropertyReport>,
     /// Whether the assumption set was contradictory (vacuous verification —
@@ -71,7 +86,10 @@ impl TestReport {
 
     /// Number of properties with complete proofs.
     pub fn num_proven(&self) -> usize {
-        self.properties.iter().filter(|p| p.verdict.is_proven()).count()
+        self.properties
+            .iter()
+            .filter(|p| p.verdict.is_proven())
+            .count()
     }
 
     /// Fraction of properties completely proven (1.0 when there are none).
@@ -114,6 +132,31 @@ impl TestReport {
         }
     }
 
+    /// Names of properties that were "proven" only vacuously (the
+    /// assumption set admitted no execution during their runs).
+    pub fn vacuous_properties(&self) -> Vec<&str> {
+        self.properties
+            .iter()
+            .filter(|p| p.vacuously_proven())
+            .map(|p| p.name.as_str())
+            .collect()
+    }
+
+    /// Aggregate exploration statistics over the whole flow: the cover
+    /// phase plus every property's decisive engine run. These are the
+    /// totals the metrics counters (`cover.*` + `property.*`) sum to.
+    pub fn total_stats(&self) -> ExploreStats {
+        let mut total = self.cover_stats;
+        for p in &self.properties {
+            let s = p.stats();
+            total.states += s.states;
+            total.transitions += s.transitions;
+            total.pruned_by_assumptions += s.pruned_by_assumptions;
+            total.depth_completed = total.depth_completed.max(s.depth_completed);
+        }
+        total
+    }
+
     /// The first counterexample trace, if any property was falsified.
     pub fn first_counterexample(&self) -> Option<(&str, &Trace)> {
         self.properties.iter().find_map(|p| match &p.verdict {
@@ -127,16 +170,32 @@ impl fmt::Display for TestReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "test {} [{}]", self.test, self.config)?;
         match &self.cover {
-            CoverOutcome::VerifiedUnreachable => {
-                writeln!(f, "  cover: outcome unreachable — verified by assumptions alone")?
-            }
-            CoverOutcome::BugWitness(t) => {
-                writeln!(f, "  cover: OUTCOME OBSERVABLE in {} cycles — bug witness found", t.len())?
-            }
+            CoverOutcome::VerifiedUnreachable => writeln!(
+                f,
+                "  cover: outcome unreachable — verified by assumptions alone"
+            )?,
+            CoverOutcome::BugWitness(t) => writeln!(
+                f,
+                "  cover: OUTCOME OBSERVABLE in {} cycles — bug witness found",
+                t.len()
+            )?,
             CoverOutcome::Inconclusive => writeln!(f, "  cover: inconclusive (budget)")?,
         }
         if self.vacuous {
-            writeln!(f, "  WARNING: contradictory assumptions — vacuous verification")?;
+            writeln!(
+                f,
+                "  WARNING: contradictory assumptions — vacuous verification"
+            )?;
+        }
+        let vacuous_props = self.vacuous_properties();
+        if !self.vacuous && !vacuous_props.is_empty() {
+            writeln!(
+                f,
+                "  WARNING: {} propert{} proven vacuously (no admissible execution): {}",
+                vacuous_props.len(),
+                if vacuous_props.len() == 1 { "y" } else { "ies" },
+                vacuous_props.join(", "),
+            )?;
         }
         if !self.properties.is_empty() {
             writeln!(
@@ -146,7 +205,10 @@ impl fmt::Display for TestReport {
                 self.properties.len(),
                 100.0 * self.proven_fraction(),
                 self.bounded_depths().len(),
-                self.properties.iter().filter(|p| p.verdict.is_falsified()).count(),
+                self.properties
+                    .iter()
+                    .filter(|p| p.verdict.is_falsified())
+                    .count(),
             )?;
         }
         write!(
@@ -178,7 +240,10 @@ mod tests {
     }
 
     fn stats() -> ExploreStats {
-        ExploreStats { transitions: 1, ..ExploreStats::default() }
+        ExploreStats {
+            transitions: 1,
+            ..ExploreStats::default()
+        }
     }
 
     #[test]
@@ -188,10 +253,23 @@ mod tests {
             config: "Quick".into(),
             cover: CoverOutcome::Inconclusive,
             cover_elapsed: Duration::from_millis(5),
+            cover_stats: stats(),
             properties: vec![
                 prop("A[1]", PropertyVerdict::Proven { stats: stats() }),
-                prop("B[1]", PropertyVerdict::Bounded { depth: 20, stats: stats() }),
-                prop("B[2]", PropertyVerdict::Bounded { depth: 40, stats: stats() }),
+                prop(
+                    "B[1]",
+                    PropertyVerdict::Bounded {
+                        depth: 20,
+                        stats: stats(),
+                    },
+                ),
+                prop(
+                    "B[2]",
+                    PropertyVerdict::Bounded {
+                        depth: 40,
+                        stats: stats(),
+                    },
+                ),
                 prop("C[1]", PropertyVerdict::Proven { stats: stats() }),
             ],
             vacuous: false,
@@ -213,11 +291,38 @@ mod tests {
             config: "Hybrid".into(),
             cover: CoverOutcome::VerifiedUnreachable,
             cover_elapsed: Duration::from_millis(7),
+            cover_stats: stats(),
             properties: vec![prop("A[1]", PropertyVerdict::Proven { stats: stats() })],
             vacuous: false,
         };
         assert!(report.verified_by_assumptions());
         assert_eq!(report.runtime_to_verification(), Duration::from_millis(7));
+    }
+
+    #[test]
+    fn vacuously_proven_properties_are_flagged() {
+        let vac = ExploreStats::default(); // transitions == 0 → vacuous
+        let report = TestReport {
+            test: "t".into(),
+            config: "Quick".into(),
+            cover: CoverOutcome::Inconclusive,
+            cover_elapsed: Duration::ZERO,
+            cover_stats: stats(),
+            properties: vec![
+                prop("A[1]", PropertyVerdict::Proven { stats: vac }),
+                prop("B[1]", PropertyVerdict::Proven { stats: stats() }),
+            ],
+            vacuous: false,
+        };
+        assert_eq!(report.vacuous_properties(), vec!["A[1]"]);
+        let text = report.to_string();
+        assert!(
+            text.contains("WARNING: 1 property proven vacuously"),
+            "{text}"
+        );
+        assert!(text.contains("A[1]"), "{text}");
+        // Totals aggregate the cover phase and both properties.
+        assert_eq!(report.total_stats().transitions, 2);
     }
 
     #[test]
@@ -227,6 +332,7 @@ mod tests {
             config: "Quick".into(),
             cover: CoverOutcome::VerifiedUnreachable,
             cover_elapsed: Duration::ZERO,
+            cover_stats: ExploreStats::default(),
             properties: vec![],
             vacuous: true,
         };

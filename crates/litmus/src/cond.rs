@@ -1,12 +1,10 @@
 //! Outcome conditions for litmus tests.
 
-use serde::{Deserialize, Serialize};
-
 use crate::ids::{CoreId, Loc, Reg, Val};
 
 /// Whether the condition describes an outcome the model must *forbid* or one
 /// it must *permit*.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CondKind {
     /// The outcome must never be observable on a correct implementation.
     Forbidden,
@@ -15,7 +13,7 @@ pub enum CondKind {
 }
 
 /// A single equality clause of an outcome condition.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CondClause {
     /// `core:reg = val` — the final value of a register (i.e. the value
     /// returned by the unique load on `core` whose destination is `reg`).
@@ -43,7 +41,7 @@ pub enum CondClause {
 /// Conditions are conjunctive, matching the `exists`/`forbidden` conditions
 /// used throughout the litmus-testing literature (and by the `diy` and
 /// `herd` tools).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Condition {
     kind: CondKind,
     clauses: Vec<CondClause>,
@@ -79,7 +77,11 @@ impl Condition {
     /// condition constrains it.
     pub fn reg_value(&self, core: CoreId, reg: Reg) -> Option<Val> {
         self.clauses.iter().find_map(|c| match *c {
-            CondClause::RegEq { core: c, reg: r, val } if c == core && r == reg => Some(val),
+            CondClause::RegEq {
+                core: c,
+                reg: r,
+                val,
+            } if c == core && r == reg => Some(val),
             _ => None,
         })
     }
@@ -116,9 +118,20 @@ mod tests {
 
     fn sample() -> Condition {
         Condition::forbid(vec![
-            CondClause::RegEq { core: CoreId(1), reg: Reg(1), val: Val(1) },
-            CondClause::RegEq { core: CoreId(1), reg: Reg(2), val: Val(0) },
-            CondClause::MemEq { loc: Loc(0), val: Val(1) },
+            CondClause::RegEq {
+                core: CoreId(1),
+                reg: Reg(1),
+                val: Val(1),
+            },
+            CondClause::RegEq {
+                core: CoreId(1),
+                reg: Reg(2),
+                val: Val(0),
+            },
+            CondClause::MemEq {
+                loc: Loc(0),
+                val: Val(1),
+            },
         ])
     }
 
@@ -135,10 +148,7 @@ mod tests {
     #[test]
     fn eval_requires_all_clauses() {
         let c = sample();
-        let all_match = c.eval(
-            |_, r| if r == Reg(1) { Val(1) } else { Val(0) },
-            |_| Val(1),
-        );
+        let all_match = c.eval(|_, r| if r == Reg(1) { Val(1) } else { Val(0) }, |_| Val(1));
         assert!(all_match);
         let one_off = c.eval(|_, _| Val(1), |_| Val(1));
         assert!(!one_off, "r2 = 1 violates the r2 = 0 clause");

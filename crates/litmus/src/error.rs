@@ -37,7 +37,10 @@ impl fmt::Display for LitmusError {
         match self {
             LitmusError::UnknownCore(c) => write!(f, "condition refers to unknown core {c}"),
             LitmusError::UnknownReg { core, reg } => {
-                write!(f, "condition refers to register r{reg} never loaded on core {core}")
+                write!(
+                    f,
+                    "condition refers to register r{reg} never loaded on core {core}"
+                )
             }
             LitmusError::RegWrittenTwice { core, reg } => {
                 write!(f, "register r{reg} is written by two loads on core {core}")
@@ -64,7 +67,10 @@ pub struct ParseLitmusError {
 
 impl ParseLitmusError {
     pub(crate) fn new(line: usize, message: impl Into<String>) -> Self {
-        ParseLitmusError { line, message: message.into() }
+        ParseLitmusError {
+            line,
+            message: message.into(),
+        }
     }
 }
 
@@ -78,7 +84,10 @@ impl Error for ParseLitmusError {}
 
 impl From<LitmusError> for ParseLitmusError {
     fn from(err: LitmusError) -> Self {
-        ParseLitmusError { line: 0, message: err.to_string() }
+        ParseLitmusError {
+            line: 0,
+            message: err.to_string(),
+        }
     }
 }
 
@@ -89,7 +98,10 @@ mod tests {
     #[test]
     fn display_is_lowercase_and_specific() {
         let err = LitmusError::UnknownReg { core: 1, reg: 2 };
-        assert_eq!(err.to_string(), "condition refers to register r2 never loaded on core 1");
+        assert_eq!(
+            err.to_string(),
+            "condition refers to register r2 never loaded on core 1"
+        );
         let perr = ParseLitmusError::new(3, "unexpected token `%`");
         assert!(perr.to_string().contains("line 3"));
     }

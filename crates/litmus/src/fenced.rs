@@ -107,7 +107,10 @@ mod tests {
     fn unfenced_counterparts_remain_observable() {
         for name in ["sb", "amd3", "podwr001"] {
             let t = crate::suite::get(name).unwrap();
-            assert!(tso::observable(&t), "{name} without fences is TSO-observable");
+            assert!(
+                tso::observable(&t),
+                "{name} without fences is TSO-observable"
+            );
         }
     }
 

@@ -19,12 +19,8 @@ impl fmt::Display for LitmusTest {
             write!(f, "core {c} {{ ")?;
             for op in thread {
                 match *op {
-                    Op::Store { loc, val } => {
-                        write!(f, "st {}, {val}; ", self.locations()[loc.0])?
-                    }
-                    Op::Load { dst, loc } => {
-                        write!(f, "{dst} = ld {}; ", self.locations()[loc.0])?
-                    }
+                    Op::Store { loc, val } => write!(f, "st {}, {val}; ", self.locations()[loc.0])?,
+                    Op::Load { dst, loc } => write!(f, "{dst} = ld {}; ", self.locations()[loc.0])?,
                     Op::Fence => write!(f, "fence; ")?,
                 }
             }
@@ -41,9 +37,7 @@ impl fmt::Display for LitmusTest {
             }
             match *clause {
                 CondClause::RegEq { core, reg, val } => write!(f, "{}:{reg} = {val}", core.0)?,
-                CondClause::MemEq { loc, val } => {
-                    write!(f, "{} = {val}", self.locations()[loc.0])?
-                }
+                CondClause::MemEq { loc, val } => write!(f, "{} = {val}", self.locations()[loc.0])?,
             }
         }
         write!(f, " )")

@@ -2,13 +2,11 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Identifier of a hardware thread (core) in a litmus test.
 ///
 /// Cores are numbered densely from zero in the order their threads appear in
 /// the test source.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct CoreId(pub usize);
 
 impl fmt::Display for CoreId {
@@ -22,7 +20,7 @@ impl fmt::Display for CoreId {
 /// Instructions are numbered densely in (core, program-order) order, i.e. all
 /// of core 0's instructions come first, then core 1's, and so on. This
 /// matches the `i1..iN` numbering convention used in the RTLCheck paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct InstrUid(pub usize);
 
 impl fmt::Display for InstrUid {
@@ -35,7 +33,7 @@ impl fmt::Display for InstrUid {
 ///
 /// The index refers into the owning test's location name table; physical
 /// addresses are assigned only when a test is mapped onto a concrete design.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Loc(pub usize);
 
 impl fmt::Display for Loc {
@@ -45,7 +43,7 @@ impl fmt::Display for Loc {
 }
 
 /// An architectural register within one thread (e.g. `r1`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Reg(pub u8);
 
 impl fmt::Display for Reg {
@@ -58,9 +56,7 @@ impl fmt::Display for Reg {
 ///
 /// Litmus tests use tiny value domains (typically `{0, 1, 2}`), but the full
 /// 32-bit range of the modelled datapath is representable.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Val(pub u32);
 
 impl fmt::Display for Val {

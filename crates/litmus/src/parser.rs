@@ -238,7 +238,9 @@ impl Parser {
         let kind = match self.next() {
             Some(Tok::Ident(s)) if s == "forbid" => CondKind::Forbidden,
             Some(Tok::Ident(s)) if s == "permit" => CondKind::Permitted,
-            other => return Err(self.err(format!("expected `forbid` or `permit`, found {other:?}"))),
+            other => {
+                return Err(self.err(format!("expected `forbid` or `permit`, found {other:?}")))
+            }
         };
         self.expect_punct('(')?;
         let mut clauses = Vec::new();
@@ -248,8 +250,9 @@ impl Parser {
                 Some(Tok::Int(core)) => {
                     self.expect_punct(':')?;
                     let reg_name = self.expect_ident()?;
-                    let reg = parse_reg(&reg_name)
-                        .ok_or_else(|| self.err(format!("expected register, found `{reg_name}`")))?;
+                    let reg = parse_reg(&reg_name).ok_or_else(|| {
+                        self.err(format!("expected register, found `{reg_name}`"))
+                    })?;
                     self.expect_punct('=')?;
                     let v = self.expect_int()?;
                     clauses.push(CondClause::RegEq {
@@ -264,7 +267,9 @@ impl Parser {
                     let v = self.expect_int()?;
                     clauses.push(CondClause::MemEq { loc, val: Val(v) });
                 }
-                other => return Err(self.err(format!("expected condition clause, found {other:?}"))),
+                other => {
+                    return Err(self.err(format!("expected condition clause, found {other:?}")))
+                }
             }
             match self.peek() {
                 Some(Tok::And) => {

@@ -54,7 +54,9 @@ pub fn outcomes(test: &LitmusTest) -> Vec<ScOutcome> {
     let threads = test.threads();
     let start = State {
         pc: vec![0; threads.len()],
-        mem: (0..test.num_locations()).map(|l| test.initial_value(Loc(l))).collect(),
+        mem: (0..test.num_locations())
+            .map(|l| test.initial_value(Loc(l)))
+            .collect(),
         regs: BTreeMap::new(),
     };
     let mut seen: HashSet<State> = HashSet::new();
@@ -174,7 +176,12 @@ mod tests {
             .iter()
             .map(|o| {
                 let get = |r: u8| {
-                    o.regs.iter().find(|((c, rr), _)| *c == 1 && *rr == r).unwrap().1 .0
+                    o.regs
+                        .iter()
+                        .find(|((c, rr), _)| *c == 1 && *rr == r)
+                        .unwrap()
+                        .1
+                         .0
                 };
                 (get(1), get(2))
             })
@@ -186,7 +193,10 @@ mod tests {
 
     #[test]
     fn coherence_final_memory_values() {
-        let t = parse("test co\n{ x = 0; }\ncore 0 { st x, 1; }\ncore 1 { st x, 2; }\npermit ( x = 1 )").unwrap();
+        let t = parse(
+            "test co\n{ x = 0; }\ncore 0 { st x, 1; }\ncore 1 { st x, 2; }\npermit ( x = 1 )",
+        )
+        .unwrap();
         let mems: std::collections::BTreeSet<u32> =
             outcomes(&t).iter().map(|o| o.mem[0].0).collect();
         assert_eq!(mems, [1, 2].into_iter().collect());
@@ -194,9 +204,8 @@ mod tests {
 
     #[test]
     fn single_thread_is_deterministic() {
-        let t =
-            parse("test st1\n{ x = 0; }\ncore 0 { st x, 1; r1 = ld x; }\npermit ( 0:r1 = 1 )")
-                .unwrap();
+        let t = parse("test st1\n{ x = 0; }\ncore 0 { st x, 1; r1 = ld x; }\npermit ( 0:r1 = 1 )")
+            .unwrap();
         let all = outcomes(&t);
         assert_eq!(all.len(), 1);
         assert!(observable(&t));

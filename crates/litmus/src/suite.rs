@@ -463,10 +463,9 @@ pub fn all() -> Vec<LitmusTest> {
 
 /// Parses and returns the named suite test, if it exists.
 pub fn get(name: &str) -> Option<LitmusTest> {
-    SOURCES
-        .iter()
-        .find(|(n, _)| *n == name)
-        .map(|(n, src)| crate::parse(src).unwrap_or_else(|e| panic!("built-in test {n} is invalid: {e}")))
+    SOURCES.iter().find(|(n, _)| *n == name).map(|(n, src)| {
+        crate::parse(src).unwrap_or_else(|e| panic!("built-in test {n} is invalid: {e}"))
+    })
 }
 
 #[cfg(test)]
@@ -536,7 +535,9 @@ mod tests {
                     CondClause::MemEq { loc, val } => (loc, val),
                 };
                 let producible = t.initial_value(loc) == val
-                    || t.stores_to(loc).iter().any(|s| s.store_value() == Some(val));
+                    || t.stores_to(loc)
+                        .iter()
+                        .any(|s| s.store_value() == Some(val));
                 assert!(
                     producible,
                     "test {}: clause {:?} requires value never stored to {:?}",
@@ -552,7 +553,12 @@ mod tests {
     #[test]
     fn no_test_exceeds_four_cores() {
         for t in all() {
-            assert!(t.num_cores() <= 4, "{} uses {} cores", t.name(), t.num_cores());
+            assert!(
+                t.num_cores() <= 4,
+                "{} uses {} cores",
+                t.name(),
+                t.num_cores()
+            );
         }
     }
 

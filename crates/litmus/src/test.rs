@@ -1,7 +1,5 @@
 //! The litmus test data structure.
 
-use serde::{Deserialize, Serialize};
-
 use crate::cond::{CondClause, Condition};
 use crate::error::LitmusError;
 use crate::ids::{CoreId, InstrUid, Loc, Reg, Val};
@@ -11,7 +9,7 @@ use crate::ids::{CoreId, InstrUid, Loc, Reg, Val};
 /// The RTLCheck evaluation targets a load/store ISA subset (plus a `halt`
 /// added by the authors, which is implicit here: every thread halts after its
 /// last instruction).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Op {
     /// `dst = ld loc` — load the current value of `loc` into `dst`.
     Load {
@@ -60,7 +58,7 @@ impl Op {
 
 /// A fully-resolved view of one instruction in a test: its global id, its
 /// placement, and its operation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct InstrRef {
     /// Globally unique id (dense, core-major order).
     pub uid: InstrUid,
@@ -107,7 +105,7 @@ impl InstrRef {
 ///
 /// Construct with [`LitmusTest::new`], which validates structural invariants
 /// (see [`LitmusError`]), or via [`crate::parse`].
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LitmusTest {
     name: String,
     locs: Vec<String>,
@@ -135,7 +133,11 @@ impl LitmusTest {
         threads: Vec<Vec<Op>>,
         cond: Condition,
     ) -> Result<Self, LitmusError> {
-        assert_eq!(locs.len(), init.len(), "locs and init must have equal length");
+        assert_eq!(
+            locs.len(),
+            init.len(),
+            "locs and init must have equal length"
+        );
         if threads.is_empty() {
             return Err(LitmusError::NoThreads);
         }
@@ -155,7 +157,10 @@ impl LitmusTest {
             for op in t {
                 if let Op::Load { dst, .. } = *op {
                     if written.contains(&dst) {
-                        return Err(LitmusError::RegWrittenTwice { core: c, reg: dst.0 });
+                        return Err(LitmusError::RegWrittenTwice {
+                            core: c,
+                            reg: dst.0,
+                        });
                     }
                     written.push(dst);
                 }
@@ -164,16 +169,27 @@ impl LitmusTest {
         // Condition clauses must refer to real cores and loaded registers.
         for clause in cond.clauses() {
             if let CondClause::RegEq { core, reg, .. } = *clause {
-                let thread = threads.get(core.0).ok_or(LitmusError::UnknownCore(core.0))?;
+                let thread = threads
+                    .get(core.0)
+                    .ok_or(LitmusError::UnknownCore(core.0))?;
                 let loaded = thread
                     .iter()
                     .any(|op| matches!(*op, Op::Load { dst, .. } if dst == reg));
                 if !loaded {
-                    return Err(LitmusError::UnknownReg { core: core.0, reg: reg.0 });
+                    return Err(LitmusError::UnknownReg {
+                        core: core.0,
+                        reg: reg.0,
+                    });
                 }
             }
         }
-        Ok(LitmusTest { name: name.into(), locs, init, threads, cond })
+        Ok(LitmusTest {
+            name: name.into(),
+            locs,
+            init,
+            threads,
+            cond,
+        })
     }
 
     /// The test's name (e.g. `"mp"`).
@@ -259,12 +275,16 @@ impl LitmusTest {
 
     /// All stores to `loc`, in (core, program-order) order.
     pub fn stores_to(&self, loc: Loc) -> Vec<InstrRef> {
-        self.instructions().filter(|i| i.is_store() && i.loc() == Some(loc)).collect()
+        self.instructions()
+            .filter(|i| i.is_store() && i.loc() == Some(loc))
+            .collect()
     }
 
     /// All loads from `loc`, in (core, program-order) order.
     pub fn loads_from(&self, loc: Loc) -> Vec<InstrRef> {
-        self.instructions().filter(|i| i.is_load() && i.loc() == Some(loc)).collect()
+        self.instructions()
+            .filter(|i| i.is_load() && i.loc() == Some(loc))
+            .collect()
     }
 }
 
@@ -280,17 +300,37 @@ mod tests {
             vec![Val(0), Val(0)],
             vec![
                 vec![
-                    Op::Store { loc: Loc(0), val: Val(1) },
-                    Op::Store { loc: Loc(1), val: Val(1) },
+                    Op::Store {
+                        loc: Loc(0),
+                        val: Val(1),
+                    },
+                    Op::Store {
+                        loc: Loc(1),
+                        val: Val(1),
+                    },
                 ],
                 vec![
-                    Op::Load { dst: Reg(1), loc: Loc(1) },
-                    Op::Load { dst: Reg(2), loc: Loc(0) },
+                    Op::Load {
+                        dst: Reg(1),
+                        loc: Loc(1),
+                    },
+                    Op::Load {
+                        dst: Reg(2),
+                        loc: Loc(0),
+                    },
                 ],
             ],
             Condition::forbid(vec![
-                CondClause::RegEq { core: CoreId(1), reg: Reg(1), val: Val(1) },
-                CondClause::RegEq { core: CoreId(1), reg: Reg(2), val: Val(0) },
+                CondClause::RegEq {
+                    core: CoreId(1),
+                    reg: Reg(1),
+                    val: Val(1),
+                },
+                CondClause::RegEq {
+                    core: CoreId(1),
+                    reg: Reg(2),
+                    val: Val(0),
+                },
             ]),
         )
         .expect("mp is valid")
@@ -299,8 +339,10 @@ mod tests {
     #[test]
     fn instruction_numbering_is_core_major() {
         let t = mp();
-        let ids: Vec<(usize, usize, usize)> =
-            t.instructions().map(|i| (i.uid.0, i.core.0, i.index)).collect();
+        let ids: Vec<(usize, usize, usize)> = t
+            .instructions()
+            .map(|i| (i.uid.0, i.core.0, i.index))
+            .collect();
         assert_eq!(ids, vec![(0, 0, 0), (1, 0, 1), (2, 1, 0), (3, 1, 1)]);
     }
 
@@ -328,8 +370,14 @@ mod tests {
             vec!["x".into()],
             vec![Val(0)],
             vec![vec![
-                Op::Load { dst: Reg(1), loc: Loc(0) },
-                Op::Load { dst: Reg(1), loc: Loc(0) },
+                Op::Load {
+                    dst: Reg(1),
+                    loc: Loc(0),
+                },
+                Op::Load {
+                    dst: Reg(1),
+                    loc: Loc(0),
+                },
             ]],
             Condition::forbid(vec![]),
         )
@@ -343,7 +391,10 @@ mod tests {
             "bad",
             vec!["x".into()],
             vec![Val(0)],
-            vec![vec![Op::Store { loc: Loc(0), val: Val(1) }]],
+            vec![vec![Op::Store {
+                loc: Loc(0),
+                val: Val(1),
+            }]],
             Condition::forbid(vec![CondClause::RegEq {
                 core: CoreId(0),
                 reg: Reg(1),
@@ -373,7 +424,10 @@ mod tests {
             "t",
             vec!["x".into(), "x".into()],
             vec![Val(0), Val(0)],
-            vec![vec![Op::Store { loc: Loc(0), val: Val(1) }]],
+            vec![vec![Op::Store {
+                loc: Loc(0),
+                val: Val(1),
+            }]],
             Condition::forbid(vec![]),
         )
         .unwrap_err();

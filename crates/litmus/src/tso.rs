@@ -15,8 +15,8 @@ use std::collections::{BTreeMap, HashSet, VecDeque};
 
 use crate::cond::CondKind;
 use crate::ids::{CoreId, Loc, Reg, Val};
-use crate::test::{LitmusTest, Op};
 use crate::sc::ScOutcome;
+use crate::test::{LitmusTest, Op};
 
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct State {
@@ -35,7 +35,9 @@ pub fn outcomes(test: &LitmusTest) -> Vec<ScOutcome> {
     let threads = test.threads();
     let start = State {
         pc: vec![0; threads.len()],
-        mem: (0..test.num_locations()).map(|l| test.initial_value(Loc(l))).collect(),
+        mem: (0..test.num_locations())
+            .map(|l| test.initial_value(Loc(l)))
+            .collect(),
         buffers: vec![VecDeque::new(); threads.len()],
         regs: BTreeMap::new(),
     };
@@ -78,7 +80,8 @@ pub fn outcomes(test: &LitmusTest) -> Vec<ScOutcome> {
                         .rev()
                         .find(|(l, _)| *l == loc)
                         .map(|&(_, v)| v);
-                    next.regs.insert((c, dst.0), forwarded.unwrap_or(state.mem[loc.0]));
+                    next.regs
+                        .insert((c, dst.0), forwarded.unwrap_or(state.mem[loc.0]));
                 }
             }
             stack.push(next);
@@ -128,13 +131,19 @@ mod tests {
     fn sb_outcome_is_tso_observable_but_sc_forbidden() {
         let sb = suite::get("sb").unwrap();
         assert!(!sc::observable(&sb));
-        assert!(observable(&sb), "store buffering is TSO's defining relaxation");
+        assert!(
+            observable(&sb),
+            "store buffering is TSO's defining relaxation"
+        );
     }
 
     #[test]
     fn mp_stays_forbidden_under_tso() {
         let mp = suite::get("mp").unwrap();
-        assert!(!observable(&mp), "TSO preserves store→store and load→load order");
+        assert!(
+            !observable(&mp),
+            "TSO preserves store→store and load→load order"
+        );
     }
 
     #[test]
@@ -151,7 +160,10 @@ mod tests {
         // forwarding, then reads the other location before the other
         // thread's store drains.
         let amd3 = suite::get("amd3").unwrap();
-        assert!(observable(&amd3), "forwarding + buffering makes amd3 observable");
+        assert!(
+            observable(&amd3),
+            "forwarding + buffering makes amd3 observable"
+        );
     }
 
     #[test]
@@ -177,14 +189,23 @@ mod tests {
         // The only TSO (and SC) value for r1 is 2: the youngest store wins.
         let vals: std::collections::BTreeSet<u32> = outcomes(&t)
             .iter()
-            .map(|o| o.regs.iter().find(|((c, r), _)| *c == 0 && *r == 1).unwrap().1 .0)
+            .map(|o| {
+                o.regs
+                    .iter()
+                    .find(|((c, r), _)| *c == 0 && *r == 1)
+                    .unwrap()
+                    .1
+                     .0
+            })
             .collect();
         assert_eq!(vals, [2u32].into_iter().collect());
     }
 
     #[test]
     fn final_memory_reflects_drained_buffers() {
-        let t = parse("test d\n{ x = 0; }\ncore 0 { st x, 1; }\ncore 1 { st x, 2; }\npermit ( x = 1 )").unwrap();
+        let t =
+            parse("test d\n{ x = 0; }\ncore 0 { st x, 1; }\ncore 1 { st x, 2; }\npermit ( x = 1 )")
+                .unwrap();
         let mems: std::collections::BTreeSet<u32> =
             outcomes(&t).iter().map(|o| o.mem[0].0).collect();
         assert_eq!(mems, [1u32, 2].into_iter().collect());
@@ -200,7 +221,9 @@ mod tests {
             .filter(|t| observable(t))
             .map(|t| t.name().to_string())
             .collect();
-        for expected in ["sb", "iwp23b", "podwr000", "podwr001", "amd3", "n1", "rwc", "n6"] {
+        for expected in [
+            "sb", "iwp23b", "podwr000", "podwr001", "amd3", "n1", "rwc", "n6",
+        ] {
             assert!(
                 observable_tests.iter().any(|n| n == expected),
                 "{expected} should be TSO-observable: {observable_tests:?}"

@@ -2,7 +2,9 @@
 //! the SC oracle.
 
 use proptest::prelude::*;
-use rtlcheck_litmus::{parse, sc, CondClause, CondKind, Condition, CoreId, LitmusTest, Loc, Op, Reg, Val};
+use rtlcheck_litmus::{
+    parse, sc, CondClause, CondKind, Condition, CoreId, LitmusTest, Loc, Op, Reg, Val,
+};
 
 /// Generates a structurally valid litmus test: 1–4 threads of 1–3
 /// operations over up to 3 locations, with every load's register pinned by
@@ -14,8 +16,12 @@ fn arb_test() -> impl Strategy<Value = LitmusTest> {
         1 => Just(Op::Fence),
     ];
     let thread = proptest::collection::vec(op, 1..4);
-    (proptest::collection::vec(thread, 1..5), any::<bool>(), 0u32..4).prop_map(
-        |(mut threads, forbid, pin_choice)| {
+    (
+        proptest::collection::vec(thread, 1..5),
+        any::<bool>(),
+        0u32..4,
+    )
+        .prop_map(|(mut threads, forbid, pin_choice)| {
             // Renumber load destination registers densely per thread.
             let mut clauses = Vec::new();
             for (c, ops) in threads.iter_mut().enumerate() {
@@ -28,12 +34,20 @@ fn arb_test() -> impl Strategy<Value = LitmusTest> {
                         // one of the small store values.
                         let val = Val(pin_choice % 4);
                         let _ = loc;
-                        clauses.push(CondClause::RegEq { core: CoreId(c), reg: *dst, val });
+                        clauses.push(CondClause::RegEq {
+                            core: CoreId(c),
+                            reg: *dst,
+                            val,
+                        });
                     }
                 }
             }
             let cond = Condition::new(
-                if forbid { CondKind::Forbidden } else { CondKind::Permitted },
+                if forbid {
+                    CondKind::Forbidden
+                } else {
+                    CondKind::Permitted
+                },
                 clauses,
             );
             LitmusTest::new(
@@ -44,8 +58,7 @@ fn arb_test() -> impl Strategy<Value = LitmusTest> {
                 cond,
             )
             .expect("construction is valid by generation")
-        },
-    )
+        })
 }
 
 proptest! {

@@ -1,0 +1,189 @@
+//! The streaming JSONL collector behind `--events out.jsonl`.
+
+use std::io::Write;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::json::Json;
+use crate::{Attrs, Collector, SpanId};
+
+/// Streams every span, counter, and event as one JSON object per line.
+///
+/// Line schema (all lines carry `type` and a relative timestamp `t_us`,
+/// microseconds since the collector was created):
+///
+/// ```text
+/// {"type":"span_enter","id":1,"name":"check_test","t_us":12,"attrs":{...}}
+/// {"type":"span_exit","id":1,"name":"check_test","t_us":980,"dur_us":968,"attrs":{...}}
+/// {"type":"counter","name":"property.states","value":33,"t_us":400,"attrs":{...}}
+/// {"type":"event","name":"verdict.proven","t_us":400,"attrs":{...}}
+/// ```
+///
+/// Write failures are sticky: after the first I/O error the collector goes
+/// silent and the error is reported by [`JsonlCollector::finish`].
+pub struct JsonlCollector<W: Write> {
+    inner: Mutex<Inner<W>>,
+    epoch: Instant,
+}
+
+struct Inner<W: Write> {
+    out: W,
+    error: Option<std::io::Error>,
+}
+
+impl<W: Write> JsonlCollector<W> {
+    /// Wraps a writer (callers wanting buffering pass a `BufWriter`).
+    pub fn new(out: W) -> Self {
+        JsonlCollector {
+            inner: Mutex::new(Inner { out, error: None }),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Flushes and returns the writer, or the first write error if one
+    /// occurred at any point of the run.
+    pub fn finish(self) -> std::io::Result<W> {
+        let mut inner = self.inner.into_inner().unwrap_or_else(|e| e.into_inner());
+        if let Some(e) = inner.error.take() {
+            return Err(e);
+        }
+        inner.out.flush()?;
+        Ok(inner.out)
+    }
+
+    fn t_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    fn emit(&self, mut fields: Vec<(&'static str, Json)>, attrs: Attrs) {
+        fields.push((
+            "attrs",
+            Json::Obj(
+                attrs
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), v.to_json()))
+                    .collect(),
+            ),
+        ));
+        let line = Json::obj(fields).render();
+        let mut inner = match self.inner.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if inner.error.is_none() {
+            if let Err(e) = writeln!(inner.out, "{line}") {
+                inner.error = Some(e);
+            }
+        }
+    }
+}
+
+impl<W: Write> Collector for JsonlCollector<W> {
+    fn span_enter(&self, id: SpanId, name: &str, attrs: Attrs) {
+        self.emit(
+            vec![
+                ("type", Json::Str("span_enter".into())),
+                ("id", Json::Num(id.0 as f64)),
+                ("name", Json::Str(name.into())),
+                ("t_us", Json::Num(self.t_us() as f64)),
+            ],
+            attrs,
+        );
+    }
+
+    fn span_exit(&self, id: SpanId, name: &str, elapsed: Duration, attrs: Attrs) {
+        self.emit(
+            vec![
+                ("type", Json::Str("span_exit".into())),
+                ("id", Json::Num(id.0 as f64)),
+                ("name", Json::Str(name.into())),
+                ("t_us", Json::Num(self.t_us() as f64)),
+                ("dur_us", Json::Num(elapsed.as_micros() as f64)),
+            ],
+            attrs,
+        );
+    }
+
+    fn counter(&self, name: &str, value: u64, attrs: Attrs) {
+        self.emit(
+            vec![
+                ("type", Json::Str("counter".into())),
+                ("name", Json::Str(name.into())),
+                ("value", Json::Num(value as f64)),
+                ("t_us", Json::Num(self.t_us() as f64)),
+            ],
+            attrs,
+        );
+    }
+
+    fn event(&self, name: &str, attrs: Attrs) {
+        self.emit(
+            vec![
+                ("type", Json::Str("event".into())),
+                ("name", Json::Str(name.into())),
+                ("t_us", Json::Num(self.t_us() as f64)),
+            ],
+            attrs,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{attrs, span};
+
+    #[test]
+    fn lines_are_valid_json_and_spans_balance() {
+        let collector = JsonlCollector::new(Vec::new());
+        {
+            let _outer = span(&collector, "outer", attrs!["test" => "mp"]);
+            collector.counter("property.states", 12, attrs![]);
+            collector.event("verdict.proven", attrs!["property" => "A[1]"]);
+            let _inner = span(&collector, "inner", attrs![]);
+        }
+        let bytes = collector.finish().unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        let mut open = Vec::new();
+        let mut lines = 0;
+        for line in text.lines() {
+            lines += 1;
+            let v = Json::parse(line).unwrap_or_else(|e| panic!("{e}: {line}"));
+            match v.get("type").and_then(Json::as_str).unwrap() {
+                "span_enter" => open.push(v.get("id").and_then(Json::as_u64).unwrap()),
+                "span_exit" => {
+                    let id = v.get("id").and_then(Json::as_u64).unwrap();
+                    assert_eq!(open.pop(), Some(id), "spans nest");
+                    assert!(v.get("dur_us").and_then(Json::as_u64).is_some());
+                }
+                "counter" => {
+                    assert_eq!(v.get("value").and_then(Json::as_u64), Some(12));
+                }
+                "event" => {
+                    let attrs = v.get("attrs").unwrap();
+                    assert_eq!(attrs.get("property").and_then(Json::as_str), Some("A[1]"));
+                }
+                other => panic!("unknown line type {other}"),
+            }
+        }
+        assert_eq!(lines, 6);
+        assert!(open.is_empty(), "unbalanced spans: {open:?}");
+    }
+
+    #[test]
+    fn write_errors_surface_in_finish() {
+        struct Failing;
+        impl Write for Failing {
+            fn write(&mut self, _buf: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("disk full"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let collector = JsonlCollector::new(Failing);
+        collector.event("e", attrs![]);
+        collector.event("e2", attrs![]);
+        assert!(collector.finish().is_err());
+    }
+}

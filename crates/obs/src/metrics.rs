@@ -1,0 +1,743 @@
+//! In-memory aggregation: per-phase histograms, counter totals, event
+//! counts, and the slowest spans — the data behind `--metrics out.json` and
+//! `rtlcheck profile`.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+use std::time::Duration;
+
+use crate::json::Json;
+use crate::{Attrs, Collector, SpanId};
+
+/// Number of log₂ microsecond buckets (covers up to ~2¹⁹ seconds).
+const BUCKETS: usize = 40;
+
+/// A log₂-bucketed duration histogram (microsecond resolution).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    count: u64,
+    sum_us: u64,
+    min_us: u64,
+    max_us: u64,
+    buckets: [u64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: 0,
+            sum_us: 0,
+            min_us: u64::MAX,
+            max_us: 0,
+            buckets: [0; BUCKETS],
+        }
+    }
+}
+
+fn bucket_of(us: u64) -> usize {
+    ((64 - us.leading_zeros()) as usize).min(BUCKETS - 1)
+}
+
+impl Histogram {
+    /// Records one duration (in microseconds).
+    pub fn record(&mut self, us: u64) {
+        self.count += 1;
+        self.sum_us += us;
+        self.min_us = self.min_us.min(us);
+        self.max_us = self.max_us.max(us);
+        self.buckets[bucket_of(us)] += 1;
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum_us += other.sum_us;
+        self.min_us = self.min_us.min(other.min_us);
+        self.max_us = self.max_us.max(other.max_us);
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += *o;
+        }
+    }
+
+    /// Number of recorded durations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded durations, in microseconds.
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us
+    }
+
+    /// Smallest recorded duration (0 when empty).
+    pub fn min_us(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min_us
+        }
+    }
+
+    /// Largest recorded duration.
+    pub fn max_us(&self) -> u64 {
+        self.max_us
+    }
+
+    /// Mean duration in microseconds (0 when empty).
+    pub fn mean_us(&self) -> u64 {
+        self.sum_us.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Approximate quantile from the log₂ buckets: the upper edge of the
+    /// bucket containing the `q`-th sample. Exact to within a factor of 2.
+    pub fn approx_quantile_us(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                // Bucket i holds durations in [2^(i-1), 2^i).
+                return (1u64 << i).min(self.max_us).max(self.min_us());
+            }
+        }
+        self.max_us
+    }
+
+    fn to_json(&self) -> Json {
+        // Buckets serialize sparsely as [index, count] pairs.
+        let buckets: Vec<Json> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| Json::Arr(vec![Json::Num(i as f64), Json::Num(n as f64)]))
+            .collect();
+        Json::obj(vec![
+            ("count", Json::Num(self.count as f64)),
+            ("sum_us", Json::Num(self.sum_us as f64)),
+            ("min_us", Json::Num(self.min_us() as f64)),
+            ("max_us", Json::Num(self.max_us as f64)),
+            ("buckets", Json::Arr(buckets)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Histogram, SummaryError> {
+        let mut h = Histogram {
+            count: field_u64(v, "count")?,
+            sum_us: field_u64(v, "sum_us")?,
+            min_us: field_u64(v, "min_us")?,
+            max_us: field_u64(v, "max_us")?,
+            buckets: [0; BUCKETS],
+        };
+        if h.count == 0 {
+            h.min_us = u64::MAX;
+        }
+        for pair in v
+            .get("buckets")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| bad("buckets"))?
+        {
+            let pair = pair
+                .as_arr()
+                .filter(|p| p.len() == 2)
+                .ok_or_else(|| bad("bucket pair"))?;
+            let idx = pair[0].as_u64().ok_or_else(|| bad("bucket index"))? as usize;
+            if idx >= BUCKETS {
+                return Err(bad("bucket index out of range"));
+            }
+            h.buckets[idx] = pair[1].as_u64().ok_or_else(|| bad("bucket count"))?;
+        }
+        Ok(h)
+    }
+}
+
+/// Aggregate of one counter name.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CounterSummary {
+    /// Number of observations.
+    pub samples: u64,
+    /// Sum of all observed values.
+    pub total: u64,
+    /// Largest single observation.
+    pub max: u64,
+}
+
+/// One entry of the slowest-span table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlowSpan {
+    /// Span name (e.g. `property`).
+    pub span: String,
+    /// Human label built from the span's attributes (`k=v` pairs).
+    pub label: String,
+    /// Duration in microseconds.
+    pub dur_us: u64,
+}
+
+/// Per-span-name duration summary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanSummary {
+    /// Span name.
+    pub name: String,
+    /// Duration histogram over all instances of the span.
+    pub hist: Histogram,
+}
+
+#[derive(Debug, Default)]
+struct MetricsInner {
+    spans: BTreeMap<String, Histogram>,
+    counters: BTreeMap<String, CounterSummary>,
+    events: BTreeMap<String, u64>,
+    /// Per span name, sorted by descending duration, truncated to `top_k`.
+    slowest: BTreeMap<String, Vec<SlowSpan>>,
+}
+
+/// Aggregating collector; snapshot with [`MetricsCollector::summary`].
+pub struct MetricsCollector {
+    inner: Mutex<MetricsInner>,
+    top_k: usize,
+}
+
+impl Default for MetricsCollector {
+    fn default() -> Self {
+        MetricsCollector::new()
+    }
+}
+
+impl MetricsCollector {
+    /// An empty collector keeping the 10 slowest instances per span name.
+    pub fn new() -> Self {
+        MetricsCollector {
+            inner: Mutex::new(MetricsInner::default()),
+            top_k: 10,
+        }
+    }
+
+    /// Overrides how many slowest instances are kept per span name.
+    pub fn with_top_k(mut self, k: usize) -> Self {
+        self.top_k = k;
+        self
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, MetricsInner> {
+        match self.inner.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Snapshots the aggregates.
+    pub fn summary(&self) -> MetricsSummary {
+        let inner = self.lock();
+        let mut slowest: Vec<SlowSpan> = inner.slowest.values().flatten().cloned().collect();
+        slowest.sort_by(|a, b| b.dur_us.cmp(&a.dur_us).then_with(|| a.label.cmp(&b.label)));
+        MetricsSummary {
+            spans: inner
+                .spans
+                .iter()
+                .map(|(name, hist)| SpanSummary {
+                    name: name.clone(),
+                    hist: hist.clone(),
+                })
+                .collect(),
+            counters: inner
+                .counters
+                .iter()
+                .map(|(n, c)| (n.clone(), *c))
+                .collect(),
+            events: inner.events.iter().map(|(n, c)| (n.clone(), *c)).collect(),
+            slowest,
+        }
+    }
+}
+
+impl Collector for MetricsCollector {
+    fn span_exit(&self, _id: SpanId, name: &str, elapsed: Duration, attrs: Attrs) {
+        let us = elapsed.as_micros() as u64;
+        let label: String = attrs
+            .iter()
+            .map(|(k, v)| format!("{k}={}", v.display()))
+            .collect::<Vec<_>>()
+            .join(" ");
+        let top_k = self.top_k;
+        let mut inner = self.lock();
+        inner.spans.entry(name.to_string()).or_default().record(us);
+        let slow = inner.slowest.entry(name.to_string()).or_default();
+        slow.push(SlowSpan {
+            span: name.to_string(),
+            label,
+            dur_us: us,
+        });
+        slow.sort_by_key(|s| std::cmp::Reverse(s.dur_us));
+        slow.truncate(top_k);
+    }
+
+    fn counter(&self, name: &str, value: u64, _attrs: Attrs) {
+        let mut inner = self.lock();
+        let c = inner.counters.entry(name.to_string()).or_default();
+        c.samples += 1;
+        c.total += value;
+        c.max = c.max.max(value);
+    }
+
+    fn event(&self, name: &str, _attrs: Attrs) {
+        *self.lock().events.entry(name.to_string()).or_default() += 1;
+    }
+}
+
+/// A self-contained snapshot of a run's aggregated metrics.
+///
+/// Serializes to the `--metrics out.json` document and renders the
+/// human-readable `rtlcheck profile` view.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSummary {
+    /// Per-span-name duration histograms, sorted by name.
+    pub spans: Vec<SpanSummary>,
+    /// Counter aggregates, sorted by name.
+    pub counters: Vec<(String, CounterSummary)>,
+    /// Event counts, sorted by name.
+    pub events: Vec<(String, u64)>,
+    /// Slowest span instances across all names, sorted by descending
+    /// duration.
+    pub slowest: Vec<SlowSpan>,
+}
+
+/// Failure to interpret a metrics JSON document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SummaryError {
+    /// What was wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for SummaryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid metrics document: {}", self.message)
+    }
+}
+
+impl std::error::Error for SummaryError {}
+
+fn bad(what: &str) -> SummaryError {
+    SummaryError {
+        message: format!("missing or malformed `{what}`"),
+    }
+}
+
+fn field_u64(v: &Json, key: &str) -> Result<u64, SummaryError> {
+    v.get(key).and_then(Json::as_u64).ok_or_else(|| bad(key))
+}
+
+fn field_str<'a>(v: &'a Json, key: &str) -> Result<&'a str, SummaryError> {
+    v.get(key).and_then(Json::as_str).ok_or_else(|| bad(key))
+}
+
+impl MetricsSummary {
+    /// Serializes to the `--metrics` JSON document.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("schema", Json::Str("rtlcheck-metrics/1".into())),
+            (
+                "spans",
+                Json::Arr(
+                    self.spans
+                        .iter()
+                        .map(|s| {
+                            Json::obj(vec![
+                                ("name", Json::Str(s.name.clone())),
+                                ("hist", s.hist.to_json()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "counters",
+                Json::Arr(
+                    self.counters
+                        .iter()
+                        .map(|(name, c)| {
+                            Json::obj(vec![
+                                ("name", Json::Str(name.clone())),
+                                ("samples", Json::Num(c.samples as f64)),
+                                ("total", Json::Num(c.total as f64)),
+                                ("max", Json::Num(c.max as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "events",
+                Json::Arr(
+                    self.events
+                        .iter()
+                        .map(|(name, count)| {
+                            Json::obj(vec![
+                                ("name", Json::Str(name.clone())),
+                                ("count", Json::Num(*count as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "slowest",
+                Json::Arr(
+                    self.slowest
+                        .iter()
+                        .map(|s| {
+                            Json::obj(vec![
+                                ("span", Json::Str(s.span.clone())),
+                                ("label", Json::Str(s.label.clone())),
+                                ("dur_us", Json::Num(s.dur_us as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Deserializes a `--metrics` document.
+    pub fn from_json(v: &Json) -> Result<MetricsSummary, SummaryError> {
+        match v.get("schema").and_then(Json::as_str) {
+            Some("rtlcheck-metrics/1") => {}
+            Some(other) => {
+                return Err(SummaryError {
+                    message: format!("unknown schema `{other}`"),
+                })
+            }
+            None => return Err(bad("schema")),
+        }
+        let arr = |key: &str| v.get(key).and_then(Json::as_arr).ok_or_else(|| bad(key));
+        let mut summary = MetricsSummary {
+            spans: Vec::new(),
+            counters: Vec::new(),
+            events: Vec::new(),
+            slowest: Vec::new(),
+        };
+        for s in arr("spans")? {
+            summary.spans.push(SpanSummary {
+                name: field_str(s, "name")?.to_string(),
+                hist: Histogram::from_json(s.get("hist").ok_or_else(|| bad("hist"))?)?,
+            });
+        }
+        for c in arr("counters")? {
+            summary.counters.push((
+                field_str(c, "name")?.to_string(),
+                CounterSummary {
+                    samples: field_u64(c, "samples")?,
+                    total: field_u64(c, "total")?,
+                    max: field_u64(c, "max")?,
+                },
+            ));
+        }
+        for e in arr("events")? {
+            summary
+                .events
+                .push((field_str(e, "name")?.to_string(), field_u64(e, "count")?));
+        }
+        for s in arr("slowest")? {
+            summary.slowest.push(SlowSpan {
+                span: field_str(s, "span")?.to_string(),
+                label: field_str(s, "label")?.to_string(),
+                dur_us: field_u64(s, "dur_us")?,
+            });
+        }
+        Ok(summary)
+    }
+
+    /// Parses a serialized `--metrics` document.
+    pub fn parse(src: &str) -> Result<MetricsSummary, SummaryError> {
+        let v = Json::parse(src).map_err(|e| SummaryError {
+            message: e.to_string(),
+        })?;
+        MetricsSummary::from_json(&v)
+    }
+
+    /// Count of one event name (0 when absent).
+    pub fn event_count(&self, name: &str) -> u64 {
+        self.events
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, c)| *c)
+    }
+
+    /// Aggregate of one counter name, if present.
+    pub fn counter(&self, name: &str) -> Option<CounterSummary> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, c)| *c)
+    }
+
+    /// The human-readable profile view (`rtlcheck profile`).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "RTLCheck verification profile");
+        let _ = writeln!(out, "=============================");
+
+        if !self.spans.is_empty() {
+            let _ = writeln!(out, "\nPhases (wall-clock):");
+            let width = self
+                .spans
+                .iter()
+                .map(|s| s.name.len())
+                .max()
+                .unwrap_or(0)
+                .max(5);
+            let _ = writeln!(
+                out,
+                "  {:width$}  {:>7}  {:>10}  {:>10}  {:>10}",
+                "phase", "count", "total", "mean", "max"
+            );
+            for s in &self.spans {
+                let _ = writeln!(
+                    out,
+                    "  {:width$}  {:>7}  {:>10}  {:>10}  {:>10}",
+                    s.name,
+                    s.hist.count(),
+                    fmt_us(s.hist.sum_us()),
+                    fmt_us(s.hist.mean_us()),
+                    fmt_us(s.hist.max_us()),
+                );
+            }
+        }
+
+        let proven = self.event_count("verdict.proven");
+        let bounded = self.event_count("verdict.bounded");
+        let falsified = self.event_count("verdict.falsified");
+        if proven + bounded + falsified > 0 {
+            let _ = writeln!(
+                out,
+                "\nProperty verdicts: {proven} proven, {bounded} bounded, {falsified} falsified"
+            );
+        }
+        let unreachable = self.event_count("cover.unreachable");
+        let covered = self.event_count("cover.covered");
+        let unknown = self.event_count("cover.unknown");
+        if unreachable + covered + unknown > 0 {
+            let _ = writeln!(
+                out,
+                "Cover phase: {unreachable} unreachable (verified by assumptions), \
+                 {covered} covered, {unknown} inconclusive"
+            );
+        }
+
+        let slow_props: Vec<&SlowSpan> = self
+            .slowest
+            .iter()
+            .filter(|s| s.span == "property")
+            .collect();
+        if !slow_props.is_empty() {
+            let _ = writeln!(out, "\nSlowest properties:");
+            for s in &slow_props {
+                let _ = writeln!(out, "  {:>10}  {}", fmt_us(s.dur_us), s.label);
+            }
+        }
+
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "\nCounters:");
+            let width = self
+                .counters
+                .iter()
+                .map(|(n, _)| n.len())
+                .max()
+                .unwrap_or(0)
+                .max(4);
+            let _ = writeln!(
+                out,
+                "  {:width$}  {:>12}  {:>12}  {:>8}",
+                "name", "total", "max", "samples"
+            );
+            for (name, c) in &self.counters {
+                let _ = writeln!(
+                    out,
+                    "  {:width$}  {:>12}  {:>12}  {:>8}",
+                    name, c.total, c.max, c.samples
+                );
+            }
+        }
+
+        let mut diagnostics = Vec::new();
+        for kind in ["bounded", "full", "cover"] {
+            let (states, budget) = (
+                self.counter(&format!("engine.{kind}.states")),
+                self.counter(&format!("engine.{kind}.budget_states")),
+            );
+            if let (Some(states), Some(budget)) = (states, budget) {
+                if budget.total > 0 {
+                    diagnostics.push(format!(
+                        "engine `{kind}` state-budget utilization: {:.0}% ({} of {} states over {} runs)",
+                        100.0 * states.total as f64 / budget.total as f64,
+                        states.total,
+                        budget.total,
+                        states.samples,
+                    ));
+                }
+            }
+        }
+        let vacuous = self.event_count("vacuous_proof");
+        if vacuous > 0 {
+            diagnostics.push(format!(
+                "WARNING: {vacuous} vacuous proof(s) — conflicting assumptions admit no execution"
+            ));
+        }
+        let exhausted = self.event_count("budget_exhausted");
+        if exhausted > 0 {
+            diagnostics.push(format!(
+                "{exhausted} engine run(s) exhausted their budget before a full proof"
+            ));
+        }
+        if !diagnostics.is_empty() {
+            let _ = writeln!(out, "\nDiagnostics:");
+            for d in &diagnostics {
+                let _ = writeln!(out, "  {d}");
+            }
+        }
+        out
+    }
+}
+
+/// Formats a microsecond duration with an adaptive unit.
+pub fn fmt_us(us: u64) -> String {
+    match us {
+        0..=999 => format!("{us} µs"),
+        1_000..=999_999 => format!("{:.1} ms", us as f64 / 1e3),
+        _ => format!("{:.2} s", us as f64 / 1e6),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs;
+
+    #[test]
+    fn histogram_records_and_merges() {
+        let mut a = Histogram::default();
+        a.record(10);
+        a.record(100);
+        let mut b = Histogram::default();
+        b.record(1);
+        b.record(1_000_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.sum_us(), 1_000_111);
+        assert_eq!(a.min_us(), 1);
+        assert_eq!(a.max_us(), 1_000_000);
+        assert_eq!(a.mean_us(), 250_027);
+        assert_eq!(a.buckets.iter().sum::<u64>(), 4);
+    }
+
+    #[test]
+    fn empty_histogram_is_sane() {
+        let h = Histogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min_us(), 0);
+        assert_eq!(h.mean_us(), 0);
+        assert_eq!(h.approx_quantile_us(0.5), 0);
+    }
+
+    #[test]
+    fn quantiles_are_within_a_factor_of_two() {
+        let mut h = Histogram::default();
+        for _ in 0..90 {
+            h.record(100);
+        }
+        for _ in 0..10 {
+            h.record(10_000);
+        }
+        let p50 = h.approx_quantile_us(0.5);
+        assert!((64..=256).contains(&p50), "{p50}");
+        let p99 = h.approx_quantile_us(0.99);
+        assert!((8_192..=16_384).contains(&p99), "{p99}");
+    }
+
+    #[test]
+    fn collector_aggregates_spans_counters_events() {
+        let m = MetricsCollector::new().with_top_k(2);
+        for (i, us) in [300u64, 100, 200, 400].iter().enumerate() {
+            m.span_exit(
+                SpanId(i as u64),
+                "property",
+                Duration::from_micros(*us),
+                attrs!["property" => format!("P[{i}]")],
+            );
+        }
+        m.counter("property.states", 5, attrs![]);
+        m.counter("property.states", 7, attrs![]);
+        m.event("verdict.proven", attrs![]);
+        m.event("verdict.proven", attrs![]);
+        m.event("verdict.bounded", attrs![]);
+
+        let s = m.summary();
+        assert_eq!(s.spans.len(), 1);
+        assert_eq!(s.spans[0].hist.count(), 4);
+        // Top-K ordering: only the 2 slowest survive, in descending order.
+        assert_eq!(s.slowest.len(), 2);
+        assert_eq!(s.slowest[0].dur_us, 400);
+        assert_eq!(s.slowest[1].dur_us, 300);
+        assert_eq!(s.slowest[0].label, "property=P[3]");
+        let c = s.counter("property.states").unwrap();
+        assert_eq!((c.samples, c.total, c.max), (2, 12, 7));
+        assert_eq!(s.event_count("verdict.proven"), 2);
+        assert_eq!(s.event_count("missing"), 0);
+    }
+
+    #[test]
+    fn summary_json_roundtrip() {
+        let m = MetricsCollector::new();
+        m.span_exit(
+            SpanId(1),
+            "cover_search",
+            Duration::from_micros(42),
+            attrs!["test" => "mp"],
+        );
+        m.counter("cover.states", 9, attrs![]);
+        m.event("cover.unreachable", attrs![]);
+        let summary = m.summary();
+        let text = summary.to_json().pretty();
+        let back = MetricsSummary::parse(&text).unwrap();
+        assert_eq!(back, summary);
+    }
+
+    #[test]
+    fn from_json_rejects_other_schemas() {
+        assert!(MetricsSummary::parse(r#"{"schema":"other/9"}"#).is_err());
+        assert!(MetricsSummary::parse(r#"{}"#).is_err());
+        assert!(MetricsSummary::parse("not json").is_err());
+    }
+
+    #[test]
+    fn render_mentions_verdicts_and_diagnostics() {
+        let m = MetricsCollector::new();
+        m.span_exit(
+            SpanId(1),
+            "property",
+            Duration::from_millis(2),
+            attrs!["property" => "A[1]"],
+        );
+        m.event("verdict.proven", attrs![]);
+        m.event("vacuous_proof", attrs![]);
+        m.event("budget_exhausted", attrs![]);
+        m.counter("engine.full.states", 90, attrs![]);
+        m.counter("engine.full.budget_states", 100, attrs![]);
+        let text = m.summary().render();
+        assert!(text.contains("1 proven"), "{text}");
+        assert!(text.contains("vacuous proof"), "{text}");
+        assert!(text.contains("exhausted"), "{text}");
+        assert!(text.contains("90%"), "{text}");
+        assert!(text.contains("A[1]"), "{text}");
+    }
+
+    #[test]
+    fn fmt_us_units() {
+        assert_eq!(fmt_us(7), "7 µs");
+        assert_eq!(fmt_us(1_500), "1.5 ms");
+        assert_eq!(fmt_us(2_500_000), "2.50 s");
+    }
+}

@@ -80,7 +80,11 @@ impl DesignBuilder {
         self.add_signal(
             name.into(),
             width,
-            SignalKind::Reg { index, init, next: ExprId(usize::MAX) },
+            SignalKind::Reg {
+                index,
+                init,
+                next: ExprId(usize::MAX),
+            },
         )
     }
 
@@ -111,7 +115,9 @@ impl DesignBuilder {
         match self.exprs[e.0] {
             Expr::Const { width, .. } => width,
             Expr::Sig(s) => self.signals[s.0].width,
-            Expr::Unary { op: UnOp::OrReduce, .. } => 1,
+            Expr::Unary {
+                op: UnOp::OrReduce, ..
+            } => 1,
             Expr::Unary { op: UnOp::Not, arg } => self.width_of(arg),
             Expr::Binary { op, lhs, .. } => {
                 if op.is_comparison() {
@@ -147,12 +153,18 @@ impl DesignBuilder {
 
     /// Bitwise complement of an expression.
     pub fn not_e(&mut self, e: ExprId) -> ExprId {
-        self.push_expr(Expr::Unary { op: UnOp::Not, arg: e })
+        self.push_expr(Expr::Unary {
+            op: UnOp::Not,
+            arg: e,
+        })
     }
 
     /// 1-bit "is nonzero" reduction.
     pub fn or_reduce(&mut self, e: ExprId) -> ExprId {
-        self.push_expr(Expr::Unary { op: UnOp::OrReduce, arg: e })
+        self.push_expr(Expr::Unary {
+            op: UnOp::OrReduce,
+            arg: e,
+        })
     }
 
     fn bin(&mut self, op: BinOp, lhs: ExprId, rhs: ExprId) -> ExprId {
@@ -220,7 +232,15 @@ impl DesignBuilder {
     /// errors, unassigned registers, width mismatches, or combinational
     /// loops.
     pub fn build(self) -> Result<Design, DesignError> {
-        let DesignBuilder { name, signals, exprs, by_name, num_inputs, num_regs, errors } = self;
+        let DesignBuilder {
+            name,
+            signals,
+            exprs,
+            by_name,
+            num_inputs,
+            num_regs,
+            errors,
+        } = self;
         if let Some(e) = errors.into_iter().next() {
             return Err(e);
         }

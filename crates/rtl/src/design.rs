@@ -132,7 +132,10 @@ impl Design {
 
     /// All signals.
     pub fn signals(&self) -> impl Iterator<Item = (SignalId, &Signal)> {
-        self.signals.iter().enumerate().map(|(i, s)| (SignalId(i), s))
+        self.signals
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (SignalId(i), s))
     }
 
     /// Looks up a signal.

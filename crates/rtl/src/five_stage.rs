@@ -104,8 +104,9 @@ impl FiveStage {
         let first = b.reg("first", 1, Some(1));
         let z1 = b.lit(0, 1);
         b.set_next(first, z1);
-        let mem: Vec<SignalId> =
-            (0..num_words).map(|w| b.reg(format!("mem_{w}"), DATA_WIDTH, None)).collect();
+        let mem: Vec<SignalId> = (0..num_words)
+            .map(|w| b.reg(format!("mem_{w}"), DATA_WIDTH, None))
+            .collect();
 
         struct Regs {
             pc_if: SignalId,
@@ -175,7 +176,11 @@ impl FiveStage {
                 addr_if = b.mux(here, a, addr_if);
                 data_if = b.mux(here, d, data_if);
             }
-            decodes.push(Decode { kind_if, addr_if, data_if });
+            decodes.push(Decode {
+                kind_if,
+                addr_if,
+                data_if,
+            });
         }
 
         // Per-core stall wires (needed before the memory update).
@@ -315,7 +320,15 @@ impl FiveStage {
         }
 
         let design = b.build().expect("Multi-Five-Stage IR is well-formed");
-        FiveStage { design, grant, first, mem, imem, cores, programs }
+        FiveStage {
+            design,
+            grant,
+            first,
+            mem,
+            imem,
+            cores,
+            programs,
+        }
     }
 }
 
@@ -360,7 +373,11 @@ mod tests {
         // The first instruction reaches MEM at cycle 3 (IF=0, ID=1, EX=2,
         // MEM=3).
         assert_eq!(store_mem_cycle, Some(3));
-        assert_eq!(load_value, Some(1), "the load sees the just-committed store");
+        assert_eq!(
+            load_value,
+            Some(1),
+            "the load sees the just-committed store"
+        );
         assert_eq!(sim.peek(&s, &[0], fs.cores[0].halted), 1);
         assert_eq!(sim.peek(&s, &[0], fs.mem[0]), 1);
     }
@@ -377,11 +394,19 @@ mod tests {
         for _ in 0..8 {
             s = sim.step(&s, &[3]);
         }
-        assert_eq!(sim.peek(&s, &[3], fs.cores[0].pc_mem), 0, "store stuck in MEM");
+        assert_eq!(
+            sim.peek(&s, &[3], fs.cores[0].pc_mem),
+            0,
+            "store stuck in MEM"
+        );
         assert_eq!(sim.peek(&s, &[3], fs.cores[0].stall), 1);
         let pc_if = sim.peek(&s, &[3], fs.cores[0].pc_if);
         s = sim.step(&s, &[3]);
-        assert_eq!(sim.peek(&s, &[3], fs.cores[0].pc_if), pc_if, "fetch holds too");
+        assert_eq!(
+            sim.peek(&s, &[3], fs.cores[0].pc_if),
+            pc_if,
+            "fetch holds too"
+        );
         // Granting releases it.
         s = sim.step(&s, &[0]);
         assert_ne!(sim.peek(&s, &[0], fs.cores[0].pc_mem), 0);

@@ -46,7 +46,11 @@ pub struct EncInstr {
 
 impl EncInstr {
     /// The halt instruction.
-    pub const HALT: EncInstr = EncInstr { kind: kind::HALT, addr: 0, data: 0 };
+    pub const HALT: EncInstr = EncInstr {
+        kind: kind::HALT,
+        addr: 0,
+        data: 0,
+    };
 
     /// Packs the instruction into a single word:
     /// `kind[42:40] | addr[39:32] | data[31:0]`.
@@ -70,11 +74,21 @@ pub fn encode_thread(ops: &[Op]) -> Vec<EncInstr> {
     let mut out: Vec<EncInstr> = ops
         .iter()
         .map(|op| match *op {
-            Op::Load { loc, .. } => EncInstr { kind: kind::LOAD, addr: loc.0 as u64, data: 0 },
-            Op::Store { loc, val } => {
-                EncInstr { kind: kind::STORE, addr: loc.0 as u64, data: u64::from(val.0) }
-            }
-            Op::Fence => EncInstr { kind: kind::FENCE, addr: 0, data: 0 },
+            Op::Load { loc, .. } => EncInstr {
+                kind: kind::LOAD,
+                addr: loc.0 as u64,
+                data: 0,
+            },
+            Op::Store { loc, val } => EncInstr {
+                kind: kind::STORE,
+                addr: loc.0 as u64,
+                data: u64::from(val.0),
+            },
+            Op::Fence => EncInstr {
+                kind: kind::FENCE,
+                addr: 0,
+                data: 0,
+            },
         })
         .collect();
     out.push(EncInstr::HALT);
@@ -133,12 +147,20 @@ mod tests {
         assert_eq!(progs[0][0].data, 1);
         assert_eq!(progs[1][0].kind, kind::LOAD);
         assert_eq!(progs[1][2], EncInstr::HALT);
-        assert_eq!(progs[2], vec![EncInstr::HALT], "unused core halts immediately");
+        assert_eq!(
+            progs[2],
+            vec![EncInstr::HALT],
+            "unused core halts immediately"
+        );
     }
 
     #[test]
     fn packed_fields_are_disjoint() {
-        let i = EncInstr { kind: kind::STORE, addr: 0x7, data: 0xDEAD_BEEF };
+        let i = EncInstr {
+            kind: kind::STORE,
+            addr: 0x7,
+            data: 0xDEAD_BEEF,
+        };
         let p = i.packed();
         assert_eq!(p >> 40, kind::STORE);
         assert_eq!((p >> 32) & 0xFF, 0x7);

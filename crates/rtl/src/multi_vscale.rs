@@ -169,8 +169,9 @@ impl MultiVscale {
         b.set_next(first, zero1);
 
         // Data memory words, free-initialised (pinned by assumptions).
-        let mem: Vec<SignalId> =
-            (0..num_words).map(|w| b.reg(format!("mem_{w}"), DATA_WIDTH, None)).collect();
+        let mem: Vec<SignalId> = (0..num_words)
+            .map(|w| b.reg(format!("mem_{w}"), DATA_WIDTH, None))
+            .collect();
 
         // ---- Per-core pipeline registers ----
         struct CoreRegs {
@@ -246,7 +247,11 @@ impl MultiVscale {
                 addr_if = b.mux(here, a, addr_if);
                 data_if = b.mux(here, d, data_if);
             }
-            decodes.push(Decode { kind_if, addr_if, data_if });
+            decodes.push(Decode {
+                kind_if,
+                addr_if,
+                data_if,
+            });
         }
 
         // ---- Arbiter and memory request ----
@@ -472,7 +477,17 @@ impl MultiVscale {
         }
 
         let design = b.build().expect("Multi-V-scale IR is well-formed");
-        MultiVscale { design, memory_impl, grant, first, mem, imem, cores, tso: None, programs }
+        MultiVscale {
+            design,
+            memory_impl,
+            grant,
+            first,
+            mem,
+            imem,
+            cores,
+            tso: None,
+            programs,
+        }
     }
 }
 
@@ -589,7 +604,10 @@ mod tests {
             let grants = [0, 0, 0, 2, 2, 2, 2, 2];
             let s = run(&mv, &sim, &grants, &[0, 0]);
             let x = sim.peek(&s, &[2], mv.mem[0]);
-            assert_eq!(x, expect_x, "{mem_impl:?}: mem[x] after back-to-back stores");
+            assert_eq!(
+                x, expect_x,
+                "{mem_impl:?}: mem[x] after back-to-back stores"
+            );
         }
     }
 
@@ -628,7 +646,11 @@ mod tests {
             s = sim.step(&s, &[1]);
         }
         assert_eq!(r1, Some(1), "load of y bypasses from the store buffer");
-        assert_eq!(r2, Some(0), "load of x sees the dropped store: the V-scale bug");
+        assert_eq!(
+            r2,
+            Some(0),
+            "load of x sees the dropped store: the V-scale bug"
+        );
     }
 
     /// On the fixed memory, the same schedule produces an SC-consistent
@@ -675,7 +697,10 @@ mod tests {
             assert!(v.contains("core0_PC_WB"));
             assert!(v.contains("arbiter_grant"));
             if m == MemoryImpl::Buggy {
-                assert!(v.contains("mem_wdata"), "buggy memory exposes the store buffer");
+                assert!(
+                    v.contains("mem_wdata"),
+                    "buggy memory exposes the store buffer"
+                );
             }
         }
     }

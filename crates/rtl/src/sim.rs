@@ -167,7 +167,10 @@ impl<'d> Simulator<'d> {
     pub fn step(&self, state: &State, inputs: &[u64]) -> State {
         let mut next = vec![0u64; self.design.num_regs()];
         for (_, s) in self.design.signals() {
-            if let SignalKind::Reg { index, next: expr, .. } = s.kind {
+            if let SignalKind::Reg {
+                index, next: expr, ..
+            } = s.kind
+            {
                 next[index] = mask(self.eval_inner(state, inputs, expr), s.width);
             }
         }

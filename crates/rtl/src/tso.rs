@@ -55,8 +55,9 @@ pub fn build_raw(programs: Vec<Vec<EncInstr>>, num_words: usize) -> MultiVscale 
     let zero1 = b.lit(0, 1);
     b.set_next(first, zero1);
 
-    let mem: Vec<SignalId> =
-        (0..num_words).map(|w| b.reg(format!("mem_{w}"), DATA_WIDTH, None)).collect();
+    let mem: Vec<SignalId> = (0..num_words)
+        .map(|w| b.reg(format!("mem_{w}"), DATA_WIDTH, None))
+        .collect();
 
     struct CoreRegs {
         pc_if: SignalId,
@@ -138,7 +139,11 @@ pub fn build_raw(programs: Vec<Vec<EncInstr>>, num_words: usize) -> MultiVscale 
             addr_if = b.mux(here, a, addr_if);
             data_if = b.mux(here, d, data_if);
         }
-        decodes.push(Decode { kind_if, addr_if, data_if });
+        decodes.push(Decode {
+            kind_if,
+            addr_if,
+            data_if,
+        });
     }
 
     // Per-core drain wires (needed for the memory update mux below).
@@ -378,7 +383,11 @@ mod tests {
             }
             s = sim.step(&s, &[g]);
         }
-        assert_eq!(r, [Some(0), Some(0)], "the TSO design exhibits store buffering");
+        assert_eq!(
+            r,
+            [Some(0), Some(0)],
+            "the TSO design exhibits store buffering"
+        );
     }
 
     /// Same-core forwarding: a load after a buffered same-address store
@@ -422,8 +431,8 @@ mod tests {
         assert_eq!(sim.peek(&s, &[0], mv.mem[0]), 1, "x drained");
         assert_eq!(sim.peek(&s, &[0], mv.mem[1]), 1, "y drained");
         let tso = mv.tso.as_ref().unwrap();
-        for c in 0..NUM_CORES {
-            assert_eq!(sim.peek(&s, &[0], tso[c].sbuf_valid), 0, "buffer {c} empty");
+        for (c, t) in tso.iter().enumerate() {
+            assert_eq!(sim.peek(&s, &[0], t.sbuf_valid), 0, "buffer {c} empty");
         }
     }
 
@@ -442,17 +451,17 @@ mod tests {
         // core 0, whose store is buffered by then — drain must be blocked.
         s = sim.step(&s, &[1]); // cycle 1: load granted in DX
         s = sim.step(&s, &[1]); // cycle 2 begins: load in WB
-        // The store needs a couple more cycles to reach the buffer; run a
-        // schedule where a load WB and a drain would collide and check the
-        // drain wire stays low in that cycle.
+                                // The store needs a couple more cycles to reach the buffer; run a
+                                // schedule where a load WB and a drain would collide and check the
+                                // drain wire stays low in that cycle.
         let mut saw_block = false;
         for _ in 0..12 {
-            let load_in_wb = (0..NUM_CORES)
-                .any(|c| sim.peek(&s, &[0], mv.cores[c].kind_wb) == kind::LOAD);
+            let load_in_wb =
+                (0..NUM_CORES).any(|c| sim.peek(&s, &[0], mv.cores[c].kind_wb) == kind::LOAD);
             if load_in_wb {
-                for c in 0..NUM_CORES {
+                for (c, t) in tso.iter().enumerate() {
                     assert_eq!(
-                        sim.peek(&s, &[c as u64], tso[c].drain),
+                        sim.peek(&s, &[c as u64], t.drain),
                         0,
                         "drain while a load holds the read port"
                     );

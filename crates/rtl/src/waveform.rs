@@ -62,9 +62,16 @@ impl Trace {
             let _ = write!(out, " {c:>4}");
         }
         out.push('\n');
-        let _ = writeln!(out, "{}-+{}", "-".repeat(name_w), "-".repeat(5 * self.len()));
+        let _ = writeln!(
+            out,
+            "{}-+{}",
+            "-".repeat(name_w),
+            "-".repeat(5 * self.len())
+        );
         for &name in signals {
-            let Some(sig) = design.signal_by_name(name) else { continue };
+            let Some(sig) = design.signal_by_name(name) else {
+                continue;
+            };
             let _ = write!(out, "{name:name_w$} |");
             for c in 0..self.len() {
                 let v = sim.peek(&self.states[c], &self.inputs[c], sig);
@@ -114,7 +121,10 @@ mod tests {
         let table = t.render(&d, &["count", "missing_signal"]);
         assert!(table.contains("cycle"));
         assert!(table.contains("count"));
-        assert!(!table.contains("missing_signal"), "unknown signals are skipped");
+        assert!(
+            !table.contains("missing_signal"),
+            "unknown signals are skipped"
+        );
         assert!(table.contains("   2"));
     }
 }

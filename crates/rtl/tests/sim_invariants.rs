@@ -9,23 +9,33 @@ use rtlcheck_rtl::SignalKind;
 
 fn arb_instr() -> impl Strategy<Value = EncInstr> {
     prop_oneof![
-        (0u64..3, 1u64..4)
-            .prop_map(|(addr, data)| EncInstr { kind: kind::STORE, addr, data }),
-        (0u64..3).prop_map(|addr| EncInstr { kind: kind::LOAD, addr, data: 0 }),
+        (0u64..3, 1u64..4).prop_map(|(addr, data)| EncInstr {
+            kind: kind::STORE,
+            addr,
+            data
+        }),
+        (0u64..3).prop_map(|addr| EncInstr {
+            kind: kind::LOAD,
+            addr,
+            data: 0
+        }),
     ]
 }
 
 fn arb_programs() -> impl Strategy<Value = Vec<Vec<EncInstr>>> {
-    proptest::collection::vec(proptest::collection::vec(arb_instr(), 0..4), NUM_CORES..=NUM_CORES)
-        .prop_map(|progs| {
-            progs
-                .into_iter()
-                .map(|mut p| {
-                    p.push(EncInstr::HALT);
-                    p
-                })
-                .collect()
-        })
+    proptest::collection::vec(
+        proptest::collection::vec(arb_instr(), 0..4),
+        NUM_CORES..=NUM_CORES,
+    )
+    .prop_map(|progs| {
+        progs
+            .into_iter()
+            .map(|mut p| {
+                p.push(EncInstr::HALT);
+                p
+            })
+            .collect()
+    })
 }
 
 fn arb_schedule() -> impl Strategy<Value = Vec<u64>> {
@@ -66,7 +76,7 @@ proptest! {
             let sim = Simulator::new(&mv.design);
             let pins: Vec<_> = mv.mem.iter().map(|&m| (m, 0)).collect();
             let mut state = sim.initial_state_with(&pins).unwrap();
-            let mut halted_before = vec![false; NUM_CORES];
+            let mut halted_before = [false; NUM_CORES];
             for cycle in 0..64u64 {
                 let g = cycle % 4;
                 for (c, core) in mv.cores.iter().enumerate() {

@@ -105,7 +105,11 @@ impl<A> Seq<A> {
 
     /// `s[*min:max]`.
     pub fn repeat(body: Seq<A>, min: u32, max: Option<u32>) -> Self {
-        Seq::Repeat { body: Box::new(body), min, max }
+        Seq::Repeat {
+            body: Box::new(body),
+            min,
+            max,
+        }
     }
 
     /// `##[min:max] s`: an arbitrary delay of `min..=max` cycles, then `s`.
@@ -164,7 +168,10 @@ impl<A> Prop<A> {
 
     /// `b |-> p`.
     pub fn implies(antecedent: SvaBool<A>, body: Prop<A>) -> Self {
-        Prop::Implies { antecedent, body: Box::new(body) }
+        Prop::Implies {
+            antecedent,
+            body: Box::new(body),
+        }
     }
 
     /// Property conjunction; unwraps singletons and treats empty as `true`

@@ -47,7 +47,11 @@ pub fn prop_to_sva<A>(p: &Prop<A>, atom: &dyn Fn(&A) -> String) -> String {
     match p {
         Prop::Seq(s) => format!("({})", seq_to_sva(s, atom)),
         Prop::Implies { antecedent, body } => {
-            format!("{} |-> {}", bool_to_sva(antecedent, atom), prop_to_sva(body, atom))
+            format!(
+                "{} |-> {}",
+                bool_to_sva(antecedent, atom),
+                prop_to_sva(body, atom)
+            )
         }
         Prop::And(children) => join_children(children, " and ", atom),
         Prop::Or(children) => join_children(children, " or ", atom),
@@ -93,7 +97,10 @@ mod tests {
         ]);
         let prop = Prop::implies(SvaBool::atom(0), Prop::seq(seq));
         let text = assert_directive(&prop, &atom);
-        assert!(text.starts_with("assert property (@(posedge clk) sig0 |-> "), "{text}");
+        assert!(
+            text.starts_with("assert property (@(posedge clk) sig0 |-> "),
+            "{text}"
+        );
         assert!(text.contains("[*0:$]"), "{text}");
         assert!(text.contains("##1 sig3 ##1"), "{text}");
         assert!(text.contains("(~(sig1 || sig2))"), "{text}");

@@ -53,5 +53,5 @@ pub mod nfa;
 pub mod parse;
 
 pub use ast::{Prop, Seq, SvaBool};
-pub use monitor::{Monitor, MonitorState};
+pub use monitor::{Monitor, MonitorMetrics, MonitorState};
 pub use parse::{parse_directive, parse_prop, DirectiveKeyword, ParseSvaError};

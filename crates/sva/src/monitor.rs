@@ -25,6 +25,8 @@
 
 use std::collections::BTreeSet;
 
+use rtlcheck_obs::{attrs, Collector};
+
 use crate::ast::{Prop, SvaBool};
 use crate::nfa::{BitSet, Nfa};
 
@@ -136,24 +138,81 @@ struct Compiled<A> {
     bools: Vec<SvaBool<A>>,
 }
 
+/// Observation counters describing one monitor's structure and activity,
+/// reported through the observability layer ([`Monitor::report_to`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MonitorMetrics {
+    /// Total states across the property's compiled sequence NFAs — the
+    /// static size of the monitor's automaton product.
+    pub nfa_states: usize,
+    /// Number of compiled sequence NFAs.
+    pub nfas: usize,
+    /// Match attempts spawned (one per [`Monitor::step`] on a live
+    /// monitor — SVA starts an attempt at every clock cycle, §3.4).
+    pub attempts: u64,
+    /// Attempts resolved vacuously at spawn because the property's
+    /// top-level implication antecedent was false that cycle — the
+    /// `first |->` guard (§4.4) doing its filtering work.
+    pub first_filter_hits: u64,
+}
+
 /// An online monitor for one property directive.
 #[derive(Debug, Clone)]
 pub struct Monitor<A> {
     compiled: Compiled<A>,
     state: MonitorState,
+    metrics: MonitorMetrics,
 }
 
 impl<A: Clone + Ord> Monitor<A> {
     /// Compiles a monitor for `prop`. No attempt is active until the first
     /// [`Monitor::step`].
     pub fn new(prop: &Prop<A>) -> Self {
-        let mut compiled =
-            Compiled { prop: prop.clone(), nfas: Vec::new(), bools: Vec::new() };
+        let mut compiled = Compiled {
+            prop: prop.clone(),
+            nfas: Vec::new(),
+            bools: Vec::new(),
+        };
         compile(prop, &mut compiled);
+        let metrics = MonitorMetrics {
+            nfa_states: compiled.nfas.iter().map(Nfa::num_states).sum(),
+            nfas: compiled.nfas.len(),
+            ..MonitorMetrics::default()
+        };
         Monitor {
             compiled,
-            state: MonitorState { failed: false, pending: BTreeSet::new() },
+            state: MonitorState {
+                failed: false,
+                pending: BTreeSet::new(),
+            },
+            metrics,
         }
+    }
+
+    /// This monitor's structure and activity counters.
+    pub fn metrics(&self) -> MonitorMetrics {
+        self.metrics
+    }
+
+    /// Reports the monitor's metrics as observability counters, labelled
+    /// with the directive name.
+    pub fn report_to(&self, collector: &dyn Collector, directive: &str) {
+        let m = self.metrics;
+        collector.counter(
+            "monitor.product_nfa_states",
+            m.nfa_states as u64,
+            attrs!["directive" => directive, "nfas" => m.nfas],
+        );
+        collector.counter(
+            "monitor.attempts",
+            m.attempts,
+            attrs!["directive" => directive],
+        );
+        collector.counter(
+            "monitor.first_filter_hits",
+            m.first_filter_hits,
+            attrs!["directive" => directive],
+        );
     }
 
     /// The canonical monitor state.
@@ -177,6 +236,12 @@ impl<A: Clone + Ord> Monitor<A> {
     pub fn step(&mut self, env: &dyn Fn(&A) -> bool) {
         if self.state.failed {
             return; // failure is absorbing
+        }
+        self.metrics.attempts += 1;
+        if let Prop::Implies { antecedent, .. } = &self.compiled.prop {
+            if !antecedent.eval(env) {
+                self.metrics.first_filter_hits += 1;
+            }
         }
         let mut next: BTreeSet<PropState> = BTreeSet::new();
         let mut failed = false;
@@ -205,7 +270,10 @@ impl<A: Clone + Ord> Monitor<A> {
             }
         }
 
-        self.state = MonitorState { failed, pending: if failed { BTreeSet::new() } else { next } };
+        self.state = MonitorState {
+            failed,
+            pending: if failed { BTreeSet::new() } else { next },
+        };
     }
 }
 
@@ -332,11 +400,17 @@ fn advance<A: Clone + Ord>(
             }
         }
         PropState::And(children) => PropState::And(
-            children.into_iter().map(|c| advance(compiled, c, env)).collect(),
+            children
+                .into_iter()
+                .map(|c| advance(compiled, c, env))
+                .collect(),
         )
         .normalise(),
         PropState::Or(children) => PropState::Or(
-            children.into_iter().map(|c| advance(compiled, c, env)).collect(),
+            children
+                .into_iter()
+                .map(|c| advance(compiled, c, env))
+                .collect(),
         )
         .normalise(),
     }
@@ -395,12 +469,9 @@ mod tests {
     #[test]
     fn pending_unbounded_sequence_never_fails() {
         let first = atom(0);
-        let prop = P::implies(
-            first,
-            P::seq(S::delay(0, None, S::boolean(atom(1)))),
-        );
+        let prop = P::implies(first, P::seq(S::delay(0, None, S::boolean(atom(1)))));
         let quiet: Vec<&[u32]> = std::iter::once(&[0u32][..])
-            .chain(std::iter::repeat(&[][..]).take(50))
+            .chain(std::iter::repeat_n(&[][..], 50))
             .collect();
         assert!(!fails(&prop, &quiet));
     }
@@ -436,7 +507,7 @@ mod tests {
         // Fast branch fails immediately; slow branch keeps the attempt
         // alive forever (weak semantics) — no failure.
         let quiet: Vec<&[u32]> = std::iter::once(&[0u32][..])
-            .chain(std::iter::repeat(&[][..]).take(20))
+            .chain(std::iter::repeat_n(&[][..], 20))
             .collect();
         assert!(!fails(&prop, &quiet));
     }
@@ -475,6 +546,21 @@ mod tests {
         let mut m2 = Monitor::new(&prop);
         m2.set_state(snapshot.clone());
         assert_eq!(m2.state(), &snapshot);
+    }
+
+    #[test]
+    fn metrics_count_attempts_and_first_filter_hits() {
+        let first = atom(0);
+        let prop = P::implies(first, P::seq(S::delay_exact(2, S::boolean(atom(1)))));
+        let mut m = Monitor::new(&prop);
+        assert!(m.metrics().nfa_states > 0);
+        assert_eq!(m.metrics().nfas, 1);
+        m.step(&|v| *v == 0); // antecedent holds: real attempt
+        m.step(&|_| false); // antecedent false: filtered
+        m.step(&|v| *v == 1); // antecedent false: filtered
+        let metrics = m.metrics();
+        assert_eq!(metrics.attempts, 3);
+        assert_eq!(metrics.first_filter_hits, 2);
     }
 
     #[test]

@@ -18,7 +18,9 @@ pub struct BitSet {
 impl BitSet {
     /// An empty set sized for `n` states.
     pub fn empty(n: usize) -> Self {
-        BitSet { words: vec![0; n.div_ceil(64)] }
+        BitSet {
+            words: vec![0; n.div_ceil(64)],
+        }
     }
 
     /// Inserts a state. Returns `true` if it was newly inserted.
@@ -42,7 +44,13 @@ impl BitSet {
     /// Iterates over present states.
     pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
         self.words.iter().enumerate().flat_map(|(wi, &w)| {
-            (0..64).filter_map(move |b| if w & (1 << b) != 0 { Some(wi * 64 + b) } else { None })
+            (0..64).filter_map(move |b| {
+                if w & (1 << b) != 0 {
+                    Some(wi * 64 + b)
+                } else {
+                    None
+                }
+            })
         })
     }
 
@@ -74,12 +82,19 @@ impl<A: Clone> Nfa<A> {
     pub fn compile(seq: &Seq<A>) -> Self {
         let mut states: Vec<StateNode<A>> = Vec::new();
         let fresh = |states: &mut Vec<StateNode<A>>| {
-            states.push(StateNode { consuming: Vec::new(), eps: Vec::new() });
+            states.push(StateNode {
+                consuming: Vec::new(),
+                eps: Vec::new(),
+            });
             states.len() - 1
         };
         let start = fresh(&mut states);
         let accept = build(seq, start, &mut states);
-        Nfa { states, start, accept }
+        Nfa {
+            states,
+            start,
+            accept,
+        }
     }
 
     /// Number of states.
@@ -133,7 +148,10 @@ impl<A: Clone> Nfa<A> {
 /// accept state.
 fn build<A: Clone>(seq: &Seq<A>, from: usize, states: &mut Vec<StateNode<A>>) -> usize {
     let fresh = |states: &mut Vec<StateNode<A>>| {
-        states.push(StateNode { consuming: Vec::new(), eps: Vec::new() });
+        states.push(StateNode {
+            consuming: Vec::new(),
+            eps: Vec::new(),
+        });
         states.len() - 1
     };
     match seq {
@@ -227,7 +245,10 @@ mod tests {
         let s = S::boolean(atom(1));
         let (m, died) = run(&s, &[&[1]]);
         assert_eq!(m, vec![0]);
-        assert_eq!(died, None, "accept state has no outgoing edges but stays live");
+        assert_eq!(
+            died, None,
+            "accept state has no outgoing edges but stays live"
+        );
         let (m, died) = run(&s, &[&[2]]);
         assert!(m.is_empty());
         assert_eq!(died, Some(0));
@@ -322,7 +343,10 @@ mod tests {
         // Trace: b at cycle 0, a at cycle 1 (reversed order), then quiet.
         let (m, died) = run(&naive, &[&[2], &[1], &[], &[]]);
         assert!(m.is_empty());
-        assert_eq!(died, None, "the naive encoding never fails — it misses the bug");
+        assert_eq!(
+            died, None,
+            "the naive encoding never fails — it misses the bug"
+        );
     }
 
     #[test]

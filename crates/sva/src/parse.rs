@@ -47,15 +47,15 @@ pub enum DirectiveKeyword {
 enum Tok {
     LParen,
     RParen,
-    Implies,     // |->
-    AndAnd,      // &&
-    OrOr,        // ||
-    Tilde,       // ~
-    DelayOne,    // ##1 (and ##N generally, carrying N)
+    Implies,  // |->
+    AndAnd,   // &&
+    OrOr,     // ||
+    Tilde,    // ~
+    DelayOne, // ##1 (and ##N generally, carrying N)
     DelayN(u32),
     DelayRange(u32, Option<u32>), // ##[m:n] / ##[m:$]
-    Repeat(u32, Option<u32>), // [*m:n] / [*m:$] / [*m]
-    Word(String),             // and / or / not / 1 / 0 / atom fragments
+    Repeat(u32, Option<u32>),     // [*m:n] / [*m:$] / [*m]
+    Word(String),                 // and / or / not / 1 / 0 / atom fragments
     Semi,
 }
 
@@ -139,7 +139,14 @@ fn lex(src: &str) -> Result<Vec<(Tok, usize)>, ParseSvaError> {
                     let n: u32 = src[num_start..i]
                         .parse()
                         .map_err(|_| err(start, "malformed ## delay"))?;
-                    toks.push((if n == 1 { Tok::DelayOne } else { Tok::DelayN(n) }, start));
+                    toks.push((
+                        if n == 1 {
+                            Tok::DelayOne
+                        } else {
+                            Tok::DelayN(n)
+                        },
+                        start,
+                    ));
                 }
             }
             '[' if src[i..].starts_with("[*") => {
@@ -207,7 +214,10 @@ fn lex(src: &str) -> Result<Vec<(Tok, usize)>, ParseSvaError> {
 }
 
 fn err(at: usize, message: impl Into<String>) -> ParseSvaError {
-    ParseSvaError { at, message: message.into() }
+    ParseSvaError {
+        at,
+        message: message.into(),
+    }
 }
 
 /// Parses a complete `assert property`/`assume property` directive as
@@ -383,7 +393,7 @@ impl<A> Parser<'_, A> {
             let save = self.pos;
             if let Ok(b) = self.boolean() {
                 // A boolean followed by a repetition is a sequence.
-                return Ok(self.apply_repeat(Elem::Seq(Seq::boolean(b)))?);
+                return self.apply_repeat(Elem::Seq(Seq::boolean(b)));
             }
             self.pos = save;
             self.bump(); // (
@@ -393,7 +403,9 @@ impl<A> Parser<'_, A> {
                 self.expect(Tok::LParen)?;
                 match self.bump() {
                     Some(Tok::DelayRange(0, None)) => {}
-                    other => return Err(err(self.at(), format!("expected ##[0:$], found {other:?}"))),
+                    other => {
+                        return Err(err(self.at(), format!("expected ##[0:$], found {other:?}")))
+                    }
                 }
                 let b = self.boolean()?;
                 self.expect(Tok::RParen)?;
@@ -504,7 +516,10 @@ impl<A> Parser<'_, A> {
                     other => {
                         let at = self.at();
                         self.pos = save;
-                        Err(err(at, format!("expected boolean operator, found {other:?}")))
+                        Err(err(
+                            at,
+                            format!("expected boolean operator, found {other:?}"),
+                        ))
                     }
                 }
             }
@@ -558,7 +573,10 @@ mod tests {
     fn parses_simple_guarded_sequence() {
         let p = Prop::implies(
             SvaBool::atom(0u32),
-            Prop::seq(Seq::then(Seq::boolean(SvaBool::atom(1)), Seq::boolean(SvaBool::atom(2)))),
+            Prop::seq(Seq::then(
+                Seq::boolean(SvaBool::atom(1)),
+                Seq::boolean(SvaBool::atom(2)),
+            )),
         );
         assert_eq!(roundtrip(&p), p);
     }
@@ -606,7 +624,10 @@ mod tests {
         // A property-level Or of two sequences parses back as a sequence
         // Or — semantically identical under weak evaluation.
         let a = Seq::boolean(SvaBool::atom(1u32));
-        let b = Seq::then(Seq::boolean(SvaBool::atom(2)), Seq::boolean(SvaBool::atom(3)));
+        let b = Seq::then(
+            Seq::boolean(SvaBool::atom(2)),
+            Seq::boolean(SvaBool::atom(3)),
+        );
         let p = Prop::implies(
             SvaBool::atom(0),
             Prop::Or(vec![Prop::seq(a.clone()), Prop::seq(b.clone())]),
@@ -630,9 +651,13 @@ mod tests {
     fn rejects_malformed_inputs() {
         assert!(parse_directive::<u32>("assert (x);", &atom).is_err());
         assert!(parse_directive::<u32>("assert property (@(posedge clk) sig1)", &atom).is_err());
-        assert!(parse_directive::<u32>("assert property (@(posedge clk) bogus atom);", &atom)
-            .is_err());
-        assert!(parse_prop::<u32>("(sig1 and sig2 or sig3)", &atom).is_err(), "mixed and/or");
+        assert!(
+            parse_directive::<u32>("assert property (@(posedge clk) bogus atom);", &atom).is_err()
+        );
+        assert!(
+            parse_prop::<u32>("(sig1 and sig2 or sig3)", &atom).is_err(),
+            "mixed and/or"
+        );
         assert!(parse_prop::<u32>("(sig1 ##", &atom).is_err());
         assert!(parse_prop::<u32>("(sig1) [*2", &atom).is_err());
     }

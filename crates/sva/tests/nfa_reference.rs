@@ -45,9 +45,8 @@ fn brute_repeat(body: &Seq<u8>, trace: &[Cycle], lo: usize, hi: usize, n: usize)
     if n == 0 {
         return lo == hi;
     }
-    (lo..=hi).any(|mid| {
-        brute_matches(body, trace, lo, mid) && brute_repeat(body, trace, mid, hi, n - 1)
-    })
+    (lo..=hi)
+        .any(|mid| brute_matches(body, trace, lo, mid) && brute_repeat(body, trace, mid, hi, n - 1))
 }
 
 fn arb_bool() -> impl Strategy<Value = SvaBool<u8>> {
@@ -58,7 +57,7 @@ fn arb_bool() -> impl Strategy<Value = SvaBool<u8>> {
     ];
     leaf.prop_recursive(2, 6, 2, |inner| {
         prop_oneof![
-            inner.clone().prop_map(|b| SvaBool::not(b)),
+            inner.clone().prop_map(SvaBool::not),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| SvaBool::and(a, b)),
             (inner.clone(), inner).prop_map(|(a, b)| SvaBool::or(a, b)),
         ]
@@ -71,14 +70,16 @@ fn arb_seq() -> impl Strategy<Value = Seq<u8>> {
         // Repetition bodies are single-cycle booleans (as in RTLCheck's
         // generated properties); this also keeps the brute-force reference
         // simple, since every repetition then consumes exactly one cycle.
-        let rep_body = || arb_bool().prop_map(Seq::boolean as fn(SvaBool<u8>) -> Seq<u8>).boxed();
+        let rep_body = || {
+            arb_bool()
+                .prop_map(Seq::boolean as fn(SvaBool<u8>) -> Seq<u8>)
+                .boxed()
+        };
         prop_oneof![
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Seq::then(a, b)),
-            (inner, rep_body())
-                .prop_map(|(a, b)| Seq::Or(Box::new(a), Box::new(b))),
-            (rep_body(), 0u32..3, 0u32..3).prop_map(|(s, min, extra)| {
-                Seq::repeat(s, min, Some(min + extra))
-            }),
+            (inner, rep_body()).prop_map(|(a, b)| Seq::Or(Box::new(a), Box::new(b))),
+            (rep_body(), 0u32..3, 0u32..3)
+                .prop_map(|(s, min, extra)| { Seq::repeat(s, min, Some(min + extra)) }),
             (rep_body(), 0u32..2).prop_map(|(s, min)| Seq::repeat(s, min, None)),
         ]
     })

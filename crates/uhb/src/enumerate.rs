@@ -48,7 +48,11 @@ pub fn enumerate(grounded: &[GroundedAxiom], max_witnesses: usize) -> Enumeratio
             formulas.push(g.formula.clone());
         }
     }
-    let mut e = Enumeration { witnesses: BTreeSet::new(), branches: 0, pruned: 0 };
+    let mut e = Enumeration {
+        witnesses: BTreeSet::new(),
+        branches: 0,
+        pruned: 0,
+    };
     dfs(formulas, UhbGraph::new(), &mut e, max_witnesses);
     e
 }

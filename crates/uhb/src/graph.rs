@@ -40,10 +40,7 @@ impl UhbGraph {
 
     /// All nodes that appear as an endpoint of some edge.
     pub fn nodes(&self) -> BTreeSet<GNode> {
-        self.edges
-            .iter()
-            .flat_map(|e| [e.src, e.dst])
-            .collect()
+        self.edges.iter().flat_map(|e| [e.src, e.dst]).collect()
     }
 
     /// Whether the edge is present (not considering transitivity).
@@ -160,7 +157,10 @@ mod tests {
     use rtlcheck_uspec::StageId;
 
     fn n(i: usize, s: usize) -> GNode {
-        GNode { instr: InstrUid(i), stage: StageId(s) }
+        GNode {
+            instr: InstrUid(i),
+            stage: StageId(s),
+        }
     }
 
     fn e(a: GNode, b: GNode) -> GEdge {

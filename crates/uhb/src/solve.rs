@@ -103,13 +103,10 @@ fn dfs(formulas: Vec<GFormula>, graph: UhbGraph, stats: &mut SolveStats) -> Opti
         }
     };
     // Choose the smallest disjunction to branch on.
-    let pick = formulas
-        .iter()
-        .enumerate()
-        .min_by_key(|(_, f)| match f {
-            GFormula::Or(cs) => cs.len(),
-            _ => usize::MAX,
-        });
+    let pick = formulas.iter().enumerate().min_by_key(|(_, f)| match f {
+        GFormula::Or(cs) => cs.len(),
+        _ => usize::MAX,
+    });
     let (idx, branch) = match pick {
         None => return Some(graph), // no pending formulas: witness found
         Some((idx, GFormula::Or(_))) => {
@@ -121,7 +118,9 @@ fn dfs(formulas: Vec<GFormula>, graph: UhbGraph, stats: &mut SolveStats) -> Opti
         // outcome-mode atom vocabulary.
         Some((_, other)) => unreachable!("propagation left non-disjunction pending: {other:?}"),
     };
-    let GFormula::Or(disjuncts) = branch else { unreachable!("picked a disjunction") };
+    let GFormula::Or(disjuncts) = branch else {
+        unreachable!("picked a disjunction")
+    };
     for d in disjuncts {
         stats.branches += 1;
         let mut rest = formulas.clone();
@@ -268,7 +267,10 @@ mod tests {
                  core 1 {{ r1 = ld y; r2 = ld x; }}\npermit ( 1:r1 = {r1} /\\ 1:r2 = {r2} )"
             ))
             .unwrap();
-            assert!(!verdict(&t).is_forbidden(), "({r1},{r2}) should be observable");
+            assert!(
+                !verdict(&t).is_forbidden(),
+                "({r1},{r2}) should be observable"
+            );
         }
     }
 
@@ -305,8 +307,9 @@ mod tests {
             let t = suite::get(name).unwrap();
             // Execute the test serially (core 0 first, then core 1, ...)
             // and build the resulting permitted outcome.
-            let mut mem: Vec<u32> =
-                (0..t.num_locations()).map(|l| t.initial_value(rtlcheck_litmus::Loc(l)).0).collect();
+            let mut mem: Vec<u32> = (0..t.num_locations())
+                .map(|l| t.initial_value(rtlcheck_litmus::Loc(l)).0)
+                .collect();
             let mut clauses = Vec::new();
             for i in t.instructions() {
                 match i.op {

@@ -2,10 +2,8 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Index of a pipeline stage in the specification's stage table.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct StageId(pub usize);
 
 impl fmt::Display for StageId {
@@ -144,6 +142,7 @@ impl Formula {
     }
 
     /// Convenience constructor for `~a`.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(a: Formula) -> Formula {
         Formula::Not(Box::new(a))
     }
@@ -210,8 +209,14 @@ mod tests {
         let spec = Spec {
             stages: vec!["Fetch".into(), "DecodeExecute".into(), "Writeback".into()],
             items: vec![
-                Item::Macro { name: "m".into(), body: Formula::True },
-                Item::Axiom { name: "a".into(), body: Formula::False },
+                Item::Macro {
+                    name: "m".into(),
+                    body: Formula::True,
+                },
+                Item::Axiom {
+                    name: "a".into(),
+                    body: Formula::False,
+                },
             ],
         };
         assert_eq!(spec.stage_id("Writeback"), Some(StageId(2)));

@@ -38,7 +38,6 @@ use std::error::Error;
 use std::fmt;
 
 use rtlcheck_litmus::{InstrRef, InstrUid, LitmusTest, Val};
-use serde::{Deserialize, Serialize};
 
 use crate::ast::{EdgeExpr, Formula, NodeExpr, Predicate, Sort, Spec, StageId};
 
@@ -46,7 +45,7 @@ use crate::ast::{EdgeExpr, Formula, NodeExpr, Predicate, Sort, Spec, StageId};
 const MACRO_DEPTH_LIMIT: usize = 64;
 
 /// A grounded µhb node: one instruction at one pipeline stage.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct GNode {
     /// The instruction.
     pub instr: InstrUid,
@@ -61,7 +60,7 @@ impl fmt::Display for GNode {
 }
 
 /// A grounded happens-before edge between two µhb nodes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct GEdge {
     /// Source node (happens first).
     pub src: GNode,
@@ -72,7 +71,10 @@ pub struct GEdge {
 impl GEdge {
     /// The same edge with source and destination swapped.
     pub fn reversed(self) -> GEdge {
-        GEdge { src: self.dst, dst: self.src }
+        GEdge {
+            src: self.dst,
+            dst: self.src,
+        }
     }
 }
 
@@ -83,7 +85,7 @@ impl fmt::Display for GEdge {
 }
 
 /// A constraint that a given load returns a given value.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct LoadConstraint {
     /// The load instruction.
     pub load: InstrUid,
@@ -272,7 +274,11 @@ impl Conjunct {
 
     /// The load-value constraints that apply to a given instruction.
     pub fn constraints_on(&self, instr: InstrUid) -> Vec<LoadConstraint> {
-        self.constraints.iter().copied().filter(|c| c.load == instr).collect()
+        self.constraints
+            .iter()
+            .copied()
+            .filter(|c| c.load == instr)
+            .collect()
     }
 
     /// Whether two constraints pin the same load to different values,
@@ -538,10 +544,7 @@ impl Grounder<'_> {
                     Sort::Core => {
                         for c in 0..self.test.num_cores() {
                             let mut env2 = env.clone();
-                            env2.insert(
-                                var.clone(),
-                                Binding::Core(rtlcheck_litmus::CoreId(c)),
-                            );
+                            env2.insert(var.clone(), Binding::Core(rtlcheck_litmus::CoreId(c)));
                             children.push(self.ground_formula(
                                 body,
                                 &env2,
@@ -560,9 +563,7 @@ impl Grounder<'_> {
                 }
             }
             Formula::Pred(p) => self.ground_pred(p, env, positive)?,
-            Formula::AddEdge(e) | Formula::EdgeExists(e) => {
-                self.ground_edge(e, env, positive)?
-            }
+            Formula::AddEdge(e) | Formula::EdgeExists(e) => self.ground_edge(e, env, positive)?,
             Formula::EdgesExist(edges) => {
                 let children = edges
                     .iter()
@@ -612,10 +613,18 @@ impl Grounder<'_> {
         let src = self.resolve_node(&e.src, env)?;
         let dst = self.resolve_node(&e.dst, env)?;
         if src == dst {
-            return Ok(if positive { GFormula::False } else { GFormula::True });
+            return Ok(if positive {
+                GFormula::False
+            } else {
+                GFormula::True
+            });
         }
         let edge = GEdge { src, dst };
-        Ok(GFormula::Atom(GAtom::Edge(if positive { edge } else { edge.reversed() })))
+        Ok(GFormula::Atom(GAtom::Edge(if positive {
+            edge
+        } else {
+            edge.reversed()
+        })))
     }
 
     fn resolve_node(&self, n: &NodeExpr, env: &Env) -> Result<GNode, GroundError> {
@@ -624,7 +633,10 @@ impl Grounder<'_> {
             .spec
             .stage_id(&n.stage)
             .ok_or_else(|| GroundError::UnknownStage(n.stage.clone()))?;
-        Ok(GNode { instr: instr.uid, stage })
+        Ok(GNode {
+            instr: instr.uid,
+            stage,
+        })
     }
 
     fn lookup_uop(&self, var: &str, env: &Env) -> Result<InstrRef, GroundError> {
@@ -683,7 +695,10 @@ impl Grounder<'_> {
         let possible = self.possible_load_values(load);
         if positive {
             if possible.contains(&value) {
-                GFormula::Atom(GAtom::LoadValue(LoadConstraint { load: load.uid, value }))
+                GFormula::Atom(GAtom::LoadValue(LoadConstraint {
+                    load: load.uid,
+                    value,
+                }))
             } else {
                 // The load can never return this value in any execution.
                 GFormula::False
@@ -950,10 +965,8 @@ mod tests {
     #[test]
     fn unknown_stage_and_macro_error() {
         let mp = suite::get("mp").unwrap();
-        let spec = parse(
-            r#"Stage "WB". Axiom "A": forall microops "i", NodeExists (i, Bogus)."#,
-        )
-        .unwrap();
+        let spec =
+            parse(r#"Stage "WB". Axiom "A": forall microops "i", NodeExists (i, Bogus)."#).unwrap();
         assert_eq!(
             ground(&spec, &mp, DataMode::Outcome).unwrap_err(),
             GroundError::UnknownStage("Bogus".into())
@@ -1041,9 +1054,18 @@ mod tests {
 
     #[test]
     fn dnf_distributes_and_over_or() {
-        let a = GFormula::Atom(GAtom::Node(GNode { instr: InstrUid(0), stage: StageId(0) }));
-        let b = GFormula::Atom(GAtom::Node(GNode { instr: InstrUid(1), stage: StageId(0) }));
-        let c = GFormula::Atom(GAtom::Node(GNode { instr: InstrUid(2), stage: StageId(0) }));
+        let a = GFormula::Atom(GAtom::Node(GNode {
+            instr: InstrUid(0),
+            stage: StageId(0),
+        }));
+        let b = GFormula::Atom(GAtom::Node(GNode {
+            instr: InstrUid(1),
+            stage: StageId(0),
+        }));
+        let c = GFormula::Atom(GAtom::Node(GNode {
+            instr: InstrUid(2),
+            stage: StageId(0),
+        }));
         let f = GFormula::and(vec![a, GFormula::or(vec![b, c])]);
         let dnf = f.to_dnf();
         assert_eq!(dnf.len(), 2);
@@ -1053,19 +1075,40 @@ mod tests {
     #[test]
     fn conjunct_detects_contradictions() {
         let mut c = Conjunct::default();
-        c.push(GAtom::LoadValue(LoadConstraint { load: InstrUid(0), value: Val(0) }));
+        c.push(GAtom::LoadValue(LoadConstraint {
+            load: InstrUid(0),
+            value: Val(0),
+        }));
         assert!(!c.has_contradictory_constraints());
-        c.push(GAtom::LoadValue(LoadConstraint { load: InstrUid(0), value: Val(1) }));
+        c.push(GAtom::LoadValue(LoadConstraint {
+            load: InstrUid(0),
+            value: Val(1),
+        }));
         assert!(c.has_contradictory_constraints());
     }
 
     #[test]
     fn smart_constructors_simplify() {
-        assert_eq!(GFormula::and(vec![GFormula::True, GFormula::True]), GFormula::True);
-        assert_eq!(GFormula::and(vec![GFormula::False, GFormula::True]), GFormula::False);
-        assert_eq!(GFormula::or(vec![GFormula::False, GFormula::False]), GFormula::False);
-        assert_eq!(GFormula::or(vec![GFormula::True, GFormula::False]), GFormula::True);
-        let atom = GFormula::Atom(GAtom::Node(GNode { instr: InstrUid(0), stage: StageId(0) }));
+        assert_eq!(
+            GFormula::and(vec![GFormula::True, GFormula::True]),
+            GFormula::True
+        );
+        assert_eq!(
+            GFormula::and(vec![GFormula::False, GFormula::True]),
+            GFormula::False
+        );
+        assert_eq!(
+            GFormula::or(vec![GFormula::False, GFormula::False]),
+            GFormula::False
+        );
+        assert_eq!(
+            GFormula::or(vec![GFormula::True, GFormula::False]),
+            GFormula::True
+        );
+        let atom = GFormula::Atom(GAtom::Node(GNode {
+            instr: InstrUid(0),
+            stage: StageId(0),
+        }));
         assert_eq!(GFormula::and(vec![GFormula::True, atom.clone()]), atom);
     }
 

@@ -157,11 +157,11 @@ mod tests {
     fn grounds_against_the_whole_suite_in_both_modes() {
         let s = spec();
         for t in suite::all() {
-            let outcome = ground(&s, &t, DataMode::Outcome)
-                .unwrap_or_else(|e| panic!("{}: {e}", t.name()));
+            let outcome =
+                ground(&s, &t, DataMode::Outcome).unwrap_or_else(|e| panic!("{}: {e}", t.name()));
             assert!(!outcome.is_empty(), "{} grounded to nothing", t.name());
-            let symbolic = ground(&s, &t, DataMode::Symbolic)
-                .unwrap_or_else(|e| panic!("{}: {e}", t.name()));
+            let symbolic =
+                ground(&s, &t, DataMode::Symbolic).unwrap_or_else(|e| panic!("{}: {e}", t.name()));
             assert!(!symbolic.is_empty(), "{} grounded to nothing", t.name());
         }
     }

@@ -42,7 +42,11 @@ pub struct ParseSpecError {
 
 impl fmt::Display for ParseSpecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "µspec parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "µspec parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -89,7 +93,10 @@ impl Parser {
     }
 
     fn err(&self, msg: impl Into<String>) -> ParseSpecError {
-        ParseSpecError { line: self.line(), message: msg.into() }
+        ParseSpecError {
+            line: self.line(),
+            message: msg.into(),
+        }
     }
 
     fn peek(&self) -> Option<&Tok> {
@@ -237,9 +244,17 @@ impl Parser {
         let mut f = self.formula()?;
         for var in vars.into_iter().rev() {
             f = if universal {
-                Formula::Forall { sort, var, body: Box::new(f) }
+                Formula::Forall {
+                    sort,
+                    var,
+                    body: Box::new(f),
+                }
             } else {
-                Formula::Exists { sort, var, body: Box::new(f) }
+                Formula::Exists {
+                    sort,
+                    var,
+                    body: Box::new(f),
+                }
             };
         }
         Ok(f)
@@ -379,7 +394,7 @@ mod tests {
         )
         .unwrap();
         let (_, body) = spec.axioms().next().unwrap();
-        fn strip<'a>(mut f: &'a Formula) -> &'a Formula {
+        fn strip(mut f: &Formula) -> &Formula {
             while let Formula::Forall { body, .. } = f {
                 f = body;
             }
@@ -422,10 +437,7 @@ mod tests {
 
     #[test]
     fn implies_is_right_associative() {
-        let spec = parse(
-            r#"Stage "S". Axiom "A": TRUE => FALSE => TRUE."#,
-        )
-        .unwrap();
+        let spec = parse(r#"Stage "S". Axiom "A": TRUE => FALSE => TRUE."#).unwrap();
         let (_, body) = spec.axioms().next().unwrap();
         match body {
             Formula::Implies(_, rhs) => assert!(matches!(**rhs, Formula::Implies(..))),

@@ -108,7 +108,7 @@ impl fmt::Display for Spec {
 
 #[cfg(test)]
 mod tests {
-    use crate::{multi_vscale, multi_vscale_tso, five_stage, parse};
+    use crate::{five_stage, multi_vscale, multi_vscale_tso, parse};
 
     /// Every built-in specification round-trips through Display + parse.
     #[test]
@@ -119,8 +119,9 @@ mod tests {
             ("five_stage", five_stage::spec()),
         ] {
             let rendered = spec.to_string();
-            let reparsed = parse(&rendered)
-                .unwrap_or_else(|e| panic!("{name}: rendered spec failed to parse: {e}\n{rendered}"));
+            let reparsed = parse(&rendered).unwrap_or_else(|e| {
+                panic!("{name}: rendered spec failed to parse: {e}\n{rendered}")
+            });
             assert_eq!(spec, reparsed, "{name}: round-trip mismatch");
         }
     }

@@ -62,12 +62,7 @@ impl fmt::Display for RtlAtom {
 pub type RtlBool = SvaBool<RtlAtom>;
 
 /// Evaluates an [`RtlBool`] in a design state under the given inputs.
-pub fn eval_bool(
-    sim: &Simulator<'_>,
-    state: &State,
-    inputs: &[u64],
-    b: &RtlBool,
-) -> bool {
+pub fn eval_bool(sim: &Simulator<'_>, state: &State, inputs: &[u64], b: &RtlBool) -> bool {
     b.eval(&|a: &RtlAtom| sim.peek(state, inputs, a.sig) == a.value)
 }
 
@@ -112,7 +107,11 @@ mod tests {
         let a = RtlAtom::eq(r, 28);
         assert_eq!(RtlAtom::parse(&d, &a.render(&d)), Some(a));
         assert_eq!(RtlAtom::parse(&d, "nope == 32'd28"), None);
-        assert_eq!(RtlAtom::parse(&d, "core1_PC_WB == 8'd28"), None, "width mismatch");
+        assert_eq!(
+            RtlAtom::parse(&d, "core1_PC_WB == 8'd28"),
+            None,
+            "width mismatch"
+        );
         assert_eq!(RtlAtom::parse(&d, "core1_PC_WB = 28"), None);
     }
 }

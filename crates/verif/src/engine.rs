@@ -35,12 +35,20 @@ pub struct Engine {
 impl Engine {
     /// A bounded engine with the given cycle bound and state budget.
     pub fn bounded(depth: u32, max_states: usize) -> Engine {
-        Engine { kind: EngineKind::Bounded, max_states, max_depth: Some(depth) }
+        Engine {
+            kind: EngineKind::Bounded,
+            max_states,
+            max_depth: Some(depth),
+        }
     }
 
     /// A full-proof engine with the given state budget.
     pub fn full(max_states: usize) -> Engine {
-        Engine { kind: EngineKind::Full, max_states, max_depth: None }
+        Engine {
+            kind: EngineKind::Full,
+            max_states,
+            max_depth: None,
+        }
     }
 }
 
@@ -161,7 +169,10 @@ mod tests {
         assert_eq!(f.engines.len(), 1);
         assert_eq!(f.engines[0].kind, EngineKind::Full);
         assert!(f.engines[0].max_states > h.engines[1].max_states);
-        assert_eq!(h.cover_max_states, f.cover_max_states, "same cover phase in both rows");
+        assert_eq!(
+            h.cover_max_states, f.cover_max_states,
+            "same cover phase in both rows"
+        );
     }
 
     #[test]
@@ -173,10 +184,15 @@ mod tests {
 
     #[test]
     fn verdict_predicates() {
-        let p = PropertyVerdict::Proven { stats: ExploreStats::default() };
+        let p = PropertyVerdict::Proven {
+            stats: ExploreStats::default(),
+        };
         assert!(p.is_proven());
         assert!(!p.is_falsified());
-        let b = PropertyVerdict::Bounded { depth: 7, stats: ExploreStats::default() };
+        let b = PropertyVerdict::Bounded {
+            depth: 7,
+            stats: ExploreStats::default(),
+        };
         assert!(!b.is_proven());
     }
 }

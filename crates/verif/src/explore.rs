@@ -2,6 +2,7 @@
 
 use std::collections::HashMap;
 
+use rtlcheck_obs::{attrs, span, Collector, NullCollector};
 use rtlcheck_rtl::sim::{Simulator, State};
 use rtlcheck_rtl::waveform::Trace;
 use rtlcheck_rtl::SignalKind;
@@ -92,8 +93,11 @@ struct Exploration<'p, 'd> {
 
 impl<'p, 'd> Exploration<'p, 'd> {
     fn new(problem: &'p Problem<'d>, assertion: Option<&Prop<RtlAtom>>, check_cover: bool) -> Self {
-        let mut monitors: Vec<Monitor<RtlAtom>> =
-            problem.assumptions.iter().map(|d| Monitor::new(&d.prop)).collect();
+        let mut monitors: Vec<Monitor<RtlAtom>> = problem
+            .assumptions
+            .iter()
+            .map(|d| Monitor::new(&d.prop))
+            .collect();
         let assertion_idx = assertion.map(|prop| {
             monitors.push(Monitor::new(prop));
             monitors.len() - 1
@@ -155,7 +159,11 @@ impl<'p, 'd> Exploration<'p, 'd> {
             .expect("all free-init registers must be pinned by init assumptions");
         let init_monitors: Vec<MonitorState> =
             self.monitors.iter().map(|m| m.state().clone()).collect();
-        self.nodes.push(Node { state: initial.clone(), monitors: init_monitors.clone(), parent: None });
+        self.nodes.push(Node {
+            state: initial.clone(),
+            monitors: init_monitors.clone(),
+            parent: None,
+        });
         self.index.insert((initial, init_monitors), 0);
         self.stats.states = 1;
 
@@ -207,8 +215,7 @@ impl<'p, 'd> Exploration<'p, 'd> {
         };
         // Advance every monitor through this cycle's valuation.
         let sim = &self.sim;
-        let env =
-            move |a: &RtlAtom, st: &State| sim.peek(st, input, a.sig) == a.value;
+        let env = move |a: &RtlAtom, st: &State| sim.peek(st, input, a.sig) == a.value;
         let mut next_monitors = Vec::with_capacity(self.monitors.len());
         let mut assumption_failed = false;
         let mut assertion_failed = false;
@@ -258,6 +265,37 @@ impl<'p, 'd> Exploration<'p, 'd> {
         Step::New(idx)
     }
 
+    /// Reports one finished engine run to a collector: the exploration
+    /// counters under `engine.<scope>.*` (so the profile view can relate
+    /// work done to the engine's budget) and each monitor's NFA metrics.
+    fn report(&self, collector: &dyn Collector, scope: &str, engine: Engine) {
+        let s = &self.stats;
+        collector.counter(&format!("engine.{scope}.states"), s.states as u64, attrs![]);
+        collector.counter(
+            &format!("engine.{scope}.transitions"),
+            s.transitions,
+            attrs![],
+        );
+        collector.counter(
+            &format!("engine.{scope}.pruned"),
+            s.pruned_by_assumptions,
+            attrs![],
+        );
+        collector.counter(
+            &format!("engine.{scope}.budget_states"),
+            engine.max_states as u64,
+            attrs![],
+        );
+        for (i, m) in self.monitors.iter().enumerate() {
+            let directive = if Some(i) == self.assertion {
+                "assertion"
+            } else {
+                &self.problem.assumptions[i].name
+            };
+            m.report_to(collector, directive);
+        }
+    }
+
     /// Rebuilds the trace ending with the cycle `(node, final_input)`.
     fn rebuild_trace(&self, node_idx: usize, final_input: &[u64]) -> Trace {
         let mut rev: Vec<(State, Vec<u64>)> =
@@ -295,15 +333,45 @@ pub fn verify_property(
     assertion: &Prop<RtlAtom>,
     config: &VerifyConfig,
 ) -> PropertyVerdict {
+    verify_property_observed(problem, assertion, config, "", &NullCollector)
+}
+
+/// [`verify_property`] with instrumentation: each engine attempt is wrapped
+/// in an `engine_run` span, its [`ExploreStats`] are reported as
+/// `engine.<kind>.*` counters, and hitting a budget emits a
+/// `budget_exhausted` event. `property` labels the stream (use the
+/// assertion's directive name).
+pub fn verify_property_observed(
+    problem: &Problem<'_>,
+    assertion: &Prop<RtlAtom>,
+    config: &VerifyConfig,
+    property: &str,
+    collector: &dyn Collector,
+) -> PropertyVerdict {
     let mut best_bound: Option<(u32, ExploreStats)> = None;
     let mut record_bound = |depth: u32, stats: ExploreStats| {
-        if best_bound.map_or(true, |(d, _)| depth > d) {
+        if best_bound.is_none_or(|(d, _)| depth > d) {
             best_bound = Some((depth, stats));
         }
     };
     for engine in &config.engines {
+        let scope = engine_scope(engine.kind);
+        let mut g = span(
+            collector,
+            "engine_run",
+            attrs![
+                "property" => property,
+                "engine" => scope,
+                "max_states" => engine.max_states,
+            ],
+        );
         let mut exp = Exploration::new(problem, Some(assertion), false);
-        match exp.run(*engine) {
+        let outcome = exp.run(*engine);
+        exp.report(collector, scope, *engine);
+        g.attr("states", exp.stats.states);
+        g.attr("transitions", exp.stats.transitions);
+        g.attr("outcome", run_outcome_label(&outcome));
+        match outcome {
             RunOutcome::Exhausted => match engine.kind {
                 EngineKind::Full => return PropertyVerdict::Proven { stats: exp.stats },
                 // A bounded (BMC-style) engine cannot detect exhaustion: it
@@ -315,16 +383,45 @@ pub fn verify_property(
                 }
             },
             RunOutcome::BudgetHit => {
+                collector.event(
+                    "budget_exhausted",
+                    attrs![
+                        "property" => property,
+                        "engine" => scope,
+                        "states" => exp.stats.states,
+                        "depth_completed" => exp.stats.depth_completed,
+                        "max_states" => engine.max_states,
+                    ],
+                );
                 record_bound(exp.stats.depth_completed, exp.stats);
             }
             RunOutcome::AssertFailed(trace) => {
-                return PropertyVerdict::Falsified { trace: Box::new(trace), stats: exp.stats };
+                return PropertyVerdict::Falsified {
+                    trace: Box::new(trace),
+                    stats: exp.stats,
+                };
             }
             RunOutcome::Covered(_) => unreachable!("cover is disabled in property runs"),
         }
     }
     let (depth, stats) = best_bound.expect("configurations have at least one engine");
     PropertyVerdict::Bounded { depth, stats }
+}
+
+fn engine_scope(kind: EngineKind) -> &'static str {
+    match kind {
+        EngineKind::Bounded => "bounded",
+        EngineKind::Full => "full",
+    }
+}
+
+fn run_outcome_label(outcome: &RunOutcome) -> &'static str {
+    match outcome {
+        RunOutcome::Exhausted => "exhausted",
+        RunOutcome::BudgetHit => "budget_hit",
+        RunOutcome::AssertFailed(_) => "assert_failed",
+        RunOutcome::Covered(_) => "covered",
+    }
 }
 
 /// Searches for a covering trace of the problem's cover condition under its
@@ -335,14 +432,63 @@ pub fn verify_property(
 /// Panics if the problem has no cover condition, a free-init register is
 /// unpinned, or the input space is too large.
 pub fn check_cover(problem: &Problem<'_>, engine: Engine) -> CoverVerdict {
-    assert!(problem.cover.is_some(), "check_cover requires a cover condition");
+    check_cover_observed(problem, engine, &NullCollector)
+}
+
+/// [`check_cover`] with instrumentation: the search runs inside an
+/// `engine_run` span (engine kind `"cover"`), reports `engine.cover.*`
+/// counters, and emits one of the `cover.covered` / `cover.unreachable` /
+/// `cover.unknown` events — plus `budget_exhausted` when the budget ran out
+/// and `conflicting_assumptions` when no execution was admissible at all.
+pub fn check_cover_observed(
+    problem: &Problem<'_>,
+    engine: Engine,
+    collector: &dyn Collector,
+) -> CoverVerdict {
+    assert!(
+        problem.cover.is_some(),
+        "check_cover requires a cover condition"
+    );
+    let mut g = span(
+        collector,
+        "engine_run",
+        attrs!["engine" => "cover", "max_states" => engine.max_states],
+    );
     let mut exp = Exploration::new(problem, None, true);
-    match exp.run(engine) {
-        RunOutcome::Exhausted => CoverVerdict::Unreachable(exp.stats),
-        RunOutcome::BudgetHit => CoverVerdict::Unknown(exp.stats),
-        RunOutcome::Covered(trace) => CoverVerdict::Covered(trace, exp.stats),
-        RunOutcome::AssertFailed(_) => unreachable!("no assertion in cover runs"),
+    let outcome = exp.run(engine);
+    exp.report(collector, "cover", engine);
+    g.attr("states", exp.stats.states);
+    g.attr("transitions", exp.stats.transitions);
+    g.attr("outcome", run_outcome_label(&outcome));
+    if exp.stats.vacuous() {
+        collector.event("conflicting_assumptions", attrs!["engine" => "cover"]);
     }
+    let verdict = match outcome {
+        RunOutcome::Exhausted => {
+            collector.event("cover.unreachable", attrs!["states" => exp.stats.states]);
+            CoverVerdict::Unreachable(exp.stats)
+        }
+        RunOutcome::BudgetHit => {
+            collector.event(
+                "budget_exhausted",
+                attrs![
+                    "engine" => "cover",
+                    "states" => exp.stats.states,
+                    "depth_completed" => exp.stats.depth_completed,
+                    "max_states" => engine.max_states,
+                ],
+            );
+            collector.event("cover.unknown", attrs!["states" => exp.stats.states]);
+            CoverVerdict::Unknown(exp.stats)
+        }
+        RunOutcome::Covered(trace) => {
+            collector.event("cover.covered", attrs!["trace_len" => trace.len()]);
+            CoverVerdict::Covered(trace, exp.stats)
+        }
+        RunOutcome::AssertFailed(_) => unreachable!("no assertion in cover runs"),
+    };
+    g.finish();
+    verdict
 }
 
 /// Convenience: run a full-proof exploration of the design with no
@@ -364,7 +510,11 @@ mod tests {
 
     /// A 3-bit counter with a 1-bit "enable" free input; includes a `first`
     /// register like the RTLCheck harness.
-    fn counter() -> (rtlcheck_rtl::Design, rtlcheck_rtl::SignalId, rtlcheck_rtl::SignalId) {
+    fn counter() -> (
+        rtlcheck_rtl::Design,
+        rtlcheck_rtl::SignalId,
+        rtlcheck_rtl::SignalId,
+    ) {
         let mut b = DesignBuilder::new("c");
         let en = b.input("en", 1);
         let first = b.reg("first", 1, Some(1));
@@ -397,7 +547,10 @@ mod tests {
         // expressed as Never(count == 8) it can never fire).
         let prop = guarded(first, Prop::Never(SvaBool::atom(RtlAtom::eq(count, 8))));
         let verdict = verify_property(&problem, &prop, &VerifyConfig::quick());
-        assert!(matches!(verdict, PropertyVerdict::Proven { .. }), "{verdict:?}");
+        assert!(
+            matches!(verdict, PropertyVerdict::Proven { .. }),
+            "{verdict:?}"
+        );
     }
 
     #[test]
@@ -467,7 +620,11 @@ mod tests {
         let prop = guarded(first, Prop::Never(SvaBool::atom(RtlAtom::eq(count, 8))));
         let config = VerifyConfig {
             name: "bounded-only".into(),
-            engines: vec![Engine { kind: EngineKind::Bounded, max_states: 100_000, max_depth: Some(3) }],
+            engines: vec![Engine {
+                kind: EngineKind::Bounded,
+                max_states: 100_000,
+                max_depth: Some(3),
+            }],
             cover_max_states: 100_000,
         };
         let verdict = verify_property(&problem, &prop, &config);
@@ -499,7 +656,10 @@ mod tests {
             Prop::Never(SvaBool::atom(RtlAtom::is_true(en))),
         ));
         let verdict = check_cover(&problem, Engine::full(100_000));
-        assert!(matches!(verdict, CoverVerdict::Unreachable(_)), "{verdict:?}");
+        assert!(
+            matches!(verdict, CoverVerdict::Unreachable(_)),
+            "{verdict:?}"
+        );
     }
 
     #[test]
@@ -509,9 +669,127 @@ mod tests {
         problem.cover = Some(SvaBool::atom(RtlAtom::eq(count, 7)));
         let verdict = check_cover(
             &problem,
-            Engine { kind: EngineKind::Bounded, max_states: 100_000, max_depth: Some(2) },
+            Engine {
+                kind: EngineKind::Bounded,
+                max_states: 100_000,
+                max_depth: Some(2),
+            },
         );
         assert!(matches!(verdict, CoverVerdict::Unknown(_)), "{verdict:?}");
+    }
+
+    /// A minimal recording collector for the instrumentation tests.
+    #[derive(Default)]
+    struct Rec {
+        counters: std::cell::RefCell<Vec<(String, u64)>>,
+        events: std::cell::RefCell<Vec<String>>,
+        open_spans: std::cell::RefCell<i64>,
+    }
+
+    impl rtlcheck_obs::Collector for Rec {
+        fn span_enter(&self, _id: rtlcheck_obs::SpanId, _name: &str, _attrs: rtlcheck_obs::Attrs) {
+            *self.open_spans.borrow_mut() += 1;
+        }
+        fn span_exit(
+            &self,
+            _id: rtlcheck_obs::SpanId,
+            _name: &str,
+            _elapsed: std::time::Duration,
+            _attrs: rtlcheck_obs::Attrs,
+        ) {
+            *self.open_spans.borrow_mut() -= 1;
+        }
+        fn counter(&self, name: &str, value: u64, _attrs: rtlcheck_obs::Attrs) {
+            self.counters.borrow_mut().push((name.to_string(), value));
+        }
+        fn event(&self, name: &str, _attrs: rtlcheck_obs::Attrs) {
+            self.events.borrow_mut().push(name.to_string());
+        }
+    }
+
+    impl Rec {
+        fn counter(&self, name: &str) -> Option<u64> {
+            self.counters
+                .borrow()
+                .iter()
+                .rev()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+        }
+    }
+
+    #[test]
+    fn observed_property_run_reports_counters_matching_verdict_stats() {
+        let (d, count, first) = counter();
+        let problem = Problem::new(&d);
+        let prop = guarded(first, Prop::Never(SvaBool::atom(RtlAtom::eq(count, 8))));
+        let rec = Rec::default();
+        let verdict =
+            verify_property_observed(&problem, &prop, &VerifyConfig::quick(), "A[0]", &rec);
+        let stats = match verdict {
+            PropertyVerdict::Proven { stats } => stats,
+            other => panic!("expected proof, got {other:?}"),
+        };
+        // The counters carry the same numbers the verdict reports, so the
+        // metrics view and the CLI report can never disagree.
+        assert_eq!(rec.counter("engine.full.states"), Some(stats.states as u64));
+        assert_eq!(
+            rec.counter("engine.full.transitions"),
+            Some(stats.transitions)
+        );
+        assert_eq!(
+            rec.counter("engine.full.pruned"),
+            Some(stats.pruned_by_assumptions)
+        );
+        assert!(rec.counter("engine.full.budget_states").unwrap() >= stats.states as u64);
+        // This property is boolean-only (no sequence NFAs), but the monitor
+        // still reports its stepping activity.
+        assert!(rec.counter("monitor.product_nfa_states").is_some());
+        assert!(rec.counter("monitor.attempts").unwrap() > 0);
+        assert_eq!(*rec.open_spans.borrow(), 0, "engine_run spans balance");
+        assert!(
+            rec.events.borrow().is_empty(),
+            "no budget events on a full proof"
+        );
+    }
+
+    #[test]
+    fn observed_budget_hit_emits_budget_exhausted_event() {
+        let (d, count, first) = counter();
+        let problem = Problem::new(&d);
+        let prop = guarded(first, Prop::Never(SvaBool::atom(RtlAtom::eq(count, 8))));
+        let config = VerifyConfig {
+            name: "bounded-only".into(),
+            engines: vec![Engine {
+                kind: EngineKind::Bounded,
+                max_states: 2,
+                max_depth: Some(100),
+            }],
+            cover_max_states: 100_000,
+        };
+        let rec = Rec::default();
+        let verdict = verify_property_observed(&problem, &prop, &config, "A[0]", &rec);
+        assert!(
+            matches!(verdict, PropertyVerdict::Bounded { .. }),
+            "{verdict:?}"
+        );
+        assert_eq!(rec.events.borrow().as_slice(), ["budget_exhausted"]);
+    }
+
+    #[test]
+    fn observed_cover_search_reports_outcome_events() {
+        let (d, count, _) = counter();
+        let mut problem = Problem::new(&d);
+        problem.cover = Some(SvaBool::atom(RtlAtom::eq(count, 3)));
+        let rec = Rec::default();
+        let verdict = check_cover_observed(&problem, Engine::full(100_000), &rec);
+        assert!(matches!(verdict, CoverVerdict::Covered(..)), "{verdict:?}");
+        assert_eq!(rec.events.borrow().as_slice(), ["cover.covered"]);
+        assert_eq!(
+            rec.counter("engine.cover.states"),
+            Some(verdict.stats().states as u64)
+        );
+        assert_eq!(*rec.open_spans.borrow(), 0);
     }
 
     #[test]

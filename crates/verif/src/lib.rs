@@ -36,6 +36,9 @@ pub mod replay;
 
 pub use atom::RtlAtom;
 pub use engine::{Engine, EngineKind, PropertyVerdict, VerifyConfig};
-pub use explore::{check_cover, verify_property, CoverVerdict, ExploreStats};
+pub use explore::{
+    check_cover, check_cover_observed, verify_property, verify_property_observed, CoverVerdict,
+    ExploreStats,
+};
 pub use problem::{Directive, DirectiveKind, Problem};
 pub use replay::{check_transitions, replay, ReplayVerdict};

@@ -28,12 +28,20 @@ pub struct Directive {
 impl Directive {
     /// Creates an assumption.
     pub fn assume(name: impl Into<String>, prop: Prop<RtlAtom>) -> Self {
-        Directive { name: name.into(), kind: DirectiveKind::Assume, prop }
+        Directive {
+            name: name.into(),
+            kind: DirectiveKind::Assume,
+            prop,
+        }
     }
 
     /// Creates an assertion.
     pub fn assert(name: impl Into<String>, prop: Prop<RtlAtom>) -> Self {
-        Directive { name: name.into(), kind: DirectiveKind::Assert, prop }
+        Directive {
+            name: name.into(),
+            kind: DirectiveKind::Assert,
+            prop,
+        }
     }
 }
 
@@ -57,6 +65,11 @@ pub struct Problem<'d> {
 impl<'d> Problem<'d> {
     /// Creates a problem with no assumptions or cover.
     pub fn new(design: &'d Design) -> Self {
-        Problem { design, init_pins: Vec::new(), assumptions: Vec::new(), cover: None }
+        Problem {
+            design,
+            init_pins: Vec::new(),
+            assumptions: Vec::new(),
+            cover: None,
+        }
     }
 }

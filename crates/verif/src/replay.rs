@@ -43,7 +43,10 @@ impl ReplayVerdict {
     /// Whether the trace violates the assertion at all (confirmed or
     /// early).
     pub fn is_violation(&self) -> bool {
-        matches!(self, ReplayVerdict::Confirmed | ReplayVerdict::EarlyViolation { .. })
+        matches!(
+            self,
+            ReplayVerdict::Confirmed | ReplayVerdict::EarlyViolation { .. }
+        )
     }
 }
 
@@ -54,8 +57,11 @@ impl ReplayVerdict {
 /// execution it describes.
 pub fn replay(problem: &Problem<'_>, assertion: &Prop<RtlAtom>, trace: &Trace) -> ReplayVerdict {
     let sim = Simulator::new(problem.design);
-    let mut assumption_monitors: Vec<Monitor<RtlAtom>> =
-        problem.assumptions.iter().map(|d| Monitor::new(&d.prop)).collect();
+    let mut assumption_monitors: Vec<Monitor<RtlAtom>> = problem
+        .assumptions
+        .iter()
+        .map(|d| Monitor::new(&d.prop))
+        .collect();
     let mut assertion_monitor = Monitor::new(assertion);
     for cycle in 0..trace.len() {
         let state = &trace.states[cycle];
@@ -64,7 +70,10 @@ pub fn replay(problem: &Problem<'_>, assertion: &Prop<RtlAtom>, trace: &Trace) -
         for (i, m) in assumption_monitors.iter_mut().enumerate() {
             m.step(&env);
             if m.failed() {
-                return ReplayVerdict::AssumptionFailed { cycle, assumption: i };
+                return ReplayVerdict::AssumptionFailed {
+                    cycle,
+                    assumption: i,
+                };
             }
         }
         assertion_monitor.step(&env);
@@ -103,7 +112,7 @@ mod tests {
     use crate::problem::Directive;
     use crate::VerifyConfig;
     use rtlcheck_rtl::DesignBuilder;
-    use rtlcheck_sva::{Seq, SvaBool};
+    use rtlcheck_sva::SvaBool;
 
     fn counter() -> rtlcheck_rtl::Design {
         let mut b = DesignBuilder::new("c");

@@ -34,7 +34,11 @@ fn main() {
         // Axiomatic: enumerate and cycle-check all µhb graphs.
         let grounded = ground(&spec, &test, DataMode::Outcome).expect("grounds");
         let axiomatic = solve::solve(&grounded);
-        let ax = if axiomatic.is_forbidden() { "forbidden (all cyclic)" } else { "observable" };
+        let ax = if axiomatic.is_forbidden() {
+            "forbidden (all cyclic)"
+        } else {
+            "observable"
+        };
 
         // Temporal: search for an RTL execution of the complete outcome.
         let report = tool.check_test(&test, &VerifyConfig::quick());

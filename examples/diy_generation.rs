@@ -15,23 +15,43 @@ use rtlcheck::litmus::sc;
 use rtlcheck::prelude::*;
 
 fn main() {
-    let seed: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2017);
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2017);
 
     println!("=== classic critical cycles ===\n");
     let classics: [(&str, &[Edge]); 4] = [
-        ("sb-like (PodWR Fre PodWR Fre)", &[Edge::PodWR, Edge::Fre, Edge::PodWR, Edge::Fre]),
-        ("mp-like (PodWW Rfe PodRR Fre)", &[Edge::PodWW, Edge::Rfe, Edge::PodRR, Edge::Fre]),
-        ("2+2w   (PodWW Coe PodWW Coe)", &[Edge::PodWW, Edge::Coe, Edge::PodWW, Edge::Coe]),
-        ("wrc-like (Rfe PodRW Rfe PodRR Fre)",
-         &[Edge::Rfe, Edge::PodRW, Edge::Rfe, Edge::PodRR, Edge::Fre]),
+        (
+            "sb-like (PodWR Fre PodWR Fre)",
+            &[Edge::PodWR, Edge::Fre, Edge::PodWR, Edge::Fre],
+        ),
+        (
+            "mp-like (PodWW Rfe PodRR Fre)",
+            &[Edge::PodWW, Edge::Rfe, Edge::PodRR, Edge::Fre],
+        ),
+        (
+            "2+2w   (PodWW Coe PodWW Coe)",
+            &[Edge::PodWW, Edge::Coe, Edge::PodWW, Edge::Coe],
+        ),
+        (
+            "wrc-like (Rfe PodRW Rfe PodRR Fre)",
+            &[Edge::Rfe, Edge::PodRW, Edge::Rfe, Edge::PodRR, Edge::Fre],
+        ),
     ];
     let tool = Rtlcheck::new(MemoryImpl::Fixed);
     for (label, cycle) in classics {
         let test = generate(label, cycle).expect("classic cycles are well-formed");
         assert!(!sc::observable(&test), "critical cycles are SC-forbidden");
         let report = tool.check_test(&test, &VerifyConfig::quick());
-        println!("{label}:\n{test}\n  -> RTL: {}\n",
-            if report.verified() { "verified (outcome unobservable)" } else { "VIOLATED" });
+        println!(
+            "{label}:\n{test}\n  -> RTL: {}\n",
+            if report.verified() {
+                "verified (outcome unobservable)"
+            } else {
+                "VIOLATED"
+            }
+        );
         assert!(report.verified());
     }
 
@@ -40,7 +60,9 @@ fn main() {
     let mut generated = 0;
     for len in [3usize, 4, 5, 6] {
         for _ in 0..3 {
-            let Some(cycle) = random_cycle(&mut rng, len) else { continue };
+            let Some(cycle) = random_cycle(&mut rng, len) else {
+                continue;
+            };
             let name = cycle_name(&cycle);
             let test = generate(&name, &cycle).expect("sampled cycles are well-formed");
             let sc_ok = !sc::observable(&test);

@@ -15,13 +15,20 @@ fn main() {
         Some("quick") => VerifyConfig::quick(),
         _ => VerifyConfig::full_proof(),
     };
-    println!("verifying the 56-test suite on fixed Multi-V-scale [{}]\n", config.name);
+    println!(
+        "verifying the 56-test suite on fixed Multi-V-scale [{}]\n",
+        config.name
+    );
 
     let tool = Rtlcheck::new(MemoryImpl::Fixed);
     let (mut proven, mut total, mut by_assume, mut verified) = (0usize, 0usize, 0usize, 0usize);
     for test in suite::all() {
         let report = tool.check_test(&test, &config);
-        let marker = if report.verified_by_assumptions() { "assumptions" } else { "assertions " };
+        let marker = if report.verified_by_assumptions() {
+            "assumptions"
+        } else {
+            "assertions "
+        };
         println!(
             "  {:<12} {} proven {:>3}/{:<3} {:>9.2?}",
             test.name(),

@@ -98,7 +98,10 @@ fn main() {
     for name in falsified.iter().take(3) {
         println!("  ✗ {name}");
     }
-    assert!(!falsified.is_empty(), "the overstrong axiom must be refuted");
+    assert!(
+        !falsified.is_empty(),
+        "the overstrong axiom must be refuted"
+    );
 
     if let Some((name, trace)) = report.first_counterexample() {
         let mv = tool.build_design(&sb);
@@ -107,14 +110,22 @@ fn main() {
             "{}",
             trace.render(
                 &mv.design,
-                &["arbiter_grant", "core0_PC_WB", "core0_load_data_WB", "core1_PC_WB", "core1_load_data_WB"],
+                &[
+                    "arbiter_grant",
+                    "core0_PC_WB",
+                    "core0_load_data_WB",
+                    "core1_PC_WB",
+                    "core1_load_data_WB"
+                ],
             )
         );
     }
 
     println!("=== refined specification: BeforeAllWrites restored (Figure 5) ===\n");
     let refined = rtlcheck::uspec::parse(REFINED).expect("refined spec parses");
-    let report = Rtlcheck::new(MemoryImpl::Fixed).with_spec(refined).check_test(&sb, &config);
+    let report = Rtlcheck::new(MemoryImpl::Fixed)
+        .with_spec(refined)
+        .check_test(&sb, &config);
     println!("{report}");
     assert!(
         report.properties.iter().all(|p| !p.verdict.is_falsified()),

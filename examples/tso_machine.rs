@@ -47,7 +47,11 @@ fn main() {
             )
         );
     }
-    let falsified = report.properties.iter().filter(|p| p.verdict.is_falsified()).count();
+    let falsified = report
+        .properties
+        .iter()
+        .filter(|p| p.verdict.is_falsified())
+        .count();
     println!(
         "TSO axioms: {}/{} proven, {falsified} falsified — the reordering is \
          architecturally legal\n",

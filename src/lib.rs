@@ -43,6 +43,7 @@
 
 pub use rtlcheck_core as core;
 pub use rtlcheck_litmus as litmus;
+pub use rtlcheck_obs as obs;
 pub use rtlcheck_rtl as rtl;
 pub use rtlcheck_sva as sva;
 pub use rtlcheck_uhb as uhb;

@@ -3,20 +3,30 @@
 //! ```text
 //! rtlcheck check <test.litmus | suite-test-name> [--memory fixed|buggy|tso]
 //!                [--config quick|hybrid|full-proof] [--trace] [--vcd <path>]
+//!                [--events <out.jsonl>] [--metrics <out.json>]
 //! rtlcheck emit-sva <test.litmus | name> [--memory ...]
 //! rtlcheck emit-verilog <test.litmus | name> [--memory ...]
 //! rtlcheck axiomatic <test.litmus | name> [--memory ...] [--dot]
-//! rtlcheck suite [--memory ...] [--config ...]
+//! rtlcheck suite [--memory ...] [--config ...] [--events <out.jsonl>] [--metrics <out.json>]
+//! rtlcheck profile <metrics.json>
 //! rtlcheck list
 //! ```
+//!
+//! `--events` streams every pipeline span, counter, and event as one JSON
+//! object per line; `--metrics` aggregates them (per-phase latency
+//! histograms, counter totals, slowest properties) into a summary that
+//! `rtlcheck profile` renders.
 
+use std::io::{BufWriter, Write as _};
 use std::process::ExitCode;
 
 use rtlcheck::core::{CoverOutcome, Rtlcheck};
 use rtlcheck::litmus::{suite, LitmusTest};
+use rtlcheck::obs::{Collector, JsonlCollector, MetricsCollector, MetricsSummary, MultiCollector};
 use rtlcheck::prelude::*;
 use rtlcheck::uhb::solve;
 use rtlcheck::uspec::ground::{ground, DataMode};
+use rtlcheck::verif::PropertyVerdict;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -34,13 +44,17 @@ fn main() -> ExitCode {
 const USAGE: &str = "\
 usage:
   rtlcheck check <test> [--memory fixed|buggy|tso] [--config quick|hybrid|full-proof] [--trace] [--vcd <path>]
+                 [--events <out.jsonl>] [--metrics <out.json>]
   rtlcheck emit-sva <test> [--memory ...]
   rtlcheck emit-verilog <test> [--memory ...]
   rtlcheck axiomatic <test> [--memory ...] [--dot]
-  rtlcheck suite [--memory ...] [--config ...]
+  rtlcheck suite [--memory ...] [--config ...] [--events <out.jsonl>] [--metrics <out.json>]
+  rtlcheck profile <metrics.json>
   rtlcheck list
 
-<test> is a path to a .litmus file or the name of a built-in suite test.";
+<test> is a path to a .litmus file or the name of a built-in suite test.
+--events streams spans/counters/events as JSON lines; --metrics writes an
+aggregated summary which `rtlcheck profile` renders as a report.";
 
 fn run(args: &[String]) -> Result<ExitCode, String> {
     let Some(cmd) = args.first() else {
@@ -68,6 +82,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         }
         "axiomatic" => axiomatic(rest),
         "suite" => suite_cmd(rest),
+        "profile" => profile(rest),
         other => Err(format!("unknown subcommand `{other}`")),
     }
 }
@@ -114,7 +129,16 @@ fn common_args(
                 let v = it.next().ok_or("--vcd needs a path")?;
                 flags.push(format!("--vcd={v}"));
             }
-            f if f.starts_with("--") => flags.push(f.to_string()),
+            "--events" => {
+                let v = it.next().ok_or("--events needs a path")?;
+                flags.push(format!("--events={v}"));
+            }
+            "--metrics" => {
+                let v = it.next().ok_or("--metrics needs a path")?;
+                flags.push(format!("--metrics={v}"));
+            }
+            f @ ("--trace" | "--dot") => flags.push(f.to_string()),
+            f if f.starts_with("--") => return Err(format!("unknown flag `{f}`")),
             positional => {
                 if test.is_some() {
                     return Err(format!("unexpected argument `{positional}`"));
@@ -140,6 +164,55 @@ fn flag_config(flags: &[String]) -> Result<VerifyConfig, String> {
     Ok(VerifyConfig::quick())
 }
 
+/// The `--events` / `--metrics` sinks of one CLI invocation.
+struct Observability {
+    jsonl: Option<JsonlCollector<BufWriter<std::fs::File>>>,
+    metrics: Option<(MetricsCollector, String)>,
+}
+
+impl Observability {
+    fn from_flags(flags: &[String]) -> Result<Observability, String> {
+        let jsonl = match flags.iter().find_map(|f| f.strip_prefix("--events=")) {
+            Some(path) => {
+                let file =
+                    std::fs::File::create(path).map_err(|e| format!("creating {path}: {e}"))?;
+                Some(JsonlCollector::new(BufWriter::new(file)))
+            }
+            None => None,
+        };
+        let metrics = flags
+            .iter()
+            .find_map(|f| f.strip_prefix("--metrics="))
+            .map(|path| (MetricsCollector::new(), path.to_string()));
+        Ok(Observability { jsonl, metrics })
+    }
+
+    /// The fan-out collector over the active sinks (a no-op when none).
+    fn collector(&self) -> MultiCollector<'_> {
+        let mut sinks: Vec<&dyn Collector> = Vec::new();
+        if let Some(j) = &self.jsonl {
+            sinks.push(j);
+        }
+        if let Some((m, _)) = &self.metrics {
+            sinks.push(m);
+        }
+        MultiCollector::new(sinks)
+    }
+
+    /// Flushes the event stream and writes the metrics summary file.
+    fn finish(self) -> Result<(), String> {
+        if let Some(j) = self.jsonl {
+            let mut w = j.finish().map_err(|e| format!("writing events: {e}"))?;
+            w.flush().map_err(|e| format!("writing events: {e}"))?;
+        }
+        if let Some((m, path)) = self.metrics {
+            let text = m.summary().to_json().pretty();
+            std::fs::write(&path, text + "\n").map_err(|e| format!("writing {path}: {e}"))?;
+        }
+        Ok(())
+    }
+}
+
 fn load_test(arg: &str) -> Result<LitmusTest, String> {
     if let Some(t) = suite::get(arg) {
         return Ok(t);
@@ -152,10 +225,13 @@ fn load_test(arg: &str) -> Result<LitmusTest, String> {
 fn check(args: &[String]) -> Result<ExitCode, String> {
     let (test, memory, flags) = common_args(args, true)?;
     let config = flag_config(&flags)?;
+    let obs = Observability::from_flags(&flags)?;
     let tool = Rtlcheck::new(memory);
-    let report = tool.check_test(&test, &config);
+    let report = tool.check_test_observed(&test, &config, &obs.collector());
+    obs.finish()?;
     println!("{report}");
     if flags.iter().any(|f| f == "--trace") {
+        print_explore_stats(&report);
         let mv = tool.build_design(&test);
         let signals: Vec<String> = mv
             .design
@@ -173,7 +249,10 @@ fn check(args: &[String]) -> Result<ExitCode, String> {
             println!("\ncovering trace:\n{}", trace.render(&mv.design, &names));
         }
         if let Some((name, trace)) = report.first_counterexample() {
-            println!("\ncounterexample for {name}:\n{}", trace.render(&mv.design, &names));
+            println!(
+                "\ncounterexample for {name}:\n{}",
+                trace.render(&mv.design, &names)
+            );
         }
     }
     if let Some(path) = flags.iter().find_map(|f| f.strip_prefix("--vcd=")) {
@@ -194,7 +273,73 @@ fn check(args: &[String]) -> Result<ExitCode, String> {
             None => println!("\nno violating trace to dump (test verified)"),
         }
     }
-    Ok(if report.bug_found() { ExitCode::FAILURE } else { ExitCode::SUCCESS })
+    Ok(if report.bug_found() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
+/// The `--trace` exploration table: per-phase/per-property states,
+/// transitions, assumption pruning, and completed depth — the same numbers
+/// the `--metrics` counters aggregate.
+fn print_explore_stats(report: &TestReport) {
+    println!("\nexploration statistics:");
+    println!(
+        "  {:<28} {:<12} {:>8} {:>12} {:>8} {:>6} {:>12}",
+        "phase/property", "verdict", "states", "transitions", "pruned", "depth", "time"
+    );
+    let c = report.cover_stats;
+    let cover_verdict = match &report.cover {
+        CoverOutcome::VerifiedUnreachable => "unreachable",
+        CoverOutcome::BugWitness(_) => "covered",
+        CoverOutcome::Inconclusive => "unknown",
+    };
+    println!(
+        "  {:<28} {:<12} {:>8} {:>12} {:>8} {:>6} {:>12}",
+        "cover",
+        cover_verdict,
+        c.states,
+        c.transitions,
+        c.pruned_by_assumptions,
+        c.depth_completed,
+        format!("{:.2?}", report.cover_elapsed),
+    );
+    for p in &report.properties {
+        let s = p.stats();
+        let verdict = match &p.verdict {
+            PropertyVerdict::Proven { .. } if p.vacuously_proven() => "VACUOUS".to_string(),
+            PropertyVerdict::Proven { .. } => "proven".to_string(),
+            PropertyVerdict::Bounded { depth, .. } => format!("bounded@{depth}"),
+            PropertyVerdict::Falsified { .. } => "FALSIFIED".to_string(),
+        };
+        println!(
+            "  {:<28} {:<12} {:>8} {:>12} {:>8} {:>6} {:>12}",
+            p.name,
+            verdict,
+            s.states,
+            s.transitions,
+            s.pruned_by_assumptions,
+            s.depth_completed,
+            format!("{:.2?}", p.elapsed),
+        );
+    }
+    let t = report.total_stats();
+    println!(
+        "  total: {} states, {} transitions, {} pruned by assumptions",
+        t.states, t.transitions, t.pruned_by_assumptions
+    );
+}
+
+fn profile(args: &[String]) -> Result<ExitCode, String> {
+    let path = args.first().ok_or("profile needs a <metrics.json> path")?;
+    if let Some(extra) = args.get(1) {
+        return Err(format!("unexpected argument `{extra}`"));
+    }
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let summary = MetricsSummary::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    println!("{}", summary.render().trim_end());
+    Ok(ExitCode::SUCCESS)
 }
 
 fn axiomatic(args: &[String]) -> Result<ExitCode, String> {
@@ -225,10 +370,12 @@ fn axiomatic(args: &[String]) -> Result<ExitCode, String> {
 fn suite_cmd(args: &[String]) -> Result<ExitCode, String> {
     let (_, memory, flags) = common_args(args, false)?;
     let config = flag_config(&flags)?;
+    let obs = Observability::from_flags(&flags)?;
+    let collector = obs.collector();
     let tool = Rtlcheck::new(memory);
     let mut violations = 0;
     for test in suite::all() {
-        let report = tool.check_test(&test, &config);
+        let report = tool.check_test_observed(&test, &config, &collector);
         let status = if report.bug_found() {
             violations += 1;
             "VIOLATION"
@@ -247,7 +394,24 @@ fn suite_cmd(args: &[String]) -> Result<ExitCode, String> {
             report.properties.len(),
             report.runtime_to_verification()
         );
+        let vacuous_props = report.vacuous_properties();
+        if report.vacuous {
+            println!("             WARNING: contradictory assumptions — vacuous verification");
+        } else if !vacuous_props.is_empty() {
+            println!(
+                "             WARNING: {} propert{} proven vacuously: {}",
+                vacuous_props.len(),
+                if vacuous_props.len() == 1 { "y" } else { "ies" },
+                vacuous_props.join(", "),
+            );
+        }
     }
     println!("\n{violations} violations");
-    Ok(if violations > 0 { ExitCode::FAILURE } else { ExitCode::SUCCESS })
+    drop(collector);
+    obs.finish()?;
+    Ok(if violations > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
 }

@@ -17,8 +17,8 @@ use rtlcheck::uspec::ground::{ground, DataMode};
 
 fn axiomatically_forbidden(test: &LitmusTest) -> bool {
     let spec = multi_vscale_spec();
-    let grounded = ground(&spec, test, DataMode::Outcome)
-        .unwrap_or_else(|e| panic!("{}: {e}", test.name()));
+    let grounded =
+        ground(&spec, test, DataMode::Outcome).unwrap_or_else(|e| panic!("{}: {e}", test.name()));
     solve::solve(&grounded).is_forbidden()
 }
 
@@ -35,7 +35,9 @@ fn rtl_observable(test: &LitmusTest) -> bool {
 
 #[test]
 fn suite_subset_agrees_between_flows() {
-    for name in ["mp", "sb", "lb", "iriw", "wrc", "rwc", "co-mp", "n6", "ssl", "safe001"] {
+    for name in [
+        "mp", "sb", "lb", "iriw", "wrc", "rwc", "co-mp", "n6", "ssl", "safe001",
+    ] {
         let test = suite::get(name).unwrap();
         assert!(axiomatically_forbidden(&test), "{name}: axiomatic");
         assert!(!rtl_observable(&test), "{name}: RTL");
@@ -85,7 +87,9 @@ fn random_diy_tests_agree_between_flows() {
     let mut checked = 0;
     for len in [3usize, 4, 5] {
         for _ in 0..4 {
-            let Some(cycle) = diy::random_cycle(&mut rng, len) else { continue };
+            let Some(cycle) = diy::random_cycle(&mut rng, len) else {
+                continue;
+            };
             let test = diy::generate(&diy::cycle_name(&cycle), &cycle).unwrap();
             if test.num_cores() > 4 {
                 continue; // beyond the Multi-V-scale design
@@ -103,5 +107,8 @@ fn random_diy_tests_agree_between_flows() {
             checked += 1;
         }
     }
-    assert!(checked >= 6, "differential fuzzing needs a reasonable sample, got {checked}");
+    assert!(
+        checked >= 6,
+        "differential fuzzing needs a reasonable sample, got {checked}"
+    );
 }

@@ -87,8 +87,12 @@ fn axiomatic_subcommand_reports_verdicts() {
 
 #[test]
 fn bad_usage_exits_2_with_usage_text() {
-    for args in [&[][..], &["frobnicate"][..], &["check"][..], &["check", "nonexistent-test"][..]]
-    {
+    for args in [
+        &[][..],
+        &["frobnicate"][..],
+        &["check"][..],
+        &["check", "nonexistent-test"][..],
+    ] {
         let out = rtlcheck(args);
         assert_eq!(out.status.code(), Some(2), "{args:?}");
         let err = String::from_utf8(out.stderr).unwrap();

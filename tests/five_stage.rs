@@ -35,7 +35,11 @@ fn permitted_outcomes_observable_on_five_stage() {
     ];
     for src in cases {
         let test = rtlcheck::litmus::parse(src).unwrap();
-        assert!(sc::observable(&test), "{}: case must be SC-permitted", test.name());
+        assert!(
+            sc::observable(&test),
+            "{}: case must be SC-permitted",
+            test.name()
+        );
         let report = check_test(&test, &VerifyConfig::quick());
         assert!(
             matches!(report.cover, CoverOutcome::BugWitness(_)),
@@ -43,7 +47,11 @@ fn permitted_outcomes_observable_on_five_stage() {
             test.name()
         );
         assert_eq!(
-            report.properties.iter().filter(|p| p.verdict.is_falsified()).count(),
+            report
+                .properties
+                .iter()
+                .filter(|p| p.verdict.is_falsified())
+                .count(),
             0,
             "{}: axioms must hold on permitted executions too",
             test.name()

@@ -15,7 +15,11 @@ fn whole_suite_verifies_on_the_fixed_design() {
         let report = tool.check_test(&test, &config);
         assert!(report.verified(), "{}:\n{report}", test.name());
         assert!(!report.bug_found(), "{}:\n{report}", test.name());
-        assert!(!report.vacuous, "{}: contradictory assumptions", test.name());
+        assert!(
+            !report.vacuous,
+            "{}: contradictory assumptions",
+            test.name()
+        );
     }
 }
 
@@ -54,9 +58,18 @@ fn proven_percentages_match_the_paper_shape() {
         results.push(100.0 * proven as f64 / total as f64);
     }
     let (hybrid, full) = (results[0], results[1]);
-    assert!(full >= hybrid, "Full_Proof ({full:.1}%) must prove at least Hybrid ({hybrid:.1}%)");
-    assert!((75.0..=88.0).contains(&hybrid), "Hybrid proven % = {hybrid:.1}");
-    assert!((85.0..=95.0).contains(&full), "Full_Proof proven % = {full:.1}");
+    assert!(
+        full >= hybrid,
+        "Full_Proof ({full:.1}%) must prove at least Hybrid ({hybrid:.1}%)"
+    );
+    assert!(
+        (75.0..=88.0).contains(&hybrid),
+        "Hybrid proven % = {hybrid:.1}"
+    );
+    assert!(
+        (85.0..=95.0).contains(&full),
+        "Full_Proof proven % = {full:.1}"
+    );
 }
 
 /// A sizeable subset of tests must verify through the unreachable-assumption

@@ -27,7 +27,10 @@ fn mp_sva_file_matches_figure_8_and_10_shapes() {
     }
     // Figure 10: a strict-delay assertion for the load of x (PC 68) with a
     // value constraint, `first`-guarded.
-    assert!(text.contains("assert property (@(posedge clk) first == 1'd1 |->"), "{text}");
+    assert!(
+        text.contains("assert property (@(posedge clk) first == 1'd1 |->"),
+        "{text}"
+    );
     assert!(text.contains("[*0:$]"), "{text}");
     assert!(text.contains("core1_PC_WB == 32'd68"), "{text}");
     assert!(text.contains("core1_load_data_WB == 32'd0"), "{text}");
@@ -37,8 +40,14 @@ fn mp_sva_file_matches_figure_8_and_10_shapes() {
 fn sva_file_has_one_directive_per_line_and_parses_visually() {
     let mp = suite::get("mp").unwrap();
     let text = Rtlcheck::new(MemoryImpl::Fixed).emit_sva(&mp);
-    let assumes = text.lines().filter(|l| l.starts_with("assume property")).count();
-    let asserts = text.lines().filter(|l| l.starts_with("assert property")).count();
+    let assumes = text
+        .lines()
+        .filter(|l| l.starts_with("assume property"))
+        .count();
+    let asserts = text
+        .lines()
+        .filter(|l| l.starts_with("assert property"))
+        .count();
     // 2 mem words + 4 cores' imem slots + 2 loads + final = assumptions;
     // one assertion per grounded axiom instance.
     assert!(assumes >= 10, "{assumes} assumptions");
@@ -59,7 +68,11 @@ fn verilog_emission_is_stable_for_both_memories() {
         assert!(v.contains("endmodule"), "{memory:?}");
         assert!(v.contains("core1_load_data_WB"), "{memory:?}");
         // The buggy store buffer only exists in the buggy variant.
-        assert_eq!(v.contains("mem_wpending"), memory == MemoryImpl::Buggy, "{memory:?}");
+        assert_eq!(
+            v.contains("mem_wpending"),
+            memory == MemoryImpl::Buggy,
+            "{memory:?}"
+        );
     }
 }
 
@@ -94,8 +107,7 @@ fn emitted_sva_file_reparses_and_reverifies() {
     // Re-verify the re-parsed assertions: all must prove, like the
     // originals.
     let spec = rtlcheck::uspec::multi_vscale::spec();
-    let originals =
-        assert_gen::generate(&spec, &mv, &mp, AssertionOptions::paper()).unwrap();
+    let originals = assert_gen::generate(&spec, &mv, &mp, AssertionOptions::paper()).unwrap();
     assert_eq!(asserts.len(), originals.len());
     let generated = assume::generate(&mv, &mp);
     let mut problem = Problem::new(&mv.design);

@@ -11,7 +11,11 @@ fn falsified_count(options: AssertionOptions, memory: MemoryImpl) -> usize {
     let report = Rtlcheck::new(memory)
         .with_options(options)
         .check_test(&mp, &VerifyConfig::quick());
-    report.properties.iter().filter(|p| p.verdict.is_falsified()).count()
+    report
+        .properties
+        .iter()
+        .filter(|p| p.verdict.is_falsified())
+        .count()
 }
 
 /// §3.2: simplifying axioms under the litmus outcome before translation
@@ -19,7 +23,10 @@ fn falsified_count(options: AssertionOptions, memory: MemoryImpl) -> usize {
 /// design actually respecting microarchitectural orderings".
 #[test]
 fn naive_outcome_translation_reports_spurious_bug() {
-    assert_eq!(falsified_count(AssertionOptions::paper(), MemoryImpl::Fixed), 0);
+    assert_eq!(
+        falsified_count(AssertionOptions::paper(), MemoryImpl::Fixed),
+        0
+    );
     assert!(
         falsified_count(AssertionOptions::naive_outcome(), MemoryImpl::Fixed) > 0,
         "outcome-simplified assertions must spuriously fail on the correct design"
@@ -62,13 +69,19 @@ fn naive_edges_miss_all_buggy_violations() {
         if !strict.bug_found() {
             continue; // this test does not trip the bug
         }
-        let strict_falsified =
-            strict.properties.iter().filter(|p| p.verdict.is_falsified()).count();
+        let strict_falsified = strict
+            .properties
+            .iter()
+            .filter(|p| p.verdict.is_falsified())
+            .count();
         let naive = Rtlcheck::new(MemoryImpl::Buggy)
             .with_options(AssertionOptions::naive_edges())
             .check_test(&test, &config);
-        let naive_falsified =
-            naive.properties.iter().filter(|p| p.verdict.is_falsified()).count();
+        let naive_falsified = naive
+            .properties
+            .iter()
+            .filter(|p| p.verdict.is_falsified())
+            .count();
         assert!(
             naive_falsified < strict_falsified,
             "{name}: naive edges should miss assertion violations (strict {strict_falsified}, naive {naive_falsified})"

@@ -1,0 +1,172 @@
+//! End-to-end tests of the observability layer: the `--events` JSONL
+//! stream, the `--metrics` summary, and their consistency with the report
+//! the flow returns.
+
+use std::collections::HashMap;
+use std::process::Command;
+
+use rtlcheck::core::Rtlcheck;
+use rtlcheck::obs::json::Json;
+use rtlcheck::obs::{JsonlCollector, MetricsCollector, MultiCollector};
+use rtlcheck::prelude::*;
+
+fn rtlcheck(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_rtlcheck"))
+        .args(args)
+        .output()
+        .expect("the rtlcheck binary runs")
+}
+
+/// Golden check of the JSONL schema: every line parses, carries the
+/// mandatory fields of its type, and span enters/exits balance exactly.
+#[test]
+fn check_events_produces_schema_valid_jsonl() {
+    let dir = std::env::temp_dir().join(format!("rtlcheck-obs-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let events = dir.join("events.jsonl");
+    let metrics = dir.join("metrics.json");
+
+    let out = rtlcheck(&[
+        "check",
+        "mp",
+        "--events",
+        events.to_str().unwrap(),
+        "--metrics",
+        metrics.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{out:?}");
+
+    let text = std::fs::read_to_string(&events).unwrap();
+    let mut open: HashMap<u64, String> = HashMap::new();
+    let mut seen_names = Vec::new();
+    let mut counters = 0u64;
+    for line in text.lines() {
+        let v = Json::parse(line).unwrap_or_else(|e| panic!("{e}: {line}"));
+        assert!(v.get("t_us").and_then(Json::as_u64).is_some(), "{line}");
+        match v.get("type").and_then(Json::as_str).unwrap() {
+            "span_enter" => {
+                let id = v.get("id").and_then(Json::as_u64).unwrap();
+                let name = v.get("name").and_then(Json::as_str).unwrap();
+                seen_names.push(name.to_string());
+                open.insert(id, name.to_string());
+            }
+            "span_exit" => {
+                let id = v.get("id").and_then(Json::as_u64).unwrap();
+                let name = v.get("name").and_then(Json::as_str).unwrap();
+                assert_eq!(open.remove(&id).as_deref(), Some(name), "{line}");
+                assert!(v.get("dur_us").and_then(Json::as_u64).is_some(), "{line}");
+            }
+            "counter" => {
+                counters += 1;
+                assert!(v.get("name").and_then(Json::as_str).is_some(), "{line}");
+                assert!(v.get("value").and_then(Json::as_u64).is_some(), "{line}");
+            }
+            "event" => {
+                assert!(v.get("name").and_then(Json::as_str).is_some(), "{line}");
+            }
+            other => panic!("unknown line type `{other}`: {line}"),
+        }
+    }
+    assert!(open.is_empty(), "unbalanced spans: {open:?}");
+    assert!(counters > 0, "the flow reports counters");
+    for phase in [
+        "check_test",
+        "design_build",
+        "assumption_gen",
+        "assertion_gen",
+        "cover_search",
+    ] {
+        assert!(
+            seen_names.iter().any(|n| n == phase),
+            "missing span `{phase}`"
+        );
+    }
+
+    // The metrics file parses back and `rtlcheck profile` renders it.
+    let summary_text = std::fs::read_to_string(&metrics).unwrap();
+    let summary = rtlcheck::obs::MetricsSummary::parse(&summary_text).expect("metrics file parses");
+    assert_eq!(
+        summary.event_count("verdict.proven"),
+        24,
+        "mp proves all 24 properties"
+    );
+    let out = rtlcheck(&["profile", metrics.to_str().unwrap()]);
+    assert!(out.status.success(), "{out:?}");
+    let rendered = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        rendered.contains("RTLCheck verification profile"),
+        "{rendered}"
+    );
+    assert!(rendered.contains("check_test"), "{rendered}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The metrics counters must sum to the totals the report carries — the
+/// acceptance invariant tying `--metrics` to `--trace`.
+#[test]
+fn metrics_counters_match_report_totals() {
+    let test = rtlcheck::litmus::suite::get("mp").unwrap();
+    let config = VerifyConfig::quick();
+    let jsonl = JsonlCollector::new(Vec::new());
+    let metrics = MetricsCollector::new();
+    let report = {
+        let multi = MultiCollector::new(vec![&jsonl, &metrics]);
+        Rtlcheck::new(MemoryImpl::Fixed).check_test_observed(&test, &config, &multi)
+    };
+    assert!(report.verified(), "{report}");
+
+    let summary = metrics.summary();
+    let totals = report.total_stats();
+    let counter = |name: &str| summary.counter(name).map_or(0, |c| c.total);
+    assert_eq!(
+        counter("cover.states") + counter("property.states"),
+        totals.states as u64,
+        "metrics states == --trace total states"
+    );
+    assert_eq!(
+        counter("cover.transitions") + counter("property.transitions"),
+        totals.transitions,
+        "metrics transitions == --trace total transitions"
+    );
+    assert_eq!(
+        counter("cover.pruned") + counter("property.pruned"),
+        totals.pruned_by_assumptions,
+        "metrics pruning == --trace total pruning"
+    );
+    assert_eq!(
+        summary.event_count("verdict.proven") as usize,
+        report.num_proven(),
+        "one verdict event per proven property"
+    );
+
+    // The span layer is the single timing source: the per-span histogram
+    // totals bound the report's wall-clock figures.
+    let spans = summary
+        .spans
+        .iter()
+        .map(|s| (s.name.as_str(), s.hist.count()))
+        .collect::<HashMap<_, _>>();
+    assert_eq!(
+        spans.get("property").copied(),
+        Some(report.properties.len() as u64)
+    );
+    assert_eq!(spans.get("cover_search").copied(), Some(1));
+
+    // And the raw stream stays balanced under the same run.
+    let bytes = jsonl.finish().unwrap();
+    let text = String::from_utf8(bytes).unwrap();
+    let mut depth = 0i64;
+    for line in text.lines() {
+        match Json::parse(line)
+            .unwrap()
+            .get("type")
+            .and_then(Json::as_str)
+        {
+            Some("span_enter") => depth += 1,
+            Some("span_exit") => depth -= 1,
+            _ => {}
+        }
+    }
+    assert_eq!(depth, 0, "span enters/exits balance");
+}

@@ -46,5 +46,8 @@ fn buggy_design_counterexamples_replay_as_genuine() {
             }
         }
     }
-    assert!(confirmed >= 3, "expected several confirmed counterexamples, got {confirmed}");
+    assert!(
+        confirmed >= 3,
+        "expected several confirmed counterexamples, got {confirmed}"
+    );
 }

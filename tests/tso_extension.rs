@@ -22,7 +22,11 @@ fn sb_reorders_on_tso_hardware_without_violating_tso_axioms() {
         report.cover
     );
     assert_eq!(
-        report.properties.iter().filter(|p| p.verdict.is_falsified()).count(),
+        report
+            .properties
+            .iter()
+            .filter(|p| p.verdict.is_falsified())
+            .count(),
         0,
         "the TSO axioms describe the TSO design: no assertion may fail\n{report}"
     );
@@ -34,8 +38,14 @@ fn sb_reorders_on_tso_hardware_without_violating_tso_axioms() {
 fn mp_stays_forbidden_on_tso_hardware() {
     let mp = suite::get("mp").unwrap();
     let report = Rtlcheck::tso().check_test(&mp, &VerifyConfig::quick());
-    assert!(matches!(report.cover, CoverOutcome::VerifiedUnreachable), "{report}");
-    assert!(!report.properties.iter().any(|p| p.verdict.is_falsified()), "{report}");
+    assert!(
+        matches!(report.cover, CoverOutcome::VerifiedUnreachable),
+        "{report}"
+    );
+    assert!(
+        !report.properties.iter().any(|p| p.verdict.is_falsified()),
+        "{report}"
+    );
 }
 
 /// The headline TSO differential: for every suite test, outcome
@@ -62,7 +72,11 @@ fn whole_suite_agrees_with_the_tso_oracle() {
             test.name()
         );
         assert_eq!(
-            report.properties.iter().filter(|p| p.verdict.is_falsified()).count(),
+            report
+                .properties
+                .iter()
+                .filter(|p| p.verdict.is_falsified())
+                .count(),
             0,
             "{}: a TSO axiom was falsified on the TSO design:\n{report}",
             test.name()
@@ -71,7 +85,11 @@ fn whole_suite_agrees_with_the_tso_oracle() {
             observable.push(test.name().to_string());
         }
     }
-    assert_eq!(observable.len(), 21, "the TSO-relaxed subset of the suite: {observable:?}");
+    assert_eq!(
+        observable.len(),
+        21,
+        "the TSO-relaxed subset of the suite: {observable:?}"
+    );
 }
 
 /// The *SC* axioms, checked against the *TSO* design, must produce
@@ -105,8 +123,7 @@ fn fences_restore_ordering_on_tso_hardware() {
         let report = tool.check_test(&test, &config);
         let rtl_observable = matches!(report.cover, CoverOutcome::BugWitness(_));
         assert_eq!(
-            rtl_observable,
-            expect_observable,
+            rtl_observable, expect_observable,
             "{name}: expected observable={expect_observable}\n{report}"
         );
         assert_eq!(
@@ -115,12 +132,19 @@ fn fences_restore_ordering_on_tso_hardware() {
             "{name}: RTL disagrees with the x86-TSO oracle"
         );
         assert_eq!(
-            report.properties.iter().filter(|p| p.verdict.is_falsified()).count(),
+            report
+                .properties
+                .iter()
+                .filter(|p| p.verdict.is_falsified())
+                .count(),
             0,
             "{name}: a TSO axiom was falsified:\n{report}"
         );
         assert!(
-            report.properties.iter().any(|p| p.name.starts_with("Fence_Order")),
+            report
+                .properties
+                .iter()
+                .any(|p| p.name.starts_with("Fence_Order")),
             "{name}: Fence_Order instances should be generated"
         );
     }

@@ -18,7 +18,10 @@ fn mp_violation_found_with_counterexample_and_witness() {
     let CoverOutcome::BugWitness(witness) = &report.cover else {
         panic!("expected a covering trace, got {:?}", report.cover);
     };
-    assert!(witness.len() >= 6, "the violation needs the full pipelined schedule");
+    assert!(
+        witness.len() >= 6,
+        "the violation needs the full pipelined schedule"
+    );
 
     // As in the paper, the falsified property checks the Read_Values axiom.
     let (name, trace) = report.first_counterexample().expect("a falsified property");
@@ -45,8 +48,14 @@ fn mp_violation_found_with_counterexample_and_witness() {
     }
     let st_x_cycle = st_x_cycle.expect("store of x completes WB in the counterexample");
     let (ld_x_cycle, ld_x_value) = ld_x.expect("load of x completes WB in the counterexample");
-    assert!(st_x_cycle < ld_x_cycle, "store of x completes before the load of x");
-    assert_eq!(ld_x_value, 0, "the load of x returns the dropped (stale) value");
+    assert!(
+        st_x_cycle < ld_x_cycle,
+        "store of x completes before the load of x"
+    );
+    assert_eq!(
+        ld_x_value, 0,
+        "the load of x returns the dropped (stale) value"
+    );
 }
 
 /// The bug triggers on two stores reaching the memory in *successive
