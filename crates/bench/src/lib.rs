@@ -16,12 +16,14 @@
 //! test in the suite under one configuration and collects the per-test
 //! numbers the figures plot.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Duration;
 
 use rtlcheck_core::{Rtlcheck, TestReport};
-use rtlcheck_litmus::suite;
+use rtlcheck_litmus::{suite, LitmusTest};
 pub use rtlcheck_obs::json::Json;
-use rtlcheck_obs::{Collector, NullCollector};
+use rtlcheck_obs::{BufferCollector, Collector, NullCollector};
 use rtlcheck_rtl::multi_vscale::MemoryImpl;
 use rtlcheck_verif::VerifyConfig;
 
@@ -206,15 +208,89 @@ pub fn run_suite_observed(
     config: &VerifyConfig,
     collector: &dyn Collector,
 ) -> SuiteResults {
-    let tool = Rtlcheck::new(memory);
-    let rows = suite::all()
-        .iter()
-        .map(|t| TestRow::from_report(&tool.check_test_observed(t, config, collector)))
-        .collect();
+    run_suite_jobs_observed(memory, config, 1, collector)
+}
+
+/// [`run_suite`] with `jobs` worker threads; see [`check_tests_observed`]
+/// for the parallel execution and determinism contract.
+pub fn run_suite_jobs(memory: MemoryImpl, config: &VerifyConfig, jobs: usize) -> SuiteResults {
+    run_suite_jobs_observed(memory, config, jobs, &NullCollector)
+}
+
+/// [`run_suite_jobs`] with instrumentation.
+pub fn run_suite_jobs_observed(
+    memory: MemoryImpl,
+    config: &VerifyConfig,
+    jobs: usize,
+    collector: &dyn Collector,
+) -> SuiteResults {
+    let reports = check_tests_observed(memory, &suite::all(), config, jobs, collector);
     SuiteResults {
         config: config.name.clone(),
-        rows,
+        rows: reports.iter().map(TestRow::from_report).collect(),
     }
+}
+
+/// Runs the full flow on each test with a pool of `jobs` worker threads
+/// (self-scheduling over the test list; tests are independent, so no finer
+/// decomposition is needed), returning the reports **in input order**.
+///
+/// Determinism contract: the returned reports and everything `collector`
+/// observes are independent of `jobs`. Each worker records its test's
+/// instrumentation into a private [`BufferCollector`]; once all workers
+/// finish, the buffers are replayed into `collector` in input order, so the
+/// collector sees exactly the stream a sequential run would have produced
+/// (span durations are the workers' original measurements). The
+/// observability invariants — counters summing to report totals, balanced
+/// spans — therefore hold under any job count.
+///
+/// `jobs` ≤ 1 runs inline on the calling thread, reporting straight to
+/// `collector` with no buffering.
+pub fn check_tests_observed(
+    memory: MemoryImpl,
+    tests: &[LitmusTest],
+    config: &VerifyConfig,
+    jobs: usize,
+    collector: &dyn Collector,
+) -> Vec<TestReport> {
+    let workers = jobs.max(1).min(tests.len().max(1));
+    if workers <= 1 {
+        let tool = Rtlcheck::new(memory);
+        return tests
+            .iter()
+            .map(|t| tool.check_test_observed(t, config, collector))
+            .collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<(TestReport, BufferCollector)>>> =
+        tests.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let tool = Rtlcheck::new(memory);
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(test) = tests.get(i) else { break };
+                    let buf = BufferCollector::new();
+                    let report = tool.check_test_observed(test, config, &buf);
+                    *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some((report, buf));
+                }
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            let (report, buf) = slot
+                .into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .expect("every test slot is filled once its worker finishes");
+            buf.replay_into(collector);
+            report
+        })
+        .collect()
 }
 
 /// Renders an ASCII bar chart: one row per `(label, value)`, scaled to

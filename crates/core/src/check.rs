@@ -8,8 +8,8 @@ use rtlcheck_rtl::multi_vscale::{MemoryImpl, MultiVscale};
 use rtlcheck_sva::emit;
 use rtlcheck_uspec::Spec;
 use rtlcheck_verif::{
-    check_cover_observed, verify_property_observed, CoverVerdict, Problem, PropertyVerdict,
-    VerifyConfig,
+    build_graph, check_cover_on_graph_observed, explore, verify_property_on_graph_observed,
+    CoverVerdict, Problem, PropertyVerdict, VerifyConfig,
 };
 
 use crate::assert_gen::{self, AssertionOptions, GeneratedAssertion};
@@ -201,9 +201,25 @@ pub(crate) fn run_flow_observed(
     config: &VerifyConfig,
     collector: &dyn Collector,
 ) -> TestReport {
+    // Phase 0: build the shared state graph — the design × assumption
+    // product that the cover search and every property walk reuse. Warmed
+    // under the cover engine's budget; walks extend it lazily if their own
+    // budget reaches further.
+    let mut g = span(collector, "graph_build", attrs!["test" => test_name]);
+    let graph = build_graph(
+        problem,
+        assertions.iter().map(|a| &a.directive.prop),
+        config.cover_engine(),
+    );
+    let gs = graph.stats();
+    g.attr("nodes", gs.nodes);
+    g.attr("edges", gs.edges);
+    g.attr("complete", gs.complete);
+    g.finish();
+
     // Phase 1: covering-trace search (§4.1).
     let mut g = span(collector, "cover_search", attrs!["test" => test_name]);
-    let cover_verdict = check_cover_observed(problem, config.cover_engine(), collector);
+    let cover_verdict = check_cover_on_graph_observed(&graph, config.cover_engine(), collector);
     let cover_stats = cover_verdict.stats();
     g.attr("states", cover_stats.states);
     let cover_elapsed = g.finish();
@@ -244,7 +260,8 @@ pub(crate) fn run_flow_observed(
             "property",
             attrs!["test" => test_name, "property" => name, "axiom" => &a.axiom],
         );
-        let verdict = verify_property_observed(problem, &a.directive.prop, config, name, collector);
+        let verdict =
+            verify_property_on_graph_observed(&graph, &a.directive.prop, config, name, collector);
         let stats = verdict.stats();
         collector.counter(
             "property.states",
@@ -283,6 +300,10 @@ pub(crate) fn run_flow_observed(
         });
     }
 
+    // The graph's construction/reuse counters and the shared assumption
+    // monitors' metrics, once per test.
+    graph.report_to(collector);
+
     TestReport {
         test: test_name.to_string(),
         config: config.name.clone(),
@@ -291,6 +312,67 @@ pub(crate) fn run_flow_observed(
         cover_stats,
         properties,
         vacuous,
+    }
+}
+
+/// Reference (pre-split) flow: re-explores the product per property via the
+/// monolithic reference engine. Exists only as the oracle for the
+/// differential tests — not part of the supported API.
+#[doc(hidden)]
+pub fn run_flow_reference(
+    test_name: &str,
+    problem: &Problem<'_>,
+    assertions: &[GeneratedAssertion],
+    config: &VerifyConfig,
+) -> TestReport {
+    let cover_start = std::time::Instant::now();
+    let cover_verdict = explore::check_cover_reference(problem, config.cover_engine());
+    let cover_elapsed = cover_start.elapsed();
+    let cover_stats = cover_verdict.stats();
+    let vacuous = cover_stats.vacuous();
+    let cover = match cover_verdict {
+        CoverVerdict::Unreachable(_) => CoverOutcome::VerifiedUnreachable,
+        CoverVerdict::Covered(trace, _) => CoverOutcome::BugWitness(Box::new(trace)),
+        CoverVerdict::Unknown(_) => CoverOutcome::Inconclusive,
+    };
+    let properties = assertions
+        .iter()
+        .map(|a| {
+            let start = std::time::Instant::now();
+            let verdict = explore::verify_property_reference(problem, &a.directive.prop, config);
+            PropertyReport {
+                name: a.directive.name.clone(),
+                axiom: a.axiom.clone(),
+                verdict,
+                elapsed: start.elapsed(),
+            }
+        })
+        .collect();
+    TestReport {
+        test: test_name.to_string(),
+        config: config.name.clone(),
+        cover,
+        cover_elapsed,
+        cover_stats,
+        properties,
+        vacuous,
+    }
+}
+
+impl Rtlcheck {
+    /// [`Rtlcheck::check_test`] through the reference (pre-split) engine;
+    /// see [`run_flow_reference`].
+    #[doc(hidden)]
+    pub fn check_test_reference(&self, test: &LitmusTest, config: &VerifyConfig) -> TestReport {
+        let mv = self.build_design(test);
+        let assumptions = assume::generate(&mv, test);
+        let assertions = assert_gen::generate(&self.spec, &mv, test, self.options)
+            .expect("Multi-V-scale µspec is synthesizable");
+        let mut problem = Problem::new(&mv.design);
+        problem.init_pins = assumptions.init_pins.clone();
+        problem.assumptions = assumptions.directives.clone();
+        problem.cover = Some(assumptions.cover.clone());
+        run_flow_reference(test.name(), &problem, &assertions, config)
     }
 }
 

@@ -29,6 +29,7 @@
 //! CLI-reported times and metrics-reported times therefore cannot disagree.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub mod json;
@@ -225,6 +226,100 @@ impl Collector for MultiCollector<'_> {
     }
 }
 
+/// One recorded instrumentation operation; see [`BufferCollector`].
+enum BufferedOp {
+    SpanEnter(SpanId, String, Vec<(&'static str, AttrValue)>),
+    SpanExit(SpanId, String, Duration, Vec<(&'static str, AttrValue)>),
+    Counter(String, u64, Vec<(&'static str, AttrValue)>),
+    Event(String, Vec<(&'static str, AttrValue)>),
+}
+
+/// A collector that records the stream verbatim for later replay.
+///
+/// This is the merge layer for the parallel suite engine: each worker
+/// thread records its test's instrumentation into a private
+/// `BufferCollector`, and the driver replays the buffers into the real
+/// collector **in suite order** once the workers finish. Consumers
+/// therefore see exactly the stream a sequential run would have produced —
+/// same operations, same order, same span durations (measured on the
+/// worker, not at replay time) — which is what keeps the metrics/trace
+/// invariants deterministic under `--jobs N`.
+///
+/// The buffer is `Send + Sync` (a mutexed vector), so it can also serve as
+/// a thread-safe recording collector in tests.
+#[derive(Default)]
+pub struct BufferCollector {
+    ops: Mutex<Vec<BufferedOp>>,
+}
+
+impl BufferCollector {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BufferCollector::default()
+    }
+
+    /// Number of operations buffered so far.
+    pub fn len(&self) -> usize {
+        self.ops.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Replays every recorded operation, in recording order, into `target`.
+    /// Consumes the buffer; span durations are the original measurements.
+    pub fn replay_into(self, target: &dyn Collector) {
+        let ops = self.ops.into_inner().unwrap_or_else(|e| e.into_inner());
+        for op in ops {
+            match op {
+                BufferedOp::SpanEnter(id, name, attrs) => target.span_enter(id, &name, &attrs),
+                BufferedOp::SpanExit(id, name, elapsed, attrs) => {
+                    target.span_exit(id, &name, elapsed, &attrs)
+                }
+                BufferedOp::Counter(name, value, attrs) => target.counter(&name, value, &attrs),
+                BufferedOp::Event(name, attrs) => target.event(&name, &attrs),
+            }
+        }
+    }
+
+    fn push(&self, op: BufferedOp) {
+        self.ops.lock().unwrap_or_else(|e| e.into_inner()).push(op);
+    }
+}
+
+impl std::fmt::Debug for BufferCollector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BufferCollector")
+            .field("ops", &self.len())
+            .finish()
+    }
+}
+
+impl Collector for BufferCollector {
+    fn span_enter(&self, id: SpanId, name: &str, attrs: Attrs) {
+        self.push(BufferedOp::SpanEnter(id, name.to_string(), attrs.to_vec()));
+    }
+
+    fn span_exit(&self, id: SpanId, name: &str, elapsed: Duration, attrs: Attrs) {
+        self.push(BufferedOp::SpanExit(
+            id,
+            name.to_string(),
+            elapsed,
+            attrs.to_vec(),
+        ));
+    }
+
+    fn counter(&self, name: &str, value: u64, attrs: Attrs) {
+        self.push(BufferedOp::Counter(name.to_string(), value, attrs.to_vec()));
+    }
+
+    fn event(&self, name: &str, attrs: Attrs) {
+        self.push(BufferedOp::Event(name.to_string(), attrs.to_vec()));
+    }
+}
+
 /// Opens a span: emits `span_enter` now, `span_exit` when the guard is
 /// finished (or dropped).
 pub fn span<'a>(collector: &'a dyn Collector, name: &'a str, attrs: Attrs<'_>) -> SpanGuard<'a> {
@@ -362,6 +457,35 @@ mod tests {
     fn null_collector_is_silent_and_spans_still_time() {
         let d = span(&NullCollector, "p", attrs!["k" => 1u64]).finish();
         assert!(d < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn buffer_collector_replays_verbatim_in_order() {
+        let buf = BufferCollector::new();
+        {
+            let mut g = span(&buf, "phase", attrs!["test" => "mp"]);
+            g.attr("states", 7u64);
+        }
+        buf.counter("c", 3, attrs![]);
+        buf.event("e", attrs![]);
+        assert_eq!(buf.len(), 4);
+        let rec = Recorder::default();
+        buf.replay_into(&rec);
+        assert_eq!(
+            *rec.lines.borrow(),
+            vec![
+                "enter phase",
+                "exit phase [test=mp,states=7]",
+                "counter c=3",
+                "event e",
+            ]
+        );
+    }
+
+    #[test]
+    fn buffer_collector_is_send_and_sync() {
+        fn takes<T: Send + Sync>(_: &T) {}
+        takes(&BufferCollector::new());
     }
 
     #[test]

@@ -527,6 +527,50 @@ impl MetricsSummary {
             );
         }
 
+        let graph_build: Option<&SpanSummary> = self.spans.iter().find(|s| s.name == "graph_build");
+        if graph_build.is_some() || self.counter("graph.nodes").is_some() {
+            let _ = writeln!(out, "\nEngine split (shared graphs vs property walks):");
+            if let Some(g) = graph_build {
+                let walk_us: u64 = self
+                    .spans
+                    .iter()
+                    .filter(|s| s.name == "property" || s.name == "cover_search")
+                    .map(|s| s.hist.sum_us())
+                    .sum();
+                let _ = writeln!(
+                    out,
+                    "  graph build: {} across {} graph(s); property/cover walks: {}",
+                    fmt_us(g.hist.sum_us()),
+                    g.hist.count(),
+                    fmt_us(walk_us),
+                );
+            }
+            if let (Some(nodes), Some(edges)) =
+                (self.counter("graph.nodes"), self.counter("graph.edges"))
+            {
+                let _ = writeln!(
+                    out,
+                    "  graph size: {} node(s), {} edge(s), {} pruned by assumptions",
+                    nodes.total,
+                    edges.total,
+                    self.counter("graph.pruned_edges").map_or(0, |c| c.total),
+                );
+            }
+            if let (Some(lookups), Some(hits)) = (
+                self.counter("graph.lookups"),
+                self.counter("graph.reuse_hits"),
+            ) {
+                if lookups.total > 0 {
+                    let _ = writeln!(
+                        out,
+                        "  graph reuse: {:.0}% of {} edge lookups served from cache",
+                        100.0 * hits.total as f64 / lookups.total as f64,
+                        lookups.total,
+                    );
+                }
+            }
+        }
+
         let slow_props: Vec<&SlowSpan> = self
             .slowest
             .iter()
@@ -732,6 +776,36 @@ mod tests {
         assert!(text.contains("exhausted"), "{text}");
         assert!(text.contains("90%"), "{text}");
         assert!(text.contains("A[1]"), "{text}");
+    }
+
+    #[test]
+    fn render_shows_the_engine_split_and_graph_reuse() {
+        let m = MetricsCollector::new();
+        m.span_exit(
+            SpanId(1),
+            "graph_build",
+            Duration::from_millis(3),
+            attrs!["test" => "mp"],
+        );
+        m.span_exit(
+            SpanId(2),
+            "property",
+            Duration::from_millis(1),
+            attrs!["property" => "A[0]"],
+        );
+        m.counter("graph.nodes", 120, attrs![]);
+        m.counter("graph.edges", 400, attrs![]);
+        m.counter("graph.pruned_edges", 30, attrs![]);
+        m.counter("graph.lookups", 200, attrs![]);
+        m.counter("graph.reuse_hits", 150, attrs![]);
+        let text = m.summary().render();
+        assert!(text.contains("Engine split"), "{text}");
+        assert!(text.contains("graph build: 3.0 ms"), "{text}");
+        assert!(text.contains("120 node(s), 400 edge(s)"), "{text}");
+        assert!(
+            text.contains("graph reuse: 75% of 200 edge lookups"),
+            "{text}"
+        );
     }
 
     #[test]

@@ -69,6 +69,30 @@ impl<A> SvaBool<A> {
             SvaBool::Or(a, b) => a.eval(env) || b.eval(env),
         }
     }
+
+    /// Visits every atom, left to right.
+    pub fn for_each_atom<F: FnMut(&A)>(&self, f: &mut F) {
+        match self {
+            SvaBool::Const(_) => {}
+            SvaBool::Atom(a) => f(a),
+            SvaBool::Not(b) => b.for_each_atom(f),
+            SvaBool::And(a, b) | SvaBool::Or(a, b) => {
+                a.for_each_atom(f);
+                b.for_each_atom(f);
+            }
+        }
+    }
+
+    /// Rebuilds the expression with every atom mapped through `f`.
+    pub fn map_atoms<B, F: FnMut(&A) -> B>(&self, f: &mut F) -> SvaBool<B> {
+        match self {
+            SvaBool::Const(c) => SvaBool::Const(*c),
+            SvaBool::Atom(a) => SvaBool::Atom(f(a)),
+            SvaBool::Not(b) => SvaBool::not(b.map_atoms(f)),
+            SvaBool::And(a, b) => SvaBool::and(a.map_atoms(f), b.map_atoms(f)),
+            SvaBool::Or(a, b) => SvaBool::or(a.map_atoms(f), b.map_atoms(f)),
+        }
+    }
 }
 
 /// A sequence (SVA's regular-expression-like layer over clock cycles).
@@ -134,6 +158,28 @@ impl<A> Seq<A> {
         let first = it.next().expect("chain of at least one sequence");
         it.fold(first, Seq::then)
     }
+
+    /// Visits every atom, left to right.
+    pub fn for_each_atom<F: FnMut(&A)>(&self, f: &mut F) {
+        match self {
+            Seq::Bool(b) => b.for_each_atom(f),
+            Seq::Then(a, b) | Seq::Or(a, b) => {
+                a.for_each_atom(f);
+                b.for_each_atom(f);
+            }
+            Seq::Repeat { body, .. } => body.for_each_atom(f),
+        }
+    }
+
+    /// Rebuilds the sequence with every atom mapped through `f`.
+    pub fn map_atoms<B, F: FnMut(&A) -> B>(&self, f: &mut F) -> Seq<B> {
+        match self {
+            Seq::Bool(b) => Seq::Bool(b.map_atoms(f)),
+            Seq::Then(a, b) => Seq::then(a.map_atoms(f), b.map_atoms(f)),
+            Seq::Repeat { body, min, max } => Seq::repeat(body.map_atoms(f), *min, *max),
+            Seq::Or(a, b) => Seq::Or(Box::new(a.map_atoms(f)), Box::new(b.map_atoms(f))),
+        }
+    }
 }
 
 /// A property.
@@ -189,6 +235,40 @@ impl<A> Prop<A> {
         match props.len() {
             1 => props.pop().expect("len checked"),
             _ => Prop::Or(props),
+        }
+    }
+
+    /// Visits every atom, left to right.
+    pub fn for_each_atom<F: FnMut(&A)>(&self, f: &mut F) {
+        match self {
+            Prop::Seq(s) => s.for_each_atom(f),
+            Prop::Implies { antecedent, body } => {
+                antecedent.for_each_atom(f);
+                body.for_each_atom(f);
+            }
+            Prop::And(ps) | Prop::Or(ps) => {
+                for p in ps {
+                    p.for_each_atom(f);
+                }
+            }
+            Prop::Never(b) => b.for_each_atom(f),
+        }
+    }
+
+    /// Rebuilds the property with every atom mapped through `f`. An
+    /// injective mapping preserves monitor behaviour exactly: the compiled
+    /// NFAs are structural over the atom positions, so a monitor of the
+    /// mapped property steps identically to a monitor of the original.
+    pub fn map_atoms<B, F: FnMut(&A) -> B>(&self, f: &mut F) -> Prop<B> {
+        match self {
+            Prop::Seq(s) => Prop::Seq(s.map_atoms(f)),
+            Prop::Implies { antecedent, body } => Prop::Implies {
+                antecedent: antecedent.map_atoms(f),
+                body: Box::new(body.map_atoms(f)),
+            },
+            Prop::And(ps) => Prop::And(ps.iter().map(|p| p.map_atoms(f)).collect()),
+            Prop::Or(ps) => Prop::Or(ps.iter().map(|p| p.map_atoms(f)).collect()),
+            Prop::Never(b) => Prop::Never(b.map_atoms(f)),
         }
     }
 }

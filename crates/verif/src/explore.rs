@@ -1,19 +1,31 @@
 //! The product-state exploration core.
+//!
+//! Since the engine split, exploration is factored in two:
+//!
+//! * [`crate::graph::StateGraph`] materialises the shared part of a test's
+//!   product space — design states × assumption-monitor states, with
+//!   per-edge atom valuations — once per [`Problem`].
+//! * [`Walk`] (internal) layers one assertion monitor's NFA over the cached
+//!   graph. [`verify_property`] and [`check_cover`] are thin drivers around
+//!   walks; their budget semantics ([`Engine`] limits, bounded-vs-complete
+//!   verdicts, [`ExploreStats`]) are bit-for-bit those of the pre-split
+//!   monolithic exploration.
+//!
+//! The monolithic exploration is retained at the bottom of this file as
+//! [`verify_property_reference`]/[`check_cover_reference`] — a deliberately
+//! independent implementation the differential tests compare against.
 
 use std::collections::HashMap;
 
 use rtlcheck_obs::{attrs, span, Collector, NullCollector};
 use rtlcheck_rtl::sim::{Simulator, State};
 use rtlcheck_rtl::waveform::Trace;
-use rtlcheck_rtl::SignalKind;
-use rtlcheck_sva::{Monitor, MonitorState, Prop};
+use rtlcheck_sva::{Monitor, MonitorState, Prop, SvaBool};
 
 use crate::atom::{eval_bool, RtlAtom};
 use crate::engine::{Engine, EngineKind, PropertyVerdict, VerifyConfig};
+use crate::graph::{input_valuations, StateGraph, PRUNED};
 use crate::problem::Problem;
-
-/// Maximum number of primary-input valuations enumerated per cycle.
-const MAX_INPUT_VALUATIONS: usize = 256;
 
 /// Statistics from one exploration run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -70,8 +82,481 @@ enum RunOutcome {
     Covered(Trace),
 }
 
-/// One node of the product-state graph.
-struct Node {
+enum Step {
+    Pruned,
+    Known,
+    New(usize),
+    AssertFailed,
+    Covered,
+}
+
+/// Builds the shared state graph for a problem and the properties that will
+/// be checked against it, eagerly warmed under `engine`'s budget. This is
+/// the "build once per test" entry point; hand the result to
+/// [`verify_property_on_graph`] / [`check_cover_on_graph`].
+pub fn build_graph<'p, 'd, 'a, I>(
+    problem: &'p Problem<'d>,
+    props: I,
+    engine: Engine,
+) -> StateGraph<'p, 'd>
+where
+    I: IntoIterator<Item = &'a Prop<RtlAtom>>,
+{
+    StateGraph::build(problem, props, engine)
+}
+
+// ---------------------------------------------------------------------------
+// The graph walk: one assertion (or cover) NFA over the shared graph.
+// ---------------------------------------------------------------------------
+
+/// One node of a walk: a graph node paired with the assertion monitor's
+/// state at that node.
+struct WalkNode {
+    graph_node: u32,
+    monitor: Option<MonitorState>,
+    /// `(parent walk-node index, input index of the edge into this node)`.
+    parent: Option<(usize, usize)>,
+}
+
+/// A breadth-first walk of one monitor over a [`StateGraph`]. Mirrors the
+/// reference exploration exactly: same frontier order, same per-input
+/// budget checks, same statistics — the only difference is that design
+/// stepping and assumption pruning are served by the graph.
+struct Walk<'g, 'p, 'd> {
+    graph: &'g StateGraph<'p, 'd>,
+    /// The assertion monitor (compiled over atom-table indices), if any.
+    monitor: Option<Monitor<usize>>,
+    /// The cover condition (over atom-table indices), if searched for.
+    cover: Option<SvaBool<usize>>,
+    nodes: Vec<WalkNode>,
+    index: HashMap<(u32, Option<MonitorState>), usize>,
+    /// Scratch bitset for the edge currently being examined.
+    bits: Vec<u64>,
+    stats: ExploreStats,
+}
+
+impl<'g, 'p, 'd> Walk<'g, 'p, 'd> {
+    fn new(
+        graph: &'g StateGraph<'p, 'd>,
+        assertion: Option<&Prop<RtlAtom>>,
+        check_cover: bool,
+    ) -> Self {
+        let monitor = assertion.map(|p| Monitor::new(&graph.map_prop(p)));
+        let cover = if check_cover {
+            graph.problem().cover.as_ref().map(|c| graph.map_bool(c))
+        } else {
+            None
+        };
+        Walk {
+            graph,
+            monitor,
+            cover,
+            nodes: Vec::new(),
+            index: HashMap::new(),
+            bits: Vec::new(),
+            stats: ExploreStats::default(),
+        }
+    }
+
+    /// Breadth-first walk until a verdict or the budget is hit.
+    fn run(&mut self, engine: Engine) -> RunOutcome {
+        let init_monitor = self.monitor.as_ref().map(|m| m.state().clone());
+        self.nodes.push(WalkNode {
+            graph_node: 0,
+            monitor: init_monitor.clone(),
+            parent: None,
+        });
+        self.index.insert((0, init_monitor), 0);
+        self.stats.states = 1;
+
+        let num_inputs = self.graph.num_inputs();
+        let mut frontier: Vec<usize> = vec![0];
+        let mut depth: u32 = 0;
+        loop {
+            if frontier.is_empty() {
+                self.stats.depth_completed = depth;
+                return RunOutcome::Exhausted;
+            }
+            if let Some(max_depth) = engine.max_depth {
+                if depth >= max_depth {
+                    self.stats.depth_completed = depth;
+                    return RunOutcome::BudgetHit;
+                }
+            }
+            let mut next_frontier = Vec::new();
+            for &node_idx in &frontier {
+                for input in 0..num_inputs {
+                    match self.transition(node_idx, input) {
+                        Step::Pruned => {}
+                        Step::Known => {}
+                        Step::New(idx) => next_frontier.push(idx),
+                        Step::AssertFailed => {
+                            let trace = self.rebuild_trace(node_idx, input);
+                            return RunOutcome::AssertFailed(trace);
+                        }
+                        Step::Covered => {
+                            let trace = self.rebuild_trace(node_idx, input);
+                            return RunOutcome::Covered(trace);
+                        }
+                    }
+                    if self.stats.states > engine.max_states {
+                        self.stats.depth_completed = depth;
+                        return RunOutcome::BudgetHit;
+                    }
+                }
+            }
+            depth += 1;
+            frontier = next_frontier;
+        }
+    }
+
+    fn transition(&mut self, node_idx: usize, input: usize) -> Step {
+        let graph_node = self.nodes[node_idx].graph_node;
+        let dest = self.graph.edge(graph_node, input, &mut self.bits);
+        if dest == PRUNED {
+            // The trace leaves the assumed envelope this cycle: discard it,
+            // including any simultaneous assertion failure (there is no
+            // admissible execution extending this prefix).
+            self.stats.pruned_by_assumptions += 1;
+            return Step::Pruned;
+        }
+        self.stats.transitions += 1;
+
+        let bits = &self.bits;
+        let env = |i: &usize| bits[i / 64] & (1 << (i % 64)) != 0;
+        let next_monitor = match &mut self.monitor {
+            Some(m) => {
+                m.set_state(
+                    self.nodes[node_idx]
+                        .monitor
+                        .clone()
+                        .expect("walk nodes carry a monitor state when an assertion is present"),
+                );
+                m.step(&env);
+                if m.failed() {
+                    return Step::AssertFailed;
+                }
+                Some(m.state().clone())
+            }
+            None => None,
+        };
+        if let Some(cover) = &self.cover {
+            if cover.eval(&env) {
+                return Step::Covered;
+            }
+        }
+        let key = (dest, next_monitor);
+        if self.index.contains_key(&key) {
+            return Step::Known;
+        }
+        let idx = self.nodes.len();
+        self.nodes.push(WalkNode {
+            graph_node: dest,
+            monitor: key.1.clone(),
+            parent: Some((node_idx, input)),
+        });
+        self.index.insert(key, idx);
+        self.stats.states += 1;
+        Step::New(idx)
+    }
+
+    /// Reports one finished engine run to a collector: the exploration
+    /// counters under `engine.<scope>.*` (so the profile view can relate
+    /// work done to the engine's budget) and the assertion monitor's NFA
+    /// metrics. (Assumption-monitor metrics live on the shared graph; see
+    /// [`StateGraph::report_to`].)
+    fn report(&self, collector: &dyn Collector, scope: &str, engine: Engine) {
+        let s = &self.stats;
+        collector.counter(&format!("engine.{scope}.states"), s.states as u64, attrs![]);
+        collector.counter(
+            &format!("engine.{scope}.transitions"),
+            s.transitions,
+            attrs![],
+        );
+        collector.counter(
+            &format!("engine.{scope}.pruned"),
+            s.pruned_by_assumptions,
+            attrs![],
+        );
+        collector.counter(
+            &format!("engine.{scope}.budget_states"),
+            engine.max_states as u64,
+            attrs![],
+        );
+        if let Some(m) = &self.monitor {
+            m.report_to(collector, "assertion");
+        }
+    }
+
+    /// Rebuilds the trace ending with the cycle `(node, final_input)`.
+    fn rebuild_trace(&self, node_idx: usize, final_input: usize) -> Trace {
+        let mut rev: Vec<(State, Vec<u64>)> = vec![(
+            self.graph.node_state(self.nodes[node_idx].graph_node),
+            self.graph.input(final_input).to_vec(),
+        )];
+        let mut cur = node_idx;
+        while let Some((parent, input)) = self.nodes[cur].parent {
+            rev.push((
+                self.graph.node_state(self.nodes[parent].graph_node),
+                self.graph.input(input).to_vec(),
+            ));
+            cur = parent;
+        }
+        let mut trace = Trace::new();
+        for (state, input) in rev.into_iter().rev() {
+            trace.push(state, input);
+        }
+        trace
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Public verification API (graph-walk engine).
+// ---------------------------------------------------------------------------
+
+/// Verifies one assertion against the problem's design and assumptions,
+/// running the configuration's engines in order (§6.1, Table 1).
+///
+/// Builds a throwaway lazy [`StateGraph`] internally; when checking several
+/// properties of one problem, build the graph once with [`build_graph`] and
+/// use [`verify_property_on_graph`] instead.
+///
+/// # Panics
+///
+/// Panics if a free-init register is not pinned by `problem.init_pins`, or
+/// the design's primary-input space is too large to enumerate.
+pub fn verify_property(
+    problem: &Problem<'_>,
+    assertion: &Prop<RtlAtom>,
+    config: &VerifyConfig,
+) -> PropertyVerdict {
+    verify_property_observed(problem, assertion, config, "", &NullCollector)
+}
+
+/// [`verify_property`] with instrumentation; see
+/// [`verify_property_on_graph_observed`] for the span/counter contract.
+pub fn verify_property_observed(
+    problem: &Problem<'_>,
+    assertion: &Prop<RtlAtom>,
+    config: &VerifyConfig,
+    property: &str,
+    collector: &dyn Collector,
+) -> PropertyVerdict {
+    let graph = StateGraph::new(problem, [assertion]);
+    verify_property_on_graph_observed(&graph, assertion, config, property, collector)
+}
+
+/// Verifies one assertion as an NFA walk over a prebuilt [`StateGraph`].
+///
+/// # Panics
+///
+/// Panics if the assertion mentions an atom the graph was not built with.
+pub fn verify_property_on_graph(
+    graph: &StateGraph<'_, '_>,
+    assertion: &Prop<RtlAtom>,
+    config: &VerifyConfig,
+) -> PropertyVerdict {
+    verify_property_on_graph_observed(graph, assertion, config, "", &NullCollector)
+}
+
+/// [`verify_property_on_graph`] with instrumentation: each engine attempt is
+/// wrapped in an `engine_run` span, its [`ExploreStats`] are reported as
+/// `engine.<kind>.*` counters, and hitting a budget emits a
+/// `budget_exhausted` event. `property` labels the stream (use the
+/// assertion's directive name).
+pub fn verify_property_on_graph_observed(
+    graph: &StateGraph<'_, '_>,
+    assertion: &Prop<RtlAtom>,
+    config: &VerifyConfig,
+    property: &str,
+    collector: &dyn Collector,
+) -> PropertyVerdict {
+    let mut best_bound: Option<(u32, ExploreStats)> = None;
+    let mut record_bound = |depth: u32, stats: ExploreStats| {
+        if best_bound.is_none_or(|(d, _)| depth > d) {
+            best_bound = Some((depth, stats));
+        }
+    };
+    for engine in &config.engines {
+        let scope = engine_scope(engine.kind);
+        let mut g = span(
+            collector,
+            "engine_run",
+            attrs![
+                "property" => property,
+                "engine" => scope,
+                "max_states" => engine.max_states,
+            ],
+        );
+        let mut walk = Walk::new(graph, Some(assertion), false);
+        let outcome = walk.run(*engine);
+        walk.report(collector, scope, *engine);
+        g.attr("states", walk.stats.states);
+        g.attr("transitions", walk.stats.transitions);
+        g.attr("outcome", run_outcome_label(&outcome));
+        match outcome {
+            RunOutcome::Exhausted => match engine.kind {
+                EngineKind::Full => return PropertyVerdict::Proven { stats: walk.stats },
+                // A bounded (BMC-style) engine cannot detect exhaustion: it
+                // only ever certifies its configured cycle bound (which the
+                // exhausted exploration has in fact verified).
+                EngineKind::Bounded => {
+                    let depth = engine.max_depth.expect("bounded engines carry a depth");
+                    record_bound(depth, walk.stats);
+                }
+            },
+            RunOutcome::BudgetHit => {
+                collector.event(
+                    "budget_exhausted",
+                    attrs![
+                        "property" => property,
+                        "engine" => scope,
+                        "states" => walk.stats.states,
+                        "depth_completed" => walk.stats.depth_completed,
+                        "max_states" => engine.max_states,
+                    ],
+                );
+                record_bound(walk.stats.depth_completed, walk.stats);
+            }
+            RunOutcome::AssertFailed(trace) => {
+                return PropertyVerdict::Falsified {
+                    trace: Box::new(trace),
+                    stats: walk.stats,
+                };
+            }
+            RunOutcome::Covered(_) => unreachable!("cover is disabled in property runs"),
+        }
+    }
+    let (depth, stats) = best_bound.expect("configurations have at least one engine");
+    PropertyVerdict::Bounded { depth, stats }
+}
+
+fn engine_scope(kind: EngineKind) -> &'static str {
+    match kind {
+        EngineKind::Bounded => "bounded",
+        EngineKind::Full => "full",
+    }
+}
+
+fn run_outcome_label(outcome: &RunOutcome) -> &'static str {
+    match outcome {
+        RunOutcome::Exhausted => "exhausted",
+        RunOutcome::BudgetHit => "budget_hit",
+        RunOutcome::AssertFailed(_) => "assert_failed",
+        RunOutcome::Covered(_) => "covered",
+    }
+}
+
+/// Searches for a covering trace of the problem's cover condition under its
+/// assumptions (§4.1), using the given engine budget.
+///
+/// Builds a throwaway lazy [`StateGraph`] internally; prefer
+/// [`check_cover_on_graph`] when a graph already exists for the problem.
+///
+/// # Panics
+///
+/// Panics if the problem has no cover condition, a free-init register is
+/// unpinned, or the input space is too large.
+pub fn check_cover(problem: &Problem<'_>, engine: Engine) -> CoverVerdict {
+    check_cover_observed(problem, engine, &NullCollector)
+}
+
+/// [`check_cover`] with instrumentation; see
+/// [`check_cover_on_graph_observed`] for the span/event contract.
+pub fn check_cover_observed(
+    problem: &Problem<'_>,
+    engine: Engine,
+    collector: &dyn Collector,
+) -> CoverVerdict {
+    let graph = StateGraph::new(problem, []);
+    check_cover_on_graph_observed(&graph, engine, collector)
+}
+
+/// Searches for a covering trace as a walk over a prebuilt [`StateGraph`].
+///
+/// # Panics
+///
+/// Panics if the graph's problem has no cover condition.
+pub fn check_cover_on_graph(graph: &StateGraph<'_, '_>, engine: Engine) -> CoverVerdict {
+    check_cover_on_graph_observed(graph, engine, &NullCollector)
+}
+
+/// [`check_cover_on_graph`] with instrumentation: the search runs inside an
+/// `engine_run` span (engine kind `"cover"`), reports `engine.cover.*`
+/// counters, and emits one of the `cover.covered` / `cover.unreachable` /
+/// `cover.unknown` events — plus `budget_exhausted` when the budget ran out
+/// and `conflicting_assumptions` when no execution was admissible at all.
+pub fn check_cover_on_graph_observed(
+    graph: &StateGraph<'_, '_>,
+    engine: Engine,
+    collector: &dyn Collector,
+) -> CoverVerdict {
+    assert!(
+        graph.problem().cover.is_some(),
+        "check_cover requires a cover condition"
+    );
+    let mut g = span(
+        collector,
+        "engine_run",
+        attrs!["engine" => "cover", "max_states" => engine.max_states],
+    );
+    let mut walk = Walk::new(graph, None, true);
+    let outcome = walk.run(engine);
+    walk.report(collector, "cover", engine);
+    g.attr("states", walk.stats.states);
+    g.attr("transitions", walk.stats.transitions);
+    g.attr("outcome", run_outcome_label(&outcome));
+    if walk.stats.vacuous() {
+        collector.event("conflicting_assumptions", attrs!["engine" => "cover"]);
+    }
+    let verdict = match outcome {
+        RunOutcome::Exhausted => {
+            collector.event("cover.unreachable", attrs!["states" => walk.stats.states]);
+            CoverVerdict::Unreachable(walk.stats)
+        }
+        RunOutcome::BudgetHit => {
+            collector.event(
+                "budget_exhausted",
+                attrs![
+                    "engine" => "cover",
+                    "states" => walk.stats.states,
+                    "depth_completed" => walk.stats.depth_completed,
+                    "max_states" => engine.max_states,
+                ],
+            );
+            collector.event("cover.unknown", attrs!["states" => walk.stats.states]);
+            CoverVerdict::Unknown(walk.stats)
+        }
+        RunOutcome::Covered(trace) => {
+            collector.event("cover.covered", attrs!["trace_len" => trace.len()]);
+            CoverVerdict::Covered(trace, walk.stats)
+        }
+        RunOutcome::AssertFailed(_) => unreachable!("no assertion in cover runs"),
+    };
+    g.finish();
+    verdict
+}
+
+/// Convenience: run a full-proof exploration of the design with no
+/// assertion, returning reachable-state statistics. Useful for sizing
+/// budgets and in tests.
+pub fn reachable_stats(problem: &Problem<'_>, engine: Engine) -> ExploreStats {
+    let graph = StateGraph::new(problem, []);
+    let mut walk = Walk::new(&graph, None, false);
+    let _ = walk.run(engine);
+    walk.stats
+}
+
+// ---------------------------------------------------------------------------
+// Reference implementation (pre-split monolithic exploration).
+//
+// Kept verbatim as the oracle for the differential test suite: it shares no
+// exploration machinery with the graph walk above (only the input-valuation
+// enumeration, whose behaviour is locked down by its own unit tests).
+// ---------------------------------------------------------------------------
+
+/// One node of the reference product-state graph.
+struct RefNode {
     state: State,
     monitors: Vec<MonitorState>,
     /// `(parent index, inputs used on the edge into this node)`.
@@ -86,7 +571,7 @@ struct Exploration<'p, 'd> {
     /// Index of the assertion monitor in `monitors`, if present.
     assertion: Option<usize>,
     check_cover: bool,
-    nodes: Vec<Node>,
+    nodes: Vec<RefNode>,
     index: HashMap<(State, Vec<MonitorState>), usize>,
     stats: ExploreStats,
 }
@@ -114,43 +599,6 @@ impl<'p, 'd> Exploration<'p, 'd> {
         }
     }
 
-    /// Enumerates all primary-input valuations of the design.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the total number of valuations exceeds
-    /// [`MAX_INPUT_VALUATIONS`]; explicit-state exploration needs a small
-    /// free-input space (Multi-V-scale has one 2-bit arbiter input).
-    fn input_valuations(&self) -> Vec<Vec<u64>> {
-        let widths: Vec<u8> = self
-            .problem
-            .design
-            .signals()
-            .filter_map(|(_, s)| match s.kind {
-                SignalKind::Input { .. } => Some(s.width),
-                _ => None,
-            })
-            .collect();
-        let mut vals: Vec<Vec<u64>> = vec![Vec::new()];
-        for w in widths {
-            let card = 1u64 << w.min(16);
-            let mut next = Vec::with_capacity(vals.len() * card as usize);
-            for v in &vals {
-                for x in 0..card {
-                    let mut v2 = v.clone();
-                    v2.push(x);
-                    next.push(v2);
-                }
-            }
-            vals = next;
-            assert!(
-                vals.len() <= MAX_INPUT_VALUATIONS,
-                "too many primary-input valuations for explicit-state search"
-            );
-        }
-        vals
-    }
-
     /// Breadth-first exploration until a verdict or the budget is hit.
     fn run(&mut self, engine: Engine) -> RunOutcome {
         let initial = self
@@ -159,7 +607,7 @@ impl<'p, 'd> Exploration<'p, 'd> {
             .expect("all free-init registers must be pinned by init assumptions");
         let init_monitors: Vec<MonitorState> =
             self.monitors.iter().map(|m| m.state().clone()).collect();
-        self.nodes.push(Node {
+        self.nodes.push(RefNode {
             state: initial.clone(),
             monitors: init_monitors.clone(),
             parent: None,
@@ -167,7 +615,7 @@ impl<'p, 'd> Exploration<'p, 'd> {
         self.index.insert((initial, init_monitors), 0);
         self.stats.states = 1;
 
-        let inputs = self.input_valuations();
+        let inputs = input_valuations(self.problem.design);
         let mut frontier: Vec<usize> = vec![0];
         let mut depth: u32 = 0;
         loop {
@@ -255,7 +703,7 @@ impl<'p, 'd> Exploration<'p, 'd> {
             return Step::Known;
         }
         let idx = self.nodes.len();
-        self.nodes.push(Node {
+        self.nodes.push(RefNode {
             state: next_state,
             monitors: next_monitors,
             parent: Some((node_idx, input.to_vec())),
@@ -263,37 +711,6 @@ impl<'p, 'd> Exploration<'p, 'd> {
         self.index.insert(key, idx);
         self.stats.states += 1;
         Step::New(idx)
-    }
-
-    /// Reports one finished engine run to a collector: the exploration
-    /// counters under `engine.<scope>.*` (so the profile view can relate
-    /// work done to the engine's budget) and each monitor's NFA metrics.
-    fn report(&self, collector: &dyn Collector, scope: &str, engine: Engine) {
-        let s = &self.stats;
-        collector.counter(&format!("engine.{scope}.states"), s.states as u64, attrs![]);
-        collector.counter(
-            &format!("engine.{scope}.transitions"),
-            s.transitions,
-            attrs![],
-        );
-        collector.counter(
-            &format!("engine.{scope}.pruned"),
-            s.pruned_by_assumptions,
-            attrs![],
-        );
-        collector.counter(
-            &format!("engine.{scope}.budget_states"),
-            engine.max_states as u64,
-            attrs![],
-        );
-        for (i, m) in self.monitors.iter().enumerate() {
-            let directive = if Some(i) == self.assertion {
-                "assertion"
-            } else {
-                &self.problem.assumptions[i].name
-            };
-            m.report_to(collector, directive);
-        }
     }
 
     /// Rebuilds the trace ending with the cycle `(node, final_input)`.
@@ -313,40 +730,14 @@ impl<'p, 'd> Exploration<'p, 'd> {
     }
 }
 
-enum Step {
-    Pruned,
-    Known,
-    New(usize),
-    AssertFailed,
-    Covered,
-}
-
-/// Verifies one assertion against the problem's design and assumptions,
-/// running the configuration's engines in order (§6.1, Table 1).
-///
-/// # Panics
-///
-/// Panics if a free-init register is not pinned by `problem.init_pins`, or
-/// the design's primary-input space is too large to enumerate.
-pub fn verify_property(
+/// Reference (pre-split) implementation of [`verify_property`]: re-simulates
+/// the full product per engine run. Exists only as the oracle for the
+/// differential tests — not part of the supported API.
+#[doc(hidden)]
+pub fn verify_property_reference(
     problem: &Problem<'_>,
     assertion: &Prop<RtlAtom>,
     config: &VerifyConfig,
-) -> PropertyVerdict {
-    verify_property_observed(problem, assertion, config, "", &NullCollector)
-}
-
-/// [`verify_property`] with instrumentation: each engine attempt is wrapped
-/// in an `engine_run` span, its [`ExploreStats`] are reported as
-/// `engine.<kind>.*` counters, and hitting a budget emits a
-/// `budget_exhausted` event. `property` labels the stream (use the
-/// assertion's directive name).
-pub fn verify_property_observed(
-    problem: &Problem<'_>,
-    assertion: &Prop<RtlAtom>,
-    config: &VerifyConfig,
-    property: &str,
-    collector: &dyn Collector,
 ) -> PropertyVerdict {
     let mut best_bound: Option<(u32, ExploreStats)> = None;
     let mut record_bound = |depth: u32, stats: ExploreStats| {
@@ -355,46 +746,16 @@ pub fn verify_property_observed(
         }
     };
     for engine in &config.engines {
-        let scope = engine_scope(engine.kind);
-        let mut g = span(
-            collector,
-            "engine_run",
-            attrs![
-                "property" => property,
-                "engine" => scope,
-                "max_states" => engine.max_states,
-            ],
-        );
         let mut exp = Exploration::new(problem, Some(assertion), false);
-        let outcome = exp.run(*engine);
-        exp.report(collector, scope, *engine);
-        g.attr("states", exp.stats.states);
-        g.attr("transitions", exp.stats.transitions);
-        g.attr("outcome", run_outcome_label(&outcome));
-        match outcome {
+        match exp.run(*engine) {
             RunOutcome::Exhausted => match engine.kind {
                 EngineKind::Full => return PropertyVerdict::Proven { stats: exp.stats },
-                // A bounded (BMC-style) engine cannot detect exhaustion: it
-                // only ever certifies its configured cycle bound (which the
-                // exhausted exploration has in fact verified).
                 EngineKind::Bounded => {
                     let depth = engine.max_depth.expect("bounded engines carry a depth");
                     record_bound(depth, exp.stats);
                 }
             },
-            RunOutcome::BudgetHit => {
-                collector.event(
-                    "budget_exhausted",
-                    attrs![
-                        "property" => property,
-                        "engine" => scope,
-                        "states" => exp.stats.states,
-                        "depth_completed" => exp.stats.depth_completed,
-                        "max_states" => engine.max_states,
-                    ],
-                );
-                record_bound(exp.stats.depth_completed, exp.stats);
-            }
+            RunOutcome::BudgetHit => record_bound(exp.stats.depth_completed, exp.stats),
             RunOutcome::AssertFailed(trace) => {
                 return PropertyVerdict::Falsified {
                     trace: Box::new(trace),
@@ -408,96 +769,21 @@ pub fn verify_property_observed(
     PropertyVerdict::Bounded { depth, stats }
 }
 
-fn engine_scope(kind: EngineKind) -> &'static str {
-    match kind {
-        EngineKind::Bounded => "bounded",
-        EngineKind::Full => "full",
-    }
-}
-
-fn run_outcome_label(outcome: &RunOutcome) -> &'static str {
-    match outcome {
-        RunOutcome::Exhausted => "exhausted",
-        RunOutcome::BudgetHit => "budget_hit",
-        RunOutcome::AssertFailed(_) => "assert_failed",
-        RunOutcome::Covered(_) => "covered",
-    }
-}
-
-/// Searches for a covering trace of the problem's cover condition under its
-/// assumptions (§4.1), using the given engine budget.
-///
-/// # Panics
-///
-/// Panics if the problem has no cover condition, a free-init register is
-/// unpinned, or the input space is too large.
-pub fn check_cover(problem: &Problem<'_>, engine: Engine) -> CoverVerdict {
-    check_cover_observed(problem, engine, &NullCollector)
-}
-
-/// [`check_cover`] with instrumentation: the search runs inside an
-/// `engine_run` span (engine kind `"cover"`), reports `engine.cover.*`
-/// counters, and emits one of the `cover.covered` / `cover.unreachable` /
-/// `cover.unknown` events — plus `budget_exhausted` when the budget ran out
-/// and `conflicting_assumptions` when no execution was admissible at all.
-pub fn check_cover_observed(
-    problem: &Problem<'_>,
-    engine: Engine,
-    collector: &dyn Collector,
-) -> CoverVerdict {
+/// Reference (pre-split) implementation of [`check_cover`]; see
+/// [`verify_property_reference`].
+#[doc(hidden)]
+pub fn check_cover_reference(problem: &Problem<'_>, engine: Engine) -> CoverVerdict {
     assert!(
         problem.cover.is_some(),
         "check_cover requires a cover condition"
     );
-    let mut g = span(
-        collector,
-        "engine_run",
-        attrs!["engine" => "cover", "max_states" => engine.max_states],
-    );
     let mut exp = Exploration::new(problem, None, true);
-    let outcome = exp.run(engine);
-    exp.report(collector, "cover", engine);
-    g.attr("states", exp.stats.states);
-    g.attr("transitions", exp.stats.transitions);
-    g.attr("outcome", run_outcome_label(&outcome));
-    if exp.stats.vacuous() {
-        collector.event("conflicting_assumptions", attrs!["engine" => "cover"]);
-    }
-    let verdict = match outcome {
-        RunOutcome::Exhausted => {
-            collector.event("cover.unreachable", attrs!["states" => exp.stats.states]);
-            CoverVerdict::Unreachable(exp.stats)
-        }
-        RunOutcome::BudgetHit => {
-            collector.event(
-                "budget_exhausted",
-                attrs![
-                    "engine" => "cover",
-                    "states" => exp.stats.states,
-                    "depth_completed" => exp.stats.depth_completed,
-                    "max_states" => engine.max_states,
-                ],
-            );
-            collector.event("cover.unknown", attrs!["states" => exp.stats.states]);
-            CoverVerdict::Unknown(exp.stats)
-        }
-        RunOutcome::Covered(trace) => {
-            collector.event("cover.covered", attrs!["trace_len" => trace.len()]);
-            CoverVerdict::Covered(trace, exp.stats)
-        }
+    match exp.run(engine) {
+        RunOutcome::Exhausted => CoverVerdict::Unreachable(exp.stats),
+        RunOutcome::BudgetHit => CoverVerdict::Unknown(exp.stats),
+        RunOutcome::Covered(trace) => CoverVerdict::Covered(trace, exp.stats),
         RunOutcome::AssertFailed(_) => unreachable!("no assertion in cover runs"),
-    };
-    g.finish();
-    verdict
-}
-
-/// Convenience: run a full-proof exploration of the design with no
-/// assertion, returning reachable-state statistics. Useful for sizing
-/// budgets and in tests.
-pub fn reachable_stats(problem: &Problem<'_>, engine: Engine) -> ExploreStats {
-    let mut exp = Exploration::new(problem, None, false);
-    let _ = exp.run(engine);
-    exp.stats
+    }
 }
 
 #[cfg(test)]
@@ -676,6 +962,48 @@ mod tests {
             },
         );
         assert!(matches!(verdict, CoverVerdict::Unknown(_)), "{verdict:?}");
+    }
+
+    #[test]
+    fn shared_graph_serves_many_properties_with_reuse() {
+        let (d, count, first) = counter();
+        let problem = Problem::new(&d);
+        let props: Vec<Prop<RtlAtom>> = (0..4)
+            .map(|v| guarded(first, Prop::Never(SvaBool::atom(RtlAtom::eq(count, 8 + v)))))
+            .collect();
+        let graph = build_graph(&problem, props.iter(), Engine::full(100_000));
+        assert!(graph.stats().complete);
+        let warm_nodes = graph.stats().nodes;
+        for p in &props {
+            let verdict = verify_property_on_graph(&graph, p, &VerifyConfig::quick());
+            assert!(matches!(verdict, PropertyVerdict::Proven { .. }));
+        }
+        let s = graph.stats();
+        assert_eq!(s.nodes, warm_nodes, "walks added no graph nodes");
+        assert_eq!(s.lookups, s.reuse_hits, "every walk edge came from cache");
+        assert!(s.reuse_hits > 0);
+    }
+
+    #[test]
+    fn graph_walk_matches_reference_on_the_counter() {
+        let (d, count, first) = counter();
+        let mut problem = Problem::new(&d);
+        let en = d.signal_by_name("en").unwrap();
+        problem.assumptions.push(Directive::assume(
+            "en_low",
+            Prop::Never(SvaBool::atom(RtlAtom::is_true(en))),
+        ));
+        for target in [1u64, 8] {
+            let prop = guarded(
+                first,
+                Prop::Never(SvaBool::atom(RtlAtom::eq(count, target))),
+            );
+            for config in [VerifyConfig::quick(), VerifyConfig::hybrid()] {
+                let a = verify_property(&problem, &prop, &config);
+                let b = verify_property_reference(&problem, &prop, &config);
+                assert_eq!(format!("{a:?}"), format!("{b:?}"), "target {target}");
+            }
+        }
     }
 
     /// A minimal recording collector for the instrumentation tests.

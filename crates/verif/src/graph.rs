@@ -1,0 +1,551 @@
+//! The shared per-problem state graph.
+//!
+//! Every assertion of a litmus test is checked against the *same* design ×
+//! assumption-monitor product: the design's reachable states joined with
+//! the deterministic states of the assumption monitors. Re-simulating that
+//! product per property (as the pre-refactor verifier did) repeats the
+//! expensive work — stepping the RTL simulator and every assumption
+//! monitor — once per assertion.
+//!
+//! [`StateGraph`] materialises the shared product once per [`Problem`]:
+//!
+//! * **Nodes** are `(design state, assumption-monitor states)` pairs —
+//!   exactly the product the legacy exploration deduplicated on, minus the
+//!   assertion monitor.
+//! * **Edges** are labelled by primary-input valuation. A pruned edge (an
+//!   assumption monitor failed on that cycle) is recorded as such; an
+//!   admissible edge carries its destination node and the valuation of
+//!   every *atom* any property cares about, as a bitset.
+//! * Property checking then reduces to an NFA walk: step the assertion
+//!   monitor over the cached atom bitsets, never touching the simulator.
+//!
+//! Construction is *lazy with an eager warm-up*: [`StateGraph::build`]
+//! pre-expands the graph breadth-first under an engine budget, and any walk
+//! that needs an edge beyond the warmed frontier triggers on-demand row
+//! construction. Laziness is what makes walk budgets exact — a walk with a
+//! tiny state budget observes the same statistics it would have produced
+//! driving the simulator directly, regardless of how much of the graph
+//! already exists.
+
+use std::cell::RefCell;
+use std::collections::{BTreeSet, HashMap};
+
+use rtlcheck_obs::{attrs, Collector};
+use rtlcheck_rtl::sim::{Simulator, State};
+use rtlcheck_rtl::{Design, SignalId, SignalKind};
+use rtlcheck_sva::{Monitor, MonitorState, Prop, SvaBool};
+
+use crate::atom::{RtlAtom, RtlBool};
+use crate::engine::Engine;
+use crate::problem::Problem;
+
+/// Maximum number of primary-input valuations enumerated per cycle.
+pub(crate) const MAX_INPUT_VALUATIONS: usize = 256;
+
+/// Edge destination marking a cycle discarded by the assumptions.
+pub(crate) const PRUNED: u32 = u32::MAX;
+
+/// Enumerates all primary-input valuations of a design: the cartesian
+/// product of every input signal's value range, in signal declaration
+/// order, counting each input from 0.
+///
+/// # Panics
+///
+/// Panics — naming the offending signal — as soon as an input pushes the
+/// cumulative valuation count past [`MAX_INPUT_VALUATIONS`]. Explicit-state
+/// search needs a small free-input space (Multi-V-scale has one 2-bit
+/// arbiter input); a wide input is a usage error that must never silently
+/// degrade into enumerating a subset of the space.
+pub(crate) fn input_valuations(design: &Design) -> Vec<Vec<u64>> {
+    let mut vals: Vec<Vec<u64>> = vec![Vec::new()];
+    for (_, s) in design.signals() {
+        let SignalKind::Input { .. } = s.kind else {
+            continue;
+        };
+        let card = 1u128 << s.width;
+        assert!(
+            vals.len() as u128 * card <= MAX_INPUT_VALUATIONS as u128,
+            "primary input `{}` ({} bits) pushes the input space past {} \
+             valuations per cycle — too wide for explicit-state search",
+            s.name,
+            s.width,
+            MAX_INPUT_VALUATIONS,
+        );
+        let mut next = Vec::with_capacity(vals.len() * card as usize);
+        for v in &vals {
+            for x in 0..card as u64 {
+                let mut v2 = v.clone();
+                v2.push(x);
+                next.push(v2);
+            }
+        }
+        vals = next;
+    }
+    vals
+}
+
+/// Construction and reuse statistics of a [`StateGraph`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GraphStats {
+    /// Product nodes materialised (design state × assumption states).
+    pub nodes: usize,
+    /// Admissible edges materialised.
+    pub edges: u64,
+    /// Edges discarded because an assumption monitor failed.
+    pub pruned_edges: u64,
+    /// Edge fetches served to walks.
+    pub lookups: u64,
+    /// Edge fetches answered from an already-built row (no simulation).
+    pub reuse_hits: u64,
+    /// Whether the eager warm-up exhausted the reachable product space —
+    /// every subsequent walk is pure cache reuse.
+    pub complete: bool,
+}
+
+/// One materialised node: the product state plus its (lazily built) edges.
+struct GraphNode {
+    state: State,
+    assumptions: Vec<MonitorState>,
+    row: Option<EdgeRow>,
+}
+
+/// The out-edges of one node, one entry per input valuation.
+struct EdgeRow {
+    /// Destination node per input ([`PRUNED`] for inadmissible cycles).
+    dests: Box<[u32]>,
+    /// Atom-valuation bitsets, `words` u64s per input: bit `i` is the truth
+    /// of the graph's `i`-th atom at (this node's state, that input).
+    bits: Box<[u64]>,
+}
+
+/// The interior-mutable part: nodes, the dedup index, and the reusable
+/// assumption monitors used to step edge rows.
+struct GraphCore {
+    nodes: Vec<GraphNode>,
+    index: HashMap<(State, Vec<MonitorState>), u32>,
+    monitors: Vec<Monitor<RtlAtom>>,
+    stats: GraphStats,
+}
+
+/// The reachable product of a design and its assumption monitors, with
+/// per-edge atom valuations — built once per [`Problem`] and shared by
+/// every property walk and the cover search. See the module docs.
+pub struct StateGraph<'p, 'd> {
+    problem: &'p Problem<'d>,
+    sim: Simulator<'d>,
+    /// All enumerated primary-input valuations (edge labels).
+    inputs: Vec<Vec<u64>>,
+    /// Sorted, deduplicated table of every atom any walk will evaluate.
+    atoms: Vec<RtlAtom>,
+    /// Atoms grouped by signal so each signal is peeked once per edge.
+    sig_atoms: Vec<(SignalId, Vec<(usize, u64)>)>,
+    /// u64 words per edge bitset.
+    words: usize,
+    core: RefCell<GraphCore>,
+}
+
+impl std::fmt::Debug for StateGraph<'_, '_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("StateGraph")
+            .field("design", &self.problem.design.name())
+            .field("atoms", &self.atoms.len())
+            .field("inputs", &self.inputs.len())
+            .field("stats", &stats)
+            .finish()
+    }
+}
+
+impl<'p, 'd> StateGraph<'p, 'd> {
+    /// Creates a lazy graph (root node only) whose atom table covers the
+    /// problem's cover condition plus every property in `props`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a free-init register is not pinned by `problem.init_pins`
+    /// or the design's primary-input space is too large to enumerate.
+    pub fn new<'a, I>(problem: &'p Problem<'d>, props: I) -> Self
+    where
+        I: IntoIterator<Item = &'a Prop<RtlAtom>>,
+    {
+        let sim = Simulator::new(problem.design);
+        let inputs = input_valuations(problem.design);
+
+        let mut set: BTreeSet<RtlAtom> = BTreeSet::new();
+        if let Some(cover) = &problem.cover {
+            cover.for_each_atom(&mut |a| {
+                set.insert(*a);
+            });
+        }
+        for p in props {
+            p.for_each_atom(&mut |a| {
+                set.insert(*a);
+            });
+        }
+        let atoms: Vec<RtlAtom> = set.into_iter().collect();
+        let mut sig_atoms: Vec<(SignalId, Vec<(usize, u64)>)> = Vec::new();
+        for (i, a) in atoms.iter().enumerate() {
+            match sig_atoms.last_mut() {
+                Some((sig, list)) if *sig == a.sig => list.push((i, a.value)),
+                _ => sig_atoms.push((a.sig, vec![(i, a.value)])),
+            }
+        }
+        let words = atoms.len().div_ceil(64);
+
+        let initial = sim
+            .initial_state_with(&problem.init_pins)
+            .expect("all free-init registers must be pinned by init assumptions");
+        let monitors: Vec<Monitor<RtlAtom>> = problem
+            .assumptions
+            .iter()
+            .map(|d| Monitor::new(&d.prop))
+            .collect();
+        let init_states: Vec<MonitorState> = monitors.iter().map(|m| m.state().clone()).collect();
+        let mut core = GraphCore {
+            nodes: vec![GraphNode {
+                state: initial.clone(),
+                assumptions: init_states.clone(),
+                row: None,
+            }],
+            index: HashMap::new(),
+            monitors,
+            stats: GraphStats {
+                nodes: 1,
+                ..GraphStats::default()
+            },
+        };
+        core.index.insert((initial, init_states), 0);
+
+        StateGraph {
+            problem,
+            sim,
+            inputs,
+            atoms,
+            sig_atoms,
+            words,
+            core: RefCell::new(core),
+        }
+    }
+
+    /// [`StateGraph::new`] followed by an eager breadth-first warm-up: node
+    /// rows are pre-built layer by layer until the reachable product space
+    /// is exhausted or `engine`'s budget is hit. Walks extend the graph
+    /// on demand past the warmed frontier, so the warm-up budget never
+    /// changes a walk's verdict or statistics — only how much of the work
+    /// is shared up front.
+    pub fn build<'a, I>(problem: &'p Problem<'d>, props: I, engine: Engine) -> Self
+    where
+        I: IntoIterator<Item = &'a Prop<RtlAtom>>,
+    {
+        let graph = StateGraph::new(problem, props);
+        graph.warm(engine);
+        graph
+    }
+
+    fn warm(&self, engine: Engine) {
+        let mut core = self.core.borrow_mut();
+        let mut frontier: Vec<u32> = vec![0];
+        let mut depth: u32 = 0;
+        loop {
+            if frontier.is_empty() {
+                core.stats.complete = true;
+                return;
+            }
+            if engine.max_depth.is_some_and(|d| depth >= d) {
+                return;
+            }
+            let mut next = Vec::new();
+            for &n in &frontier {
+                let known = core.nodes.len();
+                if core.nodes[n as usize].row.is_none() {
+                    self.build_row(&mut core, n);
+                }
+                next.extend((known..core.nodes.len()).map(|i| i as u32));
+                if core.nodes.len() > engine.max_states {
+                    return;
+                }
+            }
+            depth += 1;
+            frontier = next;
+        }
+    }
+
+    /// Builds the edge row of one node: steps the assumption monitors and
+    /// the simulator once per input valuation, records prunes, atom
+    /// bitsets, and (deduplicated) destinations.
+    fn build_row(&self, core: &mut GraphCore, node: u32) {
+        let (state, assumptions) = {
+            let n = &core.nodes[node as usize];
+            (n.state.clone(), n.assumptions.clone())
+        };
+        let num_inputs = self.inputs.len();
+        let mut dests = Vec::with_capacity(num_inputs);
+        let mut bits = vec![0u64; num_inputs * self.words];
+        for (i, input) in self.inputs.iter().enumerate() {
+            let mut admissible = true;
+            let mut next_states = Vec::with_capacity(core.monitors.len());
+            for (m_i, m) in core.monitors.iter_mut().enumerate() {
+                m.set_state(assumptions[m_i].clone());
+                m.step(&|a: &RtlAtom| self.sim.peek(&state, input, a.sig) == a.value);
+                if m.failed() {
+                    admissible = false;
+                }
+                next_states.push(m.state().clone());
+            }
+            if !admissible {
+                core.stats.pruned_edges += 1;
+                dests.push(PRUNED);
+                continue;
+            }
+            let words = &mut bits[i * self.words..(i + 1) * self.words];
+            for (sig, sig_atoms) in &self.sig_atoms {
+                let v = self.sim.peek(&state, input, *sig);
+                for &(ai, value) in sig_atoms {
+                    if v == value {
+                        words[ai / 64] |= 1 << (ai % 64);
+                    }
+                }
+            }
+            let dest_state = self.sim.step(&state, input);
+            let key = (dest_state, next_states);
+            let dest = match core.index.get(&key) {
+                Some(&d) => d,
+                None => {
+                    let d = u32::try_from(core.nodes.len()).expect("graph fits in u32 node ids");
+                    core.nodes.push(GraphNode {
+                        state: key.0.clone(),
+                        assumptions: key.1.clone(),
+                        row: None,
+                    });
+                    core.index.insert(key, d);
+                    d
+                }
+            };
+            core.stats.edges += 1;
+            dests.push(dest);
+        }
+        core.stats.nodes = core.nodes.len();
+        core.nodes[node as usize].row = Some(EdgeRow {
+            dests: dests.into_boxed_slice(),
+            bits: bits.into_boxed_slice(),
+        });
+    }
+
+    /// Fetches the edge `(node, input)`: returns the destination node (or
+    /// [`PRUNED`]) and copies the edge's atom bitset into `bits_out`. Builds
+    /// the node's row on first touch.
+    pub(crate) fn edge(&self, node: u32, input: usize, bits_out: &mut Vec<u64>) -> u32 {
+        let mut core = self.core.borrow_mut();
+        core.stats.lookups += 1;
+        if core.nodes[node as usize].row.is_none() {
+            self.build_row(&mut core, node);
+        } else {
+            core.stats.reuse_hits += 1;
+        }
+        let row = core.nodes[node as usize].row.as_ref().expect("row built");
+        bits_out.clear();
+        bits_out.extend_from_slice(&row.bits[input * self.words..(input + 1) * self.words]);
+        row.dests[input]
+    }
+
+    /// The problem this graph was built from.
+    pub fn problem(&self) -> &'p Problem<'d> {
+        self.problem
+    }
+
+    /// Number of primary-input valuations (edge labels per node).
+    pub fn num_inputs(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// The `idx`-th input valuation.
+    pub(crate) fn input(&self, idx: usize) -> &[u64] {
+        &self.inputs[idx]
+    }
+
+    /// The design state of a node (cheap: states are refcounted).
+    pub(crate) fn node_state(&self, node: u32) -> State {
+        self.core.borrow().nodes[node as usize].state.clone()
+    }
+
+    /// The atom table walks index into.
+    pub fn atoms(&self) -> &[RtlAtom] {
+        &self.atoms
+    }
+
+    /// Current construction/reuse statistics.
+    pub fn stats(&self) -> GraphStats {
+        self.core.borrow().stats
+    }
+
+    /// Maps a property's atoms onto this graph's atom-table indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the property mentions an atom absent from the table — the
+    /// graph must be (re)built with every property it will serve.
+    pub fn map_prop(&self, prop: &Prop<RtlAtom>) -> Prop<usize> {
+        prop.map_atoms(&mut |a| self.atom_index(a))
+    }
+
+    /// Maps a boolean's atoms onto this graph's atom-table indices; same
+    /// contract as [`StateGraph::map_prop`].
+    pub fn map_bool(&self, b: &RtlBool) -> SvaBool<usize> {
+        b.map_atoms(&mut |a| self.atom_index(a))
+    }
+
+    fn atom_index(&self, a: &RtlAtom) -> usize {
+        match self.atoms.binary_search(a) {
+            Ok(i) => i,
+            Err(_) => panic!(
+                "atom `{}` is not in the state graph's atom table — the graph \
+                 must be built with every property it serves",
+                a.render(self.problem.design),
+            ),
+        }
+    }
+
+    /// Reports the graph's construction/reuse counters (`graph.*`) and the
+    /// shared assumption monitors' NFA metrics to a collector. Call once
+    /// per graph, after the walks that use it.
+    pub fn report_to(&self, collector: &dyn Collector) {
+        let core = self.core.borrow();
+        let s = core.stats;
+        collector.counter("graph.nodes", s.nodes as u64, attrs![]);
+        collector.counter("graph.edges", s.edges, attrs![]);
+        collector.counter("graph.pruned_edges", s.pruned_edges, attrs![]);
+        collector.counter("graph.lookups", s.lookups, attrs![]);
+        collector.counter("graph.reuse_hits", s.reuse_hits, attrs![]);
+        collector.counter("graph.atoms", self.atoms.len() as u64, attrs![]);
+        for (i, m) in core.monitors.iter().enumerate() {
+            m.report_to(collector, &self.problem.assumptions[i].name);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::Directive;
+    use rtlcheck_rtl::DesignBuilder;
+    use rtlcheck_sva::SvaBool;
+
+    fn counter() -> rtlcheck_rtl::Design {
+        let mut b = DesignBuilder::new("c");
+        let en = b.input("en", 1);
+        let count = b.reg("count", 3, Some(0));
+        let one = b.lit(1, 3);
+        let ce = b.sig(count);
+        let sum = b.add(ce, one);
+        let ene = b.sig(en);
+        let hold = b.sig(count);
+        let nxt = b.mux(ene, sum, hold);
+        b.set_next(count, nxt);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn input_valuations_enumerate_the_product_in_order() {
+        let mut b = DesignBuilder::new("d");
+        let a = b.input("a", 2);
+        let c = b.input("b", 1);
+        let _ = a;
+        let r = b.reg("r", 1, Some(0));
+        let ce = b.sig(c);
+        b.set_next(r, ce);
+        let d = b.build().unwrap();
+        let vals = input_valuations(&d);
+        assert_eq!(vals.len(), 8);
+        assert_eq!(vals[0], vec![0, 0]);
+        assert_eq!(vals[1], vec![0, 1]);
+        assert_eq!(vals[7], vec![3, 1]);
+    }
+
+    #[test]
+    fn wide_inputs_panic_with_the_signal_name() {
+        let mut b = DesignBuilder::new("d");
+        let w = b.input("wide_bus", 20);
+        let r = b.reg("r", 20, Some(0));
+        let we = b.sig(w);
+        b.set_next(r, we);
+        let d = b.build().unwrap();
+        let err = std::panic::catch_unwind(|| input_valuations(&d)).unwrap_err();
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("panic carries a message");
+        assert!(msg.contains("wide_bus"), "{msg}");
+        assert!(msg.contains("20 bits"), "{msg}");
+    }
+
+    #[test]
+    fn warm_build_completes_small_designs_and_walks_reuse() {
+        let d = counter();
+        let count = d.signal_by_name("count").unwrap();
+        let problem = Problem::new(&d);
+        let prop = Prop::Never(SvaBool::atom(RtlAtom::eq(count, 8)));
+        let graph = StateGraph::build(&problem, [&prop], Engine::full(100_000));
+        let s = graph.stats();
+        assert!(s.complete, "{s:?}");
+        assert_eq!(s.nodes, 8, "8 counter values");
+        assert_eq!(s.reuse_hits, 0, "no walks yet");
+        // An edge fetch after the warm-up is pure reuse.
+        let mut bits = Vec::new();
+        let dest = graph.edge(0, 1, &mut bits);
+        assert_ne!(dest, PRUNED);
+        assert_eq!(graph.stats().reuse_hits, 1);
+    }
+
+    #[test]
+    fn pruned_edges_are_marked() {
+        let d = counter();
+        let en = d.signal_by_name("en").unwrap();
+        let mut problem = Problem::new(&d);
+        problem.assumptions.push(Directive::assume(
+            "en_low",
+            Prop::Never(SvaBool::atom(RtlAtom::is_true(en))),
+        ));
+        let graph = StateGraph::build(&problem, [], Engine::full(100_000));
+        let s = graph.stats();
+        assert!(s.complete);
+        // Enable pinned low: the counter never leaves 0. Two product nodes
+        // remain (the monitor's state changes once on its first step).
+        assert_eq!(s.nodes, 2, "{s:?}");
+        assert_eq!(s.pruned_edges, 2, "the en=1 edge is pruned at each node");
+        assert_eq!(s.edges, 2, "only the en=0 edges remain");
+    }
+
+    #[test]
+    fn edge_bits_carry_atom_valuations() {
+        let d = counter();
+        let count = d.signal_by_name("count").unwrap();
+        let en = d.signal_by_name("en").unwrap();
+        let problem = Problem::new(&d);
+        let p0 = Prop::Never(SvaBool::atom(RtlAtom::eq(count, 0)));
+        let p1 = Prop::Never(SvaBool::atom(RtlAtom::is_true(en)));
+        let graph = StateGraph::new(&problem, [&p0, &p1]);
+        assert_eq!(graph.atoms().len(), 2);
+        let mut bits = Vec::new();
+        // At the reset state (count == 0) with en = 1: both atoms true.
+        graph.edge(0, 1, &mut bits);
+        let idx_count = graph.map_bool(&SvaBool::atom(RtlAtom::eq(count, 0)));
+        let idx_en = graph.map_bool(&SvaBool::atom(RtlAtom::is_true(en)));
+        for b in [idx_count, idx_en] {
+            assert!(b.eval(&|i: &usize| bits[i / 64] & (1 << (i % 64)) != 0));
+        }
+        // With en = 0 the en atom is false.
+        graph.edge(0, 0, &mut bits);
+        let b = graph.map_bool(&SvaBool::atom(RtlAtom::is_true(en)));
+        assert!(!b.eval(&|i: &usize| bits[i / 64] & (1 << (i % 64)) != 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "not in the state graph's atom table")]
+    fn mapping_a_foreign_atom_panics() {
+        let d = counter();
+        let count = d.signal_by_name("count").unwrap();
+        let problem = Problem::new(&d);
+        let graph = StateGraph::new(&problem, []);
+        let _ = graph.map_prop(&Prop::Never(SvaBool::atom(RtlAtom::eq(count, 3))));
+    }
+}

@@ -31,14 +31,17 @@
 pub mod atom;
 pub mod engine;
 pub mod explore;
+pub mod graph;
 pub mod problem;
 pub mod replay;
 
 pub use atom::RtlAtom;
 pub use engine::{Engine, EngineKind, PropertyVerdict, VerifyConfig};
 pub use explore::{
-    check_cover, check_cover_observed, verify_property, verify_property_observed, CoverVerdict,
-    ExploreStats,
+    build_graph, check_cover, check_cover_observed, check_cover_on_graph,
+    check_cover_on_graph_observed, verify_property, verify_property_observed,
+    verify_property_on_graph, verify_property_on_graph_observed, CoverVerdict, ExploreStats,
 };
+pub use graph::{GraphStats, StateGraph};
 pub use problem::{Directive, DirectiveKind, Problem};
 pub use replay::{check_transitions, replay, ReplayVerdict};

@@ -29,6 +29,8 @@
 //! * [`core`] — RTLCheck proper: mapping functions, the Assumption
 //!   Generator, the outcome-aware Assertion Generator, and the end-to-end
 //!   driver.
+//! * [`bench`] — the suite harness regenerating the paper's tables and
+//!   figures, including the parallel (`--jobs`) suite engine.
 //!
 //! # Quickstart
 //!
@@ -41,6 +43,7 @@
 //! assert!(report.verified(), "{report}");
 //! ```
 
+pub use rtlcheck_bench as bench;
 pub use rtlcheck_core as core;
 pub use rtlcheck_litmus as litmus;
 pub use rtlcheck_obs as obs;

@@ -7,7 +7,8 @@
 //! rtlcheck emit-sva <test.litmus | name> [--memory ...]
 //! rtlcheck emit-verilog <test.litmus | name> [--memory ...]
 //! rtlcheck axiomatic <test.litmus | name> [--memory ...] [--dot]
-//! rtlcheck suite [--memory ...] [--config ...] [--events <out.jsonl>] [--metrics <out.json>]
+//! rtlcheck suite [--memory ...] [--config ...] [--jobs N] [--only a,b,c]
+//!                [--events <out.jsonl>] [--metrics <out.json>]
 //! rtlcheck profile <metrics.json>
 //! rtlcheck list
 //! ```
@@ -15,7 +16,9 @@
 //! `--events` streams every pipeline span, counter, and event as one JSON
 //! object per line; `--metrics` aggregates them (per-phase latency
 //! histograms, counter totals, slowest properties) into a summary that
-//! `rtlcheck profile` renders.
+//! `rtlcheck profile` renders. `suite --jobs N` checks tests on N worker
+//! threads; output, results, and merged metrics are identical to a
+//! sequential run (only wall-clock time changes).
 
 use std::io::{BufWriter, Write as _};
 use std::process::ExitCode;
@@ -48,13 +51,16 @@ usage:
   rtlcheck emit-sva <test> [--memory ...]
   rtlcheck emit-verilog <test> [--memory ...]
   rtlcheck axiomatic <test> [--memory ...] [--dot]
-  rtlcheck suite [--memory ...] [--config ...] [--events <out.jsonl>] [--metrics <out.json>]
+  rtlcheck suite [--memory ...] [--config ...] [--jobs N] [--only a,b,c]
+                 [--events <out.jsonl>] [--metrics <out.json>]
   rtlcheck profile <metrics.json>
   rtlcheck list
 
 <test> is a path to a .litmus file or the name of a built-in suite test.
 --events streams spans/counters/events as JSON lines; --metrics writes an
-aggregated summary which `rtlcheck profile` renders as a report.";
+aggregated summary which `rtlcheck profile` renders as a report.
+--jobs runs suite tests on N worker threads (deterministic output);
+--only restricts the suite to a comma-separated list of test names.";
 
 fn run(args: &[String]) -> Result<ExitCode, String> {
     let Some(cmd) = args.first() else {
@@ -136,6 +142,21 @@ fn common_args(
             "--metrics" => {
                 let v = it.next().ok_or("--metrics needs a path")?;
                 flags.push(format!("--metrics={v}"));
+            }
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs needs a count")?;
+                let _: usize = v
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or(format!("--jobs needs a positive integer, got `{v}`"))?;
+                flags.push(format!("--jobs={v}"));
+            }
+            "--only" => {
+                let v = it
+                    .next()
+                    .ok_or("--only needs a comma-separated test list")?;
+                flags.push(format!("--only={v}"));
             }
             f @ ("--trace" | "--dot") => flags.push(f.to_string()),
             f if f.starts_with("--") => return Err(format!("unknown flag `{f}`")),
@@ -370,12 +391,28 @@ fn axiomatic(args: &[String]) -> Result<ExitCode, String> {
 fn suite_cmd(args: &[String]) -> Result<ExitCode, String> {
     let (_, memory, flags) = common_args(args, false)?;
     let config = flag_config(&flags)?;
+    let jobs = match flags.iter().find_map(|f| f.strip_prefix("--jobs=")) {
+        Some(v) => v.parse::<usize>().map_err(|e| format!("--jobs: {e}"))?,
+        None => 1,
+    };
+    let tests = match flags.iter().find_map(|f| f.strip_prefix("--only=")) {
+        Some(list) => {
+            let mut tests = Vec::new();
+            for name in list.split(',').map(str::trim).filter(|n| !n.is_empty()) {
+                tests.push(suite::get(name).ok_or(format!("unknown suite test `{name}`"))?);
+            }
+            if tests.is_empty() {
+                return Err("--only selected no tests".into());
+            }
+            tests
+        }
+        None => suite::all(),
+    };
     let obs = Observability::from_flags(&flags)?;
     let collector = obs.collector();
-    let tool = Rtlcheck::new(memory);
+    let reports = rtlcheck::bench::check_tests_observed(memory, &tests, &config, jobs, &collector);
     let mut violations = 0;
-    for test in suite::all() {
-        let report = tool.check_test_observed(&test, &config, &collector);
+    for report in &reports {
         let status = if report.bug_found() {
             violations += 1;
             "VIOLATION"
@@ -388,7 +425,7 @@ fn suite_cmd(args: &[String]) -> Result<ExitCode, String> {
         };
         println!(
             "{:<12} {:<24} {:>3}/{:<3} proven  {:>10.2?}",
-            test.name(),
+            report.test,
             status,
             report.num_proven(),
             report.properties.len(),

@@ -86,12 +86,48 @@ fn axiomatic_subcommand_reports_verdicts() {
 }
 
 #[test]
+fn suite_subset_runs_in_parallel_with_metrics() {
+    let dir = std::env::temp_dir().join(format!("rtlcheck-suite-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let metrics = dir.join("suite.json");
+    let out = rtlcheck(&[
+        "suite",
+        "--only",
+        "mp,sb",
+        "--jobs",
+        "2",
+        "--metrics",
+        metrics.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("mp"), "{stdout}");
+    assert!(stdout.contains("sb"), "{stdout}");
+    assert!(stdout.contains("0 violations"), "{stdout}");
+    assert!(
+        !stdout.contains("WARNING"),
+        "vacuous proof in suite smoke: {stdout}"
+    );
+
+    // The metrics file must show the shared-graph engine split, including
+    // the edge-reuse counters, via `rtlcheck profile`.
+    let out = rtlcheck(&["profile", metrics.to_str().unwrap()]);
+    assert!(out.status.success(), "{out:?}");
+    let profile = String::from_utf8(out.stdout).unwrap();
+    assert!(profile.contains("Engine split"), "{profile}");
+    assert!(profile.contains("graph reuse"), "{profile}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn bad_usage_exits_2_with_usage_text() {
     for args in [
         &[][..],
         &["frobnicate"][..],
         &["check"][..],
         &["check", "nonexistent-test"][..],
+        &["suite", "--only", "mp", "--jobs", "zero"][..],
+        &["suite", "--only", "not-a-test"][..],
     ] {
         let out = rtlcheck(args);
         assert_eq!(out.status.code(), Some(2), "{args:?}");

@@ -1,0 +1,84 @@
+//! Suite-level differential test for the engine split.
+//!
+//! Runs every litmus test in the paper's suite through both the shared
+//! [`rtlcheck::verif::StateGraph`] path (`check_test`) and the retained
+//! pre-split reference path (`check_test_reference`), and asserts the two
+//! produce identical verdicts, identical exploration statistics, identical
+//! counterexample traces, and identical vacuity flags. Only wall-clock
+//! timings are allowed to differ.
+//!
+//! The random-design counterpart (proptest over small designs and budgets)
+//! lives in `crates/verif/tests/graph_differential.rs`.
+
+use rtlcheck::core::{CoverOutcome, Rtlcheck, TestReport};
+use rtlcheck::litmus::suite;
+use rtlcheck::prelude::{MemoryImpl, VerifyConfig};
+
+fn cover_label(report: &TestReport) -> String {
+    match &report.cover {
+        CoverOutcome::VerifiedUnreachable => "unreachable".to_string(),
+        CoverOutcome::BugWitness(trace) => format!("bug-witness {trace:?}"),
+        CoverOutcome::Inconclusive => "inconclusive".to_string(),
+    }
+}
+
+fn assert_reports_match(graph: &TestReport, reference: &TestReport) {
+    let test = &graph.test;
+    assert_eq!(graph.test, reference.test);
+    assert_eq!(graph.config, reference.config);
+    assert_eq!(
+        cover_label(graph),
+        cover_label(reference),
+        "{test}: cover outcome diverged"
+    );
+    assert_eq!(
+        graph.cover_stats, reference.cover_stats,
+        "{test}: cover stats diverged"
+    );
+    assert_eq!(graph.vacuous, reference.vacuous, "{test}: vacuity diverged");
+    assert_eq!(
+        graph.properties.len(),
+        reference.properties.len(),
+        "{test}: property count diverged"
+    );
+    for (g, r) in graph.properties.iter().zip(&reference.properties) {
+        assert_eq!(g.name, r.name, "{test}: property order diverged");
+        assert_eq!(g.axiom, r.axiom, "{test}: axiom attribution diverged");
+        // PropertyVerdict carries stats, bounded depth, and the full
+        // counterexample trace; Debug formatting compares all of them.
+        assert_eq!(
+            format!("{:?}", g.verdict),
+            format!("{:?}", r.verdict),
+            "{test}: verdict for `{}` diverged",
+            g.name
+        );
+    }
+}
+
+/// Every suite test, graph path vs reference path, under the paper's Hybrid
+/// configuration (bounded engine first — exercises budget parity, bounded
+/// verdicts, and engine escalation, not just the full-proof fast path).
+#[test]
+fn graph_engine_matches_reference_on_the_whole_suite() {
+    let checker = Rtlcheck::new(MemoryImpl::Fixed);
+    let config = VerifyConfig::hybrid();
+    for test in suite::all() {
+        let graph = checker.check_test(&test, &config);
+        let reference = checker.check_test_reference(&test, &config);
+        assert_reports_match(&graph, &reference);
+    }
+}
+
+/// A handful of tests against the *buggy* memory, where counterexample
+/// traces and bug witnesses must also match byte-for-byte.
+#[test]
+fn graph_engine_matches_reference_on_buggy_memory() {
+    let checker = Rtlcheck::new(MemoryImpl::Buggy);
+    let config = VerifyConfig::hybrid();
+    for name in ["mp", "sb", "co-mp"] {
+        let test = suite::get(name).expect("suite test exists");
+        let graph = checker.check_test(&test, &config);
+        let reference = checker.check_test_reference(&test, &config);
+        assert_reports_match(&graph, &reference);
+    }
+}
