@@ -25,7 +25,7 @@ use rtlcheck_litmus::{suite, LitmusTest};
 pub use rtlcheck_obs::json::Json;
 use rtlcheck_obs::{BufferCollector, Collector, NullCollector};
 use rtlcheck_rtl::multi_vscale::MemoryImpl;
-use rtlcheck_verif::VerifyConfig;
+use rtlcheck_verif::{GraphCache, VerifyConfig};
 
 /// One row of the per-test results (one bar of Figures 13/14).
 #[derive(Debug, Clone)]
@@ -231,6 +231,22 @@ pub fn run_suite_jobs_observed(
     }
 }
 
+/// [`run_suite_jobs_observed`] through a [`GraphCache`]; see
+/// [`check_tests_cached`].
+pub fn run_suite_jobs_cached(
+    memory: MemoryImpl,
+    config: &VerifyConfig,
+    jobs: usize,
+    collector: &dyn Collector,
+    cache: &GraphCache,
+) -> SuiteResults {
+    let reports = check_tests_cached(memory, &suite::all(), config, jobs, collector, cache);
+    SuiteResults {
+        config: config.name.clone(),
+        rows: reports.iter().map(TestRow::from_report).collect(),
+    }
+}
+
 /// Runs the full flow on each test with a pool of `jobs` worker threads
 /// (self-scheduling over the test list; tests are independent, so no finer
 /// decomposition is needed), returning the reports **in input order**.
@@ -253,13 +269,48 @@ pub fn check_tests_observed(
     jobs: usize,
     collector: &dyn Collector,
 ) -> Vec<TestReport> {
+    check_tests_inner(memory, tests, config, jobs, collector, None)
+}
+
+/// [`check_tests_observed`] through a cross-test [`GraphCache`]: each test's
+/// state graph is requested from the cache (shared warm cores in memory,
+/// optionally persisted on disk) instead of always being built cold.
+///
+/// The determinism contract extends to the cache: graph construction is
+/// *build-once, read-many* — the first request of each distinct fingerprint
+/// builds and publishes the core while concurrent same-key requests block —
+/// so `graph_cache.*` counters are pure functions of the test list, not of
+/// scheduling. The counters (and any corruption warnings) are reported to
+/// `collector` here, once, after all per-test streams have been replayed.
+pub fn check_tests_cached(
+    memory: MemoryImpl,
+    tests: &[LitmusTest],
+    config: &VerifyConfig,
+    jobs: usize,
+    collector: &dyn Collector,
+    cache: &GraphCache,
+) -> Vec<TestReport> {
+    let reports = check_tests_inner(memory, tests, config, jobs, collector, Some(cache));
+    cache.report_to(collector);
+    reports
+}
+
+fn check_tests_inner(
+    memory: MemoryImpl,
+    tests: &[LitmusTest],
+    config: &VerifyConfig,
+    jobs: usize,
+    collector: &dyn Collector,
+    cache: Option<&GraphCache>,
+) -> Vec<TestReport> {
+    let check = |tool: &Rtlcheck, test: &LitmusTest, sink: &dyn Collector| match cache {
+        Some(cache) => tool.check_test_cached(test, config, cache, sink),
+        None => tool.check_test_observed(test, config, sink),
+    };
     let workers = jobs.max(1).min(tests.len().max(1));
     if workers <= 1 {
         let tool = Rtlcheck::new(memory);
-        return tests
-            .iter()
-            .map(|t| tool.check_test_observed(t, config, collector))
-            .collect();
+        return tests.iter().map(|t| check(&tool, t, collector)).collect();
     }
 
     let next = AtomicUsize::new(0);
@@ -273,7 +324,7 @@ pub fn check_tests_observed(
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(test) = tests.get(i) else { break };
                     let buf = BufferCollector::new();
-                    let report = tool.check_test_observed(test, config, &buf);
+                    let report = check(&tool, test, &buf);
                     *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some((report, buf));
                 }
             });

@@ -9,7 +9,7 @@ use rtlcheck_sva::emit;
 use rtlcheck_uspec::Spec;
 use rtlcheck_verif::{
     build_graph, check_cover_on_graph_observed, explore, verify_property_on_graph_observed,
-    CoverVerdict, Problem, PropertyVerdict, VerifyConfig,
+    CoverVerdict, GraphCache, Problem, PropertyVerdict, VerifyConfig,
 };
 
 use crate::assert_gen::{self, AssertionOptions, GeneratedAssertion};
@@ -111,6 +111,38 @@ impl Rtlcheck {
         config: &VerifyConfig,
         collector: &dyn Collector,
     ) -> TestReport {
+        self.check_test_inner(test, config, None, collector)
+    }
+
+    /// [`Rtlcheck::check_test_observed`] through a [`GraphCache`]: the
+    /// state graph is requested from the cache instead of always being
+    /// built cold, and — when the cache has a directory and this call cold-
+    /// built the graph — the post-walk core is persisted for later runs.
+    ///
+    /// The cache's own `graph_cache.*` counters are **not** reported here:
+    /// call [`GraphCache::report_to`] once per run after all tests, so the
+    /// metrics stream stays independent of scheduling.
+    ///
+    /// # Panics
+    ///
+    /// As [`Rtlcheck::check_test`].
+    pub fn check_test_cached(
+        &self,
+        test: &LitmusTest,
+        config: &VerifyConfig,
+        cache: &GraphCache,
+        collector: &dyn Collector,
+    ) -> TestReport {
+        self.check_test_inner(test, config, Some(cache), collector)
+    }
+
+    fn check_test_inner(
+        &self,
+        test: &LitmusTest,
+        config: &VerifyConfig,
+        cache: Option<&GraphCache>,
+        collector: &dyn Collector,
+    ) -> TestReport {
         let mut flow = span(
             collector,
             "check_test",
@@ -137,7 +169,7 @@ impl Rtlcheck {
         problem.assumptions = assumptions.directives.clone();
         problem.cover = Some(assumptions.cover.clone());
 
-        let report = run_flow_observed(test.name(), &problem, &assertions, config, collector);
+        let report = run_flow_cached(test.name(), &problem, &assertions, config, cache, collector);
         flow.attr(
             "verdict",
             if report.bug_found() {
@@ -201,20 +233,48 @@ pub(crate) fn run_flow_observed(
     config: &VerifyConfig,
     collector: &dyn Collector,
 ) -> TestReport {
+    run_flow_cached(test_name, problem, assertions, config, None, collector)
+}
+
+/// [`run_flow_observed`] with an optional [`GraphCache`]: the graph comes
+/// from the cache (in-memory hit, disk hit, or cold build) and a cold-built
+/// graph's final core is stored back after the walks. The `graph_build`
+/// span gains a `cache` attribute saying where the graph came from.
+pub(crate) fn run_flow_cached(
+    test_name: &str,
+    problem: &Problem<'_>,
+    assertions: &[GeneratedAssertion],
+    config: &VerifyConfig,
+    cache: Option<&GraphCache>,
+    collector: &dyn Collector,
+) -> TestReport {
     // Phase 0: build the shared state graph — the design × assumption
     // product that the cover search and every property walk reuse. Warmed
     // under the cover engine's budget; walks extend it lazily if their own
     // budget reaches further.
     let mut g = span(collector, "graph_build", attrs!["test" => test_name]);
-    let graph = build_graph(
-        problem,
-        assertions.iter().map(|a| &a.directive.prop),
-        config.cover_engine(),
-    );
+    let (graph, ticket) = match cache {
+        Some(cache) => {
+            let props: Vec<_> = assertions.iter().map(|a| &a.directive.prop).collect();
+            let (graph, ticket) = cache.build_graph(problem, &props, config.cover_engine());
+            (graph, Some(ticket))
+        }
+        None => {
+            let graph = build_graph(
+                problem,
+                assertions.iter().map(|a| &a.directive.prop),
+                config.cover_engine(),
+            );
+            (graph, None)
+        }
+    };
     let gs = graph.stats();
     g.attr("nodes", gs.nodes);
     g.attr("edges", gs.edges);
     g.attr("complete", gs.complete);
+    if let Some(t) = &ticket {
+        g.attr("cache", t.source().label());
+    }
     g.finish();
 
     // Phase 1: covering-trace search (§4.1).
@@ -303,6 +363,13 @@ pub(crate) fn run_flow_observed(
     // The graph's construction/reuse counters and the shared assumption
     // monitors' metrics, once per test.
     graph.report_to(collector);
+
+    // Persist the final (post-walk) core if this call is the cache's
+    // designated writer for the key — a later run then replays the whole
+    // exploration from disk.
+    if let (Some(cache), Some(ticket)) = (cache, &ticket) {
+        cache.store_final(ticket, &graph);
+    }
 
     TestReport {
         test: test_name.to_string(),

@@ -58,6 +58,12 @@ impl BitSet {
     pub fn words(&self) -> &[u64] {
         &self.words
     }
+
+    /// Reconstructs a set from raw words (the inverse of [`BitSet::words`],
+    /// used when decoding serialized monitor states).
+    pub fn from_words(words: Vec<u64>) -> Self {
+        BitSet { words }
+    }
 }
 
 /// One NFA state's outgoing transitions.

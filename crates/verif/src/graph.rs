@@ -36,6 +36,7 @@ use rtlcheck_rtl::{Design, SignalId, SignalKind};
 use rtlcheck_sva::{Monitor, MonitorState, Prop, SvaBool};
 
 use crate::atom::{RtlAtom, RtlBool};
+use crate::cache::{CoreSnapshot, NodeSnapshot};
 use crate::engine::Engine;
 use crate::problem::Problem;
 
@@ -168,9 +169,19 @@ impl<'p, 'd> StateGraph<'p, 'd> {
     where
         I: IntoIterator<Item = &'a Prop<RtlAtom>>,
     {
-        let sim = Simulator::new(problem.design);
-        let inputs = input_valuations(problem.design);
+        let atoms = StateGraph::atom_table(problem, props);
+        StateGraph::with_atoms(problem, atoms)
+    }
 
+    /// The sorted, deduplicated atom table a graph for `problem`/`props`
+    /// will index into: every atom of the cover condition plus every atom
+    /// of every property. This (together with the design and assumptions)
+    /// fully determines the graph's content, which is why the cache keys
+    /// on it.
+    pub(crate) fn atom_table<'a, I>(problem: &Problem<'_>, props: I) -> Vec<RtlAtom>
+    where
+        I: IntoIterator<Item = &'a Prop<RtlAtom>>,
+    {
         let mut set: BTreeSet<RtlAtom> = BTreeSet::new();
         if let Some(cover) = &problem.cover {
             cover.for_each_atom(&mut |a| {
@@ -182,7 +193,14 @@ impl<'p, 'd> StateGraph<'p, 'd> {
                 set.insert(*a);
             });
         }
-        let atoms: Vec<RtlAtom> = set.into_iter().collect();
+        set.into_iter().collect()
+    }
+
+    /// [`StateGraph::new`] with a precomputed atom table.
+    fn with_atoms(problem: &'p Problem<'d>, atoms: Vec<RtlAtom>) -> Self {
+        let sim = Simulator::new(problem.design);
+        let inputs = input_valuations(problem.design);
+
         let mut sig_atoms: Vec<(SignalId, Vec<(usize, u64)>)> = Vec::new();
         for (i, a) in atoms.iter().enumerate() {
             match sig_atoms.last_mut() {
@@ -403,6 +421,140 @@ impl<'p, 'd> StateGraph<'p, 'd> {
                 a.render(self.problem.design),
             ),
         }
+    }
+
+    /// Captures the materialised core — nodes, monitor states, edge rows,
+    /// structural statistics — as an immutable [`CoreSnapshot`]. Activity
+    /// counters (`lookups`, `reuse_hits`) are zeroed: they describe walks,
+    /// not the graph, and a graph resumed from the snapshot starts fresh.
+    pub fn snapshot(&self) -> CoreSnapshot {
+        let core = self.core.borrow();
+        let nodes = core
+            .nodes
+            .iter()
+            .map(|n| NodeSnapshot {
+                regs: n.state.regs().to_vec(),
+                assumptions: n.assumptions.clone(),
+                row: n.row.as_ref().map(|r| (r.dests.to_vec(), r.bits.to_vec())),
+            })
+            .collect();
+        let stats = GraphStats {
+            lookups: 0,
+            reuse_hits: 0,
+            ..core.stats
+        };
+        CoreSnapshot {
+            atoms: self.atoms.clone(),
+            num_inputs: self.inputs.len(),
+            words: self.words,
+            num_regs: self.problem.design.num_regs(),
+            num_monitors: core.monitors.len(),
+            nodes,
+            stats,
+        }
+    }
+
+    /// Reconstructs a graph for `problem`/`props` from a snapshot, as if
+    /// the original graph had been built in place — walks behave
+    /// identically by the laziness invariant (see the module docs).
+    ///
+    /// Returns `None` unless the snapshot *provably* describes this exact
+    /// problem: the atom table, dimensions, monitor arity, and initial
+    /// product state must match, every edge row must be well-formed
+    /// (destinations in range or [`PRUNED`]), the product states must be
+    /// distinct, and the structural statistics must equal what the nodes
+    /// actually contain. A snapshot from a different problem that slipped
+    /// past the fingerprint (a hash collision) is therefore rejected here
+    /// rather than producing a wrong verdict.
+    pub fn from_snapshot<'a, I>(
+        problem: &'p Problem<'d>,
+        props: I,
+        snap: &CoreSnapshot,
+    ) -> Option<Self>
+    where
+        I: IntoIterator<Item = &'a Prop<RtlAtom>>,
+    {
+        let atoms = StateGraph::atom_table(problem, props);
+        if atoms != snap.atoms {
+            return None;
+        }
+        let graph = StateGraph::with_atoms(problem, atoms);
+        if graph.inputs.len() != snap.num_inputs
+            || graph.words != snap.words
+            || problem.design.num_regs() != snap.num_regs
+        {
+            return None;
+        }
+        {
+            let mut core = graph.core.borrow_mut();
+            if core.monitors.len() != snap.num_monitors || snap.nodes.is_empty() {
+                return None;
+            }
+            let init = &core.nodes[0];
+            if snap.nodes[0].regs != init.state.regs()
+                || snap.nodes[0].assumptions != init.assumptions
+            {
+                return None;
+            }
+            let num_nodes = snap.nodes.len();
+            if u32::try_from(num_nodes).is_err() || snap.stats.nodes != num_nodes {
+                return None;
+            }
+            let row_words = snap.num_inputs.checked_mul(snap.words)?;
+            let mut nodes = Vec::with_capacity(num_nodes);
+            let mut index = HashMap::with_capacity(num_nodes);
+            let mut edges = 0u64;
+            let mut pruned = 0u64;
+            for (i, n) in snap.nodes.iter().enumerate() {
+                if n.regs.len() != snap.num_regs || n.assumptions.len() != snap.num_monitors {
+                    return None;
+                }
+                let state = State::from_regs(n.regs.clone());
+                let row = match &n.row {
+                    None => None,
+                    Some((dests, bits)) => {
+                        if dests.len() != snap.num_inputs || bits.len() != row_words {
+                            return None;
+                        }
+                        for &d in dests {
+                            if d == PRUNED {
+                                pruned += 1;
+                            } else if (d as usize) < num_nodes {
+                                edges += 1;
+                            } else {
+                                return None;
+                            }
+                        }
+                        Some(EdgeRow {
+                            dests: dests.clone().into_boxed_slice(),
+                            bits: bits.clone().into_boxed_slice(),
+                        })
+                    }
+                };
+                let duplicate = index
+                    .insert((state.clone(), n.assumptions.clone()), i as u32)
+                    .is_some();
+                if duplicate {
+                    return None;
+                }
+                nodes.push(GraphNode {
+                    state,
+                    assumptions: n.assumptions.clone(),
+                    row,
+                });
+            }
+            if edges != snap.stats.edges || pruned != snap.stats.pruned_edges {
+                return None;
+            }
+            core.nodes = nodes;
+            core.index = index;
+            core.stats = GraphStats {
+                lookups: 0,
+                reuse_hits: 0,
+                ..snap.stats
+            };
+        }
+        Some(graph)
     }
 
     /// Reports the graph's construction/reuse counters (`graph.*`) and the

@@ -29,6 +29,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod atom;
+pub mod cache;
 pub mod engine;
 pub mod explore;
 pub mod graph;
@@ -36,6 +37,10 @@ pub mod problem;
 pub mod replay;
 
 pub use atom::RtlAtom;
+pub use cache::{
+    fingerprint, snapshot_from_bytes, snapshot_to_bytes, CacheSource, CacheStats, CacheTicket,
+    CoreSnapshot, GraphCache, GraphKey, SnapshotError,
+};
 pub use engine::{Engine, EngineKind, PropertyVerdict, VerifyConfig};
 pub use explore::{
     build_graph, check_cover, check_cover_observed, check_cover_on_graph,

@@ -3,11 +3,13 @@
 //! ```text
 //! rtlcheck check <test.litmus | suite-test-name> [--memory fixed|buggy|tso]
 //!                [--config quick|hybrid|full-proof] [--trace] [--vcd <path>]
+//!                [--graph-cache <dir>]
 //!                [--events <out.jsonl>] [--metrics <out.json>]
 //! rtlcheck emit-sva <test.litmus | name> [--memory ...]
 //! rtlcheck emit-verilog <test.litmus | name> [--memory ...]
 //! rtlcheck axiomatic <test.litmus | name> [--memory ...] [--dot]
 //! rtlcheck suite [--memory ...] [--config ...] [--jobs N] [--only a,b,c]
+//!                [--graph-cache <dir>]
 //!                [--events <out.jsonl>] [--metrics <out.json>]
 //! rtlcheck profile <metrics.json>
 //! rtlcheck list
@@ -18,7 +20,10 @@
 //! histograms, counter totals, slowest properties) into a summary that
 //! `rtlcheck profile` renders. `suite --jobs N` checks tests on N worker
 //! threads; output, results, and merged metrics are identical to a
-//! sequential run (only wall-clock time changes).
+//! sequential run (only wall-clock time changes). `--graph-cache DIR`
+//! persists each test's warm state graph to DIR and reloads it on later
+//! runs, skipping the graph-build phase; stale or corrupt cache files are
+//! detected and fall back to a cold build.
 
 use std::io::{BufWriter, Write as _};
 use std::process::ExitCode;
@@ -29,7 +34,7 @@ use rtlcheck::obs::{Collector, JsonlCollector, MetricsCollector, MetricsSummary,
 use rtlcheck::prelude::*;
 use rtlcheck::uhb::solve;
 use rtlcheck::uspec::ground::{ground, DataMode};
-use rtlcheck::verif::PropertyVerdict;
+use rtlcheck::verif::{GraphCache, PropertyVerdict};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -47,12 +52,12 @@ fn main() -> ExitCode {
 const USAGE: &str = "\
 usage:
   rtlcheck check <test> [--memory fixed|buggy|tso] [--config quick|hybrid|full-proof] [--trace] [--vcd <path>]
-                 [--events <out.jsonl>] [--metrics <out.json>]
+                 [--graph-cache <dir>] [--events <out.jsonl>] [--metrics <out.json>]
   rtlcheck emit-sva <test> [--memory ...]
   rtlcheck emit-verilog <test> [--memory ...]
   rtlcheck axiomatic <test> [--memory ...] [--dot]
   rtlcheck suite [--memory ...] [--config ...] [--jobs N] [--only a,b,c]
-                 [--events <out.jsonl>] [--metrics <out.json>]
+                 [--graph-cache <dir>] [--events <out.jsonl>] [--metrics <out.json>]
   rtlcheck profile <metrics.json>
   rtlcheck list
 
@@ -60,7 +65,9 @@ usage:
 --events streams spans/counters/events as JSON lines; --metrics writes an
 aggregated summary which `rtlcheck profile` renders as a report.
 --jobs runs suite tests on N worker threads (deterministic output);
---only restricts the suite to a comma-separated list of test names.";
+--only restricts the suite to a comma-separated list of test names.
+--graph-cache persists warm state graphs to <dir> and reloads them on
+later runs (corrupt or stale files fall back to a cold build).";
 
 fn run(args: &[String]) -> Result<ExitCode, String> {
     let Some(cmd) = args.first() else {
@@ -158,6 +165,10 @@ fn common_args(
                     .ok_or("--only needs a comma-separated test list")?;
                 flags.push(format!("--only={v}"));
             }
+            "--graph-cache" => {
+                let v = it.next().ok_or("--graph-cache needs a directory")?;
+                flags.push(format!("--graph-cache={v}"));
+            }
             f @ ("--trace" | "--dot") => flags.push(f.to_string()),
             f if f.starts_with("--") => return Err(format!("unknown flag `{f}`")),
             positional => {
@@ -183,6 +194,16 @@ fn flag_config(flags: &[String]) -> Result<VerifyConfig, String> {
         }
     }
     Ok(VerifyConfig::quick())
+}
+
+/// Builds the on-disk graph cache if `--graph-cache DIR` was given.
+fn flag_graph_cache(flags: &[String]) -> Result<Option<GraphCache>, String> {
+    match flags.iter().find_map(|f| f.strip_prefix("--graph-cache=")) {
+        Some(dir) => GraphCache::with_dir(dir)
+            .map(Some)
+            .map_err(|e| format!("creating graph cache directory `{dir}`: {e}")),
+        None => Ok(None),
+    }
 }
 
 /// The `--events` / `--metrics` sinks of one CLI invocation.
@@ -247,8 +268,17 @@ fn check(args: &[String]) -> Result<ExitCode, String> {
     let (test, memory, flags) = common_args(args, true)?;
     let config = flag_config(&flags)?;
     let obs = Observability::from_flags(&flags)?;
+    let cache = flag_graph_cache(&flags)?;
     let tool = Rtlcheck::new(memory);
-    let report = tool.check_test_observed(&test, &config, &obs.collector());
+    let report = match &cache {
+        Some(cache) => {
+            let collector = obs.collector();
+            let report = tool.check_test_cached(&test, &config, cache, &collector);
+            cache.report_to(&collector);
+            report
+        }
+        None => tool.check_test_observed(&test, &config, &obs.collector()),
+    };
     obs.finish()?;
     println!("{report}");
     if flags.iter().any(|f| f == "--trace") {
@@ -408,9 +438,15 @@ fn suite_cmd(args: &[String]) -> Result<ExitCode, String> {
         }
         None => suite::all(),
     };
+    let cache = flag_graph_cache(&flags)?;
     let obs = Observability::from_flags(&flags)?;
     let collector = obs.collector();
-    let reports = rtlcheck::bench::check_tests_observed(memory, &tests, &config, jobs, &collector);
+    let reports = match &cache {
+        Some(cache) => {
+            rtlcheck::bench::check_tests_cached(memory, &tests, &config, jobs, &collector, cache)
+        }
+        None => rtlcheck::bench::check_tests_observed(memory, &tests, &config, jobs, &collector),
+    };
     let mut violations = 0;
     for report in &reports {
         let status = if report.bug_found() {

@@ -1,0 +1,153 @@
+//! Suite-level differential test for the graph cache.
+//!
+//! Every litmus test in the paper's suite is checked three ways — cold
+//! build (no cache), in-memory cache hit, and on-disk cache hit — and the
+//! resulting reports must be bit-identical: same verdicts, same
+//! exploration statistics, same counterexample traces, same rendered
+//! output. Only wall-clock timings may differ. This is the same discipline
+//! as `tests/differential.rs`, pointed at the cache instead of the
+//! reference engine: a cache that changed *any* observable result would be
+//! a verifier silently proving the wrong thing.
+//!
+//! The random-design counterpart (proptest over serialization round-trips
+//! and byte flips) lives in `crates/verif/tests/graph_cache_roundtrip.rs`.
+
+use std::path::PathBuf;
+
+use rtlcheck::core::{CoverOutcome, Rtlcheck, TestReport};
+use rtlcheck::litmus::suite;
+use rtlcheck::obs::NullCollector;
+use rtlcheck::prelude::{MemoryImpl, VerifyConfig};
+use rtlcheck::verif::GraphCache;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rtlgc-diff-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn cover_label(report: &TestReport) -> String {
+    match &report.cover {
+        CoverOutcome::VerifiedUnreachable => "unreachable".to_string(),
+        CoverOutcome::BugWitness(trace) => format!("bug-witness {trace:?}"),
+        CoverOutcome::Inconclusive => "inconclusive".to_string(),
+    }
+}
+
+fn assert_reports_match(cold: &TestReport, cached: &TestReport, how: &str) {
+    let test = &cold.test;
+    assert_eq!(cold.test, cached.test);
+    assert_eq!(cold.config, cached.config);
+    assert_eq!(
+        cover_label(cold),
+        cover_label(cached),
+        "{test}/{how}: cover outcome diverged"
+    );
+    assert_eq!(
+        cold.cover_stats, cached.cover_stats,
+        "{test}/{how}: cover ExploreStats diverged"
+    );
+    assert_eq!(
+        cold.vacuous, cached.vacuous,
+        "{test}/{how}: vacuity diverged"
+    );
+    assert_eq!(
+        cold.properties.len(),
+        cached.properties.len(),
+        "{test}/{how}: property count diverged"
+    );
+    for (c, h) in cold.properties.iter().zip(&cached.properties) {
+        assert_eq!(c.name, h.name, "{test}/{how}: property order diverged");
+        assert_eq!(c.axiom, h.axiom, "{test}/{how}: axiom attribution diverged");
+        // PropertyVerdict carries stats, bounded depth, and the full
+        // counterexample trace; Debug formatting compares all of them.
+        assert_eq!(
+            format!("{:?}", c.verdict),
+            format!("{:?}", h.verdict),
+            "{test}/{how}: verdict for `{}` diverged",
+            c.name
+        );
+    }
+    // The user-facing rendering must also be byte-identical (it contains
+    // no wall-clock numbers by design).
+    assert_eq!(
+        format!("{cold}"),
+        format!("{cached}"),
+        "{test}/{how}: rendered report diverged"
+    );
+}
+
+/// Checks one test cold, via an in-memory hit, and via a disk hit, and
+/// asserts all three reports match. Every intermediate (cache-miss) report
+/// is compared too — a cold build *through* the cache must also be
+/// unchanged.
+fn check_all_paths(checker: &Rtlcheck, test: &rtlcheck::litmus::LitmusTest, dir: &PathBuf) {
+    let config = VerifyConfig::hybrid();
+    let cold = checker.check_test(test, &config);
+
+    // In-memory: first request publishes the warm core, second resumes it.
+    let mem_cache = GraphCache::in_memory();
+    let mem_miss = checker.check_test_cached(test, &config, &mem_cache, &NullCollector);
+    let mem_hit = checker.check_test_cached(test, &config, &mem_cache, &NullCollector);
+    let s = mem_cache.stats();
+    assert_eq!(
+        (s.requests, s.hits, s.misses),
+        (2, 1, 1),
+        "{}: unexpected in-memory cache activity {s:?}",
+        test.name()
+    );
+    assert_reports_match(&cold, &mem_miss, "memory-miss");
+    assert_reports_match(&cold, &mem_hit, "memory-hit");
+
+    // On-disk: one cache instance stores the final core; a fresh instance
+    // (a "later run") must load it from disk. Some suite tests share a
+    // fingerprint with an earlier test (identical design + assumptions +
+    // atoms), in which case the first run already hits the earlier test's
+    // artifact — also a disk-served result worth differencing.
+    let store = GraphCache::with_dir(dir).expect("cache dir");
+    let disk_miss = checker.check_test_cached(test, &config, &store, &NullCollector);
+    let s = store.stats();
+    assert_eq!(
+        s.disk_hits + s.stores,
+        1,
+        "{}: first run must store or reuse a prior test's artifact {s:?}",
+        test.name()
+    );
+    let load = GraphCache::with_dir(dir).expect("cache dir");
+    let disk_hit = checker.check_test_cached(test, &config, &load, &NullCollector);
+    let s = load.stats();
+    assert_eq!(
+        (s.disk_hits, s.corrupt, s.version_mismatch),
+        (1, 0, 0),
+        "{}: second run must hit the disk artifact {s:?}",
+        test.name()
+    );
+    assert_reports_match(&cold, &disk_miss, "disk-miss");
+    assert_reports_match(&cold, &disk_hit, "disk-hit");
+}
+
+/// Every suite test on the fixed design under the paper's Hybrid
+/// configuration (bounded engine first — exercises budget parity, bounded
+/// verdicts, and engine escalation, not just the full-proof fast path).
+#[test]
+fn cache_paths_match_cold_builds_on_the_whole_suite() {
+    let checker = Rtlcheck::new(MemoryImpl::Fixed);
+    let dir = temp_dir("fixed");
+    for test in suite::all() {
+        check_all_paths(&checker, &test, &dir);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A handful of tests against the *buggy* memory, where counterexample
+/// traces and bug witnesses must also survive the cache byte-for-byte.
+#[test]
+fn cache_paths_match_cold_builds_on_buggy_memory() {
+    let checker = Rtlcheck::new(MemoryImpl::Buggy);
+    let dir = temp_dir("buggy");
+    for name in ["mp", "sb", "co-mp"] {
+        let test = suite::get(name).expect("suite test exists");
+        check_all_paths(&checker, &test, &dir);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,163 @@
+//! CLI-level robustness tests for the on-disk graph cache.
+//!
+//! A stale or corrupt cache silently proving the wrong design would be
+//! catastrophic for a verifier, so every damaged-artifact scenario —
+//! truncation, zero-length files, a foreign format version, and a
+//! hash-collision-shaped key/payload mismatch — must (a) fall back to a
+//! cold build, (b) leave a `graph_cache.corrupt` /
+//! `graph_cache.version_mismatch` event in the metrics, and (c) exit 0
+//! with the correct verdict.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use rtlcheck::obs::MetricsSummary;
+
+fn rtlcheck(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_rtlcheck"))
+        .args(args)
+        .output()
+        .expect("the rtlcheck binary runs")
+}
+
+/// A fresh scratch directory for one test.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rtlgc-cli-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Runs `rtlcheck check <test> --graph-cache <dir> --metrics ...`,
+/// asserting exit 0 and a "verified" verdict; returns the metrics summary.
+fn check_cached(test: &str, cache: &Path, dir: &Path, run: &str) -> MetricsSummary {
+    let metrics = dir.join(format!("{run}.json"));
+    let out = rtlcheck(&[
+        "check",
+        test,
+        "--graph-cache",
+        cache.to_str().unwrap(),
+        "--metrics",
+        metrics.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("verdict: verified"), "{stdout}");
+    let text = std::fs::read_to_string(&metrics).expect("metrics written");
+    MetricsSummary::parse(&text).expect("metrics parse")
+}
+
+/// The single cache artifact a run of `test` produces.
+fn artifact(cache: &Path) -> PathBuf {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(cache)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "rtlgc"))
+        .collect();
+    assert_eq!(files.len(), 1, "expected exactly one artifact: {files:?}");
+    files.remove(0)
+}
+
+fn counter_total(summary: &MetricsSummary, name: &str) -> u64 {
+    summary.counter(name).map_or(0, |c| c.total)
+}
+
+#[test]
+fn truncated_and_zero_length_artifacts_fall_back_cold() {
+    let dir = scratch("trunc");
+    let cache = dir.join("cache");
+
+    // Seed the cache, then verify a warm run hits it.
+    let cold = check_cached("mp", &cache, &dir, "cold");
+    assert_eq!(counter_total(&cold, "graph_cache.stores"), 1, "{cold:?}");
+    let warm = check_cached("mp", &cache, &dir, "warm");
+    assert_eq!(counter_total(&warm, "graph_cache.disk_hits"), 1);
+
+    // Truncate the artifact: detected, cold rebuild, correct verdict.
+    let path = artifact(&cache);
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &bytes[..bytes.len() / 3]).unwrap();
+    let truncated = check_cached("mp", &cache, &dir, "truncated");
+    assert_eq!(counter_total(&truncated, "graph_cache.corrupt"), 1);
+    assert_eq!(counter_total(&truncated, "graph_cache.disk_hits"), 0);
+    assert_eq!(truncated.event_count("graph_cache.corrupt"), 1);
+    // The fallback re-stored a good artifact...
+    assert_eq!(counter_total(&truncated, "graph_cache.stores"), 1);
+    // ...and the profile calls the corruption out.
+    let rendered = truncated.render();
+    assert!(
+        rendered.contains("1 unusable graph-cache file(s)"),
+        "{rendered}"
+    );
+
+    // Zero-length file: same story.
+    std::fs::write(artifact(&cache), b"").unwrap();
+    let empty = check_cached("mp", &cache, &dir, "empty");
+    assert_eq!(counter_total(&empty, "graph_cache.corrupt"), 1);
+    assert_eq!(counter_total(&empty, "graph_cache.stores"), 1);
+
+    // The healed cache serves the next run from disk again.
+    let healed = check_cached("mp", &cache, &dir, "healed");
+    assert_eq!(counter_total(&healed, "graph_cache.disk_hits"), 1);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn version_mismatched_artifacts_fall_back_cold() {
+    let dir = scratch("version");
+    let cache = dir.join("cache");
+    check_cached("mp", &cache, &dir, "cold");
+
+    // Rewrite the format-version field (bytes 8..16, after the 8-byte
+    // magic) and fix up the length/FNV-1a checksum trailer so the file is
+    // exactly what a different-format writer would have produced.
+    let path = artifact(&cache);
+    let mut bytes = std::fs::read(&path).unwrap();
+    let body_len = bytes.len() - 16;
+    bytes[8..16].copy_from_slice(&999u64.to_le_bytes());
+    let mut sum = 0xcbf2_9ce4_8422_2325u64;
+    for &b in &bytes[..body_len] {
+        sum = (sum ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let sum_bytes = sum.to_le_bytes();
+    bytes[body_len + 8..].copy_from_slice(&sum_bytes);
+    std::fs::write(&path, &bytes).unwrap();
+
+    let run = check_cached("mp", &cache, &dir, "stale");
+    assert_eq!(counter_total(&run, "graph_cache.version_mismatch"), 1);
+    assert_eq!(counter_total(&run, "graph_cache.corrupt"), 0);
+    assert_eq!(counter_total(&run, "graph_cache.disk_hits"), 0);
+    assert_eq!(run.event_count("graph_cache.version_mismatch"), 1);
+    // The stale artifact was replaced; the next run is warm again.
+    assert_eq!(counter_total(&run, "graph_cache.stores"), 1);
+    let healed = check_cached("mp", &cache, &dir, "healed");
+    assert_eq!(counter_total(&healed, "graph_cache.disk_hits"), 1);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn colliding_artifacts_with_foreign_payloads_fall_back_cold() {
+    let dir = scratch("collision");
+    let mp_cache = dir.join("mp-cache");
+    let sb_cache = dir.join("sb-cache");
+    check_cached("mp", &mp_cache, &dir, "mp-cold");
+    check_cached("sb", &sb_cache, &dir, "sb-cold");
+
+    // Simulate a fingerprint collision: put sb's (internally consistent,
+    // checksum-valid) artifact where mp's key points. The stored key pair
+    // can't match mp's fingerprint, so the load is rejected before any
+    // semantic validation could even run.
+    let mp_path = artifact(&mp_cache);
+    let sb_path = artifact(&sb_cache);
+    std::fs::copy(&sb_path, &mp_path).unwrap();
+
+    let run = check_cached("mp", &mp_cache, &dir, "collided");
+    assert_eq!(counter_total(&run, "graph_cache.disk_hits"), 0);
+    assert_eq!(counter_total(&run, "graph_cache.key_mismatches"), 1);
+    assert_eq!(run.event_count("graph_cache.corrupt"), 1);
+    assert_eq!(counter_total(&run, "graph_cache.stores"), 1);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
