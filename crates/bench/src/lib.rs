@@ -27,6 +27,8 @@ use rtlcheck_obs::{BufferCollector, Collector, NullCollector};
 use rtlcheck_rtl::multi_vscale::MemoryImpl;
 use rtlcheck_verif::{GraphCache, VerifyConfig};
 
+pub mod mutation;
+
 /// One row of the per-test results (one bar of Figures 13/14).
 #[derive(Debug, Clone)]
 pub struct TestRow {

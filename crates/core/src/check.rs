@@ -5,6 +5,7 @@ use std::fmt::Write as _;
 use rtlcheck_litmus::LitmusTest;
 use rtlcheck_obs::{attrs, span, Collector, NullCollector};
 use rtlcheck_rtl::multi_vscale::{MemoryImpl, MultiVscale};
+use rtlcheck_rtl::mutate::{MutateError, Mutation};
 use rtlcheck_sva::emit;
 use rtlcheck_uspec::Spec;
 use rtlcheck_verif::{
@@ -136,6 +137,36 @@ impl Rtlcheck {
         self.check_test_inner(test, config, Some(cache), collector)
     }
 
+    /// [`Rtlcheck::check_test_observed`] on a **mutant** of the per-test
+    /// design: the design is built, `mutation` is applied to its IR, and the
+    /// unchanged Figure-7 flow (assumption gen, assertion gen, cover search,
+    /// property proofs) runs against the mutated design. The mutation
+    /// campaign uses this to measure whether the generated properties kill
+    /// injected bugs.
+    ///
+    /// Cache safety: the mutant's module name (and hence its emitted
+    /// Verilog) differs from the original's and from every other mutant's,
+    /// so the graph-cache fingerprint never collides across mutants.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`MutateError`] if the mutation does not apply to this
+    /// design.
+    ///
+    /// # Panics
+    ///
+    /// As [`Rtlcheck::check_test`].
+    pub fn check_test_mutated(
+        &self,
+        test: &LitmusTest,
+        mutation: &Mutation,
+        config: &VerifyConfig,
+        cache: Option<&GraphCache>,
+        collector: &dyn Collector,
+    ) -> Result<TestReport, MutateError> {
+        self.check_test_mutated_inner(test, Some(mutation), config, cache, collector)
+    }
+
     fn check_test_inner(
         &self,
         test: &LitmusTest,
@@ -143,14 +174,36 @@ impl Rtlcheck {
         cache: Option<&GraphCache>,
         collector: &dyn Collector,
     ) -> TestReport {
+        self.check_test_mutated_inner(test, None, config, cache, collector)
+            .expect("no mutation to fail")
+    }
+
+    fn check_test_mutated_inner(
+        &self,
+        test: &LitmusTest,
+        mutation: Option<&Mutation>,
+        config: &VerifyConfig,
+        cache: Option<&GraphCache>,
+        collector: &dyn Collector,
+    ) -> Result<TestReport, MutateError> {
         let mut flow = span(
             collector,
             "check_test",
             attrs!["test" => test.name(), "config" => &config.name],
         );
+        if let Some(m) = mutation {
+            flow.attr("mutant", m.name.as_str());
+        }
 
-        let g = span(collector, "design_build", attrs!["test" => test.name()]);
-        let mv = self.build_design(test);
+        let mut g = span(collector, "design_build", attrs!["test" => test.name()]);
+        let mut mv = self.build_design(test);
+        if let Some(m) = mutation {
+            // The mutant keeps every signal id, so the assumption and
+            // assertion generators' handles stay valid.
+            mv.design = m.apply(&mv.design)?;
+            g.attr("mutant", m.name.as_str());
+        }
+        let mv = mv;
         g.finish();
 
         let mut g = span(collector, "assumption_gen", attrs!["test" => test.name()]);
@@ -181,7 +234,7 @@ impl Rtlcheck {
             },
         );
         flow.finish();
-        report
+        Ok(report)
     }
 
     /// Emits the complete per-test SystemVerilog property file — the
@@ -226,20 +279,11 @@ impl Rtlcheck {
 /// `property.*` counters, and both `cover_elapsed` and every property's
 /// `elapsed` are the span measurements — a single source of truth for the
 /// CLI and the metrics view.
-pub(crate) fn run_flow_observed(
-    test_name: &str,
-    problem: &Problem<'_>,
-    assertions: &[GeneratedAssertion],
-    config: &VerifyConfig,
-    collector: &dyn Collector,
-) -> TestReport {
-    run_flow_cached(test_name, problem, assertions, config, None, collector)
-}
-
-/// [`run_flow_observed`] with an optional [`GraphCache`]: the graph comes
-/// from the cache (in-memory hit, disk hit, or cold build) and a cold-built
-/// graph's final core is stored back after the walks. The `graph_build`
-/// span gains a `cache` attribute saying where the graph came from.
+///
+/// With a [`GraphCache`], the graph comes from the cache (in-memory hit,
+/// disk hit, or cold build) and a cold-built graph's final core is stored
+/// back after the walks. The `graph_build` span gains a `cache` attribute
+/// saying where the graph came from.
 pub(crate) fn run_flow_cached(
     test_name: &str,
     problem: &Problem<'_>,

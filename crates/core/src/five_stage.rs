@@ -166,6 +166,27 @@ pub fn check_test_observed(
     config: &VerifyConfig,
     collector: &dyn rtlcheck_obs::Collector,
 ) -> TestReport {
+    check_test_mutated(test, None, config, None, collector).expect("no mutation to fail")
+}
+
+/// [`check_test_observed`] on an optional **mutant** of the five-stage
+/// design, through an optional graph cache — the five-stage leg of the
+/// mutation campaign, mirroring [`crate::Rtlcheck::check_test_mutated`].
+///
+/// # Errors
+///
+/// Returns the [`MutateError`] if the mutation does not apply.
+///
+/// # Panics
+///
+/// As [`check_test`].
+pub fn check_test_mutated(
+    test: &LitmusTest,
+    mutation: Option<&rtlcheck_rtl::mutate::Mutation>,
+    config: &VerifyConfig,
+    cache: Option<&rtlcheck_verif::GraphCache>,
+    collector: &dyn rtlcheck_obs::Collector,
+) -> Result<TestReport, rtlcheck_rtl::mutate::MutateError> {
     use rtlcheck_obs::{attrs, span};
 
     let mut flow = span(
@@ -173,9 +194,17 @@ pub fn check_test_observed(
         "check_test",
         attrs!["test" => test.name(), "config" => &config.name],
     );
+    if let Some(m) = mutation {
+        flow.attr("mutant", m.name.as_str());
+    }
 
-    let g = span(collector, "design_build", attrs!["test" => test.name()]);
-    let fs = FiveStage::build(test);
+    let mut g = span(collector, "design_build", attrs!["test" => test.name()]);
+    let mut fs = FiveStage::build(test);
+    if let Some(m) = mutation {
+        fs.design = m.apply(&fs.design)?;
+        g.attr("mutant", m.name.as_str());
+    }
+    let fs = fs;
     let spec = fs_spec::spec();
     let mapping = FiveStageMapping { fs: &fs, test };
     g.finish();
@@ -198,7 +227,7 @@ pub fn check_test_observed(
     problem.cover = Some(assumptions.cover.clone());
 
     let report =
-        crate::check::run_flow_observed(test.name(), &problem, &assertions, config, collector);
+        crate::check::run_flow_cached(test.name(), &problem, &assertions, config, cache, collector);
     flow.attr(
         "verdict",
         if report.bug_found() {
@@ -210,7 +239,7 @@ pub fn check_test_observed(
         },
     );
     flow.finish();
-    report
+    Ok(report)
 }
 
 #[cfg(test)]

@@ -593,6 +593,24 @@ impl MetricsSummary {
             );
         }
 
+        if let Some(mutants) = self.counter("mutation.mutants") {
+            let count = |name: &str| self.counter(name).map_or(0, |c| c.total);
+            let _ = writeln!(out, "\nMutation campaign:");
+            let _ = writeln!(
+                out,
+                "  {} mutant(s): {} killed, {} survived, {} budget-limited",
+                mutants.total,
+                count("mutation.killed"),
+                count("mutation.survived"),
+                count("mutation.budget_limited"),
+            );
+            let _ = writeln!(
+                out,
+                "  {} flow check(s) including baselines",
+                count("mutation.checks"),
+            );
+        }
+
         let slow_props: Vec<&SlowSpan> = self
             .slowest
             .iter()
@@ -866,6 +884,28 @@ mod tests {
         // No cache counters → no section.
         let empty = MetricsCollector::new().summary().render();
         assert!(!empty.contains("Graph cache"), "{empty}");
+    }
+
+    #[test]
+    fn render_shows_the_mutation_section() {
+        let m = MetricsCollector::new();
+        m.counter("mutation.mutants", 7, attrs![]);
+        m.counter("mutation.killed", 6, attrs![]);
+        m.counter("mutation.survived", 1, attrs![]);
+        m.counter("mutation.checks", 448, attrs![]);
+        let text = m.summary().render();
+        assert!(text.contains("Mutation campaign:"), "{text}");
+        assert!(
+            text.contains("7 mutant(s): 6 killed, 1 survived, 0 budget-limited"),
+            "{text}"
+        );
+        assert!(
+            text.contains("448 flow check(s) including baselines"),
+            "{text}"
+        );
+        // No mutation counters → no section.
+        let empty = MetricsCollector::new().summary().render();
+        assert!(!empty.contains("Mutation campaign"), "{empty}");
     }
 
     #[test]

@@ -244,6 +244,27 @@ impl DesignBuilder {
         if let Some(e) = errors.into_iter().next() {
             return Err(e);
         }
+        finalize(name, signals, exprs, by_name, num_inputs, num_regs)
+    }
+}
+
+/// Validates signals + expression arena and assembles a [`Design`]: checks
+/// register assignment, recomputes expression widths bottom-up, checks
+/// signal/driver width agreement, and topologically orders the wires.
+///
+/// Shared by [`DesignBuilder::build`] and the mutation engine
+/// ([`crate::mutate`]), which re-finalizes a design after editing its
+/// expression arena so every mutant passes exactly the same validation as a
+/// freshly built design.
+pub(crate) fn finalize(
+    name: String,
+    signals: Vec<Signal>,
+    exprs: Vec<Expr>,
+    by_name: HashMap<String, SignalId>,
+    num_inputs: usize,
+    num_regs: usize,
+) -> Result<Design, DesignError> {
+    {
         for s in &signals {
             if let SignalKind::Reg { next, .. } = s.kind {
                 if next.0 == usize::MAX {

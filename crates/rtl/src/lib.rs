@@ -50,6 +50,7 @@ mod expr;
 pub mod five_stage;
 pub mod isa;
 pub mod multi_vscale;
+pub mod mutate;
 pub mod sim;
 pub mod tso;
 pub mod vcd;

@@ -630,6 +630,44 @@ mod tests {
         assert!(msg.contains("20 bits"), "{msg}");
     }
 
+    /// A design whose inputs multiply out to exactly
+    /// [`MAX_INPUT_VALUATIONS`] is accepted; one more bit anywhere is
+    /// rejected. The boundary must not drift — the mutation campaign's
+    /// designs sit near it.
+    #[test]
+    fn input_valuations_accept_exactly_the_limit() {
+        let mut b = DesignBuilder::new("d");
+        let a = b.input("a", 8); // 2^8 == MAX_INPUT_VALUATIONS
+        let r = b.reg("r", 8, Some(0));
+        let ae = b.sig(a);
+        b.set_next(r, ae);
+        let d = b.build().unwrap();
+        assert_eq!(input_valuations(&d).len(), MAX_INPUT_VALUATIONS);
+    }
+
+    /// The panic names the input that crosses the limit *cumulatively* —
+    /// a narrow input is still the offender when earlier inputs already
+    /// used up the budget.
+    #[test]
+    fn cumulative_overflow_names_the_crossing_input() {
+        let mut b = DesignBuilder::new("d");
+        let a = b.input("grant_a", 8);
+        let c = b.input("last_straw", 1); // 2^8 * 2 > MAX_INPUT_VALUATIONS
+        let _ = a;
+        let r = b.reg("r", 1, Some(0));
+        let ce = b.sig(c);
+        b.set_next(r, ce);
+        let d = b.build().unwrap();
+        let err = std::panic::catch_unwind(|| input_valuations(&d)).unwrap_err();
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("panic carries a message");
+        assert!(msg.contains("last_straw"), "{msg}");
+        assert!(msg.contains("1 bits"), "{msg}");
+        assert!(!msg.contains("grant_a"), "{msg}");
+    }
+
     #[test]
     fn warm_build_completes_small_designs_and_walks_reuse() {
         let d = counter();

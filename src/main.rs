@@ -11,6 +11,10 @@
 //! rtlcheck suite [--memory ...] [--config ...] [--jobs N] [--only a,b,c]
 //!                [--graph-cache <dir>]
 //!                [--events <out.jsonl>] [--metrics <out.json>]
+//! rtlcheck mutate [--design multi_vscale|five_stage|tso] [--config ...]
+//!                 [--jobs N] [--only a,b,c] [--mutants a,b,c]
+//!                 [--graph-cache <dir>] [--json <out.json>]
+//!                 [--events <out.jsonl>] [--metrics <out.json>]
 //! rtlcheck profile <metrics.json>
 //! rtlcheck list
 //! ```
@@ -24,6 +28,12 @@
 //! persists each test's warm state graph to DIR and reloads it on later
 //! runs, skipping the graph-build phase; stale or corrupt cache files are
 //! detected and fall back to a cold build.
+//!
+//! `mutate` runs the mutation campaign: every catalogued mutant of the
+//! chosen design is checked against the litmus suite and classified as
+//! killed, survived, or budget-limited; the report (text on stdout, JSON
+//! with `--json`) carries the per-mutant × per-axiom kill matrix and is
+//! byte-identical across `--jobs` values.
 
 use std::io::{BufWriter, Write as _};
 use std::process::ExitCode;
@@ -58,6 +68,9 @@ usage:
   rtlcheck axiomatic <test> [--memory ...] [--dot]
   rtlcheck suite [--memory ...] [--config ...] [--jobs N] [--only a,b,c]
                  [--graph-cache <dir>] [--events <out.jsonl>] [--metrics <out.json>]
+  rtlcheck mutate [--design multi_vscale|five_stage|tso] [--config ...] [--jobs N]
+                 [--only a,b,c] [--mutants a,b,c] [--graph-cache <dir>]
+                 [--json <out.json>] [--events <out.jsonl>] [--metrics <out.json>]
   rtlcheck profile <metrics.json>
   rtlcheck list
 
@@ -67,7 +80,10 @@ aggregated summary which `rtlcheck profile` renders as a report.
 --jobs runs suite tests on N worker threads (deterministic output);
 --only restricts the suite to a comma-separated list of test names.
 --graph-cache persists warm state graphs to <dir> and reloads them on
-later runs (corrupt or stale files fall back to a cold build).";
+later runs (corrupt or stale files fall back to a cold build).
+`mutate` checks every catalogued mutant of --design against the suite and
+reports the mutation score; --mutants restricts the mutant set and --json
+writes the full report (kill matrix, survivors) as a JSON artifact.";
 
 fn run(args: &[String]) -> Result<ExitCode, String> {
     let Some(cmd) = args.first() else {
@@ -95,6 +111,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         }
         "axiomatic" => axiomatic(rest),
         "suite" => suite_cmd(rest),
+        "mutate" => mutate_cmd(rest),
         "profile" => profile(rest),
         other => Err(format!("unknown subcommand `{other}`")),
     }
@@ -380,6 +397,100 @@ fn print_explore_stats(report: &TestReport) {
         "  total: {} states, {} transitions, {} pruned by assumptions",
         t.states, t.transitions, t.pruned_by_assumptions
     );
+}
+
+/// The `mutate` subcommand: run the mutation campaign on one design's
+/// mutant catalog. Own parser — unlike the other subcommands it takes no
+/// `<test>` positional and selects a whole design instead.
+fn mutate_cmd(args: &[String]) -> Result<ExitCode, String> {
+    use rtlcheck::bench::mutation::{run_campaign, CampaignOptions};
+    use rtlcheck::rtl::mutate::CatalogTarget;
+
+    let mut options = CampaignOptions::new(CatalogTarget::MultiVscale);
+    let mut config = VerifyConfig::quick();
+    let mut json_path: Option<String> = None;
+    // `--graph-cache` / `--events` / `--metrics` reuse the shared helpers,
+    // which take the `--flag=value` words `common_args` produces.
+    let mut shared_flags = Vec::new();
+    let split_list = |v: &str| -> Vec<String> {
+        v.split(',')
+            .map(str::trim)
+            .filter(|n| !n.is_empty())
+            .map(String::from)
+            .collect()
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--design" => {
+                let v = it.next().ok_or("--design needs a value")?;
+                options.target = CatalogTarget::parse(v).ok_or(format!(
+                    "unknown design `{v}` (expected multi_vscale, five_stage, or tso)"
+                ))?;
+            }
+            "--config" => {
+                let v = it.next().ok_or("--config needs a value")?;
+                config = parse_config(v)?;
+            }
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs needs a count")?;
+                options.jobs = v
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or(format!("--jobs needs a positive integer, got `{v}`"))?;
+            }
+            "--only" => {
+                let v = it
+                    .next()
+                    .ok_or("--only needs a comma-separated test list")?;
+                options.tests = Some(split_list(v));
+            }
+            "--mutants" => {
+                let v = it
+                    .next()
+                    .ok_or("--mutants needs a comma-separated mutant list")?;
+                options.mutants = Some(split_list(v));
+            }
+            "--json" => {
+                let v = it.next().ok_or("--json needs a path")?;
+                json_path = Some(v.clone());
+            }
+            "--graph-cache" => {
+                let v = it.next().ok_or("--graph-cache needs a directory")?;
+                shared_flags.push(format!("--graph-cache={v}"));
+            }
+            "--events" => {
+                let v = it.next().ok_or("--events needs a path")?;
+                shared_flags.push(format!("--events={v}"));
+            }
+            "--metrics" => {
+                let v = it.next().ok_or("--metrics needs a path")?;
+                shared_flags.push(format!("--metrics={v}"));
+            }
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+
+    let cache = flag_graph_cache(&shared_flags)?;
+    let obs = Observability::from_flags(&shared_flags)?;
+    let collector = obs.collector();
+    let report = run_campaign(&options, &config, &collector, cache.as_ref())?;
+    drop(collector);
+    obs.finish()?;
+    print!("{}", report.render());
+    if let Some(path) = &json_path {
+        let text = report.to_json().pretty();
+        std::fs::write(path, text + "\n").map_err(|e| format!("writing {path}: {e}"))?;
+        println!("\nJSON report written to {path}");
+    }
+    // A campaign that kills nothing means the property set detected none of
+    // the injected bugs — fail so CI smoke runs catch it.
+    Ok(if report.killed() == 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
 }
 
 fn profile(args: &[String]) -> Result<ExitCode, String> {

@@ -1,0 +1,77 @@
+//! Differential guard for the mutation campaign's cache safety: the graph
+//! cache must never serve one mutant's state graph to another.
+//!
+//! [`rtlcheck::verif::fingerprint`] keys a snapshot on the emitted Verilog
+//! (plus assumptions and atoms). `Mutation::apply` renames the design to
+//! `{design}__{mutation}` and rewrites the mutated cones, so every mutant
+//! of the same per-test design — including init-only mutants, whose reset
+//! values appear in the emitted reset block — must fingerprint differently
+//! from the baseline and from every other mutant.
+
+use rtlcheck::core::Rtlcheck;
+use rtlcheck::litmus::suite;
+use rtlcheck::rtl::five_stage::FiveStage;
+use rtlcheck::rtl::multi_vscale::MemoryImpl;
+use rtlcheck::rtl::mutate::{catalog, CatalogTarget};
+use rtlcheck::rtl::Design;
+use rtlcheck::verif::{fingerprint, GraphKey, Problem};
+
+fn base_design(target: CatalogTarget, test: &rtlcheck::litmus::LitmusTest) -> Design {
+    match target {
+        CatalogTarget::MultiVscale => Rtlcheck::new(MemoryImpl::Fixed).build_design(test).design,
+        CatalogTarget::Tso => Rtlcheck::new(MemoryImpl::Tso).build_design(test).design,
+        CatalogTarget::FiveStage => FiveStage::build(test).design,
+    }
+}
+
+#[test]
+fn mutant_fingerprints_never_collide_within_a_design() {
+    let mp = suite::get("mp").unwrap();
+    for target in CatalogTarget::all() {
+        let base = base_design(target, &mp);
+        let mut variants = vec![("<baseline>".to_string(), base.clone())];
+        for m in catalog(target) {
+            let mutated = m.apply(&base).expect("catalog mutations apply");
+            variants.push((m.name.clone(), mutated));
+        }
+        let keys: Vec<(String, GraphKey)> = variants
+            .iter()
+            .map(|(name, d)| (name.clone(), fingerprint(&Problem::new(d), &[])))
+            .collect();
+        for (i, (name_a, key_a)) in keys.iter().enumerate() {
+            for (name_b, key_b) in &keys[i + 1..] {
+                assert_ne!(
+                    key_a.key, key_b.key,
+                    "{target}: `{name_a}` and `{name_b}` share a primary cache key"
+                );
+                assert_ne!(
+                    key_a.check, key_b.check,
+                    "{target}: `{name_a}` and `{name_b}` share a check hash"
+                );
+            }
+        }
+    }
+}
+
+/// The same mutation applied to different per-test designs (the programs
+/// are baked into the instruction ROM) also keys differently — one test's
+/// mutant graph can never answer another test's query.
+#[test]
+fn mutant_fingerprints_differ_across_tests() {
+    let mp = suite::get("mp").unwrap();
+    let sb = suite::get("sb").unwrap();
+    let mutation = catalog(CatalogTarget::MultiVscale)
+        .into_iter()
+        .find(|m| m.name == "store_drop_when_busy")
+        .unwrap();
+    let on_mp = mutation
+        .apply(&base_design(CatalogTarget::MultiVscale, &mp))
+        .unwrap();
+    let on_sb = mutation
+        .apply(&base_design(CatalogTarget::MultiVscale, &sb))
+        .unwrap();
+    let key_mp = fingerprint(&Problem::new(&on_mp), &[]);
+    let key_sb = fingerprint(&Problem::new(&on_sb), &[]);
+    assert_ne!(key_mp.key, key_sb.key);
+    assert_ne!(key_mp.check, key_sb.check);
+}
