@@ -271,7 +271,7 @@ pub fn check_tests_observed(
     jobs: usize,
     collector: &dyn Collector,
 ) -> Vec<TestReport> {
-    check_tests_inner(memory, tests, config, jobs, collector, None)
+    check_tests_inner(&Rtlcheck::new(memory), tests, config, jobs, collector, None)
 }
 
 /// [`check_tests_observed`] through a cross-test [`GraphCache`]: each test's
@@ -292,13 +292,33 @@ pub fn check_tests_cached(
     collector: &dyn Collector,
     cache: &GraphCache,
 ) -> Vec<TestReport> {
-    let reports = check_tests_inner(memory, tests, config, jobs, collector, Some(cache));
+    let tool = Rtlcheck::new(memory);
+    let reports = check_tests_inner(&tool, tests, config, jobs, collector, Some(cache));
     cache.report_to(collector);
     reports
 }
 
+/// [`check_tests_observed`] with a caller-configured [`Rtlcheck`] tool —
+/// the entry point for non-default backends (`--backend symbolic`/`auto`)
+/// or translation-option overrides, with the same worker-pool determinism
+/// contract and optional [`GraphCache`].
+pub fn check_tests_with(
+    tool: &Rtlcheck,
+    tests: &[LitmusTest],
+    config: &VerifyConfig,
+    jobs: usize,
+    collector: &dyn Collector,
+    cache: Option<&GraphCache>,
+) -> Vec<TestReport> {
+    let reports = check_tests_inner(tool, tests, config, jobs, collector, cache);
+    if let Some(cache) = cache {
+        cache.report_to(collector);
+    }
+    reports
+}
+
 fn check_tests_inner(
-    memory: MemoryImpl,
+    tool: &Rtlcheck,
     tests: &[LitmusTest],
     config: &VerifyConfig,
     jobs: usize,
@@ -311,8 +331,7 @@ fn check_tests_inner(
     };
     let workers = jobs.max(1).min(tests.len().max(1));
     if workers <= 1 {
-        let tool = Rtlcheck::new(memory);
-        return tests.iter().map(|t| check(&tool, t, collector)).collect();
+        return tests.iter().map(|t| check(tool, t, collector)).collect();
     }
 
     let next = AtomicUsize::new(0);
@@ -321,7 +340,7 @@ fn check_tests_inner(
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| {
-                let tool = Rtlcheck::new(memory);
+                let tool = tool.clone();
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(test) = tests.get(i) else { break };

@@ -47,7 +47,7 @@ use rtlcheck_obs::json::Json;
 use rtlcheck_obs::{attrs, BufferCollector, Collector};
 use rtlcheck_rtl::multi_vscale::MemoryImpl;
 use rtlcheck_rtl::mutate::{catalog, CatalogTarget, Mutation};
-use rtlcheck_verif::{GraphCache, VerifyConfig};
+use rtlcheck_verif::{BackendChoice, GraphCache, VerifyConfig};
 
 /// The pseudo-axiom credited when the kill signal is the covering trace
 /// (a forbidden outcome becoming reachable, or a witnessed outcome
@@ -65,6 +65,8 @@ pub struct CampaignOptions {
     pub mutants: Option<Vec<String>>,
     /// If set, only suite tests with these names run.
     pub tests: Option<Vec<String>>,
+    /// Reachable-set backend for every check in the campaign.
+    pub backend: BackendChoice,
 }
 
 impl CampaignOptions {
@@ -75,6 +77,7 @@ impl CampaignOptions {
             jobs: 1,
             mutants: None,
             tests: None,
+            backend: BackendChoice::default(),
         }
     }
 }
@@ -362,6 +365,7 @@ impl CampaignReport {
 /// `None` for the baseline run of the unmutated design.
 fn check_one(
     target: CatalogTarget,
+    backend: BackendChoice,
     mutant: Option<&Mutation>,
     test: &LitmusTest,
     config: &VerifyConfig,
@@ -372,14 +376,17 @@ fn check_one(
         CatalogTarget::MultiVscale => Some(Rtlcheck::new(MemoryImpl::Fixed)),
         CatalogTarget::Tso => Some(Rtlcheck::tso()),
         CatalogTarget::FiveStage => None,
-    };
+    }
+    .map(|t| t.with_backend(backend));
     let run = match (tool, mutant) {
         (Some(tool), Some(m)) => tool.check_test_mutated(test, m, config, cache, collector),
         (Some(tool), None) => Ok(match cache {
             Some(c) => tool.check_test_cached(test, config, c, collector),
             None => tool.check_test_observed(test, config, collector),
         }),
-        (None, _) => five_stage::check_test_mutated(test, mutant, config, cache, collector),
+        (None, _) => {
+            five_stage::check_test_mutated(test, mutant, config, backend, cache, collector)
+        }
     };
     run.unwrap_or_else(|e| {
         panic!(
@@ -465,6 +472,7 @@ pub fn run_campaign(
             .map(|&(d, t)| {
                 check_one(
                     options.target,
+                    options.backend,
                     designs[d],
                     &tests[t],
                     config,
@@ -483,8 +491,15 @@ pub fn run_campaign(
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(&(d, t)) = items.get(i) else { break };
                     let buf = BufferCollector::new();
-                    let report =
-                        check_one(options.target, designs[d], &tests[t], config, cache, &buf);
+                    let report = check_one(
+                        options.target,
+                        options.backend,
+                        designs[d],
+                        &tests[t],
+                        config,
+                        cache,
+                        &buf,
+                    );
                     *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some((report, buf));
                 });
             }

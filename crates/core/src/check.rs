@@ -10,7 +10,8 @@ use rtlcheck_sva::emit;
 use rtlcheck_uspec::Spec;
 use rtlcheck_verif::{
     build_graph, check_cover_on_graph_observed, explore, verify_property_on_graph_observed,
-    CoverVerdict, GraphCache, Problem, PropertyVerdict, VerifyConfig,
+    Backend, BackendChoice, BackendKind, CoverVerdict, GraphCache, Problem, PropertyVerdict,
+    SymbolicGraph, VerifyConfig,
 };
 
 use crate::assert_gen::{self, AssertionOptions, GeneratedAssertion};
@@ -34,6 +35,7 @@ pub struct Rtlcheck {
     memory: MemoryImpl,
     spec: Spec,
     options: AssertionOptions,
+    backend: BackendChoice,
 }
 
 impl Rtlcheck {
@@ -50,6 +52,7 @@ impl Rtlcheck {
             memory,
             spec,
             options: AssertionOptions::paper(),
+            backend: BackendChoice::default(),
         }
     }
 
@@ -77,9 +80,23 @@ impl Rtlcheck {
         self
     }
 
+    /// Selects the reachable-set backend for the verification phases:
+    /// explicit per-valuation enumeration (the default), the symbolic BDD
+    /// backend, or [`BackendChoice::Auto`] — which routes each per-test
+    /// design by its input width and register count.
+    pub fn with_backend(mut self, backend: BackendChoice) -> Self {
+        self.backend = backend;
+        self
+    }
+
     /// The active translation options.
     pub fn options(&self) -> AssertionOptions {
         self.options
+    }
+
+    /// The active backend choice.
+    pub fn backend(&self) -> BackendChoice {
+        self.backend
     }
 
     /// Builds the design for a test (exposed for inspection/emission).
@@ -222,7 +239,15 @@ impl Rtlcheck {
         problem.assumptions = assumptions.directives.clone();
         problem.cover = Some(assumptions.cover.clone());
 
-        let report = run_flow_cached(test.name(), &problem, &assertions, config, cache, collector);
+        let report = run_flow_cached(
+            test.name(),
+            &problem,
+            &assertions,
+            config,
+            self.backend,
+            cache,
+            collector,
+        );
         flow.attr(
             "verdict",
             if report.bug_found() {
@@ -284,46 +309,82 @@ impl Rtlcheck {
 /// disk hit, or cold build) and a cold-built graph's final core is stored
 /// back after the walks. The `graph_build` span gains a `cache` attribute
 /// saying where the graph came from.
+///
+/// `backend` selects the reachable-set representation; under
+/// [`BackendChoice::Auto`] the per-design resolution happens here, so a
+/// design whose input space would overflow the explicit enumeration is
+/// routed to the symbolic backend instead of panicking. The symbolic
+/// backend bypasses the graph cache: its rows are cheap to rebuild and the
+/// snapshot format is explicit-row shaped.
 pub(crate) fn run_flow_cached(
     test_name: &str,
     problem: &Problem<'_>,
     assertions: &[GeneratedAssertion],
     config: &VerifyConfig,
+    backend: BackendChoice,
     cache: Option<&GraphCache>,
     collector: &dyn Collector,
 ) -> TestReport {
+    /// The built graph, either representation, plus the explicit cache
+    /// ticket when there is one.
+    enum BuiltGraph<'p, 'd> {
+        Explicit(
+            rtlcheck_verif::StateGraph<'p, 'd>,
+            Option<rtlcheck_verif::CacheTicket>,
+        ),
+        Symbolic(SymbolicGraph<'p, 'd>),
+    }
+
     // Phase 0: build the shared state graph — the design × assumption
     // product that the cover search and every property walk reuse. Warmed
     // under the cover engine's budget; walks extend it lazily if their own
     // budget reaches further.
+    let kind = backend.resolve(problem.design);
     let mut g = span(collector, "graph_build", attrs!["test" => test_name]);
-    let (graph, ticket) = match cache {
-        Some(cache) => {
-            let props: Vec<_> = assertions.iter().map(|a| &a.directive.prop).collect();
-            let (graph, ticket) = cache.build_graph(problem, &props, config.cover_engine());
-            (graph, Some(ticket))
-        }
-        None => {
-            let graph = build_graph(
-                problem,
-                assertions.iter().map(|a| &a.directive.prop),
-                config.cover_engine(),
-            );
-            (graph, None)
-        }
+    g.attr("backend", kind.label());
+    let built = match kind {
+        BackendKind::Explicit => match cache {
+            Some(cache) => {
+                let props: Vec<_> = assertions.iter().map(|a| &a.directive.prop).collect();
+                let (graph, ticket) = cache.build_graph(problem, &props, config.cover_engine());
+                BuiltGraph::Explicit(graph, Some(ticket))
+            }
+            None => {
+                let graph = build_graph(
+                    problem,
+                    assertions.iter().map(|a| &a.directive.prop),
+                    config.cover_engine(),
+                );
+                BuiltGraph::Explicit(graph, None)
+            }
+        },
+        BackendKind::Symbolic => BuiltGraph::Symbolic(SymbolicGraph::build(
+            problem,
+            assertions.iter().map(|a| &a.directive.prop),
+            config.cover_engine(),
+        )),
     };
+    let graph: &dyn Backend = match &built {
+        BuiltGraph::Explicit(graph, _) => graph,
+        BuiltGraph::Symbolic(graph) => graph,
+    };
+    collector.counter(
+        &format!("backend.{}", kind.label()),
+        1,
+        attrs!["test" => test_name],
+    );
     let gs = graph.stats();
     g.attr("nodes", gs.nodes);
     g.attr("edges", gs.edges);
     g.attr("complete", gs.complete);
-    if let Some(t) = &ticket {
+    if let BuiltGraph::Explicit(_, Some(t)) = &built {
         g.attr("cache", t.source().label());
     }
     g.finish();
 
     // Phase 1: covering-trace search (§4.1).
     let mut g = span(collector, "cover_search", attrs!["test" => test_name]);
-    let cover_verdict = check_cover_on_graph_observed(&graph, config.cover_engine(), collector);
+    let cover_verdict = check_cover_on_graph_observed(graph, config.cover_engine(), collector);
     let cover_stats = cover_verdict.stats();
     g.attr("states", cover_stats.states);
     let cover_elapsed = g.finish();
@@ -365,7 +426,7 @@ pub(crate) fn run_flow_cached(
             attrs!["test" => test_name, "property" => name, "axiom" => &a.axiom],
         );
         let verdict =
-            verify_property_on_graph_observed(&graph, &a.directive.prop, config, name, collector);
+            verify_property_on_graph_observed(graph, &a.directive.prop, config, name, collector);
         let stats = verdict.stats();
         collector.counter(
             "property.states",
@@ -410,9 +471,9 @@ pub(crate) fn run_flow_cached(
 
     // Persist the final (post-walk) core if this call is the cache's
     // designated writer for the key — a later run then replays the whole
-    // exploration from disk.
-    if let (Some(cache), Some(ticket)) = (cache, &ticket) {
-        cache.store_final(ticket, &graph);
+    // exploration from disk. Symbolic graphs are never persisted.
+    if let (Some(cache), BuiltGraph::Explicit(explicit, Some(ticket))) = (cache, &built) {
+        cache.store_final(ticket, explicit);
     }
 
     TestReport {

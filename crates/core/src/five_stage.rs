@@ -166,7 +166,15 @@ pub fn check_test_observed(
     config: &VerifyConfig,
     collector: &dyn rtlcheck_obs::Collector,
 ) -> TestReport {
-    check_test_mutated(test, None, config, None, collector).expect("no mutation to fail")
+    check_test_mutated(
+        test,
+        None,
+        config,
+        rtlcheck_verif::BackendChoice::default(),
+        None,
+        collector,
+    )
+    .expect("no mutation to fail")
 }
 
 /// [`check_test_observed`] on an optional **mutant** of the five-stage
@@ -184,6 +192,7 @@ pub fn check_test_mutated(
     test: &LitmusTest,
     mutation: Option<&rtlcheck_rtl::mutate::Mutation>,
     config: &VerifyConfig,
+    backend: rtlcheck_verif::BackendChoice,
     cache: Option<&rtlcheck_verif::GraphCache>,
     collector: &dyn rtlcheck_obs::Collector,
 ) -> Result<TestReport, rtlcheck_rtl::mutate::MutateError> {
@@ -226,8 +235,15 @@ pub fn check_test_mutated(
     problem.assumptions = assumptions.directives.clone();
     problem.cover = Some(assumptions.cover.clone());
 
-    let report =
-        crate::check::run_flow_cached(test.name(), &problem, &assertions, config, cache, collector);
+    let report = crate::check::run_flow_cached(
+        test.name(),
+        &problem,
+        &assertions,
+        config,
+        backend,
+        cache,
+        collector,
+    );
     flow.attr(
         "verdict",
         if report.bug_found() {

@@ -29,14 +29,17 @@
 #![warn(missing_debug_implementations)]
 
 pub mod atom;
+pub mod backend;
 pub mod cache;
 pub mod engine;
 pub mod explore;
 pub mod graph;
 pub mod problem;
 pub mod replay;
+pub mod symbolic;
 
 pub use atom::RtlAtom;
+pub use backend::{Backend, BackendChoice, BackendKind, EdgeClass};
 pub use cache::{
     fingerprint, snapshot_from_bytes, snapshot_to_bytes, CacheSource, CacheStats, CacheTicket,
     CoreSnapshot, GraphCache, GraphKey, SnapshotError,
@@ -50,3 +53,4 @@ pub use explore::{
 pub use graph::{GraphStats, StateGraph};
 pub use problem::{Directive, DirectiveKind, Problem};
 pub use replay::{check_transitions, replay, ReplayVerdict};
+pub use symbolic::SymbolicGraph;

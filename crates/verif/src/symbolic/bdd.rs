@@ -1,0 +1,342 @@
+//! A minimal hash-consed ROBDD manager.
+//!
+//! This is the symbolic backend's only data structure: reduced ordered
+//! binary decision diagrams over the design's primary-input bits, with a
+//! unique table (hash-consing makes equality a pointer comparison), an
+//! `ite` operation cache, and a model-count cache. It is deliberately
+//! small — no complement edges, no garbage collection, no dynamic variable
+//! reordering — because a [`super::SymbolicGraph`] builds one manager per
+//! graph and rows only ever *add* nodes, so all three caches stay valid for
+//! the graph's lifetime (zero-dep by the repo's compat policy: no `cudd`,
+//! no crates.io BDD crates).
+//!
+//! Variable order is fixed by the caller and significant: the symbolic
+//! graph assigns variables so that reading an assignment in variable order
+//! yields the input valuation's *numeric index* in the explicit backend's
+//! [`crate::graph::input_valuations`] enumeration. That makes
+//! [`Bdd::min_sat`] return the *lowest-index* input of a set — the anchor
+//! of the explicit/symbolic equivalence proof — and [`Bdd::lt_const`] the
+//! characteristic function of "all inputs before index r".
+
+use std::collections::HashMap;
+
+/// Handle to a BDD node (or terminal) inside one [`Bdd`] manager.
+///
+/// Handles from different managers must not be mixed; equality of handles
+/// is semantic equality of the functions they denote (hash-consing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId(u32);
+
+/// The constant-false function.
+pub const FALSE: NodeId = NodeId(0);
+/// The constant-true function.
+pub const TRUE: NodeId = NodeId(1);
+
+/// One decision node: `if var then hi else lo`. Terminals use
+/// `var == num_vars` so the variable order extends past the last real
+/// variable, which keeps model counting branch-free.
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    var: u32,
+    lo: NodeId,
+    hi: NodeId,
+}
+
+/// The manager: node arena plus unique/op/count caches.
+#[derive(Debug)]
+pub struct Bdd {
+    num_vars: u32,
+    nodes: Vec<Node>,
+    unique: HashMap<(u32, NodeId, NodeId), NodeId>,
+    ite_cache: HashMap<(NodeId, NodeId, NodeId), NodeId>,
+    count_cache: HashMap<NodeId, u128>,
+}
+
+impl Bdd {
+    /// Creates a manager over `num_vars` boolean variables (levels
+    /// `0..num_vars`, level 0 outermost / most significant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_vars > 127` — model counts are returned as `u128`
+    /// and must hold up to `2^num_vars`.
+    pub fn new(num_vars: usize) -> Self {
+        assert!(
+            num_vars <= 127,
+            "BDD variable count {num_vars} exceeds the u128 model-count limit (127)"
+        );
+        let num_vars = num_vars as u32;
+        let terminal = |_| Node {
+            var: num_vars,
+            lo: FALSE,
+            hi: FALSE,
+        };
+        Bdd {
+            num_vars,
+            nodes: (0..2).map(terminal).collect(),
+            unique: HashMap::new(),
+            ite_cache: HashMap::new(),
+            count_cache: HashMap::new(),
+        }
+    }
+
+    /// Total nodes allocated (terminals included) — a size metric.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn var_of(&self, f: NodeId) -> u32 {
+        self.nodes[f.0 as usize].var
+    }
+
+    /// Hash-consed constructor; applies the redundant-test reduction.
+    fn mk(&mut self, var: u32, lo: NodeId, hi: NodeId) -> NodeId {
+        if lo == hi {
+            return lo;
+        }
+        debug_assert!(var < self.num_vars);
+        debug_assert!(var < self.var_of(lo) && var < self.var_of(hi));
+        *self.unique.entry((var, lo, hi)).or_insert_with(|| {
+            let id = NodeId(u32::try_from(self.nodes.len()).expect("BDD fits in u32 node ids"));
+            self.nodes.push(Node { var, lo, hi });
+            id
+        })
+    }
+
+    /// The single-variable function for `level`.
+    pub fn var(&mut self, level: usize) -> NodeId {
+        self.mk(level as u32, FALSE, TRUE)
+    }
+
+    /// The constant function for `b`.
+    pub fn constant(b: bool) -> NodeId {
+        if b {
+            TRUE
+        } else {
+            FALSE
+        }
+    }
+
+    /// If-then-else: `(f ∧ g) ∨ (¬f ∧ h)` — the universal connective every
+    /// other operation is expressed through.
+    pub fn ite(&mut self, f: NodeId, g: NodeId, h: NodeId) -> NodeId {
+        if f == TRUE {
+            return g;
+        }
+        if f == FALSE {
+            return h;
+        }
+        if g == h {
+            return g;
+        }
+        if g == TRUE && h == FALSE {
+            return f;
+        }
+        if let Some(&r) = self.ite_cache.get(&(f, g, h)) {
+            return r;
+        }
+        let var = self.var_of(f).min(self.var_of(g)).min(self.var_of(h));
+        let (f0, f1) = self.cofactor(f, var);
+        let (g0, g1) = self.cofactor(g, var);
+        let (h0, h1) = self.cofactor(h, var);
+        let lo = self.ite(f0, g0, h0);
+        let hi = self.ite(f1, g1, h1);
+        let r = self.mk(var, lo, hi);
+        self.ite_cache.insert((f, g, h), r);
+        r
+    }
+
+    fn cofactor(&self, f: NodeId, var: u32) -> (NodeId, NodeId) {
+        let n = self.nodes[f.0 as usize];
+        if n.var == var {
+            (n.lo, n.hi)
+        } else {
+            (f, f)
+        }
+    }
+
+    /// Negation.
+    pub fn not(&mut self, f: NodeId) -> NodeId {
+        self.ite(f, FALSE, TRUE)
+    }
+
+    /// Conjunction.
+    pub fn and(&mut self, f: NodeId, g: NodeId) -> NodeId {
+        self.ite(f, g, FALSE)
+    }
+
+    /// Disjunction.
+    pub fn or(&mut self, f: NodeId, g: NodeId) -> NodeId {
+        self.ite(f, TRUE, g)
+    }
+
+    /// Exclusive or.
+    pub fn xor(&mut self, f: NodeId, g: NodeId) -> NodeId {
+        let ng = self.not(g);
+        self.ite(f, ng, g)
+    }
+
+    /// Evaluates `f` under a full assignment (`assign[level]` is the value
+    /// of variable `level`).
+    pub fn eval(&self, f: NodeId, assign: &[bool]) -> bool {
+        debug_assert_eq!(assign.len(), self.num_vars as usize);
+        let mut cur = f;
+        while cur.0 > 1 {
+            let n = self.nodes[cur.0 as usize];
+            cur = if assign[n.var as usize] { n.hi } else { n.lo };
+        }
+        cur == TRUE
+    }
+
+    /// Number of satisfying assignments of `f` over all `num_vars`
+    /// variables. Exact (no floating point): this is what gives symbolic
+    /// edge classes their multiplicities.
+    pub fn sat_count(&mut self, f: NodeId) -> u128 {
+        let skipped = self.var_of(f);
+        self.raw_count(f) << skipped
+    }
+
+    /// Satisfying assignments over the variables at or below `f`'s level.
+    fn raw_count(&mut self, f: NodeId) -> u128 {
+        if f == FALSE {
+            return 0;
+        }
+        if f == TRUE {
+            return 1;
+        }
+        if let Some(&c) = self.count_cache.get(&f) {
+            return c;
+        }
+        let n = self.nodes[f.0 as usize];
+        let lo = self.raw_count(n.lo) << (self.var_of(n.lo) - n.var - 1);
+        let hi = self.raw_count(n.hi) << (self.var_of(n.hi) - n.var - 1);
+        let c = lo + hi;
+        self.count_cache.insert(f, c);
+        c
+    }
+
+    /// The satisfying assignment that is *numerically smallest* when read
+    /// in variable order (variable 0 most significant), or `None` for the
+    /// unsatisfiable function. Skipped (don't-care) variables are 0.
+    ///
+    /// The greedy lo-first walk is exact because the diagram is reduced:
+    /// any non-`FALSE` child denotes a satisfiable cofactor.
+    pub fn min_sat(&self, f: NodeId) -> Option<Vec<bool>> {
+        if f == FALSE {
+            return None;
+        }
+        let mut assign = vec![false; self.num_vars as usize];
+        let mut cur = f;
+        while cur != TRUE {
+            let n = self.nodes[cur.0 as usize];
+            if n.lo != FALSE {
+                cur = n.lo;
+            } else {
+                assign[n.var as usize] = true;
+                cur = n.hi;
+            }
+        }
+        Some(assign)
+    }
+
+    /// Characteristic function of assignments strictly below `bound` in the
+    /// numeric order of [`Bdd::min_sat`] (`bound[level]` is variable
+    /// `level`'s bit, level 0 most significant).
+    pub fn lt_const(&mut self, bound: &[bool]) -> NodeId {
+        debug_assert_eq!(bound.len(), self.num_vars as usize);
+        let mut lt = FALSE;
+        for level in (0..self.num_vars as usize).rev() {
+            let v = self.var(level);
+            lt = if bound[level] {
+                // Bound bit 1: a 0 here wins outright, a 1 defers down.
+                self.ite(v, lt, TRUE)
+            } else {
+                // Bound bit 0: a 1 here loses outright, a 0 defers down.
+                self.ite(v, FALSE, lt)
+            };
+        }
+        lt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn index_of(assign: &[bool]) -> u128 {
+        assign.iter().fold(0u128, |i, &b| (i << 1) | u128::from(b))
+    }
+
+    #[test]
+    fn terminals_count_over_the_full_space() {
+        let mut b = Bdd::new(5);
+        assert_eq!(b.sat_count(TRUE), 32);
+        assert_eq!(b.sat_count(FALSE), 0);
+        let v2 = b.var(2);
+        assert_eq!(b.sat_count(v2), 16);
+    }
+
+    #[test]
+    fn hash_consing_makes_equal_functions_identical() {
+        let mut b = Bdd::new(3);
+        let v0 = b.var(0);
+        let v1 = b.var(1);
+        let a = b.and(v0, v1);
+        let c = b.ite(v1, v0, FALSE);
+        assert_eq!(a, c, "x0∧x1 built two ways is one node");
+        let n = b.not(a);
+        let nn = b.not(n);
+        assert_eq!(nn, a, "double negation is the identity");
+    }
+
+    #[test]
+    fn eval_and_count_agree_with_enumeration() {
+        let mut b = Bdd::new(4);
+        let v: Vec<NodeId> = (0..4).map(|i| b.var(i)).collect();
+        // f = (x0 ∧ x2) ∨ (x1 ⊕ x3)
+        let a = b.and(v[0], v[2]);
+        let x = b.xor(v[1], v[3]);
+        let f = b.or(a, x);
+        let mut count = 0u128;
+        for idx in 0..16u32 {
+            let assign: Vec<bool> = (0..4).map(|l| idx >> (3 - l) & 1 == 1).collect();
+            let expect = (assign[0] && assign[2]) || (assign[1] != assign[3]);
+            assert_eq!(b.eval(f, &assign), expect, "index {idx}");
+            count += u128::from(expect);
+        }
+        assert_eq!(b.sat_count(f), count);
+    }
+
+    #[test]
+    fn min_sat_is_the_numerically_smallest_model() {
+        let mut b = Bdd::new(3);
+        let v0 = b.var(0);
+        let v1 = b.var(1);
+        let v2 = b.var(2);
+        // f = (x0 ∧ x2) ∨ x1: models are indices 2,3,5,6,7 → min is 2.
+        let a = b.and(v0, v2);
+        let f = b.or(a, v1);
+        assert_eq!(index_of(&b.min_sat(f).unwrap()), 2);
+        assert_eq!(b.min_sat(FALSE), None);
+        assert_eq!(index_of(&b.min_sat(TRUE).unwrap()), 0);
+    }
+
+    #[test]
+    fn lt_const_counts_exactly_the_bound() {
+        let mut b = Bdd::new(4);
+        for bound in 0..16u32 {
+            let bits: Vec<bool> = (0..4).map(|l| bound >> (3 - l) & 1 == 1).collect();
+            let lt = b.lt_const(&bits);
+            assert_eq!(b.sat_count(lt), u128::from(bound), "bound {bound}");
+        }
+    }
+
+    #[test]
+    fn zero_variable_manager_handles_the_unit_space() {
+        let mut b = Bdd::new(0);
+        assert_eq!(b.sat_count(TRUE), 1);
+        assert_eq!(b.sat_count(FALSE), 0);
+        assert_eq!(b.min_sat(TRUE), Some(Vec::new()));
+        assert!(b.eval(TRUE, &[]));
+    }
+}

@@ -1,0 +1,913 @@
+//! The symbolic (BDD-backed) reachable-set backend.
+//!
+//! The explicit [`StateGraph`] builds a node's out-edges by simulating the
+//! design once per primary-input valuation — fine for the litmus designs'
+//! 2-bit arbiter input, hopeless past [`crate::graph`]'s enumeration limit.
+//! [`SymbolicGraph`] replaces per-valuation simulation with *image
+//! computation*: every quantity an edge can observe — each assumption
+//! atom, each property atom, each next-state register bit — is compiled
+//! once per node into a BDD over the design's primary-input *bits*
+//! (current state folded in as constants), and the row is then enumerated
+//! as **edge classes**: maximal sets of valuations on which all of those
+//! functions agree. A class is one [`crate::backend::EdgeClass`] with a
+//! model-count multiplicity; a row with 2^20 valuations but four
+//! behaviours costs four classes.
+//!
+//! Equivalence with the explicit backend is structural, not approximate:
+//!
+//! * Classes are enumerated in order of their *lowest-index* valuation
+//!   ([`super::symbolic::bdd::Bdd::min_sat`] under the variable order that
+//!   mirrors [`crate::graph::input_valuations`]'s numeric indexing), and
+//!   every valuation below a class's representative belongs to an earlier
+//!   class. Walks therefore discover product states, fail assertions, and
+//!   hit covers at exactly the explicit engine's inputs — same traces,
+//!   same verdicts.
+//! * Transition statistics are weighted by class multiplicity, and
+//!   [`crate::backend::Backend::class_prefix`] (a model count of the row's
+//!   pruned set below the representative) lets a walk that stops mid-row
+//!   settle to exact per-valuation counts — same [`crate::ExploreStats`].
+//!
+//! The differential tests (`symbolic_differential.rs`, the top-level
+//! backend differential, and the CI `backend-differential` job) pin all of
+//! this down to byte equality over the full litmus suite.
+
+mod bdd;
+
+use std::cell::RefCell;
+use std::collections::{BTreeSet, HashMap};
+
+use rtlcheck_obs::{attrs, Collector};
+use rtlcheck_rtl::sim::{Simulator, State};
+use rtlcheck_rtl::{BinOp, Expr, ExprId, SignalId, SignalKind, UnOp};
+use rtlcheck_sva::{Monitor, MonitorState, Prop, SvaBool};
+
+use crate::atom::{RtlAtom, RtlBool};
+use crate::backend::{Backend, EdgeClass};
+use crate::engine::Engine;
+use crate::graph::{GraphStats, StateGraph, PRUNED};
+use crate::problem::Problem;
+
+use bdd::{Bdd, NodeId, FALSE, TRUE};
+
+/// Maximum total primary-input bits the symbolic backend accepts: indices
+/// and model counts live in `u128`.
+const MAX_INPUT_BITS: usize = 127;
+
+/// One enumerated edge class of a node's row.
+struct SymClass {
+    /// Destination node, or [`PRUNED`].
+    dest: u32,
+    /// Number of input valuations in the class.
+    multiplicity: u128,
+    /// The class's lowest-index valuation, as per-input values.
+    rep: Vec<u64>,
+    /// The numeric index of `rep` in the explicit enumeration order.
+    rep_index: u128,
+    /// Atom-valuation bitset (zeroed for pruned classes).
+    bits: Vec<u64>,
+}
+
+/// A fully enumerated row: the node's classes in ascending `rep_index`
+/// order, plus the union of its pruned classes for prefix model counts.
+struct SymRow {
+    classes: Vec<SymClass>,
+    pruned_union: NodeId,
+}
+
+/// One materialised product node.
+struct SymNode {
+    state: State,
+    assumptions: Vec<MonitorState>,
+    row: Option<SymRow>,
+}
+
+/// The interior-mutable part: the BDD manager, nodes, dedup index, and the
+/// reusable assumption monitors.
+struct SymCore {
+    bdd: Bdd,
+    nodes: Vec<SymNode>,
+    index: HashMap<(State, Vec<MonitorState>), u32>,
+    monitors: Vec<Monitor<RtlAtom>>,
+    stats: GraphStats,
+    /// Total edge classes enumerated (the `backend.classes` counter).
+    classes_built: u64,
+}
+
+/// The symbolic counterpart of [`StateGraph`]: same node/edge contract
+/// (via [`Backend`]), rows built by BDD image computation instead of
+/// per-valuation simulation. See the module docs.
+pub struct SymbolicGraph<'p, 'd> {
+    problem: &'p Problem<'d>,
+    /// Sorted, deduplicated table of every atom any walk will evaluate.
+    atoms: Vec<RtlAtom>,
+    /// Sorted, deduplicated atoms of the assumption properties — the
+    /// admissibility part of each class's signature.
+    assume_atoms: Vec<RtlAtom>,
+    /// u64 words per edge bitset.
+    words: usize,
+    /// Total primary-input bits = BDD variables.
+    num_vars: usize,
+    /// Per input (dense index): `(variable offset, width)`. Variables are
+    /// assigned in declaration order, each input MSB-first, so an
+    /// assignment read in variable order is the valuation's numeric index
+    /// in [`crate::graph::input_valuations`] order.
+    input_vars: Vec<(usize, u8)>,
+    /// Per register (dense index): `(width, next-state expression)`.
+    regs: Vec<(u8, ExprId)>,
+    core: RefCell<SymCore>,
+}
+
+impl std::fmt::Debug for SymbolicGraph<'_, '_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let core = self.core.borrow();
+        f.debug_struct("SymbolicGraph")
+            .field("design", &self.problem.design.name())
+            .field("atoms", &self.atoms.len())
+            .field("input_bits", &self.num_vars)
+            .field("bdd_nodes", &core.bdd.num_nodes())
+            .field("stats", &core.stats)
+            .finish()
+    }
+}
+
+impl<'p, 'd> SymbolicGraph<'p, 'd> {
+    /// Creates a lazy symbolic graph (root node only) whose atom table
+    /// covers the problem's cover condition plus every property in
+    /// `props` — the same contract as [`StateGraph::new`], without the
+    /// input-space enumeration limit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a free-init register is not pinned by `problem.init_pins`
+    /// or the design's primary inputs exceed [`MAX_INPUT_BITS`] total bits.
+    pub fn new<'a, I>(problem: &'p Problem<'d>, props: I) -> Self
+    where
+        I: IntoIterator<Item = &'a Prop<RtlAtom>>,
+    {
+        let design = problem.design;
+        let atoms = StateGraph::atom_table(problem, props);
+        let words = atoms.len().div_ceil(64);
+
+        let mut assume_set: BTreeSet<RtlAtom> = BTreeSet::new();
+        for d in &problem.assumptions {
+            d.prop.for_each_atom(&mut |a| {
+                assume_set.insert(*a);
+            });
+        }
+        let assume_atoms: Vec<RtlAtom> = assume_set.into_iter().collect();
+
+        let mut input_vars: Vec<(usize, u8)> = Vec::new();
+        let mut offset = 0usize;
+        let mut regs: Vec<Option<(u8, ExprId)>> = vec![None; design.num_regs()];
+        for (_, s) in design.signals() {
+            match s.kind {
+                SignalKind::Input { index } => {
+                    if input_vars.len() <= index {
+                        input_vars.resize(index + 1, (0, 0));
+                    }
+                    input_vars[index] = (offset, s.width);
+                    offset += s.width as usize;
+                }
+                SignalKind::Reg { index, next, .. } => {
+                    regs[index] = Some((s.width, next));
+                }
+                SignalKind::Wire { .. } => {}
+            }
+        }
+        let num_vars = offset;
+        assert!(
+            num_vars <= MAX_INPUT_BITS,
+            "design `{}` has {} primary-input bits — past even the symbolic \
+             backend's {} bit limit",
+            design.name(),
+            num_vars,
+            MAX_INPUT_BITS,
+        );
+        let regs: Vec<(u8, ExprId)> = regs
+            .into_iter()
+            .map(|r| r.expect("every register index is declared"))
+            .collect();
+
+        let sim = Simulator::new(design);
+        let initial = sim
+            .initial_state_with(&problem.init_pins)
+            .expect("all free-init registers must be pinned by init assumptions");
+        let monitors: Vec<Monitor<RtlAtom>> = problem
+            .assumptions
+            .iter()
+            .map(|d| Monitor::new(&d.prop))
+            .collect();
+        let init_states: Vec<MonitorState> = monitors.iter().map(|m| m.state().clone()).collect();
+        let mut core = SymCore {
+            bdd: Bdd::new(num_vars),
+            nodes: vec![SymNode {
+                state: initial.clone(),
+                assumptions: init_states.clone(),
+                row: None,
+            }],
+            index: HashMap::new(),
+            monitors,
+            stats: GraphStats {
+                nodes: 1,
+                ..GraphStats::default()
+            },
+            classes_built: 0,
+        };
+        core.index.insert((initial, init_states), 0);
+
+        SymbolicGraph {
+            problem,
+            atoms,
+            assume_atoms,
+            words,
+            num_vars,
+            input_vars,
+            regs,
+            core: RefCell::new(core),
+        }
+    }
+
+    /// [`SymbolicGraph::new`] followed by the same eager breadth-first
+    /// warm-up as [`StateGraph::build`]: rows are pre-built layer by layer
+    /// until the reachable product space is exhausted or `engine`'s budget
+    /// is hit. The laziness invariant carries over — warm-up depth never
+    /// changes a walk's verdict or statistics.
+    pub fn build<'a, I>(problem: &'p Problem<'d>, props: I, engine: Engine) -> Self
+    where
+        I: IntoIterator<Item = &'a Prop<RtlAtom>>,
+    {
+        let graph = SymbolicGraph::new(problem, props);
+        graph.warm(engine);
+        graph
+    }
+
+    fn warm(&self, engine: Engine) {
+        let mut core = self.core.borrow_mut();
+        let mut frontier: Vec<u32> = vec![0];
+        let mut depth: u32 = 0;
+        loop {
+            if frontier.is_empty() {
+                core.stats.complete = true;
+                return;
+            }
+            if engine.max_depth.is_some_and(|d| depth >= d) {
+                return;
+            }
+            let mut next = Vec::new();
+            for &n in &frontier {
+                let known = core.nodes.len();
+                if core.nodes[n as usize].row.is_none() {
+                    self.build_row(&mut core, n);
+                }
+                next.extend((known..core.nodes.len()).map(|i| i as u32));
+                if core.nodes.len() > engine.max_states {
+                    return;
+                }
+            }
+            depth += 1;
+            frontier = next;
+        }
+    }
+
+    /// Builds one node's row by image computation: compiles the signature
+    /// functions (assumption atoms, property atoms, next-state bits) over
+    /// the input variables, then peels off edge classes in ascending
+    /// lowest-member order until the input space is exhausted.
+    fn build_row(&self, core: &mut SymCore, node: u32) {
+        let SymCore {
+            bdd,
+            nodes,
+            index,
+            monitors,
+            stats,
+            classes_built,
+        } = core;
+        let (state, assumptions) = {
+            let n = &nodes[node as usize];
+            (n.state.clone(), n.assumptions.clone())
+        };
+
+        // Phase 1: compile every observable of this row into a BDD over
+        // the input bits, with the current state folded in as constants.
+        let mut memo: HashMap<ExprId, Vec<NodeId>> = HashMap::new();
+        let assume_fns: Vec<NodeId> = self
+            .assume_atoms
+            .iter()
+            .map(|a| self.atom_fn(bdd, &mut memo, &state, a))
+            .collect();
+        let atom_fns: Vec<NodeId> = self
+            .atoms
+            .iter()
+            .map(|a| self.atom_fn(bdd, &mut memo, &state, a))
+            .collect();
+        let next_fns: Vec<Vec<NodeId>> = self
+            .regs
+            .iter()
+            .map(|&(width, next)| {
+                let mut bits = self.expr_bits(bdd, &mut memo, &state, next);
+                // The register commit masks to the register width.
+                bits.resize(width as usize, FALSE);
+                bits
+            })
+            .collect();
+
+        // Phase 2: enumerate the classes. `ctx` is the set of valuations
+        // not yet classified; its minimum model is the next class's
+        // representative, and fixing every signature function to its value
+        // there carves out the whole class.
+        let mut classes: Vec<SymClass> = Vec::new();
+        let mut pruned_union = FALSE;
+        let mut ctx = TRUE;
+        while let Some(assign) = bdd.min_sat(ctx) {
+            let mut class_f = TRUE;
+            let fix = |bdd: &mut Bdd, class_f: &mut NodeId, f: NodeId| -> bool {
+                let v = bdd.eval(f, &assign);
+                let lit = if v { f } else { bdd.not(f) };
+                *class_f = bdd.and(*class_f, lit);
+                v
+            };
+            let assume_vals: Vec<bool> = assume_fns
+                .iter()
+                .map(|&f| fix(bdd, &mut class_f, f))
+                .collect();
+            let mut bits = vec![0u64; self.words];
+            for (ai, &f) in atom_fns.iter().enumerate() {
+                if fix(bdd, &mut class_f, f) {
+                    bits[ai / 64] |= 1 << (ai % 64);
+                }
+            }
+            let mut next_regs = vec![0u64; self.regs.len()];
+            for (ri, fns) in next_fns.iter().enumerate() {
+                for (bit, &f) in fns.iter().enumerate() {
+                    if fix(bdd, &mut class_f, f) {
+                        next_regs[ri] |= 1u64 << bit;
+                    }
+                }
+            }
+            let multiplicity = bdd.sat_count(class_f);
+            debug_assert!(multiplicity > 0, "a class contains its representative");
+            let rep = self.assignment_to_valuation(&assign);
+            let rep_index = assignment_to_index(&assign);
+
+            // Admissibility: step the assumption monitors once at the
+            // representative — every member of the class agrees on every
+            // assumption atom, so the step is class-invariant.
+            let mut admissible = true;
+            let mut next_states = Vec::with_capacity(monitors.len());
+            for (m_i, m) in monitors.iter_mut().enumerate() {
+                m.set_state(assumptions[m_i].clone());
+                m.step(&|a: &RtlAtom| {
+                    let i = self
+                        .assume_atoms
+                        .binary_search(a)
+                        .expect("assumption monitors only query assumption atoms");
+                    assume_vals[i]
+                });
+                if m.failed() {
+                    admissible = false;
+                }
+                next_states.push(m.state().clone());
+            }
+
+            if admissible {
+                let dest_state = State::from_regs(next_regs);
+                let key = (dest_state, next_states);
+                let dest = match index.get(&key) {
+                    Some(&d) => d,
+                    None => {
+                        let d = u32::try_from(nodes.len()).expect("graph fits in u32 node ids");
+                        nodes.push(SymNode {
+                            state: key.0.clone(),
+                            assumptions: key.1.clone(),
+                            row: None,
+                        });
+                        index.insert(key, d);
+                        d
+                    }
+                };
+                stats.edges = stats.edges.saturating_add(clamp_u64(multiplicity));
+                classes.push(SymClass {
+                    dest,
+                    multiplicity,
+                    rep,
+                    rep_index,
+                    bits,
+                });
+            } else {
+                stats.pruned_edges = stats.pruned_edges.saturating_add(clamp_u64(multiplicity));
+                pruned_union = bdd.or(pruned_union, class_f);
+                classes.push(SymClass {
+                    dest: PRUNED,
+                    multiplicity,
+                    rep,
+                    rep_index,
+                    // Pruned edges carry no atom valuations, as in the
+                    // explicit backend.
+                    bits: vec![0u64; self.words],
+                });
+            }
+            *classes_built += 1;
+            let excluded = bdd.not(class_f);
+            ctx = bdd.and(ctx, excluded);
+        }
+        stats.nodes = nodes.len();
+        nodes[node as usize].row = Some(SymRow {
+            classes,
+            pruned_union,
+        });
+    }
+
+    /// The BDD of "signal equals value" at this row's state.
+    fn atom_fn(
+        &self,
+        bdd: &mut Bdd,
+        memo: &mut HashMap<ExprId, Vec<NodeId>>,
+        state: &State,
+        atom: &RtlAtom,
+    ) -> NodeId {
+        let width = self.problem.design.signal(atom.sig).width;
+        if width < 64 && atom.value >> width != 0 {
+            // The value cannot fit the signal: constant false, mirroring
+            // the explicit peek-and-compare.
+            return FALSE;
+        }
+        let bits = self.sig_bits(bdd, memo, state, atom.sig);
+        let mut r = TRUE;
+        for (i, &b) in bits.iter().enumerate() {
+            let lit = if atom.value >> i & 1 == 1 {
+                b
+            } else {
+                bdd.not(b)
+            };
+            r = bdd.and(r, lit);
+        }
+        r
+    }
+
+    /// The bit-vector (LSB first) of a signal's current-cycle value.
+    fn sig_bits(
+        &self,
+        bdd: &mut Bdd,
+        memo: &mut HashMap<ExprId, Vec<NodeId>>,
+        state: &State,
+        sig: SignalId,
+    ) -> Vec<NodeId> {
+        let s = self.problem.design.signal(sig);
+        match s.kind {
+            SignalKind::Input { index } => {
+                let (offset, width) = self.input_vars[index];
+                // Variable `offset` is the input's MSB: bit i (LSB-indexed)
+                // lives at level `offset + width - 1 - i`.
+                (0..width as usize)
+                    .map(|i| bdd.var(offset + width as usize - 1 - i))
+                    .collect()
+            }
+            SignalKind::Reg { index, .. } => const_bits(state.regs()[index], s.width as usize),
+            SignalKind::Wire { expr } => self.expr_bits(bdd, memo, state, expr),
+        }
+    }
+
+    /// Compiles an expression to its bit-vector (LSB first), mirroring
+    /// [`Simulator::eval`]'s semantics bit-for-bit: `Not`/`Add`/`Sub` mask
+    /// to the expression width, comparisons compare full values, `Mux`
+    /// selects on nonzero.
+    fn expr_bits(
+        &self,
+        bdd: &mut Bdd,
+        memo: &mut HashMap<ExprId, Vec<NodeId>>,
+        state: &State,
+        id: ExprId,
+    ) -> Vec<NodeId> {
+        if let Some(bits) = memo.get(&id) {
+            return bits.clone();
+        }
+        let width = self.problem.design.expr_width(id) as usize;
+        let bits = match self.problem.design.expr(id) {
+            Expr::Const { value, .. } => const_bits(value, width),
+            Expr::Sig(s) => self.sig_bits(bdd, memo, state, s),
+            Expr::Unary { op, arg } => {
+                let a = self.expr_bits(bdd, memo, state, arg);
+                match op {
+                    UnOp::Not => {
+                        let mut r: Vec<NodeId> = a.iter().map(|&b| bdd.not(b)).collect();
+                        r.resize(width, TRUE);
+                        r.truncate(width);
+                        r
+                    }
+                    UnOp::OrReduce => vec![or_reduce(bdd, &a)],
+                }
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                let a = self.expr_bits(bdd, memo, state, lhs);
+                let b = self.expr_bits(bdd, memo, state, rhs);
+                match op {
+                    BinOp::And => bitwise(bdd, &a, &b, width, Bdd::and),
+                    BinOp::Or => bitwise(bdd, &a, &b, width, Bdd::or),
+                    BinOp::Xor => bitwise(bdd, &a, &b, width, Bdd::xor),
+                    BinOp::Add => ripple_sum(bdd, &a, &b, width, false),
+                    BinOp::Sub => ripple_sum(bdd, &a, &b, width, true),
+                    BinOp::Eq => vec![equal(bdd, &a, &b)],
+                    BinOp::Ne => {
+                        let e = equal(bdd, &a, &b);
+                        vec![bdd.not(e)]
+                    }
+                    BinOp::Lt => vec![less_than(bdd, &a, &b)],
+                }
+            }
+            Expr::Mux { cond, then_, else_ } => {
+                let c = self.expr_bits(bdd, memo, state, cond);
+                let sel = or_reduce(bdd, &c);
+                let t = self.expr_bits(bdd, memo, state, then_);
+                let e = self.expr_bits(bdd, memo, state, else_);
+                (0..width)
+                    .map(|i| {
+                        let ti = t.get(i).copied().unwrap_or(FALSE);
+                        let ei = e.get(i).copied().unwrap_or(FALSE);
+                        bdd.ite(sel, ti, ei)
+                    })
+                    .collect()
+            }
+        };
+        memo.insert(id, bits.clone());
+        bits
+    }
+
+    /// Converts a BDD assignment into a per-input valuation vector (dense
+    /// input index order, matching [`Simulator::peek`]'s expectations).
+    fn assignment_to_valuation(&self, assign: &[bool]) -> Vec<u64> {
+        self.input_vars
+            .iter()
+            .map(|&(offset, width)| {
+                (offset..offset + width as usize)
+                    .fold(0u64, |v, level| (v << 1) | u64::from(assign[level]))
+            })
+            .collect()
+    }
+
+    /// The atom table walks index into.
+    pub fn atoms(&self) -> &[RtlAtom] {
+        &self.atoms
+    }
+
+    /// Current construction/reuse statistics. `edges`/`pruned_edges` are
+    /// multiplicity-weighted (valuations, not classes), saturating at
+    /// `u64::MAX` — directly comparable to the explicit backend's counts.
+    pub fn stats(&self) -> GraphStats {
+        self.core.borrow().stats
+    }
+
+    fn atom_index(&self, a: &RtlAtom) -> usize {
+        match self.atoms.binary_search(a) {
+            Ok(i) => i,
+            Err(_) => panic!(
+                "atom `{}` is not in the symbolic graph's atom table — the \
+                 graph must be built with every property it serves",
+                a.render(self.problem.design),
+            ),
+        }
+    }
+}
+
+/// The numeric index of an assignment in explicit enumeration order
+/// (variable 0 most significant).
+fn assignment_to_index(assign: &[bool]) -> u128 {
+    assign.iter().fold(0u128, |i, &b| (i << 1) | u128::from(b))
+}
+
+/// Clamps a model count into the `u64` statistics domain.
+fn clamp_u64(v: u128) -> u64 {
+    u64::try_from(v).unwrap_or(u64::MAX)
+}
+
+/// The constant bit-vector of `value` (LSB first, `width` bits).
+fn const_bits(value: u64, width: usize) -> Vec<NodeId> {
+    (0..width)
+        .map(|i| Bdd::constant(value >> i & 1 == 1))
+        .collect()
+}
+
+/// OR over all bits — the `!= 0` test.
+fn or_reduce(bdd: &mut Bdd, bits: &[NodeId]) -> NodeId {
+    bits.iter().fold(FALSE, |r, &b| bdd.or(r, b))
+}
+
+/// Zip two bit-vectors through a bitwise connective, padding with zeros.
+fn bitwise(
+    bdd: &mut Bdd,
+    a: &[NodeId],
+    b: &[NodeId],
+    width: usize,
+    op: fn(&mut Bdd, NodeId, NodeId) -> NodeId,
+) -> Vec<NodeId> {
+    (0..width.max(a.len()).max(b.len()))
+        .map(|i| {
+            let ai = a.get(i).copied().unwrap_or(FALSE);
+            let bi = b.get(i).copied().unwrap_or(FALSE);
+            op(bdd, ai, bi)
+        })
+        .collect()
+}
+
+/// Ripple-carry add (or subtract via two's complement), truncated to
+/// `width` bits — the simulator's wrapping-and-mask semantics.
+fn ripple_sum(
+    bdd: &mut Bdd,
+    a: &[NodeId],
+    b: &[NodeId],
+    width: usize,
+    subtract: bool,
+) -> Vec<NodeId> {
+    let mut carry = Bdd::constant(subtract);
+    let mut out = Vec::with_capacity(width);
+    for i in 0..width {
+        let ai = a.get(i).copied().unwrap_or(FALSE);
+        let mut bi = b.get(i).copied().unwrap_or(FALSE);
+        if subtract {
+            bi = bdd.not(bi);
+        }
+        let axb = bdd.xor(ai, bi);
+        let sum = bdd.xor(axb, carry);
+        let ab = bdd.and(ai, bi);
+        let ca = bdd.and(carry, axb);
+        carry = bdd.or(ab, ca);
+        out.push(sum);
+    }
+    out
+}
+
+/// Full-value equality over zero-padded operands.
+fn equal(bdd: &mut Bdd, a: &[NodeId], b: &[NodeId]) -> NodeId {
+    let mut r = TRUE;
+    for i in 0..a.len().max(b.len()) {
+        let ai = a.get(i).copied().unwrap_or(FALSE);
+        let bi = b.get(i).copied().unwrap_or(FALSE);
+        let x = bdd.xor(ai, bi);
+        let same = bdd.not(x);
+        r = bdd.and(r, same);
+    }
+    r
+}
+
+/// Unsigned full-value less-than over zero-padded operands.
+fn less_than(bdd: &mut Bdd, a: &[NodeId], b: &[NodeId]) -> NodeId {
+    let mut lt = FALSE;
+    for i in 0..a.len().max(b.len()) {
+        let ai = a.get(i).copied().unwrap_or(FALSE);
+        let bi = b.get(i).copied().unwrap_or(FALSE);
+        // b's bit 1: a 0 in `a` wins here, a 1 defers to the lower bits.
+        let when_b1 = bdd.ite(ai, lt, TRUE);
+        // b's bit 0: a 1 in `a` loses here, a 0 defers to the lower bits.
+        let when_b0 = bdd.ite(ai, FALSE, lt);
+        lt = bdd.ite(bi, when_b1, when_b0);
+    }
+    lt
+}
+
+impl Backend for SymbolicGraph<'_, '_> {
+    fn problem(&self) -> &Problem<'_> {
+        self.problem
+    }
+
+    fn atoms(&self) -> &[RtlAtom] {
+        SymbolicGraph::atoms(self)
+    }
+
+    fn map_prop(&self, prop: &Prop<RtlAtom>) -> Prop<usize> {
+        prop.map_atoms(&mut |a| self.atom_index(a))
+    }
+
+    fn map_bool(&self, b: &RtlBool) -> SvaBool<usize> {
+        b.map_atoms(&mut |a| self.atom_index(a))
+    }
+
+    fn num_edge_classes(&self, node: u32) -> usize {
+        let mut core = self.core.borrow_mut();
+        if core.nodes[node as usize].row.is_none() {
+            self.build_row(&mut core, node);
+        }
+        let row = core.nodes[node as usize].row.as_ref().expect("row built");
+        row.classes.len()
+    }
+
+    fn edge_class(&self, node: u32, class: usize, bits_out: &mut Vec<u64>) -> EdgeClass {
+        let mut core = self.core.borrow_mut();
+        core.stats.lookups += 1;
+        if core.nodes[node as usize].row.is_none() {
+            self.build_row(&mut core, node);
+        } else {
+            core.stats.reuse_hits += 1;
+        }
+        let row = core.nodes[node as usize].row.as_ref().expect("row built");
+        let c = &row.classes[class];
+        bits_out.clear();
+        bits_out.extend_from_slice(&c.bits);
+        EdgeClass {
+            dest: c.dest,
+            multiplicity: c.multiplicity,
+        }
+    }
+
+    fn class_input(&self, node: u32, class: usize) -> Vec<u64> {
+        let core = self.core.borrow();
+        let row = core.nodes[node as usize].row.as_ref().expect("row built");
+        row.classes[class].rep.clone()
+    }
+
+    fn class_prefix(&self, node: u32, class: usize) -> (u128, u128) {
+        let mut core = self.core.borrow_mut();
+        let (pruned_union, rep_index) = {
+            let row = core.nodes[node as usize].row.as_ref().expect("row built");
+            (row.pruned_union, row.classes[class].rep_index)
+        };
+        // Every valuation below the representative belongs to an earlier
+        // class (classes are peeled in ascending minimum order), so the
+        // pruned count below it is a model count of the row's pruned set.
+        let rep_bits: Vec<bool> = (0..self.num_vars)
+            .map(|level| rep_index >> (self.num_vars - 1 - level) & 1 == 1)
+            .collect();
+        let below = core.bdd.lt_const(&rep_bits);
+        let pruned_below = core.bdd.and(pruned_union, below);
+        let pruned = core.bdd.sat_count(pruned_below);
+        (rep_index - pruned, pruned)
+    }
+
+    fn node_state(&self, node: u32) -> State {
+        self.core.borrow().nodes[node as usize].state.clone()
+    }
+
+    fn stats(&self) -> GraphStats {
+        SymbolicGraph::stats(self)
+    }
+
+    /// Reports the shared `graph.*` counters (same names as the explicit
+    /// backend), the assumption monitors, and the symbolic-only
+    /// `backend.*` counters (`backend.bdd_nodes`, `backend.classes`).
+    fn report_to(&self, collector: &dyn Collector) {
+        let core = self.core.borrow();
+        let s = core.stats;
+        collector.counter("graph.nodes", s.nodes as u64, attrs![]);
+        collector.counter("graph.edges", s.edges, attrs![]);
+        collector.counter("graph.pruned_edges", s.pruned_edges, attrs![]);
+        collector.counter("graph.lookups", s.lookups, attrs![]);
+        collector.counter("graph.reuse_hits", s.reuse_hits, attrs![]);
+        collector.counter("graph.atoms", self.atoms.len() as u64, attrs![]);
+        collector.counter("backend.bdd_nodes", core.bdd.num_nodes() as u64, attrs![]);
+        collector.counter("backend.classes", core.classes_built, attrs![]);
+        for (i, m) in core.monitors.iter().enumerate() {
+            m.report_to(collector, &self.problem.assumptions[i].name);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::VerifyConfig;
+    use crate::explore::{check_cover_on_graph, verify_property_on_graph};
+    use crate::problem::Directive;
+    use rtlcheck_rtl::{Design, DesignBuilder};
+
+    /// The graph-module test counter: 3-bit count with a 1-bit enable.
+    fn counter() -> Design {
+        let mut b = DesignBuilder::new("c");
+        let en = b.input("en", 1);
+        let count = b.reg("count", 3, Some(0));
+        let one = b.lit(1, 3);
+        let ce = b.sig(count);
+        let sum = b.add(ce, one);
+        let ene = b.sig(en);
+        let hold = b.sig(count);
+        let nxt = b.mux(ene, sum, hold);
+        b.set_next(count, nxt);
+        b.build().unwrap()
+    }
+
+    /// A register fed by a wide input through a comparison — few
+    /// behaviours over many valuations, the class-compression case.
+    fn wide_threshold(width: u8, threshold: u64) -> Design {
+        let mut b = DesignBuilder::new("w");
+        let data = b.input("data", width);
+        let seen = b.reg("seen", 1, Some(0));
+        let de = b.sig(data);
+        let t = b.lit(threshold, width);
+        let hit = b.lt(t, de);
+        let se = b.sig(seen);
+        let nxt = b.or(se, hit);
+        b.set_next(seen, nxt);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn symbolic_graph_matches_explicit_on_the_counter() {
+        let d = counter();
+        let count = d.signal_by_name("count").unwrap();
+        let en = d.signal_by_name("en").unwrap();
+        let mut problem = Problem::new(&d);
+        problem.assumptions.push(Directive::assume(
+            "en_low",
+            Prop::Never(SvaBool::atom(RtlAtom::is_true(en))),
+        ));
+        for target in [1u64, 8] {
+            let prop = Prop::Never(SvaBool::atom(RtlAtom::eq(count, target)));
+            let explicit = StateGraph::new(&problem, [&prop]);
+            let symbolic = SymbolicGraph::new(&problem, [&prop]);
+            for config in [VerifyConfig::quick(), VerifyConfig::hybrid()] {
+                let a = verify_property_on_graph(&explicit, &prop, &config);
+                let b = verify_property_on_graph(&symbolic, &prop, &config);
+                assert_eq!(format!("{a:?}"), format!("{b:?}"), "target {target}");
+            }
+        }
+    }
+
+    #[test]
+    fn warm_build_completes_and_matches_explicit_structure() {
+        let d = counter();
+        let count = d.signal_by_name("count").unwrap();
+        let problem = Problem::new(&d);
+        let prop = Prop::Never(SvaBool::atom(RtlAtom::eq(count, 8)));
+        let explicit = StateGraph::build(&problem, [&prop], Engine::full(100_000));
+        let symbolic = SymbolicGraph::build(&problem, [&prop], Engine::full(100_000));
+        let (e, s) = (explicit.stats(), symbolic.stats());
+        assert!(s.complete, "{s:?}");
+        assert_eq!(s.nodes, e.nodes);
+        assert_eq!(s.edges, e.edges, "multiplicities sum to valuations");
+        assert_eq!(s.pruned_edges, e.pruned_edges);
+    }
+
+    #[test]
+    fn classes_compress_wide_inputs() {
+        // 10 input bits = 1024 valuations per row, but only two
+        // behaviours (data > threshold or not): two classes.
+        let d = wide_threshold(10, 700);
+        let seen = d.signal_by_name("seen").unwrap();
+        let problem = Problem::new(&d);
+        let prop = Prop::Never(SvaBool::atom(RtlAtom::is_true(seen)));
+        let graph = SymbolicGraph::new(&problem, [&prop]);
+        let backend: &dyn Backend = &graph;
+        assert_eq!(backend.num_edge_classes(0), 2);
+        let mut bits = Vec::new();
+        let low = backend.edge_class(0, 0, &mut bits);
+        let high = backend.edge_class(0, 1, &mut bits);
+        assert_eq!(low.multiplicity + high.multiplicity, 1024);
+        assert_eq!(low.multiplicity, 701, "data in 0..=700 stays below");
+        assert_eq!(backend.class_input(0, 0), vec![0]);
+        assert_eq!(backend.class_input(0, 1), vec![701]);
+        // The falsifying walk must find the counterexample at data=701,
+        // the lowest violating valuation.
+        let verdict = verify_property_on_graph(&graph, &prop, &VerifyConfig::quick());
+        let crate::engine::PropertyVerdict::Falsified { trace, .. } = verdict else {
+            panic!("seen is reachable");
+        };
+        assert_eq!(
+            trace.value_at(&d, d.signal_by_name("data").unwrap(), 0),
+            701
+        );
+    }
+
+    #[test]
+    fn cover_search_over_wide_inputs() {
+        let d = wide_threshold(12, 4000);
+        let seen = d.signal_by_name("seen").unwrap();
+        let mut problem = Problem::new(&d);
+        problem.cover = Some(SvaBool::atom(RtlAtom::is_true(seen)));
+        let graph = SymbolicGraph::new(&problem, []);
+        let verdict = check_cover_on_graph(&graph, Engine::full(100_000));
+        assert!(
+            matches!(verdict, crate::explore::CoverVerdict::Covered(..)),
+            "{verdict:?}"
+        );
+    }
+
+    #[test]
+    fn pruned_classes_and_prefix_counts() {
+        let d = counter();
+        let en = d.signal_by_name("en").unwrap();
+        let mut problem = Problem::new(&d);
+        problem.assumptions.push(Directive::assume(
+            "en_low",
+            Prop::Never(SvaBool::atom(RtlAtom::is_true(en))),
+        ));
+        let graph = SymbolicGraph::build(&problem, [], Engine::full(100_000));
+        let s = graph.stats();
+        assert!(s.complete);
+        assert_eq!(s.nodes, 2, "same product as the explicit graph test");
+        assert_eq!(s.pruned_edges, 2);
+        assert_eq!(s.edges, 2);
+        let backend: &dyn Backend = &graph;
+        // Row 0: class 0 is en=0 (admissible), class 1 is en=1 (pruned).
+        let mut bits = Vec::new();
+        assert_ne!(backend.edge_class(0, 0, &mut bits).dest, PRUNED);
+        assert_eq!(backend.edge_class(0, 1, &mut bits).dest, PRUNED);
+        assert_eq!(backend.class_prefix(0, 1), (1, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "not in the symbolic graph's atom table")]
+    fn mapping_a_foreign_atom_panics() {
+        let d = counter();
+        let count = d.signal_by_name("count").unwrap();
+        let problem = Problem::new(&d);
+        let graph = SymbolicGraph::new(&problem, []);
+        let _ = graph.map_prop(&Prop::Never(SvaBool::atom(RtlAtom::eq(count, 3))));
+    }
+}

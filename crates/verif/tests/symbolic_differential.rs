@@ -1,0 +1,264 @@
+//! Differential testing of the symbolic (BDD) backend against the explicit
+//! [`rtlcheck_verif::StateGraph`], over random small designs, assumptions,
+//! properties, and budgets.
+//!
+//! The backend contract is that a walk over a
+//! [`rtlcheck_verif::SymbolicGraph`] is observationally identical to the
+//! same walk over the explicit graph: same verdicts, same counterexample
+//! traces (the symbolic backend's class representatives are exactly the
+//! explicit engine's first-occurrence inputs), and same
+//! [`rtlcheck_verif::ExploreStats`] down to per-valuation transition and
+//! pruning counts — even when a budget stops a walk mid-row. The suite- and
+//! campaign-level differential lives in `tests/backend_differential.rs` at
+//! the workspace root and in the CI `backend-differential` job; this file
+//! covers random designs and budgets chosen to land on every verdict
+//! variant.
+
+use proptest::prelude::*;
+use rtlcheck_rtl::{Design, DesignBuilder, SignalId};
+use rtlcheck_sva::{Prop, Seq, SvaBool};
+use rtlcheck_verif::{
+    check_cover_on_graph, verify_property_on_graph, Backend, Directive, Engine, EngineKind,
+    Problem, RtlAtom, StateGraph, SymbolicGraph, VerifyConfig,
+};
+
+/// Recipe for one random design, mirroring `graph_differential.rs`.
+#[derive(Debug, Clone)]
+struct DesignRecipe {
+    input_width: u8,
+    regs: Vec<RegRecipe>,
+}
+
+#[derive(Debug, Clone)]
+struct RegRecipe {
+    width: u8,
+    init: u64,
+    enable_on: u64,
+    /// 0 = increment, 1 = xor with literal, 2 = decrement when another
+    /// register holds a chosen value.
+    op: u8,
+    operand: u64,
+}
+
+fn arb_recipe() -> impl Strategy<Value = DesignRecipe> {
+    let reg = (1u8..=3, 0u64..8, 0u64..4, 0u8..3, 0u64..8).prop_map(
+        |(width, init, enable_on, op, operand)| RegRecipe {
+            width,
+            init: init & ((1 << width) - 1),
+            enable_on,
+            op,
+            operand: operand & ((1 << width) - 1),
+        },
+    );
+    (1u8..=2, proptest::collection::vec(reg, 1..=3))
+        .prop_map(|(input_width, regs)| DesignRecipe { input_width, regs })
+}
+
+fn build(recipe: &DesignRecipe) -> (Design, Vec<SignalId>, SignalId) {
+    let mut b = DesignBuilder::new("rand");
+    let en = b.input("en", recipe.input_width);
+    let reg_ids: Vec<SignalId> = recipe
+        .regs
+        .iter()
+        .enumerate()
+        .map(|(i, r)| b.reg(format!("r{i}"), r.width, Some(r.init)))
+        .collect();
+    for (i, r) in recipe.regs.iter().enumerate() {
+        let id = reg_ids[i];
+        let cur = b.sig(id);
+        let max_in = (1u64 << recipe.input_width) - 1;
+        let cond = b.eq_lit(en, r.enable_on & max_in);
+        let updated = match r.op {
+            0 => {
+                let one = b.lit(1, r.width);
+                b.add(cur, one)
+            }
+            1 => {
+                let k = b.lit(r.operand, r.width);
+                b.xor(cur, k)
+            }
+            _ => {
+                let other = reg_ids[(i + 1) % reg_ids.len()];
+                let trigger = b.eq_lit(
+                    other,
+                    r.operand & ((1 << recipe.regs[(i + 1) % recipe.regs.len()].width) - 1),
+                );
+                let one = b.lit(1, r.width);
+                let dec = b.sub(cur, one);
+                b.mux(trigger, dec, cur)
+            }
+        };
+        let next = b.mux(cond, updated, cur);
+        b.set_next(id, next);
+    }
+    let d = b.build().expect("recipe designs are well-formed");
+    (d, reg_ids, en)
+}
+
+fn props_for(regs: &[SignalId], recipe: &DesignRecipe) -> Vec<Prop<RtlAtom>> {
+    let r0 = regs[0];
+    let v0 = recipe.regs[0].operand;
+    let rl = *regs.last().unwrap();
+    let vl = recipe.regs.last().unwrap().init;
+    vec![
+        Prop::Never(SvaBool::atom(RtlAtom::eq(r0, v0))),
+        Prop::implies(
+            SvaBool::atom(RtlAtom::eq(rl, vl)),
+            Prop::Never(SvaBool::atom(RtlAtom::eq(r0, v0))),
+        ),
+        Prop::seq(Seq::then(
+            Seq::boolean(SvaBool::atom(RtlAtom::eq(rl, vl))),
+            Seq::delay(
+                1,
+                Some(3),
+                Seq::boolean(SvaBool::not(SvaBool::atom(RtlAtom::eq(r0, v0)))),
+            ),
+        )),
+    ]
+}
+
+fn configs() -> Vec<VerifyConfig> {
+    vec![
+        VerifyConfig::quick(),
+        VerifyConfig::hybrid(),
+        // Starved: forces BudgetHit on both the state and the depth axis,
+        // so mid-row settlement gets exercised.
+        VerifyConfig {
+            name: "tiny".into(),
+            engines: vec![
+                Engine {
+                    kind: EngineKind::Bounded,
+                    max_states: 100_000,
+                    max_depth: Some(2),
+                },
+                Engine {
+                    kind: EngineKind::Full,
+                    max_states: 5,
+                    max_depth: None,
+                },
+            ],
+            cover_max_states: 5,
+        },
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Property verdicts, statistics, and counterexample traces are
+    /// identical across the two backends, for every property shape,
+    /// configuration, and assumption set.
+    #[test]
+    fn property_verdicts_match_across_backends(
+        recipe in arb_recipe(),
+        assume_en in prop_oneof![Just(None), (0u64..4).prop_map(Some)],
+    ) {
+        let (design, regs, en) = build(&recipe);
+        let mut problem = Problem::new(&design);
+        if let Some(v) = assume_en {
+            let max_in = (1u64 << recipe.input_width) - 1;
+            problem.assumptions.push(Directive::assume(
+                "en_pin",
+                Prop::Never(SvaBool::atom(RtlAtom::eq(en, v & max_in))),
+            ));
+        }
+        let props = props_for(&regs, &recipe);
+        let explicit = StateGraph::new(&problem, props.iter());
+        let symbolic = SymbolicGraph::new(&problem, props.iter());
+        for prop in &props {
+            for config in configs() {
+                let e = verify_property_on_graph(&explicit, prop, &config);
+                let s = verify_property_on_graph(&symbolic, prop, &config);
+                prop_assert_eq!(
+                    format!("{e:?}"),
+                    format!("{s:?}"),
+                    "config {} prop {:?}",
+                    config.name,
+                    prop
+                );
+            }
+        }
+    }
+
+    /// Cover-search verdicts (trace, unreachable, unknown) and statistics
+    /// are identical across the two backends.
+    #[test]
+    fn cover_verdicts_match_across_backends(
+        recipe in arb_recipe(),
+        cover_value in 0u64..8,
+        budget in prop_oneof![Just(5usize), Just(100_000usize)],
+    ) {
+        let (design, regs, _) = build(&recipe);
+        let mut problem = Problem::new(&design);
+        let r0 = regs[0];
+        let w = recipe.regs[0].width;
+        problem.cover = Some(SvaBool::atom(RtlAtom::eq(r0, cover_value & ((1 << w) - 1))));
+        let engine = Engine::full(budget);
+        let explicit = StateGraph::new(&problem, []);
+        let symbolic = SymbolicGraph::new(&problem, []);
+        let e = check_cover_on_graph(&explicit, engine);
+        let s = check_cover_on_graph(&symbolic, engine);
+        prop_assert_eq!(format!("{e:?}"), format!("{s:?}"));
+    }
+
+    /// Eagerly warmed graphs report the same structural statistics, and
+    /// warming never changes a walk's outcome on either backend (the
+    /// laziness invariant carries over to the symbolic rows).
+    #[test]
+    fn warmed_graphs_agree_structurally(
+        recipe in arb_recipe(),
+    ) {
+        let (design, regs, _) = build(&recipe);
+        let problem = Problem::new(&design);
+        let props = props_for(&regs, &recipe);
+        let engine = Engine::full(100_000);
+        let explicit = StateGraph::build(&problem, props.iter(), engine);
+        let symbolic = SymbolicGraph::build(&problem, props.iter(), engine);
+        let (e, s) = (explicit.stats(), symbolic.stats());
+        prop_assert_eq!(e.nodes, s.nodes);
+        prop_assert_eq!(e.edges, s.edges);
+        prop_assert_eq!(e.pruned_edges, s.pruned_edges);
+        prop_assert_eq!(e.complete, s.complete);
+        let config = VerifyConfig::hybrid();
+        for prop in &props {
+            let ev = verify_property_on_graph(&explicit, prop, &config);
+            let sv = verify_property_on_graph(&symbolic, prop, &config);
+            prop_assert_eq!(format!("{ev:?}"), format!("{sv:?}"));
+        }
+    }
+}
+
+/// Inputs too wide for the explicit backend still verify symbolically, and
+/// class compression keeps the graph small: a 24-bit comparator has 16.7M
+/// valuations per row but only a handful of classes.
+#[test]
+fn wide_inputs_are_symbolic_only_territory() {
+    let mut b = DesignBuilder::new("wide");
+    let data = b.input("data", 24);
+    let seen = b.reg("seen", 1, Some(0));
+    let de = b.sig(data);
+    let t = b.lit(10_000_000, 24);
+    let hit = b.lt(t, de);
+    let se = b.sig(seen);
+    let nxt = b.or(se, hit);
+    b.set_next(seen, nxt);
+    let d = b.build().unwrap();
+    let seen = d.signal_by_name("seen").unwrap();
+    let problem = Problem::new(&d);
+    let prop = Prop::Never(SvaBool::atom(RtlAtom::is_true(seen)));
+    let graph = SymbolicGraph::new(&problem, [&prop]);
+    let verdict = verify_property_on_graph(&graph, &prop, &VerifyConfig::quick());
+    let rtlcheck_verif::PropertyVerdict::Falsified { trace, .. } = verdict else {
+        panic!("seen is reachable past the threshold");
+    };
+    // The counterexample drives the lowest violating input.
+    assert_eq!(
+        trace.value_at(&d, d.signal_by_name("data").unwrap(), 0),
+        10_000_001
+    );
+    let stats = Backend::stats(&graph);
+    assert!(
+        stats.edges >= 1 << 24,
+        "edge counts are valuation-weighted: {stats:?}"
+    );
+}

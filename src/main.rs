@@ -3,17 +3,17 @@
 //! ```text
 //! rtlcheck check <test.litmus | suite-test-name> [--memory fixed|buggy|tso]
 //!                [--config quick|hybrid|full-proof] [--trace] [--vcd <path>]
-//!                [--graph-cache <dir>]
+//!                [--backend explicit|symbolic|auto] [--graph-cache <dir>]
 //!                [--events <out.jsonl>] [--metrics <out.json>]
 //! rtlcheck emit-sva <test.litmus | name> [--memory ...]
 //! rtlcheck emit-verilog <test.litmus | name> [--memory ...]
 //! rtlcheck axiomatic <test.litmus | name> [--memory ...] [--dot]
 //! rtlcheck suite [--memory ...] [--config ...] [--jobs N] [--only a,b,c]
-//!                [--graph-cache <dir>]
+//!                [--backend ...] [--graph-cache <dir>] [--json <out.json>]
 //!                [--events <out.jsonl>] [--metrics <out.json>]
 //! rtlcheck mutate [--design multi_vscale|five_stage|tso] [--config ...]
 //!                 [--jobs N] [--only a,b,c] [--mutants a,b,c]
-//!                 [--graph-cache <dir>] [--json <out.json>]
+//!                 [--backend ...] [--graph-cache <dir>] [--json <out.json>]
 //!                 [--events <out.jsonl>] [--metrics <out.json>]
 //! rtlcheck profile <metrics.json>
 //! rtlcheck list
@@ -28,6 +28,13 @@
 //! persists each test's warm state graph to DIR and reloads it on later
 //! runs, skipping the graph-build phase; stale or corrupt cache files are
 //! detected and fall back to a cold build.
+//!
+//! `--backend` selects the reachable-set representation the verification
+//! phases run over: `explicit` (the default per-valuation state graph),
+//! `symbolic` (the BDD-backed image-computation backend — same verdicts,
+//! traces, and statistics, byte-identical reports), or `auto` (per-design
+//! routing: designs whose primary-input space is too wide for explicit
+//! enumeration go symbolic instead of aborting).
 //!
 //! `mutate` runs the mutation campaign: every catalogued mutant of the
 //! chosen design is checked against the litmus suite and classified as
@@ -44,7 +51,7 @@ use rtlcheck::obs::{Collector, JsonlCollector, MetricsCollector, MetricsSummary,
 use rtlcheck::prelude::*;
 use rtlcheck::uhb::solve;
 use rtlcheck::uspec::ground::{ground, DataMode};
-use rtlcheck::verif::{GraphCache, PropertyVerdict};
+use rtlcheck::verif::{BackendChoice, GraphCache, PropertyVerdict};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -62,14 +69,16 @@ fn main() -> ExitCode {
 const USAGE: &str = "\
 usage:
   rtlcheck check <test> [--memory fixed|buggy|tso] [--config quick|hybrid|full-proof] [--trace] [--vcd <path>]
-                 [--graph-cache <dir>] [--events <out.jsonl>] [--metrics <out.json>]
+                 [--backend explicit|symbolic|auto] [--graph-cache <dir>]
+                 [--events <out.jsonl>] [--metrics <out.json>]
   rtlcheck emit-sva <test> [--memory ...]
   rtlcheck emit-verilog <test> [--memory ...]
   rtlcheck axiomatic <test> [--memory ...] [--dot]
   rtlcheck suite [--memory ...] [--config ...] [--jobs N] [--only a,b,c]
-                 [--graph-cache <dir>] [--events <out.jsonl>] [--metrics <out.json>]
+                 [--backend ...] [--graph-cache <dir>] [--json <out.json>]
+                 [--events <out.jsonl>] [--metrics <out.json>]
   rtlcheck mutate [--design multi_vscale|five_stage|tso] [--config ...] [--jobs N]
-                 [--only a,b,c] [--mutants a,b,c] [--graph-cache <dir>]
+                 [--only a,b,c] [--mutants a,b,c] [--backend ...] [--graph-cache <dir>]
                  [--json <out.json>] [--events <out.jsonl>] [--metrics <out.json>]
   rtlcheck profile <metrics.json>
   rtlcheck list
@@ -79,11 +88,15 @@ usage:
 aggregated summary which `rtlcheck profile` renders as a report.
 --jobs runs suite tests on N worker threads (deterministic output);
 --only restricts the suite to a comma-separated list of test names.
+--backend selects the reachable-set representation: explicit (default),
+symbolic (BDD image computation; identical verdicts and reports), or auto
+(routes wide-input designs symbolic instead of aborting).
 --graph-cache persists warm state graphs to <dir> and reloads them on
 later runs (corrupt or stale files fall back to a cold build).
 `mutate` checks every catalogued mutant of --design against the suite and
 reports the mutation score; --mutants restricts the mutant set and --json
-writes the full report (kill matrix, survivors) as a JSON artifact.";
+writes the full report (kill matrix, survivors) as a JSON artifact.
+`suite --json` writes the per-test rows as a JSON artifact.";
 
 fn run(args: &[String]) -> Result<ExitCode, String> {
     let Some(cmd) = args.first() else {
@@ -186,6 +199,17 @@ fn common_args(
                 let v = it.next().ok_or("--graph-cache needs a directory")?;
                 flags.push(format!("--graph-cache={v}"));
             }
+            "--backend" => {
+                let v = it.next().ok_or("--backend needs a value")?;
+                BackendChoice::parse(v).ok_or(format!(
+                    "unknown backend `{v}` (expected explicit, symbolic, or auto)"
+                ))?;
+                flags.push(format!("--backend={v}"));
+            }
+            "--json" => {
+                let v = it.next().ok_or("--json needs a path")?;
+                flags.push(format!("--json={v}"));
+            }
             f @ ("--trace" | "--dot") => flags.push(f.to_string()),
             f if f.starts_with("--") => return Err(format!("unknown flag `{f}`")),
             positional => {
@@ -211,6 +235,15 @@ fn flag_config(flags: &[String]) -> Result<VerifyConfig, String> {
         }
     }
     Ok(VerifyConfig::quick())
+}
+
+/// The `--backend` choice (explicit when absent).
+fn flag_backend(flags: &[String]) -> BackendChoice {
+    flags
+        .iter()
+        .find_map(|f| f.strip_prefix("--backend="))
+        .and_then(BackendChoice::parse)
+        .unwrap_or_default()
 }
 
 /// Builds the on-disk graph cache if `--graph-cache DIR` was given.
@@ -286,7 +319,7 @@ fn check(args: &[String]) -> Result<ExitCode, String> {
     let config = flag_config(&flags)?;
     let obs = Observability::from_flags(&flags)?;
     let cache = flag_graph_cache(&flags)?;
-    let tool = Rtlcheck::new(memory);
+    let tool = Rtlcheck::new(memory).with_backend(flag_backend(&flags));
     let report = match &cache {
         Some(cache) => {
             let collector = obs.collector();
@@ -456,6 +489,12 @@ fn mutate_cmd(args: &[String]) -> Result<ExitCode, String> {
                 let v = it.next().ok_or("--json needs a path")?;
                 json_path = Some(v.clone());
             }
+            "--backend" => {
+                let v = it.next().ok_or("--backend needs a value")?;
+                options.backend = BackendChoice::parse(v).ok_or(format!(
+                    "unknown backend `{v}` (expected explicit, symbolic, or auto)"
+                ))?;
+            }
             "--graph-cache" => {
                 let v = it.next().ok_or("--graph-cache needs a directory")?;
                 shared_flags.push(format!("--graph-cache={v}"));
@@ -552,12 +591,9 @@ fn suite_cmd(args: &[String]) -> Result<ExitCode, String> {
     let cache = flag_graph_cache(&flags)?;
     let obs = Observability::from_flags(&flags)?;
     let collector = obs.collector();
-    let reports = match &cache {
-        Some(cache) => {
-            rtlcheck::bench::check_tests_cached(memory, &tests, &config, jobs, &collector, cache)
-        }
-        None => rtlcheck::bench::check_tests_observed(memory, &tests, &config, jobs, &collector),
-    };
+    let tool = Rtlcheck::new(memory).with_backend(flag_backend(&flags));
+    let reports =
+        rtlcheck::bench::check_tests_with(&tool, &tests, &config, jobs, &collector, cache.as_ref());
     let mut violations = 0;
     for report in &reports {
         let status = if report.bug_found() {
@@ -591,6 +627,18 @@ fn suite_cmd(args: &[String]) -> Result<ExitCode, String> {
         }
     }
     println!("\n{violations} violations");
+    if let Some(path) = flags.iter().find_map(|f| f.strip_prefix("--json=")) {
+        let results = rtlcheck::bench::SuiteResults {
+            config: config.name.clone(),
+            rows: reports
+                .iter()
+                .map(rtlcheck::bench::TestRow::from_report)
+                .collect(),
+        };
+        let text = results.to_json().pretty();
+        std::fs::write(path, text + "\n").map_err(|e| format!("writing {path}: {e}"))?;
+        println!("JSON report written to {path}");
+    }
     drop(collector);
     obs.finish()?;
     Ok(if violations > 0 {

@@ -1,0 +1,129 @@
+//! Suite-level differential test for the symbolic backend.
+//!
+//! Runs litmus tests through both reachable-set backends — the explicit
+//! [`rtlcheck::verif::StateGraph`] and the BDD-backed
+//! [`rtlcheck::verif::SymbolicGraph`] — and asserts identical verdicts,
+//! identical exploration statistics, identical counterexample traces, and
+//! identical vacuity flags. Only wall-clock timings may differ; the CI
+//! `backend-differential` job additionally byte-diffs the rendered suite
+//! reports after stripping runtimes.
+//!
+//! The random-design counterpart (proptest over small designs and budgets)
+//! lives in `crates/verif/tests/symbolic_differential.rs`.
+
+use rtlcheck::core::{CoverOutcome, Rtlcheck, TestReport};
+use rtlcheck::litmus::suite;
+use rtlcheck::prelude::{MemoryImpl, VerifyConfig};
+use rtlcheck::verif::BackendChoice;
+
+fn cover_label(report: &TestReport) -> String {
+    match &report.cover {
+        CoverOutcome::VerifiedUnreachable => "unreachable".to_string(),
+        CoverOutcome::BugWitness(trace) => format!("bug-witness {trace:?}"),
+        CoverOutcome::Inconclusive => "inconclusive".to_string(),
+    }
+}
+
+fn assert_reports_match(explicit: &TestReport, symbolic: &TestReport) {
+    let test = &explicit.test;
+    assert_eq!(explicit.test, symbolic.test);
+    assert_eq!(explicit.config, symbolic.config);
+    assert_eq!(
+        cover_label(explicit),
+        cover_label(symbolic),
+        "{test}: cover outcome diverged"
+    );
+    assert_eq!(
+        explicit.cover_stats, symbolic.cover_stats,
+        "{test}: cover stats diverged"
+    );
+    assert_eq!(
+        explicit.vacuous, symbolic.vacuous,
+        "{test}: vacuity diverged"
+    );
+    assert_eq!(
+        explicit.properties.len(),
+        symbolic.properties.len(),
+        "{test}: property count diverged"
+    );
+    for (e, s) in explicit.properties.iter().zip(&symbolic.properties) {
+        assert_eq!(e.name, s.name, "{test}: property order diverged");
+        assert_eq!(e.axiom, s.axiom, "{test}: axiom attribution diverged");
+        // PropertyVerdict carries stats, bounded depth, and the full
+        // counterexample trace; Debug formatting compares all of them.
+        assert_eq!(
+            format!("{:?}", e.verdict),
+            format!("{:?}", s.verdict),
+            "{test}: verdict for `{}` diverged",
+            e.name
+        );
+    }
+}
+
+/// Every suite test on the fixed memory, explicit vs symbolic, under the
+/// paper's Hybrid configuration (bounded engine first — exercises budget
+/// parity, bounded verdicts, and mid-row settlement, not just the
+/// full-proof fast path).
+#[test]
+fn backends_agree_on_the_whole_suite() {
+    let explicit = Rtlcheck::new(MemoryImpl::Fixed).with_backend(BackendChoice::Explicit);
+    let symbolic = Rtlcheck::new(MemoryImpl::Fixed).with_backend(BackendChoice::Symbolic);
+    let config = VerifyConfig::hybrid();
+    for test in suite::all() {
+        let e = explicit.check_test(&test, &config);
+        let s = symbolic.check_test(&test, &config);
+        assert_reports_match(&e, &s);
+    }
+}
+
+/// A handful of tests on the *buggy* memory, where counterexample traces
+/// and bug witnesses must also match byte-for-byte.
+#[test]
+fn backends_agree_on_buggy_memory() {
+    let explicit = Rtlcheck::new(MemoryImpl::Buggy).with_backend(BackendChoice::Explicit);
+    let symbolic = Rtlcheck::new(MemoryImpl::Buggy).with_backend(BackendChoice::Symbolic);
+    let config = VerifyConfig::hybrid();
+    for name in ["mp", "sb", "co-mp"] {
+        let test = suite::get(name).expect("suite test exists");
+        let e = explicit.check_test(&test, &config);
+        let s = symbolic.check_test(&test, &config);
+        assert_reports_match(&e, &s);
+    }
+}
+
+/// The suite designs are narrow (2-bit arbiter input), so `auto` must keep
+/// them on the explicit backend — same reports, and the explicit path is
+/// the one the graph cache serves.
+#[test]
+fn auto_stays_explicit_on_suite_designs() {
+    let test = suite::get("mp").expect("suite test exists");
+    let design = Rtlcheck::new(MemoryImpl::Fixed).build_design(&test).design;
+    assert_eq!(
+        BackendChoice::Auto.resolve(&design),
+        rtlcheck::verif::BackendKind::Explicit
+    );
+}
+
+/// Pin of the mutation-campaign kill under the symbolic backend: the
+/// store-drop bug (§7.1) must still be caught on `mp` when every flow in
+/// the campaign runs symbolically.
+#[test]
+fn store_drop_mutant_still_killed_under_symbolic_backend() {
+    use rtlcheck::bench::mutation::{run_campaign, CampaignOptions, MutantVerdict};
+    use rtlcheck::obs::NullCollector;
+    use rtlcheck::rtl::mutate::CatalogTarget;
+
+    let mut options = CampaignOptions::new(CatalogTarget::MultiVscale);
+    options.mutants = Some(vec!["store_drop_when_busy".into()]);
+    options.tests = Some(vec!["mp".into()]);
+    options.backend = BackendChoice::Symbolic;
+    let report = run_campaign(&options, &VerifyConfig::quick(), &NullCollector, None)
+        .expect("campaign filters name catalog entries");
+    let mutant = &report.mutants[0];
+    assert_eq!(mutant.name, "store_drop_when_busy");
+    assert_eq!(mutant.verdict, MutantVerdict::Killed, "{mutant:?}");
+    assert!(
+        mutant.killed_by.iter().any(|k| k.test == "mp"),
+        "{mutant:?}"
+    );
+}
