@@ -23,10 +23,14 @@ use std::time::Duration;
 use rtlcheck_core::{Rtlcheck, TestReport};
 use rtlcheck_litmus::{suite, LitmusTest};
 pub use rtlcheck_obs::json::Json;
-use rtlcheck_obs::{BufferCollector, Collector, NullCollector};
+use rtlcheck_obs::{
+    attrs, progress::UNIT_DONE, BufferCollector, Collector, MultiCollector, NullCollector,
+    TrackSink,
+};
 use rtlcheck_rtl::multi_vscale::MemoryImpl;
 use rtlcheck_verif::{GraphCache, VerifyConfig};
 
+pub mod bench;
 pub mod mutation;
 
 /// One row of the per-test results (one bar of Figures 13/14).
@@ -271,7 +275,15 @@ pub fn check_tests_observed(
     jobs: usize,
     collector: &dyn Collector,
 ) -> Vec<TestReport> {
-    check_tests_inner(&Rtlcheck::new(memory), tests, config, jobs, collector, None)
+    check_tests_inner(
+        &Rtlcheck::new(memory),
+        tests,
+        config,
+        jobs,
+        collector,
+        None,
+        &[],
+    )
 }
 
 /// [`check_tests_observed`] through a cross-test [`GraphCache`]: each test's
@@ -293,7 +305,7 @@ pub fn check_tests_cached(
     cache: &GraphCache,
 ) -> Vec<TestReport> {
     let tool = Rtlcheck::new(memory);
-    let reports = check_tests_inner(&tool, tests, config, jobs, collector, Some(cache));
+    let reports = check_tests_inner(&tool, tests, config, jobs, collector, Some(cache), &[]);
     cache.report_to(collector);
     reports
 }
@@ -310,9 +322,34 @@ pub fn check_tests_with(
     collector: &dyn Collector,
     cache: Option<&GraphCache>,
 ) -> Vec<TestReport> {
-    let reports = check_tests_inner(tool, tests, config, jobs, collector, cache);
+    check_tests_live(tool, tests, config, jobs, collector, cache, &[])
+}
+
+/// [`check_tests_with`] plus live side-channel sinks ([`TrackSink`]):
+/// each worker additionally reports, as work happens and on its own track,
+/// to every sink in `live` — this is how `--trace-out` sees the real
+/// parallel schedule and `--progress` ticks in real time. The deterministic
+/// stream into `collector` is unaffected: live sinks are *extra* receivers,
+/// and the per-unit [`UNIT_DONE`] completion event goes **only** to them
+/// (its arrival order depends on scheduling, so it must never enter the
+/// buffered stream).
+#[allow(clippy::too_many_arguments)]
+pub fn check_tests_live(
+    tool: &Rtlcheck,
+    tests: &[LitmusTest],
+    config: &VerifyConfig,
+    jobs: usize,
+    collector: &dyn Collector,
+    cache: Option<&GraphCache>,
+    live: &[&dyn TrackSink],
+) -> Vec<TestReport> {
+    let reports = check_tests_inner(tool, tests, config, jobs, collector, cache, live);
     if let Some(cache) = cache {
         cache.report_to(collector);
+        let tracks: Vec<Box<dyn Collector + '_>> = live.iter().map(|s| s.track(0)).collect();
+        for t in &tracks {
+            cache.report_to(&**t);
+        }
     }
     reports
 }
@@ -324,6 +361,7 @@ fn check_tests_inner(
     jobs: usize,
     collector: &dyn Collector,
     cache: Option<&GraphCache>,
+    live: &[&dyn TrackSink],
 ) -> Vec<TestReport> {
     let check = |tool: &Rtlcheck, test: &LitmusTest, sink: &dyn Collector| match cache {
         Some(cache) => tool.check_test_cached(test, config, cache, sink),
@@ -331,21 +369,45 @@ fn check_tests_inner(
     };
     let workers = jobs.max(1).min(tests.len().max(1));
     if workers <= 1 {
-        return tests.iter().map(|t| check(tool, t, collector)).collect();
+        let tracks: Vec<Box<dyn Collector + '_>> = live.iter().map(|s| s.track(1)).collect();
+        return tests
+            .iter()
+            .map(|t| {
+                let report = {
+                    let mut sinks: Vec<&dyn Collector> = vec![collector];
+                    sinks.extend(tracks.iter().map(|b| &**b));
+                    check(tool, t, &MultiCollector::new(sinks))
+                };
+                for track in &tracks {
+                    track.event(UNIT_DONE, attrs!["test" => t.name()]);
+                }
+                report
+            })
+            .collect();
     }
 
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<(TestReport, BufferCollector)>>> =
         tests.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| {
+        let (next, slots, check) = (&next, &slots, &check);
+        for w in 0..workers {
+            scope.spawn(move || {
                 let tool = tool.clone();
+                let tracks: Vec<Box<dyn Collector + '_>> =
+                    live.iter().map(|s| s.track(w as u64 + 1)).collect();
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(test) = tests.get(i) else { break };
                     let buf = BufferCollector::new();
-                    let report = check(&tool, test, &buf);
+                    let report = {
+                        let mut sinks: Vec<&dyn Collector> = vec![&buf];
+                        sinks.extend(tracks.iter().map(|b| &**b));
+                        check(&tool, test, &MultiCollector::new(sinks))
+                    };
+                    for track in &tracks {
+                        track.event(UNIT_DONE, attrs!["test" => test.name()]);
+                    }
                     *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some((report, buf));
                 }
             });

@@ -44,7 +44,9 @@ use std::sync::Mutex;
 use rtlcheck_core::{five_stage, CoverOutcome, Rtlcheck, TestReport};
 use rtlcheck_litmus::{suite, LitmusTest};
 use rtlcheck_obs::json::Json;
-use rtlcheck_obs::{attrs, BufferCollector, Collector};
+use rtlcheck_obs::{
+    attrs, progress::UNIT_DONE, BufferCollector, Collector, MultiCollector, TrackSink,
+};
 use rtlcheck_rtl::multi_vscale::MemoryImpl;
 use rtlcheck_rtl::mutate::{catalog, CatalogTarget, Mutation};
 use rtlcheck_verif::{BackendChoice, GraphCache, VerifyConfig};
@@ -422,6 +424,22 @@ pub fn run_campaign(
     collector: &dyn Collector,
     cache: Option<&GraphCache>,
 ) -> Result<CampaignReport, String> {
+    run_campaign_live(options, config, collector, cache, &[])
+}
+
+/// [`run_campaign`] plus live side-channel sinks ([`TrackSink`]): each
+/// worker additionally reports through its own live track as checks happen
+/// (real timestamps, real schedule — what `--trace-out` and `--progress`
+/// consume), and marks every completed (design, test) item with a
+/// [`UNIT_DONE`] event on the live tracks **only**. The deterministic
+/// stream into `collector` is byte-identical with or without live sinks.
+pub fn run_campaign_live(
+    options: &CampaignOptions,
+    config: &VerifyConfig,
+    collector: &dyn Collector,
+    cache: Option<&GraphCache>,
+    live: &[&dyn TrackSink],
+) -> Result<CampaignReport, String> {
     let all_tests = suite::all();
     let tests: Vec<LitmusTest> = match &options.tests {
         None => all_tests,
@@ -467,18 +485,27 @@ pub fn run_campaign(
 
     let workers = options.jobs.max(1).min(items.len());
     let reports: Vec<TestReport> = if workers <= 1 {
+        let tracks: Vec<Box<dyn Collector + '_>> = live.iter().map(|s| s.track(1)).collect();
         items
             .iter()
             .map(|&(d, t)| {
-                check_one(
-                    options.target,
-                    options.backend,
-                    designs[d],
-                    &tests[t],
-                    config,
-                    cache,
-                    collector,
-                )
+                let report = {
+                    let mut sinks: Vec<&dyn Collector> = vec![collector];
+                    sinks.extend(tracks.iter().map(|b| &**b));
+                    check_one(
+                        options.target,
+                        options.backend,
+                        designs[d],
+                        &tests[t],
+                        config,
+                        cache,
+                        &MultiCollector::new(sinks),
+                    )
+                };
+                for track in &tracks {
+                    track.event(UNIT_DONE, attrs!["test" => tests[t].name()]);
+                }
+                report
             })
             .collect()
     } else {
@@ -486,21 +513,33 @@ pub fn run_campaign(
         let slots: Vec<Mutex<Option<(TestReport, BufferCollector)>>> =
             items.iter().map(|_| Mutex::new(None)).collect();
         std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(&(d, t)) = items.get(i) else { break };
-                    let buf = BufferCollector::new();
-                    let report = check_one(
-                        options.target,
-                        options.backend,
-                        designs[d],
-                        &tests[t],
-                        config,
-                        cache,
-                        &buf,
-                    );
-                    *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some((report, buf));
+            let (next, slots, items, designs, tests) = (&next, &slots, &items, &designs, &tests);
+            for w in 0..workers {
+                scope.spawn(move || {
+                    let tracks: Vec<Box<dyn Collector + '_>> =
+                        live.iter().map(|s| s.track(w as u64 + 1)).collect();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(&(d, t)) = items.get(i) else { break };
+                        let buf = BufferCollector::new();
+                        let report = {
+                            let mut sinks: Vec<&dyn Collector> = vec![&buf];
+                            sinks.extend(tracks.iter().map(|b| &**b));
+                            check_one(
+                                options.target,
+                                options.backend,
+                                designs[d],
+                                &tests[t],
+                                config,
+                                cache,
+                                &MultiCollector::new(sinks),
+                            )
+                        };
+                        for track in &tracks {
+                            track.event(UNIT_DONE, attrs!["test" => tests[t].name()]);
+                        }
+                        *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some((report, buf));
+                    }
                 });
             }
         });

@@ -4,26 +4,54 @@
 //! available; this module covers the subset the observability layer needs:
 //! building values, compact and pretty rendering with correct string
 //! escaping, and parsing for `rtlcheck profile` and the golden tests.
-//! Numbers are stored as `f64` — exact for the integer magnitudes that occur
-//! here (durations in microseconds, state counts).
+//!
+//! Numbers come in two flavours: [`Json::Uint`] carries unsigned integers
+//! exactly (the observability counters are `u64`, and values above 2⁵³
+//! would silently round through an `f64`), and [`Json::Num`] carries
+//! everything else. The parser produces `Uint` for any non-negative
+//! integer literal that fits a `u64`, and equality treats `Uint(n)` and
+//! `Num(x)` as equal when they denote the same number, so round-trips
+//! through either representation compare clean.
 
 use std::fmt::Write as _;
 
 /// A JSON value.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub enum Json {
     /// `null`
     Null,
     /// `true` / `false`
     Bool(bool),
-    /// Any number.
+    /// Any number that is not an exactly-represented unsigned integer.
     Num(f64),
+    /// An unsigned integer, preserved exactly (no `f64` rounding above
+    /// 2⁵³).
+    Uint(u64),
     /// A string.
     Str(String),
     /// An array.
     Arr(Vec<Json>),
     /// An object; insertion order is preserved.
     Obj(Vec<(String, Json)>),
+}
+
+impl PartialEq for Json {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Json::Null, Json::Null) => true,
+            (Json::Bool(a), Json::Bool(b)) => a == b,
+            (Json::Num(a), Json::Num(b)) => a == b,
+            (Json::Uint(a), Json::Uint(b)) => a == b,
+            // A u64 written as f64 (or vice versa) is the same number when
+            // the f64 is its (possibly rounded) image — this is what makes
+            // `Num(42.0)` round-trip through the parser's `Uint(42)`.
+            (Json::Num(a), Json::Uint(b)) | (Json::Uint(b), Json::Num(a)) => *a == *b as f64,
+            (Json::Str(a), Json::Str(b)) => a == b,
+            (Json::Arr(a), Json::Arr(b)) => a == b,
+            (Json::Obj(a), Json::Obj(b)) => a == b,
+            _ => false,
+        }
+    }
 }
 
 impl Json {
@@ -48,17 +76,23 @@ impl Json {
         }
     }
 
-    /// The value as a number, if it is one.
+    /// The value as a number, if it is one (a `Uint` above 2⁵³ rounds).
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             Json::Num(n) => Some(*n),
+            Json::Uint(n) => Some(*n as f64),
             _ => None,
         }
     }
 
-    /// The value as a non-negative integer, if it is a number.
+    /// The value as a non-negative integer, if it is a number. `Uint`
+    /// values convert exactly at any magnitude.
     pub fn as_u64(&self) -> Option<u64> {
-        self.as_f64().filter(|n| *n >= 0.0).map(|n| n as u64)
+        match self {
+            Json::Uint(n) => Some(*n),
+            Json::Num(n) if *n >= 0.0 => Some(*n as u64),
+            _ => None,
+        }
     }
 
     /// The value as a bool, if it is one.
@@ -104,6 +138,9 @@ impl Json {
             Json::Null => out.push_str("null"),
             Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
             Json::Num(n) => write_num(out, *n),
+            Json::Uint(n) => {
+                let _ = write!(out, "{n}");
+            }
             Json::Str(s) => write_string(out, s),
             Json::Arr(items) => {
                 write_seq(out, indent, level, '[', ']', items.len(), |out, i| {
@@ -383,6 +420,12 @@ impl Parser<'_> {
             self.pos += 1;
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        // Non-negative integer literals that fit a u64 are preserved
+        // exactly; everything else (fractions, exponents, negatives,
+        // >u64::MAX) takes the f64 path.
+        if let Ok(n) = text.parse::<u64>() {
+            return Ok(Json::Uint(n));
+        }
         text.parse::<f64>()
             .map(Json::Num)
             .map_err(|_| ParseJsonError {
@@ -418,6 +461,39 @@ mod tests {
         assert_eq!(Json::Num(1_000_000.0).render(), "1000000");
         assert_eq!(Json::Num(-3.0).render(), "-3");
         assert_eq!(Json::Num(0.25).render(), "0.25");
+    }
+
+    /// Counters are u64; above 2⁵³ an f64 representation silently rounds.
+    /// The `Uint` path must round-trip every u64 bit-exactly — including
+    /// the first value a double cannot hold and `u64::MAX`.
+    #[test]
+    fn u64_counters_round_trip_exactly_at_the_f64_boundary() {
+        let boundary = (1u64 << 53) + 1; // 9007199254740993: not an f64
+        for n in [boundary, u64::MAX, u64::MAX - 1, 1u64 << 53] {
+            let rendered = Json::Uint(n).render();
+            assert_eq!(rendered, n.to_string());
+            let back = Json::parse(&rendered).unwrap();
+            assert_eq!(back.as_u64(), Some(n), "{n} must survive a round-trip");
+            assert_eq!(back, Json::Uint(n));
+        }
+        // The f64 image of the boundary value demonstrates the rounding
+        // the Uint path avoids.
+        assert_eq!(boundary as f64 as u64, boundary - 1);
+    }
+
+    #[test]
+    fn uint_and_num_compare_as_numbers() {
+        assert_eq!(Json::Uint(42), Json::Num(42.0));
+        assert_eq!(Json::Num(42.0), Json::Uint(42));
+        assert_ne!(Json::Uint(42), Json::Num(42.5));
+        assert_eq!(Json::parse("42").unwrap(), Json::Num(42.0));
+        assert_eq!(Json::parse("42.5").unwrap(), Json::Num(42.5));
+        assert!(matches!(Json::parse("42").unwrap(), Json::Uint(42)));
+        // Too large for u64 → falls back to f64 without an error.
+        assert!(matches!(
+            Json::parse("18446744073709551616").unwrap(),
+            Json::Num(_)
+        ));
     }
 
     #[test]

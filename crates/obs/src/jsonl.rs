@@ -83,9 +83,9 @@ impl<W: Write> Collector for JsonlCollector<W> {
         self.emit(
             vec![
                 ("type", Json::Str("span_enter".into())),
-                ("id", Json::Num(id.0 as f64)),
+                ("id", Json::Uint(id.0)),
                 ("name", Json::Str(name.into())),
-                ("t_us", Json::Num(self.t_us() as f64)),
+                ("t_us", Json::Uint(self.t_us())),
             ],
             attrs,
         );
@@ -95,10 +95,10 @@ impl<W: Write> Collector for JsonlCollector<W> {
         self.emit(
             vec![
                 ("type", Json::Str("span_exit".into())),
-                ("id", Json::Num(id.0 as f64)),
+                ("id", Json::Uint(id.0)),
                 ("name", Json::Str(name.into())),
-                ("t_us", Json::Num(self.t_us() as f64)),
-                ("dur_us", Json::Num(elapsed.as_micros() as f64)),
+                ("t_us", Json::Uint(self.t_us())),
+                ("dur_us", Json::Uint(elapsed.as_micros() as u64)),
             ],
             attrs,
         );
@@ -109,8 +109,8 @@ impl<W: Write> Collector for JsonlCollector<W> {
             vec![
                 ("type", Json::Str("counter".into())),
                 ("name", Json::Str(name.into())),
-                ("value", Json::Num(value as f64)),
-                ("t_us", Json::Num(self.t_us() as f64)),
+                ("value", Json::Uint(value)),
+                ("t_us", Json::Uint(self.t_us())),
             ],
             attrs,
         );
@@ -121,7 +121,7 @@ impl<W: Write> Collector for JsonlCollector<W> {
             vec![
                 ("type", Json::Str("event".into())),
                 ("name", Json::Str(name.into())),
-                ("t_us", Json::Num(self.t_us() as f64)),
+                ("t_us", Json::Uint(self.t_us())),
             ],
             attrs,
         );

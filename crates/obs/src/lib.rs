@@ -35,12 +35,16 @@ use std::time::{Duration, Instant};
 pub mod json;
 mod jsonl;
 mod metrics;
+pub mod progress;
+pub mod trace;
 
 pub use jsonl::JsonlCollector;
 pub use metrics::{
-    CounterSummary, Histogram, MetricsCollector, MetricsSummary, SlowSpan, SpanSummary,
+    fmt_us, CounterSummary, Histogram, MetricsCollector, MetricsSummary, SlowSpan, SpanSummary,
     SummaryError,
 };
+pub use progress::ProgressSink;
+pub use trace::TraceCollector;
 
 /// A single attribute value attached to a span, counter, or event.
 #[derive(Debug, Clone, PartialEq)]
@@ -69,11 +73,12 @@ impl AttrValue {
         }
     }
 
-    /// Converts to a [`json::Json`] value.
+    /// Converts to a [`json::Json`] value. Unsigned integers take the
+    /// exact [`json::Json::Uint`] path (no rounding above 2⁵³).
     pub fn to_json(&self) -> json::Json {
         match self {
             AttrValue::Str(s) => json::Json::Str(s.clone()),
-            AttrValue::Uint(n) => json::Json::Num(*n as f64),
+            AttrValue::Uint(n) => json::Json::Uint(*n),
             AttrValue::Int(n) => json::Json::Num(*n as f64),
             AttrValue::Float(x) => json::Json::Num(*x),
             AttrValue::Bool(b) => json::Json::Bool(*b),
@@ -179,6 +184,52 @@ pub trait Collector {
     /// A discrete occurrence.
     fn event(&self, name: &str, attrs: Attrs) {
         let _ = (name, attrs);
+    }
+}
+
+/// References forward to the underlying collector, so `&TraceCollector`
+/// (or any other shared sink) can be used wherever a collector is needed.
+impl<T: Collector + ?Sized> Collector for &T {
+    fn span_enter(&self, id: SpanId, name: &str, attrs: Attrs) {
+        (**self).span_enter(id, name, attrs);
+    }
+
+    fn span_exit(&self, id: SpanId, name: &str, elapsed: Duration, attrs: Attrs) {
+        (**self).span_exit(id, name, elapsed, attrs);
+    }
+
+    fn counter(&self, name: &str, value: u64, attrs: Attrs) {
+        (**self).counter(name, value, attrs);
+    }
+
+    fn event(&self, name: &str, attrs: Attrs) {
+        (**self).event(name, attrs);
+    }
+}
+
+/// A live side-channel sink that hands out per-worker collector views.
+///
+/// The deterministic path (metrics, JSONL, reports) goes through
+/// [`BufferCollector`] replay in suite order; live sinks — the Chrome
+/// trace ([`trace::TraceCollector`]) and the progress ticker
+/// ([`progress::ProgressSink`]) — need the *real* parallel schedule
+/// instead, so each worker thread asks every live sink for a track bound
+/// to its worker index and reports through it as work happens.
+pub trait TrackSink: Sync {
+    /// A collector view for worker `tid` (0 is the main/driver track).
+    fn track(&self, tid: u64) -> Box<dyn Collector + '_>;
+}
+
+impl TrackSink for trace::TraceCollector {
+    fn track(&self, tid: u64) -> Box<dyn Collector + '_> {
+        Box::new(trace::TraceCollector::track(self, tid))
+    }
+}
+
+impl TrackSink for progress::ProgressSink {
+    /// The ticker aggregates globally, so every track is the sink itself.
+    fn track(&self, _tid: u64) -> Box<dyn Collector + '_> {
+        Box::new(self)
     }
 }
 

@@ -40,10 +40,11 @@ fn bucket_of(us: u64) -> usize {
 }
 
 impl Histogram {
-    /// Records one duration (in microseconds).
+    /// Records one duration (in microseconds). Sums saturate rather than
+    /// wrap, so pathological inputs (`u64::MAX`) stay well-defined.
     pub fn record(&mut self, us: u64) {
         self.count += 1;
-        self.sum_us += us;
+        self.sum_us = self.sum_us.saturating_add(us);
         self.min_us = self.min_us.min(us);
         self.max_us = self.max_us.max(us);
         self.buckets[bucket_of(us)] += 1;
@@ -52,7 +53,7 @@ impl Histogram {
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &Histogram) {
         self.count += other.count;
-        self.sum_us += other.sum_us;
+        self.sum_us = self.sum_us.saturating_add(other.sum_us);
         self.min_us = self.min_us.min(other.min_us);
         self.max_us = self.max_us.max(other.max_us);
         for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
@@ -100,7 +101,12 @@ impl Histogram {
         for (i, &n) in self.buckets.iter().enumerate() {
             seen += n;
             if seen >= rank {
-                // Bucket i holds durations in [2^(i-1), 2^i).
+                // Bucket i holds durations in [2^(i-1), 2^i) — except the
+                // last, which is open-ended (bucket_of clamps), so its
+                // nominal edge would under-report a saturating sample.
+                if i == BUCKETS - 1 {
+                    return self.max_us;
+                }
                 return (1u64 << i).min(self.max_us).max(self.min_us());
             }
         }
@@ -114,13 +120,13 @@ impl Histogram {
             .iter()
             .enumerate()
             .filter(|(_, &n)| n > 0)
-            .map(|(i, &n)| Json::Arr(vec![Json::Num(i as f64), Json::Num(n as f64)]))
+            .map(|(i, &n)| Json::Arr(vec![Json::Uint(i as u64), Json::Uint(n)]))
             .collect();
         Json::obj(vec![
-            ("count", Json::Num(self.count as f64)),
-            ("sum_us", Json::Num(self.sum_us as f64)),
-            ("min_us", Json::Num(self.min_us() as f64)),
-            ("max_us", Json::Num(self.max_us as f64)),
+            ("count", Json::Uint(self.count)),
+            ("sum_us", Json::Uint(self.sum_us)),
+            ("min_us", Json::Uint(self.min_us())),
+            ("max_us", Json::Uint(self.max_us)),
             ("buckets", Json::Arr(buckets)),
         ])
     }
@@ -279,7 +285,7 @@ impl Collector for MetricsCollector {
         let mut inner = self.lock();
         let c = inner.counters.entry(name.to_string()).or_default();
         c.samples += 1;
-        c.total += value;
+        c.total = c.total.saturating_add(value);
         c.max = c.max.max(value);
     }
 
@@ -361,9 +367,9 @@ impl MetricsSummary {
                         .map(|(name, c)| {
                             Json::obj(vec![
                                 ("name", Json::Str(name.clone())),
-                                ("samples", Json::Num(c.samples as f64)),
-                                ("total", Json::Num(c.total as f64)),
-                                ("max", Json::Num(c.max as f64)),
+                                ("samples", Json::Uint(c.samples)),
+                                ("total", Json::Uint(c.total)),
+                                ("max", Json::Uint(c.max)),
                             ])
                         })
                         .collect(),
@@ -377,7 +383,7 @@ impl MetricsSummary {
                         .map(|(name, count)| {
                             Json::obj(vec![
                                 ("name", Json::Str(name.clone())),
-                                ("count", Json::Num(*count as f64)),
+                                ("count", Json::Uint(*count)),
                             ])
                         })
                         .collect(),
@@ -392,7 +398,7 @@ impl MetricsSummary {
                             Json::obj(vec![
                                 ("span", Json::Str(s.span.clone())),
                                 ("label", Json::Str(s.label.clone())),
-                                ("dur_us", Json::Num(s.dur_us as f64)),
+                                ("dur_us", Json::Uint(s.dur_us)),
                             ])
                         })
                         .collect(),
@@ -491,17 +497,19 @@ impl MetricsSummary {
                 .max(5);
             let _ = writeln!(
                 out,
-                "  {:width$}  {:>7}  {:>10}  {:>10}  {:>10}",
-                "phase", "count", "total", "mean", "max"
+                "  {:width$}  {:>7}  {:>10}  {:>10}  {:>10}  {:>10}  {:>10}",
+                "phase", "count", "total", "mean", "p50", "p99", "max"
             );
             for s in &self.spans {
                 let _ = writeln!(
                     out,
-                    "  {:width$}  {:>7}  {:>10}  {:>10}  {:>10}",
+                    "  {:width$}  {:>7}  {:>10}  {:>10}  {:>10}  {:>10}  {:>10}",
                     s.name,
                     s.hist.count(),
                     fmt_us(s.hist.sum_us()),
                     fmt_us(s.hist.mean_us()),
+                    fmt_us(s.hist.approx_quantile_us(0.5)),
+                    fmt_us(s.hist.approx_quantile_us(0.99)),
                     fmt_us(s.hist.max_us()),
                 );
             }
@@ -718,6 +726,161 @@ impl MetricsSummary {
             }
         }
         out
+    }
+
+    fn span(&self, name: &str) -> Option<&SpanSummary> {
+        self.spans.iter().find(|s| s.name == name)
+    }
+
+    /// Renders a side-by-side comparison of two runs — the
+    /// `rtlcheck profile --diff A B` view. `self` is the A (baseline) side.
+    ///
+    /// Three sections: per-phase wall-clock deltas, histogram shifts
+    /// (p50/p99 movement per phase), and per-counter total deltas. Names
+    /// present in only one run render with a `-` on the missing side, so
+    /// two different backends or two different subcommands can still be
+    /// compared directly.
+    pub fn render_diff(&self, other: &MetricsSummary, label_a: &str, label_b: &str) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "RTLCheck profile diff");
+        let _ = writeln!(out, "=====================");
+        let _ = writeln!(out, "A: {label_a}");
+        let _ = writeln!(out, "B: {label_b}");
+
+        let union = |a: Vec<&str>, b: Vec<&str>| -> Vec<String> {
+            let mut names: Vec<String> = a.into_iter().map(String::from).collect();
+            for n in b {
+                if !names.iter().any(|x| x == n) {
+                    names.push(n.to_string());
+                }
+            }
+            names.sort();
+            names
+        };
+
+        let span_names = union(
+            self.spans.iter().map(|s| s.name.as_str()).collect(),
+            other.spans.iter().map(|s| s.name.as_str()).collect(),
+        );
+        if !span_names.is_empty() {
+            let width = span_names.iter().map(String::len).max().unwrap_or(5).max(5);
+            let _ = writeln!(out, "\nPhases (total wall-clock, A -> B):");
+            let _ = writeln!(
+                out,
+                "  {:width$}  {:>7}  {:>10}  {:>10}  {:>9}",
+                "phase", "count", "A total", "B total", "delta"
+            );
+            for name in &span_names {
+                let (a, b) = (self.span(name), other.span(name));
+                let _ = writeln!(
+                    out,
+                    "  {:width$}  {:>7}  {:>10}  {:>10}  {:>9}",
+                    name,
+                    fmt_pair(a.map(|s| s.hist.count()), b.map(|s| s.hist.count()), |n| n
+                        .to_string()),
+                    opt_us(a.map(|s| s.hist.sum_us())),
+                    opt_us(b.map(|s| s.hist.sum_us())),
+                    fmt_pct_delta(a.map(|s| s.hist.sum_us()), b.map(|s| s.hist.sum_us())),
+                );
+            }
+
+            let _ = writeln!(out, "\nHistogram shifts (approx quantiles, A -> B):");
+            let _ = writeln!(out, "  {:width$}  {:>23}  {:>23}", "phase", "p50", "p99");
+            for name in &span_names {
+                let (a, b) = (self.span(name), other.span(name));
+                let q = |s: Option<&SpanSummary>, q: f64| s.map(|s| s.hist.approx_quantile_us(q));
+                let shift =
+                    |qa: Option<u64>, qb: Option<u64>| format!("{} -> {}", opt_us(qa), opt_us(qb));
+                let _ = writeln!(
+                    out,
+                    "  {:width$}  {:>23}  {:>23}",
+                    name,
+                    shift(q(a, 0.5), q(b, 0.5)),
+                    shift(q(a, 0.99), q(b, 0.99)),
+                );
+            }
+        }
+
+        let counter_names = union(
+            self.counters.iter().map(|(n, _)| n.as_str()).collect(),
+            other.counters.iter().map(|(n, _)| n.as_str()).collect(),
+        );
+        if !counter_names.is_empty() {
+            let width = counter_names
+                .iter()
+                .map(String::len)
+                .max()
+                .unwrap_or(4)
+                .max(4);
+            let _ = writeln!(out, "\nCounters (totals, A -> B):");
+            let _ = writeln!(
+                out,
+                "  {:width$}  {:>14}  {:>14}  {:>9}",
+                "name", "A", "B", "delta"
+            );
+            for name in &counter_names {
+                let a = self.counter(name).map(|c| c.total);
+                let b = other.counter(name).map(|c| c.total);
+                let _ = writeln!(
+                    out,
+                    "  {:width$}  {:>14}  {:>14}  {:>9}",
+                    name,
+                    a.map_or("-".to_string(), |n| n.to_string()),
+                    b.map_or("-".to_string(), |n| n.to_string()),
+                    fmt_pct_delta(a, b),
+                );
+            }
+        }
+
+        let event_names = union(
+            self.events.iter().map(|(n, _)| n.as_str()).collect(),
+            other.events.iter().map(|(n, _)| n.as_str()).collect(),
+        );
+        if !event_names.is_empty() {
+            let width = event_names
+                .iter()
+                .map(String::len)
+                .max()
+                .unwrap_or(4)
+                .max(4);
+            let _ = writeln!(out, "\nEvents (counts, A -> B):");
+            for name in &event_names {
+                let a = self.event_count(name);
+                let b = other.event_count(name);
+                let mark = if a == b { "" } else { "  *" };
+                let _ = writeln!(out, "  {name:width$}  {a:>10}  {b:>10}{mark}");
+            }
+        }
+        out
+    }
+}
+
+/// `A/B` pair cell: `7` when both sides agree, `7 -> 9` when they differ,
+/// `-` for a missing side.
+fn fmt_pair(a: Option<u64>, b: Option<u64>, f: impl Fn(u64) -> String) -> String {
+    match (a, b) {
+        (Some(a), Some(b)) if a == b => f(a),
+        (a, b) => format!(
+            "{} -> {}",
+            a.map_or("-".into(), &f),
+            b.map_or("-".into(), &f)
+        ),
+    }
+}
+
+fn opt_us(v: Option<u64>) -> String {
+    v.map_or("-".to_string(), fmt_us)
+}
+
+/// Signed percentage change from `a` to `b` (`-` when either side is
+/// missing or the baseline is zero).
+fn fmt_pct_delta(a: Option<u64>, b: Option<u64>) -> String {
+    match (a, b) {
+        (Some(a), Some(b)) if a > 0 => {
+            let pct = 100.0 * (b as f64 - a as f64) / a as f64;
+            format!("{pct:+.1}%")
+        }
+        _ => "-".to_string(),
     }
 }
 
@@ -956,6 +1119,51 @@ mod tests {
         // No mutation counters → no section.
         let empty = MetricsCollector::new().summary().render();
         assert!(!empty.contains("Mutation campaign"), "{empty}");
+    }
+
+    #[test]
+    fn counters_above_the_f64_boundary_round_trip_exactly() {
+        let m = MetricsCollector::new();
+        let boundary = (1u64 << 53) + 1; // not representable as f64
+        m.counter("engine.full.states", boundary, attrs![]);
+        m.counter("engine.full.states", u64::MAX - boundary, attrs![]);
+        let summary = m.summary();
+        let c = summary.counter("engine.full.states").unwrap();
+        assert_eq!(c.total, u64::MAX);
+        assert_eq!(c.max, u64::MAX - boundary);
+        let back = MetricsSummary::parse(&summary.to_json().render()).unwrap();
+        let c = back.counter("engine.full.states").unwrap();
+        assert_eq!(c.total, u64::MAX, "total must survive JSON exactly");
+        assert_eq!(c.max, u64::MAX - boundary, "max must survive JSON exactly");
+        // One more observation must saturate, not wrap.
+        m.counter("engine.full.states", 10, attrs![]);
+        assert_eq!(
+            m.summary().counter("engine.full.states").unwrap().total,
+            u64::MAX
+        );
+    }
+
+    #[test]
+    fn render_diff_shows_deltas_and_missing_sides() {
+        let a = MetricsCollector::new();
+        a.span_exit(SpanId(1), "property", Duration::from_micros(1000), attrs![]);
+        a.counter("graph.nodes", 100, attrs![]);
+        a.counter("only_in_a", 5, attrs![]);
+        a.event("verdict.proven", attrs![]);
+        let b = MetricsCollector::new();
+        b.span_exit(SpanId(1), "property", Duration::from_micros(1500), attrs![]);
+        b.counter("graph.nodes", 150, attrs![]);
+        b.event("verdict.proven", attrs![]);
+        b.event("verdict.proven", attrs![]);
+        let text = a.summary().render_diff(&b.summary(), "a.json", "b.json");
+        assert!(text.contains("A: a.json"), "{text}");
+        assert!(text.contains("B: b.json"), "{text}");
+        assert!(text.contains("+50.0%"), "{text}");
+        assert!(text.contains("only_in_a"), "{text}");
+        assert!(text.contains('-'), "{text}");
+        assert!(text.contains("Histogram shifts"), "{text}");
+        // Differing event counts are starred.
+        assert!(text.contains('*'), "{text}");
     }
 
     #[test]

@@ -47,7 +47,10 @@ use std::process::ExitCode;
 
 use rtlcheck::core::{CoverOutcome, Rtlcheck};
 use rtlcheck::litmus::{suite, LitmusTest};
-use rtlcheck::obs::{Collector, JsonlCollector, MetricsCollector, MetricsSummary, MultiCollector};
+use rtlcheck::obs::{
+    Collector, JsonlCollector, MetricsCollector, MetricsSummary, MultiCollector, ProgressSink,
+    TraceCollector, TrackSink,
+};
 use rtlcheck::prelude::*;
 use rtlcheck::uhb::solve;
 use rtlcheck::uspec::ground::{ground, DataMode};
@@ -70,22 +73,32 @@ const USAGE: &str = "\
 usage:
   rtlcheck check <test> [--memory fixed|buggy|tso] [--config quick|hybrid|full-proof] [--trace] [--vcd <path>]
                  [--backend explicit|symbolic|auto] [--graph-cache <dir>]
-                 [--events <out.jsonl>] [--metrics <out.json>]
+                 [--events <out.jsonl>] [--metrics <out.json>] [--trace-out <out.json>]
   rtlcheck emit-sva <test> [--memory ...]
   rtlcheck emit-verilog <test> [--memory ...]
   rtlcheck axiomatic <test> [--memory ...] [--dot]
   rtlcheck suite [--memory ...] [--config ...] [--jobs N] [--only a,b,c]
                  [--backend ...] [--graph-cache <dir>] [--json <out.json>]
                  [--events <out.jsonl>] [--metrics <out.json>]
+                 [--trace-out <out.json>] [--progress]
   rtlcheck mutate [--design multi_vscale|five_stage|tso] [--config ...] [--jobs N]
                  [--only a,b,c] [--mutants a,b,c] [--backend ...] [--graph-cache <dir>]
                  [--json <out.json>] [--events <out.jsonl>] [--metrics <out.json>]
+                 [--trace-out <out.json>] [--progress]
+  rtlcheck bench [--workload suite,mutate,check] [--config a,b] [--backend a,b]
+                 [--jobs 1,8] [--only a,b,c] [--iterations N] [--warmup N]
+                 [--graph-cache <dir>] [--json <out.json>]
+                 [--baseline <bench.json>] [--tolerance PCT]
   rtlcheck profile <metrics.json>
+  rtlcheck profile --diff <a.json> <b.json>
   rtlcheck list
 
 <test> is a path to a .litmus file or the name of a built-in suite test.
 --events streams spans/counters/events as JSON lines; --metrics writes an
 aggregated summary which `rtlcheck profile` renders as a report.
+--trace-out writes a Chrome trace-event / Perfetto JSON timeline with one
+track per worker; --progress renders a live stderr ticker. Neither changes
+the report or metrics streams.
 --jobs runs suite tests on N worker threads (deterministic output);
 --only restricts the suite to a comma-separated list of test names.
 --backend selects the reachable-set representation: explicit (default),
@@ -96,7 +109,13 @@ later runs (corrupt or stale files fall back to a cold build).
 `mutate` checks every catalogued mutant of --design against the suite and
 reports the mutation score; --mutants restricts the mutant set and --json
 writes the full report (kill matrix, survivors) as a JSON artifact.
-`suite --json` writes the per-test rows as a JSON artifact.";
+`suite --json` writes the per-test rows as a JSON artifact.
+`bench` runs warmup + N timed iterations of each workload case (the cross
+product of the comma-separated lists) and writes an `rtlcheck-bench/1`
+document; with --baseline it exits non-zero when a case's median regresses
+past --tolerance percent (default 25).
+`profile --diff` compares two metrics files: per-counter deltas and
+histogram shifts.";
 
 fn run(args: &[String]) -> Result<ExitCode, String> {
     let Some(cmd) = args.first() else {
@@ -125,6 +144,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "axiomatic" => axiomatic(rest),
         "suite" => suite_cmd(rest),
         "mutate" => mutate_cmd(rest),
+        "bench" => bench_cmd(rest),
         "profile" => profile(rest),
         other => Err(format!("unknown subcommand `{other}`")),
     }
@@ -210,7 +230,11 @@ fn common_args(
                 let v = it.next().ok_or("--json needs a path")?;
                 flags.push(format!("--json={v}"));
             }
-            f @ ("--trace" | "--dot") => flags.push(f.to_string()),
+            "--trace-out" => {
+                let v = it.next().ok_or("--trace-out needs a path")?;
+                flags.push(format!("--trace-out={v}"));
+            }
+            f @ ("--trace" | "--dot" | "--progress") => flags.push(f.to_string()),
             f if f.starts_with("--") => return Err(format!("unknown flag `{f}`")),
             positional => {
                 if test.is_some() {
@@ -256,10 +280,18 @@ fn flag_graph_cache(flags: &[String]) -> Result<Option<GraphCache>, String> {
     }
 }
 
-/// The `--events` / `--metrics` sinks of one CLI invocation.
+/// The `--events` / `--metrics` / `--trace-out` sinks of one CLI
+/// invocation.
+///
+/// The first two feed from the *deterministic* stream (buffered and
+/// replayed in input order under `--jobs N`); the Chrome trace is a *live*
+/// side-channel ([`TrackSink`]) attached to the worker threads directly,
+/// because a timeline is only meaningful with real timestamps and the real
+/// parallel schedule.
 struct Observability {
     jsonl: Option<JsonlCollector<BufWriter<std::fs::File>>>,
     metrics: Option<(MetricsCollector, String)>,
+    trace: Option<(TraceCollector, String)>,
 }
 
 impl Observability {
@@ -276,10 +308,19 @@ impl Observability {
             .iter()
             .find_map(|f| f.strip_prefix("--metrics="))
             .map(|path| (MetricsCollector::new(), path.to_string()));
-        Ok(Observability { jsonl, metrics })
+        let trace = flags
+            .iter()
+            .find_map(|f| f.strip_prefix("--trace-out="))
+            .map(|path| (TraceCollector::new(), path.to_string()));
+        Ok(Observability {
+            jsonl,
+            metrics,
+            trace,
+        })
     }
 
-    /// The fan-out collector over the active sinks (a no-op when none).
+    /// The fan-out collector over the deterministic sinks (a no-op when
+    /// none).
     fn collector(&self) -> MultiCollector<'_> {
         let mut sinks: Vec<&dyn Collector> = Vec::new();
         if let Some(j) = &self.jsonl {
@@ -291,7 +332,16 @@ impl Observability {
         MultiCollector::new(sinks)
     }
 
-    /// Flushes the event stream and writes the metrics summary file.
+    /// The live side-channel sinks workers attach per-track.
+    fn live_sinks(&self) -> Vec<&dyn TrackSink> {
+        self.trace
+            .iter()
+            .map(|(t, _)| t as &dyn TrackSink)
+            .collect()
+    }
+
+    /// Flushes the event stream and writes the metrics summary and trace
+    /// timeline files.
     fn finish(self) -> Result<(), String> {
         if let Some(j) = self.jsonl {
             let mut w = j.finish().map_err(|e| format!("writing events: {e}"))?;
@@ -301,8 +351,20 @@ impl Observability {
             let text = m.summary().to_json().pretty();
             std::fs::write(&path, text + "\n").map_err(|e| format!("writing {path}: {e}"))?;
         }
+        if let Some((t, path)) = self.trace {
+            std::fs::write(&path, t.render() + "\n").map_err(|e| format!("writing {path}: {e}"))?;
+        }
         Ok(())
     }
+}
+
+/// Builds the `--progress` ticker when the flag is present; `total` is the
+/// expected number of work units (0 when unknown).
+fn flag_progress(flags: &[String], label: &str, total: u64) -> Option<ProgressSink> {
+    flags
+        .iter()
+        .any(|f| f == "--progress")
+        .then(|| ProgressSink::new(label, total))
 }
 
 fn load_test(arg: &str) -> Result<LitmusTest, String> {
@@ -320,14 +382,23 @@ fn check(args: &[String]) -> Result<ExitCode, String> {
     let obs = Observability::from_flags(&flags)?;
     let cache = flag_graph_cache(&flags)?;
     let tool = Rtlcheck::new(memory).with_backend(flag_backend(&flags));
-    let report = match &cache {
-        Some(cache) => {
-            let collector = obs.collector();
-            let report = tool.check_test_cached(&test, &config, cache, &collector);
-            cache.report_to(&collector);
-            report
+    let report = {
+        let collector = obs.collector();
+        // Live sinks (the trace timeline) get a direct track: `check` is
+        // single-threaded, so everything lands on the main track.
+        let live = obs.live_sinks();
+        let tracks: Vec<Box<dyn Collector + '_>> = live.iter().map(|s| s.track(0)).collect();
+        let mut sinks: Vec<&dyn Collector> = vec![&collector];
+        sinks.extend(tracks.iter().map(|b| &**b));
+        let fan = MultiCollector::new(sinks);
+        match &cache {
+            Some(cache) => {
+                let report = tool.check_test_cached(&test, &config, cache, &fan);
+                cache.report_to(&fan);
+                report
+            }
+            None => tool.check_test_observed(&test, &config, &fan),
         }
-        None => tool.check_test_observed(&test, &config, &obs.collector()),
     };
     obs.finish()?;
     println!("{report}");
@@ -436,8 +507,8 @@ fn print_explore_stats(report: &TestReport) {
 /// mutant catalog. Own parser — unlike the other subcommands it takes no
 /// `<test>` positional and selects a whole design instead.
 fn mutate_cmd(args: &[String]) -> Result<ExitCode, String> {
-    use rtlcheck::bench::mutation::{run_campaign, CampaignOptions};
-    use rtlcheck::rtl::mutate::CatalogTarget;
+    use rtlcheck::bench::mutation::{run_campaign_live, CampaignOptions};
+    use rtlcheck::rtl::mutate::{catalog, CatalogTarget};
 
     let mut options = CampaignOptions::new(CatalogTarget::MultiVscale);
     let mut config = VerifyConfig::quick();
@@ -507,6 +578,11 @@ fn mutate_cmd(args: &[String]) -> Result<ExitCode, String> {
                 let v = it.next().ok_or("--metrics needs a path")?;
                 shared_flags.push(format!("--metrics={v}"));
             }
+            "--trace-out" => {
+                let v = it.next().ok_or("--trace-out needs a path")?;
+                shared_flags.push(format!("--trace-out={v}"));
+            }
+            "--progress" => shared_flags.push("--progress".to_string()),
             other => return Err(format!("unexpected argument `{other}`")),
         }
     }
@@ -514,7 +590,25 @@ fn mutate_cmd(args: &[String]) -> Result<ExitCode, String> {
     let cache = flag_graph_cache(&shared_flags)?;
     let obs = Observability::from_flags(&shared_flags)?;
     let collector = obs.collector();
-    let report = run_campaign(&options, &config, &collector, cache.as_ref())?;
+    // A campaign runs every selected test once on the baseline and once per
+    // selected mutant — that product is the progress denominator.
+    let n_tests = options
+        .tests
+        .as_ref()
+        .map_or(suite::names().len(), Vec::len);
+    let n_mutants = options
+        .mutants
+        .as_ref()
+        .map_or(catalog(options.target).len(), Vec::len);
+    let progress = flag_progress(&shared_flags, "mutate", ((1 + n_mutants) * n_tests) as u64);
+    let mut live: Vec<&dyn TrackSink> = obs.live_sinks();
+    if let Some(p) = &progress {
+        live.push(p);
+    }
+    let report = run_campaign_live(&options, &config, &collector, cache.as_ref(), &live)?;
+    if let Some(p) = &progress {
+        p.finish();
+    }
     drop(collector);
     obs.finish()?;
     print!("{}", report.render());
@@ -532,15 +626,271 @@ fn mutate_cmd(args: &[String]) -> Result<ExitCode, String> {
     })
 }
 
+/// The `bench` subcommand: warmup + timed iterations over the cross
+/// product of `--workload` × `--config` × `--backend` × `--jobs`, phase
+/// breakdowns from the obs metrics, and optional `--baseline` regression
+/// gating. Structurally it is a thin CLI over [`rtlcheck::bench::bench`]:
+/// the harness owns timing/statistics, this function owns case
+/// enumeration and the per-workload iteration closures.
+fn bench_cmd(args: &[String]) -> Result<ExitCode, String> {
+    use rtlcheck::bench::bench::{
+        regressions, render_comparison, run_case, BenchReport, CaseKey, SCHEMA,
+    };
+    use rtlcheck::bench::mutation::{run_campaign, CampaignOptions};
+    use rtlcheck::rtl::mutate::CatalogTarget;
+
+    let split_list = |v: &str| -> Vec<String> {
+        v.split(',')
+            .map(str::trim)
+            .filter(|n| !n.is_empty())
+            .map(String::from)
+            .collect()
+    };
+    let mut workloads = vec!["suite".to_string()];
+    let mut configs = vec!["quick".to_string()];
+    let mut backends = vec!["explicit".to_string()];
+    let mut jobs_list = vec![1usize];
+    let mut only: Option<Vec<String>> = None;
+    let mut iterations = 3usize;
+    let mut warmup = 1usize;
+    let mut cache_flags = Vec::new();
+    let mut json_path: Option<String> = None;
+    let mut baseline_path: Option<String> = None;
+    let mut tolerance = 25.0f64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workload" => {
+                let v = it.next().ok_or("--workload needs a comma-separated list")?;
+                workloads = split_list(v);
+            }
+            "--config" => {
+                let v = it.next().ok_or("--config needs a comma-separated list")?;
+                configs = split_list(v);
+            }
+            "--backend" => {
+                let v = it.next().ok_or("--backend needs a comma-separated list")?;
+                backends = split_list(v);
+            }
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs needs a comma-separated list")?;
+                jobs_list = Vec::new();
+                for n in split_list(v) {
+                    jobs_list.push(
+                        n.parse()
+                            .ok()
+                            .filter(|&j| j >= 1)
+                            .ok_or(format!("--jobs needs positive integers, got `{n}`"))?,
+                    );
+                }
+            }
+            "--only" => {
+                let v = it
+                    .next()
+                    .ok_or("--only needs a comma-separated test list")?;
+                only = Some(split_list(v));
+            }
+            "--iterations" => {
+                let v = it.next().ok_or("--iterations needs a count")?;
+                iterations = v
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or(format!("--iterations needs a positive integer, got `{v}`"))?;
+            }
+            "--warmup" => {
+                let v = it.next().ok_or("--warmup needs a count")?;
+                warmup = v
+                    .parse()
+                    .map_err(|_| format!("--warmup needs an integer, got `{v}`"))?;
+            }
+            "--graph-cache" => {
+                let v = it.next().ok_or("--graph-cache needs a directory")?;
+                cache_flags.push(format!("--graph-cache={v}"));
+            }
+            "--json" => {
+                let v = it.next().ok_or("--json needs a path")?;
+                json_path = Some(v.clone());
+            }
+            "--baseline" => {
+                let v = it.next().ok_or("--baseline needs a bench.json path")?;
+                baseline_path = Some(v.clone());
+            }
+            "--tolerance" => {
+                let v = it.next().ok_or("--tolerance needs a percentage")?;
+                tolerance = v
+                    .parse()
+                    .ok()
+                    .filter(|t: &f64| t.is_finite() && *t >= 0.0)
+                    .ok_or(format!("--tolerance needs a percentage, got `{v}`"))?;
+            }
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    if workloads.is_empty() || configs.is_empty() || backends.is_empty() || jobs_list.is_empty() {
+        return Err("empty --workload/--config/--backend/--jobs list".into());
+    }
+
+    // Resolve everything up front so a typo fails before minutes of timing.
+    let tests: Vec<LitmusTest> = match &only {
+        Some(names) => {
+            let mut picked = Vec::new();
+            for name in names {
+                picked.push(suite::get(name).ok_or(format!("unknown suite test `{name}`"))?);
+            }
+            picked
+        }
+        None => suite::all(),
+    };
+    for w in &workloads {
+        if !matches!(w.as_str(), "suite" | "mutate" | "check") {
+            return Err(format!(
+                "unknown workload `{w}` (expected suite, mutate, or check)"
+            ));
+        }
+    }
+    let cache = flag_graph_cache(&cache_flags)?;
+
+    let mut report = BenchReport::default();
+    for workload in &workloads {
+        for config_name in &configs {
+            let config = parse_config(config_name)?;
+            for backend_name in &backends {
+                let backend = BackendChoice::parse(backend_name).ok_or(format!(
+                    "unknown backend `{backend_name}` (expected explicit, symbolic, or auto)"
+                ))?;
+                for &jobs in &jobs_list {
+                    let key = CaseKey {
+                        workload: workload.clone(),
+                        config: config_name.clone(),
+                        backend: backend_name.clone(),
+                        jobs,
+                        graph_cache: cache.is_some(),
+                    };
+                    eprintln!(
+                        "bench: {} ({warmup} warmup + {iterations} timed)",
+                        key.label()
+                    );
+                    let case = match workload.as_str() {
+                        "suite" => {
+                            let tool = Rtlcheck::new(MemoryImpl::Fixed).with_backend(backend);
+                            run_case(key, warmup, iterations, |metrics| {
+                                rtlcheck::bench::check_tests_with(
+                                    &tool,
+                                    &tests,
+                                    &config,
+                                    jobs,
+                                    metrics,
+                                    cache.as_ref(),
+                                );
+                            })
+                        }
+                        "check" => {
+                            let tool = Rtlcheck::new(MemoryImpl::Fixed).with_backend(backend);
+                            let test = &tests[0];
+                            run_case(key, warmup, iterations, |metrics| match &cache {
+                                Some(cache) => {
+                                    tool.check_test_cached(test, &config, cache, metrics);
+                                }
+                                None => {
+                                    tool.check_test_observed(test, &config, metrics);
+                                }
+                            })
+                        }
+                        "mutate" => {
+                            let mut options = CampaignOptions::new(CatalogTarget::MultiVscale);
+                            options.jobs = jobs;
+                            options.backend = backend;
+                            options.tests = only.clone();
+                            run_case(key, warmup, iterations, |metrics| {
+                                run_campaign(&options, &config, metrics, cache.as_ref())
+                                    .expect("bench selections pre-validated");
+                            })
+                        }
+                        _ => unreachable!("workloads validated above"),
+                    };
+                    report.cases.push(case);
+                }
+            }
+        }
+    }
+
+    print!("{}", report.render());
+    if let Some(path) = &json_path {
+        let text = report.to_json().pretty();
+        std::fs::write(path, text + "\n").map_err(|e| format!("writing {path}: {e}"))?;
+        println!("\nbench JSON written to {path}");
+    }
+    if let Some(path) = &baseline_path {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                return Ok(ExitCode::FAILURE);
+            }
+        };
+        let baseline = match BenchReport::parse(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("error: {path}: {e} (expected a `{SCHEMA}` document, from bench --json)");
+                return Ok(ExitCode::FAILURE);
+            }
+        };
+        print!("\n{}", render_comparison(&report, &baseline, tolerance));
+        if !regressions(&report, &baseline, tolerance).is_empty() {
+            return Ok(ExitCode::FAILURE);
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
 fn profile(args: &[String]) -> Result<ExitCode, String> {
+    if args.first().map(String::as_str) == Some("--diff") {
+        let [a, b] = match &args[1..] {
+            [a, b] => [a, b],
+            _ => return Err("profile --diff needs exactly two <metrics.json> paths".into()),
+        };
+        let (sa, sb) = match (load_metrics(a), load_metrics(b)) {
+            (Ok(sa), Ok(sb)) => (sa, sb),
+            (Err(e), _) | (_, Err(e)) => {
+                eprintln!("error: {e}");
+                return Ok(ExitCode::FAILURE);
+            }
+        };
+        println!("{}", sa.render_diff(&sb, a, b).trim_end());
+        return Ok(ExitCode::SUCCESS);
+    }
     let path = args.first().ok_or("profile needs a <metrics.json> path")?;
     if let Some(extra) = args.get(1) {
         return Err(format!("unexpected argument `{extra}`"));
     }
-    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-    let summary = MetricsSummary::parse(&text).map_err(|e| format!("{path}: {e}"))?;
-    println!("{}", summary.render().trim_end());
-    Ok(ExitCode::SUCCESS)
+    match load_metrics(path) {
+        Ok(summary) => {
+            println!("{}", summary.render().trim_end());
+            Ok(ExitCode::SUCCESS)
+        }
+        // Bad *input files* are a runtime failure (one-line diagnostic,
+        // exit 1), not a usage error (exit 2 + usage text).
+        Err(e) => {
+            eprintln!("error: {e}");
+            Ok(ExitCode::FAILURE)
+        }
+    }
+}
+
+/// Reads and parses a `rtlcheck-metrics/1` summary, mapping every failure
+/// mode (unreadable, empty, malformed, wrong schema) to a one-line message
+/// that names the file and the expected schema.
+fn load_metrics(path: &str) -> Result<MetricsSummary, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    if text.trim().is_empty() {
+        return Err(format!(
+            "{path}: empty file (expected a `rtlcheck-metrics/1` summary, from --metrics)"
+        ));
+    }
+    MetricsSummary::parse(&text).map_err(|e| {
+        format!("{path}: {e} (expected a `rtlcheck-metrics/1` summary, from --metrics)")
+    })
 }
 
 fn axiomatic(args: &[String]) -> Result<ExitCode, String> {
@@ -591,9 +941,24 @@ fn suite_cmd(args: &[String]) -> Result<ExitCode, String> {
     let cache = flag_graph_cache(&flags)?;
     let obs = Observability::from_flags(&flags)?;
     let collector = obs.collector();
+    let progress = flag_progress(&flags, "suite", tests.len() as u64);
+    let mut live: Vec<&dyn TrackSink> = obs.live_sinks();
+    if let Some(p) = &progress {
+        live.push(p);
+    }
     let tool = Rtlcheck::new(memory).with_backend(flag_backend(&flags));
-    let reports =
-        rtlcheck::bench::check_tests_with(&tool, &tests, &config, jobs, &collector, cache.as_ref());
+    let reports = rtlcheck::bench::check_tests_live(
+        &tool,
+        &tests,
+        &config,
+        jobs,
+        &collector,
+        cache.as_ref(),
+        &live,
+    );
+    if let Some(p) = &progress {
+        p.finish();
+    }
     let mut violations = 0;
     for report in &reports {
         let status = if report.bug_found() {

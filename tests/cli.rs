@@ -128,10 +128,93 @@ fn bad_usage_exits_2_with_usage_text() {
         &["check", "nonexistent-test"][..],
         &["suite", "--only", "mp", "--jobs", "zero"][..],
         &["suite", "--only", "not-a-test"][..],
+        &["bench", "--workload", "frobnicate"][..],
+        &["bench", "--tolerance", "lots"][..],
+        &["profile", "--diff", "only-one.json"][..],
     ] {
         let out = rtlcheck(args);
         assert_eq!(out.status.code(), Some(2), "{args:?}");
         let err = String::from_utf8(out.stderr).unwrap();
         assert!(err.contains("usage:"), "{err}");
     }
+}
+
+/// A bad *input file* to `profile` is a runtime failure, not a usage
+/// error: one line on stderr naming the file and the expected schema,
+/// exit 1, no usage dump.
+#[test]
+fn profile_diagnoses_empty_malformed_and_wrong_schema_files() {
+    let dir = std::env::temp_dir().join(format!("rtlcheck-profile-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let cases = [
+        ("empty.json", "   \n", "empty file"),
+        ("malformed.json", "not json {", "invalid metrics document"),
+        (
+            "schema.json",
+            r#"{"schema":"other/9"}"#,
+            "unknown schema `other/9`",
+        ),
+    ];
+    for (file, contents, expect) in cases {
+        let path = dir.join(file);
+        std::fs::write(&path, contents).unwrap();
+        let out = rtlcheck(&["profile", path.to_str().unwrap()]);
+        assert_eq!(out.status.code(), Some(1), "{file}: {out:?}");
+        let err = String::from_utf8(out.stderr).unwrap();
+        assert_eq!(err.trim_end().lines().count(), 1, "{file}: one line: {err}");
+        assert!(
+            err.contains(path.to_str().unwrap()),
+            "{file}: names file: {err}"
+        );
+        assert!(err.contains(expect), "{file}: {err}");
+        assert!(
+            err.contains("rtlcheck-metrics/1"),
+            "{file}: names schema: {err}"
+        );
+        assert!(!err.contains("usage:"), "{file}: no usage dump: {err}");
+    }
+    // A missing file gets the same treatment.
+    let gone = dir.join("gone.json");
+    let out = rtlcheck(&["profile", gone.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains(gone.to_str().unwrap()), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn profile_diff_renders_deltas_between_two_runs() {
+    let dir = std::env::temp_dir().join(format!("rtlcheck-diff-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let (a, b) = (dir.join("a.json"), dir.join("b.json"));
+    for (path, only) in [(&a, "mp"), (&b, "mp,sb")] {
+        let out = rtlcheck(&["suite", "--only", only, "--metrics", path.to_str().unwrap()]);
+        assert!(out.status.success(), "{out:?}");
+    }
+    let out = rtlcheck(&[
+        "profile",
+        "--diff",
+        a.to_str().unwrap(),
+        b.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("RTLCheck profile diff"), "{text}");
+    assert!(text.contains(a.to_str().unwrap()), "{text}");
+    assert!(text.contains("Histogram shifts"), "{text}");
+    assert!(text.contains("%"), "{text}");
+
+    // Diff against a broken file reuses the one-line diagnostics.
+    let bad = dir.join("bad.json");
+    std::fs::write(&bad, "{").unwrap();
+    let out = rtlcheck(&[
+        "profile",
+        "--diff",
+        a.to_str().unwrap(),
+        bad.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("rtlcheck-metrics/1"), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
 }

@@ -7,7 +7,7 @@ use std::process::Command;
 
 use rtlcheck::core::Rtlcheck;
 use rtlcheck::obs::json::Json;
-use rtlcheck::obs::{JsonlCollector, MetricsCollector, MultiCollector};
+use rtlcheck::obs::{attrs, Collector, JsonlCollector, MetricsCollector, MultiCollector, SpanId};
 use rtlcheck::prelude::*;
 
 fn rtlcheck(args: &[&str]) -> std::process::Output {
@@ -169,4 +169,75 @@ fn metrics_counters_match_report_totals() {
         }
     }
     assert_eq!(depth, 0, "span enters/exits balance");
+}
+
+/// Histogram edges — empty, single-sample, and top-bucket-saturating
+/// summaries must render sane percentiles through `rtlcheck profile`, not
+/// zeros, garbage, or a panic.
+#[test]
+fn profile_renders_sane_percentiles_at_histogram_edges() {
+    use std::time::Duration;
+
+    let dir = std::env::temp_dir().join(format!("rtlcheck-hist-edges-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let render_via_cli = |name: &str, m: &MetricsCollector| -> String {
+        let path = dir.join(name);
+        std::fs::write(&path, m.summary().to_json().pretty() + "\n").unwrap();
+        let out = rtlcheck(&["profile", path.to_str().unwrap()]);
+        assert!(out.status.success(), "{name}: {out:?}");
+        String::from_utf8(out.stdout).unwrap()
+    };
+
+    // Empty: no spans at all. The profile renders (counters only), with no
+    // phase table to show percentiles in.
+    let empty = MetricsCollector::new();
+    empty.counter("engine.full.states", 7, attrs![]);
+    let text = render_via_cli("empty.json", &empty);
+    assert!(text.contains("RTLCheck verification profile"), "{text}");
+    assert!(
+        !text.contains("p50"),
+        "no phase table when no spans: {text}"
+    );
+    let s = empty.summary();
+    assert!(s.spans.is_empty());
+
+    // Single sample: every percentile is that sample, exactly — the
+    // quantile clamps its bucket edge to the observed [min, max].
+    let single = MetricsCollector::new();
+    single.span_exit(
+        SpanId(1),
+        "graph_build",
+        Duration::from_micros(100),
+        attrs![],
+    );
+    let s = single.summary();
+    let h = &s.spans[0].hist;
+    assert_eq!(h.approx_quantile_us(0.5), 100);
+    assert_eq!(h.approx_quantile_us(0.99), 100);
+    let text = render_via_cli("single.json", &single);
+    assert!(text.contains("graph_build"), "{text}");
+    assert!(text.contains("100 µs"), "p50/p99 show the sample: {text}");
+
+    // Top-bucket saturation: a duration beyond the last log₂ bucket must
+    // clamp to the observed max, keeping p50 <= p99 <= max finite and
+    // ordered rather than overflowing the bucket edge shift.
+    let saturated = MetricsCollector::new();
+    let huge = Duration::from_secs(3_000_000); // 3e12 µs > 2^39 µs top bucket
+    saturated.span_exit(SpanId(1), "property", Duration::from_micros(50), attrs![]);
+    saturated.span_exit(SpanId(2), "property", huge, attrs![]);
+    let s = saturated.summary();
+    let h = &s.spans[0].hist;
+    let (p50, p99) = (h.approx_quantile_us(0.5), h.approx_quantile_us(0.99));
+    assert!(p50 <= p99, "{p50} <= {p99}");
+    assert_eq!(
+        p99,
+        huge.as_micros() as u64,
+        "saturated sample clamps to max"
+    );
+    assert_eq!(h.max_us(), huge.as_micros() as u64);
+    let text = render_via_cli("saturated.json", &saturated);
+    assert!(text.contains("property"), "{text}");
+    assert!(!text.contains("NaN") && !text.contains("inf"), "{text}");
+
+    std::fs::remove_dir_all(&dir).ok();
 }

@@ -1,0 +1,205 @@
+//! Integration tests for `--trace-out` (the Chrome trace-event timeline)
+//! and `--progress` (the live stderr ticker): both are *live* side-channel
+//! sinks, so the pinned contract is that they never perturb the
+//! deterministic report/metrics streams — suite and mutate output must be
+//! byte-identical with or without them, and across `--jobs` values.
+
+use std::process::Command;
+
+use rtlcheck::obs::json::Json;
+
+fn rtlcheck(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_rtlcheck"))
+        .args(args)
+        .output()
+        .expect("the rtlcheck binary runs")
+}
+
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("rtlcheck-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Events of the trace document as (name, ph, tid) triples plus the root.
+fn load_trace(path: &std::path::Path) -> (Json, Vec<(String, String, u64)>) {
+    let text = std::fs::read_to_string(path).expect("trace written");
+    let doc = Json::parse(&text).expect("trace parses as JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array")
+        .iter()
+        .map(|e| {
+            (
+                e.get("name").and_then(Json::as_str).unwrap().to_string(),
+                e.get("ph").and_then(Json::as_str).unwrap().to_string(),
+                e.get("tid").and_then(Json::as_u64).unwrap(),
+            )
+        })
+        .collect();
+    (doc, events)
+}
+
+#[test]
+fn suite_trace_out_has_per_worker_tracks_and_counter_samples() {
+    let dir = tmpdir("trace-suite");
+    let trace = dir.join("t.json");
+    let out = rtlcheck(&[
+        "suite",
+        "--only",
+        "mp,sb,lb,co-mp",
+        "--config",
+        "quick",
+        "--jobs",
+        "2",
+        "--trace-out",
+        trace.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{out:?}");
+
+    let (doc, events) = load_trace(&trace);
+    assert_eq!(
+        doc.get("displayTimeUnit").and_then(Json::as_str),
+        Some("ms")
+    );
+
+    // One named track per worker, plus the main track for cache totals.
+    let worker_tids: std::collections::BTreeSet<u64> = events
+        .iter()
+        .filter(|(name, ph, _)| name == "thread_name" && ph == "M")
+        .map(|&(_, _, tid)| tid)
+        .collect();
+    assert!(
+        worker_tids.contains(&1) && worker_tids.contains(&2),
+        "expected worker tracks 1 and 2, got {worker_tids:?}"
+    );
+
+    // Spans become complete ("X") events on worker tracks; each checked
+    // test contributes a check_test span somewhere.
+    let check_spans: Vec<u64> = events
+        .iter()
+        .filter(|(name, ph, _)| name == "check_test" && ph == "X")
+        .map(|&(_, _, tid)| tid)
+        .collect();
+    assert_eq!(check_spans.len(), 4, "{events:?}");
+    assert!(check_spans.iter().all(|&tid| tid >= 1), "{check_spans:?}");
+
+    // Derived counter tracks sampled at span boundaries.
+    let counters: std::collections::BTreeSet<&str> = events
+        .iter()
+        .filter(|(_, ph, _)| ph == "C")
+        .map(|(name, _, _)| name.as_str())
+        .collect();
+    assert!(counters.contains("states/sec"), "{counters:?}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Suite stdout with the wall-clock column truncated — the only part of
+/// the report allowed to differ between two otherwise-identical runs.
+fn normalized_suite_stdout(out: &std::process::Output) -> String {
+    String::from_utf8(out.stdout.clone())
+        .unwrap()
+        .lines()
+        .map(|l| match l.find(" proven") {
+            Some(i) => &l[..i],
+            None => l,
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn suite_output_is_byte_identical_with_and_without_trace_out() {
+    let dir = tmpdir("trace-determinism");
+    let args = [
+        "suite", "--only", "mp,sb,lb", "--config", "quick", "--jobs", "8",
+    ];
+    let plain = rtlcheck(&args);
+    assert!(plain.status.success(), "{plain:?}");
+
+    let trace = dir.join("t.json");
+    let mut traced_args = args.to_vec();
+    traced_args.extend(["--trace-out", trace.to_str().unwrap()]);
+    let traced = rtlcheck(&traced_args);
+    assert!(traced.status.success(), "{traced:?}");
+
+    assert_eq!(
+        normalized_suite_stdout(&plain),
+        normalized_suite_stdout(&traced),
+        "suite report changed under --trace-out"
+    );
+    assert!(
+        traced.stderr.is_empty(),
+        "--trace-out is silent: {:?}",
+        String::from_utf8_lossy(&traced.stderr)
+    );
+    assert!(trace.exists(), "trace file written");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn mutate_progress_ticks_on_stderr_and_reports_stay_deterministic() {
+    let base = [
+        "mutate",
+        "--design",
+        "tso",
+        "--only",
+        "mp,sb",
+        "--mutants",
+        "sbuf_overwrite",
+        "--config",
+        "quick",
+    ];
+    let mut runs = Vec::new();
+    for jobs in ["1", "8"] {
+        let mut args = base.to_vec();
+        args.extend(["--jobs", jobs, "--progress"]);
+        let out = rtlcheck(&args);
+        assert!(out.status.success(), "jobs={jobs}: {out:?}");
+        let err = String::from_utf8(out.stderr.clone()).unwrap();
+        assert!(
+            err.contains("progress: mutate"),
+            "jobs={jobs}: ticker on stderr: {err}"
+        );
+        assert!(err.contains("/4"), "jobs={jobs}: unit total: {err}");
+        runs.push(out.stdout);
+    }
+    // The campaign report never depends on worker count or the ticker.
+    assert_eq!(runs[0], runs[1], "mutate report changed across --jobs");
+
+    let quiet = rtlcheck(&base);
+    assert!(quiet.status.success(), "{quiet:?}");
+    assert_eq!(
+        quiet.stdout, runs[0],
+        "mutate report changed under --progress"
+    );
+    assert!(
+        quiet.stderr.is_empty(),
+        "no ticker without --progress: {:?}",
+        String::from_utf8_lossy(&quiet.stderr)
+    );
+}
+
+#[test]
+fn check_trace_out_lands_on_the_main_track() {
+    let dir = tmpdir("trace-check");
+    let trace = dir.join("t.json");
+    let out = rtlcheck(&[
+        "check",
+        "mp",
+        "--config",
+        "quick",
+        "--trace-out",
+        trace.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let (_, events) = load_trace(&trace);
+    assert!(
+        events
+            .iter()
+            .any(|(name, ph, tid)| name == "check_test" && ph == "X" && *tid == 0),
+        "{events:?}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
