@@ -37,6 +37,21 @@
 //! per-item [`BufferCollector`]s replayed in input order. The report
 //! contains no timing data, so its text and JSON renderings are
 //! byte-identical across `--jobs` values.
+//!
+//! ## Incremental recomputation
+//!
+//! With [`CampaignOptions::incremental`] enabled (the default), mutant
+//! checks splice their state graphs from the baseline design's published
+//! core instead of rebuilding cold — only the mutation's dirty cones are
+//! re-simulated (see [`rtlcheck_verif::GraphCache::build_graph_incremental`]).
+//! The spliced graph is bit-identical to a cold build, so the kill matrix
+//! and JSON report are byte-identical across incremental-vs-cold too. To
+//! guarantee the baseline cores exist before any mutant asks for them, a
+//! parallel campaign runs in two phases — all baseline items first, then
+//! all mutant items — over the same fixed result slots, which leaves the
+//! deterministic collector stream unchanged. When the caller passes no
+//! cache, an internal in-memory cache carries the baseline cores; its
+//! counters are not reported.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -47,9 +62,10 @@ use rtlcheck_obs::json::Json;
 use rtlcheck_obs::{
     attrs, progress::UNIT_DONE, BufferCollector, Collector, MultiCollector, TrackSink,
 };
-use rtlcheck_rtl::multi_vscale::MemoryImpl;
+use rtlcheck_rtl::five_stage::FiveStage;
+use rtlcheck_rtl::multi_vscale::{MemoryImpl, MultiVscale};
 use rtlcheck_rtl::mutate::{catalog, CatalogTarget, Mutation};
-use rtlcheck_verif::{BackendChoice, GraphCache, VerifyConfig};
+use rtlcheck_verif::{BackendChoice, GraphCache, Incremental, VerifyConfig};
 
 /// The pseudo-axiom credited when the kill signal is the covering trace
 /// (a forbidden outcome becoming reachable, or a witnessed outcome
@@ -69,6 +85,10 @@ pub struct CampaignOptions {
     pub tests: Option<Vec<String>>,
     /// Reachable-set backend for every check in the campaign.
     pub backend: BackendChoice,
+    /// Whether mutant graphs splice from the baseline cores
+    /// (`--incremental`; [`Incremental::Off`] preserves the cold path for
+    /// differential CI).
+    pub incremental: Incremental,
 }
 
 impl CampaignOptions {
@@ -80,6 +100,7 @@ impl CampaignOptions {
             mutants: None,
             tests: None,
             backend: BackendChoice::default(),
+            incremental: Incremental::default(),
         }
     }
 }
@@ -128,6 +149,10 @@ pub struct MutantResult {
     pub description: String,
     /// Classification.
     pub verdict: MutantVerdict,
+    /// The resolved reachable-set backend this unit's checks ran on
+    /// ([`rtlcheck_verif::BackendKind::label`], resolved once per campaign
+    /// against the first selected test's baseline design).
+    pub backend: String,
     /// The tests that killed it (empty for survivors).
     pub killed_by: Vec<KillRecord>,
 }
@@ -309,6 +334,7 @@ impl CampaignReport {
                                 ("family", Json::Str(m.family.clone())),
                                 ("description", Json::Str(m.description.clone())),
                                 ("verdict", Json::Str(m.verdict.label().to_string())),
+                                ("backend", Json::Str(m.backend.clone())),
                                 (
                                     "killed_by",
                                     Json::Arr(
@@ -365,6 +391,7 @@ impl CampaignReport {
 
 /// One (design variant, test) check in the flat work list. `mutant` is
 /// `None` for the baseline run of the unmutated design.
+#[allow(clippy::too_many_arguments)]
 fn check_one(
     target: CatalogTarget,
     backend: BackendChoice,
@@ -372,6 +399,7 @@ fn check_one(
     test: &LitmusTest,
     config: &VerifyConfig,
     cache: Option<&GraphCache>,
+    incremental: Incremental,
     collector: &dyn Collector,
 ) -> TestReport {
     let tool = match target {
@@ -381,14 +409,22 @@ fn check_one(
     }
     .map(|t| t.with_backend(backend));
     let run = match (tool, mutant) {
-        (Some(tool), Some(m)) => tool.check_test_mutated(test, m, config, cache, collector),
+        (Some(tool), Some(m)) => {
+            tool.check_test_mutated(test, m, config, cache, incremental, collector)
+        }
         (Some(tool), None) => Ok(match cache {
             Some(c) => tool.check_test_cached(test, config, c, collector),
             None => tool.check_test_observed(test, config, collector),
         }),
-        (None, _) => {
-            five_stage::check_test_mutated(test, mutant, config, backend, cache, collector)
-        }
+        (None, _) => five_stage::check_test_mutated(
+            test,
+            mutant,
+            config,
+            backend,
+            cache,
+            incremental,
+            collector,
+        ),
     };
     run.unwrap_or_else(|e| {
         panic!(
@@ -474,6 +510,26 @@ pub fn run_campaign_live(
         return Err("no litmus tests selected".into());
     }
 
+    // The campaign-level backend label for the report: the choice resolved
+    // against the first selected test's baseline design (every unit of a
+    // target resolves the same way — the catalog mutations keep the input
+    // space and register count).
+    let backend_kind = {
+        let design = match options.target {
+            CatalogTarget::MultiVscale => MultiVscale::build(&tests[0], MemoryImpl::Fixed).design,
+            CatalogTarget::Tso => MultiVscale::build(&tests[0], MemoryImpl::Tso).design,
+            CatalogTarget::FiveStage => FiveStage::build(&tests[0]).design,
+        };
+        options.backend.resolve(&design)
+    };
+
+    // Splicing needs somewhere to publish the baseline cores: use the
+    // caller's cache when there is one, otherwise an internal in-memory
+    // cache whose counters are never reported (so the deterministic
+    // stream matches the cache-less cold campaign).
+    let own_cache = (cache.is_none() && options.incremental.enabled()).then(GraphCache::in_memory);
+    let unit_cache: Option<&GraphCache> = cache.or(own_cache.as_ref());
+
     // Flat work list: item 0..T is the baseline, then each mutant's T
     // checks. Workers self-schedule over it; results land in fixed slots.
     let designs: Vec<Option<&Mutation>> = std::iter::once(None)
@@ -498,7 +554,8 @@ pub fn run_campaign_live(
                         designs[d],
                         &tests[t],
                         config,
-                        cache,
+                        unit_cache,
+                        options.incremental,
                         &MultiCollector::new(sinks),
                     )
                 };
@@ -509,40 +566,63 @@ pub fn run_campaign_live(
             })
             .collect()
     } else {
-        let next = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<(TestReport, BufferCollector)>>> =
             items.iter().map(|_| Mutex::new(None)).collect();
-        std::thread::scope(|scope| {
-            let (next, slots, items, designs, tests) = (&next, &slots, &items, &designs, &tests);
-            for w in 0..workers {
-                scope.spawn(move || {
-                    let tracks: Vec<Box<dyn Collector + '_>> =
-                        live.iter().map(|s| s.track(w as u64 + 1)).collect();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(&(d, t)) = items.get(i) else { break };
-                        let buf = BufferCollector::new();
-                        let report = {
-                            let mut sinks: Vec<&dyn Collector> = vec![&buf];
-                            sinks.extend(tracks.iter().map(|b| &**b));
-                            check_one(
-                                options.target,
-                                options.backend,
-                                designs[d],
-                                &tests[t],
-                                config,
-                                cache,
-                                &MultiCollector::new(sinks),
-                            )
-                        };
-                        for track in &tracks {
-                            track.event(UNIT_DONE, attrs!["test" => tests[t].name()]);
-                        }
-                        *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some((report, buf));
-                    }
-                });
+        // With splicing on, every baseline core must be published before
+        // any mutant item asks for it: the baseline items run as their own
+        // phase, then the mutant items. Both phases self-schedule over
+        // their range of the same fixed slots, so the replayed stream is
+        // identical to the single-phase schedule's.
+        let barrier = if options.incremental.enabled() {
+            tests.len()
+        } else {
+            0
+        };
+        for range in [0..barrier, barrier..items.len()] {
+            if range.is_empty() {
+                continue;
             }
-        });
+            let next = AtomicUsize::new(range.start);
+            let end = range.end;
+            let phase_workers = workers.min(end - range.start);
+            std::thread::scope(|scope| {
+                let (next, slots, items, designs, tests) =
+                    (&next, &slots, &items, &designs, &tests);
+                for w in 0..phase_workers {
+                    scope.spawn(move || {
+                        let tracks: Vec<Box<dyn Collector + '_>> =
+                            live.iter().map(|s| s.track(w as u64 + 1)).collect();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= end {
+                                break;
+                            }
+                            let (d, t) = items[i];
+                            let buf = BufferCollector::new();
+                            let report = {
+                                let mut sinks: Vec<&dyn Collector> = vec![&buf];
+                                sinks.extend(tracks.iter().map(|b| &**b));
+                                check_one(
+                                    options.target,
+                                    options.backend,
+                                    designs[d],
+                                    &tests[t],
+                                    config,
+                                    unit_cache,
+                                    options.incremental,
+                                    &MultiCollector::new(sinks),
+                                )
+                            };
+                            for track in &tracks {
+                                track.event(UNIT_DONE, attrs!["test" => tests[t].name()]);
+                            }
+                            *slots[i].lock().unwrap_or_else(|e| e.into_inner()) =
+                                Some((report, buf));
+                        }
+                    });
+                }
+            });
+        }
         slots
             .into_iter()
             .map(|slot| {
@@ -560,7 +640,15 @@ pub fn run_campaign_live(
     }
 
     let (baseline, mutant_reports) = reports.split_at(tests.len());
-    let report = classify(options, config, &tests, &mutants, baseline, mutant_reports);
+    let report = classify(
+        options,
+        config,
+        &tests,
+        &mutants,
+        baseline,
+        mutant_reports,
+        backend_kind.label(),
+    );
 
     // Campaign counters and per-mutant events, in fixed (catalog) order —
     // after all replays, so the stream is scheduling-independent.
@@ -600,6 +688,7 @@ pub fn run_campaign_live(
 }
 
 /// Folds the raw reports into the campaign classification.
+#[allow(clippy::too_many_arguments)]
 fn classify(
     options: &CampaignOptions,
     config: &VerifyConfig,
@@ -607,6 +696,7 @@ fn classify(
     mutants: &[Mutation],
     baseline: &[TestReport],
     mutant_reports: &[TestReport],
+    backend: &str,
 ) -> CampaignReport {
     // Kill-matrix columns: cover first, then every axiom the baseline's
     // properties mention, in first-seen order.
@@ -662,6 +752,7 @@ fn classify(
                 family: m.family.label().to_string(),
                 description: m.description.clone(),
                 verdict,
+                backend: backend.to_string(),
                 killed_by,
             }
         })
@@ -686,6 +777,7 @@ mod tests {
             family: "drop_stall".into(),
             description: String::new(),
             verdict,
+            backend: "explicit".into(),
             killed_by,
         }
     }
@@ -735,6 +827,7 @@ mod tests {
         let text = v.render();
         assert!(text.contains("\"survivors\":[\"b\"]"), "{text}");
         assert!(text.contains("\"verdict\":\"killed\""), "{text}");
+        assert!(text.contains("\"backend\":\"explicit\""), "{text}");
         let parsed = Json::parse(&text).unwrap();
         assert_eq!(
             parsed.get("score_pct").and_then(Json::as_u64),

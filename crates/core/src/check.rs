@@ -6,12 +6,13 @@ use rtlcheck_litmus::LitmusTest;
 use rtlcheck_obs::{attrs, span, Collector, NullCollector};
 use rtlcheck_rtl::multi_vscale::{MemoryImpl, MultiVscale};
 use rtlcheck_rtl::mutate::{MutateError, Mutation};
+use rtlcheck_rtl::Design;
 use rtlcheck_sva::emit;
 use rtlcheck_uspec::Spec;
 use rtlcheck_verif::{
     build_graph, check_cover_on_graph_observed, explore, verify_property_on_graph_observed,
-    Backend, BackendChoice, BackendKind, CoverVerdict, GraphCache, Problem, PropertyVerdict,
-    SymbolicGraph, VerifyConfig,
+    Backend, BackendChoice, BackendKind, CoverVerdict, GraphCache, Incremental, Problem,
+    PropertyVerdict, SymbolicGraph, VerifyConfig,
 };
 
 use crate::assert_gen::{self, AssertionOptions, GeneratedAssertion};
@@ -161,9 +162,16 @@ impl Rtlcheck {
     /// campaign uses this to measure whether the generated properties kill
     /// injected bugs.
     ///
-    /// Cache safety: the mutant's module name (and hence its emitted
-    /// Verilog) differs from the original's and from every other mutant's,
-    /// so the graph-cache fingerprint never collides across mutants.
+    /// Cache safety: the mutant's module name differs from the original's
+    /// and from every other mutant's, so the graph-cache fingerprint never
+    /// collides across mutants.
+    ///
+    /// With `incremental` enabled **and** a cache present, the mutant's
+    /// state graph is spliced from the baseline design's published core
+    /// when the dirty-cone analysis allows it (see
+    /// [`GraphCache::build_graph_incremental`]); the result is bit-identical
+    /// to a cold build, so reports and caches are unaffected — only the
+    /// construction cost and the `cone.*` counters change.
     ///
     /// # Errors
     ///
@@ -179,9 +187,10 @@ impl Rtlcheck {
         mutation: &Mutation,
         config: &VerifyConfig,
         cache: Option<&GraphCache>,
+        incremental: Incremental,
         collector: &dyn Collector,
     ) -> Result<TestReport, MutateError> {
-        self.check_test_mutated_inner(test, Some(mutation), config, cache, collector)
+        self.check_test_mutated_inner(test, Some(mutation), config, cache, incremental, collector)
     }
 
     fn check_test_inner(
@@ -191,7 +200,7 @@ impl Rtlcheck {
         cache: Option<&GraphCache>,
         collector: &dyn Collector,
     ) -> TestReport {
-        self.check_test_mutated_inner(test, None, config, cache, collector)
+        self.check_test_mutated_inner(test, None, config, cache, Incremental::Off, collector)
             .expect("no mutation to fail")
     }
 
@@ -201,6 +210,7 @@ impl Rtlcheck {
         mutation: Option<&Mutation>,
         config: &VerifyConfig,
         cache: Option<&GraphCache>,
+        incremental: Incremental,
         collector: &dyn Collector,
     ) -> Result<TestReport, MutateError> {
         let mut flow = span(
@@ -214,7 +224,13 @@ impl Rtlcheck {
 
         let mut g = span(collector, "design_build", attrs!["test" => test.name()]);
         let mut mv = self.build_design(test);
+        let mut baseline: Option<Design> = None;
         if let Some(m) = mutation {
+            // The pre-mutation design is the splice baseline: its cache
+            // key is what the campaign's baseline pass published under.
+            if incremental.enabled() && cache.is_some() {
+                baseline = Some(mv.design.clone());
+            }
             // The mutant keeps every signal id, so the assumption and
             // assertion generators' handles stay valid.
             mv.design = m.apply(&mv.design)?;
@@ -246,6 +262,7 @@ impl Rtlcheck {
             config,
             self.backend,
             cache,
+            baseline.as_ref().map(|b| (b, incremental.validate())),
             collector,
         );
         flow.attr(
@@ -308,7 +325,11 @@ impl Rtlcheck {
 /// With a [`GraphCache`], the graph comes from the cache (in-memory hit,
 /// disk hit, or cold build) and a cold-built graph's final core is stored
 /// back after the walks. The `graph_build` span gains a `cache` attribute
-/// saying where the graph came from.
+/// saying where the graph came from. When `incremental` carries a baseline
+/// design (and a validate flag), the explicit+cache path additionally tries
+/// to splice the graph from the baseline's published core before falling
+/// back to the ordinary levels — the `cache` attribute then reads
+/// `spliced`.
 ///
 /// `backend` selects the reachable-set representation; under
 /// [`BackendChoice::Auto`] the per-design resolution happens here, so a
@@ -316,6 +337,7 @@ impl Rtlcheck {
 /// routed to the symbolic backend instead of panicking. The symbolic
 /// backend bypasses the graph cache: its rows are cheap to rebuild and the
 /// snapshot format is explicit-row shaped.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_flow_cached(
     test_name: &str,
     problem: &Problem<'_>,
@@ -323,6 +345,7 @@ pub(crate) fn run_flow_cached(
     config: &VerifyConfig,
     backend: BackendChoice,
     cache: Option<&GraphCache>,
+    incremental: Option<(&Design, bool)>,
     collector: &dyn Collector,
 ) -> TestReport {
     /// The built graph, either representation, plus the explicit cache
@@ -346,7 +369,16 @@ pub(crate) fn run_flow_cached(
         BackendKind::Explicit => match cache {
             Some(cache) => {
                 let props: Vec<_> = assertions.iter().map(|a| &a.directive.prop).collect();
-                let (graph, ticket) = cache.build_graph(problem, &props, config.cover_engine());
+                let (graph, ticket) = match incremental {
+                    Some((baseline, validate)) => cache.build_graph_incremental(
+                        problem,
+                        &props,
+                        config.cover_engine(),
+                        baseline,
+                        validate,
+                    ),
+                    None => cache.build_graph(problem, &props, config.cover_engine()),
+                };
                 BuiltGraph::Explicit(graph, Some(ticket))
             }
             None => {

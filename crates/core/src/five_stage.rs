@@ -172,6 +172,7 @@ pub fn check_test_observed(
         config,
         rtlcheck_verif::BackendChoice::default(),
         None,
+        rtlcheck_verif::Incremental::Off,
         collector,
     )
     .expect("no mutation to fail")
@@ -180,6 +181,8 @@ pub fn check_test_observed(
 /// [`check_test_observed`] on an optional **mutant** of the five-stage
 /// design, through an optional graph cache — the five-stage leg of the
 /// mutation campaign, mirroring [`crate::Rtlcheck::check_test_mutated`].
+/// With `incremental` enabled and a cache present, the mutant's graph is
+/// spliced from the baseline design's published core when possible.
 ///
 /// # Errors
 ///
@@ -188,12 +191,14 @@ pub fn check_test_observed(
 /// # Panics
 ///
 /// As [`check_test`].
+#[allow(clippy::too_many_arguments)]
 pub fn check_test_mutated(
     test: &LitmusTest,
     mutation: Option<&rtlcheck_rtl::mutate::Mutation>,
     config: &VerifyConfig,
     backend: rtlcheck_verif::BackendChoice,
     cache: Option<&rtlcheck_verif::GraphCache>,
+    incremental: rtlcheck_verif::Incremental,
     collector: &dyn rtlcheck_obs::Collector,
 ) -> Result<TestReport, rtlcheck_rtl::mutate::MutateError> {
     use rtlcheck_obs::{attrs, span};
@@ -209,7 +214,11 @@ pub fn check_test_mutated(
 
     let mut g = span(collector, "design_build", attrs!["test" => test.name()]);
     let mut fs = FiveStage::build(test);
+    let mut baseline: Option<rtlcheck_rtl::Design> = None;
     if let Some(m) = mutation {
+        if incremental.enabled() && cache.is_some() {
+            baseline = Some(fs.design.clone());
+        }
         fs.design = m.apply(&fs.design)?;
         g.attr("mutant", m.name.as_str());
     }
@@ -242,6 +251,7 @@ pub fn check_test_mutated(
         config,
         backend,
         cache,
+        baseline.as_ref().map(|b| (b, incremental.validate())),
         collector,
     );
     flow.attr(

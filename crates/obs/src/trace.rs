@@ -12,9 +12,10 @@
 //! Each worker calls [`TraceCollector::track`] to obtain a [`TraceTrack`]
 //! bound to its own `tid`, so the flame chart shows one lane per worker.
 //! Span enter/exit pairs become complete (`"X"`) duration events, discrete
-//! events become instants (`"i"`), and at every span boundary three derived
+//! events become instants (`"i"`), and at every span boundary the derived
 //! counter tracks are sampled: cumulative states/sec, graph-cache hit rate,
-//! and BDD unique-table size.
+//! BDD unique-table size, and the cone-reuse rate (share of row segments
+//! copied rather than re-simulated by incremental splicing).
 
 use std::collections::BTreeMap;
 use std::collections::HashMap;
@@ -156,7 +157,7 @@ impl TraceCollector {
 
     /// Emits the derived counter tracks ("C" events on the process track),
     /// sampled at span boundaries: cumulative states/sec, graph-cache hit
-    /// rate, and BDD unique-table size.
+    /// rate, BDD unique-table size, and cone-reuse rate.
     fn sample_counters(inner: &mut TraceInner, now_us: u64) {
         let get = |name: &str| inner.totals.get(name).copied().unwrap_or(0);
         let states: u64 = inner
@@ -169,6 +170,8 @@ impl TraceCollector {
         let requests = get("graph_cache.requests");
         let hits = get("graph_cache.hits") + get("graph_cache.disk_hits");
         let bdd = get("backend.bdd_nodes");
+        let rows_copied = get("cone.rows_copied");
+        let rows_recomputed = get("cone.rows_recomputed");
 
         let mut samples: Vec<(&str, Json)> = Vec::new();
         if now_us > 0 && states > 0 {
@@ -181,6 +184,11 @@ impl TraceCollector {
         }
         if bdd > 0 {
             samples.push(("bdd unique-table", Json::Uint(bdd)));
+        }
+        if rows_copied + rows_recomputed > 0 {
+            let rate =
+                (100.0 * rows_copied as f64 / (rows_copied + rows_recomputed) as f64).round();
+            samples.push(("cone reuse %", Json::Num(rate)));
         }
         for (name, value) in samples {
             inner.events.push(TraceEvent {
@@ -346,6 +354,8 @@ mod tests {
         trace.counter("graph_cache.requests", 4, attrs![]);
         trace.counter("graph_cache.hits", 3, attrs![]);
         trace.counter("backend.bdd_nodes", 120, attrs![]);
+        trace.counter("cone.rows_copied", 90, attrs![]);
+        trace.counter("cone.rows_recomputed", 10, attrs![]);
         {
             let _g = span(&trace, "property", attrs![]);
         }
@@ -353,6 +363,7 @@ mod tests {
         assert!(text.contains("states/sec"), "{text}");
         assert!(text.contains("cache hit-rate %"), "{text}");
         assert!(text.contains("bdd unique-table"), "{text}");
+        assert!(text.contains("cone reuse %"), "{text}");
         // Counter events carry a numeric args value.
         assert!(text.contains("\"ph\":\"C\""), "{text}");
     }

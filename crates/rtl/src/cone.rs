@@ -1,0 +1,617 @@
+//! Fan-in cone analysis and per-cone fingerprints.
+//!
+//! A *cone* is the transitive combinational fan-in of one register's
+//! next-state expression: the set of signals whose current-cycle values the
+//! register reads when computing its next value. Wires are expanded
+//! through; registers and primary inputs are leaves (their current values
+//! are given by the state and the input valuation, not recomputed).
+//!
+//! Two artifacts come out of this module:
+//!
+//! * [`Design::cones`] — the cone partition itself, one [`Cone`] per
+//!   register in a stable topological order (registers in dense-index
+//!   order, which is declaration order; supports sorted by signal id).
+//!   Used to map a dirty signal set to the cones it invalidates.
+//! * [`cone_fingerprints`] — a per-signal FNV-1a fingerprint vector where
+//!   each entry digests exactly the signal's *value function*: a wire's
+//!   fingerprint folds the fingerprints of the wires it reads
+//!   (transitively) but only the names of registers and inputs, and a
+//!   register's fingerprint digests its next-state expression the same
+//!   way. Two designs with equal signal tables and equal fingerprints at
+//!   ordinal `i` therefore compute identical values for signal `i` at any
+//!   (state, input) point — the property the incremental engine's
+//!   edge-row splicing rests on.
+//!
+//! [`ConeSet::diff`] compares two structurally compatible designs (e.g. a
+//! baseline and a catalog mutant) and classifies every divergence as a
+//! dirty wire (value function changed), a dirty register (next-state
+//! function changed), or an init-only register (reset value changed, next
+//! function intact). Register initial values are deliberately *excluded*
+//! from the fingerprint vector so the three classes stay separable; whole-
+//! design cache keys must fold the init values in separately.
+
+use std::collections::HashMap;
+
+use crate::design::{Design, SignalId, SignalKind};
+use crate::expr::{BinOp, Expr, ExprId, UnOp};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Minimal FNV-1a accumulator (same constants as the verifier's cache
+/// keys, kept private to each crate — the values are the spec).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(FNV_OFFSET)
+    }
+
+    fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    fn word(&mut self, w: u64) {
+        self.bytes(&w.to_le_bytes());
+    }
+
+    fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+/// One register's fan-in cone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cone {
+    /// The register whose next-state expression roots the cone.
+    pub root: SignalId,
+    /// Every signal the root reads transitively through combinational
+    /// logic, sorted by signal id. Wires are expanded through; registers
+    /// and inputs appear as leaves. A register whose next-state expression
+    /// reads the register itself contains its own root here (self-loop).
+    pub support: Vec<SignalId>,
+}
+
+impl Cone {
+    /// Whether the cone's fan-in contains `sig` (the root itself counts
+    /// only if it appears in its own support, i.e. a self-loop).
+    pub fn reads(&self, sig: SignalId) -> bool {
+        self.support.binary_search(&sig).is_ok()
+    }
+}
+
+/// The cone partition of a design: one cone per register, in dense
+/// register-index order (a stable topological order — registers are
+/// declared bottom-up and all sampled simultaneously, so declaration
+/// order is the canonical stable order).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConeAnalysis {
+    cones: Vec<Cone>,
+}
+
+impl ConeAnalysis {
+    /// The cones, one per register in dense-index order.
+    pub fn cones(&self) -> &[Cone] {
+        &self.cones
+    }
+
+    /// Number of cones (== number of registers).
+    pub fn len(&self) -> usize {
+        self.cones.len()
+    }
+
+    /// Whether the design has no registers.
+    pub fn is_empty(&self) -> bool {
+        self.cones.is_empty()
+    }
+
+    /// Indices of the cones a dirty set invalidates: a cone is dirty when
+    /// its root register's next function or reset value changed, or when
+    /// its fan-in reads a dirty wire.
+    pub fn invalidated(&self, dirty: &ConeSet) -> Vec<usize> {
+        self.cones
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| {
+                dirty.regs.binary_search(&c.root).is_ok()
+                    || dirty.init_regs.binary_search(&c.root).is_ok()
+                    || dirty.wires.iter().any(|&w| c.reads(w))
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// A classified set of dirty signals — the difference between a baseline
+/// design and a structurally compatible mutant.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ConeSet {
+    /// Wires whose combinational value function changed (sorted).
+    pub wires: Vec<SignalId>,
+    /// Registers whose next-state function changed (sorted).
+    pub regs: Vec<SignalId>,
+    /// Registers whose reset value changed (sorted; independent of
+    /// `regs` — a register may appear in both).
+    pub init_regs: Vec<SignalId>,
+}
+
+impl ConeSet {
+    /// The empty (nothing dirty) set.
+    pub fn empty() -> ConeSet {
+        ConeSet::default()
+    }
+
+    /// Whether nothing is dirty.
+    pub fn is_empty(&self) -> bool {
+        self.wires.is_empty() && self.regs.is_empty() && self.init_regs.is_empty()
+    }
+
+    /// The maximally conservative set: every wire and register dirty.
+    pub fn all(design: &Design) -> ConeSet {
+        let mut set = ConeSet::empty();
+        for (id, s) in design.signals() {
+            match s.kind {
+                SignalKind::Wire { .. } => set.wires.push(id),
+                SignalKind::Reg { .. } => {
+                    set.regs.push(id);
+                    set.init_regs.push(id);
+                }
+                SignalKind::Input { .. } => {}
+            }
+        }
+        set
+    }
+
+    /// Whether `sig` is a dirty wire.
+    pub fn wire_dirty(&self, sig: SignalId) -> bool {
+        self.wires.binary_search(&sig).is_ok()
+    }
+
+    /// Whether `sig` is a register with a dirty next-state function.
+    pub fn reg_dirty(&self, sig: SignalId) -> bool {
+        self.regs.binary_search(&sig).is_ok()
+    }
+
+    /// Diffs two designs signal-by-signal. Returns `None` when the designs
+    /// are not structurally compatible (different signal tables), in which
+    /// case no incremental reuse is possible. Compatibility requires the
+    /// same signals at the same ordinals: equal names, widths, and kinds
+    /// (register/input dense indices included) — exactly what catalog
+    /// mutations preserve, since they rewrite expressions and reset values
+    /// but never add, remove, or re-type signals.
+    pub fn diff(base: &Design, mutant: &Design) -> Option<ConeSet> {
+        if base.signals.len() != mutant.signals.len()
+            || base.num_inputs != mutant.num_inputs
+            || base.num_regs != mutant.num_regs
+        {
+            return None;
+        }
+        for (b, m) in base.signals.iter().zip(&mutant.signals) {
+            if b.name != m.name || b.width != m.width {
+                return None;
+            }
+            let compatible = match (&b.kind, &m.kind) {
+                (SignalKind::Input { index: bi }, SignalKind::Input { index: mi }) => bi == mi,
+                (SignalKind::Reg { index: bi, .. }, SignalKind::Reg { index: mi, .. }) => bi == mi,
+                (SignalKind::Wire { .. }, SignalKind::Wire { .. }) => true,
+                _ => false,
+            };
+            if !compatible {
+                return None;
+            }
+        }
+        let base_fp = cone_fingerprints(base);
+        let mutant_fp = cone_fingerprints(mutant);
+        let mut set = ConeSet::empty();
+        for (i, (bs, ms)) in base.signals.iter().zip(&mutant.signals).enumerate() {
+            let id = SignalId(i);
+            match (&bs.kind, &ms.kind) {
+                (SignalKind::Wire { .. }, SignalKind::Wire { .. }) => {
+                    if base_fp[i] != mutant_fp[i] {
+                        set.wires.push(id);
+                    }
+                }
+                (SignalKind::Reg { init: bi, .. }, SignalKind::Reg { init: mi, .. }) => {
+                    if base_fp[i] != mutant_fp[i] {
+                        set.regs.push(id);
+                    }
+                    if bi != mi {
+                        set.init_regs.push(id);
+                    }
+                }
+                _ => {
+                    // Inputs digest only (name, width, index), all equal here.
+                    debug_assert_eq!(base_fp[i], mutant_fp[i]);
+                }
+            }
+        }
+        Some(set)
+    }
+}
+
+impl Design {
+    /// Computes the fan-in cone partition: one [`Cone`] per register, in
+    /// dense register-index order.
+    pub fn cones(&self) -> ConeAnalysis {
+        let n = self.signals.len();
+        let words = n.div_ceil(64);
+        // Transitive read set per wire, computed in dependency order so
+        // each wire only unions already-finished sets.
+        let mut wire_support: HashMap<SignalId, Vec<u64>> = HashMap::new();
+        for &w in self.wire_order() {
+            let SignalKind::Wire { expr } = self.signal(w).kind else {
+                unreachable!("wire_order contains only wires");
+            };
+            let mut set = vec![0u64; words];
+            let mut visited = vec![false; self.exprs.len()];
+            self.collect_reads(expr, &mut set, &mut visited, &wire_support);
+            wire_support.insert(w, set);
+        }
+        let mut roots: Vec<(usize, SignalId, ExprId)> = self
+            .signals()
+            .filter_map(|(id, s)| match s.kind {
+                SignalKind::Reg { index, next, .. } => Some((index, id, next)),
+                _ => None,
+            })
+            .collect();
+        roots.sort_by_key(|&(index, _, _)| index);
+        let cones = roots
+            .into_iter()
+            .map(|(_, root, next)| {
+                let mut set = vec![0u64; words];
+                let mut visited = vec![false; self.exprs.len()];
+                self.collect_reads(next, &mut set, &mut visited, &wire_support);
+                let support = (0..n)
+                    .filter(|&i| set[i / 64] & (1u64 << (i % 64)) != 0)
+                    .map(SignalId)
+                    .collect();
+                Cone { root, support }
+            })
+            .collect();
+        ConeAnalysis { cones }
+    }
+
+    /// Adds every signal `expr` reads (wires expanded transitively) to the
+    /// bitset `set`.
+    fn collect_reads(
+        &self,
+        expr: ExprId,
+        set: &mut [u64],
+        visited: &mut [bool],
+        wire_support: &HashMap<SignalId, Vec<u64>>,
+    ) {
+        if visited[expr.0] {
+            return;
+        }
+        visited[expr.0] = true;
+        match self.expr(expr) {
+            Expr::Const { .. } => {}
+            Expr::Sig(s) => {
+                set[s.0 / 64] |= 1u64 << (s.0 % 64);
+                if let Some(sub) = wire_support.get(&s) {
+                    for (dst, src) in set.iter_mut().zip(sub) {
+                        *dst |= src;
+                    }
+                }
+            }
+            Expr::Unary { arg, .. } => self.collect_reads(arg, set, visited, wire_support),
+            Expr::Binary { lhs, rhs, .. } => {
+                self.collect_reads(lhs, set, visited, wire_support);
+                self.collect_reads(rhs, set, visited, wire_support);
+            }
+            Expr::Mux { cond, then_, else_ } => {
+                self.collect_reads(cond, set, visited, wire_support);
+                self.collect_reads(then_, set, visited, wire_support);
+                self.collect_reads(else_, set, visited, wire_support);
+            }
+        }
+    }
+}
+
+fn unop_tag(op: UnOp) -> u8 {
+    match op {
+        UnOp::Not => 0,
+        UnOp::OrReduce => 1,
+    }
+}
+
+fn binop_tag(op: BinOp) -> u8 {
+    match op {
+        BinOp::And => 0,
+        BinOp::Or => 1,
+        BinOp::Xor => 2,
+        BinOp::Add => 3,
+        BinOp::Sub => 4,
+        BinOp::Eq => 5,
+        BinOp::Ne => 6,
+        BinOp::Lt => 7,
+    }
+}
+
+struct FpCtx<'d> {
+    design: &'d Design,
+    expr_memo: Vec<Option<u64>>,
+    sig_memo: Vec<Option<u64>>,
+}
+
+impl FpCtx<'_> {
+    /// Fingerprint of an expression's value function. Wires fold their own
+    /// value-function fingerprints (so edits propagate to every transitive
+    /// reader); registers and inputs fold only their identity.
+    fn expr_fp(&mut self, e: ExprId) -> u64 {
+        if let Some(fp) = self.expr_memo[e.0] {
+            return fp;
+        }
+        let mut h = Fnv::new();
+        match self.design.expr(e) {
+            Expr::Const { value, width } => {
+                h.bytes(&[1, width]);
+                h.word(value);
+            }
+            Expr::Sig(s) => {
+                let sig = self.design.signal(s);
+                match sig.kind {
+                    SignalKind::Input { index } => {
+                        h.bytes(&[2, sig.width]);
+                        h.word(index as u64);
+                        h.bytes(sig.name.as_bytes());
+                    }
+                    SignalKind::Reg { index, .. } => {
+                        h.bytes(&[3, sig.width]);
+                        h.word(index as u64);
+                        h.bytes(sig.name.as_bytes());
+                    }
+                    SignalKind::Wire { .. } => {
+                        h.bytes(&[4]);
+                        h.word(self.sig_fp(s));
+                    }
+                }
+            }
+            Expr::Unary { op, arg } => {
+                h.bytes(&[5, unop_tag(op)]);
+                h.word(self.expr_fp(arg));
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                h.bytes(&[6, binop_tag(op)]);
+                h.word(self.expr_fp(lhs));
+                h.word(self.expr_fp(rhs));
+            }
+            Expr::Mux { cond, then_, else_ } => {
+                h.bytes(&[7]);
+                h.word(self.expr_fp(cond));
+                h.word(self.expr_fp(then_));
+                h.word(self.expr_fp(else_));
+            }
+        }
+        let fp = h.finish();
+        self.expr_memo[e.0] = Some(fp);
+        fp
+    }
+
+    fn sig_fp(&mut self, s: SignalId) -> u64 {
+        if let Some(fp) = self.sig_memo[s.0] {
+            return fp;
+        }
+        let sig = self.design.signal(s);
+        let mut h = Fnv::new();
+        match sig.kind {
+            SignalKind::Input { index } => {
+                h.bytes(&[10, sig.width]);
+                h.word(index as u64);
+                h.bytes(sig.name.as_bytes());
+            }
+            SignalKind::Reg { index, next, .. } => {
+                // Reset values are deliberately NOT folded: the vector
+                // fingerprints value *functions*, and [`ConeSet::diff`]
+                // classifies init changes separately.
+                h.bytes(&[11, sig.width]);
+                h.word(index as u64);
+                h.bytes(sig.name.as_bytes());
+                h.word(self.expr_fp(next));
+            }
+            SignalKind::Wire { expr } => {
+                h.bytes(&[12, sig.width]);
+                h.bytes(sig.name.as_bytes());
+                h.word(self.expr_fp(expr));
+            }
+        }
+        let fp = h.finish();
+        self.sig_memo[s.0] = Some(fp);
+        fp
+    }
+}
+
+/// Per-signal value-function fingerprints, indexed by signal ordinal.
+///
+/// Entry `i` digests signal `i`'s value function: combinational structure
+/// expanded through wires, registers and inputs as identity leaves.
+/// Register entries digest the *next-state* function (reset values are
+/// excluded — see [`ConeSet::diff`]). Equal tables plus equal entries at
+/// `i` imply signal `i` evaluates identically at every (state, input)
+/// point in both designs.
+pub fn cone_fingerprints(design: &Design) -> Vec<u64> {
+    let mut ctx = FpCtx {
+        design,
+        expr_memo: vec![None; design.exprs.len()],
+        sig_memo: vec![None; design.signals.len()],
+    };
+    (0..design.signals.len())
+        .map(|i| ctx.sig_fp(SignalId(i)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DesignBuilder;
+
+    /// Two regs: `a` counts, `b` samples a wire over `a`.
+    fn two_cone_design() -> Design {
+        let mut b = DesignBuilder::new("d");
+        let a = b.reg("a", 4, Some(0));
+        let r2 = b.reg("b", 4, Some(0));
+        let one = b.lit(1, 4);
+        let a_e = b.sig(a);
+        let next_a = b.add(a_e, one);
+        b.set_next(a, next_a);
+        let w = b.add(a_e, a_e);
+        let w_id = b.wire("w", w);
+        let w_e = b.sig(w_id);
+        b.set_next(r2, w_e);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn cones_are_per_register_in_dense_order() {
+        let d = two_cone_design();
+        let cones = d.cones();
+        assert_eq!(cones.len(), 2);
+        let a = d.signal_by_name("a").unwrap();
+        let b = d.signal_by_name("b").unwrap();
+        let w = d.signal_by_name("w").unwrap();
+        assert_eq!(cones.cones()[0].root, a);
+        assert_eq!(cones.cones()[1].root, b);
+        // a's next reads only a; b's next reads the wire, which expands to a.
+        assert_eq!(cones.cones()[0].support, vec![a]);
+        assert_eq!(cones.cones()[1].support, vec![a, w]);
+        assert!(cones.cones()[1].reads(w));
+        assert!(!cones.cones()[0].reads(b));
+    }
+
+    #[test]
+    fn self_loop_register_contains_itself() {
+        let mut b = DesignBuilder::new("d");
+        let r = b.reg("r", 4, Some(0));
+        let one = b.lit(1, 4);
+        let r_e = b.sig(r);
+        let next = b.add(r_e, one);
+        b.set_next(r, next);
+        let d = b.build().unwrap();
+        let cones = d.cones();
+        assert_eq!(cones.len(), 1);
+        assert!(
+            cones.cones()[0].reads(r),
+            "self-loop register must appear in its own support"
+        );
+    }
+
+    #[test]
+    fn clock_like_fan_out_lands_in_every_cone() {
+        // A 1-bit toggling "tick" register read by every other register's
+        // next function — the shared-dependency shape.
+        let mut b = DesignBuilder::new("d");
+        let tick = b.reg("tick", 1, Some(0));
+        let tick_e = b.sig(tick);
+        let not_tick = b.not(tick);
+        b.set_next(tick, not_tick);
+        // A wire over tick that everyone reads.
+        let gate = b.wire("gate", tick_e);
+        let gate_e = b.sig(gate);
+        for i in 0..3 {
+            let r = b.reg(format!("r{i}"), 1, Some(0));
+            let r_e = b.sig(r);
+            let next = b.xor(r_e, gate_e);
+            b.set_next(r, next);
+        }
+        let d = b.build().unwrap();
+        let cones = d.cones();
+        let gate_id = d.signal_by_name("gate").unwrap();
+        let readers: Vec<_> = cones
+            .cones()
+            .iter()
+            .filter(|c| c.reads(gate_id))
+            .map(|c| d.signal(c.root).name.clone())
+            .collect();
+        assert_eq!(readers, vec!["r0", "r1", "r2"]);
+        // Dirtying the shared wire invalidates exactly the reader cones.
+        let dirty = ConeSet {
+            wires: vec![gate_id],
+            regs: vec![],
+            init_regs: vec![],
+        };
+        let hit = cones.invalidated(&dirty);
+        assert_eq!(hit.len(), 3);
+        assert!(!hit.contains(&0), "tick itself does not read the gate wire");
+    }
+
+    #[test]
+    fn fingerprints_are_deterministic() {
+        let d1 = two_cone_design();
+        let d2 = two_cone_design();
+        assert_eq!(cone_fingerprints(&d1), cone_fingerprints(&d2));
+    }
+
+    #[test]
+    fn diff_classifies_wire_reg_and_init_changes() {
+        let base = two_cone_design();
+        // Same shape, but the wire doubles differently: w = a + 1.
+        let mut b = DesignBuilder::new("d");
+        let a = b.reg("a", 4, Some(0));
+        let r2 = b.reg("b", 4, Some(0));
+        let one = b.lit(1, 4);
+        let a_e = b.sig(a);
+        let next_a = b.add(a_e, one);
+        b.set_next(a, next_a);
+        let w = b.add(a_e, one);
+        let w_id = b.wire("w", w);
+        let w_e = b.sig(w_id);
+        b.set_next(r2, w_e);
+        let mutant = b.build().unwrap();
+        let dirty = ConeSet::diff(&base, &mutant).unwrap();
+        let w_sig = base.signal_by_name("w").unwrap();
+        let b_sig = base.signal_by_name("b").unwrap();
+        // The wire changed, and the register reading it inherits the dirt.
+        assert_eq!(dirty.wires, vec![w_sig]);
+        assert_eq!(dirty.regs, vec![b_sig]);
+        assert!(dirty.init_regs.is_empty());
+        assert!(dirty.wire_dirty(w_sig));
+        assert!(dirty.reg_dirty(b_sig));
+        assert!(!dirty.reg_dirty(base.signal_by_name("a").unwrap()));
+    }
+
+    #[test]
+    fn diff_init_only_change_is_separable() {
+        let base = two_cone_design();
+        let mut b = DesignBuilder::new("d");
+        let a = b.reg("a", 4, Some(7));
+        let r2 = b.reg("b", 4, Some(0));
+        let one = b.lit(1, 4);
+        let a_e = b.sig(a);
+        let next_a = b.add(a_e, one);
+        b.set_next(a, next_a);
+        let w = b.add(a_e, a_e);
+        let w_id = b.wire("w", w);
+        let w_e = b.sig(w_id);
+        b.set_next(r2, w_e);
+        let mutant = b.build().unwrap();
+        let dirty = ConeSet::diff(&base, &mutant).unwrap();
+        assert!(dirty.wires.is_empty());
+        assert!(dirty.regs.is_empty(), "next functions are intact");
+        assert_eq!(dirty.init_regs, vec![base.signal_by_name("a").unwrap()]);
+    }
+
+    #[test]
+    fn diff_rejects_incompatible_tables() {
+        let base = two_cone_design();
+        let mut b = DesignBuilder::new("d");
+        let r = b.reg("a", 4, Some(0));
+        let e = b.sig(r);
+        b.set_next(r, e);
+        let other = b.build().unwrap();
+        assert!(ConeSet::diff(&base, &other).is_none());
+    }
+
+    #[test]
+    fn identical_designs_diff_empty_and_all_is_everything() {
+        let d = two_cone_design();
+        let dirty = ConeSet::diff(&d, &d).unwrap();
+        assert!(dirty.is_empty());
+        let all = ConeSet::all(&d);
+        assert_eq!(all.wires.len(), 1);
+        assert_eq!(all.regs.len(), 2);
+        assert_eq!(d.cones().invalidated(&all).len(), 2);
+    }
+}

@@ -47,6 +47,7 @@ mod builder;
 mod design;
 mod expr;
 
+pub mod cone;
 pub mod five_stage;
 pub mod isa;
 pub mod multi_vscale;
@@ -58,5 +59,6 @@ pub mod verilog;
 pub mod waveform;
 
 pub use builder::DesignBuilder;
+pub use cone::{Cone, ConeAnalysis, ConeSet};
 pub use design::{Design, DesignError, Signal, SignalId, SignalKind};
 pub use expr::{BinOp, Expr, ExprId, UnOp};

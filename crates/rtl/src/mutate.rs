@@ -28,6 +28,7 @@ use std::collections::HashMap;
 use std::fmt;
 
 use crate::builder;
+use crate::cone::ConeSet;
 use crate::design::{Design, DesignError, Signal, SignalId, SignalKind};
 use crate::expr::{mask, BinOp, Expr, ExprId};
 use crate::isa::{self, PC_STEP};
@@ -312,6 +313,24 @@ impl Mutation {
             design.num_regs,
         )
         .map_err(MutateError::from)
+    }
+
+    /// The set of cones this mutation invalidates on `design`.
+    ///
+    /// Exact by construction: the mutation is applied and the mutant
+    /// diffed against the baseline at the fingerprint level
+    /// ([`ConeSet::diff`]), so the result is precisely the signals whose
+    /// value functions (or reset values) change — already closed over
+    /// transitive combinational readers. Falls back to the conservative
+    /// all-dirty set if the mutant were ever structurally incompatible
+    /// (catalog mutations never are: they rewrite drivers, not tables).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`MutateError`] from applying the mutation.
+    pub fn dirty_cones(&self, design: &Design) -> Result<ConeSet, MutateError> {
+        let mutant = self.apply(design)?;
+        Ok(ConeSet::diff(design, &mutant).unwrap_or_else(|| ConeSet::all(design)))
     }
 }
 
@@ -1162,6 +1181,86 @@ mod tests {
             }) => assert!(found < 99),
             other => panic!("expected NoSuchNode, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn occurrence_error_message_states_requested_and_total() {
+        let d = mp_design();
+        let probe = |occurrence: usize| -> Result<Design, MutateError> {
+            Mutation {
+                name: "deep".into(),
+                family: MutationFamily::PriorityFlip,
+                description: String::new(),
+                ops: vec![MutationOp::SwapMuxArms {
+                    target: named("mem_req_is_store"),
+                    occurrence,
+                }],
+            }
+            .apply(&d)
+        };
+        let err = probe(99).unwrap_err();
+        let MutateError::NoSuchNode { found: total, .. } = err else {
+            panic!("expected NoSuchNode, got {err:?}")
+        };
+        assert_eq!(
+            err.to_string(),
+            format!("cone of `mem_req_is_store` has {total} mux node(s); occurrence 99 requested"),
+            "message must state both the total count and the requested occurrence"
+        );
+        // `found` really is the total occurrence count: one past the last
+        // fails with the same count, the last one itself succeeds.
+        assert!(matches!(
+            probe(total),
+            Err(MutateError::NoSuchNode { occurrence, found, .. })
+                if occurrence == total && found == total
+        ));
+        assert!(total > 0, "the request-decode cone contains muxes");
+        assert!(probe(total - 1).is_ok());
+    }
+
+    #[test]
+    fn dirty_cones_tracks_value_changes() {
+        let d = mp_design();
+        let m = multi_vscale_catalog()
+            .into_iter()
+            .find(|m| m.name == "drop_stall_core0")
+            .unwrap();
+        let dirty = m.dirty_cones(&d).unwrap();
+        let stall = d.signal_by_name("core0_stall_DX").unwrap();
+        assert!(dirty.wire_dirty(stall), "the tied wire itself is dirty");
+        assert!(
+            !dirty.regs.is_empty(),
+            "registers reading the stall inherit the dirt"
+        );
+        assert!(dirty.init_regs.is_empty());
+        // The dirt agrees with the cone partition: every invalidated cone
+        // either has a dirty root or reads a dirty wire, and at least one
+        // cone survives untouched (the mutation is local).
+        let cones = d.cones();
+        let hit = cones.invalidated(&dirty);
+        assert!(!hit.is_empty());
+        assert!(hit.len() < cones.len(), "not every cone is invalidated");
+        for (i, c) in cones.cones().iter().enumerate() {
+            let dirty_root = dirty.reg_dirty(c.root);
+            let reads_dirty = dirty.wires.iter().any(|&w| c.reads(w));
+            assert_eq!(hit.contains(&i), dirty_root || reads_dirty);
+        }
+    }
+
+    #[test]
+    fn dirty_cones_init_only_mutant_is_init_only() {
+        let d = mp_design();
+        let m = multi_vscale_catalog()
+            .into_iter()
+            .find(|m| m.name == "skip_reset_pc0")
+            .unwrap();
+        let dirty = m.dirty_cones(&d).unwrap();
+        assert!(dirty.wires.is_empty());
+        assert!(dirty.regs.is_empty(), "next functions are untouched");
+        assert_eq!(
+            dirty.init_regs,
+            vec![d.signal_by_name("core0_PC_IF").unwrap()]
+        );
     }
 
     #[test]

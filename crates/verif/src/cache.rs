@@ -37,17 +37,23 @@
 //!
 //! # Fingerprint
 //!
-//! FNV-1a over a canonical textual description: the design's deterministic
-//! Verilog emission (name, signals, widths, init values, next-state
-//! expressions — litmus programs are baked into register inits, so
-//! different tests hash differently), the init pins, every assumption
-//! directive (kind, name, rendered property), the cover condition, and the
-//! rendered atom table. A second, independently-seeded FNV-1a over the
-//! same description is stored alongside the key; a stored artifact is used
-//! only if *both* hashes match and the snapshot passes semantic validation
-//! against the requesting problem (atom table, monitor arity, register
-//! count, initial product state), so a key collision degrades to a counted
-//! cold build, not a wrong graph.
+//! The key is two-tier. Tier 1 is the design's per-cone FNV-1a
+//! fingerprint vector ([`rtlcheck_rtl::cone::cone_fingerprints`]): one
+//! word per signal digesting exactly that signal's value function, plus
+//! the parts the vector deliberately excludes (module name, register
+//! reset values — litmus programs are baked into register inits, so
+//! different tests hash differently). Tier 2 derives the whole-design key
+//! by folding the vector with the problem context: the init pins, every
+//! assumption directive (kind, name, rendered property), the cover
+//! condition, and the rendered atom table. The per-cone tier is what the
+//! incremental path diffs ([`rtlcheck_rtl::ConeSet::diff`]); the derived
+//! key is what the map and the on-disk `.rtlgc` format continue to use.
+//! A second, independently-seeded FNV-1a over the same description is
+//! stored alongside the key; a stored artifact is used only if *both*
+//! hashes match and the snapshot passes semantic validation against the
+//! requesting problem (atom table, monitor arity, register count, initial
+//! product state), so a key collision degrades to a counted cold build,
+//! not a wrong graph.
 //!
 //! # File format (version 1)
 //!
@@ -79,8 +85,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use rtlcheck_obs::{attrs, Collector};
-use rtlcheck_rtl::{verilog, Design};
-use rtlcheck_sva::{emit, MonitorState, Prop};
+use rtlcheck_rtl::cone::cone_fingerprints;
+use rtlcheck_rtl::sim::Simulator;
+use rtlcheck_rtl::{ConeSet, Design, SignalKind};
+use rtlcheck_sva::{emit, Monitor, MonitorState, Prop};
 
 use crate::atom::RtlAtom;
 use crate::engine::Engine;
@@ -92,7 +100,9 @@ pub const FORMAT_VERSION: u64 = 1;
 
 /// Identifies the graph-construction semantics baked into this build; a
 /// stored graph from a different engine revision is never reused.
-pub const ENGINE_REVISION: &str = "explicit-product-v1";
+/// `v2`: the fingerprint became the two-tier (per-cone vector + derived
+/// key) scheme, so `v1` artifacts sit at stale paths.
+pub const ENGINE_REVISION: &str = "explicit-product-v2";
 
 const MAGIC: &[u8; 8] = b"RTLGRPH\0";
 
@@ -135,6 +145,16 @@ pub struct GraphKey {
 
 /// Computes the cache fingerprint of a problem and its atom table.
 ///
+/// Two-tier: the design contributes its per-cone fingerprint vector
+/// ([`cone_fingerprints`] — one word per signal, digesting exactly that
+/// signal's value function) plus the register reset values and module
+/// name the vector deliberately excludes; the derived whole-design key
+/// then folds in the problem context (init pins, assumptions, cover,
+/// atom table). Structuring the design tier as the per-cone vector is
+/// what lets [`GraphCache::build_graph_incremental`] relate a mutant's
+/// key to its baseline's via [`ConeSet::diff`] instead of treating every
+/// design edit as a brand-new key.
+///
 /// The atom table (not the property list) is hashed because the graph's
 /// content depends on properties only through their atoms; two property
 /// sets with equal atom tables are served by identical graphs. The engine
@@ -144,8 +164,24 @@ pub struct GraphKey {
 pub fn fingerprint(problem: &Problem<'_>, atoms: &[RtlAtom]) -> GraphKey {
     let design = problem.design;
     let render = |a: &RtlAtom| a.render(design);
-    let mut text = verilog::emit(design);
-    text.push_str("\n--init-pins--\n");
+    // Tier 1: per-cone value-function fingerprints, then what they omit —
+    // reset values (classified separately by `ConeSet::diff`) and the
+    // module name.
+    let mut words = cone_fingerprints(design);
+    for (_, s) in design.signals() {
+        if let SignalKind::Reg { init, .. } = s.kind {
+            match init {
+                Some(v) => {
+                    words.push(1);
+                    words.push(v);
+                }
+                None => words.push(0),
+            }
+        }
+    }
+    // Tier 2: the problem context, folded as text after the design words.
+    let mut text = format!("--design--\n{}\n", design.name());
+    text.push_str("--init-pins--\n");
     for (sig, value) in &problem.init_pins {
         text.push_str(&format!("{} = {value}\n", design.signal(*sig).name));
     }
@@ -168,8 +204,12 @@ pub fn fingerprint(problem: &Problem<'_>, atoms: &[RtlAtom]) -> GraphKey {
         text.push('\n');
     }
     let mut key = Fnv64::new(FNV_OFFSET);
-    key.write(text.as_bytes());
     let mut check = Fnv64::new(FNV_CHECK_OFFSET);
+    for w in &words {
+        key.write(&w.to_le_bytes());
+        check.write(&w.to_le_bytes());
+    }
+    key.write(text.as_bytes());
     check.write(text.as_bytes());
     GraphKey {
         key: key.finish(),
@@ -489,6 +529,9 @@ pub enum CacheSource {
     Memory,
     /// Loaded from a validated on-disk artifact.
     Disk,
+    /// Spliced from a published baseline core: rows of unchanged cones
+    /// copied, dirty cones re-simulated (bit-identical to a cold build).
+    Spliced,
 }
 
 impl CacheSource {
@@ -498,6 +541,45 @@ impl CacheSource {
             CacheSource::Cold => "cold",
             CacheSource::Memory => "memory",
             CacheSource::Disk => "disk",
+            CacheSource::Spliced => "spliced",
+        }
+    }
+}
+
+/// Whether (and how) mutant checks reuse their baseline's state graph —
+/// the switch behind `rtlcheck mutate --incremental`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Incremental {
+    /// Every graph comes from the ordinary cache levels or a cold build;
+    /// no splicing.
+    Off,
+    /// Mutant graphs splice from the published baseline core whenever the
+    /// dirty-cone analysis allows it (the default).
+    #[default]
+    On,
+    /// As [`Incremental::On`], but every spliced row is additionally
+    /// re-simulated and asserted equal to the copied data — the
+    /// belt-and-braces mode the differential CI exercises.
+    Validate,
+}
+
+impl Incremental {
+    /// True unless splicing is switched off.
+    pub fn enabled(self) -> bool {
+        !matches!(self, Incremental::Off)
+    }
+
+    /// True when spliced rows must be re-simulated and checked.
+    pub fn validate(self) -> bool {
+        matches!(self, Incremental::Validate)
+    }
+
+    /// Stable lower-snake label (CLI and logs).
+    pub fn label(self) -> &'static str {
+        match self {
+            Incremental::Off => "off",
+            Incremental::On => "on",
+            Incremental::Validate => "validate",
         }
     }
 }
@@ -555,6 +637,14 @@ pub struct CacheStats {
     pub stores: u64,
     /// In-memory entries dropped to respect the capacity bound.
     pub evictions: u64,
+    /// Incremental probes that found a published baseline core.
+    pub incremental_hits: u64,
+    /// Incremental probes that found no published baseline core.
+    pub incremental_misses: u64,
+    /// Graphs assembled by splicing a baseline core (a subset of
+    /// `incremental_hits`: a found baseline can still be unspliceable,
+    /// e.g. when the mutation dirties an assumption's atoms).
+    pub spliced: u64,
 }
 
 #[derive(Debug, Default)]
@@ -570,6 +660,9 @@ struct Counters {
     collisions: AtomicU64,
     stores: AtomicU64,
     evictions: AtomicU64,
+    incremental_hits: AtomicU64,
+    incremental_misses: AtomicU64,
+    spliced: AtomicU64,
 }
 
 type Cell = Arc<OnceLock<Arc<CoreSnapshot>>>;
@@ -646,6 +739,9 @@ impl GraphCache {
             collisions: get(&c.collisions),
             stores: get(&c.stores),
             evictions: get(&c.evictions),
+            incremental_hits: get(&c.incremental_hits),
+            incremental_misses: get(&c.incremental_misses),
+            spliced: get(&c.spliced),
         }
     }
 
@@ -730,6 +826,116 @@ impl GraphCache {
         props: &[&Prop<RtlAtom>],
         engine: Engine,
     ) -> (StateGraph<'p, 'd>, CacheTicket) {
+        self.build_graph_inner(problem, props, engine, None)
+    }
+
+    /// [`GraphCache::build_graph`] with an incremental fast path: on an
+    /// in-memory miss, first try to splice the requested graph from the
+    /// published core of `baseline` (the un-mutated design this problem's
+    /// design was derived from), re-simulating only the dirty cones'
+    /// contributions; the disk level and the cold build remain as
+    /// fallbacks. The spliced graph is bit-identical to what a cold build
+    /// would have produced (see [`StateGraph::splice`]), so the published
+    /// snapshot, the walks, and any stored artifact are indistinguishable
+    /// from the non-incremental path — only the construction cost and the
+    /// `cone.*` counters differ.
+    ///
+    /// `validate` additionally re-simulates every spliced row and asserts
+    /// equality with the copied data (the belt-and-braces mode the
+    /// differential CI exercises).
+    pub fn build_graph_incremental<'p, 'd>(
+        &self,
+        problem: &'p Problem<'d>,
+        props: &[&Prop<RtlAtom>],
+        engine: Engine,
+        baseline: &Design,
+        validate: bool,
+    ) -> (StateGraph<'p, 'd>, CacheTicket) {
+        self.build_graph_inner(problem, props, engine, Some((baseline, validate)))
+    }
+
+    /// Probes the in-memory level for a *baseline* core to splice
+    /// against. Never blocks on an in-flight build and never touches the
+    /// disk level: incremental probes run inside the requesting key's own
+    /// build slot, where waiting on another key's `OnceLock` could
+    /// deadlock. `dirty` is the classified dirty set the caller intends
+    /// to splice with (from [`ConeSet::diff`]; an empty set — pure reuse
+    /// — is fine).
+    pub fn lookup_incremental(
+        &self,
+        baseline: GraphKey,
+        dirty: &ConeSet,
+    ) -> Option<Arc<CoreSnapshot>> {
+        debug_assert!(
+            dirty.wires.windows(2).all(|w| w[0] < w[1])
+                && dirty.regs.windows(2).all(|w| w[0] < w[1]),
+            "dirty sets come from ConeSet::diff, sorted and deduplicated"
+        );
+        let cell = {
+            let map = self.map.lock().unwrap_or_else(|e| e.into_inner());
+            map.entries.get(&baseline.key).cloned()
+        };
+        match cell.and_then(|c| c.get().cloned()) {
+            Some(snap) => {
+                self.counters
+                    .incremental_hits
+                    .fetch_add(1, Ordering::Relaxed);
+                Some(snap)
+            }
+            None => {
+                self.counters
+                    .incremental_misses
+                    .fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// The incremental attempt: diff the designs, locate the baseline's
+    /// published core, check it really describes the baseline problem
+    /// (collision guard), and splice.
+    fn try_splice<'p, 'd>(
+        &self,
+        problem: &'p Problem<'d>,
+        props: &[&Prop<RtlAtom>],
+        engine: Engine,
+        baseline: &Design,
+        validate: bool,
+        atoms: &[RtlAtom],
+    ) -> Option<StateGraph<'p, 'd>> {
+        let dirty = ConeSet::diff(baseline, problem.design)?;
+        // The baseline problem: same pins/assumptions/cover over the
+        // un-mutated design. Signal ordinals are shared (diff proved the
+        // tables compatible), so the handles transfer directly — this is
+        // exactly the problem the baseline's own requests fingerprinted.
+        let bproblem = Problem {
+            design: baseline,
+            init_pins: problem.init_pins.clone(),
+            assumptions: problem.assumptions.clone(),
+            cover: problem.cover.clone(),
+        };
+        let bkey = fingerprint(&bproblem, atoms);
+        let bsnap = self.lookup_incremental(bkey, &dirty)?;
+        if !snapshot_describes(&bsnap, &bproblem) {
+            return None;
+        }
+        StateGraph::splice(
+            problem,
+            props.iter().copied(),
+            bsnap,
+            &dirty,
+            engine,
+            validate,
+        )
+    }
+
+    fn build_graph_inner<'p, 'd>(
+        &self,
+        problem: &'p Problem<'d>,
+        props: &[&Prop<RtlAtom>],
+        engine: Engine,
+        incremental: Option<(&Design, bool)>,
+    ) -> (StateGraph<'p, 'd>, CacheTicket) {
         let atoms = StateGraph::atom_table(problem, props.iter().copied());
         let key = fingerprint(problem, &atoms);
         self.counters.requests.fetch_add(1, Ordering::Relaxed);
@@ -739,6 +945,16 @@ impl GraphCache {
         let snap = cell
             .get_or_init(|| {
                 self.counters.misses.fetch_add(1, Ordering::Relaxed);
+                if let Some((baseline, validate)) = incremental {
+                    if let Some(graph) =
+                        self.try_splice(problem, props, engine, baseline, validate, &atoms)
+                    {
+                        self.counters.spliced.fetch_add(1, Ordering::Relaxed);
+                        let snap = Arc::new(graph.snapshot());
+                        local = Some((graph, CacheSource::Spliced));
+                        return snap;
+                    }
+                }
                 if self.dir.is_some() {
                     if let Some(snap) = self.load_from_disk(key, problem.design) {
                         match StateGraph::from_snapshot(problem, props.iter().copied(), &snap) {
@@ -789,8 +1005,11 @@ impl GraphCache {
                 }
             }
         };
-        let store =
-            self.dir.is_some() && matches!(source, CacheSource::Cold) && snap_is(&snap, &graph);
+        // Spliced builds are bit-identical to cold builds, so they are
+        // equally valid designated writers for the on-disk level.
+        let store = self.dir.is_some()
+            && matches!(source, CacheSource::Cold | CacheSource::Spliced)
+            && snap_is(&snap, &graph);
         (graph, CacheTicket { key, source, store })
     }
 
@@ -839,6 +1058,13 @@ impl GraphCache {
         collector.counter("graph_cache.collisions", s.collisions, attrs![]);
         collector.counter("graph_cache.stores", s.stores, attrs![]);
         collector.counter("graph_cache.evictions", s.evictions, attrs![]);
+        collector.counter("graph_cache.incremental_hits", s.incremental_hits, attrs![]);
+        collector.counter(
+            "graph_cache.incremental_misses",
+            s.incremental_misses,
+            attrs![],
+        );
+        collector.counter("graph_cache.spliced", s.spliced, attrs![]);
         let mut warnings =
             std::mem::take(&mut *self.warnings.lock().unwrap_or_else(|e| e.into_inner()));
         warnings.sort();
@@ -852,6 +1078,30 @@ impl GraphCache {
 /// store path must only fire for the graph whose core seeded the entry.
 fn snap_is(snap: &CoreSnapshot, graph: &StateGraph<'_, '_>) -> bool {
     snap.atoms == graph.atoms()
+}
+
+/// Collision guard for the incremental path: a published snapshot is only
+/// spliced from if its initial product node is the baseline problem's —
+/// the same check [`StateGraph::from_snapshot`] performs, minus the parts
+/// [`StateGraph::splice`] re-validates itself (atom table, dimensions,
+/// row well-formedness).
+fn snapshot_describes(snap: &CoreSnapshot, problem: &Problem<'_>) -> bool {
+    if snap.num_monitors != problem.assumptions.len()
+        || snap.num_regs != problem.design.num_regs()
+        || snap.nodes.is_empty()
+    {
+        return false;
+    }
+    let sim = Simulator::new(problem.design);
+    let Ok(initial) = sim.initial_state_with(&problem.init_pins) else {
+        return false;
+    };
+    let init_states: Vec<MonitorState> = problem
+        .assumptions
+        .iter()
+        .map(|d| Monitor::new(&d.prop).state().clone())
+        .collect();
+    snap.nodes[0].regs == initial.regs() && snap.nodes[0].assumptions == init_states
 }
 
 #[cfg(test)]
@@ -958,6 +1208,68 @@ mod tests {
         assert!(s.corrupt == 1 || s.key_mismatches == 1, "{s:?}");
 
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The counter with a mutated increment: `count <= en ? count+2 : count`.
+    /// Same signal table as [`counter`], so `ConeSet::diff` is exact.
+    fn counter_by_two() -> Design {
+        let mut b = DesignBuilder::new("c");
+        let en = b.input("en", 1);
+        let count = b.reg("count", 3, Some(0));
+        let two = b.lit(2, 3);
+        let ce = b.sig(count);
+        let sum = b.add(ce, two);
+        let ene = b.sig(en);
+        let hold = b.sig(count);
+        let nxt = b.mux(ene, sum, hold);
+        b.set_next(count, nxt);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn incremental_splices_from_a_published_baseline() {
+        let base = counter();
+        let mutant = counter_by_two();
+        let count = base.signal_by_name("count").unwrap();
+        let prop = Prop::Never(SvaBool::atom(RtlAtom::eq(count, 7)));
+        let cache = GraphCache::in_memory();
+
+        let bproblem = Problem::new(&base);
+        let (_, bt) = cache.build_graph(&bproblem, &[&prop], Engine::full(100_000));
+        assert_eq!(bt.source(), CacheSource::Cold);
+
+        let mproblem = Problem::new(&mutant);
+        let (mg, mt) =
+            cache.build_graph_incremental(&mproblem, &[&prop], Engine::full(100_000), &base, true);
+        assert_eq!(mt.source(), CacheSource::Spliced);
+        let cold = StateGraph::build(&mproblem, [&prop], Engine::full(100_000));
+        assert_eq!(mg.snapshot(), cold.snapshot(), "splice is bit-identical");
+        let s = cache.stats();
+        assert_eq!((s.incremental_hits, s.spliced), (1, 1));
+
+        // A repeat of the same mutant request is a plain memory hit: the
+        // spliced core was published like any other.
+        let (_, t3) =
+            cache.build_graph_incremental(&mproblem, &[&prop], Engine::full(100_000), &base, false);
+        assert_eq!(t3.source(), CacheSource::Memory);
+    }
+
+    #[test]
+    fn incremental_without_a_baseline_falls_back_cold() {
+        let base = counter();
+        let mutant = counter_by_two();
+        let count = base.signal_by_name("count").unwrap();
+        let prop = Prop::Never(SvaBool::atom(RtlAtom::eq(count, 7)));
+        let cache = GraphCache::in_memory();
+        let mproblem = Problem::new(&mutant);
+        let (mg, mt) =
+            cache.build_graph_incremental(&mproblem, &[&prop], Engine::full(100_000), &base, false);
+        assert_eq!(mt.source(), CacheSource::Cold);
+        let cold = StateGraph::build(&mproblem, [&prop], Engine::full(100_000));
+        assert_eq!(mg.snapshot(), cold.snapshot());
+        let s = cache.stats();
+        assert_eq!((s.incremental_hits, s.incremental_misses), (0, 1));
+        assert_eq!(s.spliced, 0);
     }
 
     #[test]

@@ -27,12 +27,13 @@
 //! driving the simulator directly, regardless of how much of the graph
 //! already exists.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
 
 use rtlcheck_obs::{attrs, Collector};
 use rtlcheck_rtl::sim::{Simulator, State};
-use rtlcheck_rtl::{Design, SignalId, SignalKind};
+use rtlcheck_rtl::{ConeSet, Design, ExprId, SignalId, SignalKind};
 use rtlcheck_sva::{Monitor, MonitorState, Prop, SvaBool};
 
 use crate::atom::{RtlAtom, RtlBool};
@@ -145,6 +146,51 @@ struct GraphCore {
     stats: GraphStats,
 }
 
+/// Masks `value` to `width` bits — the register-commit masking
+/// [`Simulator::step`] applies, replicated so spliced dirty-register
+/// values are bit-identical to simulated ones.
+fn mask64(value: u64, width: u8) -> u64 {
+    debug_assert!((1..=64).contains(&width));
+    if width == 64 {
+        value
+    } else {
+        value & ((1u64 << width) - 1)
+    }
+}
+
+/// Baseline-reuse context of an incrementally assembled graph
+/// ([`StateGraph::splice`]). Row construction consults it first: rows of
+/// product nodes present in the baseline are copied, with only the dirty
+/// cones' contributions (dirty registers' next values, dirty wires' atom
+/// bits) re-simulated; nodes the baseline never reached fall back to full
+/// simulation. Counters live here — *not* in [`GraphStats`], which is
+/// serialized in snapshots and must stay byte-identical to cold builds.
+struct SpliceState {
+    baseline: Arc<CoreSnapshot>,
+    /// `(register values, monitor states)` → baseline node id.
+    index: HashMap<(Vec<u64>, Vec<MonitorState>), u32>,
+    /// `(dense register index, next-state expr, width)` per dirty register.
+    dirty_regs: Vec<(usize, ExprId, u8)>,
+    /// The subset of `sig_atoms` whose signal is a dirty wire.
+    dirty_sig_atoms: Vec<(SignalId, Vec<(usize, u64)>)>,
+    /// Bitmask over atom words selecting the dirty atoms (cleared from
+    /// copied rows before re-peeking).
+    dirty_atom_mask: Vec<u64>,
+    /// Re-simulate every spliced row and assert equality.
+    validate: bool,
+    /// Cones in the design (== registers).
+    cones_total: u64,
+    /// Cones the dirty set invalidates.
+    cones_dirty: u64,
+    /// Per-cone row segments copied verbatim from the baseline.
+    rows_copied: Cell<u64>,
+    /// Edge rows assembled by mixing copied and re-simulated cones.
+    rows_spliced: Cell<u64>,
+    /// Per-cone row segments re-simulated (dirty cones of spliced rows,
+    /// every cone of rows rebuilt cold).
+    rows_recomputed: Cell<u64>,
+}
+
 /// The reachable product of a design and its assumption monitors, with
 /// per-edge atom valuations — built once per [`Problem`] and shared by
 /// every property walk and the cover search. See the module docs.
@@ -160,6 +206,8 @@ pub struct StateGraph<'p, 'd> {
     /// u64 words per edge bitset.
     words: usize,
     core: RefCell<GraphCore>,
+    /// Baseline-reuse context when this graph was assembled incrementally.
+    splice: Option<SpliceState>,
 }
 
 impl std::fmt::Debug for StateGraph<'_, '_> {
@@ -259,6 +307,7 @@ impl<'p, 'd> StateGraph<'p, 'd> {
             sig_atoms,
             words,
             core: RefCell::new(core),
+            splice: None,
         }
     }
 
@@ -275,6 +324,154 @@ impl<'p, 'd> StateGraph<'p, 'd> {
         let graph = StateGraph::new(problem, props);
         graph.warm(engine);
         graph
+    }
+
+    /// [`StateGraph::build`], assembled incrementally from a *baseline*
+    /// core: the same breadth-first warm-up runs from the problem's own
+    /// initial node, but each row is copied from the baseline whenever its
+    /// product node exists there, with only the dirty cones' contributions
+    /// — dirty registers' next-state values and dirty wires' atom bits —
+    /// re-simulated. Nodes the baseline never reached (or whose rows were
+    /// never built) are simulated in full.
+    ///
+    /// The result is **bit-identical to a cold build** of the same
+    /// problem: clean signals evaluate identically in both designs (equal
+    /// per-cone fingerprints, see [`rtlcheck_rtl::cone`]), the assumption
+    /// monitors see only clean atoms (enforced below), and discovery
+    /// order is preserved because rows are emitted in input order either
+    /// way. Node ids, statistics, snapshots, and every walk over the
+    /// graph are therefore indistinguishable from the cold path.
+    ///
+    /// Returns `None` — caller falls back to a cold build — when reuse
+    /// would be unsound or is impossible: the atom tables or dimensions
+    /// differ, the baseline core is malformed (e.g. a fingerprint
+    /// collision slipped through), a dirty signal is not actually a
+    /// wire/register of this design, or an *assumption* directive reads a
+    /// dirty wire (monitor stepping could then diverge, poisoning
+    /// admissibility and pruning).
+    ///
+    /// With `validate` set, every copied or patched row is additionally
+    /// re-derived by full simulation and asserted equal — the mode the
+    /// differential CI runs to police the splice soundness argument.
+    ///
+    /// # Panics
+    ///
+    /// Panics in `validate` mode if a spliced row diverges from its
+    /// re-simulation (a soundness bug, never an input error).
+    pub fn splice<'a, I>(
+        problem: &'p Problem<'d>,
+        props: I,
+        baseline: Arc<CoreSnapshot>,
+        dirty: &ConeSet,
+        engine: Engine,
+        validate: bool,
+    ) -> Option<Self>
+    where
+        I: IntoIterator<Item = &'a Prop<RtlAtom>>,
+    {
+        let atoms = StateGraph::atom_table(problem, props);
+        if atoms != baseline.atoms {
+            return None;
+        }
+        let mut graph = StateGraph::with_atoms(problem, atoms);
+        if graph.inputs.len() != baseline.num_inputs
+            || graph.words != baseline.words
+            || problem.design.num_regs() != baseline.num_regs
+            || baseline.nodes.is_empty()
+            || graph.core.borrow().monitors.len() != baseline.num_monitors
+        {
+            return None;
+        }
+        // Monitors must be clean: if any assumption atom reads a dirty
+        // wire, monitor stepping — and with it admissibility and pruning
+        // — could diverge from the baseline, and no row is copyable.
+        for d in &problem.assumptions {
+            let mut dirty_atom = false;
+            d.prop.for_each_atom(&mut |a| {
+                if dirty.wire_dirty(a.sig) {
+                    dirty_atom = true;
+                }
+            });
+            if dirty_atom {
+                return None;
+            }
+        }
+        let mut dirty_regs = Vec::with_capacity(dirty.regs.len());
+        for &r in &dirty.regs {
+            let s = problem.design.signal(r);
+            let SignalKind::Reg { index, next, .. } = s.kind else {
+                return None;
+            };
+            dirty_regs.push((index, next, s.width));
+        }
+        let mut dirty_sig_atoms = Vec::new();
+        let mut dirty_atom_mask = vec![0u64; graph.words];
+        for (sig, list) in &graph.sig_atoms {
+            if dirty.wire_dirty(*sig) {
+                for &(ai, _) in list {
+                    dirty_atom_mask[ai / 64] |= 1 << (ai % 64);
+                }
+                dirty_sig_atoms.push((*sig, list.clone()));
+            }
+        }
+        // Well-formedness scan of the baseline core (the checks
+        // `from_snapshot` performs, minus initial-node equality — the
+        // mutant's initial node may legitimately differ), building the
+        // product-state index as it goes.
+        let num_nodes = baseline.nodes.len();
+        if u32::try_from(num_nodes).is_err() || baseline.stats.nodes != num_nodes {
+            return None;
+        }
+        let row_words = baseline.num_inputs.checked_mul(baseline.words)?;
+        let mut index = HashMap::with_capacity(num_nodes);
+        let mut edges = 0u64;
+        let mut pruned = 0u64;
+        for (i, n) in baseline.nodes.iter().enumerate() {
+            if n.regs.len() != baseline.num_regs || n.assumptions.len() != baseline.num_monitors {
+                return None;
+            }
+            if let Some((dests, bits)) = &n.row {
+                if dests.len() != baseline.num_inputs || bits.len() != row_words {
+                    return None;
+                }
+                for &d in dests {
+                    if d == PRUNED {
+                        pruned += 1;
+                    } else if (d as usize) < num_nodes {
+                        edges += 1;
+                    } else {
+                        return None;
+                    }
+                }
+            }
+            if index
+                .insert((n.regs.clone(), n.assumptions.clone()), i as u32)
+                .is_some()
+            {
+                return None;
+            }
+        }
+        if edges != baseline.stats.edges || pruned != baseline.stats.pruned_edges {
+            return None;
+        }
+        let analysis = problem.design.cones();
+        let cones_total = analysis.len() as u64;
+        let cones_dirty = analysis.invalidated(dirty).len() as u64;
+        graph.splice = Some(SpliceState {
+            baseline,
+            index,
+            dirty_regs,
+            dirty_sig_atoms,
+            dirty_atom_mask,
+            validate,
+            cones_total,
+            cones_dirty,
+            rows_copied: Cell::new(0),
+            rows_spliced: Cell::new(0),
+            rows_recomputed: Cell::new(0),
+        });
+        graph.warm(engine);
+        Some(graph)
     }
 
     fn warm(&self, engine: Engine) {
@@ -305,10 +502,184 @@ impl<'p, 'd> StateGraph<'p, 'd> {
         }
     }
 
-    /// Builds the edge row of one node: steps the assumption monitors and
-    /// the simulator once per input valuation, records prunes, atom
-    /// bitsets, and (deduplicated) destinations.
+    /// Builds the edge row of one node: from the baseline when this graph
+    /// is spliced and the node is copyable, by simulation otherwise.
     fn build_row(&self, core: &mut GraphCore, node: u32) {
+        if let Some(sp) = &self.splice {
+            if self.build_row_spliced(core, node, sp) {
+                return;
+            }
+            // Node (or its row) absent from the baseline: every cone of
+            // this row is re-simulated.
+            sp.rows_recomputed
+                .set(sp.rows_recomputed.get() + self.problem.design.num_regs() as u64);
+        }
+        self.build_row_cold(core, node);
+    }
+
+    /// Copies one node's row from the spliced baseline, re-simulating only
+    /// the dirty cones' contributions. Returns `false` — caller re-builds
+    /// cold — when the node's product state is not in the baseline or its
+    /// row was never materialised there.
+    fn build_row_spliced(&self, core: &mut GraphCore, node: u32, sp: &SpliceState) -> bool {
+        let (state, assumptions) = {
+            let n = &core.nodes[node as usize];
+            (n.state.clone(), n.assumptions.clone())
+        };
+        let Some(&b) = sp.index.get(&(state.regs().to_vec(), assumptions.clone())) else {
+            return false;
+        };
+        let Some((bdests, bbits)) = &sp.baseline.nodes[b as usize].row else {
+            return false;
+        };
+        let num_inputs = self.inputs.len();
+        let mut dests = Vec::with_capacity(num_inputs);
+        let mut bits = vec![0u64; num_inputs * self.words];
+        for (i, input) in self.inputs.iter().enumerate() {
+            let bd = bdests[i];
+            if bd == PRUNED {
+                // Admissibility depends only on the monitors, whose atoms
+                // are clean (checked at splice time): the baseline's
+                // pruning verdict transfers.
+                if sp.validate {
+                    self.validate_entry(&mut core.monitors, &state, &assumptions, input, None, &[]);
+                }
+                core.stats.pruned_edges += 1;
+                dests.push(PRUNED);
+                continue;
+            }
+            let bdest = &sp.baseline.nodes[bd as usize];
+            // Atom bits: copy the row, clear the dirty atoms, re-peek them.
+            let words = &mut bits[i * self.words..(i + 1) * self.words];
+            words.copy_from_slice(&bbits[i * self.words..(i + 1) * self.words]);
+            for (w, m) in words.iter_mut().zip(&sp.dirty_atom_mask) {
+                *w &= !m;
+            }
+            for (sig, sig_atoms) in &sp.dirty_sig_atoms {
+                let v = self.sim.peek(&state, input, *sig);
+                for &(ai, value) in sig_atoms {
+                    if v == value {
+                        words[ai / 64] |= 1 << (ai % 64);
+                    }
+                }
+            }
+            // Destination state: clean registers' next values are equal in
+            // both designs (equal value-function fingerprints), so copy
+            // them; re-evaluate only the dirty registers.
+            let mut regs = bdest.regs.clone();
+            for &(ri, next, width) in &sp.dirty_regs {
+                regs[ri] = mask64(self.sim.eval(&state, input, next), width);
+            }
+            let dest_state = State::from_regs(regs);
+            let next_states = bdest.assumptions.clone();
+            if sp.validate {
+                self.validate_entry(
+                    &mut core.monitors,
+                    &state,
+                    &assumptions,
+                    input,
+                    Some((&dest_state, &next_states)),
+                    words,
+                );
+            }
+            let key = (dest_state, next_states);
+            let dest = match core.index.get(&key) {
+                Some(&d) => d,
+                None => {
+                    let d = u32::try_from(core.nodes.len()).expect("graph fits in u32 node ids");
+                    core.nodes.push(GraphNode {
+                        state: key.0.clone(),
+                        assumptions: key.1.clone(),
+                        row: None,
+                    });
+                    core.index.insert(key, d);
+                    d
+                }
+            };
+            core.stats.edges += 1;
+            dests.push(dest);
+        }
+        core.stats.nodes = core.nodes.len();
+        core.nodes[node as usize].row = Some(EdgeRow {
+            dests: dests.into_boxed_slice(),
+            bits: bits.into_boxed_slice(),
+        });
+        let total = self.problem.design.num_regs() as u64;
+        let dirty = sp.dirty_regs.len() as u64;
+        if dirty == 0 && sp.dirty_sig_atoms.is_empty() {
+            sp.rows_copied.set(sp.rows_copied.get() + total);
+        } else {
+            sp.rows_copied.set(sp.rows_copied.get() + (total - dirty));
+            sp.rows_recomputed.set(sp.rows_recomputed.get() + dirty);
+            sp.rows_spliced.set(sp.rows_spliced.get() + 1);
+        }
+        true
+    }
+
+    /// Re-derives one spliced `(node, input)` entry by full simulation and
+    /// asserts it matches the copied/patched data. `expected` is `None`
+    /// for a pruned entry.
+    fn validate_entry(
+        &self,
+        monitors: &mut [Monitor<RtlAtom>],
+        state: &State,
+        assumptions: &[MonitorState],
+        input: &[u64],
+        expected: Option<(&State, &[MonitorState])>,
+        expected_bits: &[u64],
+    ) {
+        let mut admissible = true;
+        let mut next_states = Vec::with_capacity(monitors.len());
+        for (m_i, m) in monitors.iter_mut().enumerate() {
+            m.set_state(assumptions[m_i].clone());
+            m.step(&|a: &RtlAtom| self.sim.peek(state, input, a.sig) == a.value);
+            if m.failed() {
+                admissible = false;
+            }
+            next_states.push(m.state().clone());
+        }
+        match expected {
+            None => assert!(
+                !admissible,
+                "splice validation: baseline prunes an edge the re-simulation admits"
+            ),
+            Some((dest, states)) => {
+                assert!(
+                    admissible,
+                    "splice validation: baseline admits an edge the re-simulation prunes"
+                );
+                assert_eq!(
+                    states,
+                    &next_states[..],
+                    "splice validation: monitor states diverge"
+                );
+                let mut bits = vec![0u64; self.words];
+                for (sig, sig_atoms) in &self.sig_atoms {
+                    let v = self.sim.peek(state, input, *sig);
+                    for &(ai, value) in sig_atoms {
+                        if v == value {
+                            bits[ai / 64] |= 1 << (ai % 64);
+                        }
+                    }
+                }
+                assert_eq!(
+                    expected_bits,
+                    &bits[..],
+                    "splice validation: atom bits diverge"
+                );
+                let sim_dest = self.sim.step(state, input);
+                assert_eq!(
+                    dest, &sim_dest,
+                    "splice validation: destination state diverges"
+                );
+            }
+        }
+    }
+
+    /// Builds the edge row of one node by simulation: steps the assumption
+    /// monitors and the simulator once per input valuation, records
+    /// prunes, atom bitsets, and (deduplicated) destinations.
+    fn build_row_cold(&self, core: &mut GraphCore, node: u32) {
         let (state, assumptions) = {
             let n = &core.nodes[node as usize];
             (n.state.clone(), n.assumptions.clone())
@@ -599,6 +970,15 @@ impl<'p, 'd> StateGraph<'p, 'd> {
         collector.counter("graph.lookups", s.lookups, attrs![]);
         collector.counter("graph.reuse_hits", s.reuse_hits, attrs![]);
         collector.counter("graph.atoms", self.atoms.len() as u64, attrs![]);
+        if let Some(sp) = &self.splice {
+            collector.counter("cone.graphs", 1, attrs![]);
+            collector.counter("cone.total", sp.cones_total, attrs![]);
+            collector.counter("cone.dirty", sp.cones_dirty, attrs![]);
+            collector.counter("cone.spliced", sp.cones_total - sp.cones_dirty, attrs![]);
+            collector.counter("cone.rows_copied", sp.rows_copied.get(), attrs![]);
+            collector.counter("cone.rows_spliced", sp.rows_spliced.get(), attrs![]);
+            collector.counter("cone.rows_recomputed", sp.rows_recomputed.get(), attrs![]);
+        }
         for (i, m) in core.monitors.iter().enumerate() {
             m.report_to(collector, &self.problem.assumptions[i].name);
         }
@@ -767,5 +1147,213 @@ mod tests {
         let problem = Problem::new(&d);
         let graph = StateGraph::new(&problem, []);
         let _ = graph.map_prop(&Prop::Never(SvaBool::atom(RtlAtom::eq(count, 3))));
+    }
+
+    /// The counter with a mutated increment (`count + 2`): same signal
+    /// table as [`counter`], one dirty register cone.
+    fn counter_by_two() -> rtlcheck_rtl::Design {
+        let mut b = DesignBuilder::new("c");
+        let en = b.input("en", 1);
+        let count = b.reg("count", 3, Some(0));
+        let two = b.lit(2, 3);
+        let ce = b.sig(count);
+        let sum = b.add(ce, two);
+        let ene = b.sig(en);
+        let hold = b.sig(count);
+        let nxt = b.mux(ene, sum, hold);
+        b.set_next(count, nxt);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn splice_is_bit_identical_to_cold_and_validates() {
+        let base = counter();
+        let mutant = counter_by_two();
+        let count = base.signal_by_name("count").unwrap();
+        let prop = Prop::Never(SvaBool::atom(RtlAtom::eq(count, 7)));
+        let bproblem = Problem::new(&base);
+        let bgraph = StateGraph::build(&bproblem, [&prop], Engine::full(100_000));
+        let bsnap = Arc::new(bgraph.snapshot());
+        let dirty = ConeSet::diff(&base, &mutant).unwrap();
+        assert!(!dirty.regs.is_empty());
+
+        let mproblem = Problem::new(&mutant);
+        let cold = StateGraph::build(&mproblem, [&prop], Engine::full(100_000));
+        let spliced = StateGraph::splice(
+            &mproblem,
+            [&prop],
+            bsnap.clone(),
+            &dirty,
+            Engine::full(100_000),
+            true,
+        )
+        .expect("compatible tables and clean monitors must splice");
+        assert_eq!(spliced.stats(), cold.stats());
+        assert_eq!(spliced.snapshot(), cold.snapshot(), "bit-identical core");
+        let sp = spliced.splice.as_ref().unwrap();
+        assert_eq!(sp.cones_total, 1);
+        assert_eq!(sp.cones_dirty, 1);
+        assert!(
+            sp.rows_spliced.get() > 0,
+            "shared product states splice their rows"
+        );
+    }
+
+    #[test]
+    fn splice_with_nothing_dirty_is_pure_copy() {
+        let d = counter();
+        let count = d.signal_by_name("count").unwrap();
+        let prop = Prop::Never(SvaBool::atom(RtlAtom::eq(count, 7)));
+        let problem = Problem::new(&d);
+        let bgraph = StateGraph::build(&problem, [&prop], Engine::full(100_000));
+        let bsnap = Arc::new(bgraph.snapshot());
+        let spliced = StateGraph::splice(
+            &problem,
+            [&prop],
+            bsnap,
+            &ConeSet::empty(),
+            Engine::full(100_000),
+            true,
+        )
+        .unwrap();
+        assert_eq!(spliced.snapshot(), bgraph.snapshot());
+        let sp = spliced.splice.as_ref().unwrap();
+        assert!(sp.rows_copied.get() > 0);
+        assert_eq!(sp.rows_spliced.get(), 0);
+        assert_eq!(sp.rows_recomputed.get(), 0);
+    }
+
+    /// Satellite edge case: every cone dirty — the splice degenerates to
+    /// re-simulating every register of every row, byte-identically to a
+    /// cold build.
+    #[test]
+    fn splice_with_every_cone_dirty_degenerates_to_cold() {
+        let base = counter();
+        let mutant = counter_by_two();
+        let count = base.signal_by_name("count").unwrap();
+        let prop = Prop::Never(SvaBool::atom(RtlAtom::eq(count, 7)));
+        let bproblem = Problem::new(&base);
+        let bsnap =
+            Arc::new(StateGraph::build(&bproblem, [&prop], Engine::full(100_000)).snapshot());
+
+        let mproblem = Problem::new(&mutant);
+        let cold = StateGraph::build(&mproblem, [&prop], Engine::full(100_000));
+        let all = ConeSet::all(&mutant);
+        let spliced =
+            StateGraph::splice(&mproblem, [&prop], bsnap, &all, Engine::full(100_000), true)
+                .unwrap();
+        let cold_bytes = crate::cache::snapshot_to_bytes(
+            &cold.snapshot(),
+            &mutant,
+            crate::cache::GraphKey { key: 0, check: 0 },
+        );
+        let spliced_bytes = crate::cache::snapshot_to_bytes(
+            &spliced.snapshot(),
+            &mutant,
+            crate::cache::GraphKey { key: 0, check: 0 },
+        );
+        assert_eq!(cold_bytes, spliced_bytes, "byte-identical serialized core");
+        let sp = spliced.splice.as_ref().unwrap();
+        assert_eq!(sp.cones_dirty, sp.cones_total, "every cone invalidated");
+        assert_eq!(sp.rows_copied.get(), 0, "nothing left to copy");
+    }
+
+    /// A mutation that dirties a wire an assumption directive reads must
+    /// refuse to splice: monitor stepping could diverge.
+    #[test]
+    fn splice_refuses_dirty_assumption_atoms() {
+        // Baseline: a wire `gate` over en; assumption `Never gate`.
+        let build = |invert: bool| {
+            let mut b = DesignBuilder::new("d");
+            let en = b.input("en", 1);
+            let count = b.reg("count", 3, Some(0));
+            let one = b.lit(1, 3);
+            let ce = b.sig(count);
+            let sum = b.add(ce, one);
+            let ene = b.sig(en);
+            let hold = b.sig(count);
+            let nxt = b.mux(ene, sum, hold);
+            b.set_next(count, nxt);
+            let g = if invert { b.not(en) } else { b.sig(en) };
+            b.wire("gate", g);
+            b.build().unwrap()
+        };
+        let base = build(false);
+        let mutant = build(true);
+        let gate = base.signal_by_name("gate").unwrap();
+        let count = base.signal_by_name("count").unwrap();
+        let prop = Prop::Never(SvaBool::atom(RtlAtom::eq(count, 7)));
+        let mut bproblem = Problem::new(&base);
+        bproblem.assumptions.push(Directive::assume(
+            "gate_low",
+            Prop::Never(SvaBool::atom(RtlAtom::is_true(gate))),
+        ));
+        let bsnap =
+            Arc::new(StateGraph::build(&bproblem, [&prop], Engine::full(100_000)).snapshot());
+        let dirty = ConeSet::diff(&base, &mutant).unwrap();
+        assert!(dirty.wire_dirty(gate));
+        let mut mproblem = Problem::new(&mutant);
+        mproblem.assumptions.push(Directive::assume(
+            "gate_low",
+            Prop::Never(SvaBool::atom(RtlAtom::is_true(gate))),
+        ));
+        assert!(
+            StateGraph::splice(
+                &mproblem,
+                [&prop],
+                bsnap,
+                &dirty,
+                Engine::full(100_000),
+                false
+            )
+            .is_none(),
+            "an assumption over a dirty wire must force the cold path"
+        );
+    }
+
+    /// An init-only mutation shifts the BFS root: the new initial node is
+    /// absent from the baseline and re-simulates cold, but every state the
+    /// baseline did reach still copies.
+    #[test]
+    fn splice_handles_a_shifted_initial_state() {
+        let base = counter();
+        let mut b = DesignBuilder::new("c");
+        let en = b.input("en", 1);
+        let count = b.reg("count", 3, Some(5));
+        let one = b.lit(1, 3);
+        let ce = b.sig(count);
+        let sum = b.add(ce, one);
+        let ene = b.sig(en);
+        let hold = b.sig(count);
+        let nxt = b.mux(ene, sum, hold);
+        b.set_next(count, nxt);
+        let mutant = b.build().unwrap();
+
+        let count_id = base.signal_by_name("count").unwrap();
+        let prop = Prop::Never(SvaBool::atom(RtlAtom::eq(count_id, 7)));
+        let bproblem = Problem::new(&base);
+        // A shallow baseline: only part of the space is materialised, so
+        // the splice exercises both copy and cold-fallback rows.
+        let bgraph = StateGraph::build(&bproblem, [&prop], Engine::bounded(2, 100_000));
+        let bsnap = Arc::new(bgraph.snapshot());
+        let dirty = ConeSet::diff(&base, &mutant).unwrap();
+        assert!(dirty.regs.is_empty() && dirty.wires.is_empty());
+        assert!(!dirty.init_regs.is_empty());
+
+        let mproblem = Problem::new(&mutant);
+        let cold = StateGraph::build(&mproblem, [&prop], Engine::full(100_000));
+        let spliced = StateGraph::splice(
+            &mproblem,
+            [&prop],
+            bsnap,
+            &dirty,
+            Engine::full(100_000),
+            true,
+        )
+        .unwrap();
+        assert_eq!(spliced.snapshot(), cold.snapshot());
+        let sp = spliced.splice.as_ref().unwrap();
+        assert!(sp.rows_copied.get() > 0, "baseline-reached states copy");
+        assert!(sp.rows_recomputed.get() > 0, "unreached states rebuild");
     }
 }

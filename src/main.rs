@@ -54,7 +54,7 @@ use rtlcheck::obs::{
 use rtlcheck::prelude::*;
 use rtlcheck::uhb::solve;
 use rtlcheck::uspec::ground::{ground, DataMode};
-use rtlcheck::verif::{BackendChoice, GraphCache, PropertyVerdict};
+use rtlcheck::verif::{BackendChoice, GraphCache, Incremental, PropertyVerdict};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -83,9 +83,10 @@ usage:
                  [--trace-out <out.json>] [--progress]
   rtlcheck mutate [--design multi_vscale|five_stage|tso] [--config ...] [--jobs N]
                  [--only a,b,c] [--mutants a,b,c] [--backend ...] [--graph-cache <dir>]
-                 [--json <out.json>] [--events <out.jsonl>] [--metrics <out.json>]
+                 [--incremental[=off|on|validate]] [--json <out.json>]
+                 [--events <out.jsonl>] [--metrics <out.json>]
                  [--trace-out <out.json>] [--progress]
-  rtlcheck bench [--workload suite,mutate,check] [--config a,b] [--backend a,b]
+  rtlcheck bench [--workload suite,mutate,mutate-cold,check] [--config a,b] [--backend a,b]
                  [--jobs 1,8] [--only a,b,c] [--iterations N] [--warmup N]
                  [--graph-cache <dir>] [--json <out.json>]
                  [--baseline <bench.json>] [--tolerance PCT]
@@ -109,11 +110,17 @@ later runs (corrupt or stale files fall back to a cold build).
 `mutate` checks every catalogued mutant of --design against the suite and
 reports the mutation score; --mutants restricts the mutant set and --json
 writes the full report (kill matrix, survivors) as a JSON artifact.
+--incremental (default on) splices each mutant's state graph from the
+baseline core, re-simulating only the mutation's dirty cones — output is
+byte-identical to --incremental=off (cold builds); =validate additionally
+re-simulates every spliced row and asserts equality.
 `suite --json` writes the per-test rows as a JSON artifact.
 `bench` runs warmup + N timed iterations of each workload case (the cross
 product of the comma-separated lists) and writes an `rtlcheck-bench/1`
 document; with --baseline it exits non-zero when a case's median regresses
-past --tolerance percent (default 25).
+past --tolerance percent (default 25). The `mutate` workload runs the
+campaign incrementally; `mutate-cold` is the same campaign with
+--incremental=off (the before/after pair for splice speedups).
 `profile --diff` compares two metrics files: per-counter deltas and
 histogram shifts.";
 
@@ -583,6 +590,20 @@ fn mutate_cmd(args: &[String]) -> Result<ExitCode, String> {
                 shared_flags.push(format!("--trace-out={v}"));
             }
             "--progress" => shared_flags.push("--progress".to_string()),
+            "--incremental" => options.incremental = Incremental::On,
+            other if other.starts_with("--incremental=") => {
+                let v = &other["--incremental=".len()..];
+                options.incremental = match v {
+                    "on" => Incremental::On,
+                    "off" => Incremental::Off,
+                    "validate" => Incremental::Validate,
+                    _ => {
+                        return Err(format!(
+                            "unknown --incremental value `{v}` (expected on, off, or validate)"
+                        ))
+                    }
+                };
+            }
             other => return Err(format!("unexpected argument `{other}`")),
         }
     }
@@ -743,9 +764,9 @@ fn bench_cmd(args: &[String]) -> Result<ExitCode, String> {
         None => suite::all(),
     };
     for w in &workloads {
-        if !matches!(w.as_str(), "suite" | "mutate" | "check") {
+        if !matches!(w.as_str(), "suite" | "mutate" | "mutate-cold" | "check") {
             return Err(format!(
-                "unknown workload `{w}` (expected suite, mutate, or check)"
+                "unknown workload `{w}` (expected suite, mutate, mutate-cold, or check)"
             ));
         }
     }
@@ -797,11 +818,16 @@ fn bench_cmd(args: &[String]) -> Result<ExitCode, String> {
                                 }
                             })
                         }
-                        "mutate" => {
+                        "mutate" | "mutate-cold" => {
                             let mut options = CampaignOptions::new(CatalogTarget::MultiVscale);
                             options.jobs = jobs;
                             options.backend = backend;
                             options.tests = only.clone();
+                            options.incremental = if workload == "mutate" {
+                                Incremental::On
+                            } else {
+                                Incremental::Off
+                            };
                             run_case(key, warmup, iterations, |metrics| {
                                 run_campaign(&options, &config, metrics, cache.as_ref())
                                     .expect("bench selections pre-validated");

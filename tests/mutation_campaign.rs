@@ -61,6 +61,16 @@ fn multi_vscale_campaign_kills_the_seeded_mutants() {
         parsed.get("killed").and_then(Json::as_u64),
         Some(report.killed() as u64)
     );
+    // Every campaign unit records the backend its checks ran on.
+    let units = parsed.get("mutants").and_then(Json::as_arr).unwrap();
+    assert!(!units.is_empty());
+    for unit in units {
+        assert_eq!(
+            unit.get("backend").and_then(Json::as_str),
+            Some("explicit"),
+            "{json}"
+        );
+    }
     // Survivors force the weakest-axiom listing to be meaningful: at least
     // one axiom killed nothing.
     assert!(!report.weakest_axioms().is_empty(), "{}", report.render());

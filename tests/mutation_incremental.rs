@@ -1,0 +1,110 @@
+//! Differential test for cone-aware incremental recomputation: the
+//! mutation campaign's splice path must be invisible in every report.
+//!
+//! For each design's catalog the campaign runs cold (`--incremental=off`),
+//! incrementally, incrementally across job counts, and in validate mode
+//! (every spliced row re-simulated and asserted equal); the text render
+//! and the JSON artifact must be byte-identical across all of them. A
+//! separate check pins that the splice path actually engages — a
+//! single-cone mutant's campaign copies more row segments than it
+//! re-simulates.
+
+use rtlcheck_bench::mutation::{run_campaign, CampaignOptions, CampaignReport};
+use rtlcheck_obs::{MetricsCollector, NullCollector};
+use rtlcheck_rtl::mutate::CatalogTarget;
+use rtlcheck_verif::{Incremental, VerifyConfig};
+
+fn campaign(
+    target: CatalogTarget,
+    incremental: Incremental,
+    jobs: usize,
+    collector: &dyn rtlcheck_obs::Collector,
+) -> CampaignReport {
+    let mut options = CampaignOptions::new(target);
+    options.jobs = jobs;
+    options.incremental = incremental;
+    options.tests = Some(vec!["mp".into(), "sb".into()]);
+    run_campaign(&options, &VerifyConfig::quick(), collector, None).unwrap()
+}
+
+/// The tentpole differential: incremental (spliced) campaigns produce
+/// byte-identical kill matrices and JSON to cold campaigns, on every
+/// design, sequentially and with 8 workers, with validation on.
+#[test]
+fn incremental_campaign_is_byte_identical_to_cold_on_every_design() {
+    for target in [
+        CatalogTarget::MultiVscale,
+        CatalogTarget::Tso,
+        CatalogTarget::FiveStage,
+    ] {
+        let cold = campaign(target, Incremental::Off, 1, &NullCollector);
+        let runs = [
+            (
+                "incremental jobs=1",
+                campaign(target, Incremental::On, 1, &NullCollector),
+            ),
+            (
+                "incremental jobs=8",
+                campaign(target, Incremental::On, 8, &NullCollector),
+            ),
+            (
+                "validate jobs=8",
+                campaign(target, Incremental::Validate, 8, &NullCollector),
+            ),
+        ];
+        for (label, run) in &runs {
+            assert_eq!(
+                cold.render(),
+                run.render(),
+                "{target}: {label} text diverges from cold"
+            );
+            assert_eq!(
+                cold.to_json().render(),
+                run.to_json().render(),
+                "{target}: {label} JSON diverges from cold"
+            );
+        }
+    }
+}
+
+/// The splice path engages and pays off: a single-cone mutant's campaign
+/// (the catalog's deliberate equivalent mutant dirties exactly one cone)
+/// copies far more row segments from the baseline core than it
+/// re-simulates.
+#[test]
+fn single_cone_mutant_copies_more_rows_than_it_recomputes() {
+    let metrics = MetricsCollector::new();
+    let mut options = CampaignOptions::new(CatalogTarget::MultiVscale);
+    options.tests = Some(vec!["mp".into()]);
+    options.mutants = Some(vec!["halt_ignores_stall".into()]);
+    run_campaign(&options, &VerifyConfig::quick(), &metrics, None).unwrap();
+    let summary = metrics.summary();
+    let count = |name: &str| summary.counter(name).map_or(0, |c| c.total);
+    assert_eq!(count("cone.graphs"), 1, "the mutant's graph must splice");
+    assert_eq!(count("cone.dirty"), 1, "halt_ignores_stall is single-cone");
+    let copied = count("cone.rows_copied");
+    let recomputed = count("cone.rows_recomputed");
+    assert!(
+        copied > recomputed,
+        "single-cone splice must mostly copy: {copied} copied vs {recomputed} recomputed"
+    );
+    let text = summary.render();
+    assert!(
+        text.contains("Cone reuse (incremental splicing):"),
+        "{text}"
+    );
+}
+
+/// `Incremental::Off` really is the cold path: no splice counters appear.
+#[test]
+fn cold_campaign_emits_no_cone_counters() {
+    let metrics = MetricsCollector::new();
+    let mut options = CampaignOptions::new(CatalogTarget::MultiVscale);
+    options.incremental = Incremental::Off;
+    options.tests = Some(vec!["mp".into()]);
+    options.mutants = Some(vec!["halt_ignores_stall".into()]);
+    run_campaign(&options, &VerifyConfig::quick(), &metrics, None).unwrap();
+    let summary = metrics.summary();
+    assert!(summary.counter("cone.graphs").is_none());
+    assert!(!summary.render().contains("Cone reuse"));
+}
