@@ -31,6 +31,7 @@ use rtlcheck_rtl::multi_vscale::MemoryImpl;
 use rtlcheck_verif::{GraphCache, VerifyConfig};
 
 pub mod bench;
+pub mod fuzz;
 pub mod mutation;
 
 /// One row of the per-test results (one bar of Figures 13/14).

@@ -279,6 +279,25 @@ impl Rtlcheck {
         Ok(report)
     }
 
+    /// The graph-cache fingerprint this test's verification problem would
+    /// be keyed under, without building the graph: the design is built and
+    /// the assumption/assertion generators run (cheap), but no state is
+    /// explored. Two tests with equal fingerprints are served by one
+    /// cached graph, so batch drivers (the fuzzing campaign's escalation
+    /// path) use this to bucket work units that can share an engine run.
+    pub fn problem_fingerprint(&self, test: &LitmusTest) -> rtlcheck_verif::GraphKey {
+        let mv = self.build_design(test);
+        let assumptions = assume::generate(&mv, test);
+        let assertions = assert_gen::generate(&self.spec, &mv, test, self.options)
+            .expect("Multi-V-scale µspec is synthesizable");
+        let mut problem = Problem::new(&mv.design);
+        problem.init_pins = assumptions.init_pins.clone();
+        problem.assumptions = assumptions.directives.clone();
+        problem.cover = Some(assumptions.cover.clone());
+        let props: Vec<_> = assertions.iter().map(|a| &a.directive.prop).collect();
+        rtlcheck_verif::fingerprint_problem(&problem, &props)
+    }
+
     /// Emits the complete per-test SystemVerilog property file — the
     /// artifact RTLCheck hands to the RTL verifier (one file per litmus
     /// test, §6): all generated assumptions followed by all assertions.

@@ -42,6 +42,7 @@ mod test;
 
 pub mod diy;
 pub mod fenced;
+pub mod oracle;
 pub mod sc;
 pub mod suite;
 pub mod tso;

@@ -1,0 +1,517 @@
+//! A cheap axiomatic consistency oracle for litmus-test outcomes.
+//!
+//! The fuzzing campaign (`rtlcheck fuzz`) generates litmus tests by the
+//! hundred-thousand; running the full RTL engine on each would be absurd
+//! when almost all of them are routine. In the style of Roy et al.'s
+//! polynomial-time MCM verification, this module decides a test outcome's
+//! observability *axiomatically*: derive the communication relations the
+//! outcome pins (reads-from via the condition's load values, coherence
+//! maxima via its final-memory clauses), then check the model's
+//! happens-before construction for a cycle.
+//!
+//! Per candidate execution the check is a single cycle detection over the
+//! derived edges — `O(n·log n)` in the number of events for the
+//! bounded-degree graphs the `diy` fragment produces (each location's
+//! accesses are sorted once; thread width and stores-per-location are
+//! bounded). Candidate executions multiply only when the outcome is
+//! ambiguous — a load value written by two stores, or a coherence order no
+//! clause pins. The `diy` generator numbers store values densely per
+//! location, so on generated tests the candidate count is one and the
+//! oracle is a straight-line check; hand-written tests with residual
+//! ambiguity branch over the (tiny) candidate space, and a hard cap
+//! ([`MAX_CANDIDATES`]) turns pathological inputs into
+//! [`Verdict::Unknown`] instead of blow-up — the campaign escalates those
+//! to the full engine.
+//!
+//! Two models are supported, matching the repository's operational ground
+//! truths ([`crate::sc`], [`crate::tso`]):
+//!
+//! * **SC** — the outcome is observable iff some candidate execution has
+//!   acyclic `po ∪ rf ∪ co ∪ fr` (Shasha–Snir).
+//! * **TSO** — the herd-style x86 axiomatisation: `po-loc ∪ rf ∪ co ∪ fr`
+//!   acyclic (coherence / sc-per-location) **and** `ppo ∪ fence ∪ rfe ∪
+//!   co ∪ fr` acyclic (global happens-before), where `ppo` drops
+//!   store→load program order, fences restore it, and internal
+//!   reads-from (store forwarding) does not order globally.
+//!
+//! [`exercised_axioms`] answers the campaign's "which axiom does this
+//! shape exercise" question: a forbidden outcome exercises an axiom when
+//! dropping that axiom's edge class flips the verdict to observable.
+
+use crate::ids::{Loc, Val};
+use crate::test::{LitmusTest, Op};
+
+/// Abort the candidate search past this many executions and report
+/// [`Verdict::Unknown`]. Generated tests use one candidate; the full
+/// 56-test suite never needs more than a handful.
+pub const MAX_CANDIDATES: usize = 4096;
+
+/// The memory model the oracle checks an outcome against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Model {
+    /// Sequential consistency.
+    Sc,
+    /// Total store order (x86-TSO).
+    Tso,
+}
+
+impl Model {
+    /// Stable lower-case label (reports and JSON).
+    pub fn label(self) -> &'static str {
+        match self {
+            Model::Sc => "sc",
+            Model::Tso => "tso",
+        }
+    }
+
+    /// The axiom (edge-class) names [`exercised_axioms`] reports for this
+    /// model, in fixed report order.
+    pub fn axioms(self) -> &'static [&'static str] {
+        match self {
+            Model::Sc => &["po", "rf", "co", "fr"],
+            Model::Tso => &["uniproc", "ppo", "fence", "rfe", "fr", "co"],
+        }
+    }
+}
+
+/// The oracle's answer for one (test outcome, model) query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Verdict {
+    /// Some execution of the model realises the outcome.
+    Observable,
+    /// No execution of the model realises the outcome.
+    Forbidden,
+    /// The candidate space exceeded [`MAX_CANDIDATES`]; escalate to the
+    /// full engine.
+    Unknown,
+}
+
+impl Verdict {
+    /// Stable lower-case label (reports and JSON).
+    pub fn label(self) -> &'static str {
+        match self {
+            Verdict::Observable => "observable",
+            Verdict::Forbidden => "forbidden",
+            Verdict::Unknown => "unknown",
+        }
+    }
+}
+
+/// Whether the test's condition outcome is observable under `model`.
+///
+/// Mirrors [`crate::sc::observable`] / [`crate::tso::observable`]: the
+/// answer concerns the outcome the condition describes, regardless of the
+/// condition's forbid/permit kind.
+pub fn check(test: &LitmusTest, model: Model) -> Verdict {
+    check_relaxed(test, model, None)
+}
+
+/// The axioms a *forbidden* outcome exercises under `model`: dropping the
+/// named edge class from the happens-before construction makes the
+/// outcome observable. Returns an empty list for observable or unknown
+/// outcomes (they constrain nothing).
+pub fn exercised_axioms(test: &LitmusTest, model: Model) -> Vec<&'static str> {
+    if check(test, model) != Verdict::Forbidden {
+        return Vec::new();
+    }
+    model
+        .axioms()
+        .iter()
+        .copied()
+        .filter(|axiom| check_relaxed(test, model, Some(axiom)) == Verdict::Observable)
+        .collect()
+}
+
+/// One event of the outcome's execution skeleton.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EvKind {
+    /// A load the condition pins to a value.
+    Load(Val),
+    /// A store and the value it writes.
+    Store(Val),
+    /// A full fence.
+    Fence,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Ev {
+    thread: usize,
+    /// Program-order index within the thread (original position, so
+    /// dropped unpinned loads still separate their neighbours correctly).
+    pos: usize,
+    loc: Option<Loc>,
+    kind: EvKind,
+}
+
+impl Ev {
+    fn is_store(&self) -> bool {
+        matches!(self.kind, EvKind::Store(_))
+    }
+
+    fn is_load(&self) -> bool {
+        matches!(self.kind, EvKind::Load(_))
+    }
+
+    fn is_fence(&self) -> bool {
+        matches!(self.kind, EvKind::Fence)
+    }
+}
+
+/// [`check`] with an optional dropped axiom (for [`exercised_axioms`]).
+fn check_relaxed(test: &LitmusTest, model: Model, drop: Option<&str>) -> Verdict {
+    // Build the event skeleton: every store and fence, plus exactly the
+    // loads the condition pins. Unpinned loads never block an execution
+    // (they read whatever the memory holds) and impose no rf/fr
+    // constraints, so dropping them preserves observability; program
+    // order through them survives because po is total per thread.
+    let mut evs: Vec<Ev> = Vec::new();
+    for i in test.instructions() {
+        let kind = match i.op {
+            Op::Store { val, .. } => EvKind::Store(val),
+            Op::Fence => EvKind::Fence,
+            Op::Load { .. } => match test.expected_load_value(&i) {
+                Some(v) => EvKind::Load(v),
+                None => continue,
+            },
+        };
+        evs.push(Ev {
+            thread: i.core.0,
+            pos: i.index,
+            loc: i.loc(),
+            kind,
+        });
+    }
+
+    // Per-location store lists, in event order.
+    let num_locs = test.num_locations();
+    let mut stores_of: Vec<Vec<usize>> = vec![Vec::new(); num_locs];
+    for (e, ev) in evs.iter().enumerate() {
+        if ev.is_store() {
+            stores_of[ev.loc.expect("stores have locations").0].push(e);
+        }
+    }
+
+    // Reads-from candidates per pinned load: `Some(store)` for each store
+    // to the location writing the expected value, `None` for the initial
+    // value when it matches. No candidate at all means no execution of
+    // *any* model realises the outcome.
+    let mut loads: Vec<usize> = Vec::new();
+    let mut rf_cands: Vec<Vec<Option<usize>>> = Vec::new();
+    for (e, ev) in evs.iter().enumerate() {
+        let EvKind::Load(expected) = ev.kind else {
+            continue;
+        };
+        let loc = ev.loc.expect("loads have locations");
+        let mut cands: Vec<Option<usize>> = Vec::new();
+        if test.initial_value(loc) == expected {
+            cands.push(None);
+        }
+        for &s in &stores_of[loc.0] {
+            if evs[s].kind == EvKind::Store(expected) {
+                cands.push(Some(s));
+            }
+        }
+        if cands.is_empty() {
+            return Verdict::Forbidden;
+        }
+        loads.push(e);
+        rf_cands.push(cands);
+    }
+
+    // Coherence-order candidates per location: every permutation of its
+    // stores, filtered by the condition's final-memory clauses (the
+    // co-maximum must write the required final value). A location with no
+    // stores satisfies a final-value clause iff it names the initial
+    // value.
+    let mut co_cands: Vec<Vec<Vec<usize>>> = Vec::with_capacity(num_locs);
+    for (l, stores) in stores_of.iter().enumerate() {
+        let required = test.condition().mem_value(Loc(l));
+        if stores.is_empty() {
+            if let Some(v) = required {
+                if v != test.initial_value(Loc(l)) {
+                    return Verdict::Forbidden;
+                }
+            }
+            co_cands.push(vec![Vec::new()]);
+            continue;
+        }
+        let orders: Vec<Vec<usize>> = permutations(stores)
+            .into_iter()
+            .filter(|order| match required {
+                Some(v) => evs[*order.last().expect("nonempty")].kind == EvKind::Store(v),
+                None => true,
+            })
+            .collect();
+        if orders.is_empty() {
+            return Verdict::Forbidden;
+        }
+        co_cands.push(orders);
+    }
+
+    // Enumerate the (rf, co) candidate product with a mixed-radix
+    // counter; observable as soon as one candidate execution is
+    // consistent.
+    let mut radices: Vec<usize> = Vec::new();
+    radices.extend(rf_cands.iter().map(Vec::len));
+    radices.extend(co_cands.iter().map(Vec::len));
+    let mut digits = vec![0usize; radices.len()];
+    let mut explored = 0usize;
+    loop {
+        if explored >= MAX_CANDIDATES {
+            return Verdict::Unknown;
+        }
+        explored += 1;
+        let rf: Vec<Option<usize>> = loads
+            .iter()
+            .enumerate()
+            .map(|(li, _)| rf_cands[li][digits[li]])
+            .collect();
+        let co: Vec<&Vec<usize>> = (0..num_locs)
+            .map(|l| &co_cands[l][digits[loads.len() + l]])
+            .collect();
+        if consistent(&evs, &loads, &rf, &co, model, drop) {
+            return Verdict::Observable;
+        }
+        // Advance the counter; done when it wraps.
+        let mut carry = true;
+        for (d, &r) in digits.iter_mut().zip(&radices) {
+            if !carry {
+                break;
+            }
+            *d += 1;
+            carry = *d == r;
+            if carry {
+                *d = 0;
+            }
+        }
+        if carry {
+            return Verdict::Forbidden;
+        }
+    }
+}
+
+/// All permutations of `items` (used for per-location coherence orders —
+/// bounded by the stores-per-location count, which is 2 in the `diy`
+/// fragment and the suite).
+fn permutations(items: &[usize]) -> Vec<Vec<usize>> {
+    if items.is_empty() {
+        return vec![Vec::new()];
+    }
+    let mut out = Vec::new();
+    for (i, &x) in items.iter().enumerate() {
+        let mut rest: Vec<usize> = items.to_vec();
+        rest.remove(i);
+        for mut p in permutations(&rest) {
+            p.insert(0, x);
+            out.push(p);
+        }
+    }
+    out
+}
+
+/// Whether one fully-resolved candidate execution is consistent with
+/// `model` (minus an optionally dropped axiom class).
+fn consistent(
+    evs: &[Ev],
+    loads: &[usize],
+    rf: &[Option<usize>],
+    co: &[&Vec<usize>],
+    model: Model,
+    drop: Option<&str>,
+) -> bool {
+    let keep = |axiom: &str| drop != Some(axiom);
+    let n = evs.len();
+
+    // Coherence position of each store in its location's chosen order.
+    let mut co_pos = vec![0usize; n];
+    for order in co {
+        for (i, &s) in order.iter().enumerate() {
+            co_pos[s] = i;
+        }
+    }
+
+    // Communication edges, derived once per candidate: rf from the chosen
+    // writer, co along the chosen order, fr from each load to every store
+    // coherence-after its writer (reads of the initial value are
+    // fr-before all stores).
+    let mut rf_edges: Vec<(usize, usize)> = Vec::new();
+    let mut fr_edges: Vec<(usize, usize)> = Vec::new();
+    let mut co_edges: Vec<(usize, usize)> = Vec::new();
+    for (li, &l) in loads.iter().enumerate() {
+        let loc = evs[l].loc.expect("loads have locations");
+        match rf[li] {
+            Some(w) => {
+                rf_edges.push((w, l));
+                for &s in co[loc.0] {
+                    if co_pos[s] > co_pos[w] {
+                        fr_edges.push((l, s));
+                    }
+                }
+            }
+            None => {
+                for &s in co[loc.0] {
+                    fr_edges.push((l, s));
+                }
+            }
+        }
+    }
+    for order in co {
+        for w in order.windows(2) {
+            co_edges.push((w[0], w[1]));
+        }
+    }
+
+    // Program-order pairs. `fence_between(a, b)` holds when a fence sits
+    // between them in the thread.
+    let po_pairs: Vec<(usize, usize)> = (0..n)
+        .flat_map(|a| (0..n).map(move |b| (a, b)))
+        .filter(|&(a, b)| evs[a].thread == evs[b].thread && evs[a].pos < evs[b].pos)
+        .collect();
+    let fence_between = |a: usize, b: usize| {
+        evs.iter().any(|f| {
+            f.is_fence() && f.thread == evs[a].thread && evs[a].pos < f.pos && f.pos < evs[b].pos
+        })
+    };
+
+    match model {
+        Model::Sc => {
+            let mut edges: Vec<(usize, usize)> = Vec::new();
+            if keep("po") {
+                edges.extend(po_pairs.iter().copied());
+            }
+            if keep("rf") {
+                edges.extend(rf_edges.iter().copied());
+            }
+            if keep("co") {
+                edges.extend(co_edges.iter().copied());
+            }
+            if keep("fr") {
+                edges.extend(fr_edges.iter().copied());
+            }
+            acyclic(n, &edges)
+        }
+        Model::Tso => {
+            // Uniproc / sc-per-location: program order restricted to one
+            // location, plus all communication.
+            if keep("uniproc") {
+                let mut edges: Vec<(usize, usize)> = po_pairs
+                    .iter()
+                    .copied()
+                    .filter(|&(a, b)| evs[a].loc.is_some() && evs[a].loc == evs[b].loc)
+                    .collect();
+                edges.extend(rf_edges.iter().copied());
+                edges.extend(co_edges.iter().copied());
+                edges.extend(fr_edges.iter().copied());
+                if !acyclic(n, &edges) {
+                    return false;
+                }
+            }
+            // Global happens-before: preserved program order (store→load
+            // dropped unless fenced), external reads-from, coherence,
+            // from-reads. Fence events participate as po nodes, so a
+            // store→fence→load chain restores the dropped ordering; the
+            // explicit `fence` class keeps the pair when `ppo` itself is
+            // dropped.
+            let mut edges: Vec<(usize, usize)> = Vec::new();
+            for &(a, b) in &po_pairs {
+                let relaxed = evs[a].is_store() && evs[b].is_load();
+                let class = if !relaxed { "ppo" } else { "fence" };
+                let ordered = !relaxed || fence_between(a, b);
+                if ordered && keep(class) {
+                    edges.push((a, b));
+                }
+            }
+            if keep("rfe") {
+                edges.extend(
+                    rf_edges
+                        .iter()
+                        .copied()
+                        .filter(|&(w, l)| evs[w].thread != evs[l].thread),
+                );
+            }
+            if keep("co") {
+                edges.extend(co_edges.iter().copied());
+            }
+            if keep("fr") {
+                edges.extend(fr_edges.iter().copied());
+            }
+            acyclic(n, &edges)
+        }
+    }
+}
+
+/// Cycle detection by Kahn peeling over an adjacency list.
+fn acyclic(n: usize, edges: &[(usize, usize)]) -> bool {
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut indeg = vec![0usize; n];
+    for &(a, b) in edges {
+        adj[a].push(b);
+        indeg[b] += 1;
+    }
+    let mut queue: Vec<usize> = (0..n).filter(|&v| indeg[v] == 0).collect();
+    let mut seen = 0usize;
+    while let Some(v) = queue.pop() {
+        seen += 1;
+        for &w in &adj[v] {
+            indeg[w] -= 1;
+            if indeg[w] == 0 {
+                queue.push(w);
+            }
+        }
+    }
+    seen == n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite;
+
+    fn verdict(name: &str, model: Model) -> Verdict {
+        check(&suite::get(name).expect("suite test"), model)
+    }
+
+    #[test]
+    fn classic_shapes_under_sc() {
+        for name in ["sb", "mp", "lb", "iriw", "2+2w"] {
+            if suite::get(name).is_some() {
+                assert_eq!(verdict(name, Model::Sc), Verdict::Forbidden, "{name}");
+            }
+        }
+    }
+
+    #[test]
+    fn sb_is_tso_observable_but_mp_is_not() {
+        assert_eq!(verdict("sb", Model::Tso), Verdict::Observable);
+        assert_eq!(verdict("mp", Model::Tso), Verdict::Forbidden);
+    }
+
+    #[test]
+    fn sb_exercises_po_and_fr_under_sc() {
+        let sb = suite::get("sb").unwrap();
+        assert_eq!(exercised_axioms(&sb, Model::Sc), vec!["po", "fr"]);
+    }
+
+    #[test]
+    fn observable_outcomes_exercise_nothing() {
+        let sb = suite::get("sb").unwrap();
+        assert!(exercised_axioms(&sb, Model::Tso).is_empty());
+    }
+
+    #[test]
+    fn unsatisfiable_value_is_forbidden_everywhere() {
+        // A load pinned to a value nothing writes can never be observed.
+        let t = crate::parse(
+            r"
+            test impossible
+            { x = 0; }
+            core 0 { st x, 1; }
+            core 1 { r1 = ld x; }
+            forbid ( 1:r1 = 7 )
+        ",
+        )
+        .unwrap();
+        assert_eq!(check(&t, Model::Sc), Verdict::Forbidden);
+        assert_eq!(check(&t, Model::Tso), Verdict::Forbidden);
+    }
+}

@@ -1,0 +1,124 @@
+//! Differential pinning of the polynomial oracle (`litmus::oracle`)
+//! against the operational ground truths (`litmus::sc`, `litmus::tso`).
+//!
+//! Two sources of tests: the full 56-test paper suite, and ≥1,000 seeded
+//! random diy cycles. On every test the axiomatic verdict must agree
+//! exactly with the operational interleaving enumerator for both models —
+//! no `Unknown` escapes allowed on this fragment.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rtlcheck_litmus::oracle::{self, Model, Verdict};
+use rtlcheck_litmus::{diy, sc, suite, tso, LitmusTest};
+
+fn expect_agreement(test: &LitmusTest, context: &str) {
+    let sc_truth = if sc::observable(test) {
+        Verdict::Observable
+    } else {
+        Verdict::Forbidden
+    };
+    let tso_truth = if tso::observable(test) {
+        Verdict::Observable
+    } else {
+        Verdict::Forbidden
+    };
+    assert_eq!(
+        oracle::check(test, Model::Sc),
+        sc_truth,
+        "SC disagreement on {context} ({})",
+        test.name()
+    );
+    assert_eq!(
+        oracle::check(test, Model::Tso),
+        tso_truth,
+        "TSO disagreement on {context} ({})",
+        test.name()
+    );
+}
+
+/// The whole suite: the oracle reproduces both operational verdicts on
+/// all 56 tests, with no `Unknown`.
+#[test]
+fn oracle_matches_operational_verdicts_on_full_suite() {
+    let mut checked = 0;
+    for test in suite::all() {
+        expect_agreement(&test, "suite");
+        checked += 1;
+    }
+    assert_eq!(checked, 56, "suite size drifted");
+}
+
+/// Spot-pin the headline classifications so a simultaneous regression in
+/// oracle and operational model cannot slip through silently.
+#[test]
+fn oracle_pins_headline_suite_classifications() {
+    let cases = [
+        ("sb", Verdict::Forbidden, Verdict::Observable),
+        ("mp", Verdict::Forbidden, Verdict::Forbidden),
+        ("lb", Verdict::Forbidden, Verdict::Forbidden),
+        ("iriw", Verdict::Forbidden, Verdict::Forbidden),
+        ("n6", Verdict::Forbidden, Verdict::Observable),
+        ("rwc", Verdict::Forbidden, Verdict::Observable),
+    ];
+    for (name, want_sc, want_tso) in cases {
+        let test = suite::get(name).expect("suite test");
+        assert_eq!(oracle::check(&test, Model::Sc), want_sc, "{name} under SC");
+        assert_eq!(
+            oracle::check(&test, Model::Tso),
+            want_tso,
+            "{name} under TSO"
+        );
+    }
+}
+
+/// Every diy-generated critical cycle is SC-forbidden by construction;
+/// the oracle must agree, and must match the operational TSO verdict.
+#[test]
+fn oracle_matches_operational_verdicts_on_seeded_random_cycles() {
+    let mut rng = StdRng::seed_from_u64(0x04AC1ED1FF);
+    let mut generated = 0;
+    let mut attempts = 0;
+    while generated < 1_000 {
+        attempts += 1;
+        assert!(attempts < 20_000, "generator starving: {generated} tests");
+        let len = 3 + (attempts % 4);
+        let Ok(cycle) = diy::random_cycle(&mut rng, len) else {
+            continue;
+        };
+        let Ok(test) = diy::generate(&format!("rnd{generated}"), &cycle) else {
+            continue;
+        };
+        expect_agreement(&test, "random cycle");
+        assert_eq!(
+            oracle::check(&test, Model::Sc),
+            Verdict::Forbidden,
+            "diy output must be SC-forbidden: {cycle:?}"
+        );
+        generated += 1;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(1000))]
+
+    /// Property form of the differential: arbitrary seed and length
+    /// produce a cycle whose generated test agrees with both operational
+    /// oracles.
+    #[test]
+    fn random_cycle_tests_agree_with_operational_models(
+        seed in 0u64..u64::MAX,
+        len in 3usize..=6,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cycle = match diy::random_cycle(&mut rng, len) {
+            Ok(c) => c,
+            Err(_) => return Ok(()),
+        };
+        let test = match diy::generate("prop", &cycle) {
+            Ok(t) => t,
+            Err(_) => return Ok(()),
+        };
+        expect_agreement(&test, "proptest cycle");
+    }
+}

@@ -679,6 +679,41 @@ impl MetricsSummary {
             );
         }
 
+        if let Some(requested) = self.counter("fuzz.requested") {
+            let count = |name: &str| self.counter(name).map_or(0, |c| c.total);
+            let generated = count("fuzz.generated");
+            let shapes = count("fuzz.shapes");
+            let _ = writeln!(out, "\nFuzz campaign:");
+            let _ = writeln!(
+                out,
+                "  {} cycle(s) requested: {} generated, {} sampling failure(s)",
+                requested.total,
+                generated,
+                count("fuzz.sample_failures"),
+            );
+            let _ = writeln!(
+                out,
+                "  {} unique shape(s) ({} duplicate(s), {:.0}% dedup); oracle resolved {}",
+                shapes,
+                count("fuzz.duplicates"),
+                if generated > 0 {
+                    100.0 * count("fuzz.duplicates") as f64 / generated as f64
+                } else {
+                    0.0
+                },
+                count("fuzz.oracle_resolved"),
+            );
+            let _ = writeln!(
+                out,
+                "  {} escalated to {} engine bucket(s): {} agree, {} disagree, {} violation(s)",
+                count("fuzz.escalated"),
+                count("fuzz.buckets"),
+                count("fuzz.agreements"),
+                count("fuzz.disagreements"),
+                count("fuzz.violations"),
+            );
+        }
+
         let slow_props: Vec<&SlowSpan> = self
             .slowest
             .iter()
@@ -1193,6 +1228,41 @@ mod tests {
         // No mutation counters → no section.
         let empty = MetricsCollector::new().summary().render();
         assert!(!empty.contains("Mutation campaign"), "{empty}");
+    }
+
+    #[test]
+    fn render_shows_the_fuzz_section() {
+        let m = MetricsCollector::new();
+        m.counter("fuzz.requested", 1000, attrs![]);
+        m.counter("fuzz.generated", 1000, attrs![]);
+        m.counter("fuzz.sample_failures", 0, attrs![]);
+        m.counter("fuzz.shapes", 250, attrs![]);
+        m.counter("fuzz.duplicates", 750, attrs![]);
+        m.counter("fuzz.oracle_resolved", 250, attrs![]);
+        m.counter("fuzz.escalated", 25, attrs![]);
+        m.counter("fuzz.buckets", 25, attrs![]);
+        m.counter("fuzz.agreements", 25, attrs![]);
+        m.counter("fuzz.disagreements", 0, attrs![]);
+        m.counter("fuzz.violations", 0, attrs![]);
+        let text = m.summary().render();
+        assert!(text.contains("Fuzz campaign:"), "{text}");
+        assert!(
+            text.contains("1000 cycle(s) requested: 1000 generated, 0 sampling failure(s)"),
+            "{text}"
+        );
+        assert!(
+            text.contains("250 unique shape(s) (750 duplicate(s), 75% dedup); oracle resolved 250"),
+            "{text}"
+        );
+        assert!(
+            text.contains(
+                "25 escalated to 25 engine bucket(s): 25 agree, 0 disagree, 0 violation(s)"
+            ),
+            "{text}"
+        );
+        // No fuzz counters → no section.
+        let empty = MetricsCollector::new().summary().render();
+        assert!(!empty.contains("Fuzz campaign"), "{empty}");
     }
 
     #[test]

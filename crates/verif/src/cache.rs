@@ -217,6 +217,16 @@ pub fn fingerprint(problem: &Problem<'_>, atoms: &[RtlAtom]) -> GraphKey {
     }
 }
 
+/// Computes the fingerprint of a problem and the properties that would be
+/// checked against it, deriving the atom table the same way
+/// [`GraphCache::build_graph`] does. This is the key a cached run of the
+/// same (problem, properties) pair would be stored under, so callers can
+/// group work units that will share one graph without building anything.
+pub fn fingerprint_problem(problem: &Problem<'_>, props: &[&Prop<RtlAtom>]) -> GraphKey {
+    let atoms = StateGraph::atom_table(problem, props.iter().copied());
+    fingerprint(problem, &atoms)
+}
+
 /// One node of a [`CoreSnapshot`]: the product state plus its (optional)
 /// materialised edge row.
 #[derive(Debug, Clone, PartialEq, Eq)]

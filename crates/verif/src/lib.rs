@@ -41,8 +41,8 @@ pub mod symbolic;
 pub use atom::RtlAtom;
 pub use backend::{Backend, BackendChoice, BackendKind, EdgeClass};
 pub use cache::{
-    fingerprint, snapshot_from_bytes, snapshot_to_bytes, CacheSource, CacheStats, CacheTicket,
-    CoreSnapshot, GraphCache, GraphKey, Incremental, SnapshotError,
+    fingerprint, fingerprint_problem, snapshot_from_bytes, snapshot_to_bytes, CacheSource,
+    CacheStats, CacheTicket, CoreSnapshot, GraphCache, GraphKey, Incremental, SnapshotError,
 };
 pub use engine::{Engine, EngineKind, PropertyVerdict, VerifyConfig};
 pub use explore::{

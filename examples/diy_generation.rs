@@ -60,7 +60,7 @@ fn main() {
     let mut generated = 0;
     for len in [3usize, 4, 5, 6] {
         for _ in 0..3 {
-            let Some(cycle) = random_cycle(&mut rng, len) else {
+            let Ok(cycle) = random_cycle(&mut rng, len) else {
                 continue;
             };
             let name = cycle_name(&cycle);

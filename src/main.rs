@@ -15,6 +15,9 @@
 //!                 [--jobs N] [--only a,b,c] [--mutants a,b,c]
 //!                 [--backend ...] [--graph-cache <dir>] [--json <out.json>]
 //!                 [--events <out.jsonl>] [--metrics <out.json>]
+//! rtlcheck fuzz [--count N] [--seed S] [--memory ...] [--config ...]
+//!               [--jobs N] [--len MIN..MAX] [--escalate N] [--backend ...]
+//!               [--graph-cache <dir>] [--json <out.json>]
 //! rtlcheck profile <metrics.json>
 //! rtlcheck list
 //! ```
@@ -40,6 +43,12 @@
 //! chosen design is checked against the litmus suite and classified as
 //! killed, survived, or budget-limited; the report (text on stdout, JSON
 //! with `--json`) carries the per-mutant × per-axiom kill matrix and is
+//! byte-identical across `--jobs` values.
+//!
+//! `fuzz` runs the streaming diy fuzzing campaign: seeded random cycles
+//! are deduplicated by canonical signature, triaged by the polynomial
+//! SC/TSO oracle, and only oracle-unresolved or budgeted shapes escalate
+//! to the full RTL engine; like the other campaigns its report is
 //! byte-identical across `--jobs` values.
 
 use std::io::{BufWriter, Write as _};
@@ -86,6 +95,11 @@ usage:
                  [--incremental[=off|on|validate]] [--json <out.json>]
                  [--events <out.jsonl>] [--metrics <out.json>]
                  [--trace-out <out.json>] [--progress]
+  rtlcheck fuzz [--count N] [--seed S] [--memory fixed|buggy|tso] [--config ...]
+                 [--jobs N] [--len MIN..MAX] [--escalate N] [--backend ...]
+                 [--graph-cache <dir>] [--json <out.json>]
+                 [--events <out.jsonl>] [--metrics <out.json>]
+                 [--trace-out <out.json>] [--progress]
   rtlcheck bench [--workload suite,mutate,mutate-cold,check] [--config a,b] [--backend a,b]
                  [--jobs 1,8] [--only a,b,c] [--iterations N] [--warmup N]
                  [--graph-cache <dir>] [--json <out.json>]
@@ -115,6 +129,12 @@ baseline core, re-simulating only the mutation's dirty cones — output is
 byte-identical to --incremental=off (cold builds); =validate additionally
 re-simulates every spliced row and asserts equality.
 `suite --json` writes the per-test rows as a JSON artifact.
+`fuzz` runs a seeded diy litmus fuzzing campaign: --count random cycles are
+generated, deduplicated by rotation/reflection-invariant signature, triaged
+by a polynomial SC/TSO oracle, and the shapes the oracle cannot settle (or
+that --escalate budgets in) are escalated to the full RTL engine; the
+report carries the axiom exercise matrix and is byte-identical across
+--jobs values. --len bounds the cycle length (default 3..6).
 `bench` runs warmup + N timed iterations of each workload case (the cross
 product of the comma-separated lists) and writes an `rtlcheck-bench/1`
 document; with --baseline it exits non-zero when a case's median regresses
@@ -151,6 +171,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "axiomatic" => axiomatic(rest),
         "suite" => suite_cmd(rest),
         "mutate" => mutate_cmd(rest),
+        "fuzz" => fuzz_cmd(rest),
         "bench" => bench_cmd(rest),
         "profile" => profile(rest),
         other => Err(format!("unknown subcommand `{other}`")),
@@ -641,6 +662,137 @@ fn mutate_cmd(args: &[String]) -> Result<ExitCode, String> {
     // A campaign that kills nothing means the property set detected none of
     // the injected bugs — fail so CI smoke runs catch it.
     Ok(if report.killed() == 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
+/// The `fuzz` subcommand: run the streaming diy fuzzing campaign — seeded
+/// cycle generation, signature dedup, polynomial oracle triage, and
+/// engine escalation for the shapes the oracle cannot settle. Own parser:
+/// like `mutate` it takes no `<test>` positional.
+fn fuzz_cmd(args: &[String]) -> Result<ExitCode, String> {
+    use rtlcheck::bench::fuzz::{run_fuzz_live, FuzzOptions};
+
+    let mut options = FuzzOptions::new(MemoryImpl::Fixed);
+    let mut config = VerifyConfig::quick();
+    let mut json_path: Option<String> = None;
+    let mut shared_flags = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--count" => {
+                let v = it.next().ok_or("--count needs a number")?;
+                options.count = v
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or(format!("--count needs a positive integer, got `{v}`"))?;
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a number")?;
+                options.seed = v
+                    .parse()
+                    .map_err(|_| format!("--seed needs an unsigned integer, got `{v}`"))?;
+            }
+            "--memory" => {
+                let v = it.next().ok_or("--memory needs a value")?;
+                options.memory = parse_memory(v)?;
+            }
+            "--config" => {
+                let v = it.next().ok_or("--config needs a value")?;
+                config = parse_config(v)?;
+            }
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs needs a count")?;
+                options.jobs = v
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or(format!("--jobs needs a positive integer, got `{v}`"))?;
+            }
+            "--len" => {
+                let v = it.next().ok_or("--len needs a range like 3..6")?;
+                let (lo, hi) = v
+                    .split_once("..")
+                    .ok_or(format!("--len needs MIN..MAX, got `{v}`"))?;
+                options.min_len = lo
+                    .parse()
+                    .map_err(|_| format!("--len minimum must be an integer, got `{lo}`"))?;
+                options.max_len = hi
+                    .parse()
+                    .map_err(|_| format!("--len maximum must be an integer, got `{hi}`"))?;
+                if options.min_len < 2 || options.min_len > options.max_len {
+                    return Err(format!("invalid --len range `{v}` (need 2 <= min <= max)"));
+                }
+            }
+            "--escalate" => {
+                let v = it.next().ok_or("--escalate needs a number")?;
+                options.escalate_budget = Some(
+                    v.parse()
+                        .map_err(|_| format!("--escalate needs an unsigned integer, got `{v}`"))?,
+                );
+            }
+            "--backend" => {
+                let v = it.next().ok_or("--backend needs a value")?;
+                options.backend = BackendChoice::parse(v).ok_or(format!(
+                    "unknown backend `{v}` (expected explicit, symbolic, or auto)"
+                ))?;
+            }
+            "--json" => {
+                let v = it.next().ok_or("--json needs a path")?;
+                json_path = Some(v.clone());
+            }
+            "--graph-cache" => {
+                let v = it.next().ok_or("--graph-cache needs a directory")?;
+                shared_flags.push(format!("--graph-cache={v}"));
+            }
+            "--events" => {
+                let v = it.next().ok_or("--events needs a path")?;
+                shared_flags.push(format!("--events={v}"));
+            }
+            "--metrics" => {
+                let v = it.next().ok_or("--metrics needs a path")?;
+                shared_flags.push(format!("--metrics={v}"));
+            }
+            "--trace-out" => {
+                let v = it.next().ok_or("--trace-out needs a path")?;
+                shared_flags.push(format!("--trace-out={v}"));
+            }
+            "--progress" => shared_flags.push("--progress".to_string()),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+
+    let cache = flag_graph_cache(&shared_flags)?;
+    let obs = Observability::from_flags(&shared_flags)?;
+    let collector = obs.collector();
+    // The engine-escalation bucket count is only known after triage, so the
+    // progress denominator is unknown upfront.
+    let progress = flag_progress(&shared_flags, "fuzz", 0);
+    let mut live: Vec<&dyn TrackSink> = obs.live_sinks();
+    if let Some(p) = &progress {
+        live.push(p);
+    }
+    let report = run_fuzz_live(&options, &config, &collector, cache.as_ref(), &live)?;
+    if let Some(p) = &progress {
+        p.finish();
+    }
+    drop(collector);
+    obs.finish()?;
+    print!("{}", report.render());
+    if let Some(path) = &json_path {
+        let text = report.to_json().pretty();
+        std::fs::write(path, text + "\n").map_err(|e| format!("writing {path}: {e}"))?;
+        println!("\nJSON report written to {path}");
+    }
+    // A model-level violation is always a failure. An oracle/engine
+    // disagreement is a failure on correct memories; on `--memory buggy` it
+    // is the expected signal (the engine sees the injected bug the ideal
+    // model forbids).
+    let disagreement_failure = report.disagreements() > 0 && options.memory != MemoryImpl::Buggy;
+    Ok(if report.violations() > 0 || disagreement_failure {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
