@@ -33,6 +33,7 @@ use rtlcheck_verif::{GraphCache, VerifyConfig};
 pub mod bench;
 pub mod fuzz;
 pub mod mutation;
+pub mod serve;
 
 /// One row of the per-test results (one bar of Figures 13/14).
 #[derive(Debug, Clone)]

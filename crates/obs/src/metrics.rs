@@ -714,6 +714,29 @@ impl MetricsSummary {
             );
         }
 
+        if let Some(jobs) = self.counter("serve.jobs") {
+            let count = |name: &str| self.counter(name).map_or(0, |c| c.total);
+            let _ = writeln!(out, "\nServer:");
+            let _ = writeln!(
+                out,
+                "  {} job(s) over {} connection(s): {} completed, {} coalesced",
+                jobs.total,
+                count("serve.connections"),
+                count("serve.completed"),
+                count("serve.coalesced"),
+            );
+            let _ = writeln!(
+                out,
+                "  {} frame(s); {} overloaded rejection(s), {} protocol error(s), \
+                 {} disconnect(s); queue peak {}",
+                count("serve.frames"),
+                count("serve.rejected_overload"),
+                count("serve.protocol_errors"),
+                count("serve.disconnects"),
+                count("serve.queue_peak"),
+            );
+        }
+
         let slow_props: Vec<&SlowSpan> = self
             .slowest
             .iter()
@@ -1263,6 +1286,36 @@ mod tests {
         // No fuzz counters → no section.
         let empty = MetricsCollector::new().summary().render();
         assert!(!empty.contains("Fuzz campaign"), "{empty}");
+    }
+
+    #[test]
+    fn render_shows_the_server_section() {
+        let m = MetricsCollector::new();
+        m.counter("serve.connections", 3, attrs![]);
+        m.counter("serve.frames", 12, attrs![]);
+        m.counter("serve.jobs", 8, attrs![]);
+        m.counter("serve.completed", 8, attrs![]);
+        m.counter("serve.coalesced", 2, attrs![]);
+        m.counter("serve.rejected_overload", 1, attrs![]);
+        m.counter("serve.protocol_errors", 1, attrs![]);
+        m.counter("serve.disconnects", 0, attrs![]);
+        m.counter("serve.queue_peak", 4, attrs![]);
+        let text = m.summary().render();
+        assert!(text.contains("Server:"), "{text}");
+        assert!(
+            text.contains("8 job(s) over 3 connection(s): 8 completed, 2 coalesced"),
+            "{text}"
+        );
+        assert!(
+            text.contains(
+                "12 frame(s); 1 overloaded rejection(s), 1 protocol error(s), \
+                 0 disconnect(s); queue peak 4"
+            ),
+            "{text}"
+        );
+        // No serve counters → no section.
+        let empty = MetricsCollector::new().summary().render();
+        assert!(!empty.contains("Server:"), "{empty}");
     }
 
     #[test]

@@ -657,6 +657,30 @@ pub struct CacheStats {
     pub spliced: u64,
 }
 
+impl CacheStats {
+    /// Renders the snapshot as a JSON object, one field per counter —
+    /// what the verification server's `stats` response embeds.
+    pub fn to_json(&self) -> rtlcheck_obs::json::Json {
+        use rtlcheck_obs::json::Json;
+        Json::obj(vec![
+            ("requests", Json::Uint(self.requests)),
+            ("hits", Json::Uint(self.hits)),
+            ("misses", Json::Uint(self.misses)),
+            ("disk_hits", Json::Uint(self.disk_hits)),
+            ("disk_misses", Json::Uint(self.disk_misses)),
+            ("corrupt", Json::Uint(self.corrupt)),
+            ("version_mismatch", Json::Uint(self.version_mismatch)),
+            ("key_mismatches", Json::Uint(self.key_mismatches)),
+            ("collisions", Json::Uint(self.collisions)),
+            ("stores", Json::Uint(self.stores)),
+            ("evictions", Json::Uint(self.evictions)),
+            ("incremental_hits", Json::Uint(self.incremental_hits)),
+            ("incremental_misses", Json::Uint(self.incremental_misses)),
+            ("spliced", Json::Uint(self.spliced)),
+        ])
+    }
+}
+
 #[derive(Debug, Default)]
 struct Counters {
     requests: AtomicU64,

@@ -104,6 +104,11 @@ usage:
                  [--jobs 1,8] [--only a,b,c] [--iterations N] [--warmup N]
                  [--graph-cache <dir>] [--json <out.json>]
                  [--baseline <bench.json>] [--tolerance PCT]
+  rtlcheck serve [--addr HOST:PORT] [--jobs N] [--queue N] [--graph-cache <dir>]
+                 [--cache-capacity N] [--max-frame BYTES]
+                 [--events <out.jsonl>] [--metrics <out.json>]
+                 [--trace-out <out.json>] [--progress]
+  rtlcheck connect <addr> [--batch FILE|-] [--shutdown] [--out FILE] [--timeout SECS]
   rtlcheck profile <metrics.json>
   rtlcheck profile --diff <a.json> <b.json>
   rtlcheck list
@@ -142,7 +147,16 @@ past --tolerance percent (default 25). The `mutate` workload runs the
 campaign incrementally; `mutate-cold` is the same campaign with
 --incremental=off (the before/after pair for splice speedups).
 `profile --diff` compares two metrics files: per-counter deltas and
-histogram shifts.";
+histogram shifts.
+`serve` runs the long-lived verification server: a TCP daemon accepting
+newline-delimited JSON job requests (check/suite/mutate/fuzz, plus
+ping/stats/shutdown) against one shared warm graph cache, coalescing
+identical in-flight problems and bounding the pending queue (--queue,
+default 64; excess jobs get structured `overloaded` rejections). It
+prints the bound address on startup, drains on a `shutdown` request, and
+exits 0. `connect` is the matching client: it sends each line of --batch
+(a file, or `-` for stdin) as one request, waits for every response, and
+prints the received frames verbatim (exit 1 if any was an error frame).";
 
 fn run(args: &[String]) -> Result<ExitCode, String> {
     let Some(cmd) = args.first() else {
@@ -173,6 +187,8 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "mutate" => mutate_cmd(rest),
         "fuzz" => fuzz_cmd(rest),
         "bench" => bench_cmd(rest),
+        "serve" => serve_cmd(rest),
+        "connect" => connect_cmd(rest),
         "profile" => profile(rest),
         other => Err(format!("unknown subcommand `{other}`")),
     }
@@ -793,6 +809,207 @@ fn fuzz_cmd(args: &[String]) -> Result<ExitCode, String> {
     // model forbids).
     let disagreement_failure = report.disagreements() > 0 && options.memory != MemoryImpl::Buggy;
     Ok(if report.violations() > 0 || disagreement_failure {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
+/// The `serve` subcommand: run the verification server until a client's
+/// `shutdown` request drains the queue. Own parser: the server has no
+/// `<test>` positional and owns its cache handle for the whole process
+/// lifetime (the warm-cache point of the daemon).
+fn serve_cmd(args: &[String]) -> Result<ExitCode, String> {
+    use rtlcheck::bench::serve::{ServeOptions, Server};
+
+    let mut opts = ServeOptions::default();
+    let mut shared_flags = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => {
+                let v = it.next().ok_or("--addr needs a HOST:PORT value")?;
+                opts.addr = v.clone();
+            }
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs needs a count")?;
+                opts.jobs = v
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or(format!("--jobs needs a positive integer, got `{v}`"))?;
+            }
+            "--queue" => {
+                let v = it.next().ok_or("--queue needs a count")?;
+                opts.queue_cap = v
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or(format!("--queue needs a positive integer, got `{v}`"))?;
+            }
+            "--cache-capacity" => {
+                let v = it.next().ok_or("--cache-capacity needs a count")?;
+                opts.cache_capacity = v.parse().ok().filter(|&n| n >= 1).ok_or(format!(
+                    "--cache-capacity needs a positive integer, got `{v}`"
+                ))?;
+            }
+            "--max-frame" => {
+                let v = it.next().ok_or("--max-frame needs a byte count")?;
+                opts.max_frame = v
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 64)
+                    .ok_or(format!("--max-frame needs an integer >= 64, got `{v}`"))?;
+            }
+            "--graph-cache" => {
+                let v = it.next().ok_or("--graph-cache needs a directory")?;
+                opts.cache_dir = Some(v.clone());
+            }
+            "--events" => {
+                let v = it.next().ok_or("--events needs a path")?;
+                shared_flags.push(format!("--events={v}"));
+            }
+            "--metrics" => {
+                let v = it.next().ok_or("--metrics needs a path")?;
+                shared_flags.push(format!("--metrics={v}"));
+            }
+            "--trace-out" => {
+                let v = it.next().ok_or("--trace-out needs a path")?;
+                shared_flags.push(format!("--trace-out={v}"));
+            }
+            "--progress" => shared_flags.push("--progress".to_string()),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+
+    let obs = Observability::from_flags(&shared_flags)?;
+    // `--events` / `--metrics` consume the jobs' deterministic streams,
+    // which the server only retains (and replays, in admission order, at
+    // drain) when asked.
+    opts.keep_streams = shared_flags
+        .iter()
+        .any(|f| f.starts_with("--events=") || f.starts_with("--metrics="));
+    let server = Server::bind(opts.clone()).map_err(|e| format!("serve: {e}"))?;
+    // The startup line is the machine-readable contract tests and CI parse
+    // the bound (possibly ephemeral) port from — flush before blocking.
+    println!(
+        "rtlcheck serve: listening on {} ({} worker(s), queue {})",
+        server.local_addr(),
+        opts.jobs,
+        opts.queue_cap
+    );
+    std::io::stdout()
+        .flush()
+        .map_err(|e| format!("flushing stdout: {e}"))?;
+    let summary = {
+        let collector = obs.collector();
+        // Job completions arrive in schedule order, so the progress
+        // denominator is unknown upfront.
+        let progress = flag_progress(&shared_flags, "serve", 0);
+        let mut live: Vec<&dyn TrackSink> = obs.live_sinks();
+        if let Some(p) = &progress {
+            live.push(p);
+        }
+        let summary = server.run(&collector, &live);
+        if let Some(p) = &progress {
+            p.finish();
+        }
+        summary
+    };
+    obs.finish()?;
+    println!(
+        "rtlcheck serve: drained after {} connection(s), {} job(s) \
+         ({} completed, {} coalesced), {} overloaded, {} protocol error(s)",
+        summary.connections,
+        summary.jobs,
+        summary.completed,
+        summary.coalesced,
+        summary.rejected_overload,
+        summary.protocol_errors
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+/// The `connect` subcommand: the batch client for a running server. Sends
+/// each non-empty line of `--batch` as one request, prints every received
+/// frame verbatim (stdout, or `--out` for CI byte-diffing), and exits
+/// non-zero if any response was an error frame.
+fn connect_cmd(args: &[String]) -> Result<ExitCode, String> {
+    use rtlcheck::bench::serve::client_run;
+
+    let mut addr: Option<String> = None;
+    let mut batch_path: Option<String> = None;
+    let mut out_path: Option<String> = None;
+    let mut shutdown = false;
+    let mut timeout = std::time::Duration::from_secs(300);
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--batch" => {
+                let v = it.next().ok_or("--batch needs a file path (or `-`)")?;
+                batch_path = Some(v.clone());
+            }
+            "--out" => {
+                let v = it.next().ok_or("--out needs a path")?;
+                out_path = Some(v.clone());
+            }
+            "--timeout" => {
+                let v = it.next().ok_or("--timeout needs seconds")?;
+                let secs: u64 = v
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or(format!("--timeout needs a positive integer, got `{v}`"))?;
+                timeout = std::time::Duration::from_secs(secs);
+            }
+            "--shutdown" => shutdown = true,
+            f if f.starts_with("--") => return Err(format!("unknown flag `{f}`")),
+            positional => {
+                if addr.is_some() {
+                    return Err(format!("unexpected argument `{positional}`"));
+                }
+                addr = Some(positional.to_string());
+            }
+        }
+    }
+    let addr = addr.ok_or("missing <addr> argument")?;
+    let batch: Vec<String> = match batch_path.as_deref() {
+        Some("-") => {
+            let mut text = String::new();
+            std::io::Read::read_to_string(&mut std::io::stdin(), &mut text)
+                .map_err(|e| format!("reading stdin: {e}"))?;
+            text.lines().map(String::from).collect()
+        }
+        Some(path) => std::fs::read_to_string(path)
+            .map_err(|e| format!("reading {path}: {e}"))?
+            .lines()
+            .map(String::from)
+            .collect(),
+        None => Vec::new(),
+    };
+    if batch.iter().all(|l| l.trim().is_empty()) && !shutdown {
+        return Err("nothing to send (empty --batch and no --shutdown)".into());
+    }
+    // Runtime failures (connection refused, timeouts) are operational, not
+    // usage errors: report and exit 1 without the usage text.
+    let outcome = match client_run(&addr, &batch, shutdown, timeout) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("connect: {e}");
+            return Ok(ExitCode::FAILURE);
+        }
+    };
+    let mut rendered = outcome.lines.join("\n");
+    if !rendered.is_empty() {
+        rendered.push('\n');
+    }
+    match &out_path {
+        Some(path) => {
+            std::fs::write(path, &rendered).map_err(|e| format!("writing {path}: {e}"))?
+        }
+        None => print!("{rendered}"),
+    }
+    Ok(if outcome.errors > 0 {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS

@@ -139,6 +139,82 @@ fn bad_usage_exits_2_with_usage_text() {
     }
 }
 
+/// `--jobs 0` is a usage error everywhere a worker pool exists: zero
+/// workers would deadlock the pool, so every parser rejects it with the
+/// same one-line error before any work starts.
+#[test]
+fn jobs_zero_is_rejected_by_every_worker_pool_command() {
+    for args in [
+        &["suite", "--only", "mp", "--jobs", "0"][..],
+        &["mutate", "--jobs", "0"][..],
+        &["fuzz", "--jobs", "0"][..],
+        &["serve", "--jobs", "0"][..],
+    ] {
+        let out = rtlcheck(args);
+        assert_eq!(out.status.code(), Some(2), "{args:?}: {out:?}");
+        let err = String::from_utf8(out.stderr).unwrap();
+        assert!(
+            err.contains("--jobs needs a positive integer, got `0`"),
+            "{args:?}: {err}"
+        );
+        assert!(err.contains("usage:"), "{args:?}: {err}");
+    }
+}
+
+#[test]
+fn serve_and_connect_round_trip_a_batch() {
+    use std::io::BufRead as _;
+
+    let dir = std::env::temp_dir().join(format!("rtlcheck-serve-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let batch = dir.join("batch.jsonl");
+    std::fs::write(
+        &batch,
+        "{\"id\":1,\"kind\":\"ping\"}\n{\"id\":2,\"kind\":\"check\",\"test\":\"mp\",\"events\":false}\n",
+    )
+    .unwrap();
+
+    let mut server = std::process::Command::new(env!("CARGO_BIN_EXE_rtlcheck"))
+        .args(["serve", "--addr", "127.0.0.1:0"])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("server starts");
+    // The startup line is the parseable contract: grab the bound port.
+    let mut stdout = std::io::BufReader::new(server.stdout.take().unwrap());
+    let mut banner = String::new();
+    stdout.read_line(&mut banner).unwrap();
+    let addr = banner
+        .split("listening on ")
+        .nth(1)
+        .and_then(|s| s.split_whitespace().next())
+        .unwrap_or_else(|| panic!("unparseable banner: {banner}"))
+        .to_string();
+
+    let out = rtlcheck(&["connect", &addr, "--batch", batch.to_str().unwrap()]);
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("\"proto\":\"rtlcheck-serve/1\""), "{text}");
+    assert!(
+        text.contains("{\"id\":2,\"type\":\"result\",\"kind\":\"check\",\"status\":\"verified\""),
+        "{text}"
+    );
+
+    // An error frame (unknown kind) makes the client exit nonzero.
+    std::fs::write(&batch, "{\"id\":3,\"kind\":\"warp\"}\n").unwrap();
+    let out = rtlcheck(&["connect", &addr, "--batch", batch.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    assert!(String::from_utf8(out.stdout)
+        .unwrap()
+        .contains("\"error\":\"bad_request\""),);
+
+    // Graceful drain: `--shutdown` ends the server with exit 0.
+    let out = rtlcheck(&["connect", &addr, "--shutdown"]);
+    assert!(out.status.success(), "{out:?}");
+    let status = server.wait().expect("server exits");
+    assert!(status.success(), "server must drain to exit 0: {status:?}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// A bad *input file* to `profile` is a runtime failure, not a usage
 /// error: one line on stderr naming the file and the expected schema,
 /// exit 1, no usage dump.

@@ -1,0 +1,193 @@
+//! Protocol robustness for the verification server: hostile or broken
+//! input — malformed JSON, truncated lines, unknown kinds, oversized
+//! frames, mid-job disconnects — must produce a structured error frame
+//! (or a clean close) and leave the server able to serve the next
+//! request. Never a panic, never a wedged worker.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use rtlcheck::bench::serve::{ServeOptions, ServeSummary, Server};
+use rtlcheck::obs::json::Json;
+use rtlcheck::obs::NullCollector;
+
+fn start_server(opts: ServeOptions) -> (String, std::thread::JoinHandle<ServeSummary>) {
+    let server = Server::bind(opts).expect("server binds");
+    let addr = server.local_addr().to_string();
+    let handle = std::thread::spawn(move || server.run(&NullCollector, &[]));
+    (addr, handle)
+}
+
+fn connect(addr: &str) -> (TcpStream, BufReader<TcpStream>) {
+    let stream = TcpStream::connect(addr).expect("client connects");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    let reader = BufReader::new(stream.try_clone().unwrap());
+    (stream, reader)
+}
+
+/// Reads lines until the next `result`/`error` frame, which it returns
+/// parsed (stream frames and the hello banner are skipped).
+fn read_terminal(reader: &mut BufReader<TcpStream>) -> Json {
+    loop {
+        let mut line = String::new();
+        let n = reader.read_line(&mut line).expect("server responds");
+        assert!(n > 0, "server closed instead of answering");
+        let v = Json::parse(line.trim_end()).expect("server frames are valid JSON");
+        if matches!(
+            v.get("type").and_then(Json::as_str),
+            Some("result") | Some("error")
+        ) {
+            return v;
+        }
+    }
+}
+
+fn error_kind(frame: &Json) -> &str {
+    assert_eq!(frame.get("type").and_then(Json::as_str), Some("error"));
+    frame.get("error").and_then(Json::as_str).unwrap()
+}
+
+fn shut_down(addr: &str) {
+    let (mut stream, mut reader) = connect(addr);
+    stream
+        .write_all(b"{\"id\":0,\"kind\":\"shutdown\"}\n")
+        .unwrap();
+    let frame = read_terminal(&mut reader);
+    assert_eq!(frame.get("status").and_then(Json::as_str), Some("drained"));
+}
+
+#[test]
+fn abuse_cases_get_structured_errors_and_the_server_survives() {
+    let (addr, handle) = start_server(ServeOptions {
+        jobs: 1,
+        max_frame: 4096,
+        ..ServeOptions::default()
+    });
+
+    // Malformed JSON.
+    {
+        let (mut stream, mut reader) = connect(&addr);
+        stream.write_all(b"{nope\n").unwrap();
+        let frame = read_terminal(&mut reader);
+        assert_eq!(error_kind(&frame), "bad_request");
+        assert!(frame
+            .get("message")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("malformed JSON"));
+    }
+
+    // Valid JSON, wrong shape.
+    {
+        let (mut stream, mut reader) = connect(&addr);
+        stream.write_all(b"42\n").unwrap();
+        assert_eq!(error_kind(&read_terminal(&mut reader)), "bad_request");
+    }
+
+    // Unknown job kind, id echoed back.
+    {
+        let (mut stream, mut reader) = connect(&addr);
+        stream
+            .write_all(b"{\"id\":\"x\",\"kind\":\"warp\"}\n")
+            .unwrap();
+        let frame = read_terminal(&mut reader);
+        assert_eq!(error_kind(&frame), "bad_request");
+        assert_eq!(frame.get("id").and_then(Json::as_str), Some("x"));
+        assert!(frame
+            .get("message")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("unknown job kind"));
+    }
+
+    // Unknown test and invalid litmus source.
+    {
+        let (mut stream, mut reader) = connect(&addr);
+        stream
+            .write_all(b"{\"id\":1,\"kind\":\"check\",\"test\":\"nope\"}\n")
+            .unwrap();
+        assert_eq!(error_kind(&read_terminal(&mut reader)), "bad_request");
+        stream
+            .write_all(b"{\"id\":2,\"kind\":\"check\",\"litmus\":\"garbage\"}\n")
+            .unwrap();
+        assert_eq!(error_kind(&read_terminal(&mut reader)), "bad_request");
+    }
+
+    // Oversized frame: discarded with a structured rejection, and the
+    // connection keeps working afterwards.
+    {
+        let (mut stream, mut reader) = connect(&addr);
+        let mut big = String::from("{\"id\":1,\"kind\":\"check\",\"litmus\":\"");
+        big.push_str(&"x".repeat(8192));
+        big.push_str("\"}\n");
+        stream.write_all(big.as_bytes()).unwrap();
+        let frame = read_terminal(&mut reader);
+        assert_eq!(error_kind(&frame), "oversized_frame");
+        stream.write_all(b"{\"id\":3,\"kind\":\"ping\"}\n").unwrap();
+        let frame = read_terminal(&mut reader);
+        assert_eq!(frame.get("status").and_then(Json::as_str), Some("ok"));
+    }
+
+    // Truncated line: bytes without a newline, then a hard close. No
+    // frame is owed; the server must simply survive.
+    {
+        let (mut stream, _reader) = connect(&addr);
+        stream.write_all(b"{\"id\":9,\"kind\":\"ch").unwrap();
+        drop(stream);
+    }
+
+    // Mid-job disconnect: submit a real job and vanish before the
+    // response. The delivery is dropped, not the server.
+    {
+        let (mut stream, _reader) = connect(&addr);
+        stream
+            .write_all(b"{\"id\":7,\"kind\":\"check\",\"test\":\"mp\"}\n")
+            .unwrap();
+        drop(stream);
+    }
+
+    // Empty lines are skipped, not answered.
+    {
+        let (mut stream, mut reader) = connect(&addr);
+        stream
+            .write_all(b"\n  \n{\"id\":8,\"kind\":\"ping\"}\n")
+            .unwrap();
+        let frame = read_terminal(&mut reader);
+        assert_eq!(frame.get("id").and_then(Json::as_u64), Some(8));
+    }
+
+    // After all of the above the server still executes real work.
+    {
+        let (mut stream, mut reader) = connect(&addr);
+        stream
+            .write_all(b"{\"id\":\"final\",\"kind\":\"check\",\"test\":\"mp\"}\n")
+            .unwrap();
+        let frame = read_terminal(&mut reader);
+        assert_eq!(frame.get("type").and_then(Json::as_str), Some("result"));
+        assert_eq!(frame.get("status").and_then(Json::as_str), Some("verified"));
+    }
+
+    shut_down(&addr);
+    let summary = handle.join().unwrap();
+    assert!(summary.protocol_errors >= 6, "{summary:?}");
+    assert!(summary.completed >= 2, "{summary:?}");
+}
+
+#[test]
+fn hello_banner_identifies_the_protocol() {
+    let (addr, handle) = start_server(ServeOptions::default());
+    let (_stream, mut reader) = connect(&addr);
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let v = Json::parse(line.trim_end()).unwrap();
+    assert_eq!(v.get("type").and_then(Json::as_str), Some("hello"));
+    assert_eq!(
+        v.get("proto").and_then(Json::as_str),
+        Some("rtlcheck-serve/1")
+    );
+    shut_down(&addr);
+    handle.join().unwrap();
+}
