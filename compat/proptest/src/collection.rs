@@ -45,7 +45,7 @@ pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S
     }
 }
 
-/// The result of [`vec`].
+/// The result of [`fn@vec`].
 #[derive(Debug, Clone)]
 pub struct VecStrategy<S> {
     element: S,

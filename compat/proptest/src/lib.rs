@@ -3,9 +3,9 @@
 //!
 //! The build environment has no network access, so the real `proptest`
 //! cannot be fetched. This crate reimplements the subset of its API that
-//! the workspace's property-based tests use — the [`Strategy`] trait with
+//! the workspace's property-based tests use — the [`strategy::Strategy`] trait with
 //! `prop_map` / `prop_recursive` / `boxed`, integer-range and tuple
-//! strategies, [`strategy::Just`], [`collection::vec`], weighted
+//! strategies, [`strategy::Just`], [`fn@collection::vec`], weighted
 //! [`prop_oneof!`], and the [`proptest!`] / `prop_assert*` macros — as
 //! plain random testing:
 //!

@@ -1,0 +1,140 @@
+//! The `composed` bench workload: flat-vs-modular graph construction on
+//! the scaled hub-and-lanes design ([`rtlcheck_rtl::scaled`]).
+//!
+//! The workload isolates exactly the cost the composed backend attacks —
+//! warm graph construction — on a design with ≥2× Multi-V-scale's cone
+//! count. Each iteration builds the full warm state graph of the scaled
+//! design under one property per lane (plus a pruning input assumption),
+//! using whichever backend the bench case selects; verdicts and graph
+//! cores are byte-identical across backends, so the timed difference is
+//! pure construction cost. `rtlcheck bench --workload composed --backend
+//! explicit,composed` produces the EXPERIMENTS.md comparison pair.
+
+use rtlcheck_obs::{attrs, span, Collector};
+use rtlcheck_rtl::scaled;
+use rtlcheck_rtl::Design;
+use rtlcheck_sva::Prop;
+use rtlcheck_sva::SvaBool;
+use rtlcheck_verif::{
+    Backend, BackendChoice, BackendKind, ComposedGraph, Engine, Problem, RtlAtom, StateGraph,
+    SymbolicGraph,
+};
+
+/// Builds the scaled design and its per-lane property set: one `Never`
+/// assertion per lane (each pinned to that lane's region), one on the hub,
+/// and a `Never(op == 3)` assumption that prunes a quarter of every edge
+/// row — so composition has real per-region atoms, monitors, and pruning
+/// to reproduce, not just next-state functions.
+pub fn scaled_problem(lanes: usize) -> (Design, Vec<Prop<RtlAtom>>) {
+    let design = scaled::build(lanes);
+    let hub = design.signal_by_name("hub").expect("scaled design has hub");
+    let mut props = vec![Prop::Never(SvaBool::atom(RtlAtom::eq(hub, 255)))];
+    for j in 0..lanes {
+        let lane = design
+            .signal_by_name(&format!("lane{j:03}"))
+            .expect("scaled design names its lanes");
+        props.push(Prop::Never(SvaBool::atom(RtlAtom::eq(lane, 15))));
+    }
+    (design, props)
+}
+
+/// Runs one iteration of the `composed` bench workload: build the warm
+/// state graph of the scaled design on the chosen backend, reporting the
+/// build span and the graph's counters (including `composed.*` when the
+/// modular backend ran) to `collector`.
+///
+/// The composed backend is exercised through the same resolve-or-fallback
+/// path as the real flow: a non-decomposable problem would build flat and
+/// count `composed.fallback` rather than fail the bench.
+pub fn run_composed_build(
+    choice: BackendChoice,
+    lanes: usize,
+    engine: Engine,
+    collector: &dyn Collector,
+) {
+    let (design, props) = scaled_problem(lanes);
+    let mut problem = Problem::new(&design);
+    let op = design.signal_by_name("op").expect("scaled design has op");
+    problem.assumptions.push(rtlcheck_verif::Directive::assume(
+        "op_bounded",
+        Prop::Never(SvaBool::atom(RtlAtom::eq(op, 3))),
+    ));
+    let kind = choice.resolve(&design);
+    let mut g = span(collector, "graph_build", attrs!["test" => "scaled"]);
+    g.attr("backend", kind.label());
+    collector.counter(
+        &format!("backend.{}", kind.label()),
+        1,
+        attrs!["test" => "scaled"],
+    );
+    match kind {
+        BackendKind::Composed => match ComposedGraph::build(&problem, props.iter(), engine) {
+            Ok(graph) => graph.report_to(collector),
+            Err(fb) => {
+                g.attr("fallback", "explicit");
+                collector.counter(
+                    "composed.fallback",
+                    1,
+                    attrs!["test" => "scaled", "reason" => fb.reason()],
+                );
+                StateGraph::build(&problem, props.iter(), engine).report_to(collector);
+            }
+        },
+        BackendKind::Symbolic => {
+            SymbolicGraph::build(&problem, props.iter(), engine).report_to(collector);
+        }
+        BackendKind::Explicit => {
+            StateGraph::build(&problem, props.iter(), engine).report_to(collector);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtlcheck_obs::MetricsCollector;
+
+    /// A small lane count keeps the test fast; the workload itself runs
+    /// with [`scaled::DEFAULT_LANES`].
+    const LANES: usize = 8;
+
+    #[test]
+    fn composed_workload_decomposes_and_matches_flat() {
+        let (design, props) = scaled_problem(LANES);
+        let problem = Problem::new(&design);
+        let composed = ComposedGraph::build(&problem, props.iter(), Engine::full(100_000))
+            .expect("scaled design decomposes");
+        assert_eq!(composed.regions(), LANES + 1, "hub + one region per lane");
+        let flat = StateGraph::build(&problem, props.iter(), Engine::full(100_000));
+        assert_eq!(composed.snapshot(), flat.snapshot(), "byte-identical core");
+    }
+
+    #[test]
+    fn run_composed_build_reports_backend_and_composition_counters() {
+        let collector = MetricsCollector::new();
+        run_composed_build(
+            BackendChoice::Composed,
+            LANES,
+            Engine::full(100_000),
+            &collector,
+        );
+        let summary = collector.summary();
+        assert!(summary.counter("backend.composed").is_some());
+        assert_eq!(
+            summary.counter("composed.regions").map(|c| c.total),
+            Some(LANES as u64 + 1)
+        );
+        assert!(summary.counter("composed.fallback").is_none());
+
+        let collector = MetricsCollector::new();
+        run_composed_build(
+            BackendChoice::Explicit,
+            LANES,
+            Engine::full(100_000),
+            &collector,
+        );
+        let summary = collector.summary();
+        assert!(summary.counter("backend.explicit").is_some());
+        assert!(summary.counter("composed.regions").is_none());
+    }
+}

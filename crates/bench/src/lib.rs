@@ -31,6 +31,7 @@ use rtlcheck_rtl::multi_vscale::MemoryImpl;
 use rtlcheck_verif::{GraphCache, VerifyConfig};
 
 pub mod bench;
+pub mod composed;
 pub mod fuzz;
 pub mod mutation;
 pub mod serve;

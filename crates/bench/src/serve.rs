@@ -236,10 +236,13 @@ impl JobSpec {
 }
 
 /// Job identity for coalescing. For `check` jobs the last two words are
-/// the [`Rtlcheck::problem_fingerprint`] key/check pair, so jobs naming
+/// the [`Rtlcheck::coalescing_fingerprint`] key/check pair, so jobs naming
 /// different tests that ground to the same verification problem still
 /// share one engine run; the first word hashes everything else that can
-/// change the response (memory, backend, engine budgets, job kind).
+/// change the response (memory, backend, engine budgets, job kind). When
+/// the composed backend would run, the fingerprint additionally folds in
+/// the module decomposition, so jobs coalesce only when they share both
+/// the whole graph and its region structure.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 struct Fp(u64, u64, u64);
 
@@ -266,7 +269,7 @@ fn fingerprint(spec: &JobSpec) -> Fp {
             let ctx = format!("check|{memory:?}|{backend:?}|{config:?}");
             let key = Rtlcheck::new(*memory)
                 .with_backend(*backend)
-                .problem_fingerprint(test);
+                .coalescing_fingerprint(test);
             Fp(fnv1a(ctx.as_bytes()), key.key, key.check)
         }
         JobSpec::Suite {
@@ -382,7 +385,7 @@ fn parse_flow_options(obj: &Json) -> Result<(MemoryImpl, BackendChoice, VerifyCo
     };
     let backend = match get_str(obj, "backend")? {
         Some(v) => BackendChoice::parse(v).ok_or(format!(
-            "unknown backend `{v}` (expected explicit, symbolic, or auto)"
+            "unknown backend `{v}` (expected explicit, symbolic, composed, or auto)"
         ))?,
         None => BackendChoice::default(),
     };

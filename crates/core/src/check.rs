@@ -11,8 +11,8 @@ use rtlcheck_sva::emit;
 use rtlcheck_uspec::Spec;
 use rtlcheck_verif::{
     build_graph, check_cover_on_graph_observed, explore, verify_property_on_graph_observed,
-    Backend, BackendChoice, BackendKind, CoverVerdict, GraphCache, Incremental, Problem,
-    PropertyVerdict, SymbolicGraph, VerifyConfig,
+    Backend, BackendChoice, BackendKind, ComposedFallback, ComposedGraph, CoverVerdict, GraphCache,
+    Incremental, Problem, PropertyVerdict, SymbolicGraph, VerifyConfig,
 };
 
 use crate::assert_gen::{self, AssertionOptions, GeneratedAssertion};
@@ -298,6 +298,32 @@ impl Rtlcheck {
         rtlcheck_verif::fingerprint_problem(&problem, &props)
     }
 
+    /// The fingerprint batch drivers should coalesce this test's work
+    /// under. Identical to [`Rtlcheck::problem_fingerprint`] unless the
+    /// active backend resolves to the composed one for this test's design,
+    /// in which case it is the module-structured key
+    /// ([`rtlcheck_verif::fingerprint_modules`]): jobs bucket together
+    /// only when they share the whole graph *and* its module
+    /// decomposition. A composed test that would take the flat fallback
+    /// keys like a flat one.
+    pub fn coalescing_fingerprint(&self, test: &LitmusTest) -> rtlcheck_verif::GraphKey {
+        let mv = self.build_design(test);
+        let assumptions = assume::generate(&mv, test);
+        let assertions = assert_gen::generate(&self.spec, &mv, test, self.options)
+            .expect("Multi-V-scale µspec is synthesizable");
+        let mut problem = Problem::new(&mv.design);
+        problem.init_pins = assumptions.init_pins.clone();
+        problem.assumptions = assumptions.directives.clone();
+        problem.cover = Some(assumptions.cover.clone());
+        let props: Vec<_> = assertions.iter().map(|a| &a.directive.prop).collect();
+        if self.backend.resolve(&mv.design) == BackendKind::Composed {
+            if let Some(key) = rtlcheck_verif::fingerprint_modules(&problem, &props) {
+                return key;
+            }
+        }
+        rtlcheck_verif::fingerprint_problem(&problem, &props)
+    }
+
     /// Emits the complete per-test SystemVerilog property file — the
     /// artifact RTLCheck hands to the RTL verifier (one file per litmus
     /// test, §6): all generated assumptions followed by all assertions.
@@ -375,6 +401,7 @@ pub(crate) fn run_flow_cached(
             Option<rtlcheck_verif::CacheTicket>,
         ),
         Symbolic(SymbolicGraph<'p, 'd>),
+        Composed(ComposedGraph<'p, 'd>, Option<rtlcheck_verif::CacheTicket>),
     }
 
     // Phase 0: build the shared state graph — the design × assumption
@@ -384,40 +411,77 @@ pub(crate) fn run_flow_cached(
     let kind = backend.resolve(problem.design);
     let mut g = span(collector, "graph_build", attrs!["test" => test_name]);
     g.attr("backend", kind.label());
-    let built = match kind {
-        BackendKind::Explicit => match cache {
-            Some(cache) => {
-                let props: Vec<_> = assertions.iter().map(|a| &a.directive.prop).collect();
-                let (graph, ticket) = match incremental {
-                    Some((baseline, validate)) => cache.build_graph_incremental(
-                        problem,
-                        &props,
-                        config.cover_engine(),
-                        baseline,
-                        validate,
-                    ),
-                    None => cache.build_graph(problem, &props, config.cover_engine()),
-                };
-                BuiltGraph::Explicit(graph, Some(ticket))
-            }
-            None => {
-                let graph = build_graph(
+    let build_explicit = || match cache {
+        Some(cache) => {
+            let props: Vec<_> = assertions.iter().map(|a| &a.directive.prop).collect();
+            let (graph, ticket) = match incremental {
+                Some((baseline, validate)) => cache.build_graph_incremental(
                     problem,
-                    assertions.iter().map(|a| &a.directive.prop),
+                    &props,
                     config.cover_engine(),
-                );
-                BuiltGraph::Explicit(graph, None)
-            }
-        },
+                    baseline,
+                    validate,
+                ),
+                None => cache.build_graph(problem, &props, config.cover_engine()),
+            };
+            BuiltGraph::Explicit(graph, Some(ticket))
+        }
+        None => {
+            let graph = build_graph(
+                problem,
+                assertions.iter().map(|a| &a.directive.prop),
+                config.cover_engine(),
+            );
+            BuiltGraph::Explicit(graph, None)
+        }
+    };
+    let built = match kind {
+        BackendKind::Explicit => build_explicit(),
         BackendKind::Symbolic => BuiltGraph::Symbolic(SymbolicGraph::build(
             problem,
             assertions.iter().map(|a| &a.directive.prop),
             config.cover_engine(),
         )),
+        BackendKind::Composed => {
+            let attempt: Result<BuiltGraph<'_, '_>, ComposedFallback> = match cache {
+                Some(cache) => {
+                    let props: Vec<_> = assertions.iter().map(|a| &a.directive.prop).collect();
+                    cache
+                        .build_graph_composed(problem, &props, config.cover_engine())
+                        .map(|(graph, ticket)| BuiltGraph::Composed(graph, Some(ticket)))
+                }
+                None => ComposedGraph::build(
+                    problem,
+                    assertions.iter().map(|a| &a.directive.prop),
+                    config.cover_engine(),
+                )
+                .map(|graph| BuiltGraph::Composed(graph, None)),
+            };
+            match attempt {
+                Ok(built) => built,
+                Err(fb) => {
+                    // The cut is non-conservative for this problem (single
+                    // region, or nothing to partition): never wrong, only
+                    // sometimes no faster — revert to the flat engine.
+                    g.attr("fallback", "explicit");
+                    collector.event(
+                        "composed.fallback",
+                        attrs!["test" => test_name, "reason" => fb.reason()],
+                    );
+                    collector.counter(
+                        "composed.fallback",
+                        1,
+                        attrs!["test" => test_name, "reason" => fb.reason()],
+                    );
+                    build_explicit()
+                }
+            }
+        }
     };
     let graph: &dyn Backend = match &built {
         BuiltGraph::Explicit(graph, _) => graph,
         BuiltGraph::Symbolic(graph) => graph,
+        BuiltGraph::Composed(graph, _) => graph,
     };
     collector.counter(
         &format!("backend.{}", kind.label()),
@@ -428,8 +492,11 @@ pub(crate) fn run_flow_cached(
     g.attr("nodes", gs.nodes);
     g.attr("edges", gs.edges);
     g.attr("complete", gs.complete);
-    if let BuiltGraph::Explicit(_, Some(t)) = &built {
-        g.attr("cache", t.source().label());
+    match &built {
+        BuiltGraph::Explicit(_, Some(t)) | BuiltGraph::Composed(_, Some(t)) => {
+            g.attr("cache", t.source().label());
+        }
+        _ => {}
     }
     g.finish();
 
@@ -523,8 +590,17 @@ pub(crate) fn run_flow_cached(
     // Persist the final (post-walk) core if this call is the cache's
     // designated writer for the key — a later run then replays the whole
     // exploration from disk. Symbolic graphs are never persisted.
-    if let (Some(cache), BuiltGraph::Explicit(explicit, Some(ticket))) = (cache, &built) {
-        cache.store_final(ticket, explicit);
+    if let Some(cache) = cache {
+        match &built {
+            BuiltGraph::Explicit(explicit, Some(ticket)) => cache.store_final(ticket, explicit),
+            // A composed core is byte-identical to a flat one, so it is
+            // stored through the same writer path (and a later flat run
+            // can load it).
+            BuiltGraph::Composed(graph, Some(ticket)) => {
+                cache.store_final(ticket, graph.as_flat());
+            }
+            _ => {}
+        }
     }
 
     TestReport {

@@ -186,7 +186,8 @@ pub fn check_test_observed(
 ///
 /// # Errors
 ///
-/// Returns the [`MutateError`] if the mutation does not apply.
+/// Returns the [`rtlcheck_rtl::mutate::MutateError`] if the mutation does
+/// not apply.
 ///
 /// # Panics
 ///

@@ -1,0 +1,446 @@
+//! Module-region grouping over the fan-in cone partition.
+//!
+//! The composed verification backend (RealityCheck-style modular
+//! decomposition) needs the design split into *module regions*: maximal
+//! groups of registers whose next-state functions read only registers
+//! inside the same group, plus primary inputs. Inputs never link regions —
+//! they are the *cut signals* at a region's interface, the signals whose
+//! value sequences the interface spec must describe.
+//!
+//! The grouping is a union-find over the existing [`crate::cone`]
+//! partition: register `a` and register `b` land in the same region
+//! whenever `a`'s fan-in cone reads `b` (cone supports already expand
+//! combinational wires through to their register and input leaves, so no
+//! separate expression walk is needed). The result is deterministic:
+//! regions are ordered by their minimum register [`SignalId`], and the
+//! registers and cuts inside each region are sorted by signal id.
+//!
+//! The verifier may need a *coarser* partition than the structural one —
+//! e.g. when an assumption monitor or a property atom spans two regions,
+//! those regions must be verified together. [`RegionPartition::merged`]
+//! applies such extra links and re-derives the groups, preserving the
+//! deterministic ordering.
+
+use std::collections::BTreeSet;
+
+use crate::design::{Design, SignalId, SignalKind};
+use crate::expr::{Expr, ExprId};
+
+/// One module region: a set of registers closed under next-state register
+/// reads, plus the input cut signals at its interface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModuleRegion {
+    /// The region's registers, sorted by signal id.
+    pub regs: Vec<SignalId>,
+    /// Primary inputs read by the region's cones (the interface cut
+    /// signals), sorted by signal id.
+    pub cuts: Vec<SignalId>,
+}
+
+/// A deterministic partition of a design's registers into module regions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionPartition {
+    regions: Vec<ModuleRegion>,
+    /// Region index per dense register index.
+    by_reg: Vec<usize>,
+    /// Register signal id per dense register index (cone roots).
+    roots: Vec<SignalId>,
+}
+
+/// Plain union-find over dense indices.
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> UnionFind {
+        UnionFind {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, i: usize) -> usize {
+        let mut root = i;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        let mut cur = i;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            // Deterministic: smaller dense index wins as representative.
+            let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+            self.parent[hi] = lo;
+        }
+    }
+}
+
+impl RegionPartition {
+    /// Computes the structural region partition of a design.
+    ///
+    /// Designs with no registers yield an empty partition (no regions).
+    pub fn of(design: &Design) -> RegionPartition {
+        let cones = design.cones();
+        let roots: Vec<SignalId> = cones.cones().iter().map(|c| c.root).collect();
+        // Dense register index per signal ordinal, for support lookups.
+        let mut dense_of: Vec<Option<usize>> = vec![None; design.signals().count()];
+        for (dense, &root) in roots.iter().enumerate() {
+            dense_of[sig_ordinal(root)] = Some(dense);
+        }
+        let mut uf = UnionFind::new(roots.len());
+        let mut region_inputs: Vec<Vec<SignalId>> = vec![Vec::new(); roots.len()];
+        for (dense, cone) in cones.cones().iter().enumerate() {
+            for &sig in &cone.support {
+                match design.signal(sig).kind {
+                    SignalKind::Reg { .. } => {
+                        let other = dense_of[sig_ordinal(sig)]
+                            .expect("cone support register has a dense index");
+                        uf.union(dense, other);
+                    }
+                    SignalKind::Input { .. } => region_inputs[dense].push(sig),
+                    SignalKind::Wire { .. } => {}
+                }
+            }
+        }
+        Self::from_union(&roots, &mut uf, &region_inputs)
+    }
+
+    /// Re-derives the partition after applying extra links between region
+    /// indices (e.g. "regions 0 and 2 must be verified together because an
+    /// assumption monitor spans them"). Indices out of range are ignored.
+    pub fn merged(&self, links: &[(usize, usize)]) -> RegionPartition {
+        let mut uf = UnionFind::new(self.regions.len());
+        for &(a, b) in links {
+            if a < self.regions.len() && b < self.regions.len() {
+                uf.union(a, b);
+            }
+        }
+        // Group old regions by their merged root, keyed (for determinism)
+        // by the minimum register id across the merged group.
+        let mut groups: Vec<(SignalId, Vec<usize>)> = Vec::new();
+        let mut root_slot: Vec<Option<usize>> = vec![None; self.regions.len()];
+        for i in 0..self.regions.len() {
+            let root = uf.find(i);
+            let min_reg = self.regions[i].regs[0];
+            match root_slot[root] {
+                Some(slot) => {
+                    let g = &mut groups[slot];
+                    if min_reg < g.0 {
+                        g.0 = min_reg;
+                    }
+                    g.1.push(i);
+                }
+                None => {
+                    root_slot[root] = Some(groups.len());
+                    groups.push((min_reg, vec![i]));
+                }
+            }
+        }
+        groups.sort_by_key(|&(min_reg, _)| min_reg);
+        let mut regions = Vec::with_capacity(groups.len());
+        let mut by_reg = vec![0usize; self.by_reg.len()];
+        for (new_idx, (_, members)) in groups.iter().enumerate() {
+            let mut regs = Vec::new();
+            let mut cuts = BTreeSet::new();
+            for &m in members {
+                regs.extend_from_slice(&self.regions[m].regs);
+                cuts.extend(self.regions[m].cuts.iter().copied());
+            }
+            regs.sort();
+            for (dense, slot) in self.by_reg.iter().zip(by_reg.iter_mut()) {
+                if members.contains(dense) {
+                    *slot = new_idx;
+                }
+            }
+            regions.push(ModuleRegion {
+                regs,
+                cuts: cuts.into_iter().collect(),
+            });
+        }
+        RegionPartition {
+            regions,
+            by_reg,
+            roots: self.roots.clone(),
+        }
+    }
+
+    /// The regions, ordered by minimum register signal id.
+    pub fn regions(&self) -> &[ModuleRegion] {
+        &self.regions
+    }
+
+    /// Number of regions.
+    pub fn len(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Whether the design had no registers.
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+
+    /// The region containing a register, or `None` for non-register
+    /// signals.
+    pub fn region_of(&self, sig: SignalId) -> Option<usize> {
+        self.roots
+            .iter()
+            .position(|&r| r == sig)
+            .map(|dense| self.by_reg[dense])
+    }
+
+    fn from_union(
+        roots: &[SignalId],
+        uf: &mut UnionFind,
+        region_inputs: &[Vec<SignalId>],
+    ) -> RegionPartition {
+        let mut groups: Vec<(SignalId, Vec<usize>)> = Vec::new();
+        let mut root_slot: Vec<Option<usize>> = vec![None; roots.len()];
+        for (dense, &reg) in roots.iter().enumerate() {
+            let root = uf.find(dense);
+            match root_slot[root] {
+                Some(slot) => {
+                    let g = &mut groups[slot];
+                    if reg < g.0 {
+                        g.0 = reg;
+                    }
+                    g.1.push(dense);
+                }
+                None => {
+                    root_slot[root] = Some(groups.len());
+                    groups.push((reg, vec![dense]));
+                }
+            }
+        }
+        groups.sort_by_key(|&(min_reg, _)| min_reg);
+        let mut regions = Vec::with_capacity(groups.len());
+        let mut by_reg = vec![0usize; roots.len()];
+        for (new_idx, (_, members)) in groups.iter().enumerate() {
+            let mut regs: Vec<SignalId> = members.iter().map(|&d| roots[d]).collect();
+            regs.sort();
+            let mut cuts = BTreeSet::new();
+            for &m in members {
+                by_reg[m] = new_idx;
+                cuts.extend(region_inputs[m].iter().copied());
+            }
+            regions.push(ModuleRegion {
+                regs,
+                cuts: cuts.into_iter().collect(),
+            });
+        }
+        RegionPartition {
+            regions,
+            by_reg,
+            roots: roots.to_vec(),
+        }
+    }
+}
+
+fn sig_ordinal(sig: SignalId) -> usize {
+    sig.0
+}
+
+/// Register/input *leaf supports* per signal: for every signal, the set of
+/// registers and primary inputs its current-cycle value reads, with
+/// combinational wires expanded through. Registers and inputs support
+/// themselves; a constant-driven wire has an empty support.
+///
+/// The composed verifier uses this to place each property atom and each
+/// assumption monitor into the module region(s) its signals read — an atom
+/// whose leaves sit in one region is region-local, one reading only inputs
+/// is interface-global, and one spanning two regions forces those regions
+/// to be merged.
+#[derive(Debug, Clone)]
+pub struct SupportIndex {
+    leaves: Vec<Vec<SignalId>>,
+}
+
+impl SupportIndex {
+    /// Computes the leaf supports of every signal in `design`.
+    pub fn of(design: &Design) -> SupportIndex {
+        let n = design.signals().count();
+        let mut leaves: Vec<Vec<SignalId>> = vec![Vec::new(); n];
+        for (id, s) in design.signals() {
+            match s.kind {
+                SignalKind::Input { .. } | SignalKind::Reg { .. } => leaves[id.0] = vec![id],
+                SignalKind::Wire { .. } => {}
+            }
+        }
+        // Wires in dependency order: each wire only unions finished sets.
+        for &w in design.wire_order() {
+            let SignalKind::Wire { expr } = design.signal(w).kind else {
+                unreachable!("wire_order contains only wires");
+            };
+            let mut set = BTreeSet::new();
+            let mut visited = vec![false; expr.0 + 1];
+            collect_leaves(design, expr, &leaves, &mut set, &mut visited);
+            leaves[w.0] = set.into_iter().collect();
+        }
+        SupportIndex { leaves }
+    }
+
+    /// The register/input leaves of a signal, sorted by signal id.
+    pub fn leaves(&self, sig: SignalId) -> &[SignalId] {
+        &self.leaves[sig.0]
+    }
+}
+
+fn collect_leaves(
+    design: &Design,
+    e: ExprId,
+    leaves: &[Vec<SignalId>],
+    set: &mut BTreeSet<SignalId>,
+    visited: &mut Vec<bool>,
+) {
+    if e.0 >= visited.len() {
+        visited.resize(e.0 + 1, false);
+    }
+    if visited[e.0] {
+        return;
+    }
+    visited[e.0] = true;
+    match design.expr(e) {
+        Expr::Const { .. } => {}
+        Expr::Sig(s) => match design.signal(s).kind {
+            SignalKind::Wire { .. } => set.extend(leaves[s.0].iter().copied()),
+            _ => {
+                set.insert(s);
+            }
+        },
+        Expr::Unary { arg, .. } => collect_leaves(design, arg, leaves, set, visited),
+        Expr::Binary { lhs, rhs, .. } => {
+            collect_leaves(design, lhs, leaves, set, visited);
+            collect_leaves(design, rhs, leaves, set, visited);
+        }
+        Expr::Mux { cond, then_, else_ } => {
+            collect_leaves(design, cond, leaves, set, visited);
+            collect_leaves(design, then_, leaves, set, visited);
+            collect_leaves(design, else_, leaves, set, visited);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DesignBuilder;
+
+    /// Two independent counter lanes plus one pair of coupled registers.
+    fn lanes_design() -> Design {
+        let mut b = DesignBuilder::new("lanes");
+        let op = b.input("op", 2);
+        let op_e = b.sig(op);
+        // Lane 0: reads only itself and the input.
+        let l0 = b.reg("l0", 4, Some(0));
+        let l0_e = b.sig(l0);
+        let one = b.lit(1, 4);
+        let next0 = b.add(l0_e, one);
+        b.set_next(l0, next0);
+        // Lane 1: input-only next function.
+        let l1 = b.reg("l1", 2, Some(0));
+        b.set_next(l1, op_e);
+        // Coupled pair: x reads y through a wire, y reads x.
+        let x = b.reg("x", 4, Some(0));
+        let y = b.reg("y", 4, Some(0));
+        let y_e = b.sig(y);
+        let w = b.wire("w", y_e);
+        let w_e = b.sig(w);
+        b.set_next(x, w_e);
+        let x_e = b.sig(x);
+        b.set_next(y, x_e);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn structural_partition_groups_coupled_regs() {
+        let d = lanes_design();
+        let p = RegionPartition::of(&d);
+        assert_eq!(p.len(), 3, "l0 | l1 | (x, y)");
+        let l0 = d.signal_by_name("l0").unwrap();
+        let l1 = d.signal_by_name("l1").unwrap();
+        let x = d.signal_by_name("x").unwrap();
+        let y = d.signal_by_name("y").unwrap();
+        let rx = p.region_of(x).unwrap();
+        assert_eq!(p.region_of(y), Some(rx), "wire-coupled regs share a region");
+        assert_ne!(p.region_of(l0), Some(rx));
+        assert_ne!(p.region_of(l0), p.region_of(l1));
+        // Regions are ordered by minimum register id, regs sorted within.
+        assert_eq!(p.regions()[p.region_of(x).unwrap()].regs, vec![x, y]);
+        assert_eq!(p.regions()[p.region_of(l0).unwrap()].regs, vec![l0]);
+    }
+
+    #[test]
+    fn inputs_are_cuts_not_links() {
+        let d = lanes_design();
+        let p = RegionPartition::of(&d);
+        let op = d.signal_by_name("op").unwrap();
+        let l1 = d.signal_by_name("l1").unwrap();
+        let r = &p.regions()[p.region_of(l1).unwrap()];
+        assert_eq!(r.cuts, vec![op], "the input is the region's cut signal");
+        // l0 reads no input: no cuts.
+        let l0 = d.signal_by_name("l0").unwrap();
+        assert!(p.regions()[p.region_of(l0).unwrap()].cuts.is_empty());
+        assert_eq!(p.region_of(op), None, "inputs belong to no region");
+    }
+
+    #[test]
+    fn merged_coalesces_and_keeps_ordering() {
+        let d = lanes_design();
+        let p = RegionPartition::of(&d);
+        let l0 = d.signal_by_name("l0").unwrap();
+        let l1 = d.signal_by_name("l1").unwrap();
+        let a = p.region_of(l0).unwrap();
+        let b = p.region_of(l1).unwrap();
+        let m = p.merged(&[(a, b)]);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.region_of(l0), m.region_of(l1));
+        let merged_region = &m.regions()[m.region_of(l0).unwrap()];
+        assert_eq!(merged_region.regs, vec![l0, l1]);
+        let op = d.signal_by_name("op").unwrap();
+        assert_eq!(merged_region.cuts, vec![op]);
+        // Out-of-range links are ignored; empty links are identity.
+        assert_eq!(p.merged(&[]), p.clone());
+        assert_eq!(p.merged(&[(0, 99)]).len(), p.len());
+    }
+
+    #[test]
+    fn support_index_expands_wires_to_leaves() {
+        let d = lanes_design();
+        let idx = SupportIndex::of(&d);
+        let op = d.signal_by_name("op").unwrap();
+        let y = d.signal_by_name("y").unwrap();
+        let w = d.signal_by_name("w").unwrap();
+        assert_eq!(idx.leaves(op), &[op], "inputs support themselves");
+        assert_eq!(idx.leaves(y), &[y], "registers support themselves");
+        assert_eq!(idx.leaves(w), &[y], "the wire expands to its register");
+    }
+
+    #[test]
+    fn registerless_design_is_empty() {
+        let mut b = DesignBuilder::new("comb");
+        let i = b.input("i", 1);
+        let e = b.sig(i);
+        b.wire("w", e);
+        let d = b.build().unwrap();
+        let p = RegionPartition::of(&d);
+        assert!(p.is_empty());
+        assert_eq!(p.len(), 0);
+    }
+
+    #[test]
+    fn merged_everything_is_one_region() {
+        let d = lanes_design();
+        let p = RegionPartition::of(&d);
+        let links: Vec<(usize, usize)> = (1..p.len()).map(|i| (0, i)).collect();
+        let m = p.merged(&links);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.regions()[0].regs.len(), d.num_regs());
+    }
+}

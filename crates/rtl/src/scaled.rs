@@ -1,0 +1,130 @@
+//! A scaled-up Multi-V-style design for exercising modular composition.
+//!
+//! The Multi-V-scale platform has a few dozen registers, all of which the
+//! arbiter couples into essentially one module region — good for the flat
+//! backends, useless for measuring composition. This module builds the
+//! topology the composed backend is *for*: one shared "hub" register (the
+//! arbiter-like state everyone's verdict depends on) plus many shallow
+//! per-lane registers (per-core trackers) whose next-state functions read
+//! only the shared primary input. Every lane is its own module region, so
+//! the region partition has `lanes + 1` regions — well over twice
+//! Multi-V-scale's cone count at the default size.
+//!
+//! Crucially the *reachable product space stays small*: the lanes are
+//! input-determined (after one step a lane's value is a function of the
+//! last input only), so the flat graph has roughly
+//! `|hub states| × |input valuations|` nodes regardless of the lane count.
+//! Flat row construction still evaluates every lane's next function on
+//! every (node, input) edge — work linear in `lanes` — while the composed
+//! backend memoizes each region's row against its tiny interface state.
+//! Same graph, very different build cost: exactly the flat-vs-composed gap
+//! EXPERIMENTS.md measures.
+
+use crate::builder::DesignBuilder;
+use crate::design::Design;
+
+/// Default lane count used by the `composed` bench workload: `1 + 128`
+/// registers, ≥ 2× Multi-V-scale's cone count.
+pub const DEFAULT_LANES: usize = 128;
+
+/// Builds the scaled hub-and-lanes design with the given number of lane
+/// registers (plus the one hub register).
+///
+/// # Panics
+///
+/// Panics if `lanes` is 0 (the hub alone is not a composition benchmark).
+pub fn build(lanes: usize) -> Design {
+    assert!(lanes > 0, "scaled design needs at least one lane");
+    let mut b = DesignBuilder::new(format!("scaled{lanes}"));
+    let op = b.input("op", 2);
+
+    // The hub: an 8-bit accumulator stepping by an odd, input-selected
+    // increment, so it walks all 256 values — the "deep" shared state.
+    let mut inc = b.lit(7, 8);
+    for v in (0..3u64).rev() {
+        let cond = b.eq_lit(op, v);
+        let val = b.lit(2 * v + 1, 8);
+        inc = b.mux(cond, val, inc);
+    }
+    let inc_w = b.wire("hub_inc", inc);
+    let hub = b.reg("hub", 8, Some(0));
+    let hub_e = b.sig(hub);
+    let inc_e = b.sig(inc_w);
+    let hub_next = b.add(hub_e, inc_e);
+    b.set_next(hub, hub_next);
+
+    // A shared 4-bit widening of the input, read by every lane. Wires do
+    // not link regions (only register reads do), so each lane stays a
+    // singleton region with `op` as its lone cut signal.
+    let mut sel = b.lit(3, 4);
+    for v in (0..3u64).rev() {
+        let cond = b.eq_lit(op, v);
+        let val = b.lit(v, 4);
+        sel = b.mux(cond, val, sel);
+    }
+    let opw = b.wire("opw", sel);
+    let opw_e = b.sig(opw);
+
+    // The lanes: 4-bit input-determined trackers, each with a distinct
+    // offset so their value functions (and fingerprints) differ.
+    for j in 0..lanes {
+        let lane = b.reg(format!("lane{j:03}"), 4, Some((j % 16) as u64));
+        let k = b.lit(((j * 5 + 3) % 16) as u64, 4);
+        let next = b.add(opw_e, k);
+        b.set_next(lane, next);
+    }
+    b.build().expect("scaled design is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::RegionPartition;
+    use crate::sim::Simulator;
+
+    #[test]
+    fn every_lane_is_its_own_region() {
+        let d = build(8);
+        assert_eq!(d.num_regs(), 9);
+        assert_eq!(d.num_inputs(), 1);
+        let p = RegionPartition::of(&d);
+        assert_eq!(p.len(), 9, "hub + one region per lane");
+        let op = d.signal_by_name("op").unwrap();
+        let lane0 = d.signal_by_name("lane000").unwrap();
+        let r = p.region_of(lane0).unwrap();
+        assert_eq!(p.regions()[r].regs, vec![lane0]);
+        assert_eq!(p.regions()[r].cuts, vec![op], "lanes cut on the input");
+        let hub = d.signal_by_name("hub").unwrap();
+        let hr = p.region_of(hub).unwrap();
+        assert!(p.regions()[hr].cuts.contains(&op));
+    }
+
+    #[test]
+    fn hub_steps_and_lanes_track_the_input() {
+        let d = build(4);
+        let sim = Simulator::new(&d);
+        let hub = d.signal_by_name("hub").unwrap();
+        let lane1 = d.signal_by_name("lane001").unwrap();
+        let s0 = sim.initial_state().unwrap();
+        let s1 = sim.step(&s0, &[2]);
+        assert_eq!(sim.peek(&s1, &[0], hub), 5, "op=2 selects increment 5");
+        assert_eq!(sim.peek(&s1, &[0], lane1), 10);
+        // Input-determined: two different starting lane values converge.
+        let s2 = sim.step(&s1, &[2]);
+        assert_eq!(sim.peek(&s2, &[0], lane1), sim.peek(&s1, &[0], lane1));
+    }
+
+    #[test]
+    fn default_size_doubles_multi_vscale_cones() {
+        use crate::multi_vscale::{MemoryImpl, MultiVscale};
+        let d = build(DEFAULT_LANES);
+        let mp = rtlcheck_litmus::suite::get("mp").unwrap();
+        let mv = MultiVscale::build(&mp, MemoryImpl::Fixed);
+        assert!(
+            d.num_regs() >= 2 * mv.design.num_regs(),
+            "scaled ({}) must have ≥2× multi_vscale's cones ({})",
+            d.num_regs(),
+            mv.design.num_regs()
+        );
+    }
+}

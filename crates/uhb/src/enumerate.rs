@@ -1,6 +1,6 @@
 //! Exhaustive scenario enumeration.
 //!
-//! [`crate::solve`] stops at the first acyclic witness; this module
+//! [`fn@crate::solve`] stops at the first acyclic witness; this module
 //! enumerates **all** satisfying scenarios of a grounded axiom set, the way
 //! the paper describes the Check suite's strategy ("consider and
 //! cycle-check all possible scenarios"). Useful for statistics (how many

@@ -153,6 +153,15 @@ const AUTO_INPUT_VALUATIONS: u128 = 64;
 /// it over few valuations.
 const AUTO_REG_BITS: u32 = 128;
 
+/// Register (== cone) count at or past which `auto` prefers the composed
+/// backend on explicit-eligible designs: flat row construction is linear
+/// in the register count per (node, input), which is exactly the work
+/// per-region memoization amortises; below this the decomposition
+/// bookkeeping is not worth it. Sized above the litmus platforms
+/// (Multi-V-scale ≈ 46, TSO ≈ 60, five-stage ≈ 71 registers), which the
+/// differential suites pin to the explicit reference.
+const AUTO_COMPOSED_CONES: usize = 96;
+
 /// The `--backend` selection: which graph implementation serves a test's
 /// property walks.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -162,6 +171,10 @@ pub enum BackendChoice {
     Explicit,
     /// Always the symbolic [`crate::symbolic::SymbolicGraph`].
     Symbolic,
+    /// The modular [`crate::composed::ComposedGraph`] wherever the design
+    /// is explicit-eligible (symbolic on too-wide inputs); falls back to
+    /// flat explicit per problem when decomposition cannot help.
+    Composed,
     /// Per-design heuristic; see [`BackendChoice::resolve`].
     Auto,
 }
@@ -174,6 +187,9 @@ pub enum BackendKind {
     Explicit,
     /// The BDD-backed [`crate::symbolic::SymbolicGraph`].
     Symbolic,
+    /// The modular [`crate::composed::ComposedGraph`] (per-problem
+    /// fallback to flat explicit when decomposition cannot help).
+    Composed,
 }
 
 impl BackendKind {
@@ -182,6 +198,7 @@ impl BackendKind {
         match self {
             BackendKind::Explicit => "explicit",
             BackendKind::Symbolic => "symbolic",
+            BackendKind::Composed => "composed",
         }
     }
 }
@@ -192,6 +209,7 @@ impl BackendChoice {
         match s {
             "explicit" => Some(BackendChoice::Explicit),
             "symbolic" => Some(BackendChoice::Symbolic),
+            "composed" => Some(BackendChoice::Composed),
             "auto" => Some(BackendChoice::Auto),
             _ => None,
         }
@@ -202,6 +220,7 @@ impl BackendChoice {
         match self {
             BackendChoice::Explicit => "explicit",
             BackendChoice::Symbolic => "symbolic",
+            BackendChoice::Composed => "composed",
             BackendChoice::Auto => "auto",
         }
     }
@@ -211,12 +230,23 @@ impl BackendChoice {
     /// exceeds its enumeration limit — or overflows `u128` entirely, where
     /// explicit enumeration would panic mid-run), and when the input-width
     /// / register-count heuristic says class compression will win: a wide
-    /// input space (> [`AUTO_INPUT_VALUATIONS`] valuations per cycle) over
-    /// a small state space (≤ [`AUTO_REG_BITS`] register bits).
+    /// input space (> `AUTO_INPUT_VALUATIONS` valuations per cycle) over
+    /// a small state space (≤ `AUTO_REG_BITS` register bits). Among
+    /// explicit-eligible designs, `Auto` prefers the composed backend at
+    /// or past `AUTO_COMPOSED_CONES` registers — where flat per-row work
+    /// is dominated by register-count-linear evaluation that per-region
+    /// memoization amortises. `Composed` applies the same
+    /// cannot-run-explicit escape (composed rows enumerate input
+    /// valuations exactly like explicit ones).
     pub fn resolve(self, design: &Design) -> BackendKind {
         match self {
             BackendChoice::Explicit => BackendKind::Explicit,
             BackendChoice::Symbolic => BackendKind::Symbolic,
+            BackendChoice::Composed => match input_space(design) {
+                None => BackendKind::Symbolic,
+                Some(space) if space > MAX_INPUT_VALUATIONS as u128 => BackendKind::Symbolic,
+                Some(_) => BackendKind::Composed,
+            },
             BackendChoice::Auto => match input_space(design) {
                 None => BackendKind::Symbolic,
                 Some(space) if space > MAX_INPUT_VALUATIONS as u128 => BackendKind::Symbolic,
@@ -225,6 +255,7 @@ impl BackendChoice {
                 {
                     BackendKind::Symbolic
                 }
+                Some(_) if design.num_regs() >= AUTO_COMPOSED_CONES => BackendKind::Composed,
                 Some(_) => BackendKind::Explicit,
             },
         }
@@ -311,12 +342,68 @@ mod tests {
         for c in [
             BackendChoice::Explicit,
             BackendChoice::Symbolic,
+            BackendChoice::Composed,
             BackendChoice::Auto,
         ] {
             assert_eq!(BackendChoice::parse(c.label()), Some(c));
         }
         assert_eq!(BackendChoice::parse("bdd"), None);
         assert_eq!(BackendChoice::default(), BackendChoice::Explicit);
+    }
+
+    #[test]
+    fn composed_choice_escapes_to_symbolic_on_wide_inputs() {
+        // Composed rows enumerate inputs like explicit ones; a too-wide
+        // input space must take the same symbolic escape, never panic.
+        let narrow = design_with_input(2);
+        assert_eq!(
+            BackendChoice::Composed.resolve(&narrow),
+            BackendKind::Composed
+        );
+        let wide = design_with_input(20);
+        assert_eq!(
+            BackendChoice::Composed.resolve(&wide),
+            BackendKind::Symbolic
+        );
+        assert_eq!(BackendKind::Composed.label(), "composed");
+    }
+
+    #[test]
+    fn auto_prefers_composed_past_the_cone_threshold() {
+        // Many narrow registers over a narrow input: explicit-eligible,
+        // and past AUTO_COMPOSED_CONES the composed backend wins.
+        let build = |regs: usize| {
+            let mut b = DesignBuilder::new("d");
+            let i = b.input("in", 2);
+            let ie = b.sig(i);
+            let one = b.lit(1, 2);
+            let v = b.add(ie, one);
+            for k in 0..regs {
+                let r = b.reg(format!("r{k}"), 2, Some(0));
+                let _ = r;
+                b.set_next(r, v);
+            }
+            b.build().unwrap()
+        };
+        let small = build(AUTO_COMPOSED_CONES - 1);
+        assert_eq!(BackendChoice::Auto.resolve(&small), BackendKind::Explicit);
+        let big = build(AUTO_COMPOSED_CONES);
+        assert_eq!(BackendChoice::Auto.resolve(&big), BackendKind::Composed);
+    }
+
+    /// The litmus platforms must stay pinned to the explicit reference
+    /// under `auto`: the full-suite differential compares auto to explicit
+    /// byte-for-byte.
+    #[test]
+    fn auto_stays_explicit_on_suite_designs() {
+        use rtlcheck_rtl::multi_vscale::{MemoryImpl, MultiVscale};
+        let mp = rtlcheck_litmus::suite::get("mp").unwrap();
+        let mv = MultiVscale::build(&mp, MemoryImpl::Fixed);
+        assert!(mv.design.num_regs() < AUTO_COMPOSED_CONES);
+        assert_eq!(
+            BackendChoice::Auto.resolve(&mv.design),
+            BackendKind::Explicit
+        );
     }
 
     #[test]

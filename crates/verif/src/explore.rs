@@ -5,7 +5,7 @@
 //! * [`crate::graph::StateGraph`] materialises the shared part of a test's
 //!   product space — design states × assumption-monitor states, with
 //!   per-edge atom valuations — once per [`Problem`].
-//! * [`Walk`] (internal) layers one assertion monitor's NFA over the cached
+//! * `Walk` (internal) layers one assertion monitor's NFA over the cached
 //!   graph. [`verify_property`] and [`check_cover`] are thin drivers around
 //!   walks; their budget semantics ([`Engine`] limits, bounded-vs-complete
 //!   verdicts, [`ExploreStats`]) are bit-for-bit those of the pre-split

@@ -29,6 +29,7 @@
 
 use std::cell::{Cell, RefCell};
 use std::collections::{BTreeSet, HashMap};
+use std::rc::Rc;
 use std::sync::Arc;
 
 use rtlcheck_obs::{attrs, Collector};
@@ -38,6 +39,7 @@ use rtlcheck_sva::{Monitor, MonitorState, Prop, SvaBool};
 
 use crate::atom::{RtlAtom, RtlBool};
 use crate::cache::{CoreSnapshot, NodeSnapshot};
+use crate::composed::{Composition, RegionCtx, RegionEntry, RegionRow};
 use crate::engine::Engine;
 use crate::problem::Problem;
 
@@ -208,6 +210,9 @@ pub struct StateGraph<'p, 'd> {
     core: RefCell<GraphCore>,
     /// Baseline-reuse context when this graph was assembled incrementally.
     splice: Option<SpliceState>,
+    /// Modular-composition context when this graph assembles its rows from
+    /// per-region interface specs (see [`crate::composed`]).
+    composition: Option<Composition>,
 }
 
 impl std::fmt::Debug for StateGraph<'_, '_> {
@@ -308,7 +313,53 @@ impl<'p, 'd> StateGraph<'p, 'd> {
             words,
             core: RefCell::new(core),
             splice: None,
+            composition: None,
         }
+    }
+
+    /// [`StateGraph::build`] with a pre-analyzed [`Composition`] attached:
+    /// the same eager breadth-first warm-up, with every row assembled from
+    /// per-region interface specs. Only called by
+    /// [`crate::composed::ComposedGraph`].
+    pub(crate) fn build_composed(
+        problem: &'p Problem<'d>,
+        atoms: Vec<RtlAtom>,
+        comp: Composition,
+        engine: Engine,
+    ) -> Self {
+        let mut graph = StateGraph::with_atoms(problem, atoms);
+        graph.attach_composition(comp);
+        graph.warm(engine);
+        graph
+    }
+
+    /// Finalizes and installs a composition: precomputes the global
+    /// (input-only) atom bits per input valuation and initialises the
+    /// per-region memo tables. Requires a freshly analyzed composition for
+    /// this exact problem/atom table.
+    pub(crate) fn attach_composition(&mut self, mut comp: Composition) {
+        // Global atoms read only inputs and constants, so their valuation
+        // is independent of the node state — any state works for the peek;
+        // the initial one is always available.
+        let state = self.core.borrow().nodes[0].state.clone();
+        comp.global_bits = self
+            .inputs
+            .iter()
+            .map(|input| {
+                let mut words = vec![0u64; self.words];
+                for (sig, sig_atoms) in &comp.global_sig_atoms {
+                    let v = self.sim.peek(&state, input, *sig);
+                    for &(ai, value) in sig_atoms {
+                        if v == value {
+                            words[ai / 64] |= 1 << (ai % 64);
+                        }
+                    }
+                }
+                words
+            })
+            .collect();
+        *comp.memo.borrow_mut() = vec![HashMap::new(); comp.regions.len()];
+        self.composition = Some(comp);
     }
 
     /// [`StateGraph::new`] followed by an eager breadth-first warm-up: node
@@ -505,6 +556,10 @@ impl<'p, 'd> StateGraph<'p, 'd> {
     /// Builds the edge row of one node: from the baseline when this graph
     /// is spliced and the node is copyable, by simulation otherwise.
     fn build_row(&self, core: &mut GraphCore, node: u32) {
+        if let Some(comp) = &self.composition {
+            self.build_row_composed(core, node, comp);
+            return;
+        }
         if let Some(sp) = &self.splice {
             if self.build_row_spliced(core, node, sp) {
                 return;
@@ -674,6 +729,154 @@ impl<'p, 'd> StateGraph<'p, 'd> {
                 );
             }
         }
+    }
+
+    /// Builds the edge row of one node from per-region interface specs:
+    /// each region's row is fetched from (or computed into) the memo keyed
+    /// by the node's projection onto that region's interface-visible state,
+    /// and the full row is their join — admissibility is the conjunction of
+    /// region verdicts, destinations the register scatter, atom bitsets the
+    /// union. Region closure (see [`Composition::analyze`]) makes every
+    /// memoized quantity exact at any node with the same projection, so
+    /// the assembled row is identical to [`StateGraph::build_row_cold`]'s.
+    fn build_row_composed(&self, core: &mut GraphCore, node: u32, comp: &Composition) {
+        let (state, assumptions) = {
+            let n = &core.nodes[node as usize];
+            (n.state.clone(), n.assumptions.clone())
+        };
+        let regs = state.regs();
+        let mut region_rows: Vec<Rc<RegionRow>> = Vec::with_capacity(comp.regions.len());
+        for (ri, rc) in comp.regions.iter().enumerate() {
+            let key_regs: Vec<u64> = rc.regs.iter().map(|&(idx, _, _)| regs[idx]).collect();
+            let key_states: Vec<MonitorState> = rc
+                .monitors
+                .iter()
+                .map(|&di| assumptions[di].clone())
+                .collect();
+            let key = (key_regs, key_states);
+            let cached = comp.memo.borrow()[ri].get(&key).cloned();
+            let row = match cached {
+                Some(row) => {
+                    comp.memo_hits.set(comp.memo_hits.get() + 1);
+                    row
+                }
+                None => {
+                    comp.memo_misses.set(comp.memo_misses.get() + 1);
+                    let row = Rc::new(self.compute_region_row(core, &state, &key.1, rc));
+                    comp.memo.borrow_mut()[ri].insert(key, row.clone());
+                    row
+                }
+            };
+            region_rows.push(row);
+        }
+        let num_inputs = self.inputs.len();
+        let num_regs = self.problem.design.num_regs();
+        let mut dests = Vec::with_capacity(num_inputs);
+        let mut bits = vec![0u64; num_inputs * self.words];
+        for i in 0..num_inputs {
+            let admissible = region_rows.iter().all(|r| !r.entries[i].failed);
+            if !admissible {
+                core.stats.pruned_edges += 1;
+                dests.push(PRUNED);
+                continue;
+            }
+            let words = &mut bits[i * self.words..(i + 1) * self.words];
+            for (w, g) in words.iter_mut().zip(&comp.global_bits[i]) {
+                *w |= g;
+            }
+            let mut next_regs = vec![0u64; num_regs];
+            for (rc, row) in comp.regions.iter().zip(&region_rows) {
+                let entry = &row.entries[i];
+                for (w, b) in words.iter_mut().zip(&entry.bits) {
+                    *w |= b;
+                }
+                for (&(idx, _, _), &v) in rc.regs.iter().zip(&entry.next_regs) {
+                    next_regs[idx] = v;
+                }
+            }
+            let dest_state = State::from_regs(next_regs);
+            let next_states: Vec<MonitorState> = (0..assumptions.len())
+                .map(|di| {
+                    let (ri, pos) = comp.monitor_slot[di];
+                    region_rows[ri].entries[i].next_states[pos].clone()
+                })
+                .collect();
+            let key = (dest_state, next_states);
+            let dest = match core.index.get(&key) {
+                Some(&d) => d,
+                None => {
+                    let d = u32::try_from(core.nodes.len()).expect("graph fits in u32 node ids");
+                    core.nodes.push(GraphNode {
+                        state: key.0.clone(),
+                        assumptions: key.1.clone(),
+                        row: None,
+                    });
+                    core.index.insert(key, d);
+                    d
+                }
+            };
+            core.stats.edges += 1;
+            dests.push(dest);
+        }
+        core.stats.nodes = core.nodes.len();
+        core.nodes[node as usize].row = Some(EdgeRow {
+            dests: dests.into_boxed_slice(),
+            bits: bits.into_boxed_slice(),
+        });
+    }
+
+    /// Materialises one region's interface-spec row: for every input
+    /// valuation, step the region's assumption monitors, evaluate the
+    /// region's registers' next values, and peek the region's atoms.
+    /// `state` is the full product state of the node that missed the memo;
+    /// every quantity computed here depends only on its projection onto
+    /// this region (the memo key), so the row is exact wherever it is
+    /// reused.
+    fn compute_region_row(
+        &self,
+        core: &mut GraphCore,
+        state: &State,
+        key_states: &[MonitorState],
+        rc: &RegionCtx,
+    ) -> RegionRow {
+        let entries = self
+            .inputs
+            .iter()
+            .map(|input| {
+                let mut failed = false;
+                let mut next_states = Vec::with_capacity(rc.monitors.len());
+                for (pos, &di) in rc.monitors.iter().enumerate() {
+                    let m = &mut core.monitors[di];
+                    m.set_state(key_states[pos].clone());
+                    m.step(&|a: &RtlAtom| self.sim.peek(state, input, a.sig) == a.value);
+                    if m.failed() {
+                        failed = true;
+                    }
+                    next_states.push(m.state().clone());
+                }
+                let next_regs = rc
+                    .regs
+                    .iter()
+                    .map(|&(_, next, width)| mask64(self.sim.eval(state, input, next), width))
+                    .collect();
+                let mut bits = vec![0u64; self.words];
+                for (sig, sig_atoms) in &rc.sig_atoms {
+                    let v = self.sim.peek(state, input, *sig);
+                    for &(ai, value) in sig_atoms {
+                        if v == value {
+                            bits[ai / 64] |= 1 << (ai % 64);
+                        }
+                    }
+                }
+                RegionEntry {
+                    failed,
+                    next_states,
+                    next_regs,
+                    bits,
+                }
+            })
+            .collect();
+        RegionRow { entries }
     }
 
     /// Builds the edge row of one node by simulation: steps the assumption
@@ -970,6 +1173,20 @@ impl<'p, 'd> StateGraph<'p, 'd> {
         collector.counter("graph.lookups", s.lookups, attrs![]);
         collector.counter("graph.reuse_hits", s.reuse_hits, attrs![]);
         collector.counter("graph.atoms", self.atoms.len() as u64, attrs![]);
+        if let Some(comp) = &self.composition {
+            collector.counter("composed.graphs", 1, attrs![]);
+            collector.counter("composed.regions", comp.regions.len() as u64, attrs![]);
+            let cut_signals: usize = comp.regions.iter().map(|r| r.cuts.len()).sum();
+            collector.counter("composed.cut_signals", cut_signals as u64, attrs![]);
+            let interface_entries: usize = comp.memo.borrow().iter().map(|m| m.len()).sum();
+            collector.counter(
+                "composed.interface_entries",
+                interface_entries as u64,
+                attrs![],
+            );
+            collector.counter("composed.region_rows", comp.memo_misses.get(), attrs![]);
+            collector.counter("composed.region_row_hits", comp.memo_hits.get(), attrs![]);
+        }
         if let Some(sp) = &self.splice {
             collector.counter("cone.graphs", 1, attrs![]);
             collector.counter("cone.total", sp.cones_total, attrs![]);

@@ -16,8 +16,8 @@
 //! Equivalence with the explicit backend is structural, not approximate:
 //!
 //! * Classes are enumerated in order of their *lowest-index* valuation
-//!   ([`super::symbolic::bdd::Bdd::min_sat`] under the variable order that
-//!   mirrors [`crate::graph::input_valuations`]'s numeric indexing), and
+//!   (`Bdd::min_sat` under the variable order that
+//!   mirrors `input_valuations`'s numeric indexing), and
 //!   every valuation below a class's representative belongs to an earlier
 //!   class. Walks therefore discover product states, fail assertions, and
 //!   hit covers at exactly the explicit engine's inputs — same traces,
@@ -110,7 +110,7 @@ pub struct SymbolicGraph<'p, 'd> {
     /// Per input (dense index): `(variable offset, width)`. Variables are
     /// assigned in declaration order, each input MSB-first, so an
     /// assignment read in variable order is the valuation's numeric index
-    /// in [`crate::graph::input_valuations`] order.
+    /// in `input_valuations` order.
     input_vars: Vec<(usize, u8)>,
     /// Per register (dense index): `(width, next-state expression)`.
     regs: Vec<(u8, ExprId)>,
@@ -139,7 +139,7 @@ impl<'p, 'd> SymbolicGraph<'p, 'd> {
     /// # Panics
     ///
     /// Panics if a free-init register is not pinned by `problem.init_pins`
-    /// or the design's primary inputs exceed [`MAX_INPUT_BITS`] total bits.
+    /// or the design's primary inputs exceed `MAX_INPUT_BITS` total bits.
     pub fn new<'a, I>(problem: &'p Problem<'d>, props: I) -> Self
     where
         I: IntoIterator<Item = &'a Prop<RtlAtom>>,

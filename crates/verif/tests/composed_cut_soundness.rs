@@ -1,0 +1,293 @@
+//! Cut-soundness proptest for the composed (modular) backend.
+//!
+//! The composed backend's contract is "never wrong, only sometimes no
+//! faster": for *any* design, assumption set, and property set, either
+//!
+//! * [`rtlcheck_verif::ComposedGraph::build`] succeeds and the resulting
+//!   graph is **byte-identical** to the flat explicit build — same nodes
+//!   in the same discovery order, same edges, prunes, atom bitsets, and
+//!   statistics, hence identical walk verdicts; or
+//! * it returns a structured [`rtlcheck_verif::ComposedFallback`] and the
+//!   caller runs the flat engine.
+//!
+//! There is no third outcome: a non-conservative cut must be *detected*
+//! (region merging at analysis time), never silently walked. This file
+//! drives that contract over 1,000 random designs built from independent
+//! register groups — sometimes coupled by cross-group next-state reads or
+//! spanning assumptions, so both the compose and the fallback arm are
+//! exercised — with random assumptions, properties, and pruning.
+//!
+//! The suite-level differential (all 56 litmus tests, fixed and buggy
+//! memory, jobs 1 vs 8) lives in `tests/composed_differential.rs` at the
+//! workspace root.
+
+use proptest::prelude::*;
+use rtlcheck_rtl::{Design, DesignBuilder, SignalId};
+use rtlcheck_sva::{Prop, SvaBool};
+use rtlcheck_verif::{
+    verify_property_on_graph, ComposedFallback, ComposedGraph, Directive, Engine, Problem, RtlAtom,
+    StateGraph, VerifyConfig,
+};
+
+/// One register of a group: a small counter/xor cell over the shared
+/// input, optionally reading its group sibling (`coupled`).
+#[derive(Debug, Clone)]
+struct RegRecipe {
+    width: u8,
+    init: u64,
+    enable_on: u64,
+    /// 0 = increment, 1 = xor with `operand`, 2 = decrement when the
+    /// group sibling holds `operand` (intra-group coupling).
+    op: u8,
+    operand: u64,
+}
+
+/// A candidate module region: registers that read only each other and the
+/// shared input.
+#[derive(Debug, Clone)]
+struct GroupRecipe {
+    regs: Vec<RegRecipe>,
+}
+
+#[derive(Debug, Clone)]
+struct DesignRecipe {
+    input_width: u8,
+    groups: Vec<GroupRecipe>,
+    /// Couple the first registers of groups 0 and 1 through a next-state
+    /// read, collapsing them into one region at partition time.
+    cross_wire: bool,
+}
+
+fn arb_recipe() -> impl Strategy<Value = DesignRecipe> {
+    let reg = (1u8..=2, 0u64..4, 0u64..4, 0u8..3, 0u64..4).prop_map(
+        |(width, init, enable_on, op, operand)| RegRecipe {
+            width,
+            init: init & ((1 << width) - 1),
+            enable_on,
+            op,
+            operand: operand & ((1 << width) - 1),
+        },
+    );
+    let group = proptest::collection::vec(reg, 1..=2).prop_map(|regs| GroupRecipe { regs });
+    (
+        1u8..=2,
+        proptest::collection::vec(group, 2..=3),
+        prop_oneof![1 => Just(true), 4 => Just(false)],
+    )
+        .prop_map(|(input_width, groups, cross_wire)| DesignRecipe {
+            input_width,
+            groups,
+            cross_wire,
+        })
+}
+
+/// Builds the recipe's design; returns the first register of each group.
+fn build(recipe: &DesignRecipe) -> (Design, Vec<SignalId>, SignalId) {
+    let mut b = DesignBuilder::new("grouped");
+    let en = b.input("en", recipe.input_width);
+    let max_in = (1u64 << recipe.input_width) - 1;
+    let mut group_heads = Vec::new();
+    let mut all_ids: Vec<Vec<SignalId>> = Vec::new();
+    for (gi, g) in recipe.groups.iter().enumerate() {
+        let ids: Vec<SignalId> = g
+            .regs
+            .iter()
+            .enumerate()
+            .map(|(ri, r)| b.reg(format!("g{gi}r{ri}"), r.width, Some(r.init)))
+            .collect();
+        group_heads.push(ids[0]);
+        all_ids.push(ids);
+    }
+    for (gi, g) in recipe.groups.iter().enumerate() {
+        for (ri, r) in g.regs.iter().enumerate() {
+            let id = all_ids[gi][ri];
+            let cur = b.sig(id);
+            let cond = b.eq_lit(en, r.enable_on & max_in);
+            let updated = match r.op {
+                0 => {
+                    let one = b.lit(1, r.width);
+                    b.add(cur, one)
+                }
+                1 => {
+                    let k = b.lit(r.operand, r.width);
+                    b.xor(cur, k)
+                }
+                _ => {
+                    // Read the group sibling (or self in a 1-reg group):
+                    // intra-group coupling that must stay inside the region.
+                    let sibling = all_ids[gi][(ri + 1) % g.regs.len()];
+                    let sw = recipe.groups[gi].regs[(ri + 1) % g.regs.len()].width;
+                    let trigger = b.eq_lit(sibling, r.operand & ((1 << sw) - 1));
+                    let one = b.lit(1, r.width);
+                    let dec = b.sub(cur, one);
+                    b.mux(trigger, dec, cur)
+                }
+            };
+            let next = if recipe.cross_wire && gi == 0 && ri == 0 {
+                // Cross-group read: group 1's head gates group 0's head,
+                // merging the two candidate regions at partition time.
+                let other = all_ids[1][0];
+                let ow = recipe.groups[1].regs[0].width;
+                let gate = b.eq_lit(other, recipe.groups[1].regs[0].init & ((1 << ow) - 1));
+                let held = b.mux(cond, updated, cur);
+                b.mux(gate, held, cur)
+            } else {
+                b.mux(cond, updated, cur)
+            };
+            b.set_next(id, next);
+        }
+    }
+    let d = b.build().expect("recipe designs are well-formed");
+    (d, group_heads, en)
+}
+
+/// One `Never` property per group head, so the atom table has a
+/// region-local atom for every candidate region.
+fn props_for(heads: &[SignalId], recipe: &DesignRecipe) -> Vec<Prop<RtlAtom>> {
+    heads
+        .iter()
+        .zip(&recipe.groups)
+        .map(|(&head, g)| {
+            let target = g.regs[0].operand & ((1 << g.regs[0].width) - 1);
+            Prop::Never(SvaBool::atom(RtlAtom::eq(head, target)))
+        })
+        .collect()
+}
+
+/// Both arms of the contract are reachable from the recipe space: the
+/// uncoupled recipe composes (one region per group) and the cross-wired
+/// variant of the *same* recipe merges into the structured fallback — so
+/// the proptest below exercises compose and fallback, not just one.
+#[test]
+fn recipe_space_covers_both_arms() {
+    let reg = RegRecipe {
+        width: 2,
+        init: 0,
+        enable_on: 0,
+        op: 0,
+        operand: 1,
+    };
+    let mut recipe = DesignRecipe {
+        input_width: 1,
+        groups: vec![
+            GroupRecipe {
+                regs: vec![reg.clone()],
+            },
+            GroupRecipe { regs: vec![reg] },
+        ],
+        cross_wire: false,
+    };
+    let engine = Engine::full(100_000);
+
+    let (design, heads, _) = build(&recipe);
+    let problem = Problem::new(&design);
+    let props = props_for(&heads, &recipe);
+    let composed =
+        ComposedGraph::build(&problem, props.iter(), engine).expect("uncoupled groups compose");
+    assert_eq!(composed.regions(), 2);
+
+    recipe.cross_wire = true;
+    let (design, heads, _) = build(&recipe);
+    let problem = Problem::new(&design);
+    let props = props_for(&heads, &recipe);
+    let err = ComposedGraph::build(&problem, props.iter(), engine).unwrap_err();
+    assert_eq!(err, ComposedFallback::SingleRegion);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(1000))]
+
+    /// Over 1,000 random designs: composing either reproduces the flat
+    /// explicit graph byte-for-byte (snapshot, statistics, and every walk
+    /// verdict) or takes the structured fallback. Silent divergence — a
+    /// composed build that succeeds but differs from flat — fails the
+    /// test; an *unstructured* escape (panic) would too.
+    #[test]
+    fn composition_is_byte_identical_or_structured_fallback(
+        recipe in arb_recipe(),
+        assume_en in prop_oneof![Just(None), (0u64..4).prop_map(Some)],
+        span_groups in prop_oneof![1 => Just(true), 3 => Just(false)],
+    ) {
+        let (design, heads, en) = build(&recipe);
+        let mut problem = Problem::new(&design);
+        if let Some(v) = assume_en {
+            let max_in = (1u64 << recipe.input_width) - 1;
+            problem.assumptions.push(Directive::assume(
+                "en_pin",
+                Prop::Never(SvaBool::atom(RtlAtom::eq(en, v & max_in))),
+            ));
+        }
+        if span_groups {
+            // An assumption reading two groups couples them; analysis must
+            // merge the regions (or fall back), never split the monitor.
+            let w0 = recipe.groups[0].regs[0].width;
+            let w1 = recipe.groups[1].regs[0].width;
+            problem.assumptions.push(Directive::assume(
+                "span",
+                Prop::Never(SvaBool::and(
+                    SvaBool::atom(RtlAtom::eq(heads[0], (1 << w0) - 1)),
+                    SvaBool::atom(RtlAtom::eq(heads[1], (1 << w1) - 1)),
+                )),
+            ));
+        }
+        let props = props_for(&heads, &recipe);
+        let engine = Engine::full(100_000);
+        match ComposedGraph::build(&problem, props.iter(), engine) {
+            Ok(composed) => {
+                let flat = StateGraph::build(&problem, props.iter(), engine);
+                prop_assert_eq!(composed.stats(), flat.stats(), "statistics diverged");
+                prop_assert_eq!(
+                    composed.snapshot(),
+                    flat.snapshot(),
+                    "graph cores diverged"
+                );
+                let config = VerifyConfig::hybrid();
+                for prop in &props {
+                    let c = verify_property_on_graph(&composed, prop, &config);
+                    let e = verify_property_on_graph(&flat, prop, &config);
+                    prop_assert_eq!(
+                        format!("{c:?}"),
+                        format!("{e:?}"),
+                        "verdict diverged for {:?}",
+                        prop
+                    );
+                }
+            }
+            Err(fb) => {
+                // The structured escape: only the two declared reasons.
+                prop_assert!(matches!(
+                    fb,
+                    ComposedFallback::SingleRegion | ComposedFallback::NoRegisters
+                ));
+            }
+        }
+    }
+
+    /// The analysis decision is *stable*: re-analyzing the same problem
+    /// reaches the same compose-or-fallback outcome with the same region
+    /// count — the property the serve coalescer's module fingerprint
+    /// depends on.
+    #[test]
+    fn analysis_is_deterministic(recipe in arb_recipe()) {
+        let (design, heads, _) = build(&recipe);
+        let problem = Problem::new(&design);
+        let props = props_for(&heads, &recipe);
+        let engine = Engine::full(100_000);
+        let a = ComposedGraph::build(&problem, props.iter(), engine);
+        let b = ComposedGraph::build(&problem, props.iter(), engine);
+        match (a, b) {
+            (Ok(ga), Ok(gb)) => {
+                prop_assert_eq!(ga.regions(), gb.regions());
+                prop_assert_eq!(ga.snapshot(), gb.snapshot());
+            }
+            (Err(ea), Err(eb)) => prop_assert_eq!(ea, eb),
+            (a, b) => {
+                return Err(TestCaseError::Fail(format!(
+                    "outcome flip-flopped: {:?} vs {:?}",
+                    a.map(|g| g.regions()),
+                    b.map(|g| g.regions()),
+                )));
+            }
+        }
+    }
+}

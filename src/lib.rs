@@ -29,7 +29,7 @@
 //! * [`core`] — RTLCheck proper: mapping functions, the Assumption
 //!   Generator, the outcome-aware Assertion Generator, and the end-to-end
 //!   driver.
-//! * [`bench`] — the suite harness regenerating the paper's tables and
+//! * [`mod@bench`] — the suite harness regenerating the paper's tables and
 //!   figures, including the parallel (`--jobs`) suite engine.
 //!
 //! # Quickstart

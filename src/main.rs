@@ -3,7 +3,7 @@
 //! ```text
 //! rtlcheck check <test.litmus | suite-test-name> [--memory fixed|buggy|tso]
 //!                [--config quick|hybrid|full-proof] [--trace] [--vcd <path>]
-//!                [--backend explicit|symbolic|auto] [--graph-cache <dir>]
+//!                [--backend explicit|symbolic|composed|auto] [--graph-cache <dir>]
 //!                [--events <out.jsonl>] [--metrics <out.json>]
 //! rtlcheck emit-sva <test.litmus | name> [--memory ...]
 //! rtlcheck emit-verilog <test.litmus | name> [--memory ...]
@@ -35,9 +35,14 @@
 //! `--backend` selects the reachable-set representation the verification
 //! phases run over: `explicit` (the default per-valuation state graph),
 //! `symbolic` (the BDD-backed image-computation backend — same verdicts,
-//! traces, and statistics, byte-identical reports), or `auto` (per-design
+//! traces, and statistics, byte-identical reports), `composed` (the
+//! modular backend: the design is partitioned into module regions, each
+//! region verified against its interface spec, and the verdicts composed
+//! at the interfaces — byte-identical to explicit, falling back to the
+//! flat engine when the cut is non-conservative), or `auto` (per-design
 //! routing: designs whose primary-input space is too wide for explicit
-//! enumeration go symbolic instead of aborting).
+//! enumeration go symbolic instead of aborting, and designs with enough
+//! cones to amortise the decomposition go composed).
 //!
 //! `mutate` runs the mutation campaign: every catalogued mutant of the
 //! chosen design is checked against the litmus suite and classified as
@@ -81,7 +86,7 @@ fn main() -> ExitCode {
 const USAGE: &str = "\
 usage:
   rtlcheck check <test> [--memory fixed|buggy|tso] [--config quick|hybrid|full-proof] [--trace] [--vcd <path>]
-                 [--backend explicit|symbolic|auto] [--graph-cache <dir>]
+                 [--backend explicit|symbolic|composed|auto] [--graph-cache <dir>]
                  [--events <out.jsonl>] [--metrics <out.json>] [--trace-out <out.json>]
   rtlcheck emit-sva <test> [--memory ...]
   rtlcheck emit-verilog <test> [--memory ...]
@@ -100,7 +105,7 @@ usage:
                  [--graph-cache <dir>] [--json <out.json>]
                  [--events <out.jsonl>] [--metrics <out.json>]
                  [--trace-out <out.json>] [--progress]
-  rtlcheck bench [--workload suite,mutate,mutate-cold,check] [--config a,b] [--backend a,b]
+  rtlcheck bench [--workload suite,mutate,mutate-cold,check,composed] [--config a,b] [--backend a,b]
                  [--jobs 1,8] [--only a,b,c] [--iterations N] [--warmup N]
                  [--graph-cache <dir>] [--json <out.json>]
                  [--baseline <bench.json>] [--tolerance PCT]
@@ -122,8 +127,11 @@ the report or metrics streams.
 --jobs runs suite tests on N worker threads (deterministic output);
 --only restricts the suite to a comma-separated list of test names.
 --backend selects the reachable-set representation: explicit (default),
-symbolic (BDD image computation; identical verdicts and reports), or auto
-(routes wide-input designs symbolic instead of aborting).
+symbolic (BDD image computation; identical verdicts and reports),
+composed (modular per-region verification composed at interface specs;
+identical verdicts and reports, flat-engine fallback when the design
+does not decompose), or auto (routes wide-input designs symbolic and
+high-cone-count designs composed).
 --graph-cache persists warm state graphs to <dir> and reloads them on
 later runs (corrupt or stale files fall back to a cold build).
 `mutate` checks every catalogued mutant of --design against the suite and
@@ -145,7 +153,9 @@ product of the comma-separated lists) and writes an `rtlcheck-bench/1`
 document; with --baseline it exits non-zero when a case's median regresses
 past --tolerance percent (default 25). The `mutate` workload runs the
 campaign incrementally; `mutate-cold` is the same campaign with
---incremental=off (the before/after pair for splice speedups).
+--incremental=off (the before/after pair for splice speedups); the
+`composed` workload builds the scaled hub-and-lanes design's warm graph
+on each selected backend (the flat-vs-modular construction pair).
 `profile --diff` compares two metrics files: per-counter deltas and
 histogram shifts.
 `serve` runs the long-lived verification server: a TCP daemon accepting
@@ -266,7 +276,7 @@ fn common_args(
             "--backend" => {
                 let v = it.next().ok_or("--backend needs a value")?;
                 BackendChoice::parse(v).ok_or(format!(
-                    "unknown backend `{v}` (expected explicit, symbolic, or auto)"
+                    "unknown backend `{v}` (expected explicit, symbolic, composed, or auto)"
                 ))?;
                 flags.push(format!("--backend={v}"));
             }
@@ -607,7 +617,7 @@ fn mutate_cmd(args: &[String]) -> Result<ExitCode, String> {
             "--backend" => {
                 let v = it.next().ok_or("--backend needs a value")?;
                 options.backend = BackendChoice::parse(v).ok_or(format!(
-                    "unknown backend `{v}` (expected explicit, symbolic, or auto)"
+                    "unknown backend `{v}` (expected explicit, symbolic, composed, or auto)"
                 ))?;
             }
             "--graph-cache" => {
@@ -753,7 +763,7 @@ fn fuzz_cmd(args: &[String]) -> Result<ExitCode, String> {
             "--backend" => {
                 let v = it.next().ok_or("--backend needs a value")?;
                 options.backend = BackendChoice::parse(v).ok_or(format!(
-                    "unknown backend `{v}` (expected explicit, symbolic, or auto)"
+                    "unknown backend `{v}` (expected explicit, symbolic, composed, or auto)"
                 ))?;
             }
             "--json" => {
@@ -1133,9 +1143,12 @@ fn bench_cmd(args: &[String]) -> Result<ExitCode, String> {
         None => suite::all(),
     };
     for w in &workloads {
-        if !matches!(w.as_str(), "suite" | "mutate" | "mutate-cold" | "check") {
+        if !matches!(
+            w.as_str(),
+            "suite" | "mutate" | "mutate-cold" | "check" | "composed"
+        ) {
             return Err(format!(
-                "unknown workload `{w}` (expected suite, mutate, mutate-cold, or check)"
+                "unknown workload `{w}` (expected suite, mutate, mutate-cold, check, or composed)"
             ));
         }
     }
@@ -1147,7 +1160,7 @@ fn bench_cmd(args: &[String]) -> Result<ExitCode, String> {
             let config = parse_config(config_name)?;
             for backend_name in &backends {
                 let backend = BackendChoice::parse(backend_name).ok_or(format!(
-                    "unknown backend `{backend_name}` (expected explicit, symbolic, or auto)"
+                    "unknown backend `{backend_name}` (expected explicit, symbolic, composed, or auto)"
                 ))?;
                 for &jobs in &jobs_list {
                     let key = CaseKey {
@@ -1185,6 +1198,17 @@ fn bench_cmd(args: &[String]) -> Result<ExitCode, String> {
                                 None => {
                                     tool.check_test_observed(test, &config, metrics);
                                 }
+                            })
+                        }
+                        "composed" => {
+                            let engine = config.cover_engine();
+                            run_case(key, warmup, iterations, |metrics| {
+                                rtlcheck::bench::composed::run_composed_build(
+                                    backend,
+                                    rtlcheck::rtl::scaled::DEFAULT_LANES,
+                                    engine,
+                                    metrics,
+                                );
                             })
                         }
                         "mutate" | "mutate-cold" => {

@@ -294,3 +294,56 @@ fn profile_diff_renders_deltas_between_two_runs() {
     assert!(err.contains("rtlcheck-metrics/1"), "{err}");
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// Diffing runs of *different subcommands* leaves whole counter families
+/// one-sided (a suite run has no `fuzz.*` counters and vice versa). The
+/// diff must render those as labelled `+new` / `-gone` rows and exit 0 —
+/// never crash or reduce the asymmetry to an unexplained dash.
+#[test]
+fn profile_diff_labels_one_sided_counter_families() {
+    let dir = std::env::temp_dir().join(format!("rtlcheck-diff-sided-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let (suite, fuzz) = (dir.join("suite.json"), dir.join("fuzz.json"));
+    let out = rtlcheck(&[
+        "suite",
+        "--only",
+        "mp",
+        "--metrics",
+        suite.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let out = rtlcheck(&[
+        "fuzz",
+        "--count",
+        "2",
+        "--seed",
+        "3",
+        "--metrics",
+        fuzz.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{out:?}");
+
+    // suite -> fuzz: the fuzz family appears.
+    let out = rtlcheck(&[
+        "profile",
+        "--diff",
+        suite.to_str().unwrap(),
+        fuzz.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("fuzz.requested"), "{text}");
+    assert!(text.contains("+new"), "{text}");
+
+    // fuzz -> suite: the same family is gone.
+    let out = rtlcheck(&[
+        "profile",
+        "--diff",
+        fuzz.to_str().unwrap(),
+        suite.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("-gone"), "{text}");
+    std::fs::remove_dir_all(&dir).ok();
+}

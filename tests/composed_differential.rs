@@ -1,0 +1,166 @@
+//! Suite-level differential test for the composed (modular) backend.
+//!
+//! Runs every litmus test through the flat explicit engine and through
+//! `--backend composed`, on the fixed and the buggy memory, at `--jobs 1`
+//! and `--jobs 8`, and asserts byte-identical verdicts, statistics,
+//! counterexample traces, and vacuity flags. The composed backend is
+//! allowed to *fall back* to the flat engine (the suite designs' arbiter
+//! coupling collapses them into a single module region) but never to
+//! diverge: every flow must be accounted for as either a composed graph
+//! or a counted `composed.fallback`.
+//!
+//! The random-design counterpart (proptest over multi-region designs)
+//! lives in `crates/verif/tests/composed_cut_soundness.rs`.
+
+use rtlcheck::bench::check_tests_with;
+use rtlcheck::core::{CoverOutcome, Rtlcheck, TestReport};
+use rtlcheck::litmus::suite;
+use rtlcheck::obs::MetricsCollector;
+use rtlcheck::prelude::{MemoryImpl, VerifyConfig};
+use rtlcheck::verif::BackendChoice;
+
+fn cover_label(report: &TestReport) -> String {
+    match &report.cover {
+        CoverOutcome::VerifiedUnreachable => "unreachable".to_string(),
+        CoverOutcome::BugWitness(trace) => format!("bug-witness {trace:?}"),
+        CoverOutcome::Inconclusive => "inconclusive".to_string(),
+    }
+}
+
+fn assert_reports_match(explicit: &TestReport, composed: &TestReport) {
+    let test = &explicit.test;
+    assert_eq!(explicit.test, composed.test);
+    assert_eq!(explicit.config, composed.config);
+    assert_eq!(
+        cover_label(explicit),
+        cover_label(composed),
+        "{test}: cover outcome diverged"
+    );
+    assert_eq!(
+        explicit.cover_stats, composed.cover_stats,
+        "{test}: cover stats diverged"
+    );
+    assert_eq!(
+        explicit.vacuous, composed.vacuous,
+        "{test}: vacuity diverged"
+    );
+    assert_eq!(
+        explicit.properties.len(),
+        composed.properties.len(),
+        "{test}: property count diverged"
+    );
+    for (e, c) in explicit.properties.iter().zip(&composed.properties) {
+        assert_eq!(e.name, c.name, "{test}: property order diverged");
+        assert_eq!(e.axiom, c.axiom, "{test}: axiom attribution diverged");
+        assert_eq!(
+            format!("{:?}", e.verdict),
+            format!("{:?}", c.verdict),
+            "{test}: verdict for `{}` diverged",
+            e.name
+        );
+    }
+}
+
+/// Runs the whole suite under one memory at `--jobs 1` explicit vs
+/// `--jobs 1` and `--jobs 8` composed, asserting report identity and that
+/// every composed flow was accounted for (a built composed graph or a
+/// structured fallback — never a silent divergence).
+fn differential_over_suite(memory: MemoryImpl) {
+    let tests = suite::all();
+    let config = VerifyConfig::hybrid();
+    let explicit_tool = Rtlcheck::new(memory).with_backend(BackendChoice::Explicit);
+    let composed_tool = Rtlcheck::new(memory).with_backend(BackendChoice::Composed);
+
+    let explicit = check_tests_with(
+        &explicit_tool,
+        &tests,
+        &config,
+        1,
+        &rtlcheck::obs::NullCollector,
+        None,
+    );
+    let metrics = MetricsCollector::new();
+    let composed = check_tests_with(&composed_tool, &tests, &config, 1, &metrics, None);
+    for (e, c) in explicit.iter().zip(&composed) {
+        assert_reports_match(e, c);
+    }
+
+    // Accounting: every flow selected the composed backend, and each one
+    // either built a composed graph or took the structured fallback.
+    let summary = metrics.summary();
+    let count = |name: &str| summary.counter(name).map_or(0, |c| c.total);
+    assert_eq!(
+        count("backend.composed"),
+        tests.len() as u64,
+        "every flow must select the composed backend"
+    );
+    assert_eq!(
+        count("composed.graphs") + count("composed.fallback"),
+        tests.len() as u64,
+        "every composed flow is a built graph or a counted fallback"
+    );
+
+    // Worker-count invariance: the composed path is deterministic across
+    // --jobs, like every other campaign.
+    let parallel = check_tests_with(
+        &composed_tool,
+        &tests,
+        &config,
+        8,
+        &rtlcheck::obs::NullCollector,
+        None,
+    );
+    for (c1, c8) in composed.iter().zip(&parallel) {
+        assert_reports_match(c1, c8);
+    }
+}
+
+/// Every suite test on the fixed memory: explicit vs composed, jobs 1 vs 8.
+#[test]
+fn composed_agrees_with_explicit_on_the_whole_suite() {
+    differential_over_suite(MemoryImpl::Fixed);
+}
+
+/// Every suite test on the buggy memory, where counterexample traces and
+/// bug witnesses must also match byte-for-byte.
+#[test]
+fn composed_agrees_with_explicit_on_buggy_memory() {
+    differential_over_suite(MemoryImpl::Buggy);
+}
+
+/// Pin of the `auto` threshold: the suite designs stay explicit (their
+/// cone count is below [`rtlcheck::verif`]'s composed threshold), so
+/// `--backend auto` differentials remain pinned to the explicit engine.
+#[test]
+fn auto_keeps_suite_designs_off_the_composed_backend() {
+    let test = suite::get("mp").expect("suite test exists");
+    let design = Rtlcheck::new(MemoryImpl::Fixed).build_design(&test).design;
+    assert_eq!(
+        BackendChoice::Auto.resolve(&design),
+        rtlcheck::verif::BackendKind::Explicit
+    );
+}
+
+/// Pin of the mutation-campaign kill under the composed backend: the
+/// store-drop bug (§7.1) must still be caught on `mp` when every flow in
+/// the campaign runs with `--backend composed`.
+#[test]
+fn store_drop_mutant_still_killed_under_composed_backend() {
+    use rtlcheck::bench::mutation::{run_campaign, CampaignOptions, MutantVerdict};
+    use rtlcheck::obs::NullCollector;
+    use rtlcheck::rtl::mutate::CatalogTarget;
+
+    let mut options = CampaignOptions::new(CatalogTarget::MultiVscale);
+    options.mutants = Some(vec!["store_drop_when_busy".into()]);
+    options.tests = Some(vec!["mp".into()]);
+    options.backend = BackendChoice::Composed;
+    let report = run_campaign(&options, &VerifyConfig::quick(), &NullCollector, None)
+        .expect("campaign filters name catalog entries");
+    let mutant = &report.mutants[0];
+    assert_eq!(mutant.name, "store_drop_when_busy");
+    assert_eq!(mutant.verdict, MutantVerdict::Killed, "{mutant:?}");
+    assert!(
+        mutant.killed_by.iter().any(|k| k.test == "mp"),
+        "{mutant:?}"
+    );
+}
